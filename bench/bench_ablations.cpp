@@ -1,0 +1,205 @@
+// Ablation studies for the design choices DESIGN.md calls out — not paper
+// tables, but the natural "what if" questions around them:
+//
+//  A. Bound looseness (Th. 3): KnownNNoChirality always runs 3N-6 rounds,
+//     so a loose bound N = c*n costs a linear factor — measured curve.
+//  B. Guess policy (Th. 5): UnconsciousExploration's initial guess and
+//     growth factor vs. exploration time on hostile rings.
+//  C. Window size (Th. 13): the sliding-window adversary's forced moves as
+//     a function of the initial window x — the x*(N-x) parabola, with the
+//     predicted maximum at x = n/2.
+//  D. Determinism vs randomness: the paper's deterministic unconscious
+//     protocol vs a random-walk baseline (the related-work approach [4])
+//     under identical adversaries.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "algo/random_walk.hpp"
+#include "algo/unconscious_exploration.hpp"
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace dring;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int("seeds", 5));
+
+  // --- A: bound looseness ---------------------------------------------------
+  std::cout << "=== Ablation A: cost of a loose upper bound (Th. 3) ===\n\n";
+  {
+    util::Table t({"n", "N", "N/n", "termination round", "rounds / n"});
+    const NodeId n = 16;
+    for (const NodeId N : {16, 24, 32, 48, 64}) {
+      core::ExplorationConfig cfg =
+          core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
+      cfg.upper_bound = N;
+      cfg.stop.max_rounds = 10 * N;
+      adversary::TargetedRandomAdversary adv(0.7, 1.0, 5 + N);
+      const sim::RunResult r = core::run_exploration(cfg, &adv);
+      Round term = 0;
+      for (const auto& a : r.agents)
+        term = std::max(term, a.termination_round);
+      t.add_row({std::to_string(n), std::to_string(N),
+                 util::fmt_double(static_cast<double>(N) / n, 2),
+                 std::to_string(term),
+                 util::fmt_double(static_cast<double>(term) / n, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "Termination is always 3N-5: the algorithm pays for the "
+                 "bound, not the ring — knowledge quality is performance.\n";
+  }
+
+  // --- B: guess policy --------------------------------------------------------
+  std::cout << "\n=== Ablation B: guess policy of UnconsciousExploration "
+               "(Th. 5) ===\n\n";
+  {
+    util::Table t({"initial G", "growth", "n", "worst exploration round",
+                   "mean (over seeds)"});
+    for (const auto& [g0, factor] : std::initializer_list<
+             std::pair<std::int64_t, std::int64_t>>{
+             {2, 2}, {2, 4}, {8, 2}, {32, 2}}) {
+      for (NodeId n : {12, 24}) {
+        long long worst = 0, sum = 0;
+        int count = 0;
+        for (int seed = 1; seed <= seeds; ++seed) {
+          core::ExplorationConfig cfg = core::default_config(
+              algo::AlgorithmId::UnconsciousExploration, n);
+          cfg.stop.max_rounds = 4000LL * n;
+          sim::Engine engine(cfg.n, std::nullopt, sim::Model::FSYNC,
+                             cfg.engine);
+          for (int i = 0; i < 2; ++i) {
+            engine.add_agent(
+                static_cast<NodeId>(i * n / 2),
+                i == 0 ? agent::kChiralOrientation
+                       : agent::kMirroredOrientation,
+                std::make_unique<algo::UnconsciousExploration>(g0, factor));
+          }
+          // A perpetually-removed edge makes the reversal machinery (and
+          // hence the guess policy) the bottleneck: agents pinned on the
+          // missing edge only turn after being blocked for > G rounds.
+          adversary::FixedEdgeAdversary adv(
+              static_cast<EdgeId>((n / 4 + seed) % n));
+          engine.set_adversary(&adv);
+          sim::StopPolicy stop;
+          stop.max_rounds = 4000LL * n;
+          stop.stop_when_explored = true;
+          stop.stop_when_all_terminated = false;
+          const sim::RunResult r = engine.run(stop);
+          if (r.explored) {
+            worst = std::max(worst, (long long)r.explored_round);
+            sum += r.explored_round;
+            ++count;
+          }
+        }
+        t.add_row({std::to_string(g0), std::to_string(factor),
+                   std::to_string(n), util::fmt_count(worst),
+                   count ? util::fmt_double(double(sum) / count, 1) : "-"});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "With a perpetually missing edge the blocked-wait before a "
+                 "reversal is proportional to the current guess: inflating "
+                 "the initial guess (or the growth factor) directly inflates "
+                 "the exploration time, which is why the paper starts at "
+                 "G = 2 and doubles.\n";
+  }
+
+  // --- C: window size parabola -------------------------------------------------
+  std::cout << "\n=== Ablation C: sliding-window forced moves vs window "
+               "size x (Th. 13) ===\n\n";
+  {
+    const NodeId n = 32;
+    util::Table t({"x", "x*(N-x)", "forced moves", "ratio"});
+    for (NodeId x : {4, 8, 12, 16, 20, 24, 28}) {
+      core::ExplorationConfig cfg =
+          core::default_config(algo::AlgorithmId::PTBoundWithChirality, n);
+      cfg.start_nodes = {static_cast<NodeId>(x - 1), 0};
+      cfg.orientations = {agent::kChiralOrientation,
+                          agent::kChiralOrientation};
+      cfg.engine.fairness_window = 1 << 20;
+      cfg.stop.max_rounds = 4000LL * n * n;
+      cfg.stop.stop_when_explored_and_one_terminated = true;
+      adversary::SlidingWindowAdversary adv(0, 1);
+      const sim::RunResult r = core::run_exploration(cfg, &adv);
+      const long long ref = static_cast<long long>(x) * (n - x);
+      t.add_row({std::to_string(x), util::fmt_count(ref),
+                 util::fmt_count(r.total_moves),
+                 util::fmt_double(static_cast<double>(r.total_moves) /
+                                      std::max(ref, 1LL),
+                                  2)});
+    }
+    t.print(std::cout);
+    std::cout << "Every window size forces at least 2*x*(N-x) moves (ratio "
+                 ">= 2 throughout), the Theorem 13 bound; the total measured "
+                 "cost behaves like 2x(N-x) + (N-x)^2 — the chaser re-walks "
+                 "a growing span for each of the N-x phases — so smaller "
+                 "windows force even more absolute moves in this "
+                 "realization.\n";
+  }
+
+  // --- D: deterministic vs random walk ------------------------------------------
+  std::cout << "\n=== Ablation D: deterministic protocol vs random-walk "
+               "baseline ===\n\n";
+  {
+    util::Table t({"n", "protocol", "explored (runs)",
+                   "worst exploration round", "mean round"});
+    for (NodeId n : {8, 16, 32}) {
+      for (const bool deterministic : {true, false}) {
+        long long worst = 0, sum = 0;
+        int explored = 0;
+        const Round budget = 40'000LL + 4000LL * n;
+        for (int seed = 1; seed <= seeds; ++seed) {
+          core::ExplorationConfig cfg = core::default_config(
+              algo::AlgorithmId::UnconsciousExploration, n);
+          sim::Engine engine(cfg.n, std::nullopt, sim::Model::FSYNC,
+                             cfg.engine);
+          for (int i = 0; i < 2; ++i) {
+            if (deterministic) {
+              engine.add_agent(static_cast<NodeId>(i * n / 2),
+                               i == 0 ? agent::kChiralOrientation
+                                      : agent::kMirroredOrientation,
+                               std::make_unique<algo::UnconsciousExploration>());
+            } else {
+              engine.add_agent(
+                  static_cast<NodeId>(i * n / 2),
+                  i == 0 ? agent::kChiralOrientation
+                         : agent::kMirroredOrientation,
+                  std::make_unique<algo::RandomWalk>(1000ULL * seed + i));
+            }
+          }
+          adversary::TargetedRandomAdversary adv(0.7, 1.0, 23ULL * seed + n);
+          engine.set_adversary(&adv);
+          sim::StopPolicy stop;
+          stop.max_rounds = budget;
+          stop.stop_when_explored = true;
+          stop.stop_when_all_terminated = false;
+          const sim::RunResult r = engine.run(stop);
+          if (r.explored) {
+            ++explored;
+            worst = std::max(worst, (long long)r.explored_round);
+            sum += r.explored_round;
+          }
+        }
+        t.add_row({std::to_string(n),
+                   deterministic ? "UnconsciousExploration (Th. 5)"
+                                 : "RandomWalk baseline [4]",
+                   std::to_string(explored) + "/" + std::to_string(seeds),
+                   util::fmt_count(worst),
+                   explored ? util::fmt_double(double(sum) / explored, 1)
+                            : "-"});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "The deterministic protocol explores in O(n) against the "
+                 "targeted adversary; the random walk's expected cover time "
+                 "is quadratic and degrades much faster with n.\n";
+  }
+  return 0;
+}

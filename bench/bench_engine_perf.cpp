@@ -1,0 +1,61 @@
+// Engine micro-benchmarks (google-benchmark): simulation throughput as a
+// function of ring size, model and adversary. Not a paper experiment —
+// this documents the substrate's own cost.
+#include <benchmark/benchmark.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace dring;
+
+void BM_FsyncKnownN(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    core::ExplorationConfig cfg =
+        core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
+    cfg.engine.verify = false;
+    cfg.stop.max_rounds = 10 * n;
+    adversary::TargetedRandomAdversary adv(0.6, 1.0, 7);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    benchmark::DoNotOptimize(r.rounds);
+    state.counters["rounds"] = static_cast<double>(r.rounds);
+  }
+}
+BENCHMARK(BM_FsyncKnownN)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SsyncPtBound(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    core::ExplorationConfig cfg =
+        core::default_config(algo::AlgorithmId::PTBoundWithChirality, n);
+    cfg.engine.verify = false;
+    cfg.stop.max_rounds = 100LL * n * n;
+    adversary::TargetedRandomAdversary adv(0.5, 0.6, 11);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    benchmark::DoNotOptimize(r.total_moves);
+  }
+}
+BENCHMARK(BM_SsyncPtBound)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RoundsPerSecondRaw(benchmark::State& state) {
+  // Pure engine round cost: two walkers on a big static ring.
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  core::ExplorationConfig cfg =
+      core::default_config(algo::AlgorithmId::UnconsciousExploration, n);
+  cfg.engine.verify = false;
+  sim::NullAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    engine->step();
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds);
+}
+BENCHMARK(BM_RoundsPerSecondRaw)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

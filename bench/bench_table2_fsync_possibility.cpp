@@ -1,0 +1,153 @@
+// Reproduces Table 2 of the paper (FSYNC possibility results):
+//
+//   | N. Agents | Assumptions          | Exploration with Termination      |
+//   | 2         | Known bound N        | Explicit termination in 3N-6      |
+//   | 2         | Chirality, Landmark  | Explicit termination in O(n)      |
+//   | 2         | Landmark             | Explicit termination in O(n log n)|
+//
+// For every row we sweep ring sizes and adversaries (static ring, targeted
+// random removals, Obs.-1 single-agent blocking and — for Theorem 3 — the
+// exact Figure 2 worst case), and report the worst measured termination
+// round next to the paper's bound.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "algo/id_encoding.hpp"
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dring;
+
+struct RowResult {
+  std::int64_t worst_round = 0;
+  NodeId worst_n = 0;
+  int runs = 0;
+  int failures = 0;  // not explored / premature / not terminated
+};
+
+std::int64_t last_termination(const sim::RunResult& r) {
+  std::int64_t worst = 0;
+  for (const sim::AgentResult& a : r.agents)
+    worst = std::max(worst, a.termination_round);
+  return worst;
+}
+
+void account(RowResult& row, const sim::RunResult& r, NodeId n,
+             bool need_all_terminated) {
+  row.runs += 1;
+  const bool terminated =
+      need_all_terminated ? r.all_terminated : r.any_terminated();
+  if (!r.explored || r.premature_termination || !terminated ||
+      !r.violations.empty()) {
+    row.failures += 1;
+    return;
+  }
+  const std::int64_t t = last_termination(r);
+  if (t > row.worst_round) {
+    row.worst_round = t;
+    row.worst_n = n;
+  }
+}
+
+RowResult sweep(algo::AlgorithmId id, const std::vector<NodeId>& sizes,
+                int seeds, Round round_budget_per_n) {
+  RowResult row;
+  for (const NodeId n : sizes) {
+    for (int seed = 0; seed <= seeds; ++seed) {
+      core::ExplorationConfig cfg = core::default_config(id, n);
+      cfg.stop.max_rounds = round_budget_per_n * n + 1000;
+      std::unique_ptr<sim::Adversary> adv;
+      if (seed == 0) {
+        adv = std::make_unique<sim::NullAdversary>();
+      } else if (seed == 1) {
+        adv = std::make_unique<adversary::BlockAgentAdversary>(0);
+      } else {
+        adv = std::make_unique<adversary::TargetedRandomAdversary>(
+            0.7, 1.0, 1000 * n + seed);
+      }
+      account(row, core::run_exploration(cfg, adv.get()), n, true);
+    }
+    // Theorem 3 additionally gets its exact worst-case schedule (Figure 2).
+    if (id == algo::AlgorithmId::KnownNNoChirality && n >= 6) {
+      core::ExplorationConfig cfg = core::default_config(id, n);
+      cfg.start_nodes = {2, 3};
+      cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+      cfg.stop.max_rounds = 10 * n;
+      adversary::ScriptedEdgeAdversary adv(adversary::make_fig2_script(n, 2),
+                                           "fig2");
+      account(row, core::run_exploration(cfg, &adv), n, true);
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int("seeds", 6));
+  std::vector<NodeId> sizes = {5, 6, 8, 11, 16, 24, 32};
+  if (cli.has("max-n")) {
+    const NodeId cap = static_cast<NodeId>(cli.get_int("max-n", 32));
+    sizes.erase(std::remove_if(sizes.begin(), sizes.end(),
+                               [&](NodeId n) { return n > cap; }),
+                sizes.end());
+  }
+
+  std::cout << "=== Table 2: possibility results for FSYNC ===\n"
+            << "sizes swept: ";
+  for (NodeId n : sizes) std::cout << n << " ";
+  std::cout << "| adversaries: static, obs1-block, targeted-random x" << seeds
+            << "\n\n";
+
+  util::Table table({"N. Agents", "Assumptions", "Paper bound",
+                     "Worst measured termination", "at n", "Runs",
+                     "Failures"});
+
+  {
+    const RowResult r = sweep(algo::AlgorithmId::KnownNNoChirality, sizes,
+                              seeds, 10);
+    const NodeId n = r.worst_n;
+    table.add_row({"2", "Known bound N", "3N-6 (Th. 3)",
+                   util::fmt_count(r.worst_round) + "  (3n-5 = " +
+                       util::fmt_count(3 * n - 5) + " incl. detect round)",
+                   std::to_string(n), std::to_string(r.runs),
+                   std::to_string(r.failures)});
+  }
+  {
+    const RowResult r = sweep(algo::AlgorithmId::LandmarkWithChirality, sizes,
+                              seeds, 4000);
+    const NodeId n = std::max<NodeId>(r.worst_n, 1);
+    table.add_row({"2", "Chirality, Landmark", "O(n) (Th. 6)",
+                   util::fmt_count(r.worst_round) + "  (= " +
+                       util::fmt_double(static_cast<double>(r.worst_round) / n,
+                                        1) +
+                       " * n)",
+                   std::to_string(n), std::to_string(r.runs),
+                   std::to_string(r.failures)});
+  }
+  {
+    const RowResult r = sweep(algo::AlgorithmId::LandmarkNoChirality, sizes,
+                              seeds, 100000);
+    const NodeId n = std::max<NodeId>(r.worst_n, 1);
+    const double nlogn = static_cast<double>(n) * algo::ceil_log2(n);
+    table.add_row({"2", "Landmark (no chirality)", "O(n log n) (Th. 8)",
+                   util::fmt_count(r.worst_round) + "  (= " +
+                       util::fmt_double(r.worst_round / nlogn, 1) +
+                       " * n log n)",
+                   std::to_string(n), std::to_string(r.runs),
+                   std::to_string(r.failures)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nFailures = runs that did not explore, terminated "
+               "prematurely, or violated an invariant (expected: 0).\n";
+  return 0;
+}

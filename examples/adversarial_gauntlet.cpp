@@ -1,0 +1,106 @@
+// Adversarial gauntlet: run every algorithm in the library against a
+// battery of adversaries under its stated assumptions and report a
+// pass/fail matrix.  This is the "does the whole map hold up" example —
+// the one-stop sanity check a downstream user can run after modifying
+// anything.
+//
+//   ./adversarial_gauntlet [--n=9] [--seeds=3] [--verbose]
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "algo/id_encoding.hpp"
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dring;
+
+struct GauntletResult {
+  bool explored = true;
+  bool clean = true;  // no premature termination / violations
+  long long worst_rounds = 0;
+};
+
+GauntletResult run_battery(algo::AlgorithmId id, NodeId n, int seeds,
+                           bool verbose) {
+  const algo::AlgorithmInfo& meta = algo::info(id);
+  GauntletResult out;
+
+  struct Scenario {
+    std::string name;
+    std::unique_ptr<sim::Adversary> adv;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"static", std::make_unique<sim::NullAdversary>()});
+  scenarios.push_back(
+      {"fixed-edge", std::make_unique<adversary::FixedEdgeAdversary>(1)});
+  scenarios.push_back(
+      {"obs1-block(0)", std::make_unique<adversary::BlockAgentAdversary>(0)});
+  for (int s = 1; s <= seeds; ++s) {
+    scenarios.push_back(
+        {"random#" + std::to_string(s),
+         std::make_unique<adversary::RandomAdversary>(0.5, 0.7, 97 * s + n)});
+    scenarios.push_back({"targeted#" + std::to_string(s),
+                         std::make_unique<adversary::TargetedRandomAdversary>(
+                             0.7, 0.6, 31 * s + n)});
+  }
+  if (sim::is_ssync(meta.model)) {
+    scenarios.push_back({"rotation",
+                         std::make_unique<
+                             adversary::RotationActivationAdversary>(3)});
+  }
+
+  for (Scenario& sc : scenarios) {
+    core::ExplorationConfig cfg = core::default_config(id, n);
+    cfg.stop.max_rounds =
+        400'000LL + 400LL * algo::no_chirality_time_bound(n);
+    const sim::RunResult r = core::run_exploration(cfg, sc.adv.get());
+    const bool term_ok = !meta.terminating || r.any_terminated();
+    const bool ok = r.explored && !r.premature_termination &&
+                    r.violations.empty() && term_ok;
+    out.explored = out.explored && r.explored;
+    out.clean = out.clean && ok;
+    out.worst_rounds = std::max(out.worst_rounds, (long long)r.rounds);
+    if (verbose || !ok) {
+      std::cout << "  " << meta.name << " vs " << sc.name << ": "
+                << (ok ? "ok" : "FAIL") << " (explored=" << r.explored
+                << ", rounds=" << r.rounds
+                << ", moves=" << r.total_moves
+                << ", terminated=" << r.terminated_agents << "/"
+                << r.agents.size()
+                << (r.premature_termination ? ", PREMATURE" : "") << ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 9));
+  const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+  const bool verbose = cli.get_bool("verbose", false);
+
+  std::cout << "Adversarial gauntlet on rings of size " << n << "\n\n";
+  util::Table table(
+      {"Algorithm", "Theorem", "Model", "All explored", "Clean",
+       "Worst rounds"});
+  bool all_ok = true;
+  for (const algo::AlgorithmInfo& meta : algo::all_algorithms()) {
+    const GauntletResult r = run_battery(meta.id, n, seeds, verbose);
+    all_ok = all_ok && r.clean;
+    table.add_row({meta.name, meta.theorem, sim::to_string(meta.model),
+                   r.explored ? "yes" : "NO", r.clean ? "yes" : "NO",
+                   util::fmt_count(r.worst_rounds)});
+  }
+  table.print(std::cout);
+  std::cout << (all_ok ? "\nAll algorithms survive the gauntlet.\n"
+                       : "\nFAILURES detected — see the lines above.\n");
+  return all_ok ? 0 : 1;
+}

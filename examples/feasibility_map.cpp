@@ -1,0 +1,41 @@
+// Rebuild the paper's map of feasibility (the headline contribution):
+// every algorithm from Tables 2 and 4, swept over ring sizes and
+// adversaries under its stated assumptions, with measured worst-case cost
+// and the termination discipline achieved.
+//
+//   ./feasibility_map [--seeds=5] [--sizes=4,5,6,8,11,16]
+#include <iostream>
+#include <sstream>
+
+#include "core/feasibility_map.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dring;
+  const util::Cli cli(argc, argv);
+
+  core::FeasibilitySweep sweep;
+  sweep.seeds_per_size = static_cast<int>(cli.get_int("seeds", 5));
+  if (cli.has("sizes")) {
+    sweep.sizes.clear();
+    std::stringstream ss(cli.get("sizes", ""));
+    std::string token;
+    while (std::getline(ss, token, ','))
+      sweep.sizes.push_back(static_cast<NodeId>(std::stoi(token)));
+  }
+
+  std::cout << "Rebuilding the feasibility map (Tables 2 and 4) over sizes ";
+  for (NodeId n : sweep.sizes) std::cout << n << " ";
+  std::cout << "with " << sweep.seeds_per_size << " seeds each...\n\n";
+
+  const auto rows = core::build_feasibility_map(sweep);
+  core::print_feasibility_map(rows, std::cout);
+
+  bool all_ok = true;
+  for (const auto& row : rows) all_ok = all_ok && row.ok();
+  std::cout << (all_ok
+                    ? "\nEvery published possibility result reproduces: all "
+                      "runs explore, and no run terminates prematurely.\n"
+                    : "\nSome rows FAILED — the map does not reproduce!\n");
+  return all_ok ? 0 : 1;
+}

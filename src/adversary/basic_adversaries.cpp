@@ -1,0 +1,59 @@
+#include "adversary/basic_adversaries.hpp"
+
+namespace dring::adversary {
+
+std::vector<bool> RandomAdversary::select_active(const sim::WorldView& view) {
+  std::vector<bool> active(static_cast<std::size_t>(view.num_agents()));
+  for (auto&& flag : active) flag = rng_.chance(activation_prob_);
+  return active;
+}
+
+std::optional<EdgeId> RandomAdversary::choose_missing_edge(
+    const sim::WorldView& view,
+    const std::vector<sim::IntentRecord>& /*intents*/) {
+  if (!rng_.chance(remove_prob_)) return std::nullopt;
+  return static_cast<EdgeId>(
+      rng_.below(static_cast<std::uint64_t>(view.ring_size())));
+}
+
+std::vector<bool> TargetedRandomAdversary::select_active(
+    const sim::WorldView& view) {
+  std::vector<bool> active(static_cast<std::size_t>(view.num_agents()));
+  for (auto&& flag : active) flag = rng_.chance(activation_prob_);
+  return active;
+}
+
+std::optional<EdgeId> TargetedRandomAdversary::choose_missing_edge(
+    const sim::WorldView& view,
+    const std::vector<sim::IntentRecord>& intents) {
+  std::vector<EdgeId> targets;
+  for (const sim::IntentRecord& rec : intents)
+    if (rec.move && rec.port_acquired) targets.push_back(rec.target_edge);
+  if (!targets.empty() && rng_.chance(target_prob_)) {
+    return targets[rng_.below(targets.size())];
+  }
+  if (rng_.chance(target_prob_ / 2)) {
+    return static_cast<EdgeId>(
+        rng_.below(static_cast<std::uint64_t>(view.ring_size())));
+  }
+  return std::nullopt;
+}
+
+std::vector<bool> RotationActivationAdversary::select_active(
+    const sim::WorldView& view) {
+  const int n = view.num_agents();
+  std::vector<bool> active(static_cast<std::size_t>(n), false);
+  // Pick the next live agent in rotation; dwell keeps it active for a few
+  // consecutive rounds.
+  const Round slot = tick_++ / std::max<Round>(dwell_, 1);
+  for (int k = 0; k < n; ++k) {
+    const int candidate = static_cast<int>((slot + k) % n);
+    if (!view.terminated(candidate)) {
+      active[static_cast<std::size_t>(candidate)] = true;
+      return active;
+    }
+  }
+  return active;  // everyone terminated; engine handles the empty set
+}
+
+}  // namespace dring::adversary

@@ -1,0 +1,119 @@
+// Basic adversaries: no removal, a fixed missing edge, randomized dynamics,
+// scripted schedules, and randomized/rotating SSYNC activation.
+//
+// These are the "workhorse" adversaries used across tests and benches; the
+// constructions lifted from specific impossibility/lower-bound proofs live
+// in proof_adversaries.hpp.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/adversary.hpp"
+#include "util/rng.hpp"
+
+namespace dring::adversary {
+
+/// Perpetually removes one fixed edge (legal under 1-interval connectivity;
+/// used e.g. in the Theorem 19 construction on ring R1).
+class FixedEdgeAdversary : public sim::Adversary {
+ public:
+  explicit FixedEdgeAdversary(EdgeId e) : edge_(e) {}
+
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView&, const std::vector<sim::IntentRecord>&) override {
+    return edge_;
+  }
+  std::string name() const override {
+    return "fixed-edge(" + std::to_string(edge_) + ")";
+  }
+
+ private:
+  EdgeId edge_;
+};
+
+/// Random dynamics: each round, with probability `remove_prob`, a uniformly
+/// random edge is missing; in SSYNC each agent is activated independently
+/// with probability `activation_prob` (the engine guarantees non-emptiness
+/// and fairness).  Fully deterministic given the seed.
+class RandomAdversary : public sim::Adversary {
+ public:
+  RandomAdversary(double remove_prob, double activation_prob,
+                  std::uint64_t seed)
+      : remove_prob_(remove_prob),
+        activation_prob_(activation_prob),
+        rng_(seed) {}
+
+  std::vector<bool> select_active(const sim::WorldView& view) override;
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  double remove_prob_;
+  double activation_prob_;
+  util::Rng rng_;
+};
+
+/// Targeted random dynamics: with probability `target_prob` remove the edge
+/// that some moving agent is about to traverse (picked uniformly among the
+/// movers), otherwise act like RandomAdversary.  Much more hostile than
+/// uniform removals, while remaining fair.
+class TargetedRandomAdversary : public sim::Adversary {
+ public:
+  TargetedRandomAdversary(double target_prob, double activation_prob,
+                          std::uint64_t seed)
+      : target_prob_(target_prob),
+        activation_prob_(activation_prob),
+        rng_(seed) {}
+
+  std::vector<bool> select_active(const sim::WorldView& view) override;
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override { return "targeted-random"; }
+
+ private:
+  double target_prob_;
+  double activation_prob_;
+  util::Rng rng_;
+};
+
+/// Fully scripted edge removals: a function of the round number. Used to
+/// replay exact executions (e.g. the Figure 2 worst-case schedule).
+class ScriptedEdgeAdversary : public sim::Adversary {
+ public:
+  using Script = std::function<std::optional<EdgeId>(Round)>;
+  explicit ScriptedEdgeAdversary(Script script, std::string label = "scripted")
+      : script_(std::move(script)), label_(std::move(label)) {}
+
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>&) override {
+    return script_(view.round());
+  }
+  std::string name() const override { return label_; }
+
+ private:
+  Script script_;
+  std::string label_;
+};
+
+/// SSYNC activation stress: activates exactly one (live) agent per round in
+/// rotation, optionally holding each agent active for `dwell` consecutive
+/// rounds. No edge removals.
+class RotationActivationAdversary : public sim::Adversary {
+ public:
+  explicit RotationActivationAdversary(Round dwell = 1) : dwell_(dwell) {}
+
+  std::vector<bool> select_active(const sim::WorldView& view) override;
+  std::string name() const override { return "rotation-activation"; }
+
+ private:
+  Round dwell_;
+  Round tick_ = 0;
+};
+
+}  // namespace dring::adversary

@@ -1,0 +1,64 @@
+// Function-composed adversary: build one-off adversaries from lambdas
+// without writing a class.  Used heavily in tests and ablation benches:
+//
+//   adversary::ComposedAdversary adv(
+//       /*activation=*/[](const sim::WorldView& v) { ... },
+//       /*edge=*/[](const sim::WorldView& v,
+//                   const std::vector<sim::IntentRecord>& intents) { ... });
+//
+// Either hook may be left empty (default behaviour: everyone active / no
+// removal).  A tie-break hook can reorder port contenders.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/adversary.hpp"
+
+namespace dring::adversary {
+
+class ComposedAdversary : public sim::Adversary {
+ public:
+  using ActivationFn = std::function<std::vector<bool>(const sim::WorldView&)>;
+  using EdgeFn = std::function<std::optional<EdgeId>(
+      const sim::WorldView&, const std::vector<sim::IntentRecord>&)>;
+  using TieBreakFn = std::function<void(const sim::WorldView&, PortRef,
+                                        std::vector<AgentId>&)>;
+
+  explicit ComposedAdversary(ActivationFn activation = nullptr,
+                             EdgeFn edge = nullptr,
+                             TieBreakFn tie_break = nullptr,
+                             std::string label = "composed")
+      : activation_(std::move(activation)),
+        edge_(std::move(edge)),
+        tie_break_(std::move(tie_break)),
+        label_(std::move(label)) {}
+
+  std::vector<bool> select_active(const sim::WorldView& view) override {
+    if (activation_) return activation_(view);
+    return Adversary::select_active(view);
+  }
+
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override {
+    if (edge_) return edge_(view, intents);
+    return std::nullopt;
+  }
+
+  void order_port_contenders(const sim::WorldView& view, PortRef port,
+                             std::vector<AgentId>& contenders) override {
+    if (tie_break_) tie_break_(view, port, contenders);
+  }
+
+  std::string name() const override { return label_; }
+
+ private:
+  ActivationFn activation_;
+  EdgeFn edge_;
+  TieBreakFn tie_break_;
+  std::string label_;
+};
+
+}  // namespace dring::adversary

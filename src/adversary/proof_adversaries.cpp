@@ -1,0 +1,302 @@
+#include "adversary/proof_adversaries.hpp"
+
+#include <algorithm>
+
+namespace dring::adversary {
+
+namespace {
+
+/// Find the intent record of `agent`, if it was active and moving.
+const sim::IntentRecord* find_move(const std::vector<sim::IntentRecord>& recs,
+                                   AgentId agent) {
+  for (const sim::IntentRecord& r : recs)
+    if (r.agent == agent && r.move) return &r;
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BlockAgentAdversary (Observation 1)
+// ---------------------------------------------------------------------------
+
+std::optional<EdgeId> BlockAgentAdversary::choose_missing_edge(
+    const sim::WorldView& view, const std::vector<sim::IntentRecord>& intents) {
+  if (const sim::IntentRecord* rec = find_move(intents, victim_))
+    return rec->target_edge;
+  // Victim not active this round: if it sleeps on a port, keep that edge
+  // out so it cannot be passively transported either.
+  if (!view.terminated(victim_) && view.on_port(victim_))
+    return view.edge_towards(victim_, view.port_side(victim_));
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// PreventMeetingAdversary (Observation 2)
+// ---------------------------------------------------------------------------
+
+std::optional<EdgeId> PreventMeetingAdversary::choose_missing_edge(
+    const sim::WorldView& view, const std::vector<sim::IntentRecord>& intents) {
+  const int m = view.num_agents();
+  const NodeId n = view.ring_size();
+
+  // Predicted end-of-round node for every agent, assuming no removal.
+  std::vector<NodeId> dest(static_cast<std::size_t>(m));
+  std::vector<const sim::IntentRecord*> mover(static_cast<std::size_t>(m),
+                                              nullptr);
+  for (AgentId a = 0; a < m; ++a) {
+    dest[static_cast<std::size_t>(a)] = view.node_of(a);
+    if (const sim::IntentRecord* rec = find_move(intents, a);
+        rec != nullptr && rec->port_acquired) {
+      mover[static_cast<std::size_t>(a)] = rec;
+      const NodeId from = view.node_of(a);
+      dest[static_cast<std::size_t>(a)] =
+          *rec->move == GlobalDir::Ccw ? (from + 1) % n : (from - 1 + n) % n;
+    }
+  }
+
+  // A silent head-on crossing of the same edge is not a meeting.
+  auto crossing = [&](AgentId x, AgentId y) {
+    return mover[static_cast<std::size_t>(x)] != nullptr &&
+           mover[static_cast<std::size_t>(y)] != nullptr &&
+           mover[static_cast<std::size_t>(x)]->target_edge ==
+               mover[static_cast<std::size_t>(y)]->target_edge &&
+           dest[static_cast<std::size_t>(x)] == view.node_of(y) &&
+           dest[static_cast<std::size_t>(y)] == view.node_of(x);
+  };
+
+  for (AgentId x = 0; x < m; ++x) {
+    for (AgentId y = 0; y < m; ++y) {
+      if (x == y || dest[static_cast<std::size_t>(x)] !=
+                        dest[static_cast<std::size_t>(y)])
+        continue;
+      if (crossing(x, y)) continue;
+      // Removing the edge of either mover prevents the co-location; prefer
+      // the lower-id mover (deterministic; never blocks both, Obs. 2).
+      if (mover[static_cast<std::size_t>(x)] != nullptr)
+        return mover[static_cast<std::size_t>(x)]->target_edge;
+      if (mover[static_cast<std::size_t>(y)] != nullptr)
+        return mover[static_cast<std::size_t>(y)]->target_edge;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// NsFirstMoverAdversary (Theorem 9)
+// ---------------------------------------------------------------------------
+
+std::vector<bool> NsFirstMoverAdversary::select_active(
+    const sim::WorldView& view) {
+  const int m = view.num_agents();
+  std::vector<bool> active(static_cast<std::size_t>(m), false);
+  first_ = -1;
+  Round best_idle = -1;
+  for (AgentId a = 0; a < m; ++a) {
+    if (view.terminated(a)) continue;
+    if (view.probe_move(a).has_value()) {
+      // A(t): the would-be movers. Pick first(t) = longest passive.
+      const Round idle = view.idle_rounds(a);
+      if (idle > best_idle) {
+        best_idle = idle;
+        first_ = a;
+      }
+    } else {
+      active[static_cast<std::size_t>(a)] = true;  // P(t): non-movers
+    }
+  }
+  if (first_ >= 0) active[static_cast<std::size_t>(first_)] = true;
+  return active;
+}
+
+std::optional<EdgeId> NsFirstMoverAdversary::choose_missing_edge(
+    const sim::WorldView& /*view*/,
+    const std::vector<sim::IntentRecord>& intents) {
+  if (first_ < 0) return std::nullopt;
+  if (const sim::IntentRecord* rec = find_move(intents, first_))
+    return rec->target_edge;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// HeadOnPinAdversary (Theorem 10 demonstration)
+// ---------------------------------------------------------------------------
+
+std::optional<EdgeId> HeadOnPinAdversary::choose_missing_edge(
+    const sim::WorldView& view, const std::vector<sim::IntentRecord>& intents) {
+  if (pinned_) return pinned_;
+
+  const sim::IntentRecord* ra = find_move(intents, a_);
+  const sim::IntentRecord* rb = find_move(intents, b_);
+  // Also treat an agent blocked on a port as "moving" in its port direction.
+  GlobalDir da{}, db{};
+  bool have_a = false, have_b = false;
+  if (ra != nullptr) {
+    da = *ra->move;
+    have_a = true;
+  } else if (view.on_port(a_)) {
+    da = view.port_side(a_);
+    have_a = true;
+  }
+  if (rb != nullptr) {
+    db = *rb->move;
+    have_b = true;
+  } else if (view.on_port(b_)) {
+    db = view.port_side(b_);
+    have_b = true;
+  }
+  if (!have_a || !have_b || da != opposite(db)) return std::nullopt;
+
+  const NodeId n = view.ring_size();
+  const NodeId ua = view.node_of(a_);
+  const NodeId ub = view.node_of(b_);
+  // Arc distance from a to b along a's direction of motion.
+  const NodeId dist = da == GlobalDir::Ccw ? (ub - ua + n) % n
+                                           : (ua - ub + n) % n;
+  if (dist == 1) {
+    // Adjacent, approaching head-on across one shared edge: pin it forever.
+    pinned_ = view.edge_towards(a_, da);
+    return pinned_;
+  }
+  if (dist != 0 && dist % 2 == 0 && ra != nullptr) {
+    // Even gap would end in a silent crossing or a same-node meeting;
+    // block a once to fix the parity so they end up across one edge.
+    return ra->target_edge;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindowAdversary (Theorems 13 and 15)
+// ---------------------------------------------------------------------------
+
+std::vector<bool> SlidingWindowAdversary::select_active(
+    const sim::WorldView& view) {
+  std::vector<bool> active(static_cast<std::size_t>(view.num_agents()), false);
+  if (!view.terminated(chaser_))
+    active[static_cast<std::size_t>(chaser_)] = true;
+  // The leader is activated only to (re)position itself on its port after a
+  // passive transport; once waiting on the port it is left asleep.
+  if (!view.terminated(leader_) && !view.on_port(leader_))
+    active[static_cast<std::size_t>(leader_)] = true;
+  return active;
+}
+
+std::optional<EdgeId> SlidingWindowAdversary::choose_missing_edge(
+    const sim::WorldView& view, const std::vector<sim::IntentRecord>& intents) {
+  const std::vector<bool>& visited = view.visited();
+  const NodeId n = view.ring_size();
+  const bool all_visited =
+      std::all_of(visited.begin(), visited.end(), [](bool v) { return v; });
+  if (all_visited && relent_) return std::nullopt;  // let the run finish
+
+  const GlobalDir right = opposite(left_);
+
+  // Rule 1: block the chaser's expansion to the right (unvisited node).
+  // On exactly these rounds the leader's edge is present, so a leader
+  // sleeping on its port is passively transported: the window slides.
+  if (!all_visited) {
+    if (const sim::IntentRecord* rc = find_move(intents, chaser_)) {
+      if (*rc->move == right && rc->port_acquired) {
+        const NodeId from = view.node_of(chaser_);
+        const NodeId to =
+            right == GlobalDir::Ccw ? (from + 1) % n : (from - 1 + n) % n;
+        if (!visited[static_cast<std::size_t>(to)]) {
+          if (view.on_port(leader_) && !view.active_last_round(leader_))
+            ++shifts_;
+          return rc->target_edge;
+        }
+      }
+    }
+  }
+
+  // Rule 2: keep the leader pinned (it always presses on the left
+  // boundary edge, whether actively this round or asleep on the port).
+  if (!view.terminated(leader_)) {
+    if (const sim::IntentRecord* rl = find_move(intents, leader_))
+      return rl->target_edge;
+    if (view.on_port(leader_))
+      return view.edge_towards(leader_, view.port_side(leader_));
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentSealAdversary (Theorem 19)
+// ---------------------------------------------------------------------------
+
+bool SegmentSealAdversary::pressure_on(const sim::WorldView& view,
+                                       EdgeId e) const {
+  for (AgentId a = 0; a < view.num_agents(); ++a) {
+    if (view.terminated(a)) continue;
+    if (view.on_port(a) && view.edge_towards(a, view.port_side(a)) == e)
+      return true;
+    if (!view.on_port(a)) {
+      const auto move = view.probe_move(a);
+      if (move && view.edge_towards(a, *move) == e) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<bool> SegmentSealAdversary::select_active(
+    const sim::WorldView& view) {
+  const bool pa = pressure_on(view, ea_);
+  const bool pb = pressure_on(view, eb_);
+  plan_remove_.reset();
+  if (pa && pb) {
+    flip_ = !flip_;
+    plan_remove_ = flip_ ? ea_ : eb_;
+  } else if (pa) {
+    plan_remove_ = ea_;
+  } else if (pb) {
+    plan_remove_ = eb_;
+  }
+
+  // Passivate the agents pressing on the seal edge that stays present this
+  // round — both those already waiting on its ports and those in the node
+  // proper about to position themselves on one (ET: legal for any finite
+  // number of rounds).
+  std::vector<bool> active(static_cast<std::size_t>(view.num_agents()), true);
+  const std::optional<EdgeId> present_seal =
+      plan_remove_ == ea_ ? std::optional<EdgeId>(eb_)
+      : plan_remove_ == eb_ ? std::optional<EdgeId>(ea_)
+                            : std::nullopt;
+  if (present_seal) {
+    for (AgentId a = 0; a < view.num_agents(); ++a) {
+      if (view.terminated(a)) continue;
+      bool pressing = false;
+      if (view.on_port(a)) {
+        pressing = view.edge_towards(a, view.port_side(a)) == *present_seal;
+      } else if (const auto move = view.probe_move(a)) {
+        pressing = view.edge_towards(a, *move) == *present_seal;
+      }
+      if (pressing) active[static_cast<std::size_t>(a)] = false;
+    }
+  }
+  return active;
+}
+
+std::optional<EdgeId> SegmentSealAdversary::choose_missing_edge(
+    const sim::WorldView& /*view*/,
+    const std::vector<sim::IntentRecord>& /*intents*/) {
+  return plan_remove_;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 schedule
+// ---------------------------------------------------------------------------
+
+ScriptedEdgeAdversary::Script make_fig2_script(NodeId n, NodeId i) {
+  const EdgeId first_edge = i % n;                 // (v_i, v_{i+1})
+  const EdgeId second_edge = ((i - 2) % n + n) % n;  // (v_{i-2}, v_{i-1})
+  const Round phase1_end = n - 3;
+  const Round phase2_end = 3 * static_cast<Round>(n) - 6;
+  return [=](Round r) -> std::optional<EdgeId> {
+    if (r <= phase1_end) return first_edge;
+    if (r <= phase2_end) return second_edge;
+    return std::nullopt;
+  };
+}
+
+}  // namespace dring::adversary

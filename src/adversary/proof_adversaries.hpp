@@ -1,0 +1,175 @@
+// Adversaries lifted from the paper's impossibility and lower-bound proofs.
+//
+// Simulation cannot *prove* impossibility, but it can execute the exact
+// adversarial constructions the proofs describe and show that concrete
+// protocols (including every algorithm in this library, run outside its
+// stated assumptions) fail to explore or to terminate under them.
+//
+//   * BlockAgentAdversary      — Observation 1: always remove the edge the
+//                                victim wants to traverse.
+//   * PreventMeetingAdversary  — Observation 2: remove an edge only when the
+//                                two agents would otherwise end the round at
+//                                the same node (head-on silent crossings are
+//                                not meetings and are allowed).
+//   * NsFirstMoverAdversary    — Theorem 9 (NS): activate all non-movers
+//                                plus the single mover that has been passive
+//                                longest, and remove that mover's edge.
+//   * HeadOnPinAdversary       — Theorem 10 demo (PT, no chirality): steer
+//                                two approaching agents onto the two ports
+//                                of one edge and remove it forever.
+//   * SlidingWindowAdversary   — Theorems 13/15 (and the Th. 11/12
+//                                partial-termination behaviour): confine the
+//                                agents to a window that shifts by one node
+//                                per phase, forcing Theta(x * (N - x)) moves.
+//   * SegmentSealAdversary     — Theorem 19 (ET): seal a segment between
+//                                two edges, alternating which seal edge is
+//                                missing while the agents pressing on the
+//                                other are passive.
+//
+// Plus make_fig2_script: the exact schedule of Figure 2 on which Algorithm
+// KnownNNoChirality needs 3n-6 rounds.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "adversary/basic_adversaries.hpp"
+#include "sim/adversary.hpp"
+
+namespace dring::adversary {
+
+/// Observation 1: the adversary prevents one agent from ever leaving its
+/// node by always removing the edge over which it wants to leave.
+class BlockAgentAdversary : public sim::Adversary {
+ public:
+  explicit BlockAgentAdversary(AgentId victim) : victim_(victim) {}
+
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override {
+    return "block-agent(" + std::to_string(victim_) + ")";
+  }
+
+ private:
+  AgentId victim_;
+};
+
+/// Observation 2: never remove an edge except when that is the only way to
+/// stop two agents from ending the round at the same node. Never blocks
+/// both agents in the same round.
+class PreventMeetingAdversary : public sim::Adversary {
+ public:
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override { return "prevent-meeting"; }
+};
+
+/// Theorem 9 (NS model): at each round activate the agents that would not
+/// move plus first(t) — the would-be mover that has been passive longest —
+/// and remove the edge first(t) would traverse. Fair, yet no agent ever
+/// moves.
+class NsFirstMoverAdversary : public sim::Adversary {
+ public:
+  std::vector<bool> select_active(const sim::WorldView& view) override;
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override { return "ns-first-mover"; }
+
+ private:
+  AgentId first_ = -1;
+};
+
+/// Theorem 10 demonstration (PT, two agents, no chirality): let the two
+/// agents approach head-on, adjust parity so they end up on the two
+/// endpoints of a single edge, then remove that edge forever. Both agents
+/// starve on the same edge; under PT neither can be transported (the edge
+/// is never present) and the rest of the ring stays unexplored.
+class HeadOnPinAdversary : public sim::Adversary {
+ public:
+  HeadOnPinAdversary(AgentId a, AgentId b) : a_(a), b_(b) {}
+
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override { return "head-on-pin"; }
+
+  std::optional<EdgeId> pinned() const { return pinned_; }
+
+ private:
+  AgentId a_;
+  AgentId b_;
+  std::optional<EdgeId> pinned_;
+};
+
+/// Theorems 13/15: the sliding-window move-forcing adversary for the
+/// two-agent PT algorithms with chirality (agents travel "left" =
+/// `left_global`).  The leader is pinned on the left boundary port; the
+/// chaser is forced to shuttle across the window; each phase the window
+/// slides one node left (the leader is passively transported exactly when
+/// the chaser is blocked at the right boundary), so exploration grows by
+/// one node per ~|window| traversals.
+class SlidingWindowAdversary : public sim::Adversary {
+ public:
+  /// `relent_at_endgame`: once every node is visited, stop all removals so
+  /// both agents can finish (useful for cost measurements). With false
+  /// (the default, matching the proofs) the leader stays pinned on its
+  /// port forever and only the chaser ever terminates — the Theorem 11
+  /// behaviour.
+  SlidingWindowAdversary(AgentId leader, AgentId chaser,
+                         GlobalDir left_global = GlobalDir::Ccw,
+                         bool relent_at_endgame = false)
+      : leader_(leader),
+        chaser_(chaser),
+        left_(left_global),
+        relent_(relent_at_endgame) {}
+
+  std::vector<bool> select_active(const sim::WorldView& view) override;
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override { return "sliding-window"; }
+
+  /// Number of window shifts (leader transports) performed so far.
+  long long shifts() const { return shifts_; }
+
+ private:
+  AgentId leader_;
+  AgentId chaser_;
+  GlobalDir left_;
+  bool relent_;
+  long long shifts_ = 0;
+};
+
+/// Theorem 19 (ET): seals the segment between two edges eA and eB.  When
+/// both seal edges are under pressure (an agent waits on or targets each),
+/// alternate which one is missing and keep the agents pressing on the
+/// currently-present one passive.  Legal in ET for any finite horizon.
+class SegmentSealAdversary : public sim::Adversary {
+ public:
+  SegmentSealAdversary(EdgeId ea, EdgeId eb) : ea_(ea), eb_(eb) {}
+
+  std::vector<bool> select_active(const sim::WorldView& view) override;
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  std::string name() const override { return "segment-seal"; }
+
+ private:
+  bool pressure_on(const sim::WorldView& view, EdgeId e) const;
+
+  EdgeId ea_;
+  EdgeId eb_;
+  bool flip_ = false;
+  std::optional<EdgeId> plan_remove_;
+};
+
+/// The exact Figure 2 schedule: agents a at v_i and b at v_{i+1}, chirality
+/// (left = Ccw), N = n.  Removes edge i during rounds 1..n-3 and edge
+/// (i-2 mod n) during rounds n-2..3n-6; Algorithm KnownNNoChirality then
+/// completes exploration exactly at round 3n-6.
+ScriptedEdgeAdversary::Script make_fig2_script(NodeId n, NodeId i);
+
+}  // namespace dring::adversary

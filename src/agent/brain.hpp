@@ -1,0 +1,51 @@
+// The agent protocol interface ("brain") and its per-agent knowledge.
+//
+// The engine calls `on_activate` once per activation with the Look snapshot
+// and the outcome feedback of the previous activation; the brain runs the
+// algorithm's Compute phase and returns an Intent.  Brains are deep-copyable
+// via `clone` so adversaries can *probe* what an agent would do if activated
+// (the paper's adversaries are omniscient and know the deterministic
+// protocol; cloning realises that power without disturbing the real state).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "agent/snapshot.hpp"
+
+namespace dring::agent {
+
+/// Knowledge given to an agent at startup (paper: knowledge of the exact
+/// ring size, of an upper bound N, chirality awareness).
+struct Knowledge {
+  /// Known upper bound N >= n, if any.
+  std::int64_t upper_bound = -1;
+  /// Exactly known ring size n, if any.
+  std::int64_t exact_n = -1;
+
+  bool has_upper_bound() const { return upper_bound > 0; }
+  bool has_exact_n() const { return exact_n > 0; }
+};
+
+/// Abstract agent protocol. Implementations live in src/algo.
+class Brain {
+ public:
+  virtual ~Brain() = default;
+
+  /// One activation: Look (snapshot+feedback) -> Compute -> Intent.
+  virtual Intent on_activate(const Snapshot& snap, const Feedback& fb) = 0;
+
+  /// True once the agent entered the terminal state.
+  virtual bool terminated() const = 0;
+
+  /// Deep copy (for adversary probing and checkpointing).
+  virtual std::unique_ptr<Brain> clone() const = 0;
+
+  /// Human-readable current state, for traces ("Init", "Bounce", ...).
+  virtual std::string state_name() const = 0;
+
+  /// Algorithm name, for traces and result reports.
+  virtual std::string algorithm_name() const = 0;
+};
+
+}  // namespace dring::agent

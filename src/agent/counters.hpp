@@ -1,0 +1,59 @@
+// The bookkeeping variables maintained by the paper's algorithms
+// (Section 3, "the following variables are maintained by the algorithms").
+//
+// All counters tick per *activation*: an agent cannot observe rounds while
+// asleep, and in FSYNC activations coincide with rounds, which is the
+// setting in which the paper's round-count bounds (3N-6, 7n-1, ...) are
+// stated.  See DESIGN.md, Semantics decision 3.
+#pragma once
+
+#include <cstdint>
+
+namespace dring::agent {
+
+/// Paper counters (Ttime/Tsteps/Etime/Esteps/Btime/Ntime) plus the net
+/// displacement tracking used to implement Tnodes and landmark distance.
+struct Counters {
+  // Rounds (activations) and edge traversals since the beginning.
+  std::int64_t Ttime = 0;
+  std::int64_t Tsteps = 0;
+  // Rounds and traversals since the last call of procedure Explore
+  // (i.e. since entering the current state).
+  std::int64_t Etime = 0;
+  std::int64_t Esteps = 0;
+  // Consecutive rounds currently spent waiting on a port.
+  std::int64_t Btime = 0;
+  // Rounds since the agent learned the ring size n (0 while unknown).
+  std::int64_t Ntime = 0;
+
+  // Net displacement from the start node, in local units (+1 per move to
+  // the agent's local left), with running extremes.  Invisible node IDs
+  // mean an agent can only perceive exploration through displacement.
+  std::int64_t net = 0;
+  std::int64_t min_net = 0;
+  std::int64_t max_net = 0;
+
+  /// Paper's Tnodes: the number of distinct nodes the agent perceives to
+  /// have explored (contiguous displacement range; may exceed the actual
+  /// ring size when the agent has unknowingly wrapped around).
+  std::int64_t Tnodes() const { return max_net - min_net + 1; }
+
+  /// Apply one successful traversal towards local `left_units` (+1 left,
+  /// -1 right).
+  void apply_step(int left_units) {
+    Tsteps += 1;
+    Esteps += 1;
+    net += left_units;
+    if (net < min_net) min_net = net;
+    if (net > max_net) max_net = net;
+  }
+
+  /// Reset the per-Explore counters (called when a state (re)starts its
+  /// Explore/LExplore procedure).
+  void reset_explore() {
+    Etime = 0;
+    Esteps = 0;
+  }
+};
+
+}  // namespace dring::agent

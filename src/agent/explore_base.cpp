@@ -1,0 +1,123 @@
+#include "agent/explore_base.hpp"
+
+#include <cstdlib>
+
+namespace dring::agent {
+
+namespace {
+// A single activation may chain several "process it in the same round"
+// transitions (e.g. Ready -> Reverse).  The paper never chains more than a
+// couple; a generous cap turns an accidental cycle into a Stay instead of a
+// hang, and the engine's verifier flags it.
+constexpr int kMaxTransitionChain = 16;
+}  // namespace
+
+ExploreMachine::ExploreMachine(Knowledge k, int initial_state)
+    : k_(k), state_(initial_state) {
+  if (k_.has_exact_n()) size_ = k_.exact_n;
+}
+
+Intent ExploreMachine::on_activate(const Snapshot& snap, const Feedback& fb) {
+  if (terminated_) return Intent::stay();
+
+  ingest_feedback(fb);
+  observe(snap);
+
+  Intent result = Intent::stay();
+  just_entered_ = false;
+  for (int hops = 0;; ++hops) {
+    if (hops >= kMaxTransitionChain) {
+      result = Intent::stay();  // defensive: broken transition cycle
+      break;
+    }
+    const StepResult r = run_state(state_, snap);
+    if (r.tag == StepResult::Tag::Act) {
+      result = r.intent;
+      break;
+    }
+    set_state_raw(r.next_state, snap);
+  }
+
+  if (result.kind == Intent::Kind::Terminate) terminated_ = true;
+
+  // End-of-activation bookkeeping: counters describe *completed*
+  // activations when the next Compute reads them.
+  c_.Ttime += 1;
+  c_.Etime += 1;
+  if (size_) c_.Ntime += 1;
+  return result;
+}
+
+void ExploreMachine::ingest_feedback(const Feedback& fb) {
+  fb_ = fb;
+  arrived_by_move_ = false;
+  if (fb.moved) {
+    c_.apply_step(fb.attempted_dir == Dir::Left ? +1 : -1);
+    arrived_by_move_ = true;
+  } else if (fb.transported) {
+    c_.apply_step(fb.transport_dir == Dir::Left ? +1 : -1);
+    arrived_by_move_ = true;
+  }
+  c_.Btime = fb.blocked() ? c_.Btime + 1 : 0;
+
+  if (fb.blocked()) {
+    if (!in_wait_ || wait_dir_ != fb.attempted_dir) {
+      ++wait_events_;
+      wait_dir_ = fb.attempted_dir;
+    }
+    in_wait_ = true;
+  } else {
+    in_wait_ = false;
+  }
+}
+
+void ExploreMachine::observe(const Snapshot& snap) {
+  if (!snap.is_landmark) return;
+  if (!lm_seen_) {
+    lm_seen_ = true;
+    lm_ref_net_ = c_.net;
+    return;
+  }
+  if (!size_ && c_.net != lm_ref_net_) {
+    // Back at the landmark with non-zero net displacement: the agent has
+    // completed a full loop, so |net - ref| == n (see DESIGN.md, Semantics
+    // decision 7).
+    size_ = std::llabs(c_.net - lm_ref_net_);
+  }
+}
+
+void ExploreMachine::enter_state(int /*state*/, const Snapshot& /*snap*/) {}
+
+void ExploreMachine::set_state_raw(int state, const Snapshot& snap) {
+  state_ = state;
+  just_entered_ = true;
+  enter_state(state, snap);
+  const std::int64_t keep_esteps = c_.Esteps;
+  c_.reset_explore();
+  if (suppress_esteps_reset_) {
+    c_.Esteps = keep_esteps;
+    suppress_esteps_reset_ = false;
+  }
+}
+
+void ExploreMachine::reset_landmark_tracking() {
+  lm_seen_ = false;
+  lm_ref_net_ = 0;
+  size_.reset();
+  c_.Ntime = 0;
+}
+
+std::optional<std::int64_t> ExploreMachine::landmark_distance() const {
+  if (!lm_seen_) return std::nullopt;
+  return c_.net - lm_ref_net_;
+}
+
+std::string ExploreMachine::state_name() const {
+  return terminated_ ? "Terminate" : name_of(state_);
+}
+
+std::string ExploreMachine::name_of(int state) const {
+  return "S" + std::to_string(state);
+}
+
+}  // namespace dring::agent

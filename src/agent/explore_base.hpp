@@ -1,0 +1,201 @@
+// Framework base class for the paper's algorithms.
+//
+// Every protocol in the paper is a small state machine whose states run the
+// guarded procedure
+//
+//   Explore(dir | p1 : s1; p2 : s2; ...; pk : sk)
+//
+// "the agent performs Look, then evaluates the predicates p1..pk in order;
+// as soon as a predicate is satisfied the procedure exits and the agent
+// does a transition to the specified state. If no predicate is satisfied,
+// the agent tries to Move in the specified direction and the procedure is
+// executed again in the next round" (paper, Section 3).
+//
+// ExploreMachine supplies:
+//   * counter maintenance (Ttime/Tsteps/Etime/Esteps/Btime/Ntime/Tnodes),
+//     ticking per activation and fed by engine Feedback;
+//   * the predicates `failed`, `catches`, `caught`, `meeting`;
+//   * LExplore landmark bookkeeping: net displacement from the first
+//     landmark visit and ring-size learning ("n is known");
+//   * a transition loop where entering a state runs its entry action, then
+//     resets the per-Explore counters, then processes the new state in the
+//     same activation (the paper's "change state to X and process it").
+//
+// Subclasses define an integer state space and implement `run_state`
+// (per-state guard list and/or bespoke sequential logic) plus optional
+// `enter_state` entry actions.  Entry actions run BEFORE the Etime/Esteps
+// reset, so they can capture the previous phase's counters (e.g.
+// `bounceSteps <- Esteps` in Algorithm LandmarkWithChirality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "agent/brain.hpp"
+#include "agent/counters.hpp"
+#include "agent/snapshot.hpp"
+
+namespace dring::agent {
+
+/// What a state handler produces: either a final Intent for this activation
+/// or a transition to another state (processed immediately).
+struct StepResult {
+  enum class Tag : std::uint8_t { Act, Goto };
+  Tag tag = Tag::Act;
+  Intent intent;
+  int next_state = 0;
+
+  static StepResult act(Intent i) { return {Tag::Act, i, 0}; }
+  static StepResult move(Dir d) { return act(Intent::move(d)); }
+  static StepResult stay() { return act(Intent::stay()); }
+  static StepResult terminate() { return act(Intent::terminate()); }
+  static StepResult go(int state) {
+    return {Tag::Goto, Intent::stay(), state};
+  }
+};
+
+class ExploreMachine : public Brain {
+ public:
+  explicit ExploreMachine(Knowledge k, int initial_state);
+
+  Intent on_activate(const Snapshot& snap, const Feedback& fb) final;
+  bool terminated() const final { return terminated_; }
+  std::string state_name() const override;
+
+  // --- introspection used by tests and traces -----------------------------
+  const Counters& counters() const { return c_; }
+  int state() const { return state_; }
+  bool n_known() const { return size_.has_value(); }
+  std::int64_t known_size() const { return size_.value_or(-1); }
+
+ protected:
+  /// Run the current state: evaluate guards / bespoke logic and either act
+  /// or transition.  Called repeatedly within one activation while states
+  /// chain (capped to avoid accidental infinite loops).
+  virtual StepResult run_state(int state, const Snapshot& snap) = 0;
+
+  /// Entry action when transitioning into `state` (before Etime/Esteps
+  /// reset). Default: nothing.
+  virtual void enter_state(int state, const Snapshot& snap);
+
+  /// Name of a state for traces. Subclasses override with their enum names.
+  virtual std::string name_of(int state) const;
+
+  // --- predicate helpers (paper, Section 3) -------------------------------
+  /// `failed`: the previous Compute tried to enter a port and lost the
+  /// mutual exclusion race.
+  bool failed() const { return fb_.failed(); }
+
+  /// `catches`: self in the node proper and another agent sits on this
+  /// node's port in local direction `dir` (the agent's moving direction).
+  bool catches(const Snapshot& snap, Dir dir) const {
+    return !snap.on_port && snap.others_on_port(dir) > 0;
+  }
+
+  /// `caught`: self on a port after a failed move, another agent in the
+  /// node proper.
+  bool caught(const Snapshot& snap) const {
+    return snap.on_port && snap.others_in_node > 0;
+  }
+
+  /// `meeting`: fresh co-location in the node proper — another agent is in
+  /// the node and we arrived here by an actual move (active or passive) at
+  /// the previous activation.  The freshness requirement prevents the
+  /// BComm/FComm handshake stand-together from re-firing `meeting`
+  /// (DESIGN.md, deviation D6).
+  bool meeting(const Snapshot& snap) const {
+    return !snap.on_port && snap.others_in_node > 0 && arrived_by_move_;
+  }
+
+  /// Whether the previous activation's move attempt was blocked on a
+  /// missing edge (used with Btime).
+  bool blocked() const { return fb_.blocked(); }
+
+  /// True while the current state was entered during THIS activation.
+  ///
+  /// Transition semantics (DESIGN.md, D12): when a guard fires, the agent
+  /// transitions and executes the new state's *default action* (its move)
+  /// in the same round — the paper's Figure 2 timing requires this — but
+  /// the new state's guard list is evaluated only from the next activation
+  /// on (otherwise still-true predicates like `caught` would cascade, e.g.
+  /// Init -> Forward -> FComm in one round, which breaks the handshake).
+  /// Bespoke sequential states (BComm, FComm, AtLandmark, Ready) run their
+  /// step logic immediately, as the paper's "process it (in the same
+  /// round)" notes dictate.
+  bool just_entered() const { return just_entered_; }
+
+  /// Number of distinct waiting events so far: maximal runs of consecutive
+  /// blocked rounds in one direction (paper, Section 3.2.3: "the first two
+  /// times it waits in a port it immediately changes direction").
+  std::int64_t wait_events() const { return wait_events_; }
+
+  // --- knowledge ------------------------------------------------------------
+  const Knowledge& knowledge() const { return k_; }
+  /// Ring size if known (given exactly, or learned via the landmark).
+  std::optional<std::int64_t> size() const { return size_; }
+
+  /// Signed distance from the landmark in local-left units, defined once
+  /// the landmark has been seen (paper: "tracks its distance from the
+  /// landmark since encountering it for the first time").
+  std::optional<std::int64_t> landmark_distance() const;
+
+  Counters c_;
+  Feedback fb_;  ///< feedback of the current activation (post-ingest)
+
+  /// Force the per-Explore counters to reset (used by states that restart
+  /// their own Explore procedure without a framework transition).
+  void restart_explore() { c_.reset_explore(); }
+
+  /// The paper's ExploreNoResetEsteps: make the next state transition keep
+  /// the accumulated Esteps (Etime still resets).
+  void suppress_esteps_reset_once() { suppress_esteps_reset_ = true; }
+
+  /// Transition helper for bespoke code paths: switch state, run entry
+  /// action, reset per-Explore counters. Does NOT process the new state.
+  void set_state_raw(int state, const Snapshot& snap);
+
+  /// Full knowledge reset used by Algorithm LandmarkNoChirality when it
+  /// restarts as a new instance from the landmark (keeps Ttime/Tsteps).
+  void reset_landmark_tracking();
+
+  /// Restart the wait-event counter (instance restarts).
+  void reset_wait_events() {
+    wait_events_ = 0;
+    in_wait_ = false;
+  }
+
+ private:
+  void ingest_feedback(const Feedback& fb);
+  void observe(const Snapshot& snap);
+
+  Knowledge k_;
+  int state_;
+  bool terminated_ = false;
+  bool arrived_by_move_ = false;
+  bool suppress_esteps_reset_ = false;
+  bool just_entered_ = false;
+
+  // Wait-event detection (a "wait" = maximal run of blocked rounds in one
+  // direction).
+  bool in_wait_ = false;
+  Dir wait_dir_ = Dir::Left;
+  std::int64_t wait_events_ = 0;
+
+  // Landmark bookkeeping.
+  bool lm_seen_ = false;
+  std::int64_t lm_ref_net_ = 0;
+  std::optional<std::int64_t> size_;
+};
+
+/// CRTP helper providing `clone()` for concrete algorithm classes.
+template <typename Derived, typename Base = ExploreMachine>
+class CloneableMachine : public Base {
+ public:
+  using Base::Base;
+  std::unique_ptr<Brain> clone() const final {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace dring::agent

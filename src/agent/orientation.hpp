@@ -1,0 +1,35 @@
+// Private orientation of an agent (paper, Section 2.1: the function
+// lambda_j that consistently designates ports as "left"/"right").
+//
+// An orientation maps the agent's local Dir onto the simulator's GlobalDir.
+// With chirality, every agent is constructed with the same orientation; in
+// the no-chirality setting the adversary (or a test) assigns them.
+#pragma once
+
+#include "ring/types.hpp"
+
+namespace dring::agent {
+
+/// Agent-private orientation: which global direction its "left" points to.
+struct Orientation {
+  GlobalDir left = GlobalDir::Ccw;
+
+  GlobalDir to_global(Dir d) const {
+    return d == Dir::Left ? left : opposite(left);
+  }
+
+  Dir to_local(GlobalDir g) const {
+    return g == left ? Dir::Left : Dir::Right;
+  }
+
+  friend constexpr bool operator==(const Orientation&, const Orientation&) =
+      default;
+};
+
+/// Canonical orientation used when chirality holds: left == Ccw.
+inline constexpr Orientation kChiralOrientation{GlobalDir::Ccw};
+
+/// The mirrored orientation: left == Cw.
+inline constexpr Orientation kMirroredOrientation{GlobalDir::Cw};
+
+}  // namespace dring::agent

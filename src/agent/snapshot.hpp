@@ -1,0 +1,77 @@
+// Observation and action types of the Look-Compute-Move cycle
+// (paper, Section 2.1).
+//
+// A Snapshot is what Look returns: the agent's own position within the node
+// (node proper, or on one of the two ports), the positions of co-located
+// agents, and whether the node is the landmark.  Agents are anonymous, so
+// other agents appear only as counts.  All directions in a Snapshot are in
+// the *agent's local frame* — the engine translates through the agent's
+// private orientation before calling the brain.
+//
+// A Feedback describes the outcome of the agent's previous activation (an
+// agent only learns whether its move succeeded when it next observes the
+// world; in SSYNC it may also discover it was passively transported while
+// asleep — PT model).
+//
+// An Intent is the result of Compute: move in a local direction, stay put,
+// step from a port back into the node (used by the FComm handshake of
+// Algorithm LandmarkWithChirality), or enter the terminal state.
+#pragma once
+
+#include "ring/types.hpp"
+
+namespace dring::agent {
+
+/// Result of the Look phase, in the agent's local frame.
+struct Snapshot {
+  bool is_landmark = false;   ///< this node is the landmark
+  bool on_port = false;       ///< self is positioned on a port
+  Dir port_dir = Dir::Left;   ///< which port (valid iff on_port)
+  int others_in_node = 0;     ///< other agents in the node proper
+  int others_on_left_port = 0;   ///< other agent holding my-left port (0/1)
+  int others_on_right_port = 0;  ///< other agent holding my-right port (0/1)
+
+  int others_on_port(Dir d) const {
+    return d == Dir::Left ? others_on_left_port : others_on_right_port;
+  }
+};
+
+/// Outcome of the previous activation, reported at the next one.
+struct Feedback {
+  bool attempted_move = false;  ///< previous Compute returned Move
+  Dir attempted_dir = Dir::Left;
+  bool port_acquired = false;   ///< gained (or already held) the port
+  bool moved = false;           ///< actively traversed the edge
+  bool transported = false;     ///< PT moved us while sleeping on a port
+  Dir transport_dir = Dir::Left;  ///< direction of the passive traversal
+
+  /// The paper's `failed` predicate: tried to enter a port and failed
+  /// (mutual exclusion loss).
+  bool failed() const { return attempted_move && !port_acquired; }
+
+  /// Blocked: held the port but the edge was missing and no passive
+  /// transport occurred.
+  bool blocked() const {
+    return attempted_move && port_acquired && !moved && !transported;
+  }
+};
+
+/// Result of the Compute phase.
+struct Intent {
+  enum class Kind : std::uint8_t {
+    Move,      ///< position on the port in `dir` and traverse if possible
+    Stay,      ///< direction = nil; remain where we are
+    StepOff,   ///< leave the currently-held port, back into the node proper
+    Terminate  ///< enter the terminal state (never moves again)
+  };
+
+  Kind kind = Kind::Stay;
+  Dir dir = Dir::Left;
+
+  static Intent move(Dir d) { return {Kind::Move, d}; }
+  static Intent stay() { return {Kind::Stay, Dir::Left}; }
+  static Intent step_off() { return {Kind::StepOff, Dir::Left}; }
+  static Intent terminate() { return {Kind::Terminate, Dir::Left}; }
+};
+
+}  // namespace dring::agent

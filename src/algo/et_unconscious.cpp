@@ -1,0 +1,15 @@
+#include "algo/et_unconscious.hpp"
+
+namespace dring::algo {
+
+ETUnconscious::ETUnconscious() : CloneableMachine(agent::Knowledge{}, 0) {}
+
+agent::StepResult ETUnconscious::run_state(int /*state*/,
+                                           const agent::Snapshot& snap) {
+  if (catches(snap, dir_)) dir_ = opposite(dir_);
+  return agent::StepResult::move(dir_);
+}
+
+std::string ETUnconscious::name_of(int /*state*/) const { return "Walk"; }
+
+}  // namespace dring::algo

@@ -1,0 +1,30 @@
+// The trivial unconscious exploration protocol for ET (paper, Theorem 18).
+//
+// SSYNC with Eventual Transport, two anonymous agents WITH chirality:
+// "A trivial algorithm in which an agent changes direction only when it
+// catches someone solves the exploration in ET."
+//
+// The agent walks in its current direction forever and flips direction on
+// `catches`. It never terminates (unconscious exploration).
+#pragma once
+
+#include "agent/explore_base.hpp"
+
+namespace dring::algo {
+
+class ETUnconscious final : public agent::CloneableMachine<ETUnconscious> {
+ public:
+  ETUnconscious();
+
+  std::string algorithm_name() const override { return "ETUnconscious"; }
+  Dir dir() const { return dir_; }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  std::string name_of(int state) const override;
+
+ private:
+  Dir dir_ = Dir::Left;
+};
+
+}  // namespace dring::algo

@@ -1,0 +1,61 @@
+#include "algo/id_encoding.hpp"
+
+#include <cassert>
+
+#include "util/bitstring.hpp"
+
+namespace dring::algo {
+
+IdSchedule::IdSchedule(std::uint64_t id) : id_(id) {
+  // S(ID) = "10" + b(ID) + "0".
+  std::string s = "10" + util::to_binary(id) + "0";
+  jbar_ = 0;
+  while ((std::size_t{1} << jbar_) < s.size()) ++jbar_;
+  s_ = util::pad_left(s, std::size_t{1} << jbar_);
+}
+
+Dir IdSchedule::direction(std::int64_t r) const {
+  if (r < 1) return Dir::Left;
+  const int j = phase_of_round(r);
+  if (j <= jbar_) return Dir::Left;
+  // Index within phase j, then compress by the duplication factor
+  // 2^{j - jbar} to find the source character of S.
+  const std::int64_t offset = r - (std::int64_t{1} << j);
+  const std::int64_t k = offset >> (j - jbar_);
+  assert(k >= 0 && static_cast<std::size_t>(k) < s_.size());
+  return s_[static_cast<std::size_t>(k)] == '0' ? Dir::Left : Dir::Right;
+}
+
+bool IdSchedule::switches(std::int64_t r) const {
+  return direction(r) != direction(r - 1);
+}
+
+std::string IdSchedule::phase_string(int j) const {
+  if (j < jbar_) return std::string(std::size_t{1} << j, '0');
+  return util::dup(s_, std::size_t{1} << (j - jbar_));
+}
+
+std::uint64_t compute_agent_id(std::uint64_t k1, std::uint64_t k2,
+                               std::uint64_t k3) {
+  return util::interleaved_id(k1, k2, k3);
+}
+
+int phase_of_round(std::int64_t r) {
+  assert(r >= 1);
+  int j = 0;
+  while ((std::int64_t{1} << (j + 1)) <= r) ++j;
+  return j;
+}
+
+int ceil_log2(std::int64_t n) {
+  assert(n >= 1);
+  int k = 0;
+  while ((std::int64_t{1} << k) < n) ++k;
+  return k;
+}
+
+std::int64_t no_chirality_time_bound(std::int64_t n) {
+  return 32 * (3 * ceil_log2(n) + 3) * 5 * n;
+}
+
+}  // namespace dring::algo

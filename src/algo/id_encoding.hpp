@@ -1,0 +1,67 @@
+// ID machinery of Section 3.2.3 (Algorithm StartFromLandmarkNoChirality).
+//
+// Agents that never catch each other break symmetry by turning the timing
+// of their first two blocked waits (rounds r1, r2) and an optional landmark
+// visit (r3) into an ID: the bits of k1 = r1, k2 = r2 - max(r1, r3),
+// k3 = max(0, r3 - r1) are interleaved (Figures 9 and 10).  The ID is then
+// expanded into an infinite direction schedule: rounds are grouped in
+// phases (round r is in phase j iff 2^j <= r < 2^{j+1}); the bit string
+// S(ID) = "10" + b(ID) + "0", left-padded to a power of two length 2^jbar,
+// is duplicated Dup(S, 2^{j-jbar}) across phase j > jbar, and each bit
+// selects the direction for one round (0 = left, 1 = right; Figure 11).
+// Phases j <= jbar move left.  Lemma 3 guarantees two distinct IDs share a
+// same-direction run of c*n rounds before round 32((len(ID)+3) * c * n) + 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ring/types.hpp"
+
+namespace dring::algo {
+
+/// Immutable direction schedule derived from an agent ID.
+class IdSchedule {
+ public:
+  explicit IdSchedule(std::uint64_t id);
+
+  std::uint64_t id() const { return id_; }
+
+  /// S(ID) padded with leading zeros to length 2^jbar.
+  const std::string& padded_s() const { return s_; }
+
+  /// jbar: minimal j with 2^j >= len(S(ID)).
+  int jbar() const { return jbar_; }
+
+  /// Direction for (1-based) round r. Rounds in phases j <= jbar are left.
+  Dir direction(std::int64_t r) const;
+
+  /// The paper's switch(Ttime): whether the direction changes between
+  /// round r-1 and round r.
+  bool switches(std::int64_t r) const;
+
+  /// Explicit Dup(S, 2^{j-jbar}) bit string of phase j (for tests and the
+  /// Figure 11 bench; direction() computes bits without materialising it).
+  std::string phase_string(int j) const;
+
+ private:
+  std::uint64_t id_;
+  std::string s_;
+  int jbar_;
+};
+
+/// Compute the paper ID from the three counters (Figures 9, 10).
+std::uint64_t compute_agent_id(std::uint64_t k1, std::uint64_t k2,
+                               std::uint64_t k3);
+
+/// Phase index of round r: j such that 2^j <= r < 2^{j+1} (r >= 1).
+int phase_of_round(std::int64_t r);
+
+/// ceil(log2(n)) for n >= 1.
+int ceil_log2(std::int64_t n);
+
+/// The Happy-state termination bound of Theorem 7 with Lemma 3's c = 5:
+/// 32 * (3*ceil(log2(n)) + 3) * 5 * n.
+std::int64_t no_chirality_time_bound(std::int64_t n);
+
+}  // namespace dring::algo

@@ -1,0 +1,55 @@
+#include "algo/known_n_no_chirality.hpp"
+
+#include <stdexcept>
+
+namespace dring::algo {
+
+using agent::Intent;
+using agent::Snapshot;
+using agent::StepResult;
+
+KnownNNoChirality::KnownNNoChirality(agent::Knowledge k)
+    : CloneableMachine(k, Init), bound_n_(k.upper_bound) {
+  if (!k.has_upper_bound())
+    throw std::invalid_argument("KnownNNoChirality requires an upper bound N");
+}
+
+StepResult KnownNNoChirality::run_state(int state, const Snapshot& snap) {
+  switch (state) {
+    case Init: {
+      if (!just_entered()) {
+        // Figure 1 writes "Btime = N-1"; read as >= (DESIGN.md, D13): with
+        // exact equality two agents pinned head-on before round N-2
+        // overshoot N-1 while Ttime < 2N-4 and the guard never fires.
+        const bool timeout_blocked =
+            c_.Ttime >= 2 * bound_n_ - 4 && c_.Btime >= bound_n_ - 1;
+        if (timeout_blocked || failed()) return StepResult::go(Bounce);
+        if (catches(snap, Dir::Left)) return StepResult::go(Bounce);
+        if (caught(snap)) return StepResult::go(Forward);
+        if (c_.Ttime >= 2 * bound_n_ - 4) return StepResult::go(Forward);
+      }
+      return StepResult::move(Dir::Left);
+    }
+    case Bounce:
+      if (!just_entered() && c_.Ttime >= 3 * bound_n_ - 6)
+        return StepResult::terminate();
+      return StepResult::move(Dir::Right);
+    case Forward:
+      if (!just_entered() && c_.Ttime >= 3 * bound_n_ - 6)
+        return StepResult::terminate();
+      return StepResult::move(Dir::Left);
+    default:
+      return StepResult::stay();
+  }
+}
+
+std::string KnownNNoChirality::name_of(int state) const {
+  switch (state) {
+    case Init: return "Init";
+    case Bounce: return "Bounce";
+    case Forward: return "Forward";
+  }
+  return "?";
+}
+
+}  // namespace dring::algo

@@ -1,0 +1,37 @@
+// Algorithm KnownNNoChirality (paper, Figure 1 / Theorem 3).
+//
+// FSYNC, two anonymous agents, no chirality, known upper bound N >= n.
+// Explores a 1-interval connected ring and explicitly terminates at round
+// 3N - 6.
+//
+//   Init:    Explore(left | (Ttime >= 2N-4 and Btime = N-1) or failed:
+//                            Bounce;
+//                           catches: Bounce; caught: Forward;
+//                           Ttime >= 2N-4: Forward)
+//   Bounce:  Explore(right | Ttime >= 3N-6: Terminate)
+//   Forward: Explore(left  | Ttime >= 3N-6: Terminate)
+#pragma once
+
+#include "agent/explore_base.hpp"
+
+namespace dring::algo {
+
+class KnownNNoChirality final
+    : public agent::CloneableMachine<KnownNNoChirality> {
+ public:
+  enum State : int { Init, Bounce, Forward };
+
+  /// `k` must carry an upper bound N >= n.
+  explicit KnownNNoChirality(agent::Knowledge k);
+
+  std::string algorithm_name() const override { return "KnownNNoChirality"; }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  std::string name_of(int state) const override;
+
+ private:
+  std::int64_t bound_n_;  // N
+};
+
+}  // namespace dring::algo

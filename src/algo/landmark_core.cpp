@@ -1,0 +1,156 @@
+#include "algo/landmark_core.hpp"
+
+namespace dring::algo {
+
+using agent::Intent;
+using agent::Snapshot;
+using agent::StepResult;
+
+LandmarkCore::LandmarkCore(agent::Knowledge k, int initial_state)
+    : ExploreMachine(k, initial_state) {}
+
+void LandmarkCore::reset_roles() {
+  fwd_dir_ = Dir::Left;
+  roles_assigned_ = false;
+  bounce_steps_ = 0;
+  return_steps_ = 0;
+  comm_step_ = 0;
+  signaling_ = false;
+}
+
+StepResult LandmarkCore::decide_terminate(const Snapshot& snap) {
+  if (snap.on_port) return StepResult::terminate();
+  const bool partner_on_port =
+      snap.others_on_left_port > 0 || snap.others_on_right_port > 0;
+  if (!partner_on_port) return StepResult::terminate();
+  // Leave the node proper first so the port-waiting partner observes the
+  // departure; prefer the side whose port is free.
+  signaling_ = true;
+  const Dir d = snap.others_on_left_port > 0 ? Dir::Right : Dir::Left;
+  return StepResult::move(d);
+}
+
+bool LandmarkCore::enter_shared(int state, const Snapshot& snap) {
+  switch (state) {
+    case lmk::kBounce:
+      // First catch: I am B; F keeps my direction of travel, I reverse it.
+      if (!roles_assigned_) {
+        roles_assigned_ = true;
+        fwd_dir_ = current_travel_dir();
+      }
+      return true;
+    case lmk::kForward:
+      // First catch: I am F, stuck on the port of my travel direction.
+      if (!roles_assigned_) {
+        roles_assigned_ = true;
+        fwd_dir_ = snap.on_port ? snap.port_dir : current_travel_dir();
+      }
+      return true;
+    case lmk::kReturn:
+      // bounceSteps <- Esteps (the steps travelled during Bounce; entry
+      // actions run before the per-Explore reset).
+      bounce_steps_ = c_.Esteps;
+      return true;
+    case lmk::kBComm:
+      return_steps_ = c_.Esteps;
+      comm_step_ = 0;
+      return true;
+    case lmk::kFComm:
+      comm_step_ = 0;
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<StepResult> LandmarkCore::run_shared(int state,
+                                                   const Snapshot& snap) {
+  // A terminate decision is pending: keep leaving the node proper (retrying
+  // on mutual-exclusion failures), then stop.
+  if (signaling_) return decide_terminate(snap);
+
+  switch (state) {
+    case lmk::kBounce: {
+      // LExplore(right | meeting: Terminate;
+      //                  Etime > 2 Esteps or Ntime > 0: Return;
+      //                  catches: BComm)
+      if (!just_entered()) {
+        if (meeting(snap)) return decide_terminate(snap);
+        if (c_.Etime > 2 * c_.Esteps || c_.Ntime > 0)
+          return StepResult::go(lmk::kReturn);
+        if (catches(snap, opposite(fwd_dir_)))
+          return StepResult::go(lmk::kBComm);
+      }
+      return StepResult::move(opposite(fwd_dir_));
+    }
+    case lmk::kReturn: {
+      // LExplore(left | Ntime > 3 size or caught: Terminate; catches: BComm)
+      if (!just_entered()) {
+        if (ntime_gt(3) || caught(snap)) return decide_terminate(snap);
+        if (catches(snap, fwd_dir_)) return StepResult::go(lmk::kBComm);
+      }
+      return StepResult::move(fwd_dir_);
+    }
+    case lmk::kForward: {
+      // LExplore(left | Ntime >= 7 size or meeting or catches: Terminate;
+      //                 caught: FComm)
+      if (!just_entered()) {
+        if (ntime_ge(7) || meeting(snap) || catches(snap, fwd_dir_))
+          return decide_terminate(snap);
+        if (caught(snap)) return StepResult::go(lmk::kFComm);
+      }
+      return StepResult::move(fwd_dir_);
+    }
+    case lmk::kBComm: {
+      if (comm_step_ == 0) {
+        comm_step_ = 1;
+        if (return_steps_ <= 2 * bounce_steps_ || n_known()) {
+          // Both agents waited on the same edge, or the loop is closed:
+          // the ring is explored. Signal termination by moving away.
+          return decide_terminate(snap);
+        }
+        return StepResult::stay();  // stay one round in the node
+      }
+      // Second activation: F waited in the node iff it does not know n.
+      if (snap.others_in_node > 0) return StepResult::go(lmk::kBounce);
+      return decide_terminate(snap);  // F left or is on a port: terminate
+    }
+    case lmk::kFComm: {
+      if (comm_step_ == 0) {
+        comm_step_ = 1;
+        if (n_known()) {
+          // Signal to B that F knows n: F is on its port, i.e. already
+          // observably out of the node proper — terminate there.
+          return decide_terminate(snap);
+        }
+        return StepResult::act(Intent::step_off());  // port -> node proper
+      }
+      if (snap.others_in_node > 0) return StepResult::go(lmk::kForward);
+      return decide_terminate(snap);  // B has left or is on the port
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string LandmarkCore::name_of(int state) const {
+  switch (state) {
+    case lmk::kInit: return "Init";
+    case lmk::kBounce: return "Bounce";
+    case lmk::kReturn: return "Return";
+    case lmk::kForward: return "Forward";
+    case lmk::kBComm: return "BComm";
+    case lmk::kFComm: return "FComm";
+    case lmk::kHappy: return "Happy";
+    case lmk::kFirstBlockL: return "FirstBlockL";
+    case lmk::kAtLandmarkL: return "AtLandmarkL";
+    case lmk::kReady: return "Ready";
+    case lmk::kReverse: return "Reverse";
+    case lmk::kInitL: return "InitL";
+    case lmk::kFirstBlock: return "FirstBlock";
+    case lmk::kAtLandmark: return "AtLandmark";
+  }
+  return "?";
+}
+
+}  // namespace dring::algo

@@ -1,0 +1,102 @@
+// Shared machinery of the landmark-based FSYNC algorithms
+// (paper, Figures 4, 8 and 13).
+//
+// Algorithm LandmarkWithChirality (Th. 6) defines states Bounce, Return,
+// Forward and the BComm/FComm termination handshake; Algorithms
+// StartFromLandmarkNoChirality (Th. 7) and LandmarkNoChirality (Th. 8)
+// reuse them verbatim ("The same as in Algorithm LandmarkWithChirality").
+// LandmarkCore implements those five states once, parameterised by
+// `fwd_dir_`: the direction of travel at the instant the agents caught each
+// other, which is "left" in the chirality algorithm and whatever the
+// ID-schedule direction was in the no-chirality ones.
+//
+// Roles (paper, Section 3.2.2): on the first catch, the caught agent
+// becomes F (state Forward, keeps direction), the catcher becomes B (state
+// Bounce, reverses).  B later turns back (Return) when it has been blocked
+// longer than it has travelled (Etime > 2*Esteps) or when it knows n; when
+// B catches up with F the BComm/FComm handshake decides termination by
+// movement signalling: staying in the node means "I do not know yet",
+// moving away means "terminate".
+#pragma once
+
+#include <optional>
+
+#include "agent/explore_base.hpp"
+
+namespace dring::algo {
+
+/// State ids shared by the landmark family (a single enum so Bounce etc.
+/// mean the same thing in every derived machine).
+namespace lmk {
+enum State : int {
+  kInit = 0,
+  kBounce,
+  kReturn,
+  kForward,
+  kBComm,
+  kFComm,
+  // StartFromLandmarkNoChirality extension:
+  kHappy,
+  kFirstBlockL,
+  kAtLandmarkL,
+  kReady,
+  kReverse,
+  kInitL,
+  // LandmarkNoChirality (arbitrary start) extension:
+  kFirstBlock,
+  kAtLandmark,
+};
+}  // namespace lmk
+
+class LandmarkCore : public agent::ExploreMachine {
+ protected:
+  LandmarkCore(agent::Knowledge k, int initial_state);
+
+  /// Handle the shared states; std::nullopt if `state` is not shared.
+  std::optional<agent::StepResult> run_shared(int state,
+                                              const agent::Snapshot& snap);
+
+  /// Entry actions of the shared states; true if `state` was handled.
+  bool enter_shared(int state, const agent::Snapshot& snap);
+
+  /// Direction the derived machine is currently travelling (captured as
+  /// fwd_dir_ when roles are first assigned).
+  virtual Dir current_travel_dir() const = 0;
+
+  std::string name_of(int state) const override;
+
+  // n-relative timeouts; false while the size is unknown (paper: "size is
+  // initialized to infinity, all the tests using it ... will fail").
+  bool ntime_gt(std::int64_t mult) const {
+    return size() && c_.Ntime > mult * *size();
+  }
+  bool ntime_ge(std::int64_t mult) const {
+    return size() && c_.Ntime >= mult * *size();
+  }
+
+  /// Route every terminate decision of the landmark family through this
+  /// helper.  The BComm/FComm protocol communicates through movement: an
+  /// agent that stops *in the node proper* while its partner waits on a
+  /// port is indistinguishable from one still deciding, and the partner
+  /// livelocks in caught -> FComm -> step-off cycles against the corpse.
+  /// decide_terminate therefore makes the agent leave the node proper
+  /// first (choosing the unoccupied port side and retrying on mutual
+  /// exclusion failures) and only then enter the terminal state — exactly
+  /// the observable-departure mechanism the paper's handshake relies on
+  /// (DESIGN.md, D14).  It also subsumes the pseudocode's "Move(...);
+  /// Terminate in the next round" signal steps.
+  agent::StepResult decide_terminate(const agent::Snapshot& snap);
+
+  Dir fwd_dir_ = Dir::Left;       ///< F's travel direction (B reverses it)
+  bool roles_assigned_ = false;   ///< first catch happened
+  std::int64_t bounce_steps_ = 0; ///< Esteps when B switched Bounce->Return
+  std::int64_t return_steps_ = 0; ///< Esteps when B reached F again
+  int comm_step_ = 0;             ///< sub-step inside BComm/FComm
+  bool signaling_ = false;        ///< terminate decided, departure pending
+
+  /// Reset the role/handshake machinery (used by the LandmarkNoChirality
+  /// instance restart).
+  void reset_roles();
+};
+
+}  // namespace dring::algo

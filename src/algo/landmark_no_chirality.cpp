@@ -1,0 +1,189 @@
+#include "algo/landmark_no_chirality.hpp"
+
+#include <algorithm>
+
+namespace dring::algo {
+
+using agent::Snapshot;
+using agent::StepResult;
+
+LandmarkNoChirality::LandmarkNoChirality(Variant variant)
+    : CloneableMachine(agent::Knowledge{},
+                       variant == Variant::StartAtLandmark ? lmk::kInitL
+                                                           : lmk::kInit),
+      variant_(variant) {}
+
+void LandmarkNoChirality::restart_instance() {
+  // "Reset and start a new instance in state InitL" (Figure 13). Both
+  // agents execute this in the same round, so their instance clocks (and
+  // hence the phase subdivision of state Reverse) remain aligned.
+  instance_start_ = c_.Ttime;
+  k1_ = 0;
+  k2_ = 0;
+  k3_ = 0;
+  dir_ = Dir::Left;
+  sched_.reset();
+  last_dir_round_ = -1;
+  at_lmk_step_ = 0;
+  reset_roles();
+  reset_landmark_tracking();
+  reset_wait_events();
+}
+
+void LandmarkNoChirality::enter_state(int state, const Snapshot& snap) {
+  if (enter_shared(state, snap)) return;
+  switch (state) {
+    case lmk::kInitL:
+      dir_ = Dir::Left;
+      k1_ = 0;
+      k2_ = 0;
+      k3_ = 0;
+      break;
+    case lmk::kFirstBlockL:
+      // First blocked wait: remember its round and reverse direction.
+      dir_ = Dir::Right;
+      k1_ = std::max<std::int64_t>(instance_time() - 1, 0);
+      break;
+    case lmk::kFirstBlock:  // Figure 13 uses k1 <- Ttime (not Ttime - 1)
+      dir_ = Dir::Right;
+      k1_ = instance_time();
+      break;
+    case lmk::kAtLandmarkL:
+    case lmk::kAtLandmark:
+      k3_ = c_.Etime;
+      at_lmk_step_ = 0;
+      break;
+    case lmk::kReady: {
+      k2_ = c_.Etime;
+      sched_.emplace(compute_agent_id(
+          static_cast<std::uint64_t>(k1_), static_cast<std::uint64_t>(k2_),
+          static_cast<std::uint64_t>(k3_)));
+      last_dir_round_ = -1;
+      break;
+    }
+    case lmk::kReverse:
+      dir_ = sched_ ? sched_->direction(instance_round()) : dir_;
+      last_dir_round_ = instance_round();
+      break;
+    default:
+      break;
+  }
+}
+
+std::optional<StepResult> LandmarkNoChirality::landmark_guards(
+    const Snapshot& snap, bool with_is_landmark, std::int64_t wait_threshold) {
+  if (n_known()) return StepResult::go(lmk::kHappy);
+  // catches/caught are hoisted above the ID-collection guards (D15): the
+  // paper's prose overrides Figure 13's listing — "if at any point the
+  // agents catch each other, they enter states Forward and Bounce and
+  // proceed with Algorithm LandmarkWithChirality".  With the listed order,
+  // isLandmark can preempt `caught`, roles get assigned one-sidedly, and
+  // the later BComm/FComm handshake runs desynchronised (an agent can then
+  // starve in Forward forever).
+  if (catches(snap, dir_)) return StepResult::go(lmk::kBounce);
+  if (caught(snap)) return StepResult::go(lmk::kForward);
+  if (with_is_landmark && snap.is_landmark) {
+    // Target follows the state *family*, not the variant: after the
+    // Figure 13 restart the agents run the start-at-landmark instance
+    // (FirstBlockL -> AtLandmarkL, whose double-check TERMINATES), while
+    // the pre-restart arbitrary-start states use AtLandmark (whose
+    // double-check restarts).  Routing by variant made two symmetric
+    // agents restart forever against a fixed missing edge.
+    return StepResult::go(state() == lmk::kFirstBlockL ? lmk::kAtLandmarkL
+                                                       : lmk::kAtLandmark);
+  }
+  if (wait_events() >= wait_threshold) {
+    // The first wait leads to FirstBlock(L); the second makes the agent
+    // Ready (its ID is complete).
+    const int s = state();
+    if (s == lmk::kInitL) return StepResult::go(lmk::kFirstBlockL);
+    if (s == lmk::kInit) return StepResult::go(lmk::kFirstBlock);
+    return StepResult::go(lmk::kReady);
+  }
+  return std::nullopt;
+}
+
+StepResult LandmarkNoChirality::run_state(int state, const Snapshot& snap) {
+  if (auto shared = run_shared(state, snap)) return *shared;
+
+  switch (state) {
+    case lmk::kInitL:
+    case lmk::kInit:
+      if (!just_entered()) {
+        if (auto fired = landmark_guards(snap, /*with_is_landmark=*/false,
+                                         /*wait_threshold=*/1))
+          return *fired;
+      }
+      return StepResult::move(dir_);
+
+    case lmk::kFirstBlockL:
+    case lmk::kFirstBlock:
+      if (!just_entered()) {
+        if (auto fired = landmark_guards(snap, /*with_is_landmark=*/true,
+                                         /*wait_threshold=*/2))
+          return *fired;
+      }
+      return StepResult::move(dir_);
+
+    case lmk::kAtLandmarkL:
+    case lmk::kAtLandmark: {
+      // Synchronised double-check: wait one extra round; if both agents are
+      // still in the landmark's node proper, they bounced on the same edge
+      // and the ring is explored (Figure 12) — terminate (Th. 7) or restart
+      // a synchronised instance (Th. 8).
+      if (at_lmk_step_ == 0) {
+        at_lmk_step_ = both_at_landmark(snap) ? 1 : 2;
+        if (at_lmk_step_ == 1) return StepResult::stay();
+      } else if (at_lmk_step_ == 1) {
+        at_lmk_step_ = 2;
+        if (both_at_landmark(snap)) {
+          if (state == lmk::kAtLandmarkL) return decide_terminate(snap);
+          restart_instance();
+          return StepResult::go(lmk::kInitL);
+        }
+      }
+      if (!just_entered()) {
+        if (auto fired = landmark_guards(snap, /*with_is_landmark=*/false,
+                                         /*wait_threshold=*/2))
+          return *fired;
+      }
+      return StepResult::move(dir_);
+    }
+
+    case lmk::kHappy: {
+      if (!just_entered()) {
+        if (size() && instance_time() >= no_chirality_time_bound(*size()) + 1)
+          return decide_terminate(snap);
+        if (catches(snap, dir_)) return StepResult::go(lmk::kBounce);
+        if (caught(snap)) return StepResult::go(lmk::kForward);
+      }
+      return StepResult::move(dir_);
+    }
+
+    case lmk::kReady:
+      return StepResult::go(lmk::kReverse);
+
+    case lmk::kReverse: {
+      if (!n_known() && sched_) {
+        // switch(Ttime) folded into a per-round direction refresh (D7).
+        const std::int64_t r = instance_round();
+        if (r != last_dir_round_) {
+          dir_ = sched_->direction(r);
+          last_dir_round_ = r;
+        }
+      }
+      if (!just_entered()) {
+        if (n_known() && instance_time() >= no_chirality_time_bound(*size()))
+          return decide_terminate(snap);
+        if (catches(snap, dir_)) return StepResult::go(lmk::kBounce);
+        if (caught(snap)) return StepResult::go(lmk::kForward);
+      }
+      return StepResult::move(dir_);
+    }
+
+    default:
+      return StepResult::stay();
+  }
+}
+
+}  // namespace dring::algo

@@ -1,0 +1,96 @@
+// Algorithms StartFromLandmarkNoChirality (paper, Figure 8 / Theorem 7)
+// and LandmarkNoChirality (Figure 13 / Theorem 8).
+//
+// FSYNC, two anonymous agents, landmark, NO chirality; explores and
+// explicitly terminates in O(n log n) rounds.
+//
+// The difficulty is agents starting in opposite directions that never break
+// symmetry.  The protocol turns the rounds of the first two blocked waits
+// (and of an intermediate landmark visit) into an ID (k1, k2, k3 bit
+// interleaving, Section 3.2.3), then follows the ID-derived direction
+// schedule in state Reverse; Lemma 3 guarantees a long common-direction run
+// for distinct IDs, after which the LandmarkWithChirality machinery (or a
+// ring-size timeout) finishes the job.
+//
+// The two published variants share this class:
+//   * StartFromLandmarkNoChirality: both agents start at the landmark
+//     (initial state InitL, states Figure 8);
+//   * LandmarkNoChirality: arbitrary start (initial state Init, states
+//     Figure 13); when the two agents meet at the landmark during the ID
+//     phase they restart as a fresh instance of the start-at-landmark
+//     algorithm (reset + InitL).
+//
+// Interpretation notes (DESIGN.md): D7 (the switch(Ttime) self-transition
+// is folded into a per-round direction refresh), D10 (Btime > 0 guards read
+// "freshly blocked in this state": Btime <= Etime), D8 (the instance
+// restart re-bases all Ttime-derived quantities on an instance clock; both
+// agents reset in the same round, so their phase schedules stay aligned).
+#pragma once
+
+#include <optional>
+
+#include "algo/id_encoding.hpp"
+#include "algo/landmark_core.hpp"
+
+namespace dring::algo {
+
+class LandmarkNoChirality final
+    : public agent::CloneableMachine<LandmarkNoChirality, LandmarkCore> {
+ public:
+  enum class Variant {
+    StartAtLandmark,  ///< Figure 8 (Theorem 7)
+    ArbitraryStart,   ///< Figure 13 (Theorem 8)
+  };
+
+  explicit LandmarkNoChirality(Variant variant);
+
+  std::string algorithm_name() const override {
+    return variant_ == Variant::StartAtLandmark
+               ? "StartFromLandmarkNoChirality"
+               : "LandmarkNoChirality";
+  }
+
+  // Test/trace introspection.
+  std::int64_t k1() const { return k1_; }
+  std::int64_t k2() const { return k2_; }
+  std::int64_t k3() const { return k3_; }
+  const std::optional<IdSchedule>& schedule() const { return sched_; }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  void enter_state(int state, const agent::Snapshot& snap) override;
+  Dir current_travel_dir() const override { return dir_; }
+
+ private:
+  /// Rounds completed since the current instance started.
+  std::int64_t instance_time() const { return c_.Ttime - instance_start_; }
+  /// 1-based current round number within the instance.
+  std::int64_t instance_round() const { return instance_time() + 1; }
+
+  /// Both agents standing in the node proper of the landmark.
+  bool both_at_landmark(const agent::Snapshot& snap) const {
+    return snap.is_landmark && !snap.on_port && snap.others_in_node > 0;
+  }
+
+  /// The common LExplore guard list of the ID-collection states; returns
+  /// the fired transition or std::nullopt.  `wait_threshold` is the number
+  /// of distinct waits that advances the ID computation (1 in Init/InitL,
+  /// 2 afterwards — "the first two times it waits in a port").
+  std::optional<agent::StepResult> landmark_guards(
+      const agent::Snapshot& snap, bool with_is_landmark,
+      std::int64_t wait_threshold);
+
+  void restart_instance();
+
+  Variant variant_;
+  Dir dir_ = Dir::Left;
+  std::int64_t k1_ = 0;
+  std::int64_t k2_ = 0;
+  std::int64_t k3_ = 0;
+  std::optional<IdSchedule> sched_;
+  std::int64_t instance_start_ = 0;
+  std::int64_t last_dir_round_ = -1;
+  int at_lmk_step_ = 0;
+};
+
+}  // namespace dring::algo

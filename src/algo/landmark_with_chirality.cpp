@@ -1,0 +1,24 @@
+#include "algo/landmark_with_chirality.hpp"
+
+namespace dring::algo {
+
+using agent::Snapshot;
+using agent::StepResult;
+
+LandmarkWithChirality::LandmarkWithChirality()
+    : CloneableMachine(agent::Knowledge{}, lmk::kInit) {}
+
+void LandmarkWithChirality::enter_state(int state, const Snapshot& snap) {
+  enter_shared(state, snap);
+}
+
+StepResult LandmarkWithChirality::run_state(int state, const Snapshot& snap) {
+  if (auto shared = run_shared(state, snap)) return *shared;
+  // State Init (the initial state is never "just entered").
+  if (ntime_gt(2)) return decide_terminate(snap);
+  if (catches(snap, Dir::Left)) return StepResult::go(lmk::kBounce);
+  if (caught(snap)) return StepResult::go(lmk::kForward);
+  return StepResult::move(Dir::Left);
+}
+
+}  // namespace dring::algo

@@ -1,0 +1,30 @@
+// Algorithm LandmarkWithChirality (paper, Figure 4 / Theorem 6).
+//
+// FSYNC, two anonymous agents, chirality, landmark, no knowledge of n.
+// Explores and explicitly terminates in O(n) rounds.
+//
+//   Init:    LExplore(left | Ntime > 2 size: Terminate;
+//                            catches: Bounce; caught: Forward)
+//   + the shared Bounce/Return/Forward/BComm/FComm states (LandmarkCore).
+#pragma once
+
+#include "algo/landmark_core.hpp"
+
+namespace dring::algo {
+
+class LandmarkWithChirality final
+    : public agent::CloneableMachine<LandmarkWithChirality, LandmarkCore> {
+ public:
+  LandmarkWithChirality();
+
+  std::string algorithm_name() const override {
+    return "LandmarkWithChirality";
+  }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  void enter_state(int state, const agent::Snapshot& snap) override;
+  Dir current_travel_dir() const override { return Dir::Left; }
+};
+
+}  // namespace dring::algo

@@ -1,0 +1,76 @@
+#include "algo/pt_two_agents.hpp"
+
+#include <stdexcept>
+
+namespace dring::algo {
+
+using agent::Snapshot;
+using agent::StepResult;
+
+PTTwoAgents::PTTwoAgents(Variant variant, agent::Knowledge k)
+    : CloneableMachine(k, Init), variant_(variant), bound_n_(k.upper_bound) {
+  if (variant_ == Variant::KnownBound && !k.has_upper_bound())
+    throw std::invalid_argument("PTBoundWithChirality requires a bound N");
+}
+
+bool PTTwoAgents::done() const {
+  if (variant_ == Variant::KnownBound) return c_.Tnodes() >= bound_n_;
+  return n_known();
+}
+
+void PTTwoAgents::enter_state(int state, const Snapshot& /*snap*/) {
+  switch (state) {
+    case Bounce:
+      left_steps_ = c_.Esteps;
+      // "if in state Reverse the agent catches the other agent at a
+      // distance smaller than that in the previous catch, the two agents
+      // have crossed and it can safely terminate."
+      if (right_steps_ >= 0 && right_steps_ >= left_steps_)
+        crossing_detected_ = true;
+      break;
+    case Reverse:
+      right_steps_ = c_.Esteps;
+      break;
+    default:
+      break;
+  }
+}
+
+StepResult PTTwoAgents::run_state(int state, const Snapshot& snap) {
+  switch (state) {
+    case Init:
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (catches(snap, Dir::Left)) return StepResult::go(Bounce);
+      }
+      return StepResult::move(Dir::Left);
+    case Bounce:
+      // The crossing check is part of the state's entry body (Figure 14),
+      // so it acts even in the entry round.
+      if (crossing_detected_) return StepResult::terminate();
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (c_.Btime > 0) return StepResult::go(Reverse);
+      }
+      return StepResult::move(Dir::Right);
+    case Reverse:
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (catches(snap, Dir::Left)) return StepResult::go(Bounce);
+      }
+      return StepResult::move(Dir::Left);
+    default:
+      return StepResult::stay();
+  }
+}
+
+std::string PTTwoAgents::name_of(int state) const {
+  switch (state) {
+    case Init: return "Init";
+    case Bounce: return "Bounce";
+    case Reverse: return "Reverse";
+  }
+  return "?";
+}
+
+}  // namespace dring::algo

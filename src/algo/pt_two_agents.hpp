@@ -1,0 +1,59 @@
+// Algorithms PTBoundWithChirality (paper, Figure 14 / Theorem 12) and
+// PTLandmarkWithChirality (Figure 17 / Theorem 14).
+//
+// SSYNC with Passive Transport, two anonymous agents WITH chirality.
+// Explores with strong partial termination (one agent always explicitly
+// terminates; the other terminates or waits perpetually on a port) in
+// O(N^2) / O(n^2) edge traversals.
+//
+//   Init:    Explore(left  | DONE: Terminate; catches: Bounce)
+//   Bounce:  leftSteps <- Esteps;
+//            if rightSteps != bottom and rightSteps >= leftSteps: Terminate
+//            Explore(right | DONE: Terminate; Btime > 0: Reverse)
+//   Reverse: rightSteps <- Esteps
+//            Explore(left  | DONE: Terminate; catches: Bounce)
+//
+// where DONE is "Tnodes >= N" for the bound variant and "n is known"
+// (a full loop around the landmark) for the landmark variant.
+#pragma once
+
+#include "agent/explore_base.hpp"
+
+namespace dring::algo {
+
+class PTTwoAgents final : public agent::CloneableMachine<PTTwoAgents> {
+ public:
+  enum State : int { Init, Bounce, Reverse };
+  enum class Variant {
+    KnownBound,  ///< Figure 14: terminate on Tnodes >= N
+    Landmark,    ///< Figure 17: terminate once n is known
+  };
+
+  /// KnownBound requires `k.upper_bound`; Landmark needs no knowledge.
+  PTTwoAgents(Variant variant, agent::Knowledge k);
+
+  std::string algorithm_name() const override {
+    return variant_ == Variant::KnownBound ? "PTBoundWithChirality"
+                                           : "PTLandmarkWithChirality";
+  }
+
+  std::int64_t left_steps() const { return left_steps_; }
+  std::int64_t right_steps() const { return right_steps_; }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  void enter_state(int state, const agent::Snapshot& snap) override;
+  std::string name_of(int state) const override;
+
+ private:
+  bool done() const;
+
+  Variant variant_;
+  std::int64_t bound_n_ = -1;
+  // bottom is encoded as -1 (paper: leftSteps, rightSteps <- bottom).
+  std::int64_t left_steps_ = -1;
+  std::int64_t right_steps_ = -1;
+  bool crossing_detected_ = false;
+};
+
+}  // namespace dring::algo

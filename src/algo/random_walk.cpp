@@ -1,0 +1,17 @@
+#include "algo/random_walk.hpp"
+
+namespace dring::algo {
+
+RandomWalk::RandomWalk(std::uint64_t seed, double momentum)
+    : CloneableMachine(agent::Knowledge{}, 0),
+      rng_(seed),
+      momentum_(momentum) {}
+
+agent::StepResult RandomWalk::run_state(int /*state*/,
+                                        const agent::Snapshot& /*snap*/) {
+  if (!rng_.chance(momentum_))
+    dir_ = rng_.chance(0.5) ? Dir::Left : Dir::Right;
+  return agent::StepResult::move(dir_);
+}
+
+}  // namespace dring::algo

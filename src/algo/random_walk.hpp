@@ -1,0 +1,38 @@
+// Randomized baseline: a lazy random walker.
+//
+// The paper's related work (reference [4], Avin-Koucky-Lotker, "How to
+// explore a fast-changing world") studies random walks on dynamic graphs;
+// they explore 1-interval-connected rings in expected polynomial time but
+// give no termination and no worst-case guarantee.  This baseline walker
+// lets the ablation bench compare the paper's deterministic protocols
+// against the classic randomized approach under identical adversaries.
+//
+// Policy: each activation, pick left/right uniformly at random (with a
+// small probability of re-using the previous direction to model momentum)
+// and try to move. Unconscious: never terminates.
+#pragma once
+
+#include "agent/explore_base.hpp"
+#include "util/rng.hpp"
+
+namespace dring::algo {
+
+class RandomWalk final : public agent::CloneableMachine<RandomWalk> {
+ public:
+  /// `momentum`: probability of keeping the previous direction instead of
+  /// re-flipping the coin (0 = fresh coin every round, 1 = straight line).
+  explicit RandomWalk(std::uint64_t seed, double momentum = 0.0);
+
+  std::string algorithm_name() const override { return "RandomWalk"; }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  std::string name_of(int /*state*/) const override { return "Walk"; }
+
+ private:
+  util::Rng rng_;
+  double momentum_;
+  Dir dir_ = Dir::Left;
+};
+
+}  // namespace dring::algo

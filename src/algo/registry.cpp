@@ -1,0 +1,105 @@
+#include "algo/registry.hpp"
+
+#include <stdexcept>
+
+#include "algo/et_unconscious.hpp"
+#include "algo/known_n_no_chirality.hpp"
+#include "algo/landmark_no_chirality.hpp"
+#include "algo/landmark_with_chirality.hpp"
+#include "algo/pt_two_agents.hpp"
+#include "algo/three_agents_no_chirality.hpp"
+#include "algo/unconscious_exploration.hpp"
+
+namespace dring::algo {
+
+const std::vector<AlgorithmInfo>& all_algorithms() {
+  static const std::vector<AlgorithmInfo> kAll = {
+      {AlgorithmId::KnownNNoChirality, "KnownNNoChirality", "Th. 3",
+       sim::Model::FSYNC, 2, true, false, false, false, true, "3N-6 rounds"},
+      {AlgorithmId::UnconsciousExploration, "UnconsciousExploration", "Th. 5",
+       sim::Model::FSYNC, 2, false, false, false, false, false, "O(n) rounds"},
+      {AlgorithmId::LandmarkWithChirality, "LandmarkWithChirality", "Th. 6",
+       sim::Model::FSYNC, 2, false, false, true, true, true, "O(n) rounds"},
+      {AlgorithmId::StartFromLandmarkNoChirality,
+       "StartFromLandmarkNoChirality", "Th. 7", sim::Model::FSYNC, 2, false,
+       false, true, false, true, "O(n log n) rounds"},
+      {AlgorithmId::LandmarkNoChirality, "LandmarkNoChirality", "Th. 8",
+       sim::Model::FSYNC, 2, false, false, true, false, true,
+       "O(n log n) rounds"},
+      {AlgorithmId::PTBoundWithChirality, "PTBoundWithChirality", "Th. 12",
+       sim::Model::SSYNC_PT, 2, true, false, false, true, true,
+       "O(N^2) moves"},
+      {AlgorithmId::PTLandmarkWithChirality, "PTLandmarkWithChirality",
+       "Th. 14", sim::Model::SSYNC_PT, 2, false, false, true, true, true,
+       "O(n^2) moves"},
+      {AlgorithmId::PTBoundNoChirality, "PTBoundNoChirality", "Th. 16",
+       sim::Model::SSYNC_PT, 3, true, false, false, false, true,
+       "O(N^2) moves"},
+      {AlgorithmId::PTLandmarkNoChirality, "PTLandmarkNoChirality", "Th. 17",
+       sim::Model::SSYNC_PT, 3, false, false, true, false, true,
+       "O(n^2) moves"},
+      {AlgorithmId::ETUnconscious, "ETUnconscious", "Th. 18",
+       sim::Model::SSYNC_ET, 2, false, false, false, true, false,
+       "unconscious"},
+      {AlgorithmId::ETBoundNoChirality, "ETBoundNoChirality", "Th. 20",
+       sim::Model::SSYNC_ET, 3, false, true, false, false, true,
+       "finite (unbounded)"},
+  };
+  return kAll;
+}
+
+const AlgorithmInfo& info(AlgorithmId id) {
+  for (const AlgorithmInfo& a : all_algorithms())
+    if (a.id == id) return a;
+  throw std::invalid_argument("unknown algorithm id");
+}
+
+const AlgorithmInfo& info_by_name(const std::string& name) {
+  for (const AlgorithmInfo& a : all_algorithms())
+    if (a.name == name) return a;
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+std::unique_ptr<agent::Brain> make_brain(AlgorithmId id,
+                                         agent::Knowledge knowledge) {
+  const AlgorithmInfo& meta = info(id);
+  if (meta.needs_upper_bound && !knowledge.has_upper_bound())
+    throw std::invalid_argument(meta.name + " requires an upper bound N");
+  if (meta.needs_exact_n && !knowledge.has_exact_n())
+    throw std::invalid_argument(meta.name + " requires exact knowledge of n");
+
+  switch (id) {
+    case AlgorithmId::KnownNNoChirality:
+      return std::make_unique<KnownNNoChirality>(knowledge);
+    case AlgorithmId::UnconsciousExploration:
+      return std::make_unique<UnconsciousExploration>();
+    case AlgorithmId::LandmarkWithChirality:
+      return std::make_unique<LandmarkWithChirality>();
+    case AlgorithmId::StartFromLandmarkNoChirality:
+      return std::make_unique<LandmarkNoChirality>(
+          LandmarkNoChirality::Variant::StartAtLandmark);
+    case AlgorithmId::LandmarkNoChirality:
+      return std::make_unique<LandmarkNoChirality>(
+          LandmarkNoChirality::Variant::ArbitraryStart);
+    case AlgorithmId::PTBoundWithChirality:
+      return std::make_unique<PTTwoAgents>(PTTwoAgents::Variant::KnownBound,
+                                           knowledge);
+    case AlgorithmId::PTLandmarkWithChirality:
+      return std::make_unique<PTTwoAgents>(PTTwoAgents::Variant::Landmark,
+                                           knowledge);
+    case AlgorithmId::PTBoundNoChirality:
+      return std::make_unique<ThreeAgentsNoChirality>(
+          ThreeAgentsNoChirality::Variant::KnownBound, knowledge);
+    case AlgorithmId::PTLandmarkNoChirality:
+      return std::make_unique<ThreeAgentsNoChirality>(
+          ThreeAgentsNoChirality::Variant::Landmark, knowledge);
+    case AlgorithmId::ETUnconscious:
+      return std::make_unique<ETUnconscious>();
+    case AlgorithmId::ETBoundNoChirality:
+      return std::make_unique<ThreeAgentsNoChirality>(
+          ThreeAgentsNoChirality::Variant::EventualTransport, knowledge);
+  }
+  throw std::invalid_argument("unknown algorithm id");
+}
+
+}  // namespace dring::algo

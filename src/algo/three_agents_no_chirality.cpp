@@ -1,0 +1,129 @@
+#include "algo/three_agents_no_chirality.hpp"
+
+#include <stdexcept>
+
+namespace dring::algo {
+
+using agent::Snapshot;
+using agent::StepResult;
+
+ThreeAgentsNoChirality::ThreeAgentsNoChirality(Variant variant,
+                                               agent::Knowledge k)
+    : CloneableMachine(k, Init), variant_(variant) {
+  switch (variant_) {
+    case Variant::KnownBound:
+      if (!k.has_upper_bound())
+        throw std::invalid_argument("PTBoundNoChirality requires a bound N");
+      threshold_ = k.upper_bound;
+      break;
+    case Variant::Landmark:
+      break;
+    case Variant::EventualTransport:
+      if (!k.has_exact_n())
+        throw std::invalid_argument("ETBoundNoChirality requires exact n");
+      threshold_ = k.exact_n;
+      break;
+  }
+}
+
+std::string ThreeAgentsNoChirality::algorithm_name() const {
+  switch (variant_) {
+    case Variant::KnownBound: return "PTBoundNoChirality";
+    case Variant::Landmark: return "PTLandmarkNoChirality";
+    case Variant::EventualTransport: return "ETBoundNoChirality";
+  }
+  return "?";
+}
+
+bool ThreeAgentsNoChirality::done() const {
+  if (variant_ == Variant::Landmark) return n_known();
+  return c_.Tnodes() >= threshold_;
+}
+
+void ThreeAgentsNoChirality::check_d(std::int64_t x) {
+  if (d_ > 0) {
+    if (leg_too_short(x)) {
+      want_terminate_ = true;
+    } else {
+      d_ = x;
+    }
+  }
+}
+
+void ThreeAgentsNoChirality::enter_state(int state, const Snapshot& /*snap*/) {
+  switch (state) {
+    case Bounce:
+      check_d(c_.Esteps);
+      break;
+    case Reverse:
+      if (d_ == 0) {
+        d_ = c_.Esteps;  // first change Bounce -> Reverse sets d
+      } else {
+        check_d(c_.Esteps);
+      }
+      break;
+    case MeetingR:
+    case MeetingB:
+      if (leg_too_short(c_.Esteps)) want_terminate_ = true;
+      // ExploreNoResetEsteps: the leg continues accumulating.
+      suppress_esteps_reset_once();
+      break;
+    default:
+      break;
+  }
+}
+
+StepResult ThreeAgentsNoChirality::run_state(int state, const Snapshot& snap) {
+  // CheckD / Meeting termination decisions are entry-body logic in
+  // Figure 18, so they act even in the entry round.
+  if (want_terminate_) return StepResult::terminate();
+  switch (state) {
+    case Init:
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (catches(snap, Dir::Left)) return StepResult::go(Bounce);
+      }
+      return StepResult::move(Dir::Left);
+    case Bounce:
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (meeting(snap)) return StepResult::go(MeetingB);
+        if (catches(snap, Dir::Right)) return StepResult::go(Reverse);
+      }
+      return StepResult::move(Dir::Right);
+    case Reverse:
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (meeting(snap)) return StepResult::go(MeetingR);
+        if (catches(snap, Dir::Left)) return StepResult::go(Bounce);
+      }
+      return StepResult::move(Dir::Left);
+    case MeetingR:
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (catches(snap, Dir::Left)) return StepResult::go(Bounce);
+      }
+      return StepResult::move(Dir::Left);
+    case MeetingB:
+      if (!just_entered()) {
+        if (done()) return StepResult::terminate();
+        if (catches(snap, Dir::Right)) return StepResult::go(Reverse);
+      }
+      return StepResult::move(Dir::Right);
+    default:
+      return StepResult::stay();
+  }
+}
+
+std::string ThreeAgentsNoChirality::name_of(int state) const {
+  switch (state) {
+    case Init: return "Init";
+    case Bounce: return "Bounce";
+    case Reverse: return "Reverse";
+    case MeetingR: return "MeetingR";
+    case MeetingB: return "MeetingB";
+  }
+  return "?";
+}
+
+}  // namespace dring::algo

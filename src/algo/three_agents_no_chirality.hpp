@@ -1,0 +1,75 @@
+// Algorithms PTBoundNoChirality (paper, Figure 18 / Theorem 16),
+// PTLandmarkNoChirality (Theorem 17) and ETBoundNoChirality (Theorem 20).
+//
+// SSYNC, three anonymous agents, NO chirality.  Explores with strong
+// partial termination (one agent always explicitly terminates, the others
+// terminate or wait perpetually on a port) in O(N^2) edge traversals.
+//
+// Agents bounce only when catching another agent waiting on a missing edge
+// ("zig-zag tour").  Each agent maintains the distance d travelled between
+// direction changes; whenever a new leg is not strictly longer than the
+// previous one the agents must have pinned each other against the missing
+// edge and the ring is explored:
+//
+//   Init:     Explore(left | DONE: Terminate; catches: Bounce)
+//   Bounce:   CheckD(Esteps)
+//             Explore(right | DONE: Terminate; meeting: MeetingB;
+//                             catches: Reverse)
+//   Reverse:  if d = 0 then d <- Esteps else CheckD(Esteps)
+//             Explore(left | DONE: Terminate; meeting: MeetingR;
+//                            catches: Bounce)
+//   MeetingR: if Esteps <= d then Terminate
+//             ExploreNoResetEsteps(left | DONE: Terminate; catches: Bounce)
+//   MeetingB: symmetric, direction right, catches -> Reverse
+//   CheckD(x): if d > 0 { if x <= d: Terminate else d <- x }
+//
+// Variants:
+//   * KnownBound (PT):  DONE = "Tnodes >= N" (upper bound N known);
+//   * Landmark  (PT):   DONE = "n is known" (loop around the landmark);
+//   * EventualTransport: exact n known; DONE = "Tnodes >= n"; CheckD and
+//     the Meeting check use the strict inequality (Esteps < d).  The paper
+//     phrases this as "N is set to n-1" while counting traversed edges;
+//     with Tnodes counting *nodes* the equivalent threshold is n
+//     (DESIGN.md, D9).
+#pragma once
+
+#include "agent/explore_base.hpp"
+
+namespace dring::algo {
+
+class ThreeAgentsNoChirality final
+    : public agent::CloneableMachine<ThreeAgentsNoChirality> {
+ public:
+  enum State : int { Init, Bounce, Reverse, MeetingR, MeetingB };
+  enum class Variant {
+    KnownBound,         ///< PTBoundNoChirality (needs upper_bound)
+    Landmark,           ///< PTLandmarkNoChirality
+    EventualTransport,  ///< ETBoundNoChirality (needs exact_n)
+  };
+
+  ThreeAgentsNoChirality(Variant variant, agent::Knowledge k);
+
+  std::string algorithm_name() const override;
+
+  std::int64_t d() const { return d_; }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  void enter_state(int state, const agent::Snapshot& snap) override;
+  std::string name_of(int state) const override;
+
+ private:
+  bool done() const;
+  void check_d(std::int64_t x);
+  /// Strict in ET ("Esteps < d"), non-strict in PT ("Esteps <= d").
+  bool leg_too_short(std::int64_t x) const {
+    return variant_ == Variant::EventualTransport ? x < d_ : x <= d_;
+  }
+
+  Variant variant_;
+  std::int64_t threshold_ = -1;  ///< N (bound) or n (ET); -1 for landmark
+  std::int64_t d_ = 0;
+  bool want_terminate_ = false;
+};
+
+}  // namespace dring::algo

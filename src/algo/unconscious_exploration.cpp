@@ -1,0 +1,72 @@
+#include "algo/unconscious_exploration.hpp"
+
+namespace dring::algo {
+
+using agent::Snapshot;
+using agent::StepResult;
+
+UnconsciousExploration::UnconsciousExploration(std::int64_t initial_guess,
+                                               std::int64_t growth_factor)
+    : CloneableMachine(agent::Knowledge{}, Init),
+      guess_(initial_guess < 1 ? 1 : initial_guess),
+      growth_factor_(growth_factor < 2 ? 2 : growth_factor) {}
+
+void UnconsciousExploration::enter_state(int state, const Snapshot& snap) {
+  switch (state) {
+    case Reverse:
+      dir_ = opposite(dir_);
+      break;
+    case Keep:
+      guess_ *= growth_factor_;
+      break;
+    case Bounce:
+      // Explore(opposite(dir)) forever: fold the direction flip into dir_.
+      dir_ = opposite(dir_);
+      break;
+    case Forward:
+      // Keeps the direction it was travelling; if caught while blocked on a
+      // port, that is the port's direction.
+      if (snap.on_port) dir_ = snap.port_dir;
+      break;
+    default:
+      break;
+  }
+}
+
+StepResult UnconsciousExploration::guarded_explore(const Snapshot& snap) {
+  if (!just_entered()) {
+    if (c_.Etime >= 2 * guess_ && c_.Btime > guess_)
+      return StepResult::go(Reverse);
+    if (c_.Etime >= 2 * guess_) return StepResult::go(Keep);
+    if (catches(snap, dir_)) return StepResult::go(Bounce);
+    if (caught(snap)) return StepResult::go(Forward);
+  }
+  return StepResult::move(dir_);
+}
+
+StepResult UnconsciousExploration::run_state(int state, const Snapshot& snap) {
+  switch (state) {
+    case Init:
+    case Reverse:
+    case Keep:
+      return guarded_explore(snap);
+    case Bounce:
+    case Forward:
+      return StepResult::move(dir_);
+    default:
+      return StepResult::stay();
+  }
+}
+
+std::string UnconsciousExploration::name_of(int state) const {
+  switch (state) {
+    case Init: return "Init";
+    case Reverse: return "Reverse";
+    case Keep: return "Keep";
+    case Bounce: return "Bounce";
+    case Forward: return "Forward";
+  }
+  return "?";
+}
+
+}  // namespace dring::algo

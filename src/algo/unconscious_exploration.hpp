@@ -1,0 +1,59 @@
+// Algorithm UnconsciousExploration (paper, Figure 3 / Theorem 5).
+//
+// FSYNC, two anonymous agents, no chirality, no knowledge of the ring size.
+// Explores without terminating (unconscious exploration) in O(n) time.
+//
+// Each agent guesses the ring size (G, initially 2) and moves in one
+// direction for 2G rounds (a "phase"); at the end of a phase it reverses
+// direction if it has been blocked for more than G consecutive rounds
+// (state Reverse, same G) and keeps direction otherwise (state Keep,
+// doubling G).  Catching the other agent locks both directions for good
+// (states Bounce / Forward).
+//
+//   Init:    G <- 2, dir <- left
+//   guards (Init / Reverse / Keep):
+//     Etime >= 2G and Btime > G : Reverse      (reverse direction)
+//     Etime >= 2G               : Keep         (double the guess)
+//     catches                   : Bounce       (reverse forever)
+//     caught                    : Forward      (keep direction forever)
+//
+// Note: Figure 3 also assigns F <- 2G when entering Reverse; F is never
+// read anywhere in the paper, so it is omitted here (DESIGN.md, D11).
+#pragma once
+
+#include "agent/explore_base.hpp"
+
+namespace dring::algo {
+
+class UnconsciousExploration final
+    : public agent::CloneableMachine<UnconsciousExploration> {
+ public:
+  enum State : int { Init, Reverse, Keep, Bounce, Forward };
+
+  /// The paper fixes the initial guess to 2 and doubles it each Keep.
+  /// Both are exposed as parameters for the ablation bench
+  /// (bench_ablations): `initial_guess` >= 1, `growth_factor` >= 2.
+  explicit UnconsciousExploration(std::int64_t initial_guess = 2,
+                                  std::int64_t growth_factor = 2);
+
+  std::string algorithm_name() const override {
+    return "UnconsciousExploration";
+  }
+
+  std::int64_t guess() const { return guess_; }
+  Dir dir() const { return dir_; }
+
+ protected:
+  agent::StepResult run_state(int state, const agent::Snapshot& snap) override;
+  void enter_state(int state, const agent::Snapshot& snap) override;
+  std::string name_of(int state) const override;
+
+ private:
+  agent::StepResult guarded_explore(const agent::Snapshot& snap);
+
+  std::int64_t guess_ = 2;
+  std::int64_t growth_factor_ = 2;
+  Dir dir_ = Dir::Left;
+};
+
+}  // namespace dring::algo

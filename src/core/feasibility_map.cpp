@@ -1,0 +1,91 @@
+#include "core/feasibility_map.hpp"
+
+#include <algorithm>
+
+#include "adversary/basic_adversaries.hpp"
+#include "util/table.hpp"
+
+namespace dring::core {
+
+FeasibilityRow evaluate_algorithm(algo::AlgorithmId id,
+                                  const FeasibilitySweep& sweep) {
+  FeasibilityRow row;
+  row.meta = algo::info(id);
+
+  for (const NodeId n : sweep.sizes) {
+    for (int seed = 0; seed < sweep.seeds_per_size; ++seed) {
+      ExplorationConfig cfg = default_config(id, n);
+      cfg.stop.max_rounds = sweep.max_rounds;
+
+      // Seed 0 runs the static ring (no removals, full activation); the
+      // rest run randomized hostile dynamics.
+      sim::NullAdversary benign;
+      adversary::TargetedRandomAdversary hostile(
+          sweep.edge_removal_prob, sweep.activation_prob,
+          0x9d5ULL * static_cast<std::uint64_t>(seed) + 17 * n);
+      sim::Adversary* adv =
+          seed == 0 ? static_cast<sim::Adversary*>(&benign)
+                    : static_cast<sim::Adversary*>(&hostile);
+
+      const sim::RunResult r = run_exploration(cfg, adv);
+      row.runs += 1;
+      if (r.explored) row.explored += 1;
+      if (r.premature_termination) row.premature += 1;
+      if (r.all_terminated) row.full_termination += 1;
+      if (r.any_terminated()) row.partial_termination += 1;
+      if (r.rounds > row.worst_rounds) {
+        row.worst_rounds = r.rounds;
+        row.worst_rounds_n = n;
+      }
+      row.worst_moves =
+          std::max<std::int64_t>(row.worst_moves, r.total_moves);
+    }
+  }
+  return row;
+}
+
+std::vector<FeasibilityRow> build_feasibility_map(
+    const FeasibilitySweep& sweep) {
+  std::vector<FeasibilityRow> rows;
+  for (const algo::AlgorithmInfo& meta : algo::all_algorithms())
+    rows.push_back(evaluate_algorithm(meta.id, sweep));
+  return rows;
+}
+
+void print_feasibility_map(const std::vector<FeasibilityRow>& rows,
+                           std::ostream& os) {
+  util::Table table({"Algorithm", "Thm", "Model", "Agents", "Assumptions",
+                     "Claimed", "Runs", "Explored", "Terminated", "Premature",
+                     "Worst rounds", "Worst moves"});
+  for (const FeasibilityRow& row : rows) {
+    std::string assume;
+    if (row.meta.needs_upper_bound) assume += "N ";
+    if (row.meta.needs_exact_n) assume += "n ";
+    if (row.meta.needs_landmark) assume += "landmark ";
+    if (row.meta.needs_chirality) assume += "chirality";
+    if (assume.empty()) assume = "none";
+
+    std::string term;
+    if (!row.meta.terminating) {
+      term = "unconscious";
+    } else if (row.full_termination == row.runs) {
+      term = "explicit (all)";
+    } else {
+      term = std::to_string(row.partial_termination) + "/" +
+             std::to_string(row.runs) + " partial";
+    }
+
+    table.add_row({row.meta.name, row.meta.theorem,
+                   sim::to_string(row.meta.model),
+                   std::to_string(row.meta.num_agents), assume,
+                   row.meta.complexity, std::to_string(row.runs),
+                   std::to_string(row.explored) + "/" +
+                       std::to_string(row.runs),
+                   term, std::to_string(row.premature),
+                   util::fmt_count(row.worst_rounds),
+                   util::fmt_count(row.worst_moves)});
+  }
+  table.print(os);
+}
+
+}  // namespace dring::core

@@ -1,0 +1,57 @@
+// The paper's headline deliverable is a *map* of feasibility (Tables 1-4):
+// which combinations of synchrony, knowledge, landmark and chirality make
+// live exploration solvable, with how many agents, and at what cost.
+//
+// FeasibilityMap re-derives that map empirically: for every algorithm it
+// runs a matrix of scenarios (ring sizes x adversaries x seeds) under the
+// algorithm's stated assumptions and records worst-case measured cost and
+// correctness (exploration completed; no premature termination; the
+// termination kind achieved).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "core/runner.hpp"
+
+namespace dring::core {
+
+/// Aggregated outcome of an algorithm's scenario sweep.
+struct FeasibilityRow {
+  algo::AlgorithmInfo meta;
+  int runs = 0;
+  int explored = 0;            ///< runs that explored the whole ring
+  int premature = 0;           ///< runs with a premature termination (bug!)
+  int full_termination = 0;    ///< runs in which every agent terminated
+  int partial_termination = 0; ///< runs with >= 1 terminated agent
+  std::int64_t worst_rounds = 0;
+  std::int64_t worst_moves = 0;
+  NodeId worst_rounds_n = 0;   ///< ring size achieving worst_rounds
+
+  bool ok() const { return explored == runs && premature == 0; }
+};
+
+/// Sweep parameters for the map.
+struct FeasibilitySweep {
+  std::vector<NodeId> sizes = {4, 5, 6, 8, 11, 16};
+  int seeds_per_size = 5;
+  double edge_removal_prob = 0.6;
+  double activation_prob = 0.6;  ///< SSYNC only
+  Round max_rounds = 2'000'000;
+};
+
+/// Run the sweep for one algorithm under its published assumptions.
+FeasibilityRow evaluate_algorithm(algo::AlgorithmId id,
+                                  const FeasibilitySweep& sweep);
+
+/// Run the sweep for every algorithm and render the map.
+std::vector<FeasibilityRow> build_feasibility_map(
+    const FeasibilitySweep& sweep);
+
+/// Pretty-print rows in the style of the paper's Tables 2 and 4.
+void print_feasibility_map(const std::vector<FeasibilityRow>& rows,
+                           std::ostream& os);
+
+}  // namespace dring::core

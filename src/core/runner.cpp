@@ -1,0 +1,88 @@
+#include "core/runner.hpp"
+
+#include <stdexcept>
+
+namespace dring::core {
+
+ExplorationConfig default_config(algo::AlgorithmId id, NodeId n) {
+  const algo::AlgorithmInfo& meta = algo::info(id);
+  ExplorationConfig cfg;
+  cfg.n = n;
+  cfg.algorithm = id;
+  cfg.model = meta.model;
+  cfg.num_agents = meta.num_agents;
+  if (meta.needs_landmark) cfg.landmark = 0;
+  if (meta.needs_upper_bound) cfg.upper_bound = n;  // tight bound by default
+  if (meta.needs_exact_n) cfg.exact_n = n;
+
+  cfg.orientations.assign(static_cast<std::size_t>(meta.num_agents),
+                          agent::kChiralOrientation);
+  if (!meta.needs_chirality) {
+    // Exercise the no-chirality setting by default: alternate orientations.
+    for (std::size_t i = 1; i < cfg.orientations.size(); i += 2)
+      cfg.orientations[i] = agent::kMirroredOrientation;
+  }
+
+  // Start positions: the theorem-specific defaults.
+  if (id == algo::AlgorithmId::StartFromLandmarkNoChirality) {
+    cfg.start_nodes.assign(static_cast<std::size_t>(meta.num_agents),
+                           *cfg.landmark);
+  } else {
+    for (int i = 0; i < meta.num_agents; ++i)
+      cfg.start_nodes.push_back(
+          static_cast<NodeId>((static_cast<long long>(i) * n) /
+                              meta.num_agents));
+  }
+
+  // Stop policy by termination kind.
+  if (!meta.terminating) {
+    cfg.stop.stop_when_explored = true;
+    cfg.stop.stop_when_all_terminated = false;
+  } else if (sim::is_ssync(meta.model)) {
+    // SSYNC results guarantee only (strong) partial termination.
+    cfg.stop.stop_when_explored_and_one_terminated = true;
+  }
+  return cfg;
+}
+
+std::unique_ptr<sim::Engine> make_engine(const ExplorationConfig& cfg,
+                                         sim::Adversary* adversary) {
+  const algo::AlgorithmInfo& meta = algo::info(cfg.algorithm);
+  const int agents = cfg.num_agents > 0 ? cfg.num_agents : meta.num_agents;
+
+  if (meta.needs_landmark && !cfg.landmark)
+    throw std::invalid_argument(meta.name + " requires a landmark");
+  if (!cfg.start_nodes.empty() &&
+      static_cast<int>(cfg.start_nodes.size()) != agents)
+    throw std::invalid_argument("start_nodes size != num_agents");
+  if (!cfg.orientations.empty() &&
+      static_cast<int>(cfg.orientations.size()) != agents)
+    throw std::invalid_argument("orientations size != num_agents");
+
+  agent::Knowledge knowledge;
+  if (cfg.upper_bound) knowledge.upper_bound = *cfg.upper_bound;
+  if (cfg.exact_n) knowledge.exact_n = *cfg.exact_n;
+
+  auto engine =
+      std::make_unique<sim::Engine>(cfg.n, cfg.landmark, cfg.model, cfg.engine);
+  for (int i = 0; i < agents; ++i) {
+    const NodeId start =
+        cfg.start_nodes.empty()
+            ? static_cast<NodeId>((static_cast<long long>(i) * cfg.n) / agents)
+            : cfg.start_nodes[static_cast<std::size_t>(i)];
+    const agent::Orientation orientation =
+        cfg.orientations.empty() ? agent::kChiralOrientation
+                                 : cfg.orientations[static_cast<std::size_t>(i)];
+    engine->add_agent(start, orientation,
+                      algo::make_brain(cfg.algorithm, knowledge));
+  }
+  engine->set_adversary(adversary);
+  return engine;
+}
+
+sim::RunResult run_exploration(const ExplorationConfig& cfg,
+                               sim::Adversary* adversary) {
+  return make_engine(cfg, adversary)->run(cfg.stop);
+}
+
+}  // namespace dring::core

@@ -1,0 +1,61 @@
+// Public entry point of the library: configure a scenario (ring, model,
+// algorithm, knowledge, placements, adversary) and run it.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   dring::core::ExplorationConfig cfg =
+//       dring::core::default_config(dring::algo::AlgorithmId::
+//                                       LandmarkWithChirality, /*n=*/12);
+//   dring::adversary::RandomAdversary adv(0.5, 1.0, /*seed=*/42);
+//   dring::sim::RunResult r = dring::core::run_exploration(cfg, &adv);
+//
+// The result reports ground truth: whether the ring was explored, when,
+// how many moves were spent, which agents terminated and — crucially —
+// whether any agent terminated before exploration was complete (the
+// correctness condition of the paper).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "agent/orientation.hpp"
+#include "algo/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/models.hpp"
+
+namespace dring::core {
+
+/// Full description of a run.
+struct ExplorationConfig {
+  NodeId n = 8;                       ///< ring size (>= 3)
+  std::optional<NodeId> landmark;     ///< landmark node, if any
+  sim::Model model = sim::Model::FSYNC;
+  algo::AlgorithmId algorithm = algo::AlgorithmId::KnownNNoChirality;
+  int num_agents = 0;                 ///< 0 = use the theorem's agent count
+  std::vector<NodeId> start_nodes;    ///< empty = evenly spread placements
+  /// One orientation per agent; empty = all agents share kChiralOrientation.
+  std::vector<agent::Orientation> orientations;
+  std::optional<std::int64_t> upper_bound;  ///< knowledge: N >= n
+  std::optional<std::int64_t> exact_n;      ///< knowledge: exact n
+  sim::EngineOptions engine;
+  sim::StopPolicy stop;
+};
+
+/// A config pre-filled with the assumptions the algorithm's theorem makes:
+/// agent count, landmark at node 0 when needed, tight bound N = n, exact n,
+/// shared orientations when chirality is required (mirrored otherwise), and
+/// a stop policy matching the termination kind (explicit / partial /
+/// unconscious).  Start nodes default to an even spread (or the landmark
+/// for StartFromLandmarkNoChirality).
+ExplorationConfig default_config(algo::AlgorithmId id, NodeId n);
+
+/// Build the engine for a config (adds agents, installs the adversary).
+/// Exposed for tests that need to drive the engine round by round.
+std::unique_ptr<sim::Engine> make_engine(const ExplorationConfig& cfg,
+                                         sim::Adversary* adversary);
+
+/// Run to completion under the config's stop policy.
+sim::RunResult run_exploration(const ExplorationConfig& cfg,
+                               sim::Adversary* adversary);
+
+}  // namespace dring::core

@@ -1,0 +1,88 @@
+#include "ring/dynamic_ring.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dring::ring {
+
+DynamicRing::DynamicRing(NodeId n, std::optional<NodeId> landmark)
+    : n_(n), landmark_(landmark) {
+  if (n < 3) throw std::invalid_argument("DynamicRing requires n >= 3");
+  if (landmark_ && (*landmark_ < 0 || *landmark_ >= n))
+    throw std::invalid_argument("landmark out of range");
+  port_holder_.assign(static_cast<std::size_t>(n) * 2, std::nullopt);
+}
+
+NodeId DynamicRing::neighbour(NodeId v, GlobalDir d) const {
+  assert(v >= 0 && v < n_);
+  return d == GlobalDir::Ccw ? wrap(v + 1) : wrap(v - 1);
+}
+
+EdgeId DynamicRing::edge_from(NodeId v, GlobalDir d) const {
+  assert(v >= 0 && v < n_);
+  return d == GlobalDir::Ccw ? v : wrap(v - 1);
+}
+
+std::pair<NodeId, NodeId> DynamicRing::endpoints(EdgeId e) const {
+  assert(e >= 0 && e < n_);
+  return {e, wrap(e + 1)};
+}
+
+NodeId DynamicRing::distance(NodeId a, NodeId b, GlobalDir d) const {
+  assert(a >= 0 && a < n_ && b >= 0 && b < n_);
+  return d == GlobalDir::Ccw ? wrap(b - a) : wrap(a - b);
+}
+
+bool DynamicRing::remove_edge(EdgeId e) {
+  assert(e >= 0 && e < n_);
+  if (missing_ && *missing_ != e) return false;  // 1-interval connectivity
+  missing_ = e;
+  return true;
+}
+
+void DynamicRing::restore_edges() { missing_.reset(); }
+
+bool DynamicRing::edge_present(EdgeId e) const {
+  assert(e >= 0 && e < n_);
+  return !(missing_ && *missing_ == e);
+}
+
+std::size_t DynamicRing::port_index(const PortRef& p) const {
+  assert(p.node >= 0 && p.node < n_);
+  return static_cast<std::size_t>(p.node) * 2 +
+         (p.side == GlobalDir::Ccw ? 0 : 1);
+}
+
+std::optional<AgentId> DynamicRing::port_holder(const PortRef& p) const {
+  return port_holder_[port_index(p)];
+}
+
+bool DynamicRing::acquire_port(const PortRef& p, AgentId agent) {
+  auto& holder = port_holder_[port_index(p)];
+  if (holder && *holder != agent) return false;
+  holder = agent;
+  return true;
+}
+
+void DynamicRing::release_port(const PortRef& p, AgentId agent) {
+  auto& holder = port_holder_[port_index(p)];
+  if (holder && *holder == agent) holder.reset();
+}
+
+void DynamicRing::release_ports_of(AgentId agent) {
+  for (auto& holder : port_holder_)
+    if (holder && *holder == agent) holder.reset();
+}
+
+std::optional<PortRef> DynamicRing::port_of(AgentId agent) const {
+  for (NodeId v = 0; v < n_; ++v) {
+    for (GlobalDir d : {GlobalDir::Ccw, GlobalDir::Cw}) {
+      const PortRef p{v, d};
+      const auto holder = port_holder_[port_index(p)];
+      if (holder && *holder == agent) return p;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dring::ring

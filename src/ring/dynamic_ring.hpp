@@ -1,0 +1,91 @@
+// The 1-interval-connected dynamic ring substrate (paper, Section 2.1).
+//
+// A ring R = (v_0 .. v_{n-1}) where in every round at most one edge may be
+// absent (chosen by an adversary).  Each node exposes two ports, one per
+// incident edge; ports are acquired in mutual exclusion and an agent that
+// failed to traverse keeps holding its port across rounds.
+//
+// DynamicRing owns topology, the per-round missing edge, the landmark flag
+// and port occupancy.  It knows nothing about agent logic; the simulation
+// engine (src/sim) drives it.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "ring/types.hpp"
+
+namespace dring::ring {
+
+/// Dynamic ring state: topology + per-round missing edge + port occupancy.
+class DynamicRing {
+ public:
+  /// Build a ring of `n >= 3` nodes. `landmark` is the index of the unique
+  /// observably-distinct node, or std::nullopt for an anonymous ring.
+  explicit DynamicRing(NodeId n, std::optional<NodeId> landmark = std::nullopt);
+
+  NodeId size() const { return n_; }
+  bool has_landmark() const { return landmark_.has_value(); }
+  std::optional<NodeId> landmark() const { return landmark_; }
+  bool is_landmark(NodeId v) const { return landmark_ && *landmark_ == v; }
+
+  /// Neighbour of `v` in global direction `d`.
+  NodeId neighbour(NodeId v, GlobalDir d) const;
+
+  /// Edge incident to `v` in global direction `d` (edge i joins v_i,v_{i+1}).
+  EdgeId edge_from(NodeId v, GlobalDir d) const;
+
+  /// Endpoints of edge `e`: (v_e, v_{e+1}).
+  std::pair<NodeId, NodeId> endpoints(EdgeId e) const;
+
+  /// Ring distance from `a` to `b` walking in global direction `d`.
+  NodeId distance(NodeId a, NodeId b, GlobalDir d) const;
+
+  // --- per-round edge dynamics -------------------------------------------
+
+  /// Remove `e` for the current round (at most one edge may be missing; a
+  /// second removal in the same round is rejected with `false`).
+  bool remove_edge(EdgeId e);
+
+  /// Restore all edges; called by the engine at the start of every round.
+  void restore_edges();
+
+  bool edge_present(EdgeId e) const;
+  std::optional<EdgeId> missing_edge() const { return missing_; }
+
+  // --- port occupancy -----------------------------------------------------
+
+  /// Agent currently holding the port, or std::nullopt if the port is free.
+  std::optional<AgentId> port_holder(const PortRef& p) const;
+
+  /// Try to acquire a port for `agent`. Fails if held by another agent.
+  /// Re-acquiring a port already held by the same agent succeeds.
+  bool acquire_port(const PortRef& p, AgentId agent);
+
+  /// Release a port. No-op if `agent` does not hold it.
+  void release_port(const PortRef& p, AgentId agent);
+
+  /// Release any port held by `agent`.
+  void release_ports_of(AgentId agent);
+
+  /// Port held by `agent`, if any.
+  std::optional<PortRef> port_of(AgentId agent) const;
+
+  /// Normalise a node index into [0, n).
+  NodeId wrap(NodeId v) const {
+    v %= n_;
+    return v < 0 ? v + n_ : v;
+  }
+
+ private:
+  std::size_t port_index(const PortRef& p) const;
+
+  NodeId n_;
+  std::optional<NodeId> landmark_;
+  std::optional<EdgeId> missing_;
+  // 2 ports per node: [node*2 + 0] = Ccw side, [node*2 + 1] = Cw side.
+  std::vector<std::optional<AgentId>> port_holder_;
+};
+
+}  // namespace dring::ring

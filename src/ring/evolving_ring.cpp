@@ -1,0 +1,195 @@
+#include "ring/evolving_ring.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace dring::ring {
+
+EvolvingRing::EvolvingRing(NodeId n,
+                           std::vector<std::optional<EdgeId>> missing_per_round)
+    : n_(n), missing_(std::move(missing_per_round)) {
+  if (n < 3) throw std::invalid_argument("EvolvingRing requires n >= 3");
+}
+
+EvolvingRing EvolvingRing::from_script(
+    NodeId n, const std::function<std::optional<EdgeId>(Round)>& script,
+    Round horizon) {
+  std::vector<std::optional<EdgeId>> missing;
+  missing.reserve(static_cast<std::size_t>(horizon));
+  for (Round r = 1; r <= horizon; ++r) missing.push_back(script(r));
+  return EvolvingRing(n, std::move(missing));
+}
+
+bool EvolvingRing::edge_present(EdgeId e, Round r) const {
+  assert(e >= 0 && e < n_);
+  if (r < 1 || r > horizon()) return true;
+  const auto& missing = missing_[static_cast<std::size_t>(r - 1)];
+  return !(missing && *missing == e);
+}
+
+std::optional<EdgeId> EvolvingRing::missing_at(Round r) const {
+  if (r < 1 || r > horizon()) return std::nullopt;
+  return missing_[static_cast<std::size_t>(r - 1)];
+}
+
+namespace {
+
+// Single-agent state: the visited set of a ring walk is a contiguous arc
+// [-l .. +r] of offsets around the start node; the agent stands at offset
+// p within it.  Encoded densely as ((l * n) + r) * n + (p + l).
+struct ArcCodec {
+  explicit ArcCodec(NodeId n) : n(n) {}
+  NodeId n;
+
+  std::size_t states() const {
+    return static_cast<std::size_t>(n) * n * n;
+  }
+  std::size_t encode(int l, int r, int p) const {
+    return (static_cast<std::size_t>(l) * n + static_cast<std::size_t>(r)) *
+               n +
+           static_cast<std::size_t>(p + l);
+  }
+};
+
+/// Global edge crossed when moving Ccw from offset `o` (start node s).
+EdgeId edge_ccw(NodeId n, NodeId s, int o) {
+  return static_cast<EdgeId>(((s + o) % n + n) % n);
+}
+/// Global edge crossed when moving Cw from offset `o`.
+EdgeId edge_cw(NodeId n, NodeId s, int o) {
+  return static_cast<EdgeId>(((s + o - 1) % n + n) % n);
+}
+
+}  // namespace
+
+Round offline_exploration_time(const EvolvingRing& ring, NodeId start,
+                               Round max_rounds) {
+  const NodeId n = ring.size();
+  if (n == 1) return 0;
+  const ArcCodec codec(n);
+  std::vector<char> cur(codec.states(), 0), next;
+  cur[codec.encode(0, 0, 0)] = 1;
+
+  for (Round round = 1; round <= max_rounds; ++round) {
+    next.assign(codec.states(), 0);
+    bool any = false;
+    for (int l = 0; l < n; ++l) {
+      for (int r = 0; l + r < n; ++r) {
+        for (int p = -l; p <= r; ++p) {
+          if (!cur[codec.encode(l, r, p)]) continue;
+          any = true;
+          // Wait.
+          next[codec.encode(l, r, p)] = 1;
+          // Move Ccw (towards +).
+          if (l + r < n - 1 || p < r) {  // moving inside or extending
+            if (ring.edge_present(edge_ccw(n, start, p), round)) {
+              const int np = p + 1;
+              const int nr = np > r ? np : r;
+              if (nr < n - l) {
+                next[codec.encode(l, nr, np)] = 1;
+                if (l + nr == n - 1) return round;
+              }
+            }
+          }
+          // Move Cw (towards -).
+          if (l + r < n - 1 || p > -l) {
+            if (ring.edge_present(edge_cw(n, start, p), round)) {
+              const int np = p - 1;
+              const int nl = -np > l ? -np : l;
+              if (nl + r < n) {
+                next[codec.encode(nl, r, np)] = 1;
+                if (nl + r == n - 1) return round;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!any) break;
+    cur.swap(next);
+  }
+  return -1;
+}
+
+Round offline_two_agent_exploration_time(const EvolvingRing& ring,
+                                         NodeId start_a, NodeId start_b,
+                                         Round max_rounds) {
+  const NodeId n = ring.size();
+  const ArcCodec codec(n);
+  const std::size_t per_agent = codec.states();
+
+  // Coverage test: do the two arcs jointly cover the ring?
+  std::vector<char> mark(static_cast<std::size_t>(n));
+  auto covered = [&](int la, int ra, int lb, int rb) {
+    std::fill(mark.begin(), mark.end(), 0);
+    for (int o = -la; o <= ra; ++o)
+      mark[static_cast<std::size_t>(((start_a + o) % n + n) % n)] = 1;
+    for (int o = -lb; o <= rb; ++o)
+      mark[static_cast<std::size_t>(((start_b + o) % n + n) % n)] = 1;
+    for (char m : mark)
+      if (!m) return false;
+    return true;
+  };
+
+  std::vector<char> cur(per_agent * per_agent, 0), next;
+  cur[codec.encode(0, 0, 0) * per_agent + codec.encode(0, 0, 0)] = 1;
+  if (covered(0, 0, 0, 0)) return 0;
+
+  // Per-agent one-round successor lists, recomputed each round (the edge
+  // schedule changes per round).
+  struct Succ {
+    int l, r, p;
+  };
+  auto successors = [&](NodeId start, int l, int r, int p, Round round,
+                        std::vector<Succ>& out) {
+    out.clear();
+    out.push_back({l, r, p});  // wait
+    if (ring.edge_present(edge_ccw(n, start, p), round)) {
+      const int np = p + 1;
+      const int nr = np > r ? np : r;
+      if (nr + l < n) out.push_back({l, nr, np});
+    }
+    if (ring.edge_present(edge_cw(n, start, p), round)) {
+      const int np = p - 1;
+      const int nl = -np > l ? -np : l;
+      if (nl + r < n) out.push_back({nl, r, np});
+    }
+  };
+
+  std::vector<Succ> succ_a, succ_b;
+  for (Round round = 1; round <= max_rounds; ++round) {
+    next.assign(per_agent * per_agent, 0);
+    bool any = false;
+    for (int la = 0; la < n; ++la) {
+      for (int ra = 0; la + ra < n; ++ra) {
+        for (int pa = -la; pa <= ra; ++pa) {
+          const std::size_t ia = codec.encode(la, ra, pa);
+          for (int lb = 0; lb < n; ++lb) {
+            for (int rb = 0; lb + rb < n; ++rb) {
+              for (int pb = -lb; pb <= rb; ++pb) {
+                const std::size_t ib = codec.encode(lb, rb, pb);
+                if (!cur[ia * per_agent + ib]) continue;
+                any = true;
+                successors(start_a, la, ra, pa, round, succ_a);
+                successors(start_b, lb, rb, pb, round, succ_b);
+                for (const Succ& sa : succ_a) {
+                  for (const Succ& sb : succ_b) {
+                    if (covered(sa.l, sa.r, sb.l, sb.r)) return round;
+                    next[codec.encode(sa.l, sa.r, sa.p) * per_agent +
+                         codec.encode(sb.l, sb.r, sb.p)] = 1;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!any) break;
+    cur.swap(next);
+  }
+  return -1;
+}
+
+}  // namespace dring::ring

@@ -1,0 +1,74 @@
+// Evolving-graph view of a dynamic ring and the OFFLINE exploration
+// optimum.
+//
+// The paper contrasts *live* exploration (agents unaware of future
+// changes) with the *centralised / offline / post-mortem* setting of the
+// prior literature (refs [26, 35, 37, 41]), where the full sequence of
+// topological changes is known in advance and one computes an optimal
+// exploration schedule.  This module provides that foil:
+//
+//   * EvolvingRing — a recorded edge schedule (footprint of an execution,
+//     or any scripted schedule), i.e. the evolving-graph formalisation
+//     G = G_1, G_2, ... of Section 1.1.2;
+//   * offline_exploration_time — the minimum number of rounds a single
+//     omniscient agent needs to visit every node, computed by dynamic
+//     programming over (visited arc, position) states (on a ring the
+//     visited set of one agent is always a contiguous arc containing the
+//     start node);
+//   * offline_two_agent_exploration_time — the same for two coordinated
+//     agents (each agent's visited set is an arc; the union must cover).
+//
+// bench_price_of_liveness compares these optima against the live
+// algorithms on identical schedules.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ring/types.hpp"
+
+namespace dring::ring {
+
+/// A dynamic ring "unrolled" in time: which edge is missing each round.
+/// Round indexing is 1-based, matching the engine.
+class EvolvingRing {
+ public:
+  EvolvingRing(NodeId n, std::vector<std::optional<EdgeId>> missing_per_round);
+
+  /// Build from a round-indexed script over a fixed horizon.
+  static EvolvingRing from_script(
+      NodeId n, const std::function<std::optional<EdgeId>(Round)>& script,
+      Round horizon);
+
+  NodeId size() const { return n_; }
+  Round horizon() const { return static_cast<Round>(missing_.size()); }
+
+  /// Is edge `e` present in round `r` (1-based)? Rounds past the recorded
+  /// horizon have every edge present.
+  bool edge_present(EdgeId e, Round r) const;
+
+  std::optional<EdgeId> missing_at(Round r) const;
+
+ private:
+  NodeId n_;
+  std::vector<std::optional<EdgeId>> missing_;
+};
+
+/// Minimum rounds for ONE omniscient agent starting at `start` to visit
+/// all nodes, moving at most one edge per round (waiting allowed), under
+/// the recorded schedule. Returns -1 if not achievable within
+/// `max_rounds`.
+Round offline_exploration_time(const EvolvingRing& ring, NodeId start,
+                               Round max_rounds);
+
+/// Minimum rounds for TWO coordinated omniscient agents (starting at
+/// `start_a`, `start_b`) to jointly visit all nodes. Port mutual exclusion
+/// is ignored (an offline planner can trivially avoid conflicts except on
+/// the same edge same direction, which an optimal plan never needs).
+/// Returns -1 if not achievable within `max_rounds`.
+Round offline_two_agent_exploration_time(const EvolvingRing& ring,
+                                         NodeId start_a, NodeId start_b,
+                                         Round max_rounds);
+
+}  // namespace dring::ring

@@ -1,0 +1,64 @@
+// Fundamental identifiers and direction types shared across the library.
+//
+// Global frame (simulator-side, invisible to agents):
+//   * nodes are numbered 0..n-1; node indices are never exposed to agents;
+//   * edge i connects node i and node (i+1) mod n;
+//   * GlobalDir::Ccw is the direction of increasing node index
+//     (v_i -> v_{i+1}), GlobalDir::Cw the opposite.
+//
+// Agent frame:
+//   * each agent has a private orientation lambda mapping its local
+//     Dir::Left / Dir::Right onto global directions (paper, Section 2.1);
+//   * with chirality all agents share the same mapping.
+#pragma once
+
+#include <cstdint>
+
+namespace dring {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using AgentId = std::int32_t;
+using Round = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// Direction in the global frame of the simulator.
+enum class GlobalDir : std::uint8_t {
+  Ccw,  ///< from v_i towards v_{i+1}
+  Cw,   ///< from v_i towards v_{i-1}
+};
+
+/// Direction in an agent's private frame (paper: "left"/"right" w.r.t. the
+/// agent's own orientation lambda).
+enum class Dir : std::uint8_t {
+  Left,
+  Right,
+};
+
+constexpr GlobalDir opposite(GlobalDir d) {
+  return d == GlobalDir::Ccw ? GlobalDir::Cw : GlobalDir::Ccw;
+}
+
+constexpr Dir opposite(Dir d) { return d == Dir::Left ? Dir::Right : Dir::Left; }
+
+constexpr const char* to_string(GlobalDir d) {
+  return d == GlobalDir::Ccw ? "ccw" : "cw";
+}
+
+constexpr const char* to_string(Dir d) {
+  return d == Dir::Left ? "left" : "right";
+}
+
+/// A port slot: the access point of `node` onto the incident edge in global
+/// direction `side`.  Two ports exist per node; ports are held in mutual
+/// exclusion (paper, Section 2.1).
+struct PortRef {
+  NodeId node = kNoNode;
+  GlobalDir side = GlobalDir::Ccw;
+
+  friend constexpr bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+}  // namespace dring

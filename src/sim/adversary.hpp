@@ -1,0 +1,105 @@
+// The adversary interface.
+//
+// The paper's adversary is omniscient: it knows the (deterministic)
+// protocol, the full configuration, and decides (a) which agents are active
+// each round (SSYNC), (b) which single edge is missing, and (c) how ties on
+// port acquisition break.  The engine exposes the full world state plus a
+// *probe* facility — "what would this agent do if activated now" — realised
+// by cloning the agent's brain, which is exactly the predictive power the
+// proofs use (e.g. Observation 1: "always removing the edge over which the
+// agent wants to leave").
+//
+// Concrete adversaries live in src/adversary; the interface lives here so
+// the engine does not depend on them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/snapshot.hpp"
+#include "ring/types.hpp"
+
+namespace dring::sim {
+
+class Engine;
+
+/// Read-only view of the world handed to adversaries.
+class WorldView {
+ public:
+  explicit WorldView(const Engine& engine) : engine_(&engine) {}
+
+  Round round() const;
+  NodeId ring_size() const;
+  int num_agents() const;
+
+  NodeId node_of(AgentId a) const;
+  bool on_port(AgentId a) const;
+  /// Global side of the held port (valid iff on_port).
+  GlobalDir port_side(AgentId a) const;
+  bool terminated(AgentId a) const;
+  bool active_last_round(AgentId a) const;
+  /// Rounds since the agent was last active (0 if active last round).
+  Round idle_rounds(AgentId a) const;
+
+  /// Probe: the global direction the agent would try to move if activated
+  /// right now (clone of its brain; the real state is untouched).
+  /// std::nullopt if it would stay / step off / terminate.
+  std::optional<GlobalDir> probe_move(AgentId a) const;
+
+  /// Probe the full intent (local frame) plus termination decision.
+  agent::Intent probe_intent(AgentId a) const;
+
+  /// Ground-truth visited set (adversaries in lower-bound constructions
+  /// track the explored region).
+  const std::vector<bool>& visited() const;
+
+  /// Edge the agent would traverse if it moved in global direction `d`.
+  EdgeId edge_towards(AgentId a, GlobalDir d) const;
+
+ private:
+  const Engine* engine_;
+};
+
+/// Intents of the agents activated this round, in global terms, as
+/// presented to the edge adversary.
+struct IntentRecord {
+  AgentId agent = -1;
+  agent::Intent intent;            ///< local frame (as computed)
+  std::optional<GlobalDir> move;   ///< global direction if Kind::Move
+  EdgeId target_edge = kNoEdge;    ///< edge it would traverse, if moving
+  bool port_acquired = false;      ///< outcome of the acquisition phase
+};
+
+/// Adversary: activation schedule + edge removal + tie-breaking.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Choose the set of active agents for this round (SSYNC).  The engine
+  /// post-processes the choice: terminated agents are dropped, fairness
+  /// and the ET condition are enforced, and an empty set is replaced by
+  /// "everyone" (a round must activate a non-empty subset).
+  /// Default: all agents (FSYNC behaviour).
+  virtual std::vector<bool> select_active(const WorldView& view);
+
+  /// Choose at most one edge to be missing this round, after observing the
+  /// active agents' intents and acquisition outcomes. Default: none.
+  virtual std::optional<EdgeId> choose_missing_edge(
+      const WorldView& view, const std::vector<IntentRecord>& intents);
+
+  /// Order in which contenders attempt to acquire a port (first wins).
+  /// Default: ascending agent id.
+  virtual void order_port_contenders(const WorldView& view, PortRef port,
+                                     std::vector<AgentId>& contenders);
+
+  virtual std::string name() const = 0;
+};
+
+/// The benign adversary: everyone active, no edge ever missing.
+class NullAdversary : public Adversary {
+ public:
+  std::string name() const override { return "null"; }
+};
+
+}  // namespace dring::sim

@@ -1,0 +1,459 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace dring::sim {
+
+// ---------------------------------------------------------------------------
+// WorldView
+// ---------------------------------------------------------------------------
+
+Round WorldView::round() const { return engine_->round_; }
+NodeId WorldView::ring_size() const { return engine_->ring_.size(); }
+int WorldView::num_agents() const { return engine_->num_agents(); }
+NodeId WorldView::node_of(AgentId a) const { return engine_->bodies_[a].node; }
+bool WorldView::on_port(AgentId a) const { return engine_->bodies_[a].on_port; }
+GlobalDir WorldView::port_side(AgentId a) const {
+  return engine_->bodies_[a].port_side;
+}
+bool WorldView::terminated(AgentId a) const {
+  return engine_->bodies_[a].terminated;
+}
+bool WorldView::active_last_round(AgentId a) const {
+  return engine_->bodies_[a].last_active_round == engine_->round_ - 1;
+}
+Round WorldView::idle_rounds(AgentId a) const {
+  return engine_->round_ - 1 - engine_->bodies_[a].last_active_round;
+}
+const std::vector<bool>& WorldView::visited() const {
+  return engine_->visited_;
+}
+
+agent::Intent WorldView::probe_intent(AgentId a) const {
+  const AgentBody& body = engine_->bodies_[a];
+  if (body.terminated) return agent::Intent::stay();
+  auto clone = engine_->brains_[a]->clone();
+  return clone->on_activate(engine_->make_snapshot(a), body.outcome);
+}
+
+std::optional<GlobalDir> WorldView::probe_move(AgentId a) const {
+  const agent::Intent intent = probe_intent(a);
+  if (intent.kind != agent::Intent::Kind::Move) return std::nullopt;
+  return engine_->bodies_[a].orientation.to_global(intent.dir);
+}
+
+EdgeId WorldView::edge_towards(AgentId a, GlobalDir d) const {
+  return engine_->ring_.edge_from(engine_->bodies_[a].node, d);
+}
+
+// ---------------------------------------------------------------------------
+// Adversary defaults
+// ---------------------------------------------------------------------------
+
+std::vector<bool> Adversary::select_active(const WorldView& view) {
+  return std::vector<bool>(static_cast<std::size_t>(view.num_agents()), true);
+}
+
+std::optional<EdgeId> Adversary::choose_missing_edge(
+    const WorldView& /*view*/, const std::vector<IntentRecord>& /*intents*/) {
+  return std::nullopt;
+}
+
+void Adversary::order_port_contenders(const WorldView& /*view*/,
+                                      PortRef /*port*/,
+                                      std::vector<AgentId>& /*contenders*/) {}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(NodeId n, std::optional<NodeId> landmark, Model model,
+               EngineOptions options)
+    : ring_(n, landmark),
+      model_(model),
+      options_(options),
+      adversary_(&null_adversary_),
+      visited_(static_cast<std::size_t>(n), false) {}
+
+AgentId Engine::add_agent(NodeId start, agent::Orientation orientation,
+                          std::unique_ptr<agent::Brain> brain) {
+  assert(start >= 0 && start < ring_.size());
+  const AgentId id = static_cast<AgentId>(bodies_.size());
+  AgentBody body;
+  body.id = id;
+  body.node = start;
+  body.orientation = orientation;
+  bodies_.push_back(body);
+  brains_.push_back(std::move(brain));
+  mark_visited(start);
+  return id;
+}
+
+void Engine::set_adversary(Adversary* adversary) {
+  adversary_ = adversary != nullptr ? adversary : &null_adversary_;
+}
+
+void Engine::mark_visited(NodeId v) {
+  if (!visited_[static_cast<std::size_t>(v)]) {
+    visited_[static_cast<std::size_t>(v)] = true;
+    ++visited_count_;
+    if (visited_count_ == ring_.size() && explored_round_ < 0)
+      explored_round_ = round_;
+  }
+}
+
+agent::Snapshot Engine::make_snapshot(AgentId a) const {
+  const AgentBody& self = bodies_[a];
+  agent::Snapshot snap;
+  snap.is_landmark = ring_.is_landmark(self.node);
+  snap.on_port = self.on_port;
+  if (self.on_port) snap.port_dir = self.orientation.to_local(self.port_side);
+  for (const AgentBody& other : bodies_) {
+    if (other.id == a || other.node != self.node) continue;
+    if (other.on_port) {
+      if (self.orientation.to_local(other.port_side) == Dir::Left) {
+        snap.others_on_left_port += 1;
+      } else {
+        snap.others_on_right_port += 1;
+      }
+    } else {
+      snap.others_in_node += 1;
+    }
+  }
+  return snap;
+}
+
+std::vector<bool> Engine::decide_activation() {
+  const WorldView view(*this);
+  std::vector<bool> active;
+  if (model_ == Model::FSYNC) {
+    active.assign(bodies_.size(), true);
+  } else {
+    active = adversary_->select_active(view);
+    active.resize(bodies_.size(), false);
+  }
+
+  // Terminated agents never activate.
+  for (const AgentBody& b : bodies_)
+    if (b.terminated) active[static_cast<std::size_t>(b.id)] = false;
+
+  // A round activates a non-empty subset of the (live) agents.
+  const bool none =
+      std::none_of(active.begin(), active.end(), [](bool x) { return x; });
+  if (none) {
+    bool any_live = false;
+    for (const AgentBody& b : bodies_) {
+      if (!b.terminated) {
+        active[static_cast<std::size_t>(b.id)] = true;
+        any_live = true;
+      }
+    }
+    if (!any_live) return active;  // everyone terminated
+    if (model_ != Model::FSYNC) ++fairness_interventions_;
+  }
+
+  // Activation fairness: no live agent sleeps longer than the window.
+  if (model_ != Model::FSYNC) {
+    for (AgentBody& b : bodies_) {
+      if (b.terminated || active[static_cast<std::size_t>(b.id)]) continue;
+      const Round idle = round_ - 1 - b.last_active_round;
+      if (idle >= options_.fairness_window) {
+        active[static_cast<std::size_t>(b.id)] = true;
+        ++fairness_interventions_;
+      }
+    }
+  }
+  return active;
+}
+
+bool Engine::step() {
+  const bool any_live = std::any_of(bodies_.begin(), bodies_.end(),
+                                    [](const AgentBody& b) {
+                                      return !b.terminated;
+                                    });
+  if (!any_live) return false;
+
+  ++round_;
+  ring_.restore_edges();
+  const WorldView view(*this);
+
+  // --- Phase 1: activation -------------------------------------------------
+  std::vector<bool> active = decide_activation();
+
+  // ET simultaneity enforcement: force-activate agents whose budget of
+  // "edge present while I slept" rounds is exhausted, and remember their
+  // edges so the adversary's removal can be vetoed below.
+  std::vector<EdgeId> et_protected;
+  if (model_ == Model::SSYNC_ET) {
+    for (AgentBody& b : bodies_) {
+      if (b.terminated || !b.on_port) continue;
+      if (b.et_missed_present >= options_.et_budget) {
+        if (!active[static_cast<std::size_t>(b.id)]) {
+          active[static_cast<std::size_t>(b.id)] = true;
+          ++fairness_interventions_;
+        }
+        et_protected.push_back(ring_.edge_from(b.node, b.port_side));
+        b.et_missed_present = 0;
+      }
+    }
+  }
+
+  // --- Phase 2: Look & Compute ---------------------------------------------
+  struct Computed {
+    AgentId agent;
+    agent::Intent intent;
+  };
+  std::vector<Computed> computed;
+  computed.reserve(bodies_.size());
+  for (AgentBody& b : bodies_) {
+    if (!active[static_cast<std::size_t>(b.id)]) continue;
+    const agent::Snapshot snap = make_snapshot(b.id);
+    const agent::Feedback fb = b.outcome;
+    b.outcome = {};
+    const agent::Intent intent = brains_[b.id]->on_activate(snap, fb);
+    computed.push_back({b.id, intent});
+    b.last_active_round = round_;
+  }
+
+  // --- Phase 3: terminations, releases, then port acquisition ---------------
+  // 3a. terminations and explicit port releases.
+  for (const Computed& cmp : computed) {
+    AgentBody& b = bodies_[cmp.agent];
+    switch (cmp.intent.kind) {
+      case agent::Intent::Kind::Terminate:
+        b.terminated = true;
+        b.termination_round = round_;
+        // Correctness oracle: the terminal state may be entered only after
+        // the exploration of the ring (paper, Section 2.1).
+        if (!explored()) premature_termination_ = true;
+        break;
+      case agent::Intent::Kind::StepOff:
+        if (b.on_port) {
+          ring_.release_port({b.node, b.port_side}, b.id);
+          b.on_port = false;
+        }
+        break;
+      case agent::Intent::Kind::Move: {
+        const GlobalDir gd = b.orientation.to_global(cmp.intent.dir);
+        if (b.on_port && b.port_side != gd) {
+          // Direction change: leave the old port before contending.
+          ring_.release_port({b.node, b.port_side}, b.id);
+          b.on_port = false;
+        }
+        break;
+      }
+      case agent::Intent::Kind::Stay:
+        break;  // stays wherever it is (possibly asleep on a port)
+    }
+  }
+
+  // 3b. group movers by target port and resolve mutual exclusion.
+  std::map<std::pair<NodeId, int>, std::vector<AgentId>> contenders;
+  for (const Computed& cmp : computed) {
+    AgentBody& b = bodies_[cmp.agent];
+    if (b.terminated || cmp.intent.kind != agent::Intent::Kind::Move) continue;
+    const GlobalDir gd = b.orientation.to_global(cmp.intent.dir);
+    b.outcome.attempted_move = true;
+    b.outcome.attempted_dir = cmp.intent.dir;
+    if (b.on_port && b.port_side == gd) {
+      b.outcome.port_acquired = true;  // keeps the port it already holds
+      continue;
+    }
+    contenders[{b.node, gd == GlobalDir::Ccw ? 0 : 1}].push_back(cmp.agent);
+  }
+  for (auto& [key, agents] : contenders) {
+    const PortRef port{key.first,
+                       key.second == 0 ? GlobalDir::Ccw : GlobalDir::Cw};
+    adversary_->order_port_contenders(view, port, agents);
+    for (AgentId a : agents) {
+      AgentBody& b = bodies_[a];
+      if (!b.outcome.port_acquired && ring_.acquire_port(port, a)) {
+        b.on_port = true;
+        b.port_side = port.side;
+        b.outcome.port_acquired = true;
+      }
+    }
+  }
+
+  // --- Phase 4: adversarial edge removal ------------------------------------
+  std::vector<IntentRecord> records;
+  records.reserve(computed.size());
+  for (const Computed& cmp : computed) {
+    const AgentBody& b = bodies_[cmp.agent];
+    IntentRecord rec;
+    rec.agent = cmp.agent;
+    rec.intent = cmp.intent;
+    if (cmp.intent.kind == agent::Intent::Kind::Move) {
+      const GlobalDir gd = b.orientation.to_global(cmp.intent.dir);
+      rec.move = gd;
+      rec.target_edge = ring_.edge_from(b.node, gd);
+      rec.port_acquired = b.outcome.port_acquired;
+    }
+    records.push_back(rec);
+  }
+  std::optional<EdgeId> missing =
+      adversary_->choose_missing_edge(view, records);
+  if (missing &&
+      std::find(et_protected.begin(), et_protected.end(), *missing) !=
+          et_protected.end()) {
+    // ET veto: the forced agent must act in a round where its edge is
+    // present; the adversary has exhausted its right to remove it.
+    missing.reset();
+    ++fairness_interventions_;
+  }
+  if (missing) {
+    const bool ok = ring_.remove_edge(*missing);
+    if (!ok)
+      violations_.push_back("round " + std::to_string(round_) +
+                            ": adversary attempted a second edge removal");
+  }
+
+  // --- Phase 5: movement -----------------------------------------------------
+  struct PendingMove {
+    AgentId agent;
+    NodeId to;
+    bool passive;
+    GlobalDir dir;
+  };
+  std::vector<PendingMove> moves;
+  for (AgentBody& b : bodies_) {
+    if (!b.on_port || b.terminated) continue;
+    const EdgeId e = ring_.edge_from(b.node, b.port_side);
+    const bool was_active = active[static_cast<std::size_t>(b.id)];
+    if (was_active) {
+      // Only agents whose Compute ended positioned on the port traverse.
+      if (b.outcome.attempted_move && b.outcome.port_acquired &&
+          ring_.edge_present(e)) {
+        moves.push_back(
+            {b.id, ring_.neighbour(b.node, b.port_side), false, b.port_side});
+      }
+    } else {
+      // Sleeping on a port.
+      if (ring_.edge_present(e)) {
+        if (model_ == Model::SSYNC_PT) {
+          moves.push_back({b.id, ring_.neighbour(b.node, b.port_side), true,
+                           b.port_side});
+        } else if (model_ == Model::SSYNC_ET) {
+          b.et_missed_present += 1;
+        }
+      }
+    }
+  }
+  for (const PendingMove& mv : moves) {
+    AgentBody& b = bodies_[mv.agent];
+    ring_.release_port({b.node, b.port_side}, b.id);
+    b.on_port = false;
+    b.node = mv.to;
+    mark_visited(mv.to);
+    if (mv.passive) {
+      b.passive_moves += 1;
+      b.outcome.transported = true;
+      b.outcome.transport_dir = b.orientation.to_local(mv.dir);
+    } else {
+      b.moves += 1;
+      b.outcome.moved = true;
+    }
+  }
+  // Agents that leave a port (even passively) owe no further ET debt.
+  for (AgentBody& b : bodies_)
+    if (!b.on_port) b.et_missed_present = 0;
+
+  // --- Phase 6: verification & trace ----------------------------------------
+  if (options_.verify) {
+    for (const AgentBody& b : bodies_) {
+      if (b.on_port) {
+        const auto holder = ring_.port_holder({b.node, b.port_side});
+        if (!holder || *holder != b.id) {
+          violations_.push_back("round " + std::to_string(round_) +
+                                ": agent " + std::to_string(b.id) +
+                                " on a port it does not hold");
+        }
+      }
+      if (b.node < 0 || b.node >= ring_.size()) {
+        violations_.push_back("round " + std::to_string(round_) + ": agent " +
+                              std::to_string(b.id) + " off the ring");
+      }
+    }
+  }
+
+  if (options_.record_trace) {
+    RoundTrace rt;
+    rt.round = round_;
+    rt.missing = ring_.missing_edge();
+    for (const AgentBody& b : bodies_) {
+      AgentTrace at;
+      at.id = b.id;
+      at.node = b.node;
+      at.on_port = b.on_port;
+      at.port_side = b.port_side;
+      at.active = active[static_cast<std::size_t>(b.id)];
+      at.terminated = b.terminated;
+      at.state = brains_[b.id]->state_name();
+      for (const Computed& cmp : computed)
+        if (cmp.agent == b.id) at.intent = cmp.intent;
+      rt.agents.push_back(std::move(at));
+    }
+    trace_.push_back(std::move(rt));
+  }
+
+  return true;
+}
+
+RunResult Engine::run(const StopPolicy& stop) {
+  RunResult result;
+  std::string reason = "max_rounds";
+  while (round_ < stop.max_rounds) {
+    const bool progressed = step();
+    if (!progressed) {
+      reason = "all_terminated";
+      break;
+    }
+    const int term = static_cast<int>(
+        std::count_if(bodies_.begin(), bodies_.end(),
+                      [](const AgentBody& b) { return b.terminated; }));
+    if (stop.stop_when_all_terminated &&
+        term == static_cast<int>(bodies_.size())) {
+      reason = "all_terminated";
+      break;
+    }
+    if (stop.stop_when_explored && explored()) {
+      reason = "explored";
+      break;
+    }
+    if (stop.stop_when_explored_and_one_terminated && explored() && term > 0) {
+      reason = "explored_and_one_terminated";
+      break;
+    }
+  }
+
+  result.explored = explored();
+  result.explored_round = explored_round_;
+  result.rounds = round_;
+  result.premature_termination = premature_termination_;
+  result.fairness_interventions = fairness_interventions_;
+  result.violations = violations_;
+  result.stop_reason = reason;
+  for (const AgentBody& b : bodies_) {
+    AgentResult ar;
+    ar.id = b.id;
+    ar.terminated = b.terminated;
+    ar.termination_round = b.termination_round;
+    ar.moves = b.moves;
+    ar.passive_moves = b.passive_moves;
+    ar.final_node = b.node;
+    ar.final_state = brains_[b.id]->state_name();
+    result.agents.push_back(std::move(ar));
+    result.active_moves += b.moves;
+    result.passive_moves += b.passive_moves;
+    if (b.terminated) result.terminated_agents += 1;
+  }
+  result.total_moves = result.active_moves + result.passive_moves;
+  result.all_terminated =
+      result.terminated_agents == static_cast<int>(bodies_.size());
+  return result;
+}
+
+}  // namespace dring::sim

@@ -1,0 +1,186 @@
+// The round-based simulation engine (paper, Section 2.1).
+//
+// Each round:
+//   1. all edges are restored; the adversary picks a non-empty activation
+//      set (engine enforces fairness, the ET simultaneity condition, and
+//      FSYNC semantics);
+//   2. every active agent Looks (snapshot of its node in its local frame,
+//      plus feedback about its previous activation) and Computes an Intent;
+//   3. port acquisition resolves under mutual exclusion, with adversarial
+//      tie-breaking; losers observe `failed`;
+//   4. the adversary — having seen full state and intents — removes at most
+//      one edge (1-interval connectivity);
+//   5. movement resolves: port holders that computed Move traverse iff
+//      their edge is present, otherwise they stay blocked on the port;
+//      under PT, agents *sleeping* on a port of a present edge are
+//      passively transported. Opposite-direction traversals of the same
+//      edge cross silently.
+//
+// The engine owns ground truth (visited set, move counts, termination
+// bookkeeping) and an optional per-round trace; a built-in verifier checks
+// model invariants every round and records violations instead of crashing,
+// so tests can assert on them.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/brain.hpp"
+#include "agent/orientation.hpp"
+#include "ring/dynamic_ring.hpp"
+#include "sim/adversary.hpp"
+#include "sim/models.hpp"
+
+namespace dring::sim {
+
+/// Simulator-side state of one agent.
+struct AgentBody {
+  AgentId id = -1;
+  NodeId node = kNoNode;
+  bool on_port = false;
+  GlobalDir port_side = GlobalDir::Ccw;  // valid iff on_port
+  agent::Orientation orientation;
+  bool terminated = false;
+  Round termination_round = -1;
+  long long moves = 0;          ///< active traversals
+  long long passive_moves = 0;  ///< PT transports
+
+  // Outcome record accumulated since the agent's last activation; delivered
+  // as Feedback at the next activation.
+  agent::Feedback outcome;
+
+  Round last_active_round = 0;  ///< 0 = never active yet
+  Round et_missed_present = 0;  ///< rounds slept on a port with edge present
+};
+
+/// One agent's slice of a trace record.
+struct AgentTrace {
+  AgentId id;
+  NodeId node;
+  bool on_port;
+  GlobalDir port_side;
+  bool active;
+  bool terminated;
+  std::string state;
+  agent::Intent intent;
+};
+
+/// One round of trace.
+struct RoundTrace {
+  Round round;
+  std::optional<EdgeId> missing;
+  std::vector<AgentTrace> agents;
+};
+
+/// Per-agent summary in a run result.
+struct AgentResult {
+  AgentId id;
+  bool terminated = false;
+  Round termination_round = -1;
+  long long moves = 0;
+  long long passive_moves = 0;
+  NodeId final_node = kNoNode;
+  std::string final_state;
+};
+
+/// Summary of a run.
+struct RunResult {
+  bool explored = false;
+  Round explored_round = -1;
+  Round rounds = 0;
+  long long total_moves = 0;    ///< active + passive traversals
+  long long active_moves = 0;
+  long long passive_moves = 0;
+  int terminated_agents = 0;
+  bool all_terminated = false;
+  /// An agent entered the terminal state before the ring was explored:
+  /// the paper's correctness condition was violated.
+  bool premature_termination = false;
+  /// Number of engine overrides of the adversary (fairness forcing, ET
+  /// vetoes). Non-zero values are legal; they show the adversary pushed
+  /// against its obligations.
+  long long fairness_interventions = 0;
+  std::vector<AgentResult> agents;
+  std::vector<std::string> violations;  ///< verifier findings (empty = ok)
+  std::string stop_reason;
+
+  bool any_terminated() const { return terminated_agents > 0; }
+  bool ok() const { return violations.empty() && !premature_termination; }
+};
+
+/// The simulation engine.
+class Engine {
+ public:
+  /// `landmark`: index of the landmark node, if the ring has one.
+  Engine(NodeId n, std::optional<NodeId> landmark, Model model,
+         EngineOptions options = {});
+
+  // Non-copyable, non-movable: WorldView and the adversary hold pointers
+  // into the engine.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Add an agent at `start` with the given orientation and protocol.
+  /// Returns its id (dense, starting at 0).
+  AgentId add_agent(NodeId start, agent::Orientation orientation,
+                    std::unique_ptr<agent::Brain> brain);
+
+  /// Install the adversary (must outlive the engine). If never called, a
+  /// NullAdversary is used.
+  void set_adversary(Adversary* adversary);
+
+  /// Execute one round. Returns false when no further progress is possible
+  /// (all agents terminated).
+  bool step();
+
+  /// Run until the stop policy triggers; returns the summary.
+  RunResult run(const StopPolicy& stop);
+
+  // --- inspection -----------------------------------------------------------
+  const ring::DynamicRing& ring() const { return ring_; }
+  Model model() const { return model_; }
+  Round round() const { return round_; }
+  int num_agents() const { return static_cast<int>(bodies_.size()); }
+  const AgentBody& body(AgentId a) const { return bodies_.at(a); }
+  const agent::Brain& brain(AgentId a) const { return *brains_.at(a); }
+  const std::vector<bool>& visited() const { return visited_; }
+  bool explored() const { return visited_count_ == ring_.size(); }
+  Round explored_round() const { return explored_round_; }
+  const std::vector<RoundTrace>& trace() const { return trace_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool premature_termination() const { return premature_termination_; }
+  long long fairness_interventions() const { return fairness_interventions_; }
+
+  /// Build the Look snapshot for an agent (local frame). Public so that
+  /// WorldView probing and tests can reuse the exact engine semantics.
+  agent::Snapshot make_snapshot(AgentId a) const;
+
+ private:
+  friend class WorldView;
+
+  std::vector<bool> decide_activation();
+  void mark_visited(NodeId v);
+
+  ring::DynamicRing ring_;
+  Model model_;
+  EngineOptions options_;
+  NullAdversary null_adversary_;
+  Adversary* adversary_;
+
+  std::vector<AgentBody> bodies_;
+  std::vector<std::unique_ptr<agent::Brain>> brains_;
+
+  Round round_ = 0;
+  std::vector<bool> visited_;
+  NodeId visited_count_ = 0;
+  Round explored_round_ = -1;
+  bool premature_termination_ = false;
+  long long fairness_interventions_ = 0;
+
+  std::vector<RoundTrace> trace_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace dring::sim

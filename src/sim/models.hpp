@@ -1,0 +1,74 @@
+// Synchrony and transport models (paper, Sections 1.2 and 2.1).
+//
+//   FSYNC     — every agent is active in every round.
+//   SSYNC+NS  — adversarial activation; a sleeping agent cannot move and
+//               gets no simultaneity guarantee (No Simultaneity).
+//   SSYNC+PT  — a sleeping agent on a port is passively transported across
+//               the edge whenever the edge is present (Passive Transport).
+//   SSYNC+ET  — a sleeping agent cannot move, but if its edge is present
+//               infinitely often it is eventually activated in a round in
+//               which the edge is present (Eventual Transport).
+#pragma once
+
+#include <cstdint>
+
+#include "ring/types.hpp"
+
+namespace dring::sim {
+
+enum class Model : std::uint8_t {
+  FSYNC,
+  SSYNC_NS,
+  SSYNC_PT,
+  SSYNC_ET,
+};
+
+constexpr const char* to_string(Model m) {
+  switch (m) {
+    case Model::FSYNC: return "FSYNC";
+    case Model::SSYNC_NS: return "SSYNC/NS";
+    case Model::SSYNC_PT: return "SSYNC/PT";
+    case Model::SSYNC_ET: return "SSYNC/ET";
+  }
+  return "?";
+}
+
+constexpr bool is_ssync(Model m) { return m != Model::FSYNC; }
+
+/// Engine knobs. Fairness parameters make the adversary's obligations
+/// ("every agent is activated infinitely often"; the ET simultaneity
+/// condition) concrete for finite executions; see DESIGN.md, Semantics
+/// decision 9.
+struct EngineOptions {
+  /// Every non-terminated agent must be activated at least once in any
+  /// window of `fairness_window` consecutive rounds (engine forces the
+  /// activation and logs the override).
+  Round fairness_window = 64;
+
+  /// ET model: after an agent has slept on a port through `et_budget`
+  /// rounds in which its edge was present, the engine forces it active on
+  /// the next round where the edge is present (vetoing the adversary's
+  /// removal of that edge if needed).
+  Round et_budget = 8;
+
+  /// Record a full per-round trace (costly; for tests/examples).
+  bool record_trace = false;
+
+  /// Run the per-round invariant verifier (cheap; on by default).
+  bool verify = true;
+};
+
+/// When a run stops.
+struct StopPolicy {
+  Round max_rounds = 1'000'000;
+  /// Stop as soon as every node has been visited (unconscious exploration).
+  bool stop_when_explored = false;
+  /// Stop when every agent has terminated.
+  bool stop_when_all_terminated = true;
+  /// Stop when the ring is explored AND at least one agent terminated
+  /// (partial-termination runs, where the other agent may legitimately
+  /// wait on a port forever).
+  bool stop_when_explored_and_one_terminated = false;
+};
+
+}  // namespace dring::sim

@@ -1,0 +1,51 @@
+#include "sim/trace_io.hpp"
+
+#include <map>
+#include <memory>
+
+namespace dring::sim {
+
+void write_trace_csv(const std::vector<RoundTrace>& trace, std::ostream& os) {
+  os << "round,missing_edge,agent,node,on_port,port_side,active,terminated,"
+        "state\n";
+  for (const RoundTrace& rt : trace) {
+    for (const AgentTrace& at : rt.agents) {
+      os << rt.round << ','
+         << (rt.missing ? std::to_string(*rt.missing) : "") << ',' << at.id
+         << ',' << at.node << ',' << (at.on_port ? 1 : 0) << ','
+         << (at.on_port ? to_string(at.port_side) : "") << ','
+         << (at.active ? 1 : 0) << ',' << (at.terminated ? 1 : 0) << ','
+         << at.state << '\n';
+    }
+  }
+}
+
+std::function<std::optional<EdgeId>(Round)> edge_schedule_of(
+    const std::vector<RoundTrace>& trace) {
+  auto schedule = std::make_shared<std::map<Round, EdgeId>>();
+  for (const RoundTrace& rt : trace)
+    if (rt.missing) (*schedule)[rt.round] = *rt.missing;
+  return [schedule](Round r) -> std::optional<EdgeId> {
+    const auto it = schedule->find(r);
+    if (it == schedule->end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+std::function<std::vector<bool>(Round)> activation_schedule_of(
+    const std::vector<RoundTrace>& trace) {
+  auto schedule = std::make_shared<std::map<Round, std::vector<bool>>>();
+  for (const RoundTrace& rt : trace) {
+    std::vector<bool> act(rt.agents.size());
+    for (std::size_t i = 0; i < rt.agents.size(); ++i)
+      act[i] = rt.agents[i].active;
+    (*schedule)[rt.round] = std::move(act);
+  }
+  return [schedule](Round r) -> std::vector<bool> {
+    const auto it = schedule->find(r);
+    if (it == schedule->end()) return {};
+    return it->second;
+  };
+}
+
+}  // namespace dring::sim

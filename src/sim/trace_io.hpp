@@ -1,0 +1,59 @@
+// Trace serialization and replay.
+//
+// A recorded trace can be (a) exported as CSV for offline analysis and
+// (b) turned back into a scripted edge schedule so a run can be replayed
+// exactly — the regression workflow for investigating a failing scenario:
+// capture the schedule once, replay it deterministically forever after.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace dring::sim {
+
+/// Write a trace as CSV: one row per (round, agent) with the missing edge,
+/// position, port, activity, state and termination flag.
+void write_trace_csv(const std::vector<RoundTrace>& trace, std::ostream& os);
+
+/// Extract the missing-edge schedule of a trace as a round-indexed script
+/// (usable with adversary::ScriptedEdgeAdversary). Rounds beyond the
+/// recorded trace have no removal.
+std::function<std::optional<EdgeId>(Round)> edge_schedule_of(
+    const std::vector<RoundTrace>& trace);
+
+/// Extract the activation schedule of a trace (usable to replay SSYNC
+/// activations). Rounds beyond the trace activate everyone.
+std::function<std::vector<bool>(Round)> activation_schedule_of(
+    const std::vector<RoundTrace>& trace);
+
+/// Full replay adversary: reproduces both the missing-edge and the
+/// activation schedule of a recorded trace.
+class ReplayAdversary : public Adversary {
+ public:
+  explicit ReplayAdversary(const std::vector<RoundTrace>& trace)
+      : edges_(edge_schedule_of(trace)),
+        activations_(activation_schedule_of(trace)) {}
+
+  std::vector<bool> select_active(const WorldView& view) override {
+    std::vector<bool> act = activations_(view.round());
+    act.resize(static_cast<std::size_t>(view.num_agents()), true);
+    return act;
+  }
+
+  std::optional<EdgeId> choose_missing_edge(
+      const WorldView& view, const std::vector<IntentRecord>&) override {
+    return edges_(view.round());
+  }
+
+  std::string name() const override { return "replay"; }
+
+ private:
+  std::function<std::optional<EdgeId>(Round)> edges_;
+  std::function<std::vector<bool>(Round)> activations_;
+};
+
+}  // namespace dring::sim

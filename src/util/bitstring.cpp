@@ -1,0 +1,61 @@
+#include "util/bitstring.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dring::util {
+
+std::string to_binary(std::uint64_t v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.push_back((v & 1) != 0 ? '1' : '0');
+    v >>= 1;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t from_binary(const std::string& bits) {
+  std::uint64_t v = 0;
+  for (char c : bits) {
+    assert(c == '0' || c == '1');
+    v = (v << 1) | static_cast<std::uint64_t>(c == '1');
+  }
+  return v;
+}
+
+std::string pad_left(const std::string& bits, std::size_t width) {
+  if (bits.size() >= width) return bits;
+  return std::string(width - bits.size(), '0') + bits;
+}
+
+std::string interleave3(const std::string& a, const std::string& b,
+                        const std::string& c) {
+  const std::size_t w = std::max({a.size(), b.size(), c.size()});
+  const std::string pa = pad_left(a, w);
+  const std::string pb = pad_left(b, w);
+  const std::string pc = pad_left(c, w);
+  std::string out;
+  out.reserve(3 * w);
+  for (std::size_t i = 0; i < w; ++i) {
+    out.push_back(pa[i]);
+    out.push_back(pb[i]);
+    out.push_back(pc[i]);
+  }
+  return out;
+}
+
+std::uint64_t interleaved_id(std::uint64_t k1, std::uint64_t k2,
+                             std::uint64_t k3) {
+  return from_binary(interleave3(to_binary(k1), to_binary(k2), to_binary(k3)));
+}
+
+std::string dup(const std::string& s, std::size_t k) {
+  std::string out;
+  out.reserve(s.size() * k);
+  for (char c : s) out.append(k, c);
+  return out;
+}
+
+}  // namespace dring::util

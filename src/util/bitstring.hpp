@@ -1,0 +1,45 @@
+// Bit-string helpers for the ID machinery of Section 3.2.3 of the paper.
+//
+// The no-chirality algorithms derive agent IDs by interleaving the binary
+// representations of three counters (k1, k2, k3), then expand the ID into a
+// per-phase direction schedule via S(ID) = "10" + b(ID) + "0" and character
+// duplication Dup(S, k).  These operations are kept here as pure functions
+// over std::string bit strings ("0"/"1" characters) so they can be unit
+// tested against the worked examples in Figures 9, 10 and 11 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dring::util {
+
+/// Minimal binary representation of `v` (MSB first). b(0) == "0".
+std::string to_binary(std::uint64_t v);
+
+/// Parse an MSB-first bit string into a number. Accepts leading zeros.
+/// Empty strings parse to 0.
+std::uint64_t from_binary(const std::string& bits);
+
+/// Left-pad `bits` with '0' up to `width` characters. If `bits` is already
+/// at least `width` long it is returned unchanged.
+std::string pad_left(const std::string& bits, std::size_t width);
+
+/// Interleave three equal-length bit strings a,b,c MSB-first:
+/// result = a0 b0 c0 a1 b1 c1 ...  Inputs of different lengths are first
+/// left-padded with zeros to the longest length (paper, Section 3.2.3:
+/// "Each ki string of bits is padded by a prefix 0 until its length is
+/// equal to the biggest of the three").
+std::string interleave3(const std::string& a, const std::string& b,
+                        const std::string& c);
+
+/// Compute the paper's agent ID from counters k1,k2,k3: interleave the
+/// padded binary representations and read the result as a binary number
+/// (leading zeros are ignored by the numeric conversion, as in Figure 9).
+std::uint64_t interleaved_id(std::uint64_t k1, std::uint64_t k2,
+                             std::uint64_t k3);
+
+/// Dup(S, k): repeat every character of S `k` times.
+/// Dup("1010", 2) == "11001100".
+std::string dup(const std::string& s, std::size_t k);
+
+}  // namespace dring::util

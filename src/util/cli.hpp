@@ -1,0 +1,34 @@
+// Tiny command line flag parser for examples and benches.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` flags.
+// Unknown flags are collected so callers can decide whether to reject them
+// (google-benchmark binaries forward their own flags).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dring::util {
+
+/// Parsed command line: `--key=value` pairs plus positional arguments.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  long long get_int(const std::string& name, long long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dring::util

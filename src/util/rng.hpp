@@ -1,0 +1,68 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in the library (random adversaries, random
+// activation schedulers, randomized start positions in tests/benches) draws
+// from a dring::util::Rng so that a run is a pure function of its
+// configuration + seed.  The generator is splitmix64-seeded xoshiro256**,
+// small, fast, and reproducible across platforms (unlike std::mt19937
+// paired with std::uniform_int_distribution, whose output is
+// implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dring::util {
+
+/// xoshiro256** pseudo random generator with splitmix64 seeding.
+///
+/// Satisfies UniformRandomBitGenerator, but prefer the member helpers
+/// (`next_u64`, `below`, `in_range`, `chance`) which are portable across
+/// standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()() { return next_u64(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so the result is exactly uniform and portable.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in the inclusive range [lo, hi].
+  std::int64_t in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fisher-Yates shuffle of a vector (uniform over permutations).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dring::util

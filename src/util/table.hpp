@@ -1,0 +1,53 @@
+// Minimal ASCII table renderer used by the benchmark harnesses to print
+// paper-style tables (Tables 1-4) with an extra "measured" column.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dring::util {
+
+/// Column-aligned ASCII table.  Rows are added as vectors of cells; the
+/// renderer sizes every column to its widest cell.  Intended for terminal
+/// output of benchmark results, not for machine parsing (benches also emit
+/// CSV when asked).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator line (rendered as dashes).
+  void add_separator();
+
+  /// Render with box-drawing ASCII (| and -).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no escaping beyond quoting cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format helper: fixed precision double (e.g. fmt_double(3.14159, 2) ->
+/// "3.14").
+std::string fmt_double(double v, int precision);
+
+/// Format helper: integral value with thousands separators
+/// (fmt_count(1234567) -> "1,234,567").
+std::string fmt_count(long long v);
+
+}  // namespace dring::util

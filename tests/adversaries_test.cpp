@@ -1,0 +1,241 @@
+// Unit tests for the adversary library: each strategy does exactly what
+// its proof requires (blocking, meeting prevention, NS starvation, head-on
+// pinning, segment sealing, scripted schedules) and stays deterministic.
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "core/runner.hpp"
+
+namespace dring::adversary {
+namespace {
+
+using algo::AlgorithmId;
+using core::default_config;
+using core::ExplorationConfig;
+
+TEST(FixedEdge, KeepsEdgeOutForever) {
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 6);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 50;
+  cfg.stop.stop_when_explored = false;
+  FixedEdgeAdversary adv(3);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  for (const sim::RoundTrace& rt : engine->trace())
+    EXPECT_EQ(rt.missing, std::optional<EdgeId>(3));
+}
+
+TEST(RandomAdversary, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::PTBoundWithChirality, 9);
+    cfg.stop.max_rounds = 100'000;
+    RandomAdversary adv(0.5, 0.6, seed);
+    return core::run_exploration(cfg, &adv);
+  };
+  const sim::RunResult a = run(7);
+  const sim::RunResult b = run(7);
+  const sim::RunResult c = run(8);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.explored_round, b.explored_round);
+  // A different seed gives a different execution (statistically certain).
+  EXPECT_TRUE(a.rounds != c.rounds || a.total_moves != c.total_moves);
+}
+
+TEST(ScriptedEdge, FollowsScript) {
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 6);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 6;
+  cfg.stop.stop_when_explored = false;
+  ScriptedEdgeAdversary adv([](Round r) -> std::optional<EdgeId> {
+    if (r <= 2) return 1;
+    if (r == 4) return 5;
+    return std::nullopt;
+  });
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  const auto& tr = engine->trace();
+  ASSERT_EQ(tr.size(), 6u);
+  EXPECT_EQ(tr[0].missing, std::optional<EdgeId>(1));
+  EXPECT_EQ(tr[1].missing, std::optional<EdgeId>(1));
+  EXPECT_FALSE(tr[2].missing.has_value());
+  EXPECT_EQ(tr[3].missing, std::optional<EdgeId>(5));
+  EXPECT_FALSE(tr[4].missing.has_value());
+}
+
+TEST(Fig2Script, MatchesPaperSchedule) {
+  const NodeId n = 10, i = 2;
+  auto script = make_fig2_script(n, i);
+  // Rounds 1..n-3: edge i missing.
+  for (Round r = 1; r <= n - 3; ++r)
+    EXPECT_EQ(script(r), std::optional<EdgeId>(i)) << r;
+  // Rounds n-2..3n-6: edge i-2 missing.
+  for (Round r = n - 2; r <= 3 * n - 6; ++r)
+    EXPECT_EQ(script(r), std::optional<EdgeId>(i - 2)) << r;
+  EXPECT_FALSE(script(3 * n - 5).has_value());
+}
+
+TEST(Fig2Script, WrapsEdgeIndexForSmallI) {
+  const NodeId n = 8;
+  auto script = make_fig2_script(n, 0);
+  EXPECT_EQ(script(n - 2), std::optional<EdgeId>(6));  // (0 - 2) mod 8
+  auto script1 = make_fig2_script(n, 1);
+  EXPECT_EQ(script1(n - 2), std::optional<EdgeId>(7));
+}
+
+TEST(RotationActivation, OneLiveAgentPerRound) {
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundNoChirality, 8);
+  cfg.engine.record_trace = true;
+  cfg.engine.fairness_window = 1000;
+  cfg.stop.max_rounds = 30;
+  cfg.stop.stop_when_all_terminated = false;
+  cfg.stop.stop_when_explored_and_one_terminated = false;
+  RotationActivationAdversary adv(2);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  for (const sim::RoundTrace& rt : engine->trace()) {
+    int active = 0;
+    for (const auto& at : rt.agents) active += at.active ? 1 : 0;
+    EXPECT_EQ(active, 1) << "round " << rt.round;
+  }
+}
+
+TEST(BlockAgent, VictimNeverMovesOthersDo) {
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 8);
+  cfg.stop.max_rounds = 300;
+  cfg.stop.stop_when_explored = false;
+  BlockAgentAdversary adv(1);
+  const sim::RunResult r = core::run_exploration(cfg, &adv);
+  EXPECT_EQ(r.agents[1].moves + r.agents[1].passive_moves, 0);
+  EXPECT_GT(r.agents[0].moves, 0);
+}
+
+TEST(PreventMeeting, RemovesNothingWhenAgentsAreFar) {
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 12);
+  cfg.start_nodes = {0, 6};
+  cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 3;  // far apart: no interference yet
+  cfg.stop.stop_when_explored = false;
+  PreventMeetingAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  for (const sim::RoundTrace& rt : engine->trace())
+    EXPECT_FALSE(rt.missing.has_value());
+}
+
+TEST(PreventMeeting, AllowsSilentCrossings) {
+  // Head-on agents at odd distance cross on an edge; that is not a meeting
+  // and must not be prevented.
+  ExplorationConfig cfg = default_config(AlgorithmId::ETUnconscious, 7);
+  cfg.model = sim::Model::FSYNC;
+  cfg.start_nodes = {0, 1};
+  cfg.orientations = {agent::kChiralOrientation, agent::kMirroredOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 1;
+  cfg.stop.stop_when_explored = false;
+  PreventMeetingAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Both agents moved across edge 0 in round 1 (swap).
+  EXPECT_EQ(engine->body(0).node, 1);
+  EXPECT_EQ(engine->body(1).node, 0);
+}
+
+TEST(NsFirstMover, ActivatesNonMoversPlusOneMover) {
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundWithChirality, 8);
+  cfg.model = sim::Model::SSYNC_NS;
+  cfg.engine.record_trace = true;
+  cfg.engine.fairness_window = 1000;
+  cfg.stop.max_rounds = 40;
+  cfg.stop.stop_when_all_terminated = false;
+  cfg.stop.stop_when_explored_and_one_terminated = false;
+  NsFirstMoverAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Both agents always want to move left, so exactly one (the mover that
+  // slept longest) is active each round, and nobody ever moves.
+  EXPECT_EQ(engine->body(0).moves, 0);
+  EXPECT_EQ(engine->body(1).moves, 0);
+  long long activations0 = 0, activations1 = 0;
+  for (const sim::RoundTrace& rt : engine->trace()) {
+    activations0 += rt.agents[0].active ? 1 : 0;
+    activations1 += rt.agents[1].active ? 1 : 0;
+  }
+  // Fairness: the scheduler alternates the chosen first mover.
+  EXPECT_GT(activations0, 5);
+  EXPECT_GT(activations1, 5);
+}
+
+TEST(SlidingWindow, SelectsChaserAndParkedLeader) {
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundWithChirality, 10);
+  cfg.start_nodes = {4, 0};
+  cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+  cfg.engine.record_trace = true;
+  cfg.engine.fairness_window = 4096;
+  cfg.stop.max_rounds = 30;
+  cfg.stop.stop_when_all_terminated = false;
+  cfg.stop.stop_when_explored_and_one_terminated = false;
+  SlidingWindowAdversary adv(0, 1);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // The leader is blocked on its port from round 2 onward and sleeps.
+  bool leader_on_port_some_round = false;
+  for (const sim::RoundTrace& rt : engine->trace())
+    leader_on_port_some_round |= rt.agents[0].on_port;
+  EXPECT_TRUE(leader_on_port_some_round);
+  EXPECT_EQ(engine->body(0).moves, 0);  // leader never actively moves
+  EXPECT_GT(engine->body(1).moves, 0);  // chaser is marched around
+}
+
+TEST(HeadOnPin, PinsApproachingAgents) {
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::PTLandmarkWithChirality, 8);
+  cfg.orientations = {agent::kChiralOrientation, agent::kMirroredOrientation};
+  cfg.start_nodes = {0, 5};
+  cfg.stop.max_rounds = 200;
+  cfg.stop.stop_when_all_terminated = false;
+  cfg.stop.stop_when_explored_and_one_terminated = false;
+  HeadOnPinAdversary adv(0, 1);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  ASSERT_TRUE(adv.pinned().has_value());
+  // Both agents starve on the two ports of the pinned edge.
+  EXPECT_TRUE(engine->body(0).on_port);
+  EXPECT_TRUE(engine->body(1).on_port);
+  const auto [u, v] = engine->ring().endpoints(*adv.pinned());
+  EXPECT_TRUE((engine->body(0).node == u && engine->body(1).node == v) ||
+              (engine->body(0).node == v && engine->body(1).node == u));
+}
+
+TEST(SegmentSeal, AlternatesSealEdges) {
+  ExplorationConfig cfg = default_config(AlgorithmId::ETBoundNoChirality, 12);
+  cfg.exact_n = 12;
+  cfg.start_nodes = {1, 4, 6};
+  cfg.engine.record_trace = true;
+  cfg.engine.et_budget = 1'000'000;
+  cfg.engine.fairness_window = 1'000'000;
+  cfg.stop.max_rounds = 4000;
+  cfg.stop.stop_when_all_terminated = false;
+  cfg.stop.stop_when_explored_and_one_terminated = false;
+  SegmentSealAdversary adv(7, 11);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // No agent ever escapes the sealed segment {0..7}.
+  for (const sim::RoundTrace& rt : engine->trace()) {
+    for (const auto& at : rt.agents)
+      EXPECT_LE(at.node, 7) << "round " << rt.round;
+    if (rt.missing) {
+      EXPECT_TRUE(*rt.missing == 7 || *rt.missing == 11);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dring::adversary

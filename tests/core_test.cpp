@@ -1,0 +1,166 @@
+// Tests for the public API (core::default_config, make_engine,
+// run_exploration, the algorithm registry and the feasibility map).
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "core/feasibility_map.hpp"
+#include "core/runner.hpp"
+
+namespace dring::core {
+namespace {
+
+using algo::AlgorithmId;
+
+TEST(Registry, AllAlgorithmsHaveConsistentMetadata) {
+  const auto& all = algo::all_algorithms();
+  EXPECT_EQ(all.size(), 11u);  // one per theorem row of Tables 2 and 4
+  for (const algo::AlgorithmInfo& meta : all) {
+    EXPECT_FALSE(meta.name.empty());
+    EXPECT_GE(meta.num_agents, 2);
+    EXPECT_LE(meta.num_agents, 3);
+    EXPECT_EQ(&algo::info(meta.id), &meta);
+    EXPECT_EQ(&algo::info_by_name(meta.name), &meta);
+  }
+  EXPECT_THROW(algo::info_by_name("NoSuchAlgorithm"), std::invalid_argument);
+}
+
+TEST(Registry, MakeBrainValidatesKnowledge) {
+  agent::Knowledge none;
+  EXPECT_THROW(algo::make_brain(AlgorithmId::KnownNNoChirality, none),
+               std::invalid_argument);
+  EXPECT_THROW(algo::make_brain(AlgorithmId::PTBoundWithChirality, none),
+               std::invalid_argument);
+  EXPECT_THROW(algo::make_brain(AlgorithmId::ETBoundNoChirality, none),
+               std::invalid_argument);
+  agent::Knowledge with_bound;
+  with_bound.upper_bound = 8;
+  EXPECT_NO_THROW(algo::make_brain(AlgorithmId::KnownNNoChirality, with_bound));
+  agent::Knowledge with_n;
+  with_n.exact_n = 8;
+  EXPECT_NO_THROW(algo::make_brain(AlgorithmId::ETBoundNoChirality, with_n));
+}
+
+TEST(Registry, BrainsReportTheirAlgorithmName) {
+  for (const algo::AlgorithmInfo& meta : algo::all_algorithms()) {
+    agent::Knowledge k;
+    if (meta.needs_upper_bound) k.upper_bound = 8;
+    if (meta.needs_exact_n) k.exact_n = 8;
+    const auto brain = algo::make_brain(meta.id, k);
+    EXPECT_EQ(brain->algorithm_name(), meta.name);
+    EXPECT_FALSE(brain->terminated());
+    // clone() must produce an equal-state copy.
+    const auto copy = brain->clone();
+    EXPECT_EQ(copy->state_name(), brain->state_name());
+  }
+}
+
+TEST(DefaultConfig, MatchesTheoremAssumptions) {
+  for (const algo::AlgorithmInfo& meta : algo::all_algorithms()) {
+    const ExplorationConfig cfg = default_config(meta.id, 9);
+    EXPECT_EQ(cfg.model, meta.model) << meta.name;
+    EXPECT_EQ(cfg.num_agents, meta.num_agents) << meta.name;
+    EXPECT_EQ(cfg.landmark.has_value(), meta.needs_landmark) << meta.name;
+    EXPECT_EQ(cfg.upper_bound.has_value(), meta.needs_upper_bound)
+        << meta.name;
+    EXPECT_EQ(cfg.exact_n.has_value(), meta.needs_exact_n) << meta.name;
+    // Chirality: all orientations equal iff required.
+    bool all_equal = true;
+    for (const auto& o : cfg.orientations)
+      all_equal = all_equal && o == cfg.orientations.front();
+    if (meta.needs_chirality) {
+      EXPECT_TRUE(all_equal) << meta.name;
+    }
+    if (!meta.needs_chirality && meta.num_agents >= 2) {
+      EXPECT_FALSE(all_equal) << meta.name;
+    }
+    EXPECT_EQ(static_cast<int>(cfg.start_nodes.size()), meta.num_agents);
+  }
+}
+
+TEST(DefaultConfig, StartFromLandmarkPlacesAgentsOnLandmark) {
+  const ExplorationConfig cfg =
+      default_config(AlgorithmId::StartFromLandmarkNoChirality, 8);
+  ASSERT_TRUE(cfg.landmark.has_value());
+  for (NodeId s : cfg.start_nodes) EXPECT_EQ(s, *cfg.landmark);
+}
+
+TEST(MakeEngine, ValidatesConfig) {
+  ExplorationConfig cfg = default_config(AlgorithmId::LandmarkWithChirality, 8);
+  sim::NullAdversary adv;
+
+  cfg.landmark.reset();
+  EXPECT_THROW(make_engine(cfg, &adv), std::invalid_argument);
+
+  cfg = default_config(AlgorithmId::LandmarkWithChirality, 8);
+  cfg.start_nodes = {1};  // wrong count
+  EXPECT_THROW(make_engine(cfg, &adv), std::invalid_argument);
+
+  cfg = default_config(AlgorithmId::LandmarkWithChirality, 8);
+  cfg.orientations = {agent::kChiralOrientation};  // wrong count
+  EXPECT_THROW(make_engine(cfg, &adv), std::invalid_argument);
+}
+
+TEST(MakeEngine, PlacesAgentsAsConfigured) {
+  ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, 10);
+  cfg.start_nodes = {3, 7};
+  sim::NullAdversary adv;
+  auto engine = make_engine(cfg, &adv);
+  EXPECT_EQ(engine->num_agents(), 2);
+  EXPECT_EQ(engine->body(0).node, 3);
+  EXPECT_EQ(engine->body(1).node, 7);
+  EXPECT_TRUE(engine->visited()[3]);
+  EXPECT_TRUE(engine->visited()[7]);
+  EXPECT_FALSE(engine->visited()[0]);
+}
+
+TEST(RunExploration, DeterministicForSameConfig) {
+  for (const AlgorithmId id :
+       {AlgorithmId::KnownNNoChirality, AlgorithmId::LandmarkWithChirality,
+        AlgorithmId::PTBoundNoChirality}) {
+    ExplorationConfig cfg = default_config(id, 9);
+    cfg.stop.max_rounds = 500'000;
+    adversary::TargetedRandomAdversary a1(0.6, 0.7, 33);
+    adversary::TargetedRandomAdversary a2(0.6, 0.7, 33);
+    const sim::RunResult r1 = run_exploration(cfg, &a1);
+    const sim::RunResult r2 = run_exploration(cfg, &a2);
+    EXPECT_EQ(r1.rounds, r2.rounds);
+    EXPECT_EQ(r1.total_moves, r2.total_moves);
+    EXPECT_EQ(r1.explored_round, r2.explored_round);
+    EXPECT_EQ(r1.terminated_agents, r2.terminated_agents);
+  }
+}
+
+TEST(FeasibilityMap, SmallSweepIsClean) {
+  FeasibilitySweep sweep;
+  sweep.sizes = {5, 8};
+  sweep.seeds_per_size = 2;
+  sweep.max_rounds = 2'000'000;
+  const std::vector<FeasibilityRow> rows = build_feasibility_map(sweep);
+  ASSERT_EQ(rows.size(), algo::all_algorithms().size());
+  for (const FeasibilityRow& row : rows) {
+    EXPECT_TRUE(row.ok()) << row.meta.name << ": explored " << row.explored
+                          << "/" << row.runs << ", premature "
+                          << row.premature;
+    if (row.meta.terminating) {
+      EXPECT_EQ(row.partial_termination, row.runs) << row.meta.name;
+    }
+    if (!row.meta.terminating) {
+      EXPECT_EQ(row.partial_termination, 0) << row.meta.name;
+    }
+  }
+}
+
+TEST(FeasibilityMap, PrintsOneRowPerAlgorithm) {
+  FeasibilitySweep sweep;
+  sweep.sizes = {5};
+  sweep.seeds_per_size = 1;
+  const auto rows = build_feasibility_map(sweep);
+  std::ostringstream ss;
+  print_feasibility_map(rows, ss);
+  const std::string out = ss.str();
+  for (const algo::AlgorithmInfo& meta : algo::all_algorithms())
+    EXPECT_NE(out.find(meta.name), std::string::npos) << meta.name;
+}
+
+}  // namespace
+}  // namespace dring::core

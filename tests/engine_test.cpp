@@ -1,0 +1,447 @@
+// Engine semantics tests: Look-Compute-Move rounds, port mutual exclusion,
+// blocking, silent crossings, passive transport (PT), the ET simultaneity
+// condition, activation fairness, feedback delivery and ground truth.
+//
+// These tests drive the engine with purpose-built script/walker brains
+// rather than the paper's algorithms, so each model rule is checked in
+// isolation.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "adversary/basic_adversaries.hpp"
+#include "sim/engine.hpp"
+
+namespace dring::sim {
+namespace {
+
+using agent::Feedback;
+using agent::Intent;
+using agent::Snapshot;
+
+/// Brain that replays a fixed list of intents (then stays forever) and
+/// records the feedback it received.
+class ScriptBrain final : public agent::Brain {
+ public:
+  explicit ScriptBrain(std::deque<Intent> script) : script_(std::move(script)) {}
+
+  Intent on_activate(const Snapshot& snap, const Feedback& fb) override {
+    last_snapshot_ = snap;
+    feedback_log_.push_back(fb);
+    if (script_.empty()) return Intent::stay();
+    Intent next = script_.front();
+    script_.pop_front();
+    if (next.kind == Intent::Kind::Terminate) terminated_ = true;
+    return next;
+  }
+
+  bool terminated() const override { return terminated_; }
+  std::unique_ptr<agent::Brain> clone() const override {
+    return std::make_unique<ScriptBrain>(*this);
+  }
+  std::string state_name() const override { return "script"; }
+  std::string algorithm_name() const override { return "ScriptBrain"; }
+
+  const std::vector<Feedback>& feedback_log() const { return feedback_log_; }
+  const Snapshot& last_snapshot() const { return last_snapshot_; }
+
+ private:
+  std::deque<Intent> script_;
+  std::vector<Feedback> feedback_log_;
+  Snapshot last_snapshot_;
+  bool terminated_ = false;
+};
+
+/// Brain that always moves in one local direction.
+class WalkerBrain final : public agent::Brain {
+ public:
+  explicit WalkerBrain(Dir dir) : dir_(dir) {}
+  Intent on_activate(const Snapshot&, const Feedback&) override {
+    return Intent::move(dir_);
+  }
+  bool terminated() const override { return false; }
+  std::unique_ptr<agent::Brain> clone() const override {
+    return std::make_unique<WalkerBrain>(*this);
+  }
+  std::string state_name() const override { return "walk"; }
+  std::string algorithm_name() const override { return "WalkerBrain"; }
+
+ private:
+  Dir dir_;
+};
+
+std::deque<Intent> moves(std::initializer_list<Intent> list) { return list; }
+
+TEST(Engine, WalkerTraversesRing) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  for (int i = 0; i < 4; ++i) e.step();
+  // Left = Ccw for the canonical orientation: 0 -> 1 -> 2 -> 3 -> 4.
+  EXPECT_EQ(e.body(0).node, 4);
+  EXPECT_EQ(e.body(0).moves, 4);
+  EXPECT_TRUE(e.explored());
+  EXPECT_EQ(e.explored_round(), 4);
+}
+
+TEST(Engine, MirroredOrientationWalksClockwise) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kMirroredOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  e.step();
+  EXPECT_EQ(e.body(0).node, 4);  // mirrored left = Cw
+}
+
+TEST(Engine, MissingEdgeBlocksAndLeavesAgentOnPort) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  adversary::FixedEdgeAdversary adv(0);
+  e.set_adversary(&adv);
+  for (int i = 0; i < 3; ++i) e.step();
+  EXPECT_EQ(e.body(0).node, 0);
+  EXPECT_TRUE(e.body(0).on_port);
+  EXPECT_EQ(e.body(0).port_side, GlobalDir::Ccw);
+  EXPECT_EQ(e.body(0).moves, 0);
+}
+
+TEST(Engine, FeedbackReportsBlockedThenMoved) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  auto brain = std::make_unique<ScriptBrain>(
+      moves({Intent::move(Dir::Left), Intent::move(Dir::Left),
+             Intent::stay()}));
+  ScriptBrain* raw = brain.get();
+  e.add_agent(0, agent::kChiralOrientation, std::move(brain));
+
+  // Round 1: edge 0 missing -> blocked. Round 2: present -> moves.
+  adversary::ScriptedEdgeAdversary adv(
+      [](Round r) -> std::optional<EdgeId> {
+        return r == 1 ? std::optional<EdgeId>(0) : std::nullopt;
+      });
+  e.set_adversary(&adv);
+  e.step();
+  e.step();
+  e.step();
+
+  const auto& log = raw->feedback_log();
+  ASSERT_EQ(log.size(), 3u);
+  // First activation: nothing attempted yet.
+  EXPECT_FALSE(log[0].attempted_move);
+  // Second: the round-1 attempt was blocked on the port.
+  EXPECT_TRUE(log[1].attempted_move);
+  EXPECT_TRUE(log[1].port_acquired);
+  EXPECT_FALSE(log[1].moved);
+  EXPECT_TRUE(log[1].blocked());
+  // Third: the round-2 attempt succeeded.
+  EXPECT_TRUE(log[2].moved);
+  EXPECT_EQ(e.body(0).node, 1);
+}
+
+TEST(Engine, PortMutualExclusionMakesLoserFail) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  auto b0 = std::make_unique<ScriptBrain>(moves({Intent::move(Dir::Left)}));
+  auto b1 = std::make_unique<ScriptBrain>(moves({Intent::move(Dir::Left)}));
+  ScriptBrain* raw1 = b1.get();
+  e.add_agent(0, agent::kChiralOrientation, std::move(b0));  // same node!
+  e.add_agent(0, agent::kChiralOrientation, std::move(b1));
+  e.step();
+  e.step();  // deliver feedback
+
+  // Default tie-break: ascending id, so agent 0 wins the port.
+  EXPECT_EQ(e.body(0).node, 1);
+  const auto& log = raw1->feedback_log();
+  ASSERT_GE(log.size(), 2u);
+  EXPECT_TRUE(log[1].attempted_move);
+  EXPECT_FALSE(log[1].port_acquired);
+  EXPECT_TRUE(log[1].failed());
+  EXPECT_EQ(e.body(1).node, 0);
+  EXPECT_FALSE(e.body(1).on_port);
+}
+
+TEST(Engine, SilentCrossingOnSameEdge) {
+  // Agents at the two endpoints of edge 2 moving in opposite global
+  // directions traverse simultaneously and swap positions.
+  Engine e(6, std::nullopt, Model::FSYNC);
+  e.add_agent(2, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));  // Ccw: 2 -> 3
+  e.add_agent(3, agent::kMirroredOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));  // Cw: 3 -> 2
+  e.step();
+  EXPECT_EQ(e.body(0).node, 3);
+  EXPECT_EQ(e.body(1).node, 2);
+  EXPECT_EQ(e.body(0).moves, 1);
+  EXPECT_EQ(e.body(1).moves, 1);
+}
+
+TEST(Engine, BlockedAgentDeniesPortToOthers) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  auto b1 = std::make_unique<ScriptBrain>(
+      moves({Intent::stay(), Intent::move(Dir::Left), Intent::stay()}));
+  ScriptBrain* raw1 = b1.get();
+  e.add_agent(0, agent::kChiralOrientation, std::move(b1));  // same node
+
+  adversary::FixedEdgeAdversary adv(0);  // block agent 0 forever at node 0
+  e.set_adversary(&adv);
+  e.step();  // agent 0 takes the port, blocked
+  e.step();  // agent 1 tries the same port -> mutual exclusion failure
+  e.step();
+  const auto& log = raw1->feedback_log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_TRUE(log[2].failed());
+  // The loser also observes the blocked agent on the port in its snapshot.
+  EXPECT_EQ(raw1->last_snapshot().others_on_left_port, 1);
+}
+
+TEST(Engine, PassiveTransportMovesSleepingPortAgent) {
+  Engine e(5, std::nullopt, Model::SSYNC_PT);
+  auto b0 = std::make_unique<ScriptBrain>(moves({Intent::move(Dir::Left)}));
+  ScriptBrain* raw0 = b0.get();
+  e.add_agent(0, agent::kChiralOrientation, std::move(b0));
+  e.add_agent(1, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Right));
+
+  // Round 1: activate both, remove edge 0 so agent 0 is blocked on the port.
+  // Round 2: only agent 1 active; edge 0 present -> agent 0 is transported.
+  class PtScenario : public Adversary {
+   public:
+    std::vector<bool> select_active(const WorldView& view) override {
+      if (view.round() == 1) return {true, true};
+      return {false, true};
+    }
+    std::optional<EdgeId> choose_missing_edge(
+        const WorldView& view, const std::vector<IntentRecord>&) override {
+      return view.round() == 1 ? std::optional<EdgeId>(0) : std::nullopt;
+    }
+    std::string name() const override { return "pt-scenario"; }
+  } adv;
+  e.set_adversary(&adv);
+
+  e.step();
+  EXPECT_TRUE(e.body(0).on_port);
+  e.step();
+  EXPECT_FALSE(e.body(0).on_port);
+  EXPECT_EQ(e.body(0).node, 1);
+  EXPECT_EQ(e.body(0).passive_moves, 1);
+  EXPECT_EQ(e.body(0).moves, 0);
+
+  // Round 3: wake agent 0; the transport must be reported in feedback.
+  class WakeAll : public Adversary {
+   public:
+    std::string name() const override { return "wake-all"; }
+  } wake;
+  e.set_adversary(&wake);
+  e.step();
+  const auto& log = raw0->feedback_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log[1].transported);
+  EXPECT_EQ(log[1].transport_dir, Dir::Left);
+}
+
+TEST(Engine, NoTransportInNsModel) {
+  Engine e(5, std::nullopt, Model::SSYNC_NS);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<ScriptBrain>(moves({Intent::move(Dir::Left)})));
+  e.add_agent(1, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Right));
+  class NsScenario : public Adversary {
+   public:
+    std::vector<bool> select_active(const WorldView& view) override {
+      if (view.round() == 1) return {true, true};
+      return {false, true};
+    }
+    std::optional<EdgeId> choose_missing_edge(
+        const WorldView& view, const std::vector<IntentRecord>&) override {
+      return view.round() == 1 ? std::optional<EdgeId>(0) : std::nullopt;
+    }
+    std::string name() const override { return "ns-scenario"; }
+  } adv;
+  e.set_adversary(&adv);
+  e.step();
+  e.step();
+  e.step();
+  // Sleeping agent stays on its port even though the edge is present.
+  EXPECT_TRUE(e.body(0).on_port);
+  EXPECT_EQ(e.body(0).node, 0);
+  EXPECT_EQ(e.body(0).passive_moves, 0);
+}
+
+TEST(Engine, EtConditionForcesActivationAndVetoesRemoval) {
+  EngineOptions opts;
+  opts.et_budget = 3;
+  Engine e(5, std::nullopt, Model::SSYNC_ET, opts);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  e.add_agent(1, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Right));
+
+  // Adversary: round 1 blocks edge 0 with agent 0 active; afterwards it
+  // leaves the edge present but never activates agent 0.  The ET condition
+  // must eventually force agent 0 across.
+  class EtHostile : public Adversary {
+   public:
+    std::vector<bool> select_active(const WorldView& view) override {
+      if (view.round() == 1) return {true, true};
+      return {false, true};
+    }
+    std::optional<EdgeId> choose_missing_edge(
+        const WorldView& view, const std::vector<IntentRecord>&) override {
+      return view.round() == 1 ? std::optional<EdgeId>(0) : std::nullopt;
+    }
+    std::string name() const override { return "et-hostile"; }
+  } adv;
+  e.set_adversary(&adv);
+
+  for (int i = 0; i < 10 && e.body(0).node == 0; ++i) e.step();
+  EXPECT_EQ(e.body(0).node, 1);       // eventually crossed...
+  EXPECT_EQ(e.body(0).passive_moves, 0);  // ...actively, not via transport
+  EXPECT_GT(e.fairness_interventions(), 0);
+}
+
+TEST(Engine, ActivationFairnessWindow) {
+  EngineOptions opts;
+  opts.fairness_window = 5;
+  Engine e(6, std::nullopt, Model::SSYNC_NS, opts);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  e.add_agent(3, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+
+  class Starver : public Adversary {
+   public:
+    std::vector<bool> select_active(const WorldView&) override {
+      return {true, false};  // never activate agent 1
+    }
+    std::string name() const override { return "starver"; }
+  } adv;
+  e.set_adversary(&adv);
+  for (int i = 0; i < 12; ++i) e.step();
+  // The fairness window guarantees agent 1 got activated and moved.
+  EXPECT_GT(e.body(1).moves, 0);
+  EXPECT_GT(e.fairness_interventions(), 0);
+}
+
+TEST(Engine, TerminatedAgentNeverMovesAgain) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<ScriptBrain>(
+                  moves({Intent::move(Dir::Left), Intent::terminate()})));
+  e.add_agent(1, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  for (int i = 0; i < 6; ++i) e.step();
+  EXPECT_TRUE(e.body(0).terminated);
+  EXPECT_EQ(e.body(0).termination_round, 2);
+  EXPECT_EQ(e.body(0).moves, 1);
+  EXPECT_EQ(e.body(0).node, 1);
+}
+
+TEST(Engine, PrematureTerminationIsFlagged) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<ScriptBrain>(moves({Intent::terminate()})));
+  e.step();
+  EXPECT_TRUE(e.premature_termination());
+}
+
+TEST(Engine, TerminationAfterExplorationIsClean) {
+  Engine e(3, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<ScriptBrain>(
+                  moves({Intent::move(Dir::Left), Intent::move(Dir::Left),
+                         Intent::terminate()})));
+  auto result = e.run(StopPolicy{});
+  EXPECT_TRUE(result.explored);
+  EXPECT_FALSE(result.premature_termination);
+  EXPECT_TRUE(result.all_terminated);
+  EXPECT_EQ(result.stop_reason, "all_terminated");
+}
+
+TEST(Engine, StepOffLeavesPort) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<ScriptBrain>(
+                  moves({Intent::move(Dir::Left), Intent::step_off(),
+                         Intent::stay()})));
+  adversary::FixedEdgeAdversary adv(0);
+  e.set_adversary(&adv);
+  e.step();
+  EXPECT_TRUE(e.body(0).on_port);
+  e.step();
+  EXPECT_FALSE(e.body(0).on_port);
+  EXPECT_EQ(e.body(0).node, 0);
+}
+
+TEST(Engine, SnapshotSeesOthersByLocalDirection) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  // Agent 0 blocked on node 2's Ccw port; agent 1 (mirrored orientation)
+  // observes it on its *right* port.
+  e.add_agent(2, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  e.add_agent(2, agent::kMirroredOrientation,
+              std::make_unique<ScriptBrain>(moves({Intent::stay()})));
+  adversary::FixedEdgeAdversary adv(2);
+  e.set_adversary(&adv);
+  e.step();
+  const agent::Snapshot snap = e.make_snapshot(1);
+  EXPECT_EQ(snap.others_on_right_port, 1);  // mirrored: Ccw is its right
+  EXPECT_EQ(snap.others_on_left_port, 0);
+  EXPECT_EQ(snap.others_in_node, 0);
+}
+
+TEST(Engine, LandmarkVisibleInSnapshot) {
+  Engine e(5, 3, Model::FSYNC);
+  e.add_agent(3, agent::kChiralOrientation,
+              std::make_unique<ScriptBrain>(moves({Intent::stay()})));
+  EXPECT_TRUE(e.make_snapshot(0).is_landmark);
+  Engine e2(5, 2, Model::FSYNC);
+  e2.add_agent(3, agent::kChiralOrientation,
+               std::make_unique<ScriptBrain>(moves({Intent::stay()})));
+  EXPECT_FALSE(e2.make_snapshot(0).is_landmark);
+}
+
+TEST(Engine, TraceRecordsRounds) {
+  EngineOptions opts;
+  opts.record_trace = true;
+  Engine e(4, std::nullopt, Model::FSYNC, opts);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  e.step();
+  e.step();
+  ASSERT_EQ(e.trace().size(), 2u);
+  EXPECT_EQ(e.trace()[0].round, 1);
+  EXPECT_EQ(e.trace()[1].agents[0].node, 2);
+}
+
+TEST(Engine, RunStopsWhenExplored) {
+  Engine e(6, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<WalkerBrain>(Dir::Left));
+  StopPolicy stop;
+  stop.stop_when_explored = true;
+  stop.stop_when_all_terminated = false;
+  const RunResult r = e.run(stop);
+  EXPECT_TRUE(r.explored);
+  EXPECT_EQ(r.stop_reason, "explored");
+  EXPECT_EQ(r.explored_round, 5);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(Engine, DirectionSwitchReleasesOldPort) {
+  Engine e(5, std::nullopt, Model::FSYNC);
+  e.add_agent(0, agent::kChiralOrientation,
+              std::make_unique<ScriptBrain>(
+                  moves({Intent::move(Dir::Left), Intent::move(Dir::Right)})));
+  adversary::FixedEdgeAdversary adv(0);  // blocks the Ccw move from node 0
+  e.set_adversary(&adv);
+  e.step();
+  EXPECT_TRUE(e.body(0).on_port);
+  EXPECT_EQ(e.body(0).port_side, GlobalDir::Ccw);
+  e.step();
+  // Switched to the Cw port; edge 4 is present, so the agent moved to 4.
+  EXPECT_EQ(e.body(0).node, 4);
+  EXPECT_FALSE(e.ring().port_holder({0, GlobalDir::Ccw}).has_value());
+}
+
+}  // namespace
+}  // namespace dring::sim

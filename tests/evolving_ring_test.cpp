@@ -1,0 +1,147 @@
+// Tests for the evolving-ring view and the offline exploration optimum
+// (the centralised-knowledge baseline the paper contrasts live
+// exploration with).
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "core/runner.hpp"
+#include "ring/evolving_ring.hpp"
+#include "sim/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace dring::ring {
+namespace {
+
+EvolvingRing static_ring(NodeId n, Round horizon) {
+  return EvolvingRing(n, std::vector<std::optional<EdgeId>>(
+                             static_cast<std::size_t>(horizon), std::nullopt));
+}
+
+TEST(EvolvingRing, EdgePresenceFollowsSchedule) {
+  EvolvingRing ring(5, {std::nullopt, EdgeId{2}, EdgeId{2}, std::nullopt});
+  EXPECT_TRUE(ring.edge_present(2, 1));
+  EXPECT_FALSE(ring.edge_present(2, 2));
+  EXPECT_FALSE(ring.edge_present(2, 3));
+  EXPECT_TRUE(ring.edge_present(3, 2));
+  EXPECT_TRUE(ring.edge_present(2, 4));
+  EXPECT_TRUE(ring.edge_present(2, 100));  // beyond horizon: present
+}
+
+TEST(EvolvingRing, FromScriptSamplesRounds) {
+  const auto ring = EvolvingRing::from_script(
+      6,
+      [](Round r) -> std::optional<EdgeId> {
+        return r % 2 == 0 ? std::optional<EdgeId>(1) : std::nullopt;
+      },
+      10);
+  EXPECT_EQ(ring.horizon(), 10);
+  EXPECT_TRUE(ring.edge_present(1, 1));
+  EXPECT_FALSE(ring.edge_present(1, 2));
+}
+
+TEST(OfflineOptimum, StaticRingSingleAgentIsNMinus1) {
+  // On a static ring the offline optimum is a straight walk: n-1 moves.
+  for (NodeId n : {4, 7, 11}) {
+    EXPECT_EQ(offline_exploration_time(static_ring(n, 3 * n), 0, 3 * n),
+              n - 1)
+        << n;
+  }
+}
+
+TEST(OfflineOptimum, StaticRingTwoAgentsIsHalf) {
+  // Each agent visits at most one new node per round; 6 unvisited nodes
+  // shared by 2 agents need >= 3 rounds — and 3 is achievable (each
+  // covers the 3-node arc on its side).
+  EXPECT_EQ(offline_two_agent_exploration_time(static_ring(8, 24), 0, 4, 24),
+            3);
+  // Starting together: 7 unvisited nodes, >= ceil(7/2) = 4; split
+  // left/right achieves it.
+  EXPECT_EQ(offline_two_agent_exploration_time(static_ring(8, 24), 0, 0, 24),
+            4);
+}
+
+TEST(OfflineOptimum, PerpetuallyMissingEdgeForcesLongWay) {
+  // Edge 0 never present: from node 1 the agent must go the long way:
+  // it can reach node 0... ring 0-1-2-3-4: edge 0 = (0,1) missing forever.
+  // From 1: walk 1->2->3->4->0 = 4 moves (n-1); same as static since the
+  // straight walk never needs edge 0... from node 0 walking left is
+  // blocked; 0->4->3->2->1 = 4 moves. Still n-1.
+  const NodeId n = 5;
+  EvolvingRing ring(n, std::vector<std::optional<EdgeId>>(40, EdgeId{0}));
+  EXPECT_EQ(offline_exploration_time(ring, 1, 40), n - 1);
+  EXPECT_EQ(offline_exploration_time(ring, 0, 40), n - 1);
+}
+
+TEST(OfflineOptimum, BlockingWallForcesWaitOrDetour) {
+  // The agent starts at 2 on a 5-ring; the edge it would cross first is
+  // missing for the first 6 rounds in the "short" plan direction; the
+  // offline planner detours the other way without losing time.
+  const NodeId n = 5;
+  std::vector<std::optional<EdgeId>> missing(12, EdgeId{2});  // edge (2,3)
+  EvolvingRing ring(n, std::move(missing));
+  // From 2: Ccw first step needs edge 2 (missing). Plan: go Cw:
+  // 2->1->0->4->3: 4 moves. Optimum stays n-1.
+  EXPECT_EQ(offline_exploration_time(ring, 2, 12), n - 1);
+}
+
+TEST(OfflineOptimum, AdversarialScheduleCostsMoreThanStatic) {
+  // Under the Figure 2 schedule the offline single agent from v_i still
+  // explores quickly (it knows the schedule and starts in the right
+  // direction), far faster than the live 3n-6.
+  const NodeId n = 10;
+  const auto ring = EvolvingRing::from_script(
+      n, adversary::make_fig2_script(n, 2), 5 * n);
+  const Round offline = offline_exploration_time(ring, 2, 5 * n);
+  ASSERT_GT(offline, 0);
+  EXPECT_LE(offline, 2 * n);
+  EXPECT_LT(offline, 3 * n - 6);  // strictly better than the live bound
+}
+
+TEST(OfflineOptimum, UnreachableWithinBudgetReturnsMinusOne) {
+  EXPECT_EQ(offline_exploration_time(static_ring(9, 3), 0, 3), -1);
+}
+
+TEST(OfflineOptimum, RecordedLiveScheduleReplaysOffline) {
+  // Record a live run's schedule, then compute the offline optimum on the
+  // very same evolving ring: it must not exceed the live exploration time.
+  core::ExplorationConfig cfg =
+      core::default_config(algo::AlgorithmId::KnownNNoChirality, 8);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 200;
+  adversary::TargetedRandomAdversary adv(0.7, 1.0, 2024);
+  auto engine = core::make_engine(cfg, &adv);
+  const sim::RunResult live = engine->run(cfg.stop);
+  ASSERT_TRUE(live.explored);
+
+  const auto schedule = sim::edge_schedule_of(engine->trace());
+  const auto ring = EvolvingRing::from_script(8, schedule, live.rounds + 64);
+  const Round offline2 = offline_two_agent_exploration_time(
+      ring, cfg.start_nodes.empty() ? 0 : cfg.start_nodes[0],
+      cfg.start_nodes.empty() ? 4 : cfg.start_nodes[1], live.rounds + 64);
+  ASSERT_GT(offline2, 0);
+  EXPECT_LE(offline2, live.explored_round);
+}
+
+TEST(OfflineOptimum, TwoAgentsNeverSlowerThanOne) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const NodeId n = 7;
+    util::Rng rng(seed);
+    std::vector<std::optional<EdgeId>> missing;
+    for (int i = 0; i < 60; ++i) {
+      missing.push_back(rng.chance(0.5)
+                            ? std::optional<EdgeId>(static_cast<EdgeId>(
+                                  rng.below(static_cast<std::uint64_t>(n))))
+                            : std::nullopt);
+    }
+    EvolvingRing ring(n, std::move(missing));
+    const Round one = offline_exploration_time(ring, 0, 60);
+    const Round two = offline_two_agent_exploration_time(ring, 0, 3, 60);
+    if (one > 0 && two > 0) {
+      EXPECT_LE(two, one) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dring::ring

@@ -1,0 +1,301 @@
+// White-box unit tests for the ExploreMachine framework: counter
+// semantics (Ttime/Etime/Esteps/Btime/Ntime/Tnodes), wait-event
+// detection, per-Explore resets, ExploreNoResetEsteps, landmark size
+// learning, transition semantics (D12) and the predicates.
+#include <gtest/gtest.h>
+
+#include "agent/explore_base.hpp"
+
+namespace dring::agent {
+namespace {
+
+/// Minimal machine: state 0 walks left; guard on `flag_` goes to state 1
+/// (which walks right); used to poke the framework from outside.
+class ProbeMachine final : public CloneableMachine<ProbeMachine> {
+ public:
+  ProbeMachine() : CloneableMachine(Knowledge{}, 0) {}
+
+  std::string algorithm_name() const override { return "ProbeMachine"; }
+
+  // Knobs and windows for the test.
+  bool go_state1 = false;
+  bool keep_esteps_on_transition = false;
+  bool terminate_now = false;
+  using ExploreMachine::counters;
+  using ExploreMachine::n_known;
+  using ExploreMachine::known_size;
+  std::int64_t waits() const { return wait_events(); }
+  bool entered_flag_seen = false;
+
+ protected:
+  StepResult run_state(int state, const Snapshot& snap) override {
+    if (terminate_now) return StepResult::terminate();
+    if (state == 0) {
+      if (!just_entered() && go_state1) {
+        go_state1 = false;
+        if (keep_esteps_on_transition) suppress_esteps_reset_once();
+        return StepResult::go(1);
+      }
+      if (catches(snap, Dir::Left)) entered_flag_seen = true;
+      return StepResult::move(Dir::Left);
+    }
+    // State 1.
+    if (just_entered()) entered_flag_seen = true;
+    return StepResult::move(Dir::Right);
+  }
+};
+
+Feedback moved_fb(Dir d) {
+  Feedback fb;
+  fb.attempted_move = true;
+  fb.attempted_dir = d;
+  fb.port_acquired = true;
+  fb.moved = true;
+  return fb;
+}
+
+Feedback blocked_fb(Dir d) {
+  Feedback fb;
+  fb.attempted_move = true;
+  fb.attempted_dir = d;
+  fb.port_acquired = true;
+  fb.moved = false;
+  return fb;
+}
+
+Feedback failed_fb(Dir d) {
+  Feedback fb;
+  fb.attempted_move = true;
+  fb.attempted_dir = d;
+  fb.port_acquired = false;
+  return fb;
+}
+
+TEST(ExploreMachine, TtimeCountsCompletedActivations) {
+  ProbeMachine m;
+  EXPECT_EQ(m.counters().Ttime, 0);
+  m.on_activate({}, {});
+  EXPECT_EQ(m.counters().Ttime, 1);
+  m.on_activate({}, moved_fb(Dir::Left));
+  EXPECT_EQ(m.counters().Ttime, 2);
+}
+
+TEST(ExploreMachine, StepsAndNetTrackMovement) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.on_activate({}, moved_fb(Dir::Left));
+  m.on_activate({}, moved_fb(Dir::Left));
+  m.on_activate({}, moved_fb(Dir::Right));
+  const Counters& c = m.counters();
+  EXPECT_EQ(c.Tsteps, 3);
+  EXPECT_EQ(c.net, 1);       // +1 +1 -1
+  EXPECT_EQ(c.max_net, 2);
+  EXPECT_EQ(c.min_net, 0);
+  EXPECT_EQ(c.Tnodes(), 3);  // nodes at displacement 0, 1, 2
+}
+
+TEST(ExploreMachine, TransportCountsAsStep) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  Feedback fb;
+  fb.transported = true;
+  fb.transport_dir = Dir::Left;
+  m.on_activate({}, fb);
+  EXPECT_EQ(m.counters().Tsteps, 1);
+  EXPECT_EQ(m.counters().net, 1);
+}
+
+TEST(ExploreMachine, BtimeAccumulatesOnlyWhileBlocked) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  EXPECT_EQ(m.counters().Btime, 0);
+  m.on_activate({}, blocked_fb(Dir::Left));
+  EXPECT_EQ(m.counters().Btime, 1);
+  m.on_activate({}, blocked_fb(Dir::Left));
+  EXPECT_EQ(m.counters().Btime, 2);
+  m.on_activate({}, moved_fb(Dir::Left));
+  EXPECT_EQ(m.counters().Btime, 0);
+}
+
+TEST(ExploreMachine, FailedAcquisitionIsNotBlocked) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.on_activate({}, failed_fb(Dir::Left));
+  EXPECT_EQ(m.counters().Btime, 0);  // mutex loss != blocked on a port
+  EXPECT_EQ(m.waits(), 0);
+}
+
+TEST(ExploreMachine, WaitEventsCountMaximalBlockedRuns) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.on_activate({}, blocked_fb(Dir::Left));   // wait #1 starts
+  m.on_activate({}, blocked_fb(Dir::Left));   // same wait
+  EXPECT_EQ(m.waits(), 1);
+  m.on_activate({}, moved_fb(Dir::Left));     // released
+  m.on_activate({}, blocked_fb(Dir::Left));   // wait #2
+  EXPECT_EQ(m.waits(), 2);
+}
+
+TEST(ExploreMachine, DirectionChangeStartsNewWaitEvent) {
+  // Blocked left, then immediately blocked right (flip while waiting):
+  // two distinct wait events even without an unblocked round between.
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.on_activate({}, blocked_fb(Dir::Left));
+  m.on_activate({}, blocked_fb(Dir::Right));
+  EXPECT_EQ(m.waits(), 2);
+}
+
+TEST(ExploreMachine, EtimeEstepsResetOnTransition) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.on_activate({}, moved_fb(Dir::Left));
+  m.on_activate({}, moved_fb(Dir::Left));
+  EXPECT_EQ(m.counters().Esteps, 2);
+  EXPECT_EQ(m.counters().Etime, 3);
+  m.go_state1 = true;
+  m.on_activate({}, moved_fb(Dir::Left));  // ingest (Esteps->3), then goto
+  EXPECT_EQ(m.state(), 1);
+  EXPECT_EQ(m.counters().Esteps, 0);
+  EXPECT_EQ(m.counters().Etime, 1);  // the entry activation counts as one
+}
+
+TEST(ExploreMachine, SuppressEstepsResetOnce) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.on_activate({}, moved_fb(Dir::Left));
+  m.on_activate({}, moved_fb(Dir::Left));
+  m.go_state1 = true;
+  m.keep_esteps_on_transition = true;
+  m.on_activate({}, moved_fb(Dir::Left));
+  EXPECT_EQ(m.state(), 1);
+  EXPECT_EQ(m.counters().Esteps, 3);  // kept (ExploreNoResetEsteps)
+  EXPECT_EQ(m.counters().Etime, 1);   // Etime still reset
+}
+
+TEST(ExploreMachine, JustEnteredVisibleOnlyInEntryActivation) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.go_state1 = true;
+  m.entered_flag_seen = false;
+  m.on_activate({}, moved_fb(Dir::Left));
+  EXPECT_TRUE(m.entered_flag_seen);  // state 1 saw just_entered
+  m.entered_flag_seen = false;
+  m.on_activate({}, moved_fb(Dir::Right));
+  EXPECT_FALSE(m.entered_flag_seen);  // cleared on the next activation
+}
+
+TEST(ExploreMachine, LandmarkLoopTeachesSize) {
+  ProbeMachine m;
+  Snapshot lm;
+  lm.is_landmark = true;
+  // First sighting of the landmark.
+  m.on_activate(lm, {});
+  EXPECT_FALSE(m.n_known());
+  // Walk left 5 times, arriving back at the landmark.
+  for (int i = 0; i < 4; ++i) m.on_activate({}, moved_fb(Dir::Left));
+  m.on_activate(lm, moved_fb(Dir::Left));
+  EXPECT_TRUE(m.n_known());
+  EXPECT_EQ(m.known_size(), 5);
+}
+
+TEST(ExploreMachine, BacktrackToLandmarkTeachesNothing) {
+  ProbeMachine m;
+  Snapshot lm;
+  lm.is_landmark = true;
+  m.on_activate(lm, {});
+  m.on_activate({}, moved_fb(Dir::Left));
+  m.on_activate({}, moved_fb(Dir::Right));  // net back to 0
+  m.on_activate(lm, {});                    // at landmark, net == ref
+  EXPECT_FALSE(m.n_known());
+}
+
+TEST(ExploreMachine, NtimeCountsFromLearning) {
+  ProbeMachine m;
+  Snapshot lm;
+  lm.is_landmark = true;
+  m.on_activate(lm, {});
+  for (int i = 0; i < 2; ++i) m.on_activate({}, moved_fb(Dir::Left));
+  m.on_activate(lm, moved_fb(Dir::Left));  // learns n = 3 here
+  EXPECT_EQ(m.counters().Ntime, 1);        // ticked at end of this activation
+  m.on_activate({}, {});
+  EXPECT_EQ(m.counters().Ntime, 2);
+}
+
+TEST(ExploreMachine, ExactKnowledgeSetsSizeUpFront) {
+  Knowledge k;
+  k.exact_n = 7;
+  class WithN final : public CloneableMachine<WithN> {
+   public:
+    explicit WithN(Knowledge k) : CloneableMachine(k, 0) {}
+    std::string algorithm_name() const override { return "WithN"; }
+    using ExploreMachine::known_size;
+    using ExploreMachine::n_known;
+
+   protected:
+    StepResult run_state(int, const Snapshot&) override {
+      return StepResult::stay();
+    }
+  } m(k);
+  EXPECT_TRUE(m.n_known());
+  EXPECT_EQ(m.known_size(), 7);
+}
+
+TEST(ExploreMachine, TerminatedMachineStaysPut) {
+  ProbeMachine m;
+  m.terminate_now = true;
+  const Intent it = m.on_activate({}, {});
+  EXPECT_EQ(it.kind, Intent::Kind::Terminate);
+  EXPECT_TRUE(m.terminated());
+  EXPECT_EQ(m.state_name(), "Terminate");
+  // Further activations are inert.
+  const Intent again = m.on_activate({}, moved_fb(Dir::Left));
+  EXPECT_EQ(again.kind, Intent::Kind::Stay);
+  EXPECT_EQ(m.counters().Tsteps, 0);  // feedback not even ingested
+}
+
+TEST(ExploreMachine, CloneIsDeepAndIndependent) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  m.on_activate({}, moved_fb(Dir::Left));
+  auto clone = m.clone();
+  // Advancing the clone must not affect the original.
+  clone->on_activate({}, moved_fb(Dir::Left));
+  EXPECT_EQ(m.counters().Tsteps, 1);
+  EXPECT_EQ(m.counters().Ttime, 2);
+}
+
+TEST(ExploreMachine, MeetingRequiresFreshArrival) {
+  ProbeMachine m;
+  m.on_activate({}, {});
+  Snapshot with_other;
+  with_other.others_in_node = 1;
+
+  class MeetProbe final : public CloneableMachine<MeetProbe> {
+   public:
+    MeetProbe() : CloneableMachine(Knowledge{}, 0) {}
+    std::string algorithm_name() const override { return "MeetProbe"; }
+    bool met = false;
+
+   protected:
+    StepResult run_state(int, const Snapshot& snap) override {
+      met = meeting(snap);
+      return StepResult::stay();
+    }
+  } probe;
+  // Standing together without having moved: not a meeting (D6).
+  probe.on_activate(with_other, {});
+  EXPECT_FALSE(probe.met);
+  // Arriving by a move into an occupied node: meeting.
+  probe.on_activate(with_other, moved_fb(Dir::Left));
+  EXPECT_TRUE(probe.met);
+  // Arriving by passive transport also counts.
+  Feedback tr;
+  tr.transported = true;
+  tr.transport_dir = Dir::Right;
+  probe.on_activate(with_other, tr);
+  EXPECT_TRUE(probe.met);
+}
+
+}  // namespace
+}  // namespace dring::agent

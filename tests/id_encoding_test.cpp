@@ -1,0 +1,163 @@
+// Tests for the Section 3.2.3 ID machinery: S(ID), phases, Dup expansion
+// (checked against Figure 11), and the Lemma 3 common-run property.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/id_encoding.hpp"
+#include "util/rng.hpp"
+
+namespace dring::algo {
+namespace {
+
+TEST(IdSchedule, PhaseOfRound) {
+  EXPECT_EQ(phase_of_round(1), 0);
+  EXPECT_EQ(phase_of_round(2), 1);
+  EXPECT_EQ(phase_of_round(3), 1);
+  EXPECT_EQ(phase_of_round(4), 2);
+  EXPECT_EQ(phase_of_round(7), 2);
+  EXPECT_EQ(phase_of_round(8), 3);
+  EXPECT_EQ(phase_of_round(1023), 9);
+  EXPECT_EQ(phase_of_round(1024), 10);
+}
+
+TEST(IdSchedule, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+}
+
+// Figure 11: ID = 1 gives S(ID) = "1010", jbar = 2; phase 3 expands to
+// "11001100" (rounds 8..15), i.e. right,right,left,left,right,right,...
+TEST(IdSchedule, Figure11Id1) {
+  IdSchedule s(1);
+  EXPECT_EQ(s.padded_s(), "1010");
+  EXPECT_EQ(s.jbar(), 2);
+  EXPECT_EQ(s.phase_string(3), "11001100");
+  EXPECT_EQ(s.phase_string(4), "1111000011110000");
+
+  // Rounds in phases j <= jbar are all left.
+  for (std::int64_t r = 1; r <= 7; ++r)
+    EXPECT_EQ(s.direction(r), Dir::Left) << "round " << r;
+
+  // Phase 3, rounds 8..15: 1 1 0 0 1 1 0 0.
+  const Dir expect[] = {Dir::Right, Dir::Right, Dir::Left, Dir::Left,
+                        Dir::Right, Dir::Right, Dir::Left, Dir::Left};
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(s.direction(8 + i), expect[i]) << "round " << 8 + i;
+}
+
+TEST(IdSchedule, SStringStructure) {
+  // S(ID) = "10" + b(ID) + "0", padded to a power-of-two length.
+  IdSchedule s48(48);  // b = 110000 -> S = "101100000" (9) -> pad to 16
+  EXPECT_EQ(s48.jbar(), 4);
+  EXPECT_EQ(s48.padded_s(), "0000000101100000");
+
+  IdSchedule s0(0);  // b = "0" -> S = "1000" (4), no padding needed
+  EXPECT_EQ(s0.jbar(), 2);
+  EXPECT_EQ(s0.padded_s(), "1000");
+}
+
+TEST(IdSchedule, DirectionMatchesExplicitPhaseString) {
+  // direction() must agree with the materialised Dup string in every phase.
+  for (std::uint64_t id : {0ULL, 1ULL, 5ULL, 42ULL, 48ULL, 164ULL, 304ULL}) {
+    IdSchedule s(id);
+    for (int j = s.jbar() + 1; j <= s.jbar() + 3; ++j) {
+      const std::string bits = s.phase_string(j);
+      const std::int64_t base = std::int64_t{1} << j;
+      ASSERT_EQ(bits.size(), static_cast<std::size_t>(base));
+      for (std::int64_t off = 0; off < base; ++off) {
+        const Dir expect =
+            bits[static_cast<std::size_t>(off)] == '0' ? Dir::Left : Dir::Right;
+        ASSERT_EQ(s.direction(base + off), expect)
+            << "id=" << id << " round=" << base + off;
+      }
+    }
+  }
+}
+
+TEST(IdSchedule, SwitchesDetectsChanges) {
+  IdSchedule s(1);
+  // Rounds 1..7 all left; round 8 flips to right.
+  EXPECT_FALSE(s.switches(5));
+  EXPECT_TRUE(s.switches(8));
+  EXPECT_FALSE(s.switches(9));   // right, right
+  EXPECT_TRUE(s.switches(10));   // right -> left
+}
+
+TEST(IdSchedule, EveryIdMovesBothDirectionsEventually) {
+  // Lemma 3 (last claim): every S(ID) contains both 0 and 1, so each agent
+  // eventually moves in both directions within a phase.
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    IdSchedule s(id);
+    bool left = false, right = false;
+    const std::int64_t base = std::int64_t{1} << (s.jbar() + 1);
+    for (std::int64_t r = base; r < 2 * base; ++r) {
+      left |= s.direction(r) == Dir::Left;
+      right |= s.direction(r) == Dir::Right;
+    }
+    EXPECT_TRUE(left) << id;
+    EXPECT_TRUE(right) << id;
+  }
+}
+
+/// Longest same-direction run shared by two schedules up to round `limit`.
+std::int64_t longest_common_run(const IdSchedule& a, const IdSchedule& b,
+                                std::int64_t limit) {
+  std::int64_t best = 0, cur = 0;
+  for (std::int64_t r = 1; r <= limit; ++r) {
+    if (a.direction(r) == b.direction(r)) {
+      ++cur;
+      best = std::max(best, cur);
+    } else {
+      cur = 0;
+    }
+  }
+  return best;
+}
+
+// Lemma 3: for distinct IDs and any c > 0, by round
+// 32*((len(ID)+3)*c*n)+1 there is a common-direction run of length c*n.
+TEST(IdSchedule, Lemma3CommonRunProperty) {
+  util::Rng rng(2024);
+  const std::int64_t n = 7;
+  const std::int64_t c = 2;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t id_a = rng.below(500);
+    std::uint64_t id_b = rng.below(500);
+    if (id_a == id_b) id_b += 1;
+    IdSchedule a(id_a), b(id_b);
+    const std::int64_t len =
+        static_cast<std::int64_t>(std::max(a.padded_s().size(),
+                                           b.padded_s().size()));
+    const std::int64_t bound = 32 * ((len + 3) * c * n) + 1;
+    EXPECT_GE(longest_common_run(a, b, bound), c * n)
+        << "ids " << id_a << ", " << id_b;
+  }
+}
+
+TEST(IdSchedule, IdenticalIdsNeverDiverge) {
+  IdSchedule a(42), b(42);
+  for (std::int64_t r = 1; r < 4096; ++r)
+    ASSERT_EQ(a.direction(r), b.direction(r));
+}
+
+TEST(NoChiralityBound, MatchesFormula) {
+  // 32 * (3*ceil(log2 n) + 3) * 5 * n
+  EXPECT_EQ(no_chirality_time_bound(8), 32 * (3 * 3 + 3) * 5 * 8);
+  EXPECT_EQ(no_chirality_time_bound(9), 32 * (3 * 4 + 3) * 5 * 9);
+}
+
+TEST(ComputeAgentId, MatchesFigureValues) {
+  EXPECT_EQ(compute_agent_id(2, 2, 0), 48u);
+  EXPECT_EQ(compute_agent_id(3, 4, 0), 164u);
+  EXPECT_EQ(compute_agent_id(2, 1, 2), 42u);
+  EXPECT_EQ(compute_agent_id(6, 2, 0), 304u);
+}
+
+}  // namespace
+}  // namespace dring::algo

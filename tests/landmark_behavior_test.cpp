@@ -1,0 +1,196 @@
+// White-box behaviour tests for the landmark algorithm family: role
+// assignment on catches, the BComm/FComm handshake, size learning through
+// the landmark, the AtLandmark double-check (Figure 12), the instance
+// restart of Theorem 8, and the D14 departure-before-termination rule.
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "algo/landmark_no_chirality.hpp"
+#include "algo/landmark_with_chirality.hpp"
+#include "core/runner.hpp"
+
+namespace dring {
+namespace {
+
+using algo::AlgorithmId;
+using core::default_config;
+using core::ExplorationConfig;
+
+/// Trace-driven helper: state of agent `id` at (1-based) round r.
+std::string state_at(const sim::Engine& engine, Round r, AgentId id) {
+  for (const sim::RoundTrace& rt : engine.trace())
+    if (rt.round == r) return rt.agents[static_cast<std::size_t>(id)].state;
+  return "?";
+}
+
+TEST(LandmarkChirality, RolesAssignedOnCatch) {
+  // Block the leading agent so the trailing one catches it: the caught
+  // agent becomes F (Forward), the catcher becomes B (Bounce).
+  const NodeId n = 8;
+  ExplorationConfig cfg = default_config(AlgorithmId::LandmarkWithChirality, n);
+  cfg.start_nodes = {4, 2};  // both walk Ccw; agent 1 trails agent 0
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 12;
+  cfg.stop.stop_when_all_terminated = false;
+  adversary::BlockAgentAdversary adv(0);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+
+  // Agent 1 needs 2 moves to reach node 4 (arrives end of round 2); the
+  // catch is observed at round 3.
+  EXPECT_EQ(state_at(*engine, 3, 0), "Forward");
+  EXPECT_EQ(state_at(*engine, 3, 1), "Bounce");
+}
+
+TEST(LandmarkChirality, SizeLearnedAfterFullLoop) {
+  // A lone runner around the ring learns n after a full loop past the
+  // landmark, never earlier.
+  const NodeId n = 9;
+  ExplorationConfig cfg = default_config(AlgorithmId::LandmarkWithChirality, n);
+  cfg.start_nodes = {0, 0};
+  cfg.num_agents = 2;
+  cfg.stop.max_rounds = 4;
+  cfg.stop.stop_when_all_terminated = false;
+  sim::NullAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  const auto* brain =
+      dynamic_cast<const algo::LandmarkWithChirality*>(&engine->brain(0));
+  ASSERT_NE(brain, nullptr);
+  EXPECT_FALSE(brain->n_known());  // only 4 rounds in: no loop yet
+}
+
+TEST(LandmarkChirality, BCommSignalsWhenSameEdgeWaitDetected) {
+  // Force the classic configuration: F blocked on an edge, B bounces off
+  // F, gets blocked on the SAME edge from its journey around, returns and
+  // catches F with returnSteps <= 2*bounceSteps -> both terminate.
+  const NodeId n = 6;
+  ExplorationConfig cfg = default_config(AlgorithmId::LandmarkWithChirality, n);
+  cfg.start_nodes = {3, 1};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 500;
+  adversary::BlockAgentAdversary adv(0);  // F never moves
+  auto engine = core::make_engine(cfg, &adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+  EXPECT_TRUE(r.explored);
+  EXPECT_FALSE(r.premature_termination);
+  EXPECT_TRUE(r.all_terminated);
+}
+
+TEST(StartFromLandmark, Figure12DoubleCheckTerminatesBoth) {
+  // Both agents leave the landmark in opposite directions, bounce on the
+  // antipodal edge and return simultaneously: AtLandmarkL double-check.
+  const NodeId n = 7;
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::StartFromLandmarkNoChirality, n);
+  cfg.orientations = {agent::kChiralOrientation, agent::kMirroredOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 60;
+  adversary::ScriptedEdgeAdversary adv([&](Round r) -> std::optional<EdgeId> {
+    return (r >= 3 && r <= 5) ? std::optional<EdgeId>(3) : std::nullopt;
+  });
+  auto engine = core::make_engine(cfg, &adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+  EXPECT_TRUE(r.explored);
+  EXPECT_TRUE(r.all_terminated);
+  EXPECT_FALSE(r.premature_termination);
+  // Both terminate in the same round, at the landmark.
+  EXPECT_EQ(r.agents[0].termination_round, r.agents[1].termination_round);
+  EXPECT_EQ(r.agents[0].final_node, 0);
+  EXPECT_EQ(r.agents[1].final_node, 0);
+}
+
+TEST(StartFromLandmark, AsymmetricBlocksProduceDistinctIds) {
+  // Block the two agents at different times: their (k1,k2,k3) triples and
+  // hence IDs must differ (the paper's symmetry-breaking argument).
+  const NodeId n = 9;
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::StartFromLandmarkNoChirality, n);
+  cfg.orientations = {agent::kChiralOrientation, agent::kMirroredOrientation};
+  cfg.stop.max_rounds = 30;
+  cfg.stop.stop_when_all_terminated = false;
+  // Agent 0 walks Ccw (edges 0,1,2,..), agent 1 walks Cw (edges 8,7,..).
+  // Block agent 0 at round 2 (edge 1) and agent 1 at round 4 (edge 5).
+  adversary::ScriptedEdgeAdversary adv([](Round r) -> std::optional<EdgeId> {
+    if (r == 2 || r == 3) return 1;
+    if (r == 4 || r == 5) return 5;
+    return std::nullopt;
+  });
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  const auto* b0 =
+      dynamic_cast<const algo::LandmarkNoChirality*>(&engine->brain(0));
+  const auto* b1 =
+      dynamic_cast<const algo::LandmarkNoChirality*>(&engine->brain(1));
+  ASSERT_NE(b0, nullptr);
+  ASSERT_NE(b1, nullptr);
+  if (b0->schedule() && b1->schedule()) {
+    EXPECT_NE(b0->schedule()->id(), b1->schedule()->id())
+        << "k0=(" << b0->k1() << "," << b0->k2() << "," << b0->k3() << ") "
+        << "k1=(" << b1->k1() << "," << b1->k2() << "," << b1->k3() << ")";
+  }
+}
+
+TEST(LandmarkNoChirality, InstanceRestartKeepsAgentsAligned) {
+  // Arbitrary starts; force both agents to meet at the landmark during the
+  // ID phase so they restart as a fresh instance — afterwards the run must
+  // still explore and terminate cleanly.
+  const NodeId n = 8;
+  for (std::uint64_t seed : {3u, 7u, 11u, 19u}) {
+    ExplorationConfig cfg = default_config(AlgorithmId::LandmarkNoChirality, n);
+    cfg.start_nodes = {2, 6};
+    cfg.orientations = {agent::kChiralOrientation,
+                        agent::kMirroredOrientation};
+    cfg.stop.max_rounds = 100 * algo::no_chirality_time_bound(n);
+    adversary::TargetedRandomAdversary adv(0.8, 1.0, seed);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << "seed " << seed;
+    EXPECT_TRUE(r.all_terminated) << "seed " << seed;
+    EXPECT_FALSE(r.premature_termination) << "seed " << seed;
+  }
+}
+
+TEST(LandmarkNoChirality, PinnedAgentStillTerminates) {
+  // The D14/D15 regression: one agent pinned forever by the Obs.-1
+  // adversary must still terminate through the handshake, on every size.
+  for (NodeId n : {5, 6, 7, 9, 12}) {
+    ExplorationConfig cfg = default_config(AlgorithmId::LandmarkNoChirality, n);
+    cfg.stop.max_rounds = 200 * algo::no_chirality_time_bound(n);
+    adversary::BlockAgentAdversary adv(0);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << "n=" << n;
+    EXPECT_TRUE(r.all_terminated) << "n=" << n;
+    EXPECT_FALSE(r.premature_termination) << "n=" << n;
+  }
+}
+
+TEST(LandmarkNoChirality, PinnedSecondAgentAlsoHandled) {
+  for (NodeId n : {5, 8, 11}) {
+    ExplorationConfig cfg = default_config(AlgorithmId::LandmarkNoChirality, n);
+    cfg.stop.max_rounds = 200 * algo::no_chirality_time_bound(n);
+    adversary::BlockAgentAdversary adv(1);  // pin the other agent
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << "n=" << n;
+    EXPECT_TRUE(r.all_terminated) << "n=" << n;
+    EXPECT_FALSE(r.premature_termination) << "n=" << n;
+  }
+}
+
+TEST(LandmarkChirality, PinnedAgentTerminatesViaHandshake) {
+  // Same regression for the chirality algorithm (Theorem 6).
+  for (NodeId n : {5, 6, 8, 10, 13}) {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::LandmarkWithChirality, n);
+    cfg.start_nodes = {2, static_cast<NodeId>(n - 2)};
+    cfg.stop.max_rounds = 5000 * n;
+    adversary::BlockAgentAdversary adv(0);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << "n=" << n;
+    EXPECT_TRUE(r.all_terminated) << "n=" << n;
+    EXPECT_FALSE(r.premature_termination) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace dring

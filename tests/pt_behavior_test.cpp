@@ -1,0 +1,190 @@
+// White-box behaviour tests for the SSYNC protocols: the leftSteps /
+// rightSteps crossing detection of PTTwoAgents (Figure 14), the CheckD
+// distance discipline of the three-agent family (Figure 18), the strict
+// inequality of the ET variant, Tnodes-based termination, and passive
+// transport accounting inside the protocols.
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "algo/pt_two_agents.hpp"
+#include "algo/three_agents_no_chirality.hpp"
+#include "core/runner.hpp"
+
+namespace dring {
+namespace {
+
+using algo::AlgorithmId;
+using core::default_config;
+using core::ExplorationConfig;
+
+TEST(PTTwoAgents, TerminatesAfterNLeftStepsOnFreeRing) {
+  // Unopposed, an agent walks left; Tnodes >= N fires after N-1 steps.
+  const NodeId n = 10;
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundWithChirality, n);
+  cfg.stop.max_rounds = 100;
+  sim::NullAdversary adv;
+  const sim::RunResult r = core::run_exploration(cfg, &adv);
+  EXPECT_TRUE(r.explored);
+  EXPECT_TRUE(r.all_terminated);
+  for (const auto& a : r.agents) {
+    // N-1 moves to perceive N nodes, +1 activation to detect.
+    EXPECT_LE(a.termination_round, n + 1);
+    EXPECT_GE(a.moves, n - 1);
+  }
+}
+
+TEST(PTTwoAgents, BounceOnCatchThenReverseOnBlock) {
+  const NodeId n = 8;
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundWithChirality, n);
+  cfg.start_nodes = {4, 2};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 8;
+  cfg.stop.stop_when_all_terminated = false;
+  // Pin agent 0 so agent 1 catches it, then block agent 1's rightward
+  // bounce so it reverses.
+  adversary::BlockAgentAdversary adv(0);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Round 3: agent 1 arrived at node 4 and sees agent 0 on the left port.
+  std::string s3, s4;
+  for (const auto& rt : engine->trace()) {
+    if (rt.round == 3) s3 = rt.agents[1].state;
+  }
+  EXPECT_EQ(s3, "Bounce");
+}
+
+TEST(PTTwoAgents, CrossingDetectionTerminates) {
+  // Construct the rightSteps >= leftSteps situation: both agents blocked
+  // on the same edge from both sides; agent catching after a shrinking
+  // return leg terminates (the agents have crossed / pinned the edge).
+  const NodeId n = 8;
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundWithChirality, n);
+  cfg.start_nodes = {3, 0};
+  cfg.engine.fairness_window = 1 << 20;
+  cfg.stop.max_rounds = 4000;
+  cfg.stop.stop_when_explored_and_one_terminated = true;
+  adversary::SlidingWindowAdversary adv(0, 1);
+  auto engine = core::make_engine(cfg, &adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+  EXPECT_TRUE(r.explored);
+  EXPECT_GE(r.terminated_agents, 1);
+  EXPECT_FALSE(r.premature_termination);
+  // The chaser's brain must have recorded both legs.
+  const auto* chaser =
+      dynamic_cast<const algo::PTTwoAgents*>(&engine->brain(1));
+  ASSERT_NE(chaser, nullptr);
+  EXPECT_GE(chaser->left_steps(), 0);
+}
+
+TEST(PTTwoAgents, PassiveTransportCountsTowardsTnodes) {
+  // An agent carried across edges while asleep perceives the traversals:
+  // a PT run where one agent's motion is mostly passive still terminates.
+  const NodeId n = 6;
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundWithChirality, n);
+  cfg.stop.max_rounds = 200'000;
+  adversary::RandomAdversary adv(0.3, 0.35, 1234);  // lots of sleeping
+  const sim::RunResult r = core::run_exploration(cfg, &adv);
+  EXPECT_TRUE(r.explored);
+  EXPECT_GE(r.terminated_agents, 1);
+  EXPECT_FALSE(r.premature_termination);
+}
+
+TEST(ThreeAgents, CheckDGrowthRecorded) {
+  const NodeId n = 9;
+  ExplorationConfig cfg = default_config(AlgorithmId::PTBoundNoChirality, n);
+  cfg.stop.max_rounds = 400'000;
+  adversary::TargetedRandomAdversary adv(0.7, 0.6, 99);
+  auto engine = core::make_engine(cfg, &adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+  EXPECT_TRUE(r.explored);
+  EXPECT_GE(r.terminated_agents, 1);
+  for (AgentId a = 0; a < engine->num_agents(); ++a) {
+    const auto* brain =
+        dynamic_cast<const algo::ThreeAgentsNoChirality*>(&engine->brain(a));
+    ASSERT_NE(brain, nullptr);
+    EXPECT_GE(brain->d(), 0);
+  }
+}
+
+TEST(ThreeAgents, EtVariantRequiresExactN) {
+  EXPECT_THROW(algo::ThreeAgentsNoChirality(
+                   algo::ThreeAgentsNoChirality::Variant::EventualTransport,
+                   agent::Knowledge{}),
+               std::invalid_argument);
+}
+
+TEST(ThreeAgents, EtTerminationNotOneNodeEarly) {
+  // D9 regression: with exact n, termination happens at Tnodes >= n, not
+  // n-1 — on a free ring the agents must have perceived ALL n nodes when
+  // the first one halts.
+  for (NodeId n : {5, 8, 12}) {
+    ExplorationConfig cfg = default_config(AlgorithmId::ETBoundNoChirality, n);
+    cfg.stop.max_rounds = 50'000;
+    sim::NullAdversary adv;
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << n;
+    EXPECT_FALSE(r.premature_termination) << n;
+    EXPECT_GE(r.terminated_agents, 1) << n;
+  }
+}
+
+TEST(ThreeAgents, SurvivesPerpetualEdgeRemoval) {
+  // "If the adversary keeps an edge perpetually removed, eventually the
+  // algorithm terminates due to condition Esteps = d" (Th. 16 proof):
+  // two agents end up on the missing edge's ports, the third shuttles and
+  // terminates.
+  for (NodeId n : {6, 9, 12}) {
+    ExplorationConfig cfg = default_config(AlgorithmId::PTBoundNoChirality, n);
+    cfg.stop.max_rounds = 400'000;
+    adversary::FixedEdgeAdversary adv(2);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << "n=" << n;
+    EXPECT_GE(r.terminated_agents, 1) << "n=" << n;
+    EXPECT_FALSE(r.premature_termination) << "n=" << n;
+  }
+}
+
+TEST(ThreeAgents, EtSurvivesPerpetualEdgeRemoval) {
+  for (NodeId n : {6, 9}) {
+    ExplorationConfig cfg = default_config(AlgorithmId::ETBoundNoChirality, n);
+    cfg.stop.max_rounds = 400'000;
+    adversary::FixedEdgeAdversary adv(0);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << "n=" << n;
+    EXPECT_GE(r.terminated_agents, 1) << "n=" << n;
+    EXPECT_FALSE(r.premature_termination) << "n=" << n;
+  }
+}
+
+TEST(PTTwoAgents, SurvivesPerpetualEdgeRemoval) {
+  // Theorem 12's proof: with an edge perpetually missing the agents pin
+  // it from both sides and the rightSteps >= leftSteps check fires.
+  for (NodeId n : {6, 10}) {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::PTBoundWithChirality, n);
+    cfg.stop.max_rounds = 400'000;
+    adversary::FixedEdgeAdversary adv(3);
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    EXPECT_TRUE(r.explored) << "n=" << n;
+    EXPECT_GE(r.terminated_agents, 1) << "n=" << n;
+    EXPECT_FALSE(r.premature_termination) << "n=" << n;
+  }
+}
+
+TEST(ETUnconscious, FlipsOnlyOnCatches) {
+  const NodeId n = 7;
+  ExplorationConfig cfg = default_config(AlgorithmId::ETUnconscious, n);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 200;
+  sim::NullAdversary adv;  // free ring: no catches, no flips
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Without catches both agents circle forever in their initial direction:
+  // move counts equal round counts.
+  EXPECT_EQ(engine->body(0).moves + engine->body(1).moves,
+            2 * engine->round());
+}
+
+}  // namespace
+}  // namespace dring

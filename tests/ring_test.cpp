@@ -1,0 +1,135 @@
+// Unit tests for the dynamic ring substrate: topology, 1-interval
+// connectivity, landmark, and port mutual exclusion.
+#include <gtest/gtest.h>
+
+#include "ring/dynamic_ring.hpp"
+
+namespace dring::ring {
+namespace {
+
+TEST(DynamicRing, RejectsTinyRings) {
+  EXPECT_THROW(DynamicRing(2), std::invalid_argument);
+  EXPECT_NO_THROW(DynamicRing(3));
+}
+
+TEST(DynamicRing, RejectsBadLandmark) {
+  EXPECT_THROW(DynamicRing(5, 5), std::invalid_argument);
+  EXPECT_THROW(DynamicRing(5, -1), std::invalid_argument);
+  EXPECT_NO_THROW(DynamicRing(5, 4));
+}
+
+TEST(DynamicRing, NeighbourWrapsAround) {
+  DynamicRing r(5);
+  EXPECT_EQ(r.neighbour(0, GlobalDir::Ccw), 1);
+  EXPECT_EQ(r.neighbour(4, GlobalDir::Ccw), 0);
+  EXPECT_EQ(r.neighbour(0, GlobalDir::Cw), 4);
+  EXPECT_EQ(r.neighbour(3, GlobalDir::Cw), 2);
+}
+
+TEST(DynamicRing, EdgeFromNode) {
+  DynamicRing r(5);
+  // Edge i joins v_i and v_{i+1}.
+  EXPECT_EQ(r.edge_from(2, GlobalDir::Ccw), 2);
+  EXPECT_EQ(r.edge_from(2, GlobalDir::Cw), 1);
+  EXPECT_EQ(r.edge_from(0, GlobalDir::Cw), 4);
+}
+
+TEST(DynamicRing, EndpointsConsistentWithEdgeFrom) {
+  DynamicRing r(7);
+  for (EdgeId e = 0; e < 7; ++e) {
+    const auto [u, v] = r.endpoints(e);
+    EXPECT_EQ(r.edge_from(u, GlobalDir::Ccw), e);
+    EXPECT_EQ(r.edge_from(v, GlobalDir::Cw), e);
+    EXPECT_EQ(r.neighbour(u, GlobalDir::Ccw), v);
+  }
+}
+
+TEST(DynamicRing, Distance) {
+  DynamicRing r(6);
+  EXPECT_EQ(r.distance(0, 3, GlobalDir::Ccw), 3);
+  EXPECT_EQ(r.distance(0, 3, GlobalDir::Cw), 3);
+  EXPECT_EQ(r.distance(1, 0, GlobalDir::Ccw), 5);
+  EXPECT_EQ(r.distance(1, 0, GlobalDir::Cw), 1);
+  EXPECT_EQ(r.distance(4, 4, GlobalDir::Ccw), 0);
+}
+
+TEST(DynamicRing, OneIntervalConnectivity) {
+  DynamicRing r(5);
+  EXPECT_TRUE(r.edge_present(0));
+  EXPECT_TRUE(r.remove_edge(0));
+  EXPECT_FALSE(r.edge_present(0));
+  EXPECT_TRUE(r.edge_present(1));
+  // A second, different removal in the same round is rejected.
+  EXPECT_FALSE(r.remove_edge(1));
+  EXPECT_TRUE(r.edge_present(1));
+  // Re-removing the same edge is idempotent.
+  EXPECT_TRUE(r.remove_edge(0));
+  r.restore_edges();
+  EXPECT_TRUE(r.edge_present(0));
+  EXPECT_FALSE(r.missing_edge().has_value());
+}
+
+TEST(DynamicRing, LandmarkFlag) {
+  DynamicRing anonymous(4);
+  EXPECT_FALSE(anonymous.has_landmark());
+  EXPECT_FALSE(anonymous.is_landmark(0));
+
+  DynamicRing with(4, 2);
+  EXPECT_TRUE(with.has_landmark());
+  EXPECT_TRUE(with.is_landmark(2));
+  EXPECT_FALSE(with.is_landmark(1));
+}
+
+TEST(DynamicRing, PortMutualExclusion) {
+  DynamicRing r(4);
+  const PortRef p{1, GlobalDir::Ccw};
+  EXPECT_FALSE(r.port_holder(p).has_value());
+  EXPECT_TRUE(r.acquire_port(p, 0));
+  EXPECT_EQ(r.port_holder(p), std::optional<AgentId>(0));
+  EXPECT_FALSE(r.acquire_port(p, 1));    // occupied
+  EXPECT_TRUE(r.acquire_port(p, 0));     // same holder, idempotent
+  r.release_port(p, 1);                  // non-holder release is a no-op
+  EXPECT_EQ(r.port_holder(p), std::optional<AgentId>(0));
+  r.release_port(p, 0);
+  EXPECT_FALSE(r.port_holder(p).has_value());
+  EXPECT_TRUE(r.acquire_port(p, 1));
+}
+
+TEST(DynamicRing, TwoPortsPerNodeAreIndependent) {
+  DynamicRing r(4);
+  EXPECT_TRUE(r.acquire_port({2, GlobalDir::Ccw}, 0));
+  EXPECT_TRUE(r.acquire_port({2, GlobalDir::Cw}, 1));
+  EXPECT_EQ(r.port_holder({2, GlobalDir::Ccw}), std::optional<AgentId>(0));
+  EXPECT_EQ(r.port_holder({2, GlobalDir::Cw}), std::optional<AgentId>(1));
+}
+
+TEST(DynamicRing, PortOfFindsHolder) {
+  DynamicRing r(4);
+  EXPECT_FALSE(r.port_of(0).has_value());
+  r.acquire_port({3, GlobalDir::Cw}, 0);
+  const auto p = r.port_of(0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node, 3);
+  EXPECT_EQ(p->side, GlobalDir::Cw);
+  r.release_ports_of(0);
+  EXPECT_FALSE(r.port_of(0).has_value());
+}
+
+TEST(DynamicRing, OppositePortsOfSameEdge) {
+  DynamicRing r(5);
+  // Edge 2 joins v_2 and v_3: v_2's Ccw port and v_3's Cw port.
+  EXPECT_TRUE(r.acquire_port({2, GlobalDir::Ccw}, 0));
+  EXPECT_TRUE(r.acquire_port({3, GlobalDir::Cw}, 1));  // distinct ports
+  EXPECT_EQ(r.edge_from(2, GlobalDir::Ccw), r.edge_from(3, GlobalDir::Cw));
+}
+
+TEST(DynamicRing, WrapNormalisesIndices) {
+  DynamicRing r(5);
+  EXPECT_EQ(r.wrap(5), 0);
+  EXPECT_EQ(r.wrap(-1), 4);
+  EXPECT_EQ(r.wrap(12), 2);
+  EXPECT_EQ(r.wrap(-6), 4);
+}
+
+}  // namespace
+}  // namespace dring::ring

@@ -1,0 +1,246 @@
+// Scenario regressions: surgically scripted executions pinning exact
+// behaviours of the paper's guards — state transitions at specific rounds,
+// termination rounds on static rings, role splits under port mutual
+// exclusion, guess doubling, and the Lemma 1 / Theorem 3 timing facts.
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "algo/unconscious_exploration.hpp"
+#include "core/runner.hpp"
+
+namespace dring {
+namespace {
+
+using algo::AlgorithmId;
+using core::default_config;
+using core::ExplorationConfig;
+
+std::string state_at(const sim::Engine& engine, Round r, AgentId id) {
+  for (const sim::RoundTrace& rt : engine.trace())
+    if (rt.round == r) return rt.agents[static_cast<std::size_t>(id)].state;
+  return "?";
+}
+
+// --- KnownNNoChirality (Figure 1) -------------------------------------------
+
+TEST(KnownNGuards, SameNodeMutexSplitsDirections) {
+  // Two agents, same node, same orientation: one wins the port, the loser
+  // observes `failed` and bounces — "the two agents will have different
+  // directions" (Theorem 3 proof).
+  const NodeId n = 8;
+  ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, n);
+  cfg.start_nodes = {3, 3};
+  cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 3;
+  cfg.stop.stop_when_all_terminated = false;
+  sim::NullAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Round 2: the loser of round 1 has processed `failed` -> Bounce.
+  EXPECT_EQ(state_at(*engine, 2, 0), "Init");    // winner keeps left
+  EXPECT_EQ(state_at(*engine, 2, 1), "Bounce");  // loser bounced right
+  // They separate in opposite directions.
+  EXPECT_NE(engine->body(0).node, engine->body(1).node);
+}
+
+TEST(KnownNGuards, TtimeTimeoutMovesToForward) {
+  // An agent that never interacts switches Init -> Forward at
+  // Ttime >= 2N-4 and keeps going left.
+  const NodeId n = 8;
+  ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, n);
+  cfg.start_nodes = {0, 4};
+  cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 3 * n;
+  sim::NullAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Guard fires at the compute of round 2N-3 (Ttime = 2N-4).
+  EXPECT_EQ(state_at(*engine, 2 * n - 4, 0), "Init");
+  EXPECT_EQ(state_at(*engine, 2 * n - 3, 0), "Forward");
+}
+
+TEST(KnownNGuards, StaticRingTerminatesExactlyAt3NMinus5) {
+  // Termination guard Ttime >= 3N-6 fires at the compute of round 3N-5.
+  for (NodeId n : {6, 9, 14}) {
+    ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, n);
+    cfg.start_nodes = {0, 3 % n};
+    cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+    cfg.stop.max_rounds = 10 * n;
+    sim::NullAdversary adv;
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    ASSERT_TRUE(r.all_terminated);
+    for (const auto& a : r.agents)
+      EXPECT_EQ(a.termination_round, 3 * n - 5) << "n=" << n;
+  }
+}
+
+TEST(KnownNGuards, HeadOnPinReleasesViaBtimeGuard) {
+  // The D13 scenario: both agents pinned on one shared edge from round 1.
+  // The (Ttime >= 2N-4 and Btime >= N-1) guard must eventually fire and
+  // the ring still gets explored by 3N-6.
+  const NodeId n = 9;
+  ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, n);
+  cfg.start_nodes = {0, 1};
+  cfg.orientations = {agent::kChiralOrientation, agent::kMirroredOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 10 * n;
+  // Both try to cross edge 0 head-on; remove it forever.
+  adversary::FixedEdgeAdversary adv(0);
+  auto engine = core::make_engine(cfg, &adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+  EXPECT_TRUE(r.explored);
+  EXPECT_FALSE(r.premature_termination);
+  EXPECT_LE(r.explored_round, 3 * n - 6);
+  // Both flipped to Bounce at the compute of round 2N-3.
+  EXPECT_EQ(state_at(*engine, 2 * n - 3, 0), "Bounce");
+  EXPECT_EQ(state_at(*engine, 2 * n - 3, 1), "Bounce");
+}
+
+// --- UnconsciousExploration (Figure 3) ---------------------------------------
+
+TEST(UnconsciousGuards, GuessDoublesEveryPhase) {
+  // On a free run the guess doubles each 2G rounds (Keep).
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 32);
+  cfg.stop.max_rounds = 30;
+  cfg.stop.stop_when_explored = false;
+  sim::NullAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  const auto* brain = dynamic_cast<const algo::UnconsciousExploration*>(
+      &engine->brain(0));
+  ASSERT_NE(brain, nullptr);
+  // Phases: G=2 for rounds 1..4(+1 entry), G=4 .., after 30 rounds G >= 8.
+  EXPECT_GE(brain->guess(), 8);
+  EXPECT_LE(brain->guess(), 32);
+}
+
+TEST(UnconsciousGuards, LongBlockCausesReversal) {
+  // One agent pinned by Obs.-1: at a phase end with Btime > G it must
+  // reverse direction (state Reverse), flipping its dir.
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 12);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 40;
+  cfg.stop.stop_when_explored = false;
+  adversary::BlockAgentAdversary adv(0);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  bool reversed = false;
+  for (const sim::RoundTrace& rt : engine->trace())
+    reversed = reversed || rt.agents[0].state == "Reverse";
+  EXPECT_TRUE(reversed);
+  EXPECT_EQ(engine->body(0).moves, 0);  // still never moved (both dirs blocked)
+}
+
+TEST(UnconsciousGuards, CatchLocksDirectionsForever) {
+  // After catching, the agents are in Bounce/Forward and never change
+  // state again (unconscious: no further guards).
+  const NodeId n = 10;
+  ExplorationConfig cfg = default_config(AlgorithmId::UnconsciousExploration, n);
+  cfg.start_nodes = {5, 2};
+  cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 60;
+  cfg.stop.stop_when_explored = false;
+  adversary::BlockAgentAdversary adv(0);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  bool saw_catch = false;
+  for (const sim::RoundTrace& rt : engine->trace()) {
+    if (rt.agents[1].state == "Bounce") saw_catch = true;
+    if (saw_catch) {
+      EXPECT_EQ(rt.agents[0].state, "Forward");
+      EXPECT_EQ(rt.agents[1].state, "Bounce");
+    }
+  }
+  EXPECT_TRUE(saw_catch);
+}
+
+// --- Lemma 1 (LandmarkWithChirality without catches) --------------------------
+
+TEST(LandmarkTiming, NoCatchRunTerminatesWithin7n) {
+  // Lemma 1: agents that never catch each other explore and terminate by
+  // round 7n-1.
+  for (NodeId n : {6, 10, 16}) {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::LandmarkWithChirality, n);
+    cfg.start_nodes = {1, static_cast<NodeId>(1 + n / 2)};
+    cfg.stop.max_rounds = 10 * n;
+    sim::NullAdversary adv;  // static: they stay apart, never catch
+    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    ASSERT_TRUE(r.all_terminated) << n;
+    for (const auto& a : r.agents)
+      EXPECT_LE(a.termination_round, 7 * n - 1) << "n=" << n;
+  }
+}
+
+// --- Silent crossings inside protocols -----------------------------------------
+
+TEST(SilentCrossing, HeadOnAgentsSwapWithoutDetection) {
+  // Two UnconsciousExploration agents approaching head-on at odd distance
+  // cross on an edge and keep their states (no Bounce/Forward).
+  const NodeId n = 9;
+  ExplorationConfig cfg = default_config(AlgorithmId::UnconsciousExploration, n);
+  cfg.start_nodes = {0, 3};
+  cfg.orientations = {agent::kChiralOrientation, agent::kMirroredOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 2;
+  cfg.stop.stop_when_explored = false;
+  sim::NullAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Round 1: 0->1 and 3->2; round 2: 1->2 and 2->1 (crossing edge 1).
+  EXPECT_EQ(engine->body(0).node, 2);
+  EXPECT_EQ(engine->body(1).node, 1);
+  EXPECT_EQ(state_at(*engine, 2, 0), "Init");
+  EXPECT_EQ(state_at(*engine, 2, 1), "Init");
+}
+
+// --- Verifier / engine robustness ----------------------------------------------
+
+TEST(EngineRobustness, DoubleRemovalIsRejectedAndRecorded) {
+  // The engine API gives adversaries no way to remove a second edge, so
+  // 1-interval connectivity holds by construction: verify the ring-level
+  // guard that enforces it.
+  ring::DynamicRing ring(6);
+  EXPECT_TRUE(ring.remove_edge(1));
+  EXPECT_FALSE(ring.remove_edge(2));
+  EXPECT_TRUE(ring.edge_present(2));
+}
+
+TEST(EngineRobustness, ZeroAgentEngineTerminatesRunImmediately) {
+  sim::Engine engine(5, std::nullopt, sim::Model::FSYNC);
+  const sim::RunResult r = engine.run(sim::StopPolicy{});
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_FALSE(r.explored);
+}
+
+TEST(EngineRobustness, ThreeAgentSnapshotCountsAll) {
+  sim::Engine engine(6, std::nullopt, sim::Model::FSYNC);
+  class Idle final : public agent::Brain {
+   public:
+    agent::Intent on_activate(const agent::Snapshot&,
+                              const agent::Feedback&) override {
+      return agent::Intent::stay();
+    }
+    bool terminated() const override { return false; }
+    std::unique_ptr<agent::Brain> clone() const override {
+      return std::make_unique<Idle>(*this);
+    }
+    std::string state_name() const override { return "idle"; }
+    std::string algorithm_name() const override { return "Idle"; }
+  };
+  engine.add_agent(2, agent::kChiralOrientation, std::make_unique<Idle>());
+  engine.add_agent(2, agent::kChiralOrientation, std::make_unique<Idle>());
+  engine.add_agent(2, agent::kChiralOrientation, std::make_unique<Idle>());
+  const agent::Snapshot snap = engine.make_snapshot(0);
+  EXPECT_EQ(snap.others_in_node, 2);
+  EXPECT_EQ(snap.others_on_left_port + snap.others_on_right_port, 0);
+}
+
+}  // namespace
+}  // namespace dring

@@ -1,0 +1,151 @@
+// Tests for trace export (CSV) and exact replay of recorded schedules.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/composed.hpp"
+#include "core/runner.hpp"
+#include "sim/trace_io.hpp"
+
+namespace dring::sim {
+namespace {
+
+using algo::AlgorithmId;
+
+TEST(TraceIo, CsvHasHeaderAndOneRowPerAgentRound) {
+  core::ExplorationConfig cfg =
+      core::default_config(AlgorithmId::KnownNNoChirality, 6);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 5;
+  cfg.stop.stop_when_all_terminated = false;
+  NullAdversary adv;
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+
+  std::ostringstream ss;
+  write_trace_csv(engine->trace(), ss);
+  const std::string out = ss.str();
+  // Header + 5 rounds x 2 agents = 11 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 11);
+  EXPECT_NE(out.find("round,missing_edge,agent"), std::string::npos);
+}
+
+TEST(TraceIo, EdgeScheduleRoundTrips) {
+  core::ExplorationConfig cfg =
+      core::default_config(AlgorithmId::UnconsciousExploration, 7);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 40;
+  cfg.stop.stop_when_explored = false;
+  adversary::TargetedRandomAdversary adv(0.6, 1.0, 4242);
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+
+  const auto schedule = edge_schedule_of(engine->trace());
+  for (const RoundTrace& rt : engine->trace())
+    EXPECT_EQ(schedule(rt.round), rt.missing) << "round " << rt.round;
+  EXPECT_FALSE(schedule(10'000).has_value());
+}
+
+TEST(TraceIo, ReplayReproducesRunExactly) {
+  // Record a hostile FSYNC run, then replay its schedule: identical
+  // positions every round.
+  core::ExplorationConfig cfg =
+      core::default_config(AlgorithmId::KnownNNoChirality, 9);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 100;
+  adversary::TargetedRandomAdversary adv(0.7, 1.0, 777);
+  auto original = core::make_engine(cfg, &adv);
+  original->run(cfg.stop);
+
+  ReplayAdversary replay(original->trace());
+  auto replayed = core::make_engine(cfg, &replay);
+  replayed->run(cfg.stop);
+
+  ASSERT_EQ(original->trace().size(), replayed->trace().size());
+  for (std::size_t i = 0; i < original->trace().size(); ++i) {
+    const RoundTrace& a = original->trace()[i];
+    const RoundTrace& b = replayed->trace()[i];
+    EXPECT_EQ(a.missing, b.missing) << "round " << a.round;
+    for (std::size_t j = 0; j < a.agents.size(); ++j) {
+      EXPECT_EQ(a.agents[j].node, b.agents[j].node)
+          << "round " << a.round << " agent " << j;
+      EXPECT_EQ(a.agents[j].state, b.agents[j].state)
+          << "round " << a.round << " agent " << j;
+    }
+  }
+}
+
+TEST(TraceIo, ReplayReproducesSsyncActivations) {
+  core::ExplorationConfig cfg =
+      core::default_config(AlgorithmId::PTBoundNoChirality, 8);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 300;
+  adversary::TargetedRandomAdversary adv(0.5, 0.5, 99);
+  auto original = core::make_engine(cfg, &adv);
+  original->run(cfg.stop);
+
+  ReplayAdversary replay(original->trace());
+  auto replayed = core::make_engine(cfg, &replay);
+  replayed->run(cfg.stop);
+
+  ASSERT_EQ(original->trace().size(), replayed->trace().size());
+  for (std::size_t i = 0; i < original->trace().size(); ++i) {
+    const RoundTrace& a = original->trace()[i];
+    const RoundTrace& b = replayed->trace()[i];
+    for (std::size_t j = 0; j < a.agents.size(); ++j) {
+      EXPECT_EQ(a.agents[j].active, b.agents[j].active)
+          << "round " << a.round << " agent " << j;
+      EXPECT_EQ(a.agents[j].node, b.agents[j].node)
+          << "round " << a.round << " agent " << j;
+    }
+  }
+}
+
+TEST(ComposedAdversary, HooksAreHonoured) {
+  core::ExplorationConfig cfg =
+      core::default_config(AlgorithmId::UnconsciousExploration, 6);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 10;
+  cfg.stop.stop_when_explored = false;
+  adversary::ComposedAdversary adv(
+      nullptr,
+      [](const WorldView& view, const std::vector<IntentRecord>&)
+          -> std::optional<EdgeId> {
+        return view.round() % 2 == 0 ? std::optional<EdgeId>(2) : std::nullopt;
+      });
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  for (const RoundTrace& rt : engine->trace()) {
+    if (rt.round % 2 == 0) {
+      EXPECT_EQ(rt.missing, std::optional<EdgeId>(2));
+    } else {
+      EXPECT_FALSE(rt.missing.has_value());
+    }
+  }
+}
+
+TEST(ComposedAdversary, TieBreakReordersWinners) {
+  // Two agents at the same node contending for the same port; the
+  // tie-break hook reverses the default id order.
+  core::ExplorationConfig cfg =
+      core::default_config(AlgorithmId::KnownNNoChirality, 6);
+  cfg.start_nodes = {3, 3};
+  cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 1;
+  cfg.stop.stop_when_all_terminated = false;
+  adversary::ComposedAdversary adv(
+      nullptr, nullptr,
+      [](const WorldView&, PortRef, std::vector<AgentId>& contenders) {
+        std::reverse(contenders.begin(), contenders.end());
+      });
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+  // Agent 1 won the port and moved; agent 0 failed and stayed.
+  EXPECT_EQ(engine->body(1).node, 4);
+  EXPECT_EQ(engine->body(0).node, 3);
+}
+
+}  // namespace
+}  // namespace dring::sim

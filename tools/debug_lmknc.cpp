@@ -1,0 +1,45 @@
+// Scratch debug driver (not part of the library build): find failing
+// LandmarkNoChirality scenarios from the Table 2 sweep.
+#include <iostream>
+#include <memory>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "core/runner.hpp"
+
+using namespace dring;
+
+int main() {
+  for (NodeId n : {5, 6, 8, 11, 16, 24, 32}) {
+    for (int seed = 0; seed <= 4; ++seed) {
+      core::ExplorationConfig cfg =
+          core::default_config(algo::AlgorithmId::LandmarkNoChirality, n);
+      cfg.stop.max_rounds = 100000LL * n + 1000;
+      std::unique_ptr<sim::Adversary> adv;
+      if (seed == 0) {
+        adv = std::make_unique<sim::NullAdversary>();
+      } else if (seed == 1) {
+        adv = std::make_unique<adversary::BlockAgentAdversary>(0);
+      } else {
+        adv = std::make_unique<adversary::TargetedRandomAdversary>(
+            0.7, 1.0, 1000 * n + seed);
+      }
+      const sim::RunResult r = core::run_exploration(cfg, adv.get());
+      const bool ok = r.explored && !r.premature_termination &&
+                      r.all_terminated && r.violations.empty();
+      if (!ok) {
+        std::cout << "FAIL n=" << n << " seed=" << seed
+                  << " explored=" << r.explored
+                  << " premature=" << r.premature_termination
+                  << " terminated=" << r.terminated_agents << "/2"
+                  << " rounds=" << r.rounds << " stop=" << r.stop_reason;
+        for (const auto& a : r.agents)
+          std::cout << " | a" << a.id << " state=" << a.final_state
+                    << " node=" << a.final_node << " term@"
+                    << a.termination_round;
+        std::cout << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Scratch: reproduce a failing property-sweep scenario with a full trace.
+#include <iostream>
+
+#include "adversary/basic_adversaries.hpp"
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace dring;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 7));
+  const std::uint64_t seed = cli.get_int("seed", 52);
+  const Round rounds = cli.get_int("rounds", 120);
+
+  core::ExplorationConfig cfg =
+      core::default_config(algo::AlgorithmId::LandmarkNoChirality, n);
+  util::Rng rng(seed * 11400714819323198485ULL + n);
+  for (auto& start : cfg.start_nodes)
+    start = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  for (auto& o : cfg.orientations)
+    o = rng.chance(0.5) ? agent::kChiralOrientation
+                        : agent::kMirroredOrientation;
+  std::cout << "starts:";
+  for (auto s : cfg.start_nodes) std::cout << " " << s;
+  std::cout << " orientations:";
+  for (auto& o : cfg.orientations)
+    std::cout << " " << (o == agent::kChiralOrientation ? "ccw" : "cw");
+  std::cout << " fixed-edge=" << (seed % n) << "\n";
+
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = rounds;
+  adversary::FixedEdgeAdversary adv(static_cast<EdgeId>(seed % n));
+  auto engine = core::make_engine(cfg, &adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+
+  for (const sim::RoundTrace& rt : engine->trace()) {
+    if (rt.round > cli.get_int("show", 120)) break;
+    std::cout << "r" << rt.round << " miss="
+              << (rt.missing ? std::to_string(*rt.missing) : "-");
+    for (const auto& at : rt.agents) {
+      std::cout << " | a" << at.id << "@" << at.node
+                << (at.on_port
+                        ? (at.port_side == GlobalDir::Ccw ? "/ccw" : "/cw")
+                        : "")
+                << " " << at.state << (at.active ? "" : " zz")
+                << (at.terminated ? " TERM" : "");
+    }
+    std::cout << "\n";
+  }
+  std::cout << "explored=" << r.explored << " term=" << r.terminated_agents
+            << " premature=" << r.premature_termination << "\n";
+  return 0;
+}

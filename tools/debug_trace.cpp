@@ -1,0 +1,52 @@
+// Scratch debug driver: print a full trace of one scenario.
+#include <iostream>
+#include <memory>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+
+using namespace dring;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const NodeId n = static_cast<NodeId>(cli.get_int("n", 5));
+  const int seed = static_cast<int>(cli.get_int("seed", 1));
+  const Round max_rounds = cli.get_int("rounds", 60);
+  const std::string algo_name = cli.get("algo", "LandmarkNoChirality");
+
+  core::ExplorationConfig cfg =
+      core::default_config(algo::info_by_name(algo_name).id, n);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = max_rounds;
+  std::unique_ptr<sim::Adversary> adv;
+  if (seed == 0) {
+    adv = std::make_unique<sim::NullAdversary>();
+  } else if (seed == 1) {
+    adv = std::make_unique<adversary::BlockAgentAdversary>(0);
+  } else {
+    adv = std::make_unique<adversary::TargetedRandomAdversary>(0.7, 1.0,
+                                                               1000 * n + seed);
+  }
+  auto engine = core::make_engine(cfg, adv.get());
+  const sim::RunResult r = engine->run(cfg.stop);
+
+  for (const sim::RoundTrace& rt : engine->trace()) {
+    std::cout << "r" << rt.round << " miss="
+              << (rt.missing ? std::to_string(*rt.missing) : "-") << " ";
+    for (const auto& at : rt.agents) {
+      std::cout << " | a" << at.id << "@" << at.node
+                << (at.on_port
+                        ? (at.port_side == GlobalDir::Ccw ? "/ccw" : "/cw")
+                        : "")
+                << " " << at.state << (at.active ? "" : " zz")
+                << (at.terminated ? " TERM" : "");
+    }
+    std::cout << "\n";
+  }
+  std::cout << "explored=" << r.explored << " @" << r.explored_round
+            << " premature=" << r.premature_termination
+            << " terminated=" << r.terminated_agents << "\n";
+  return 0;
+}
