@@ -3,6 +3,9 @@
 // this documents the substrate's own cost.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "adversary/basic_adversaries.hpp"
 #include "core/runner.hpp"
 
@@ -55,6 +58,50 @@ void BM_RoundsPerSecondRaw(benchmark::State& state) {
   state.SetItemsProcessed(rounds);
 }
 BENCHMARK(BM_RoundsPerSecondRaw)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Minimal deterministic protocol for engine microbenches: walk in one
+// direction, bounce on contention/blocking. Near-zero Compute cost, so the
+// measurement isolates the engine's per-agent machinery (Look snapshots,
+// port mutex, movement) rather than any algorithm's bookkeeping.
+class BounceWalker final : public agent::Brain {
+ public:
+  explicit BounceWalker(Dir d) : dir_(d) {}
+  agent::Intent on_activate(const agent::Snapshot&,
+                            const agent::Feedback& fb) override {
+    if (fb.failed() || fb.blocked()) dir_ = opposite(dir_);
+    return agent::Intent::move(dir_);
+  }
+  bool terminated() const override { return false; }
+  std::unique_ptr<agent::Brain> clone() const override {
+    return std::make_unique<BounceWalker>(*this);
+  }
+  std::string state_name() const override { return "Walk"; }
+  std::string algorithm_name() const override { return "BounceWalker"; }
+
+ private:
+  Dir dir_;
+};
+
+void BM_ManyAgentsSnapshot(benchmark::State& state) {
+  // Large teams: k walkers on a ring of k nodes (occupancy ~1, constant
+  // collisions). Dominated by per-round Look/snapshot construction.
+  const int k = static_cast<int>(state.range(0));
+  const NodeId n = std::max<NodeId>(4, static_cast<NodeId>(k));
+  sim::EngineOptions opts;
+  opts.verify = false;
+  sim::Engine engine(n, std::nullopt, sim::Model::FSYNC, opts);
+  for (int i = 0; i < k; ++i)
+    engine.add_agent(static_cast<NodeId>(i % n), agent::kChiralOrientation,
+                     std::make_unique<BounceWalker>(
+                         i % 2 == 0 ? Dir::Left : Dir::Right));
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    engine.step();
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds * k);  // agent activations per second
+}
+BENCHMARK(BM_ManyAgentsSnapshot)->Arg(64)->Arg(256);
 
 }  // namespace
 

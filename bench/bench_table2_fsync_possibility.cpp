@@ -18,6 +18,7 @@
 #include "adversary/proof_adversaries.hpp"
 #include "algo/id_encoding.hpp"
 #include "core/runner.hpp"
+#include "core/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -57,34 +58,57 @@ void account(RowResult& row, const sim::RunResult& r, NodeId n,
 }
 
 RowResult sweep(algo::AlgorithmId id, const std::vector<NodeId>& sizes,
-                int seeds, Round round_budget_per_n) {
-  RowResult row;
+                int seeds, Round round_budget_per_n,
+                const core::SweepOptions& pool) {
+  // Build the whole scenario matrix, run it on the worker pool, and fold
+  // the results in task order (identical to the old serial loop).
+  std::vector<core::ScenarioTask> tasks;
+  std::vector<NodeId> task_n;
   for (const NodeId n : sizes) {
     for (int seed = 0; seed <= seeds; ++seed) {
-      core::ExplorationConfig cfg = core::default_config(id, n);
-      cfg.stop.max_rounds = round_budget_per_n * n + 1000;
-      std::unique_ptr<sim::Adversary> adv;
+      core::ScenarioTask task;
+      task.cfg = core::default_config(id, n);
+      task.cfg.stop.max_rounds = round_budget_per_n * n + 1000;
+      task.seed = static_cast<std::uint64_t>(1000 * n + seed);
       if (seed == 0) {
-        adv = std::make_unique<sim::NullAdversary>();
+        task.make_adversary = [] {
+          return std::make_unique<sim::NullAdversary>();
+        };
       } else if (seed == 1) {
-        adv = std::make_unique<adversary::BlockAgentAdversary>(0);
+        task.make_adversary = []() -> std::unique_ptr<sim::Adversary> {
+          return std::make_unique<adversary::BlockAgentAdversary>(0);
+        };
       } else {
-        adv = std::make_unique<adversary::TargetedRandomAdversary>(
-            0.7, 1.0, 1000 * n + seed);
+        const std::uint64_t s = task.seed;
+        task.make_adversary = [s]() -> std::unique_ptr<sim::Adversary> {
+          return std::make_unique<adversary::TargetedRandomAdversary>(0.7, 1.0,
+                                                                      s);
+        };
       }
-      account(row, core::run_exploration(cfg, adv.get()), n, true);
+      tasks.push_back(std::move(task));
+      task_n.push_back(n);
     }
     // Theorem 3 additionally gets its exact worst-case schedule (Figure 2).
     if (id == algo::AlgorithmId::KnownNNoChirality && n >= 6) {
-      core::ExplorationConfig cfg = core::default_config(id, n);
-      cfg.start_nodes = {2, 3};
-      cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
-      cfg.stop.max_rounds = 10 * n;
-      adversary::ScriptedEdgeAdversary adv(adversary::make_fig2_script(n, 2),
-                                           "fig2");
-      account(row, core::run_exploration(cfg, &adv), n, true);
+      core::ScenarioTask task;
+      task.cfg = core::default_config(id, n);
+      task.cfg.start_nodes = {2, 3};
+      task.cfg.orientations = {agent::kChiralOrientation,
+                               agent::kChiralOrientation};
+      task.cfg.stop.max_rounds = 10 * n;
+      task.make_adversary = [n]() -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<adversary::ScriptedEdgeAdversary>(
+            adversary::make_fig2_script(n, 2), "fig2");
+      };
+      tasks.push_back(std::move(task));
+      task_n.push_back(n);
     }
   }
+
+  const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
+  RowResult row;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    account(row, results[i], task_n[i], true);
   return row;
 }
 
@@ -93,6 +117,8 @@ RowResult sweep(algo::AlgorithmId id, const std::vector<NodeId>& sizes,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 6));
+  core::SweepOptions pool;
+  pool.threads = static_cast<int>(cli.get_int("threads", 0));
   std::vector<NodeId> sizes = {5, 6, 8, 11, 16, 24, 32};
   if (cli.has("max-n")) {
     const NodeId cap = static_cast<NodeId>(cli.get_int("max-n", 32));
@@ -113,7 +139,7 @@ int main(int argc, char** argv) {
 
   {
     const RowResult r = sweep(algo::AlgorithmId::KnownNNoChirality, sizes,
-                              seeds, 10);
+                              seeds, 10, pool);
     const NodeId n = r.worst_n;
     table.add_row({"2", "Known bound N", "3N-6 (Th. 3)",
                    util::fmt_count(r.worst_round) + "  (3n-5 = " +
@@ -123,7 +149,7 @@ int main(int argc, char** argv) {
   }
   {
     const RowResult r = sweep(algo::AlgorithmId::LandmarkWithChirality, sizes,
-                              seeds, 4000);
+                              seeds, 4000, pool);
     const NodeId n = std::max<NodeId>(r.worst_n, 1);
     table.add_row({"2", "Chirality, Landmark", "O(n) (Th. 6)",
                    util::fmt_count(r.worst_round) + "  (= " +
@@ -135,7 +161,7 @@ int main(int argc, char** argv) {
   }
   {
     const RowResult r = sweep(algo::AlgorithmId::LandmarkNoChirality, sizes,
-                              seeds, 100000);
+                              seeds, 100000, pool);
     const NodeId n = std::max<NodeId>(r.worst_n, 1);
     const double nlogn = static_cast<double>(n) * algo::ceil_log2(n);
     table.add_row({"2", "Landmark (no chirality)", "O(n log n) (Th. 8)",

@@ -19,6 +19,7 @@
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/proof_adversaries.hpp"
 #include "core/runner.hpp"
+#include "core/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -54,34 +55,57 @@ void account(RowStats& row, const sim::RunResult& r, NodeId n,
 }
 
 RowStats sweep(algo::AlgorithmId id, const std::vector<NodeId>& sizes,
-               int seeds, bool terminating, bool with_sliding_window) {
-  RowStats row;
+               int seeds, bool terminating, bool with_sliding_window,
+               const core::SweepOptions& pool) {
+  // Build the scenario matrix, run it on the worker pool, fold in task
+  // order (identical to the old serial loop).
+  std::vector<core::ScenarioTask> tasks;
+  std::vector<NodeId> task_n;
   for (const NodeId n : sizes) {
     for (int seed = 0; seed <= seeds; ++seed) {
-      core::ExplorationConfig cfg = core::default_config(id, n);
-      cfg.stop.max_rounds = 200'000LL + 4000LL * n * n;
-      std::unique_ptr<sim::Adversary> adv;
+      core::ScenarioTask task;
+      task.cfg = core::default_config(id, n);
+      task.cfg.stop.max_rounds = 200'000LL + 4000LL * n * n;
+      task.seed = 7919ULL * static_cast<std::uint64_t>(n) +
+                  static_cast<std::uint64_t>(seed);
       if (seed == 0) {
-        adv = std::make_unique<sim::NullAdversary>();
+        task.make_adversary = [] {
+          return std::make_unique<sim::NullAdversary>();
+        };
       } else {
-        adv = std::make_unique<adversary::TargetedRandomAdversary>(
-            0.6, 0.5 + 0.1 * (seed % 5), 7919ULL * n + seed);
+        const double activation = 0.5 + 0.1 * (seed % 5);
+        const std::uint64_t s = task.seed;
+        task.make_adversary = [activation,
+                               s]() -> std::unique_ptr<sim::Adversary> {
+          return std::make_unique<adversary::TargetedRandomAdversary>(
+              0.6, activation, s);
+        };
       }
-      account(row, core::run_exploration(cfg, adv.get()), n, terminating);
+      tasks.push_back(std::move(task));
+      task_n.push_back(n);
     }
     if (with_sliding_window) {
-      core::ExplorationConfig cfg = core::default_config(id, n);
-      cfg.start_nodes = {static_cast<NodeId>(n / 2 - 1), 0};
-      cfg.orientations = {agent::kChiralOrientation,
-                          agent::kChiralOrientation};
-      if (cfg.landmark) cfg.landmark = 1;  // inside the initial window
-      cfg.engine.fairness_window = 65536;
-      cfg.stop.max_rounds = 200'000LL + 4000LL * n * n;
-      cfg.stop.stop_when_explored_and_one_terminated = true;
-      adversary::SlidingWindowAdversary adv(0, 1);
-      account(row, core::run_exploration(cfg, &adv), n, terminating);
+      core::ScenarioTask task;
+      task.cfg = core::default_config(id, n);
+      task.cfg.start_nodes = {static_cast<NodeId>(n / 2 - 1), 0};
+      task.cfg.orientations = {agent::kChiralOrientation,
+                               agent::kChiralOrientation};
+      if (task.cfg.landmark) task.cfg.landmark = 1;  // inside the window
+      task.cfg.engine.fairness_window = 65536;
+      task.cfg.stop.max_rounds = 200'000LL + 4000LL * n * n;
+      task.cfg.stop.stop_when_explored_and_one_terminated = true;
+      task.make_adversary = []() -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
+      };
+      tasks.push_back(std::move(task));
+      task_n.push_back(n);
     }
   }
+
+  const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
+  RowStats row;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    account(row, results[i], task_n[i], terminating);
   return row;
 }
 
@@ -96,6 +120,8 @@ std::string quad_ratio(const RowStats& row) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 6));
+  core::SweepOptions pool;
+  pool.threads = static_cast<int>(cli.get_int("threads", 0));
   std::vector<NodeId> sizes = {5, 6, 8, 11, 16, 24};
   if (cli.has("max-n")) {
     const NodeId cap = static_cast<NodeId>(cli.get_int("max-n", 24));
@@ -140,7 +166,7 @@ int main(int argc, char** argv) {
 
   for (const RowSpec& spec : rows) {
     const RowStats row =
-        sweep(spec.id, sizes, seeds, spec.terminating, spec.sliding);
+        sweep(spec.id, sizes, seeds, spec.terminating, spec.sliding, pool);
     std::string term;
     if (!spec.terminating) {
       term = "none (ok)";

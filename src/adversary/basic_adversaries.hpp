@@ -25,6 +25,8 @@ class FixedEdgeAdversary : public sim::Adversary {
       const sim::WorldView&, const std::vector<sim::IntentRecord>&) override {
     return edge_;
   }
+  bool observes_intents() const override { return false; }
+  bool reorders_contenders() const override { return false; }
   std::string name() const override {
     return "fixed-edge(" + std::to_string(edge_) + ")";
   }
@@ -49,6 +51,8 @@ class RandomAdversary : public sim::Adversary {
   std::optional<EdgeId> choose_missing_edge(
       const sim::WorldView& view,
       const std::vector<sim::IntentRecord>& intents) override;
+  bool observes_intents() const override { return false; }
+  bool reorders_contenders() const override { return false; }
   std::string name() const override { return "random"; }
 
  private:
@@ -73,6 +77,7 @@ class TargetedRandomAdversary : public sim::Adversary {
   std::optional<EdgeId> choose_missing_edge(
       const sim::WorldView& view,
       const std::vector<sim::IntentRecord>& intents) override;
+  bool reorders_contenders() const override { return false; }
   std::string name() const override { return "targeted-random"; }
 
  private:
@@ -94,6 +99,8 @@ class ScriptedEdgeAdversary : public sim::Adversary {
       const std::vector<sim::IntentRecord>&) override {
     return script_(view.round());
   }
+  bool observes_intents() const override { return false; }
+  bool reorders_contenders() const override { return false; }
   std::string name() const override { return label_; }
 
  private:
@@ -109,6 +116,8 @@ class RotationActivationAdversary : public sim::Adversary {
   explicit RotationActivationAdversary(Round dwell = 1) : dwell_(dwell) {}
 
   std::vector<bool> select_active(const sim::WorldView& view) override;
+  bool observes_intents() const override { return false; }
+  bool reorders_contenders() const override { return false; }
   std::string name() const override { return "rotation-activation"; }
 
  private:

@@ -52,6 +52,10 @@ class ComposedAdversary : public sim::Adversary {
     if (tie_break_) tie_break_(view, port, contenders);
   }
 
+  bool reorders_contenders() const override {
+    return static_cast<bool>(tie_break_);
+  }
+
   std::string name() const override { return label_; }
 
  private:

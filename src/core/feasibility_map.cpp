@@ -1,54 +1,107 @@
 #include "core/feasibility_map.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <memory>
 
 #include "adversary/basic_adversaries.hpp"
+#include "core/sweep.hpp"
 #include "util/table.hpp"
 
 namespace dring::core {
 
-FeasibilityRow evaluate_algorithm(algo::AlgorithmId id,
-                                  const FeasibilitySweep& sweep) {
-  FeasibilityRow row;
-  row.meta = algo::info(id);
+namespace {
 
+/// The scenario matrix of one algorithm, in (size-major, seed-minor) task
+/// order. Seed 0 runs the static ring (no removals, full activation); the
+/// rest run randomized hostile dynamics.
+std::vector<ScenarioTask> build_tasks(algo::AlgorithmId id,
+                                      const FeasibilitySweep& sweep) {
+  std::vector<ScenarioTask> tasks;
+  tasks.reserve(sweep.sizes.size() *
+                static_cast<std::size_t>(sweep.seeds_per_size));
   for (const NodeId n : sweep.sizes) {
     for (int seed = 0; seed < sweep.seeds_per_size; ++seed) {
-      ExplorationConfig cfg = default_config(id, n);
-      cfg.stop.max_rounds = sweep.max_rounds;
-
-      // Seed 0 runs the static ring (no removals, full activation); the
-      // rest run randomized hostile dynamics.
-      sim::NullAdversary benign;
-      adversary::TargetedRandomAdversary hostile(
-          sweep.edge_removal_prob, sweep.activation_prob,
-          0x9d5ULL * static_cast<std::uint64_t>(seed) + 17 * n);
-      sim::Adversary* adv =
-          seed == 0 ? static_cast<sim::Adversary*>(&benign)
-                    : static_cast<sim::Adversary*>(&hostile);
-
-      const sim::RunResult r = run_exploration(cfg, adv);
-      row.runs += 1;
-      if (r.explored) row.explored += 1;
-      if (r.premature_termination) row.premature += 1;
-      if (r.all_terminated) row.full_termination += 1;
-      if (r.any_terminated()) row.partial_termination += 1;
-      if (r.rounds > row.worst_rounds) {
-        row.worst_rounds = r.rounds;
-        row.worst_rounds_n = n;
+      ScenarioTask task;
+      task.cfg = default_config(id, n);
+      task.cfg.stop.max_rounds = sweep.max_rounds;
+      task.seed = 0x9d5ULL * static_cast<std::uint64_t>(seed) + 17 * n;
+      if (seed == 0) {
+        task.make_adversary = [] {
+          return std::make_unique<sim::NullAdversary>();
+        };
+      } else {
+        const double removal = sweep.edge_removal_prob;
+        const double activation = sweep.activation_prob;
+        const std::uint64_t s = task.seed;
+        task.make_adversary = [removal, activation, s]()
+            -> std::unique_ptr<sim::Adversary> {
+          return std::make_unique<adversary::TargetedRandomAdversary>(
+              removal, activation, s);
+        };
       }
-      row.worst_moves =
-          std::max<std::int64_t>(row.worst_moves, r.total_moves);
+      tasks.push_back(std::move(task));
     }
   }
+  return tasks;
+}
+
+/// Fold one algorithm's result slice (task order) into its table row.
+FeasibilityRow fold_row(algo::AlgorithmId id,
+                        const FeasibilitySweep& sweep,
+                        const std::vector<sim::RunResult>& slice) {
+  FeasibilityRow row;
+  row.meta = algo::info(id);
+  const SweepReduction red = reduce_worst(slice);
+  row.runs = red.runs;
+  row.explored = red.explored;
+  row.premature = red.premature;
+  row.full_termination = red.full_termination;
+  row.partial_termination = red.partial_termination;
+  row.worst_rounds = red.worst_rounds;
+  row.worst_moves = red.worst_moves;
+  // Tasks are size-major, so the achieving task index maps back to a size.
+  if (red.worst_rounds > 0)
+    row.worst_rounds_n =
+        sweep.sizes[red.worst_rounds_task /
+                    static_cast<std::size_t>(sweep.seeds_per_size)];
   return row;
+}
+
+}  // namespace
+
+FeasibilityRow evaluate_algorithm(algo::AlgorithmId id,
+                                  const FeasibilitySweep& sweep) {
+  const std::vector<ScenarioTask> tasks = build_tasks(id, sweep);
+  SweepOptions options;
+  options.threads = sweep.threads;
+  return fold_row(id, sweep, run_sweep(tasks, options));
 }
 
 std::vector<FeasibilityRow> build_feasibility_map(
     const FeasibilitySweep& sweep) {
+  // One flat task list over every algorithm, so the pool stays saturated
+  // even when a single algorithm's scenarios are few or lopsided.
+  std::vector<ScenarioTask> tasks;
+  for (const algo::AlgorithmInfo& meta : algo::all_algorithms()) {
+    std::vector<ScenarioTask> t = build_tasks(meta.id, sweep);
+    std::move(t.begin(), t.end(), std::back_inserter(tasks));
+  }
+  SweepOptions options;
+  options.threads = sweep.threads;
+  const std::vector<sim::RunResult> results = run_sweep(tasks, options);
+
+  const std::size_t per_algo =
+      sweep.sizes.size() * static_cast<std::size_t>(sweep.seeds_per_size);
   std::vector<FeasibilityRow> rows;
-  for (const algo::AlgorithmInfo& meta : algo::all_algorithms())
-    rows.push_back(evaluate_algorithm(meta.id, sweep));
+  std::size_t first = 0;
+  for (const algo::AlgorithmInfo& meta : algo::all_algorithms()) {
+    const std::vector<sim::RunResult> slice(
+        results.begin() + static_cast<std::ptrdiff_t>(first),
+        results.begin() + static_cast<std::ptrdiff_t>(first + per_algo));
+    rows.push_back(fold_row(meta.id, sweep, slice));
+    first += per_algo;
+  }
   return rows;
 }
 

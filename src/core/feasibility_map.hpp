@@ -40,6 +40,9 @@ struct FeasibilitySweep {
   double edge_removal_prob = 0.6;
   double activation_prob = 0.6;  ///< SSYNC only
   Round max_rounds = 2'000'000;
+  /// Worker threads for the scenario sweep (0 = hardware concurrency,
+  /// 1 = serial). Rows are bit-identical for every thread count.
+  int threads = 0;
 };
 
 /// Run the sweep for one algorithm under its published assumptions.

@@ -1,0 +1,161 @@
+// Fixed-seed golden scenarios pinning exact engine semantics.
+//
+// Each scenario is a fully-determined run (config + adversary + seed) whose
+// per-round trace and final RunResult are digested (sim::trace_digest /
+// sim::result_digest).  The digests recorded by tools/record_golden.cpp are
+// asserted verbatim in tests/scenario_regression_test.cpp, so any change to
+// the engine hot path that alters a single round, move, activation, state
+// string or violation is caught immediately.
+//
+// The set deliberately covers every synchrony/transport model and every
+// adversary entry point (activation choice, probing in select_active and in
+// choose_missing_edge, port tie-breaking, scripted removals).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "core/runner.hpp"
+#include "sim/trace_io.hpp"
+
+namespace dring::core {
+
+/// Digest pair of one executed golden scenario.
+struct GoldenRun {
+  std::uint64_t trace = 0;
+  std::uint64_t result = 0;
+};
+
+/// A named, self-contained deterministic scenario.
+struct GoldenScenario {
+  std::string name;
+  std::function<GoldenRun()> run;
+};
+
+namespace golden_detail {
+
+inline GoldenRun execute(ExplorationConfig cfg, sim::Adversary* adv) {
+  cfg.engine.record_trace = true;
+  auto engine = make_engine(cfg, adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+  return {sim::trace_digest(engine->trace()), sim::result_digest(r)};
+}
+
+}  // namespace golden_detail
+
+/// The golden scenario suite (stable order; append-only).
+inline std::vector<GoldenScenario> golden_scenarios() {
+  using algo::AlgorithmId;
+  namespace gd = golden_detail;
+  std::vector<GoldenScenario> set;
+
+  set.push_back({"fsync-knownN-targeted", [] {
+    ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, 12);
+    cfg.stop.max_rounds = 400;
+    adversary::TargetedRandomAdversary adv(0.6, 1.0, 101);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"fsync-unconscious-null", [] {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::UnconsciousExploration, 9);
+    cfg.stop.max_rounds = 200;
+    sim::NullAdversary adv;
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"fsync-block-agent-probe", [] {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::UnconsciousExploration, 10);
+    cfg.stop.max_rounds = 300;
+    cfg.stop.stop_when_explored = false;
+    adversary::BlockAgentAdversary adv(0);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"fsync-landmark-fig2-script", [] {
+    ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, 10);
+    cfg.start_nodes = {2, 3};
+    cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+    cfg.stop.max_rounds = 100;
+    adversary::ScriptedEdgeAdversary adv(adversary::make_fig2_script(10, 2),
+                                         "fig2");
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-ns-random", [] {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::UnconsciousExploration, 10);
+    cfg.model = sim::Model::SSYNC_NS;
+    cfg.stop.max_rounds = 500;
+    cfg.stop.stop_when_explored = false;
+    adversary::RandomAdversary adv(0.4, 0.6, 303);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-ns-first-mover-probe", [] {
+    ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, 8);
+    cfg.model = sim::Model::SSYNC_NS;
+    cfg.stop.max_rounds = 400;
+    cfg.stop.stop_when_all_terminated = false;
+    adversary::NsFirstMoverAdversary adv;
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-pt-bound-targeted", [] {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::PTBoundWithChirality, 8);
+    cfg.stop.max_rounds = 5000;
+    adversary::TargetedRandomAdversary adv(0.5, 0.6, 404);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-pt-sliding-window-probe", [] {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::PTBoundWithChirality, 10);
+    cfg.start_nodes = {4, 0};
+    cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
+    cfg.engine.fairness_window = 65536;
+    cfg.stop.max_rounds = 50000;
+    cfg.stop.stop_when_explored_and_one_terminated = true;
+    adversary::SlidingWindowAdversary adv(0, 1);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-pt-3agents-targeted", [] {
+    ExplorationConfig cfg = default_config(AlgorithmId::PTBoundNoChirality, 9);
+    cfg.stop.max_rounds = 20000;
+    adversary::TargetedRandomAdversary adv(0.6, 0.55, 606);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-et-unconscious-targeted", [] {
+    ExplorationConfig cfg = default_config(AlgorithmId::ETUnconscious, 8);
+    cfg.stop.max_rounds = 5000;
+    adversary::TargetedRandomAdversary adv(0.5, 0.55, 505);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-et-segment-seal", [] {
+    ExplorationConfig cfg = default_config(AlgorithmId::ETUnconscious, 8);
+    cfg.stop.max_rounds = 2000;
+    adversary::SegmentSealAdversary adv(1, 5);
+    return gd::execute(cfg, &adv);
+  }});
+
+  set.push_back({"ssync-et-3agents-exactn", [] {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::ETBoundNoChirality, 8);
+    cfg.stop.max_rounds = 20000;
+    adversary::TargetedRandomAdversary adv(0.55, 0.6, 707);
+    return gd::execute(cfg, &adv);
+  }});
+
+  return set;
+}
+
+}  // namespace dring::core

@@ -1,0 +1,93 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dring::core {
+
+int resolve_threads(const SweepOptions& options) {
+  if (options.threads > 0) return options.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::uint64_t task_seed(std::uint64_t salt, std::size_t index) {
+  // splitmix64 over the (salt, index) pair: high-quality, portable, and a
+  // pure function of the task identity.
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
+                                      const SweepOptions& options) {
+  std::vector<sim::RunResult> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  const auto run_one = [&](std::size_t i) {
+    const ScenarioTask& task = tasks[i];
+    std::unique_ptr<sim::Adversary> adv;
+    sim::NullAdversary null_adv;
+    if (task.make_adversary) adv = task.make_adversary();
+    results[i] = run_exploration(task.cfg, adv ? adv.get() : &null_adv);
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(resolve_threads(options)), tasks.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      try {
+        run_one(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+SweepReduction reduce_worst(const std::vector<sim::RunResult>& results) {
+  SweepReduction red;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const sim::RunResult& r = results[i];
+    red.runs += 1;
+    if (r.explored) red.explored += 1;
+    if (r.premature_termination) red.premature += 1;
+    if (r.all_terminated) red.full_termination += 1;
+    if (r.any_terminated()) red.partial_termination += 1;
+    if (!r.violations.empty()) red.with_violations += 1;
+    if (r.rounds > red.worst_rounds) {
+      red.worst_rounds = r.rounds;
+      red.worst_rounds_task = i;
+    }
+    if (r.total_moves > red.worst_moves) {
+      red.worst_moves = r.total_moves;
+      red.worst_moves_task = i;
+    }
+  }
+  return red;
+}
+
+}  // namespace dring::core

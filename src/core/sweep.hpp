@@ -1,0 +1,74 @@
+// The scenario-sweep runner: execute a batch of independent exploration
+// scenarios across a pool of worker threads.
+//
+// The feasibility map and the table benches are embarrassingly parallel —
+// thousands of runs over (algorithm x ring size x adversary x seed) with a
+// worst-case reduction at the end — but the seed implementation walked them
+// one by one on one core.  This runner is the shared substrate:
+//
+//   * every task is a pure function of its ExplorationConfig + adversary,
+//     so results are collected positionally and are bit-identical for any
+//     worker count (pinned by the sweep determinism tests);
+//   * adversaries are stateful and not thread-safe, so tasks carry a
+//     factory and every run constructs a private instance;
+//   * per-task seeds derive from (salt, task index) via splitmix64 —
+//     deterministic, independent of scheduling;
+//   * the reduction helpers fold results in task order, so "worst case at
+//     the first achieving task" tie-breaking matches the old serial loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace dring::core {
+
+/// One scenario of a sweep.
+struct ScenarioTask {
+  ExplorationConfig cfg;
+  /// Constructs the task's private adversary (called once per execution,
+  /// inside the worker). Must be safe to call from any thread.
+  std::function<std::unique_ptr<sim::Adversary>()> make_adversary;
+  /// The seed the factory closes over, recorded for reporting.
+  std::uint64_t seed = 0;
+};
+
+/// Sweep execution knobs.
+struct SweepOptions {
+  /// Worker threads. 0 = std::thread::hardware_concurrency() (at least 1);
+  /// 1 = run inline on the calling thread (no pool).
+  int threads = 0;
+};
+
+/// Number of workers `options` resolves to on this machine.
+int resolve_threads(const SweepOptions& options);
+
+/// Deterministic per-task seed: splitmix64 of (salt, index). Identical for
+/// every worker count and schedule.
+std::uint64_t task_seed(std::uint64_t salt, std::size_t index);
+
+/// Execute all tasks; results are returned in task order regardless of the
+/// number of workers or their scheduling.
+std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
+                                      const SweepOptions& options = {});
+
+/// Worst-case / aggregate fold over sweep results (task order).
+struct SweepReduction {
+  int runs = 0;
+  int explored = 0;
+  int premature = 0;
+  int full_termination = 0;
+  int partial_termination = 0;
+  int with_violations = 0;
+  std::int64_t worst_rounds = 0;
+  std::size_t worst_rounds_task = 0;  ///< first task achieving worst_rounds
+  std::int64_t worst_moves = 0;
+  std::size_t worst_moves_task = 0;   ///< first task achieving worst_moves
+};
+
+SweepReduction reduce_worst(const std::vector<sim::RunResult>& results);
+
+}  // namespace dring::core

@@ -57,32 +57,53 @@ std::optional<AgentId> DynamicRing::port_holder(const PortRef& p) const {
   return port_holder_[port_index(p)];
 }
 
+std::int32_t& DynamicRing::port_of_slot(AgentId agent) {
+  assert(agent >= 0);
+  if (static_cast<std::size_t>(agent) >= agent_port_.size())
+    agent_port_.resize(static_cast<std::size_t>(agent) + 1, -1);
+  return agent_port_[static_cast<std::size_t>(agent)];
+}
+
 bool DynamicRing::acquire_port(const PortRef& p, AgentId agent) {
-  auto& holder = port_holder_[port_index(p)];
+  const std::size_t idx = port_index(p);
+  auto& holder = port_holder_[idx];
   if (holder && *holder != agent) return false;
   holder = agent;
+  std::int32_t& slot = port_of_slot(agent);
+  if (slot >= 0 && slot != static_cast<std::int32_t>(idx)) {
+    // An agent occupies at most one port; acquiring a new one implicitly
+    // leaves the old one (keeps the reverse index a true inverse even for
+    // direct API users — the engine always releases explicitly first).
+    port_holder_[static_cast<std::size_t>(slot)].reset();
+  }
+  slot = static_cast<std::int32_t>(idx);
   return true;
 }
 
 void DynamicRing::release_port(const PortRef& p, AgentId agent) {
-  auto& holder = port_holder_[port_index(p)];
-  if (holder && *holder == agent) holder.reset();
+  const std::size_t idx = port_index(p);
+  auto& holder = port_holder_[idx];
+  if (holder && *holder == agent) {
+    holder.reset();
+    port_of_slot(agent) = -1;
+  }
 }
 
 void DynamicRing::release_ports_of(AgentId agent) {
-  for (auto& holder : port_holder_)
-    if (holder && *holder == agent) holder.reset();
+  std::int32_t& slot = port_of_slot(agent);
+  if (slot >= 0) {
+    port_holder_[static_cast<std::size_t>(slot)].reset();
+    slot = -1;
+  }
 }
 
 std::optional<PortRef> DynamicRing::port_of(AgentId agent) const {
-  for (NodeId v = 0; v < n_; ++v) {
-    for (GlobalDir d : {GlobalDir::Ccw, GlobalDir::Cw}) {
-      const PortRef p{v, d};
-      const auto holder = port_holder_[port_index(p)];
-      if (holder && *holder == agent) return p;
-    }
-  }
-  return std::nullopt;
+  if (agent < 0 || static_cast<std::size_t>(agent) >= agent_port_.size())
+    return std::nullopt;
+  const std::int32_t slot = agent_port_[static_cast<std::size_t>(agent)];
+  if (slot < 0) return std::nullopt;
+  return PortRef{static_cast<NodeId>(slot / 2),
+                 slot % 2 == 0 ? GlobalDir::Ccw : GlobalDir::Cw};
 }
 
 }  // namespace dring::ring

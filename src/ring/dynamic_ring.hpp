@@ -60,16 +60,17 @@ class DynamicRing {
   std::optional<AgentId> port_holder(const PortRef& p) const;
 
   /// Try to acquire a port for `agent`. Fails if held by another agent.
-  /// Re-acquiring a port already held by the same agent succeeds.
+  /// Re-acquiring a port already held by the same agent succeeds. An agent
+  /// holds at most one port: acquiring a different one releases the old.
   bool acquire_port(const PortRef& p, AgentId agent);
 
   /// Release a port. No-op if `agent` does not hold it.
   void release_port(const PortRef& p, AgentId agent);
 
-  /// Release any port held by `agent`.
+  /// Release the port held by `agent`, if any. O(1) via the reverse index.
   void release_ports_of(AgentId agent);
 
-  /// Port held by `agent`, if any.
+  /// Port held by `agent`, if any. O(1) via the reverse index.
   std::optional<PortRef> port_of(AgentId agent) const;
 
   /// Normalise a node index into [0, n).
@@ -80,12 +81,17 @@ class DynamicRing {
 
  private:
   std::size_t port_index(const PortRef& p) const;
+  std::int32_t& port_of_slot(AgentId agent);
 
   NodeId n_;
   std::optional<NodeId> landmark_;
   std::optional<EdgeId> missing_;
   // 2 ports per node: [node*2 + 0] = Ccw side, [node*2 + 1] = Cw side.
   std::vector<std::optional<AgentId>> port_holder_;
+  // Reverse index: agent id -> held port index, or -1. Grown on demand
+  // (agent ids are dense). Mutual exclusion means at most one entry per
+  // agent: the engine always releases before contending elsewhere.
+  std::vector<std::int32_t> agent_port_;
 };
 
 }  // namespace dring::ring

@@ -88,10 +88,23 @@ class Adversary {
   virtual std::optional<EdgeId> choose_missing_edge(
       const WorldView& view, const std::vector<IntentRecord>& intents);
 
+  /// Whether choose_missing_edge reads the IntentRecord vector. Adversaries
+  /// that decide from the WorldView (or not at all) return false and the
+  /// engine skips building the records on its hot path; they then receive
+  /// an empty vector.
+  virtual bool observes_intents() const { return true; }
+
   /// Order in which contenders attempt to acquire a port (first wins).
   /// Default: ascending agent id.
   virtual void order_port_contenders(const WorldView& view, PortRef port,
                                      std::vector<AgentId>& contenders);
+
+  /// Whether order_port_contenders may actually reorder. When false the
+  /// engine resolves port mutex directly in arrival order (identical
+  /// outcome to a no-op tie-break) and skips the per-port callback.
+  /// Conservatively true; adversaries that keep the default tie-break
+  /// should return false.
+  virtual bool reorders_contenders() const { return true; }
 
   virtual std::string name() const = 0;
 };
@@ -99,6 +112,8 @@ class Adversary {
 /// The benign adversary: everyone active, no edge ever missing.
 class NullAdversary : public Adversary {
  public:
+  bool observes_intents() const override { return false; }
+  bool reorders_contenders() const override { return false; }
   std::string name() const override { return "null"; }
 };
 

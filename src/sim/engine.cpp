@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <sstream>
 
 namespace dring::sim {
 
@@ -33,10 +31,7 @@ const std::vector<bool>& WorldView::visited() const {
 }
 
 agent::Intent WorldView::probe_intent(AgentId a) const {
-  const AgentBody& body = engine_->bodies_[a];
-  if (body.terminated) return agent::Intent::stay();
-  auto clone = engine_->brains_[a]->clone();
-  return clone->on_activate(engine_->make_snapshot(a), body.outcome);
+  return engine_->probe_intent(a);
 }
 
 std::optional<GlobalDir> WorldView::probe_move(AgentId a) const {
@@ -76,7 +71,8 @@ Engine::Engine(NodeId n, std::optional<NodeId> landmark, Model model,
       model_(model),
       options_(options),
       adversary_(&null_adversary_),
-      visited_(static_cast<std::size_t>(n), false) {}
+      visited_(static_cast<std::size_t>(n), false),
+      occupancy_(static_cast<std::size_t>(n)) {}
 
 AgentId Engine::add_agent(NodeId start, agent::Orientation orientation,
                           std::unique_ptr<agent::Brain> brain) {
@@ -88,7 +84,13 @@ AgentId Engine::add_agent(NodeId start, agent::Orientation orientation,
   body.orientation = orientation;
   bodies_.push_back(body);
   brains_.push_back(std::move(brain));
+  occupancy_[static_cast<std::size_t>(start)].in_node += 1;
+  probe_cache_.emplace_back();
+  intent_slot_.push_back(-1);
+  active_.push_back(0);
+  ++live_agents_;
   mark_visited(start);
+  bump_version();
   return id;
 }
 
@@ -107,125 +109,151 @@ void Engine::mark_visited(NodeId v) {
 
 agent::Snapshot Engine::make_snapshot(AgentId a) const {
   const AgentBody& self = bodies_[a];
+  const NodeOccupancy& occ = occupancy_[static_cast<std::size_t>(self.node)];
   agent::Snapshot snap;
   snap.is_landmark = ring_.is_landmark(self.node);
   snap.on_port = self.on_port;
-  if (self.on_port) snap.port_dir = self.orientation.to_local(self.port_side);
-  for (const AgentBody& other : bodies_) {
-    if (other.id == a || other.node != self.node) continue;
-    if (other.on_port) {
-      if (self.orientation.to_local(other.port_side) == Dir::Left) {
-        snap.others_on_left_port += 1;
-      } else {
-        snap.others_on_right_port += 1;
-      }
-    } else {
-      snap.others_in_node += 1;
-    }
+  std::int32_t ccw = occ.ccw_port;
+  std::int32_t cw = occ.cw_port;
+  if (self.on_port) {
+    snap.port_dir = self.orientation.to_local(self.port_side);
+    (self.port_side == GlobalDir::Ccw ? ccw : cw) -= 1;
+    snap.others_in_node = occ.in_node;
+  } else {
+    snap.others_in_node = occ.in_node - 1;
+  }
+  if (self.orientation.to_local(GlobalDir::Ccw) == Dir::Left) {
+    snap.others_on_left_port = static_cast<int>(ccw);
+    snap.others_on_right_port = static_cast<int>(cw);
+  } else {
+    snap.others_on_left_port = static_cast<int>(cw);
+    snap.others_on_right_port = static_cast<int>(ccw);
   }
   return snap;
 }
 
-std::vector<bool> Engine::decide_activation() {
-  const WorldView view(*this);
-  std::vector<bool> active;
-  if (model_ == Model::FSYNC) {
-    active.assign(bodies_.size(), true);
-  } else {
-    active = adversary_->select_active(view);
-    active.resize(bodies_.size(), false);
+void Engine::try_acquire(const PortRef& port, AgentId a) {
+  AgentBody& b = bodies_[a];
+  if (!b.outcome.port_acquired && ring_.acquire_port(port, a)) {
+    b.on_port = true;
+    b.port_side = port.side;
+    b.outcome.port_acquired = true;
+    occ_enter_port(b.node, port.side);
   }
+}
+
+agent::Intent Engine::probe_intent(AgentId a) const {
+  const AgentBody& body = bodies_[a];
+  if (body.terminated) return agent::Intent::stay();
+  ProbeEntry& entry = probe_cache_[static_cast<std::size_t>(a)];
+  if (entry.version != state_version_) {
+    auto clone = brains_[a]->clone();
+    entry.intent = clone->on_activate(make_snapshot(a), body.outcome);
+    entry.version = state_version_;
+  }
+  return entry.intent;
+}
+
+void Engine::decide_activation() {
+  if (model_ == Model::FSYNC) {
+    // FSYNC: everyone live is active; no adversary choice, no WorldView.
+    for (const AgentBody& b : bodies_)
+      active_[static_cast<std::size_t>(b.id)] = b.terminated ? 0 : 1;
+    return;
+  }
+
+  const WorldView view(*this);
+  const std::vector<bool> selected = adversary_->select_active(view);
+  const std::size_t k = bodies_.size();
+  for (std::size_t i = 0; i < k; ++i)
+    active_[i] = i < selected.size() && selected[i] ? 1 : 0;
 
   // Terminated agents never activate.
   for (const AgentBody& b : bodies_)
-    if (b.terminated) active[static_cast<std::size_t>(b.id)] = false;
+    if (b.terminated) active_[static_cast<std::size_t>(b.id)] = 0;
 
   // A round activates a non-empty subset of the (live) agents.
   const bool none =
-      std::none_of(active.begin(), active.end(), [](bool x) { return x; });
+      std::none_of(active_.begin(), active_.end(), [](char x) { return x; });
   if (none) {
     bool any_live = false;
     for (const AgentBody& b : bodies_) {
       if (!b.terminated) {
-        active[static_cast<std::size_t>(b.id)] = true;
+        active_[static_cast<std::size_t>(b.id)] = 1;
         any_live = true;
       }
     }
-    if (!any_live) return active;  // everyone terminated
-    if (model_ != Model::FSYNC) ++fairness_interventions_;
+    if (!any_live) return;  // everyone terminated
+    ++fairness_interventions_;
   }
 
   // Activation fairness: no live agent sleeps longer than the window.
-  if (model_ != Model::FSYNC) {
-    for (AgentBody& b : bodies_) {
-      if (b.terminated || active[static_cast<std::size_t>(b.id)]) continue;
-      const Round idle = round_ - 1 - b.last_active_round;
-      if (idle >= options_.fairness_window) {
-        active[static_cast<std::size_t>(b.id)] = true;
-        ++fairness_interventions_;
-      }
+  for (AgentBody& b : bodies_) {
+    if (b.terminated || active_[static_cast<std::size_t>(b.id)]) continue;
+    const Round idle = round_ - 1 - b.last_active_round;
+    if (idle >= options_.fairness_window) {
+      active_[static_cast<std::size_t>(b.id)] = 1;
+      ++fairness_interventions_;
     }
   }
-  return active;
 }
 
 bool Engine::step() {
-  const bool any_live = std::any_of(bodies_.begin(), bodies_.end(),
-                                    [](const AgentBody& b) {
-                                      return !b.terminated;
-                                    });
-  if (!any_live) return false;
+  if (live_agents_ == 0) return false;
 
   ++round_;
   ring_.restore_edges();
   const WorldView view(*this);
 
   // --- Phase 1: activation -------------------------------------------------
-  std::vector<bool> active = decide_activation();
+  decide_activation();
 
   // ET simultaneity enforcement: force-activate agents whose budget of
   // "edge present while I slept" rounds is exhausted, and remember their
   // edges so the adversary's removal can be vetoed below.
-  std::vector<EdgeId> et_protected;
+  et_protected_.clear();
   if (model_ == Model::SSYNC_ET) {
     for (AgentBody& b : bodies_) {
       if (b.terminated || !b.on_port) continue;
       if (b.et_missed_present >= options_.et_budget) {
-        if (!active[static_cast<std::size_t>(b.id)]) {
-          active[static_cast<std::size_t>(b.id)] = true;
+        if (!active_[static_cast<std::size_t>(b.id)]) {
+          active_[static_cast<std::size_t>(b.id)] = 1;
           ++fairness_interventions_;
         }
-        et_protected.push_back(ring_.edge_from(b.node, b.port_side));
+        et_protected_.push_back(ring_.edge_from(b.node, b.port_side));
         b.et_missed_present = 0;
       }
     }
   }
 
   // --- Phase 2: Look & Compute ---------------------------------------------
-  struct Computed {
-    AgentId agent;
-    agent::Intent intent;
-  };
-  std::vector<Computed> computed;
-  computed.reserve(bodies_.size());
+  // The agent-id -> intent slot map only feeds the trace recorder.
+  const bool track_slots = options_.record_trace;
+  computed_.clear();
   for (AgentBody& b : bodies_) {
-    if (!active[static_cast<std::size_t>(b.id)]) continue;
+    if (track_slots) intent_slot_[static_cast<std::size_t>(b.id)] = -1;
+    if (!active_[static_cast<std::size_t>(b.id)]) continue;
     const agent::Snapshot snap = make_snapshot(b.id);
     const agent::Feedback fb = b.outcome;
     b.outcome = {};
     const agent::Intent intent = brains_[b.id]->on_activate(snap, fb);
-    computed.push_back({b.id, intent});
+    if (track_slots)
+      intent_slot_[static_cast<std::size_t>(b.id)] =
+          static_cast<std::int32_t>(computed_.size());
+    computed_.push_back({b.id, intent});
     b.last_active_round = round_;
   }
+  bump_version();  // brains and outcomes changed
 
   // --- Phase 3: terminations, releases, then port acquisition ---------------
   // 3a. terminations and explicit port releases.
-  for (const Computed& cmp : computed) {
+  for (const Computed& cmp : computed_) {
     AgentBody& b = bodies_[cmp.agent];
     switch (cmp.intent.kind) {
       case agent::Intent::Kind::Terminate:
         b.terminated = true;
         b.termination_round = round_;
+        --live_agents_;
         // Correctness oracle: the terminal state may be entered only after
         // the exploration of the ring (paper, Section 2.1).
         if (!explored()) premature_termination_ = true;
@@ -234,6 +262,7 @@ bool Engine::step() {
         if (b.on_port) {
           ring_.release_port({b.node, b.port_side}, b.id);
           b.on_port = false;
+          occ_leave_port(b.node, b.port_side);
         }
         break;
       case agent::Intent::Kind::Move: {
@@ -242,6 +271,7 @@ bool Engine::step() {
           // Direction change: leave the old port before contending.
           ring_.release_port({b.node, b.port_side}, b.id);
           b.on_port = false;
+          occ_leave_port(b.node, b.port_side);
         }
         break;
       }
@@ -249,10 +279,14 @@ bool Engine::step() {
         break;  // stays wherever it is (possibly asleep on a port)
     }
   }
+  bump_version();  // terminations and port releases changed the view
 
-  // 3b. group movers by target port and resolve mutual exclusion.
-  std::map<std::pair<NodeId, int>, std::vector<AgentId>> contenders;
-  for (const Computed& cmp : computed) {
+  // 3b. group movers by target port and resolve mutual exclusion. The
+  // ((port, arrival) key, agent) pairs sort into exactly the (node, side)-
+  // ordered, arrival-stable buckets the old std::map grouping produced —
+  // without any per-round node allocation.
+  contenders_.clear();
+  for (const Computed& cmp : computed_) {
     AgentBody& b = bodies_[cmp.agent];
     if (b.terminated || cmp.intent.kind != agent::Intent::Kind::Move) continue;
     const GlobalDir gd = b.orientation.to_global(cmp.intent.dir);
@@ -262,43 +296,63 @@ bool Engine::step() {
       b.outcome.port_acquired = true;  // keeps the port it already holds
       continue;
     }
-    contenders[{b.node, gd == GlobalDir::Ccw ? 0 : 1}].push_back(cmp.agent);
+    const std::uint64_t port_key =
+        (static_cast<std::uint64_t>(b.node) << 1) |
+        (gd == GlobalDir::Ccw ? 0u : 1u);
+    // 24-bit arrival budget: > 2^24 movers in one round would bleed into
+    // the port bits and corrupt bucketing.
+    assert(contenders_.size() < (1u << 24));
+    contenders_.emplace_back((port_key << 24) | contenders_.size(), cmp.agent);
   }
-  for (auto& [key, agents] : contenders) {
-    const PortRef port{key.first,
-                       key.second == 0 ? GlobalDir::Ccw : GlobalDir::Cw};
-    adversary_->order_port_contenders(view, port, agents);
-    for (AgentId a : agents) {
-      AgentBody& b = bodies_[a];
-      if (!b.outcome.port_acquired && ring_.acquire_port(port, a)) {
-        b.on_port = true;
-        b.port_side = port.side;
-        b.outcome.port_acquired = true;
-      }
+  if (adversary_->reorders_contenders()) {
+    std::sort(contenders_.begin(), contenders_.end());
+    for (std::size_t i = 0; i < contenders_.size();) {
+      const std::uint64_t port_key = contenders_[i].first >> 24;
+      const PortRef port{static_cast<NodeId>(port_key >> 1),
+                         (port_key & 1) == 0 ? GlobalDir::Ccw : GlobalDir::Cw};
+      bucket_.clear();
+      for (;
+           i < contenders_.size() && (contenders_[i].first >> 24) == port_key;
+           ++i)
+        bucket_.push_back(contenders_[i].second);
+      bump_version();  // outcomes / previous bucket's acquisitions
+      adversary_->order_port_contenders(view, port, bucket_);
+      for (AgentId a : bucket_) try_acquire(port, a);
+    }
+  } else {
+    // Default tie-break: first arrival per port wins, so mutex resolves
+    // directly in arrival order — no grouping, no sort, no callbacks.
+    for (const auto& [key, a] : contenders_) {
+      const std::uint64_t port_key = key >> 24;
+      const PortRef port{static_cast<NodeId>(port_key >> 1),
+                         (port_key & 1) == 0 ? GlobalDir::Ccw : GlobalDir::Cw};
+      try_acquire(port, a);
     }
   }
+  bump_version();  // acquisition outcomes are now observable
 
   // --- Phase 4: adversarial edge removal ------------------------------------
-  std::vector<IntentRecord> records;
-  records.reserve(computed.size());
-  for (const Computed& cmp : computed) {
-    const AgentBody& b = bodies_[cmp.agent];
-    IntentRecord rec;
-    rec.agent = cmp.agent;
-    rec.intent = cmp.intent;
-    if (cmp.intent.kind == agent::Intent::Kind::Move) {
-      const GlobalDir gd = b.orientation.to_global(cmp.intent.dir);
-      rec.move = gd;
-      rec.target_edge = ring_.edge_from(b.node, gd);
-      rec.port_acquired = b.outcome.port_acquired;
+  records_.clear();
+  if (adversary_->observes_intents()) {
+    for (const Computed& cmp : computed_) {
+      const AgentBody& b = bodies_[cmp.agent];
+      IntentRecord rec;
+      rec.agent = cmp.agent;
+      rec.intent = cmp.intent;
+      if (cmp.intent.kind == agent::Intent::Kind::Move) {
+        const GlobalDir gd = b.orientation.to_global(cmp.intent.dir);
+        rec.move = gd;
+        rec.target_edge = ring_.edge_from(b.node, gd);
+        rec.port_acquired = b.outcome.port_acquired;
+      }
+      records_.push_back(rec);
     }
-    records.push_back(rec);
   }
   std::optional<EdgeId> missing =
-      adversary_->choose_missing_edge(view, records);
+      adversary_->choose_missing_edge(view, records_);
   if (missing &&
-      std::find(et_protected.begin(), et_protected.end(), *missing) !=
-          et_protected.end()) {
+      std::find(et_protected_.begin(), et_protected_.end(), *missing) !=
+          et_protected_.end()) {
     // ET veto: the forced agent must act in a round where its edge is
     // present; the adversary has exhausted its right to remove it.
     missing.reset();
@@ -312,40 +366,37 @@ bool Engine::step() {
   }
 
   // --- Phase 5: movement -----------------------------------------------------
-  struct PendingMove {
-    AgentId agent;
-    NodeId to;
-    bool passive;
-    GlobalDir dir;
-  };
-  std::vector<PendingMove> moves;
+  moves_.clear();
   for (AgentBody& b : bodies_) {
     if (!b.on_port || b.terminated) continue;
     const EdgeId e = ring_.edge_from(b.node, b.port_side);
-    const bool was_active = active[static_cast<std::size_t>(b.id)];
+    const bool was_active = active_[static_cast<std::size_t>(b.id)];
     if (was_active) {
       // Only agents whose Compute ended positioned on the port traverse.
       if (b.outcome.attempted_move && b.outcome.port_acquired &&
           ring_.edge_present(e)) {
-        moves.push_back(
+        moves_.push_back(
             {b.id, ring_.neighbour(b.node, b.port_side), false, b.port_side});
       }
     } else {
       // Sleeping on a port.
       if (ring_.edge_present(e)) {
         if (model_ == Model::SSYNC_PT) {
-          moves.push_back({b.id, ring_.neighbour(b.node, b.port_side), true,
-                           b.port_side});
+          moves_.push_back({b.id, ring_.neighbour(b.node, b.port_side), true,
+                            b.port_side});
         } else if (model_ == Model::SSYNC_ET) {
           b.et_missed_present += 1;
         }
       }
     }
   }
-  for (const PendingMove& mv : moves) {
+  for (const PendingMove& mv : moves_) {
     AgentBody& b = bodies_[mv.agent];
     ring_.release_port({b.node, b.port_side}, b.id);
     b.on_port = false;
+    // Off the source port, into the target node proper.
+    port_slot(b.node, b.port_side) -= 1;
+    occupancy_[static_cast<std::size_t>(mv.to)].in_node += 1;
     b.node = mv.to;
     mark_visited(mv.to);
     if (mv.passive) {
@@ -358,8 +409,12 @@ bool Engine::step() {
     }
   }
   // Agents that leave a port (even passively) owe no further ET debt.
-  for (AgentBody& b : bodies_)
-    if (!b.on_port) b.et_missed_present = 0;
+  // (The debt counter is only ever advanced under ET.)
+  if (model_ == Model::SSYNC_ET) {
+    for (AgentBody& b : bodies_)
+      if (!b.on_port) b.et_missed_present = 0;
+  }
+  bump_version();  // positions and movement outcomes changed
 
   // --- Phase 6: verification & trace ----------------------------------------
   if (options_.verify) {
@@ -383,17 +438,18 @@ bool Engine::step() {
     RoundTrace rt;
     rt.round = round_;
     rt.missing = ring_.missing_edge();
+    rt.agents.reserve(bodies_.size());
     for (const AgentBody& b : bodies_) {
       AgentTrace at;
       at.id = b.id;
       at.node = b.node;
       at.on_port = b.on_port;
       at.port_side = b.port_side;
-      at.active = active[static_cast<std::size_t>(b.id)];
+      at.active = active_[static_cast<std::size_t>(b.id)] != 0;
       at.terminated = b.terminated;
       at.state = brains_[b.id]->state_name();
-      for (const Computed& cmp : computed)
-        if (cmp.agent == b.id) at.intent = cmp.intent;
+      const std::int32_t slot = intent_slot_[static_cast<std::size_t>(b.id)];
+      if (slot >= 0) at.intent = computed_[static_cast<std::size_t>(slot)].intent;
       rt.agents.push_back(std::move(at));
     }
     trace_.push_back(std::move(rt));
@@ -411,9 +467,7 @@ RunResult Engine::run(const StopPolicy& stop) {
       reason = "all_terminated";
       break;
     }
-    const int term = static_cast<int>(
-        std::count_if(bodies_.begin(), bodies_.end(),
-                      [](const AgentBody& b) { return b.terminated; }));
+    const int term = num_agents() - live_agents_;
     if (stop.stop_when_all_terminated &&
         term == static_cast<int>(bodies_.size())) {
       reason = "all_terminated";

@@ -22,9 +22,11 @@
 // so tests can assert on them.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "agent/brain.hpp"
@@ -155,13 +157,37 @@ class Engine {
 
   /// Build the Look snapshot for an agent (local frame). Public so that
   /// WorldView probing and tests can reuse the exact engine semantics.
+  /// O(number of co-located agents) via the per-node occupancy index.
   agent::Snapshot make_snapshot(AgentId a) const;
+
+  /// Probe: the intent the agent would compute if activated on the current
+  /// configuration (brain clone; real state untouched). Memoized on the
+  /// engine's state version, so omniscient adversaries that probe the same
+  /// agent repeatedly within one decision pay for one clone.
+  agent::Intent probe_intent(AgentId a) const;
 
  private:
   friend class WorldView;
 
-  std::vector<bool> decide_activation();
+  void decide_activation();
   void mark_visited(NodeId v);
+  void try_acquire(const PortRef& port, AgentId a);
+  void bump_version() { ++state_version_; }
+
+  std::int32_t& port_slot(NodeId node, GlobalDir side) {
+    NodeOccupancy& occ = occupancy_[static_cast<std::size_t>(node)];
+    return side == GlobalDir::Ccw ? occ.ccw_port : occ.cw_port;
+  }
+  /// Agent at `node` steps from the node proper onto the `side` port.
+  void occ_enter_port(NodeId node, GlobalDir side) {
+    occupancy_[static_cast<std::size_t>(node)].in_node -= 1;
+    port_slot(node, side) += 1;
+  }
+  /// Agent at `node` steps off the `side` port back into the node proper.
+  void occ_leave_port(NodeId node, GlobalDir side) {
+    port_slot(node, side) -= 1;
+    occupancy_[static_cast<std::size_t>(node)].in_node += 1;
+  }
 
   ring::DynamicRing ring_;
   Model model_;
@@ -178,9 +204,59 @@ class Engine {
   Round explored_round_ = -1;
   bool premature_termination_ = false;
   long long fairness_interventions_ = 0;
+  int live_agents_ = 0;  ///< maintained incrementally (add_agent / Terminate)
 
   std::vector<RoundTrace> trace_;
   std::vector<std::string> violations_;
+
+  // --- hot-path state -------------------------------------------------------
+
+  /// Per-node occupancy index (terminated agents included — they remain
+  /// observable): how many agents stand in the node proper and which of the
+  /// two ports are held. Maintained at every position/port transition, so
+  /// make_snapshot is O(1) instead of a scan over all agents.
+  struct NodeOccupancy {
+    std::int32_t in_node = 0;   ///< agents in the node proper
+    std::int32_t ccw_port = 0;  ///< 0/1: the node's Ccw port is occupied
+    std::int32_t cw_port = 0;   ///< 0/1: the node's Cw port is occupied
+  };
+  std::vector<NodeOccupancy> occupancy_;
+
+  /// Monotonic version of the observable configuration (bodies, brains,
+  /// port positions). Bumped at every mutation point inside step(); keys
+  /// the probe cache.
+  std::uint64_t state_version_ = 1;
+  struct ProbeEntry {
+    std::uint64_t version = 0;  ///< 0 = never filled
+    agent::Intent intent;
+  };
+  mutable std::vector<ProbeEntry> probe_cache_;
+
+  // --- per-round scratch, reused across rounds ------------------------------
+  // Sized once (per agent count); steady-state rounds allocate nothing.
+
+  struct Computed {
+    AgentId agent;
+    agent::Intent intent;
+  };
+  struct PendingMove {
+    AgentId agent;
+    NodeId to;
+    bool passive;
+    GlobalDir dir;
+  };
+
+  std::vector<char> active_;             ///< activation set of this round
+  std::vector<Computed> computed_;       ///< intents, in activation order
+  std::vector<std::int32_t> intent_slot_;  ///< agent id -> computed_ index
+  std::vector<IntentRecord> records_;    ///< presented to the edge adversary
+  std::vector<PendingMove> moves_;       ///< resolved traversals
+  std::vector<EdgeId> et_protected_;     ///< ET-vetoed edges this round
+  /// Port contenders as ((port, arrival seq) sort key, agent) pairs; sorted
+  /// to reproduce the (node, side)-ordered, arrival-stable grouping the
+  /// previous std::map implementation produced.
+  std::vector<std::pair<std::uint64_t, AgentId>> contenders_;
+  std::vector<AgentId> bucket_;          ///< contenders of one port
 };
 
 }  // namespace dring::sim

@@ -1,7 +1,9 @@
 #include "sim/trace_io.hpp"
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 
 namespace dring::sim {
 
@@ -18,6 +20,81 @@ void write_trace_csv(const std::vector<RoundTrace>& trace, std::ostream& os) {
          << at.state << '\n';
     }
   }
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool b) { byte(b ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+std::uint64_t trace_digest(const std::vector<RoundTrace>& trace) {
+  Fnv1a d;
+  d.u64(trace.size());
+  for (const RoundTrace& rt : trace) {
+    d.i64(rt.round);
+    d.i64(rt.missing ? *rt.missing : -1);
+    d.u64(rt.agents.size());
+    for (const AgentTrace& at : rt.agents) {
+      d.i64(at.id);
+      d.i64(at.node);
+      d.boolean(at.on_port);
+      d.byte(at.on_port && at.port_side == GlobalDir::Cw ? 1 : 0);
+      d.boolean(at.active);
+      d.boolean(at.terminated);
+      d.str(at.state);
+      d.byte(static_cast<std::uint8_t>(at.intent.kind));
+      d.byte(at.intent.kind == agent::Intent::Kind::Move &&
+                     at.intent.dir == Dir::Right
+                 ? 1
+                 : 0);
+    }
+  }
+  return d.h;
+}
+
+std::uint64_t result_digest(const RunResult& r) {
+  Fnv1a d;
+  d.boolean(r.explored);
+  d.i64(r.explored_round);
+  d.i64(r.rounds);
+  d.i64(r.total_moves);
+  d.i64(r.active_moves);
+  d.i64(r.passive_moves);
+  d.i64(r.terminated_agents);
+  d.boolean(r.all_terminated);
+  d.boolean(r.premature_termination);
+  d.i64(r.fairness_interventions);
+  d.str(r.stop_reason);
+  d.u64(r.agents.size());
+  for (const AgentResult& a : r.agents) {
+    d.i64(a.id);
+    d.boolean(a.terminated);
+    d.i64(a.termination_round);
+    d.i64(a.moves);
+    d.i64(a.passive_moves);
+    d.i64(a.final_node);
+    d.str(a.final_state);
+  }
+  d.u64(r.violations.size());
+  for (const std::string& v : r.violations) d.str(v);
+  return d.h;
 }
 
 std::function<std::optional<EdgeId>(Round)> edge_schedule_of(

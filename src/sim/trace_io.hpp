@@ -30,6 +30,16 @@ std::function<std::optional<EdgeId>(Round)> edge_schedule_of(
 std::function<std::vector<bool>(Round)> activation_schedule_of(
     const std::vector<RoundTrace>& trace);
 
+/// Order-sensitive 64-bit FNV-1a digest over every field of every trace
+/// row (round, missing edge, per-agent position/port/activity/state/intent).
+/// Two runs with equal digests executed identically round by round; golden
+/// regression tests pin these values.
+std::uint64_t trace_digest(const std::vector<RoundTrace>& trace);
+
+/// Companion digest of a RunResult (summary fields, per-agent results,
+/// violations, stop reason).
+std::uint64_t result_digest(const RunResult& r);
+
 /// Full replay adversary: reproduces both the missing-edge and the
 /// activation schedule of a recorded trace.
 class ReplayAdversary : public Adversary {

@@ -103,6 +103,20 @@ TEST(DynamicRing, TwoPortsPerNodeAreIndependent) {
   EXPECT_EQ(r.port_holder({2, GlobalDir::Cw}), std::optional<AgentId>(1));
 }
 
+TEST(DynamicRing, AcquiringASecondPortReleasesTheFirst) {
+  DynamicRing r(5);
+  EXPECT_TRUE(r.acquire_port({1, GlobalDir::Ccw}, 0));
+  EXPECT_TRUE(r.acquire_port({3, GlobalDir::Cw}, 0));
+  EXPECT_FALSE(r.port_holder({1, GlobalDir::Ccw}).has_value());
+  const auto p = r.port_of(0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node, 3);
+  EXPECT_EQ(p->side, GlobalDir::Cw);
+  r.release_ports_of(0);
+  EXPECT_FALSE(r.port_holder({3, GlobalDir::Cw}).has_value());
+  EXPECT_FALSE(r.port_of(0).has_value());
+}
+
 TEST(DynamicRing, PortOfFindsHolder) {
   DynamicRing r(4);
   EXPECT_FALSE(r.port_of(0).has_value());

@@ -7,6 +7,7 @@
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/proof_adversaries.hpp"
 #include "algo/unconscious_exploration.hpp"
+#include "core/golden_scenarios.hpp"
 #include "core/runner.hpp"
 
 namespace dring {
@@ -198,6 +199,59 @@ TEST(SilentCrossing, HeadOnAgentsSwapWithoutDetection) {
   EXPECT_EQ(engine->body(1).node, 1);
   EXPECT_EQ(state_at(*engine, 2, 0), "Init");
   EXPECT_EQ(state_at(*engine, 2, 1), "Init");
+}
+
+// --- Golden equivalence ---------------------------------------------------------
+//
+// Full-run digests of the fixed-seed golden suite (every model, every
+// adversary entry point), recorded with tools/record_golden on the
+// pre-overhaul engine (seed commit, PR 1). The hot-path refactor — scratch
+// buffer reuse, flat port buckets, O(1) occupancy snapshots, probe
+// memoization, the fast mutex path — must reproduce every round, move,
+// activation, state and violation of every scenario bit for bit.
+
+struct GoldenExpectation {
+  const char* name;
+  std::uint64_t trace;
+  std::uint64_t result;
+};
+
+constexpr GoldenExpectation kGoldenExpectations[] = {
+    // Generated by tools/record_golden — digests of the golden
+    // scenario suite on the current engine.
+    {"fsync-knownN-targeted", 0x7affa0518aed7468ULL, 0x9c60e14c241c121aULL},
+    {"fsync-unconscious-null", 0x4dab6437c6ba65c2ULL, 0x464fb36a14f11d5dULL},
+    {"fsync-block-agent-probe", 0x3f96699a901ea16dULL, 0x98cf6186533514b9ULL},
+    {"fsync-landmark-fig2-script", 0x27d66b2a09dbd967ULL,
+     0x124ecf8e4bcc09e5ULL},
+    {"ssync-ns-random", 0x20037bc695c61360ULL, 0x78b3ea593029e1cdULL},
+    {"ssync-ns-first-mover-probe", 0x5009933ff14124d1ULL,
+     0xf08542b70a369c63ULL},
+    {"ssync-pt-bound-targeted", 0xedd701a0a45b946bULL, 0x5206a603f1c189caULL},
+    {"ssync-pt-sliding-window-probe", 0xb40ac59dc79b3e8bULL,
+     0x763af2e319330c61ULL},
+    {"ssync-pt-3agents-targeted", 0x3c2ec0e2a3830891ULL,
+     0xe182a11edcca52dbULL},
+    {"ssync-et-unconscious-targeted", 0x473f9c74aaf55ed2ULL,
+     0xfe3d3faf8f32bf0dULL},
+    {"ssync-et-segment-seal", 0x4e3a93e05668c526ULL, 0x9c8ed6c22c367502ULL},
+    {"ssync-et-3agents-exactn", 0x21542aaecf417f55ULL, 0x5b2a33ed7849a67cULL},
+};
+
+TEST(GoldenEquivalence, EngineReproducesPreRefactorRunsBitForBit) {
+  const std::vector<core::GoldenScenario> scenarios =
+      core::golden_scenarios();
+  ASSERT_EQ(scenarios.size(), std::size(kGoldenExpectations))
+      << "scenario suite and recorded digests out of sync; re-run "
+         "tools/record_golden";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_EQ(scenarios[i].name, kGoldenExpectations[i].name);
+    const core::GoldenRun run = scenarios[i].run();
+    EXPECT_EQ(run.trace, kGoldenExpectations[i].trace)
+        << "trace diverged: " << scenarios[i].name;
+    EXPECT_EQ(run.result, kGoldenExpectations[i].result)
+        << "result diverged: " << scenarios[i].name;
+  }
 }
 
 // --- Verifier / engine robustness ----------------------------------------------

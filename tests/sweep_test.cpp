@@ -1,0 +1,132 @@
+// Tests for the scenario-sweep runner (core/sweep.hpp): thread-count
+// invariance, per-task seeding, worst-case reduction, and the parallel
+// feasibility map producing identical rows with 1 and N workers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/basic_adversaries.hpp"
+#include "core/feasibility_map.hpp"
+#include "core/sweep.hpp"
+#include "sim/trace_io.hpp"
+
+namespace dring::core {
+namespace {
+
+using algo::AlgorithmId;
+
+std::vector<ScenarioTask> hostile_matrix() {
+  // A mixed matrix: three algorithms x three sizes, hostile dynamics.
+  std::vector<ScenarioTask> tasks;
+  const AlgorithmId ids[] = {AlgorithmId::KnownNNoChirality,
+                             AlgorithmId::PTBoundWithChirality,
+                             AlgorithmId::ETUnconscious};
+  std::size_t index = 0;
+  for (const AlgorithmId id : ids) {
+    for (const NodeId n : {5, 8, 11}) {
+      ScenarioTask task;
+      task.cfg = default_config(id, n);
+      task.cfg.stop.max_rounds = 300'000;
+      task.seed = task_seed(/*salt=*/42, index++);
+      const std::uint64_t s = task.seed;
+      task.make_adversary = [s]() -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<adversary::TargetedRandomAdversary>(0.6, 0.7,
+                                                                    s);
+      };
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+std::vector<std::uint64_t> digests(const std::vector<sim::RunResult>& rs) {
+  std::vector<std::uint64_t> ds;
+  for (const sim::RunResult& r : rs) ds.push_back(sim::result_digest(r));
+  return ds;
+}
+
+TEST(TaskSeed, DeterministicAndSaltSeparated) {
+  EXPECT_EQ(task_seed(1, 0), task_seed(1, 0));
+  EXPECT_NE(task_seed(1, 0), task_seed(1, 1));
+  EXPECT_NE(task_seed(1, 0), task_seed(2, 0));
+  // Dense indices must not collide for any reasonable sweep size.
+  std::vector<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) seen.push_back(task_seed(7, i));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(RunSweep, ResultsIdenticalForAnyThreadCount) {
+  const std::vector<ScenarioTask> tasks = hostile_matrix();
+  SweepOptions serial;
+  serial.threads = 1;
+  const auto base = digests(run_sweep(tasks, serial));
+  for (int threads : {2, 4, 8}) {
+    SweepOptions pool;
+    pool.threads = threads;
+    EXPECT_EQ(digests(run_sweep(tasks, pool)), base) << threads << " threads";
+  }
+}
+
+TEST(RunSweep, EmptyTaskListIsFine) {
+  EXPECT_TRUE(run_sweep({}, {}).empty());
+}
+
+TEST(RunSweep, MissingFactoryRunsBenign) {
+  ScenarioTask task;
+  task.cfg = default_config(AlgorithmId::KnownNNoChirality, 6);
+  // No make_adversary: static ring, must explore and terminate.
+  const auto results = run_sweep({task}, {});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].explored);
+  EXPECT_TRUE(results[0].all_terminated);
+}
+
+TEST(ReduceWorst, FoldsInTaskOrder) {
+  std::vector<sim::RunResult> results(3);
+  results[0].explored = true;
+  results[0].rounds = 10;
+  results[0].total_moves = 7;
+  results[1].rounds = 25;
+  results[1].total_moves = 3;
+  results[1].premature_termination = true;
+  results[2].rounds = 25;  // ties keep the first achieving task
+  results[2].total_moves = 30;
+  results[2].terminated_agents = 1;
+  const SweepReduction red = reduce_worst(results);
+  EXPECT_EQ(red.runs, 3);
+  EXPECT_EQ(red.explored, 1);
+  EXPECT_EQ(red.premature, 1);
+  EXPECT_EQ(red.partial_termination, 1);
+  EXPECT_EQ(red.worst_rounds, 25);
+  EXPECT_EQ(red.worst_rounds_task, 1u);
+  EXPECT_EQ(red.worst_moves, 30);
+  EXPECT_EQ(red.worst_moves_task, 2u);
+}
+
+TEST(FeasibilityMapParallel, RowsIdenticalForAnyThreadCount) {
+  FeasibilitySweep sweep;
+  sweep.sizes = {5, 8};
+  sweep.seeds_per_size = 3;
+  sweep.threads = 1;
+  const std::vector<FeasibilityRow> serial = build_feasibility_map(sweep);
+  sweep.threads = 4;
+  const std::vector<FeasibilityRow> parallel = build_feasibility_map(sweep);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const FeasibilityRow& a = serial[i];
+    const FeasibilityRow& b = parallel[i];
+    EXPECT_EQ(a.meta.name, b.meta.name);
+    EXPECT_EQ(a.runs, b.runs) << a.meta.name;
+    EXPECT_EQ(a.explored, b.explored) << a.meta.name;
+    EXPECT_EQ(a.premature, b.premature) << a.meta.name;
+    EXPECT_EQ(a.full_termination, b.full_termination) << a.meta.name;
+    EXPECT_EQ(a.partial_termination, b.partial_termination) << a.meta.name;
+    EXPECT_EQ(a.worst_rounds, b.worst_rounds) << a.meta.name;
+    EXPECT_EQ(a.worst_moves, b.worst_moves) << a.meta.name;
+    EXPECT_EQ(a.worst_rounds_n, b.worst_rounds_n) << a.meta.name;
+  }
+}
+
+}  // namespace
+}  // namespace dring::core

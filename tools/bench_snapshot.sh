@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Engine perf-trajectory snapshot.
+#
+# Runs the engine microbenches (bench_engine_perf) in google-benchmark JSON
+# mode and folds the numbers into BENCH_engine.json at the repo root:
+#
+#   {
+#     "baseline":  { "<bench>": {"real_time_ns", "items_per_second"}, ... },
+#     "current":   { ... same shape, freshly measured ... },
+#     "speedup_vs_baseline": { "<bench>": <baseline_time / current_time> }
+#   }
+#
+# "baseline" is sticky: it is carried over from the existing file so the
+# trajectory is always measured against the recorded reference (the
+# pre-overhaul seed engine, captured in PR 1). Pass --rebaseline to promote
+# the fresh run to the new baseline (do this when intentionally moving the
+# reference point, e.g. after a hardware change).
+#
+# Usage: tools/bench_snapshot.sh [--build-dir DIR] [--rebaseline]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+REBASELINE=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --rebaseline) REBASELINE=1; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+BIN="$BUILD_DIR/bench_engine_perf"
+if [[ ! -x "$BIN" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT"
+  cmake --build "$BUILD_DIR" -j --target bench_engine_perf
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+"$BIN" \
+  --benchmark_filter='RoundsPerSecondRaw|ManyAgentsSnapshot' \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json > "$RAW"
+
+RAW="$RAW" OUT="$ROOT/BENCH_engine.json" REBASELINE="$REBASELINE" python3 - <<'EOF'
+import json, os
+
+raw = json.load(open(os.environ["RAW"]))
+out_path = os.environ["OUT"]
+rebaseline = os.environ["REBASELINE"] == "1"
+
+current = {
+    b["name"]: {
+        "real_time_ns": round(b["real_time"], 2),
+        "items_per_second": round(b.get("items_per_second", 0.0), 1),
+    }
+    for b in raw["benchmarks"]
+}
+
+existing = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        existing = json.load(f)
+
+baseline = existing.get("baseline")
+if rebaseline or not baseline:
+    baseline = current
+
+speedup = {
+    name: round(baseline[name]["real_time_ns"] / current[name]["real_time_ns"], 2)
+    for name in current
+    if name in baseline and current[name]["real_time_ns"] > 0
+}
+
+doc = {
+    "comment": "Engine perf trajectory; regenerate with tools/bench_snapshot.sh. "
+               "baseline = pre-overhaul seed engine unless --rebaseline was used.",
+    "baseline": baseline,
+    "current": current,
+    "speedup_vs_baseline": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+for name, s in sorted(speedup.items()):
+    print(f"  {name}: {s}x vs baseline")
+EOF
