@@ -7,42 +7,97 @@
 //     by one node per Bounce-Reverse cycle (delta grows at each bounce).
 //   * Figure 16: the Theorem 13 phase adversary — window shifts by one
 //     node per phase while the chaser shuttles across it.
+//
+// The three executions are independent, so they run as a traced sweep on
+// the worker pool (--threads=N; default all hardware threads) and the
+// figure reconstruction walks the returned traces.
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/proof_adversaries.hpp"
 #include "core/runner.hpp"
+#include "core/sweep.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
 using namespace dring;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  core::SweepOptions pool;
+  pool.threads = static_cast<int>(cli.get_int("threads", 0));
+
+  std::vector<core::ScenarioTask> tasks(3);
+
+  // --- Figure 12 task ---------------------------------------------------------
+  const NodeId n12 = 7;  // odd: both agents reach the antipodal edge together
+  {
+    core::ScenarioTask& task = tasks[0];
+    task.cfg = core::default_config(
+        algo::AlgorithmId::StartFromLandmarkNoChirality, n12);
+    task.cfg.orientations = {agent::kChiralOrientation,
+                             agent::kMirroredOrientation};
+    task.cfg.stop.max_rounds = 100;
+    // Remove the antipodal edge exactly while both agents press on it.
+    task.make_adversary = [n = n12]() -> std::unique_ptr<sim::Adversary> {
+      return std::make_unique<adversary::ScriptedEdgeAdversary>(
+          [n](Round r) -> std::optional<EdgeId> {
+            return (r >= (n - 1) / 2 && r <= (n - 1) / 2 + 2)
+                       ? std::optional<EdgeId>((n - 1) / 2)
+                       : std::nullopt;
+          });
+    };
+  }
+
+  // --- Figure 15 task ---------------------------------------------------------
+  const NodeId n15 = 14;
+  {
+    core::ScenarioTask& task = tasks[1];
+    task.cfg =
+        core::default_config(algo::AlgorithmId::PTBoundWithChirality, n15);
+    task.cfg.start_nodes = {static_cast<NodeId>(n15 / 2 - 1), 0};
+    task.cfg.orientations = {agent::kChiralOrientation,
+                             agent::kChiralOrientation};
+    task.cfg.engine.fairness_window = 1 << 20;
+    task.cfg.stop.max_rounds = 40'000;
+    task.cfg.stop.stop_when_explored_and_one_terminated = true;
+    task.make_adversary = [] {
+      return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
+    };
+  }
+
+  // --- Figure 16 task ---------------------------------------------------------
+  const NodeId n16 = 10;
+  {
+    core::ScenarioTask& task = tasks[2];
+    task.cfg =
+        core::default_config(algo::AlgorithmId::PTBoundWithChirality, n16);
+    task.cfg.start_nodes = {static_cast<NodeId>(n16 / 2 - 1), 0};
+    task.cfg.orientations = {agent::kChiralOrientation,
+                             agent::kChiralOrientation};
+    task.cfg.engine.fairness_window = 1 << 20;
+    task.cfg.stop.max_rounds = 60;
+    task.cfg.stop.stop_when_all_terminated = false;
+    task.cfg.stop.stop_when_explored_and_one_terminated = false;
+    task.make_adversary = [] {
+      return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
+    };
+  }
+
+  const std::vector<core::SweepRun> runs = core::run_sweep_traced(tasks, pool);
+
   // --- Figure 12 --------------------------------------------------------------
   std::cout << "=== Figure 12: termination from state AtLandmark ===\n\n";
   {
-    const NodeId n = 7;  // odd: both agents reach the antipodal edge together
-    core::ExplorationConfig cfg = core::default_config(
-        algo::AlgorithmId::StartFromLandmarkNoChirality, n);
-    cfg.orientations = {agent::kChiralOrientation,
-                        agent::kMirroredOrientation};
-    cfg.engine.record_trace = true;
-    cfg.stop.max_rounds = 100;
-    // Remove the antipodal edge exactly while both agents press on it.
-    adversary::ScriptedEdgeAdversary adv([&](Round r) -> std::optional<EdgeId> {
-      return (r >= (n - 1) / 2 && r <= (n - 1) / 2 + 2)
-                 ? std::optional<EdgeId>((n - 1) / 2)
-                 : std::nullopt;
-    });
-    auto engine = core::make_engine(cfg, &adv);
-    const sim::RunResult r = engine->run(cfg.stop);
-
+    const sim::RunResult& r = runs[0].result;
     util::Table t({"round", "missing", "agent a (node, state)",
                    "agent b (node, state)"});
-    for (const sim::RoundTrace& rt : engine->trace()) {
+    for (const sim::RoundTrace& rt : runs[0].trace) {
       t.add_row({std::to_string(rt.round),
                  rt.missing ? std::to_string(*rt.missing) : "-",
                  std::to_string(rt.agents[0].node) + " " +
@@ -55,7 +110,7 @@ int main() {
               << ", both terminated="
               << (r.all_terminated ? "yes" : "NO")
               << ", premature=" << (r.premature_termination ? "YES" : "no")
-              << "  (both agents bounced on edge " << (n - 1) / 2
+              << "  (both agents bounced on edge " << (n12 - 1) / 2
               << " and met again at the landmark)\n";
   }
 
@@ -63,20 +118,6 @@ int main() {
   std::cout << "\n=== Figure 15: delta grows at each Bounce-Reverse of the "
                "chaser ===\n\n";
   {
-    const NodeId n = 14;
-    const NodeId x = n / 2;
-    core::ExplorationConfig cfg =
-        core::default_config(algo::AlgorithmId::PTBoundWithChirality, n);
-    cfg.start_nodes = {static_cast<NodeId>(x - 1), 0};
-    cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
-    cfg.engine.record_trace = true;
-    cfg.engine.fairness_window = 1 << 20;
-    cfg.stop.max_rounds = 40'000;
-    cfg.stop.stop_when_explored_and_one_terminated = true;
-    adversary::SlidingWindowAdversary adv(0, 1);
-    auto engine = core::make_engine(cfg, &adv);
-    const sim::RunResult r = engine->run(cfg.stop);
-
     // Reconstruct the chaser's legs from its state changes in the trace.
     util::Table t({"leg#", "chaser state", "leg length (moves)"});
     std::string cur_state;
@@ -84,7 +125,7 @@ int main() {
     int leg_no = 0;
     NodeId prev_node = -1;
     bool first = true;
-    for (const sim::RoundTrace& rt : engine->trace()) {
+    for (const sim::RoundTrace& rt : runs[1].trace) {
       const sim::AgentTrace& ch = rt.agents[1];
       if (first) {
         cur_state = ch.state;
@@ -104,8 +145,8 @@ int main() {
       }
     }
     t.print(std::cout);
-    std::cout << "total moves=" << r.total_moves
-              << ", terminated=" << r.terminated_agents << "/2"
+    std::cout << "total moves=" << runs[1].result.total_moves
+              << ", terminated=" << runs[1].result.terminated_agents << "/2"
               << "  (each left leg is one node longer than the previous "
                  "right leg, so the rightSteps >= leftSteps termination "
                  "check never fires early)\n";
@@ -115,24 +156,16 @@ int main() {
   std::cout << "\n=== Figure 16: the Theorem 13 window dance (first phases) "
                "===\n\n";
   {
-    const NodeId n = 10;
-    const NodeId x = n / 2;
-    core::ExplorationConfig cfg =
-        core::default_config(algo::AlgorithmId::PTBoundWithChirality, n);
-    cfg.start_nodes = {static_cast<NodeId>(x - 1), 0};
-    cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
-    cfg.engine.record_trace = true;
-    cfg.engine.fairness_window = 1 << 20;
-    cfg.stop.max_rounds = 60;
-    cfg.stop.stop_when_all_terminated = false;
-    cfg.stop.stop_when_explored_and_one_terminated = false;
-    adversary::SlidingWindowAdversary adv(0, 1);
-    auto engine = core::make_engine(cfg, &adv);
-    engine->run(cfg.stop);
-
     util::Table t({"round", "missing edge", "leader (node, on-port?)",
                    "chaser (node, state)"});
-    for (const sim::RoundTrace& rt : engine->trace()) {
+    // A window shift = one passive transport of the leader: its node
+    // changed across a round in which it was not activated.
+    long long shifts = 0;
+    NodeId prev_leader_node = static_cast<NodeId>(n16 / 2 - 1);
+    for (const sim::RoundTrace& rt : runs[2].trace) {
+      if (rt.agents[0].node != prev_leader_node && !rt.agents[0].active)
+        ++shifts;
+      prev_leader_node = rt.agents[0].node;
       t.add_row(
           {std::to_string(rt.round),
            rt.missing ? std::to_string(*rt.missing) : "-",
@@ -141,7 +174,7 @@ int main() {
            std::to_string(rt.agents[1].node) + " " + rt.agents[1].state});
     }
     t.print(std::cout);
-    std::cout << "window shifts so far: " << adv.shifts()
+    std::cout << "window shifts so far: " << shifts
               << "  (the leader is passively transported one node per "
                  "phase, exactly when the chaser is blocked at the other "
                  "window boundary)\n";

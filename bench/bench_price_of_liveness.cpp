@@ -10,13 +10,18 @@
 //
 // Also reports the Figure 2 worst case, where the live bound 3n-6 faces
 // an offline optimum that simply starts in the other direction.
+//
+// The live runs execute as a traced sweep on the worker pool
+// (--threads=N); the offline DP replans from the returned traces.
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/proof_adversaries.hpp"
 #include "core/runner.hpp"
+#include "core/sweep.hpp"
 #include "ring/evolving_ring.hpp"
 #include "sim/trace_io.hpp"
 #include "util/cli.hpp"
@@ -29,6 +34,8 @@ using namespace dring;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 4));
+  core::SweepOptions pool;
+  pool.threads = static_cast<int>(cli.get_int("threads", 0));
 
   std::cout << "=== Price of liveness: live exploration vs the offline "
                "optimum on the same schedule ===\n\n";
@@ -36,60 +43,70 @@ int main(int argc, char** argv) {
   util::Table table({"schedule", "n", "live algorithm", "live explored@",
                      "offline 2-agent optimum", "ratio"});
 
-  // --- randomized hostile schedules ----------------------------------------
-  for (NodeId n : {6, 8, 10}) {
-    for (int seed = 1; seed <= seeds; ++seed) {
-      core::ExplorationConfig cfg =
-          core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-      cfg.engine.record_trace = true;
-      cfg.stop.max_rounds = 40 * n;
-      adversary::TargetedRandomAdversary adv(0.7, 1.0, 505ULL * seed + n);
-      auto engine = core::make_engine(cfg, &adv);
-      const sim::RunResult live = engine->run(cfg.stop);
-      if (!live.explored) continue;
+  // Scenario matrix: randomized hostile schedules, then the Figure 2
+  // worst case; rows are emitted in task order.
+  struct Label {
+    std::string schedule;
+    NodeId n;
+    bool fig2;
+  };
+  std::vector<core::ScenarioTask> tasks;
+  std::vector<Label> labels;
 
-      const auto ring = ring::EvolvingRing::from_script(
-          n, sim::edge_schedule_of(engine->trace()), live.rounds + 4 * n);
-      const Round offline = ring::offline_two_agent_exploration_time(
-          ring, cfg.start_nodes[0], cfg.start_nodes[1], live.rounds + 4 * n);
-      table.add_row(
-          {"targeted-random#" + std::to_string(seed), std::to_string(n),
-           "KnownNNoChirality", std::to_string(live.explored_round),
-           std::to_string(offline),
-           offline > 0 ? util::fmt_double(
-                             static_cast<double>(live.explored_round) /
-                                 offline,
-                             2)
-                       : "-"});
+  for (const NodeId n : {6, 8, 10}) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      core::ScenarioTask task;
+      task.cfg = core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
+      task.cfg.stop.max_rounds = 40 * n;
+      task.make_adversary = [n, seed]() -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<adversary::TargetedRandomAdversary>(
+            0.7, 1.0, 505ULL * seed + n);
+      };
+      tasks.push_back(std::move(task));
+      labels.push_back({"targeted-random#" + std::to_string(seed), n, false});
     }
   }
+  for (const NodeId n : {8, 10, 12}) {
+    core::ScenarioTask task;
+    task.cfg = core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
+    task.cfg.start_nodes = {2, 3};
+    task.cfg.orientations = {agent::kChiralOrientation,
+                             agent::kChiralOrientation};
+    task.cfg.stop.max_rounds = 10 * n;
+    task.make_adversary = [n]() -> std::unique_ptr<sim::Adversary> {
+      return std::make_unique<adversary::ScriptedEdgeAdversary>(
+          adversary::make_fig2_script(n, 2), "fig2");
+    };
+    tasks.push_back(std::move(task));
+    labels.push_back({"figure-2 worst case", n, true});
+  }
 
-  // --- the Figure 2 worst case ------------------------------------------------
-  for (NodeId n : {8, 10, 12}) {
-    core::ExplorationConfig cfg =
-        core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-    cfg.start_nodes = {2, 3};
-    cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
-    cfg.engine.record_trace = true;
-    cfg.stop.max_rounds = 10 * n;
-    adversary::ScriptedEdgeAdversary adv(adversary::make_fig2_script(n, 2),
-                                         "fig2");
-    auto engine = core::make_engine(cfg, &adv);
-    const sim::RunResult live = engine->run(cfg.stop);
+  const std::vector<core::SweepRun> runs = core::run_sweep_traced(tasks, pool);
 
-    const auto ring = ring::EvolvingRing::from_script(
-        n, adversary::make_fig2_script(n, 2), 10 * n);
-    const Round offline =
-        ring::offline_two_agent_exploration_time(ring, 2, 3, 10 * n);
-    table.add_row({"figure-2 worst case", std::to_string(n),
-                   "KnownNNoChirality", std::to_string(live.explored_round),
-                   std::to_string(offline),
-                   offline > 0
-                       ? util::fmt_double(
-                             static_cast<double>(live.explored_round) /
-                                 offline,
-                             2)
-                       : "-"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const sim::RunResult& live = runs[i].result;
+    const Label& label = labels[i];
+    const NodeId n = label.n;
+    if (!label.fig2 && !live.explored) continue;
+
+    const Round horizon =
+        label.fig2 ? 10 * n : live.rounds + 4 * n;
+    const auto ring =
+        label.fig2
+            ? ring::EvolvingRing::from_script(
+                  n, adversary::make_fig2_script(n, 2), horizon)
+            : ring::EvolvingRing::from_script(
+                  n, sim::edge_schedule_of(runs[i].trace), horizon);
+    const Round offline = ring::offline_two_agent_exploration_time(
+        ring, tasks[i].cfg.start_nodes[0], tasks[i].cfg.start_nodes[1],
+        horizon);
+    table.add_row(
+        {label.schedule, std::to_string(n), "KnownNNoChirality",
+         std::to_string(live.explored_round), std::to_string(offline),
+         offline > 0 ? util::fmt_double(
+                           static_cast<double>(live.explored_round) / offline,
+                           2)
+                     : "-"});
   }
 
   table.print(std::cout);

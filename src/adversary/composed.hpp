@@ -52,6 +52,15 @@ class ComposedAdversary : public sim::Adversary {
     if (tie_break_) tie_break_(view, port, contenders);
   }
 
+  // Capability flags mirror the installed hooks (instead of inheriting the
+  // conservative base defaults): only an edge hook can read the intent
+  // records, only a tie-break hook can reorder contenders.  Without this
+  // the engine would build IntentRecords — and take the slow per-port
+  // tie-break path — for every composed adversary, hooks or not.
+  bool observes_intents() const override {
+    return static_cast<bool>(edge_);
+  }
+
   bool reorders_contenders() const override {
     return static_cast<bool>(tie_break_);
   }

@@ -1,0 +1,59 @@
+#include "adversary/t_interval.hpp"
+
+#include <stdexcept>
+
+namespace dring::adversary {
+
+TIntervalAdversary::TIntervalAdversary(Round interval,
+                                       std::unique_ptr<sim::Adversary> inner)
+    : interval_(interval), inner_(std::move(inner)) {
+  if (interval_ < 1)
+    throw std::invalid_argument("TIntervalAdversary: interval must be >= 1");
+}
+
+std::vector<bool> TIntervalAdversary::select_active(
+    const sim::WorldView& view) {
+  if (inner_) return inner_->select_active(view);
+  return Adversary::select_active(view);
+}
+
+std::optional<EdgeId> TIntervalAdversary::choose_missing_edge(
+    const sim::WorldView& view, const std::vector<sim::IntentRecord>& intents) {
+  // The inner adversary is consulted every round (its RNG stream and any
+  // internal bookkeeping advance exactly as they would unwrapped).
+  const std::optional<EdgeId> desired =
+      inner_ ? inner_->choose_missing_edge(view, intents) : std::nullopt;
+  if (!desired) return std::nullopt;  // removing nothing never violates
+
+  const Round r = view.round();
+  if (!held_ || *held_ == *desired || r - held_round_ >= interval_) {
+    held_ = desired;
+    held_round_ = r;
+    return desired;
+  }
+  // Switching the missing edge while a window still covers the held edge
+  // would break T-interval connectivity; keep all edges present instead.
+  ++vetoes_;
+  return std::nullopt;
+}
+
+void TIntervalAdversary::order_port_contenders(
+    const sim::WorldView& view, PortRef port,
+    std::vector<AgentId>& contenders) {
+  if (inner_) inner_->order_port_contenders(view, port, contenders);
+}
+
+bool TIntervalAdversary::observes_intents() const {
+  return inner_ ? inner_->observes_intents() : false;
+}
+
+bool TIntervalAdversary::reorders_contenders() const {
+  return inner_ ? inner_->reorders_contenders() : false;
+}
+
+std::string TIntervalAdversary::name() const {
+  return "t-interval(" + std::to_string(interval_) + ", " +
+         (inner_ ? inner_->name() : "null") + ")";
+}
+
+}  // namespace dring::adversary

@@ -1,0 +1,62 @@
+// T-interval connectivity (Kuhn–Lynch–Oshman), the first follow-up model
+// axis beyond the paper's 1-interval ring: every window of T consecutive
+// rounds must admit one stable connected spanning subgraph.
+//
+// On a ring with at most one missing edge per round this has an exact
+// characterisation: two rounds that miss *different* edges must be at least
+// T rounds apart (a window containing both would have to exclude both edges
+// and the ring minus two edges is disconnected).  T = 1 places no
+// constraint beyond "one edge per round" — exactly the paper's model.
+//
+// TIntervalAdversary is a decorator enforcing that invariant over any inner
+// adversary: the inner adversary is consulted every round, and a removal
+// request that would switch the missing edge too early is downgraded to
+// "no removal" (the previously stable spanning path survives untouched and
+// the switch becomes legal once T-1 clean rounds have elapsed).  Requests
+// for the currently-held edge extend the hold.  Activation choices,
+// tie-breaking and the capability flags are forwarded verbatim, so with
+// T = 1 the decorator is an exact pass-through (pinned bit-for-bit against
+// the golden digests).
+//
+// The enforcement is adversary-side: it constrains what the adversary
+// *requests*.  Engine-side interventions (the ET veto) only ever cancel a
+// removal, which cannot violate interval connectivity.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/adversary.hpp"
+
+namespace dring::adversary {
+
+class TIntervalAdversary : public sim::Adversary {
+ public:
+  /// `interval`: the T of T-interval connectivity (>= 1).  `inner` is the
+  /// wrapped adversary whose removal requests are filtered (may be null:
+  /// behaves like NullAdversary).
+  TIntervalAdversary(Round interval, std::unique_ptr<sim::Adversary> inner);
+
+  std::vector<bool> select_active(const sim::WorldView& view) override;
+  std::optional<EdgeId> choose_missing_edge(
+      const sim::WorldView& view,
+      const std::vector<sim::IntentRecord>& intents) override;
+  void order_port_contenders(const sim::WorldView& view, PortRef port,
+                             std::vector<AgentId>& contenders) override;
+  bool observes_intents() const override;
+  bool reorders_contenders() const override;
+  std::string name() const override;
+
+  /// Removal requests downgraded to "no removal" by the interval guard.
+  long long vetoes() const { return vetoes_; }
+
+ private:
+  Round interval_;
+  std::unique_ptr<sim::Adversary> inner_;
+  std::optional<EdgeId> held_;  ///< most recently missing edge
+  Round held_round_ = 0;        ///< last round held_ was missing
+  long long vetoes_ = 0;
+};
+
+}  // namespace dring::adversary

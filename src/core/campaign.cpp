@@ -1,0 +1,170 @@
+#include "core/campaign.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <stdexcept>
+
+namespace dring::core {
+
+CampaignOutcome outcome_of(const sim::RunResult& r) {
+  CampaignOutcome o;
+  o.explored = r.explored;
+  o.explored_round = r.explored_round;
+  o.rounds = r.rounds;
+  o.total_moves = r.total_moves;
+  o.terminated_agents = r.terminated_agents;
+  o.all_terminated = r.all_terminated;
+  o.premature_termination = r.premature_termination;
+  o.fairness_interventions = r.fairness_interventions;
+  o.violations = static_cast<int>(r.violations.size());
+  o.stop_reason = r.stop_reason;
+  return o;
+}
+
+util::Json to_json(const CampaignRow& row) {
+  util::Json result;
+  result.set("explored", row.outcome.explored);
+  result.set("explored_round",
+             static_cast<long long>(row.outcome.explored_round));
+  result.set("rounds", static_cast<long long>(row.outcome.rounds));
+  result.set("total_moves", row.outcome.total_moves);
+  result.set("terminated_agents",
+             static_cast<long long>(row.outcome.terminated_agents));
+  result.set("all_terminated", row.outcome.all_terminated);
+  result.set("premature", row.outcome.premature_termination);
+  result.set("fairness_interventions", row.outcome.fairness_interventions);
+  result.set("violations", static_cast<long long>(row.outcome.violations));
+  result.set("stop_reason", row.outcome.stop_reason);
+
+  util::Json j;
+  j.set("fp", hex_u64(row.fingerprint));
+  j.set("result", std::move(result));
+  j.set("spec", to_json(row.spec));
+  return j;
+}
+
+CampaignRow campaign_row_from_json(const util::Json& j) {
+  CampaignRow row;
+  row.fingerprint = std::stoull(j.at("fp").as_string(), nullptr, 0);
+  row.spec = scenario_spec_from_json(j.at("spec"));
+  const util::Json& r = j.at("result");
+  row.outcome.explored = r.get_bool("explored", false);
+  row.outcome.explored_round = r.get_int("explored_round", -1);
+  row.outcome.rounds = r.get_int("rounds", 0);
+  row.outcome.total_moves = r.get_int("total_moves", 0);
+  row.outcome.terminated_agents =
+      static_cast<int>(r.get_int("terminated_agents", 0));
+  row.outcome.all_terminated = r.get_bool("all_terminated", false);
+  row.outcome.premature_termination = r.get_bool("premature", false);
+  row.outcome.fairness_interventions = r.get_int("fairness_interventions", 0);
+  row.outcome.violations = static_cast<int>(r.get_int("violations", 0));
+  row.outcome.stop_reason = r.get_string("stop_reason", "");
+  return row;
+}
+
+std::string row_line(const CampaignRow& row) { return to_json(row).dump(); }
+
+std::vector<CampaignRow> read_result_store(std::istream& in) {
+  std::vector<CampaignRow> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      rows.push_back(campaign_row_from_json(util::Json::parse(line)));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("result store line " +
+                                  std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return rows;
+}
+
+std::unordered_set<std::uint64_t> load_fingerprints(const std::string& path) {
+  std::unordered_set<std::uint64_t> fps;
+  std::ifstream in(path);
+  if (!in) return fps;
+  for (const CampaignRow& row : read_result_store(in))
+    fps.insert(row.fingerprint);
+  return fps;
+}
+
+std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
+                                       int threads) {
+  std::vector<ScenarioTask> tasks;
+  tasks.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) tasks.push_back(to_task(spec));
+
+  SweepOptions options;
+  options.threads = threads;
+  const std::vector<sim::RunResult> results = run_sweep(tasks, options);
+
+  std::vector<CampaignRow> rows(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    rows[i].spec = specs[i];
+    rows[i].fingerprint = fingerprint(specs[i]);
+    rows[i].outcome = outcome_of(results[i]);
+  }
+  return rows;
+}
+
+CampaignReport run_campaign(const CampaignSpec& campaign,
+                            const CampaignOptions& options) {
+  const std::vector<ScenarioSpec> all = expand(campaign);
+
+  std::vector<ScenarioSpec> todo;
+  std::size_t skipped = 0;
+  if (options.resume && !options.out_path.empty()) {
+    const std::unordered_set<std::uint64_t> done =
+        load_fingerprints(options.out_path);
+    for (const ScenarioSpec& spec : all) {
+      if (done.count(fingerprint(spec)))
+        ++skipped;
+      else
+        todo.push_back(spec);
+    }
+  } else {
+    todo = all;
+  }
+
+  CampaignReport report;
+  report.total = all.size();
+  report.skipped = skipped;
+  report.executed = todo.size();
+  report.rows = run_scenarios(todo, options.threads);
+
+  if (!options.out_path.empty() && !report.rows.empty()) {
+    std::ofstream out(options.out_path, std::ios::app);
+    if (!out)
+      throw std::runtime_error("cannot open result store: " +
+                               options.out_path);
+    for (const CampaignRow& row : report.rows) out << row_line(row) << '\n';
+  }
+  return report;
+}
+
+StoreDiff diff_result_stores(const std::vector<CampaignRow>& a,
+                             const std::vector<CampaignRow>& b) {
+  // Last row wins per fingerprint (a resumed store never has duplicates,
+  // but a hand-concatenated one might).
+  std::map<std::uint64_t, CampaignRow> in_a, in_b;
+  for (const CampaignRow& row : a) in_a[row.fingerprint] = row;
+  for (const CampaignRow& row : b) in_b[row.fingerprint] = row;
+
+  StoreDiff diff;
+  for (const auto& [fp, row] : in_a) {
+    const auto it = in_b.find(fp);
+    if (it == in_b.end()) {
+      diff.only_a.push_back(row);
+    } else if (!(row.outcome == it->second.outcome)) {
+      diff.changed.emplace_back(row, it->second);
+    }
+  }
+  for (const auto& [fp, row] : in_b)
+    if (!in_a.count(fp)) diff.only_b.push_back(row);
+  return diff;
+}
+
+}  // namespace dring::core

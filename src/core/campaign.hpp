@@ -1,0 +1,105 @@
+// Campaign execution and the JSONL result store.
+//
+// A campaign is a CampaignSpec (core/scenario_spec.hpp) expanded into a
+// flat scenario list and executed on the run_sweep worker pool.  Every
+// finished scenario becomes one line of JSON in the result store:
+//
+//   {"fp":"0x...","result":{...},"spec":{...}}
+//
+// The dump is canonical (sorted keys, no whitespace), so stores are
+// line-diffable across commits, and each row carries the scenario's
+// fingerprint. Resume = load the fingerprints already present in the store
+// and run only the rows that are missing; because per-cell seeds are
+// position-independent (see expand()), growing a campaign's axes and
+// resuming executes exactly the new cells.  Rows are appended in task
+// order after the sweep completes, so the store bytes are identical for
+// any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scenario_spec.hpp"
+
+namespace dring::core {
+
+/// The per-scenario summary persisted in a row (the RunResult fields that
+/// are meaningful across heterogeneous scenarios).
+struct CampaignOutcome {
+  bool explored = false;
+  Round explored_round = -1;
+  Round rounds = 0;
+  long long total_moves = 0;
+  int terminated_agents = 0;
+  bool all_terminated = false;
+  bool premature_termination = false;
+  long long fairness_interventions = 0;
+  int violations = 0;
+  std::string stop_reason;
+
+  friend bool operator==(const CampaignOutcome&,
+                         const CampaignOutcome&) = default;
+};
+
+/// One line of the result store.
+struct CampaignRow {
+  std::uint64_t fingerprint = 0;
+  ScenarioSpec spec;
+  CampaignOutcome outcome;
+};
+
+CampaignOutcome outcome_of(const sim::RunResult& r);
+util::Json to_json(const CampaignRow& row);
+CampaignRow campaign_row_from_json(const util::Json& j);
+
+/// Serialize one row as its store line (no trailing newline).
+std::string row_line(const CampaignRow& row);
+
+/// Parse a whole store (one JSON object per non-empty line; malformed
+/// lines throw std::invalid_argument with the line number).
+std::vector<CampaignRow> read_result_store(std::istream& in);
+
+/// The fingerprints present in a store file. Missing file = empty set.
+std::unordered_set<std::uint64_t> load_fingerprints(const std::string& path);
+
+/// Execution knobs.
+struct CampaignOptions {
+  int threads = 0;        ///< run_sweep worker count (0 = hardware)
+  std::string out_path;   ///< result store to append to (empty = no store)
+  bool resume = false;    ///< skip scenarios whose fingerprint is stored
+};
+
+/// What a campaign run did.
+struct CampaignReport {
+  std::size_t total = 0;     ///< scenarios in the expanded grid
+  std::size_t skipped = 0;   ///< already present in the store (resume)
+  std::size_t executed = 0;  ///< run in this invocation
+  std::vector<CampaignRow> rows;  ///< executed rows, in task order
+};
+
+/// Run the given scenarios on the pool; rows come back in spec order.
+std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
+                                       int threads);
+
+/// Expand + (optionally) resume-filter + run + append to the store.
+CampaignReport run_campaign(const CampaignSpec& campaign,
+                            const CampaignOptions& options);
+
+/// Store diff (for comparing campaign outputs across commits): rows only
+/// in `a`, only in `b`, and fingerprints whose outcome changed.
+struct StoreDiff {
+  std::vector<CampaignRow> only_a;
+  std::vector<CampaignRow> only_b;
+  std::vector<std::pair<CampaignRow, CampaignRow>> changed;  ///< (a, b)
+  bool identical() const {
+    return only_a.empty() && only_b.empty() && changed.empty();
+  }
+};
+
+StoreDiff diff_result_stores(const std::vector<CampaignRow>& a,
+                             const std::vector<CampaignRow>& b);
+
+}  // namespace dring::core

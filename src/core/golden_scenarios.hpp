@@ -20,6 +20,7 @@
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/proof_adversaries.hpp"
 #include "core/runner.hpp"
+#include "core/scenario_spec.hpp"
 #include "sim/trace_io.hpp"
 
 namespace dring::core {
@@ -43,6 +44,15 @@ inline GoldenRun execute(ExplorationConfig cfg, sim::Adversary* adv) {
   auto engine = make_engine(cfg, adv);
   const sim::RunResult r = engine->run(cfg.stop);
   return {sim::trace_digest(engine->trace()), sim::result_digest(r)};
+}
+
+/// Execute a declarative spec through the campaign translation layer
+/// (build_config + make_adversary_factory), so the spec->engine path is
+/// itself covered by the golden digests.
+inline GoldenRun execute_spec(const ScenarioSpec& spec) {
+  const std::unique_ptr<sim::Adversary> adv =
+      make_adversary_factory(spec.adversary, spec.seed)();
+  return execute(build_config(spec), adv.get());
 }
 
 }  // namespace golden_detail
@@ -153,6 +163,51 @@ inline std::vector<GoldenScenario> golden_scenarios() {
     cfg.stop.max_rounds = 20000;
     adversary::TargetedRandomAdversary adv(0.55, 0.6, 707);
     return gd::execute(cfg, &adv);
+  }});
+
+  // Many-agent extension axis (k beyond the theorems' counts), driven
+  // through the declarative ScenarioSpec path so the campaign subsystem's
+  // spec->engine translation is pinned too.
+  set.push_back({"spec-k4-unconscious-targeted", [] {
+    ScenarioSpec spec;
+    spec.algorithm = "UnconsciousExploration";
+    spec.n = 12;
+    spec.num_agents = 4;
+    spec.adversary.family = "targeted-random";
+    spec.adversary.target_prob = 0.6;
+    spec.adversary.activation_prob = 1.0;
+    spec.seed = 808;
+    spec.max_rounds = 3000;
+    return gd::execute_spec(spec);
+  }});
+
+  set.push_back({"spec-k6-et-random", [] {
+    ScenarioSpec spec;
+    spec.algorithm = "ETUnconscious";
+    spec.n = 14;
+    spec.num_agents = 6;
+    spec.adversary.family = "random";
+    spec.adversary.remove_prob = 0.5;
+    spec.adversary.activation_prob = 0.6;
+    spec.seed = 909;
+    spec.max_rounds = 5000;
+    return gd::execute_spec(spec);
+  }});
+
+  // The T-interval-connectivity axis: a targeted adversary throttled to
+  // switch the missing edge at most every 3 rounds (T = 3).
+  set.push_back({"spec-k4-tinterval3-targeted", [] {
+    ScenarioSpec spec;
+    spec.algorithm = "KnownNNoChirality";
+    spec.n = 10;
+    spec.num_agents = 4;
+    spec.adversary.family = "targeted-random";
+    spec.adversary.target_prob = 0.7;
+    spec.adversary.activation_prob = 1.0;
+    spec.adversary.t_interval = 3;
+    spec.seed = 1010;
+    spec.max_rounds = 2000;
+    return gd::execute_spec(spec);
   }});
 
   return set;

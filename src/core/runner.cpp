@@ -5,17 +5,24 @@
 namespace dring::core {
 
 ExplorationConfig default_config(algo::AlgorithmId id, NodeId n) {
+  return default_config(id, n, 0);
+}
+
+ExplorationConfig default_config(algo::AlgorithmId id, NodeId n,
+                                 int num_agents) {
   const algo::AlgorithmInfo& meta = algo::info(id);
+  if (num_agents < 0) throw std::invalid_argument("num_agents must be >= 0");
+  const int agents = num_agents > 0 ? num_agents : meta.num_agents;
   ExplorationConfig cfg;
   cfg.n = n;
   cfg.algorithm = id;
   cfg.model = meta.model;
-  cfg.num_agents = meta.num_agents;
+  cfg.num_agents = agents;
   if (meta.needs_landmark) cfg.landmark = 0;
   if (meta.needs_upper_bound) cfg.upper_bound = n;  // tight bound by default
   if (meta.needs_exact_n) cfg.exact_n = n;
 
-  cfg.orientations.assign(static_cast<std::size_t>(meta.num_agents),
+  cfg.orientations.assign(static_cast<std::size_t>(agents),
                           agent::kChiralOrientation);
   if (!meta.needs_chirality) {
     // Exercise the no-chirality setting by default: alternate orientations.
@@ -25,13 +32,11 @@ ExplorationConfig default_config(algo::AlgorithmId id, NodeId n) {
 
   // Start positions: the theorem-specific defaults.
   if (id == algo::AlgorithmId::StartFromLandmarkNoChirality) {
-    cfg.start_nodes.assign(static_cast<std::size_t>(meta.num_agents),
-                           *cfg.landmark);
+    cfg.start_nodes.assign(static_cast<std::size_t>(agents), *cfg.landmark);
   } else {
-    for (int i = 0; i < meta.num_agents; ++i)
+    for (int i = 0; i < agents; ++i)
       cfg.start_nodes.push_back(
-          static_cast<NodeId>((static_cast<long long>(i) * n) /
-                              meta.num_agents));
+          static_cast<NodeId>((static_cast<long long>(i) * n) / agents));
   }
 
   // Stop policy by termination kind.

@@ -49,6 +49,12 @@ struct ExplorationConfig {
 /// for StartFromLandmarkNoChirality).
 ExplorationConfig default_config(algo::AlgorithmId id, NodeId n);
 
+/// Same, for a team of `num_agents` agents (0 = the theorem's count): the
+/// placement/orientation policy above is applied to k agents — the
+/// many-agent extension axis used by the campaign subsystem.
+ExplorationConfig default_config(algo::AlgorithmId id, NodeId n,
+                                 int num_agents);
+
 /// Build the engine for a config (adds agents, installs the adversary).
 /// Exposed for tests that need to drive the engine round by round.
 std::unique_ptr<sim::Engine> make_engine(const ExplorationConfig& cfg,

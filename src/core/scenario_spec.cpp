@@ -1,0 +1,282 @@
+#include "core/scenario_spec.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "adversary/t_interval.hpp"
+
+namespace dring::core {
+
+namespace {
+
+sim::Model model_from_string(const std::string& s) {
+  if (s == "FSYNC") return sim::Model::FSYNC;
+  if (s == "SSYNC/NS") return sim::Model::SSYNC_NS;
+  if (s == "SSYNC/PT") return sim::Model::SSYNC_PT;
+  if (s == "SSYNC/ET") return sim::Model::SSYNC_ET;
+  throw std::invalid_argument("unknown model: " + s);
+}
+
+std::uint64_t parse_u64(const util::Json& j) {
+  if (j.is_string()) {
+    const std::string& s = j.as_string();
+    return std::stoull(s, nullptr, 0);  // accepts 0x... and decimal
+  }
+  return static_cast<std::uint64_t>(j.as_int());
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+// --- spec -> executable --------------------------------------------------------
+
+ExplorationConfig build_config(const ScenarioSpec& spec) {
+  const algo::AlgorithmInfo& meta = algo::info_by_name(spec.algorithm);
+  ExplorationConfig cfg = default_config(meta.id, spec.n, spec.num_agents);
+  if (!spec.model.empty()) cfg.model = model_from_string(spec.model);
+  cfg.stop.max_rounds =
+      spec.max_rounds > 0 ? spec.max_rounds : 2000LL * spec.n + 200'000;
+  return cfg;
+}
+
+std::function<std::unique_ptr<sim::Adversary>()> make_adversary_factory(
+    const AdversarySpec& spec, std::uint64_t seed) {
+  using Ptr = std::unique_ptr<sim::Adversary>;
+  std::function<Ptr()> base;
+  if (spec.family == "null") {
+    base = [] { return std::make_unique<sim::NullAdversary>(); };
+  } else if (spec.family == "random") {
+    const double rp = spec.remove_prob, ap = spec.activation_prob;
+    base = [rp, ap, seed]() -> Ptr {
+      return std::make_unique<adversary::RandomAdversary>(rp, ap, seed);
+    };
+  } else if (spec.family == "targeted-random") {
+    const double tp = spec.target_prob, ap = spec.activation_prob;
+    base = [tp, ap, seed]() -> Ptr {
+      return std::make_unique<adversary::TargetedRandomAdversary>(tp, ap,
+                                                                  seed);
+    };
+  } else if (spec.family == "fixed-edge") {
+    const EdgeId e = spec.edge;
+    base = [e]() -> Ptr {
+      return std::make_unique<adversary::FixedEdgeAdversary>(e);
+    };
+  } else if (spec.family == "block-agent") {
+    const AgentId v = spec.victim;
+    base = [v]() -> Ptr {
+      return std::make_unique<adversary::BlockAgentAdversary>(v);
+    };
+  } else if (spec.family == "prevent-meeting") {
+    base = []() -> Ptr {
+      return std::make_unique<adversary::PreventMeetingAdversary>();
+    };
+  } else if (spec.family == "ns-first-mover") {
+    base = []() -> Ptr {
+      return std::make_unique<adversary::NsFirstMoverAdversary>();
+    };
+  } else if (spec.family == "rotation") {
+    const Round dwell = spec.dwell;
+    base = [dwell]() -> Ptr {
+      return std::make_unique<adversary::RotationActivationAdversary>(dwell);
+    };
+  } else {
+    throw std::invalid_argument("unknown adversary family: " + spec.family);
+  }
+
+  if (spec.t_interval <= 1) return base;
+  const Round t = spec.t_interval;
+  return [t, base]() -> Ptr {
+    return std::make_unique<adversary::TIntervalAdversary>(t, base());
+  };
+}
+
+ScenarioTask to_task(const ScenarioSpec& spec) {
+  ScenarioTask task;
+  task.cfg = build_config(spec);
+  task.seed = spec.seed;
+  task.make_adversary = make_adversary_factory(spec.adversary, spec.seed);
+  return task;
+}
+
+// --- identity ------------------------------------------------------------------
+
+std::uint64_t fingerprint(const ScenarioSpec& spec) {
+  return fnv1a(to_json(spec).dump());
+}
+
+// --- JSON ----------------------------------------------------------------------
+
+util::Json to_json(const AdversarySpec& spec) {
+  util::Json j;
+  j.set("family", spec.family);
+  if (spec.family == "random") {
+    j.set("remove_prob", spec.remove_prob);
+    j.set("activation_prob", spec.activation_prob);
+  } else if (spec.family == "targeted-random") {
+    j.set("target_prob", spec.target_prob);
+    j.set("activation_prob", spec.activation_prob);
+  } else if (spec.family == "fixed-edge") {
+    j.set("edge", static_cast<long long>(spec.edge));
+  } else if (spec.family == "block-agent") {
+    j.set("victim", static_cast<long long>(spec.victim));
+  } else if (spec.family == "rotation") {
+    j.set("dwell", static_cast<long long>(spec.dwell));
+  }
+  if (spec.t_interval > 1)
+    j.set("t_interval", static_cast<long long>(spec.t_interval));
+  return j;
+}
+
+AdversarySpec adversary_spec_from_json(const util::Json& j) {
+  AdversarySpec spec;
+  spec.family = j.get_string("family", "null");
+  spec.remove_prob = j.get_double("remove_prob", spec.remove_prob);
+  spec.target_prob = j.get_double("target_prob", spec.target_prob);
+  spec.activation_prob =
+      j.get_double("activation_prob", spec.activation_prob);
+  spec.edge = static_cast<EdgeId>(j.get_int("edge", spec.edge));
+  spec.victim = static_cast<AgentId>(j.get_int("victim", spec.victim));
+  spec.dwell = j.get_int("dwell", spec.dwell);
+  spec.t_interval = j.get_int("t_interval", spec.t_interval);
+  return spec;
+}
+
+util::Json to_json(const ScenarioSpec& spec) {
+  util::Json j;
+  j.set("algorithm", spec.algorithm);
+  j.set("n", static_cast<long long>(spec.n));
+  if (spec.num_agents > 0)
+    j.set("agents", static_cast<long long>(spec.num_agents));
+  j.set("adversary", to_json(spec.adversary));
+  j.set("seed", hex_u64(spec.seed));
+  if (spec.max_rounds > 0)
+    j.set("max_rounds", static_cast<long long>(spec.max_rounds));
+  if (!spec.model.empty()) j.set("model", spec.model);
+  return j;
+}
+
+ScenarioSpec scenario_spec_from_json(const util::Json& j) {
+  ScenarioSpec spec;
+  spec.algorithm = j.at("algorithm").as_string();
+  spec.n = static_cast<NodeId>(j.at("n").as_int());
+  spec.num_agents = static_cast<int>(j.get_int("agents", 0));
+  if (j.has("adversary"))
+    spec.adversary = adversary_spec_from_json(j.at("adversary"));
+  if (j.has("seed")) spec.seed = parse_u64(j.at("seed"));
+  spec.max_rounds = j.get_int("max_rounds", 0);
+  spec.model = j.get_string("model", "");
+  return spec;
+}
+
+util::Json to_json(const CampaignSpec& spec) {
+  util::Json j;
+  j.set("name", spec.name);
+  util::Json::Array algos, sizes, agents, advs, ts;
+  for (const std::string& a : spec.algorithms) algos.emplace_back(a);
+  for (const NodeId n : spec.sizes) sizes.emplace_back(static_cast<long long>(n));
+  for (const int k : spec.agent_counts)
+    agents.emplace_back(static_cast<long long>(k));
+  for (const AdversarySpec& a : spec.adversaries) advs.push_back(to_json(a));
+  for (const Round t : spec.t_intervals)
+    ts.emplace_back(static_cast<long long>(t));
+  j.set("algorithms", util::Json(std::move(algos)));
+  j.set("sizes", util::Json(std::move(sizes)));
+  if (!spec.agent_counts.empty()) j.set("agents", util::Json(std::move(agents)));
+  j.set("adversaries", util::Json(std::move(advs)));
+  if (!spec.t_intervals.empty())
+    j.set("t_intervals", util::Json(std::move(ts)));
+  j.set("seeds", static_cast<long long>(spec.seeds_per_cell));
+  j.set("salt", hex_u64(spec.salt));
+  if (spec.max_rounds > 0)
+    j.set("max_rounds", static_cast<long long>(spec.max_rounds));
+  return j;
+}
+
+CampaignSpec campaign_spec_from_json(const util::Json& j) {
+  CampaignSpec spec;
+  spec.name = j.get_string("name", "campaign");
+  for (const util::Json& a : j.at("algorithms").as_array())
+    spec.algorithms.push_back(a.as_string());
+  for (const util::Json& n : j.at("sizes").as_array())
+    spec.sizes.push_back(static_cast<NodeId>(n.as_int()));
+  if (j.has("agents"))
+    for (const util::Json& k : j.at("agents").as_array())
+      spec.agent_counts.push_back(static_cast<int>(k.as_int()));
+  if (j.has("adversaries"))
+    for (const util::Json& a : j.at("adversaries").as_array())
+      spec.adversaries.push_back(adversary_spec_from_json(a));
+  if (j.has("t_intervals"))
+    for (const util::Json& t : j.at("t_intervals").as_array())
+      spec.t_intervals.push_back(t.as_int());
+  spec.seeds_per_cell = static_cast<int>(j.get_int("seeds", 1));
+  if (j.has("salt")) spec.salt = parse_u64(j.at("salt"));
+  spec.max_rounds = j.get_int("max_rounds", 0);
+  return spec;
+}
+
+// --- grid expansion ------------------------------------------------------------
+
+std::vector<ScenarioSpec> expand(const CampaignSpec& campaign) {
+  const std::vector<int> agent_counts =
+      campaign.agent_counts.empty() ? std::vector<int>{0}
+                                    : campaign.agent_counts;
+  const std::vector<AdversarySpec> adversaries =
+      campaign.adversaries.empty() ? std::vector<AdversarySpec>{{}}
+                                   : campaign.adversaries;
+  // Sentinel 0 = no axis: each adversary keeps its own t_interval (which
+  // may have been set per-adversary in the spec).
+  const std::vector<Round> t_intervals =
+      campaign.t_intervals.empty() ? std::vector<Round>{0}
+                                   : campaign.t_intervals;
+  const int seeds = campaign.seeds_per_cell > 0 ? campaign.seeds_per_cell : 1;
+
+  std::vector<ScenarioSpec> specs;
+  for (const std::string& algorithm : campaign.algorithms) {
+    for (const NodeId n : campaign.sizes) {
+      for (const int k : agent_counts) {
+        for (const AdversarySpec& adversary : adversaries) {
+          for (const Round t : t_intervals) {
+            ScenarioSpec cell;
+            cell.algorithm = algorithm;
+            cell.n = n;
+            cell.num_agents = k;
+            cell.adversary = adversary;
+            if (t > 0) cell.adversary.t_interval = t;
+            cell.max_rounds = campaign.max_rounds;
+            // Seeds are derived from the cell's own identity (seed field
+            // zeroed), not its grid position: growing an axis leaves every
+            // existing cell's seeds — hence fingerprints — untouched.
+            cell.seed = 0;
+            const std::uint64_t cell_id = fingerprint(cell);
+            for (int s = 0; s < seeds; ++s) {
+              ScenarioSpec spec = cell;
+              spec.seed = task_seed(campaign.salt ^ cell_id,
+                                    static_cast<std::size_t>(s));
+              specs.push_back(std::move(spec));
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace dring::core

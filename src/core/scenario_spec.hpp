@@ -1,0 +1,132 @@
+// Declarative scenario descriptions and campaign grids.
+//
+// A ScenarioSpec is the data-only counterpart of an ExplorationConfig +
+// adversary pair: algorithm by registry name, ring size, agent count k
+// (0 = the theorem's count; k > the theorem's count opens the many-agent
+// extension axis), an adversary family with parameters (including the
+// T-interval-connectivity wrapper, T = 1 recovering the paper's model),
+// a seed and a round cap.  Being plain data, a spec can be serialized to
+// JSON, fingerprinted, expanded from a campaign grid, shipped to a worker
+// pool, and diffed across commits — none of which a std::function-carrying
+// ScenarioTask can do.
+//
+// A CampaignSpec is a grid over those axes; expand() takes the cartesian
+// product into a flat std::vector<ScenarioSpec>.  Per-cell seeds derive
+// from (salt, cell fingerprint, seed index), so adding values to an axis
+// never changes the seeds — or fingerprints — of existing cells: growing a
+// campaign and re-running with --resume only executes the new rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "util/json.hpp"
+
+namespace dring::core {
+
+/// Adversary family + parameters, as data.  Families:
+///
+///   "null"            no removals, everyone active
+///   "random"          uniform removals (remove_prob) + SSYNC activation
+///   "targeted-random" removes a mover's edge (target_prob), else uniform
+///   "fixed-edge"      perpetually removes `edge`
+///   "block-agent"     Obs. 1: always removes agent `victim`'s desired edge
+///   "prevent-meeting" Obs. 2: removes an edge only to prevent a meeting
+///   "ns-first-mover"  Th. 9: starves movers under NS
+///   "rotation"        activates one agent at a time (`dwell` rounds each)
+///
+/// Any family can additionally be wrapped in the T-interval-connectivity
+/// decorator by setting t_interval > 1 (adversary/t_interval.hpp).
+struct AdversarySpec {
+  std::string family = "null";
+  double remove_prob = 0.5;      ///< "random"
+  double target_prob = 0.5;      ///< "targeted-random"
+  double activation_prob = 1.0;  ///< "random" / "targeted-random"
+  EdgeId edge = 0;               ///< "fixed-edge"
+  AgentId victim = 0;            ///< "block-agent"
+  Round dwell = 1;               ///< "rotation"
+  Round t_interval = 1;          ///< wrap in TIntervalAdversary when > 1
+};
+
+/// One fully-determined scenario, as data.
+struct ScenarioSpec {
+  std::string algorithm = "KnownNNoChirality";  ///< registry name
+  NodeId n = 8;
+  /// 0 = the theorem's agent count. Larger values re-derive the default
+  /// placements (even spread) and orientations (alternating when the
+  /// algorithm does not require chirality) for k agents.
+  int num_agents = 0;
+  AdversarySpec adversary;
+  std::uint64_t seed = 0;
+  /// 0 = default budget (2000*n + 200000 rounds).
+  Round max_rounds = 0;
+  /// Optional synchrony-model override ("FSYNC", "SSYNC/NS", "SSYNC/PT",
+  /// "SSYNC/ET"); empty = the algorithm's native model.
+  std::string model;
+};
+
+/// A parameter grid over the scenario axes. Empty axis vectors mean "the
+/// single default value": agent_counts -> {0}, adversaries -> {null}, and
+/// an empty t_intervals leaves each adversary's own t_interval untouched
+/// (a non-empty axis overrides it for every adversary).
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<std::string> algorithms;
+  std::vector<NodeId> sizes;
+  std::vector<int> agent_counts;
+  std::vector<AdversarySpec> adversaries;
+  std::vector<Round> t_intervals;
+  int seeds_per_cell = 1;
+  std::uint64_t salt = 1;
+  Round max_rounds = 0;  ///< forwarded to every ScenarioSpec
+};
+
+// --- spec -> executable ---------------------------------------------------
+
+/// Materialize the engine configuration a spec describes (throws
+/// std::invalid_argument on unknown algorithm/model names or bad counts).
+ExplorationConfig build_config(const ScenarioSpec& spec);
+
+/// Thread-safe factory for the spec's adversary (each call builds a fresh
+/// private instance; see ScenarioTask::make_adversary).
+std::function<std::unique_ptr<sim::Adversary>()> make_adversary_factory(
+    const AdversarySpec& spec, std::uint64_t seed);
+
+/// Full translation to a sweep task.
+ScenarioTask to_task(const ScenarioSpec& spec);
+
+// --- identity -------------------------------------------------------------
+
+/// Order-independent 64-bit identity of a spec: FNV-1a over the canonical
+/// JSON dump, so equal specs fingerprint equally on every platform. The
+/// JSONL result store keys resumability on this value.
+std::uint64_t fingerprint(const ScenarioSpec& spec);
+
+/// Canonical "0x%016x" rendering used for seeds, salts and fingerprints
+/// throughout the JSON layer (64-bit values exceed JSON's exact-integer
+/// range, so they travel as hex strings).
+std::string hex_u64(std::uint64_t value);
+
+// --- JSON -----------------------------------------------------------------
+
+util::Json to_json(const AdversarySpec& spec);
+util::Json to_json(const ScenarioSpec& spec);
+util::Json to_json(const CampaignSpec& spec);
+AdversarySpec adversary_spec_from_json(const util::Json& j);
+ScenarioSpec scenario_spec_from_json(const util::Json& j);
+CampaignSpec campaign_spec_from_json(const util::Json& j);
+
+// --- grid expansion -------------------------------------------------------
+
+/// Cartesian product of the campaign's axes, in a stable order
+/// (algorithm, size, agent count, adversary, T, seed index). Seeds are a
+/// pure function of (salt, cell identity, seed index) — independent of the
+/// cell's position in the grid.
+std::vector<ScenarioSpec> expand(const CampaignSpec& campaign);
+
+}  // namespace dring::core

@@ -23,25 +23,17 @@ std::uint64_t task_seed(std::uint64_t salt, std::size_t index) {
   return z ^ (z >> 31);
 }
 
-std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
-                                      const SweepOptions& options) {
-  std::vector<sim::RunResult> results(tasks.size());
-  if (tasks.empty()) return results;
+namespace {
 
-  const auto run_one = [&](std::size_t i) {
-    const ScenarioTask& task = tasks[i];
-    std::unique_ptr<sim::Adversary> adv;
-    sim::NullAdversary null_adv;
-    if (task.make_adversary) adv = task.make_adversary();
-    results[i] = run_exploration(task.cfg, adv ? adv.get() : &null_adv);
-  };
-
-  const int workers =
-      static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(resolve_threads(options)), tasks.size()));
+/// Shared pool scheduler: run `fn(i)` for i in [0, count) on `threads`
+/// workers (inline when <= 1), rethrowing the first worker exception.
+template <typename Fn>
+void parallel_for(std::size_t count, int threads, const Fn& fn) {
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), count));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
-    return results;
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
   }
 
   std::atomic<std::size_t> next{0};
@@ -50,9 +42,9 @@ std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) return;
+      if (i >= count) return;
       try {
-        run_one(i);
+        fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -65,7 +57,50 @@ std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
   for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
+                                      const SweepOptions& options) {
+  std::vector<sim::RunResult> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  parallel_for(tasks.size(), resolve_threads(options), [&](std::size_t i) {
+    const ScenarioTask& task = tasks[i];
+    if (task.run_custom) {
+      results[i] = task.run_custom();
+      return;
+    }
+    std::unique_ptr<sim::Adversary> adv;
+    sim::NullAdversary null_adv;
+    if (task.make_adversary) adv = task.make_adversary();
+    results[i] = run_exploration(task.cfg, adv ? adv.get() : &null_adv);
+  });
   return results;
+}
+
+std::vector<SweepRun> run_sweep_traced(const std::vector<ScenarioTask>& tasks,
+                                       const SweepOptions& options) {
+  std::vector<SweepRun> runs(tasks.size());
+  if (tasks.empty()) return runs;
+
+  parallel_for(tasks.size(), resolve_threads(options), [&](std::size_t i) {
+    const ScenarioTask& task = tasks[i];
+    if (task.run_custom) {
+      runs[i].result = task.run_custom();
+      return;
+    }
+    std::unique_ptr<sim::Adversary> adv;
+    sim::NullAdversary null_adv;
+    if (task.make_adversary) adv = task.make_adversary();
+    ExplorationConfig cfg = task.cfg;
+    cfg.engine.record_trace = true;
+    auto engine = make_engine(cfg, adv ? adv.get() : &null_adv);
+    runs[i].result = engine->run(cfg.stop);
+    runs[i].trace = engine->take_trace();
+  });
+  return runs;
 }
 
 SweepReduction reduce_worst(const std::vector<sim::RunResult>& results) {

@@ -34,6 +34,11 @@ struct ScenarioTask {
   std::function<std::unique_ptr<sim::Adversary>()> make_adversary;
   /// The seed the factory closes over, recorded for reporting.
   std::uint64_t seed = 0;
+  /// Escape hatch for scenarios the declarative config cannot express
+  /// (hand-built engines, non-registry brains): when set, the worker calls
+  /// this instead of run_exploration(cfg, ...). Must be a pure function of
+  /// the task (thread-safe, deterministic); cfg/make_adversary are ignored.
+  std::function<sim::RunResult()> run_custom;
 };
 
 /// Sweep execution knobs.
@@ -54,6 +59,19 @@ std::uint64_t task_seed(std::uint64_t salt, std::size_t index);
 /// number of workers or their scheduling.
 std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
                                       const SweepOptions& options = {});
+
+/// A sweep result that also carries the recorded per-round trace.
+struct SweepRun {
+  sim::RunResult result;
+  std::vector<sim::RoundTrace> trace;
+};
+
+/// Like run_sweep, but each task's engine records its trace and the trace
+/// is returned alongside the result (cfg.engine.record_trace is forced on).
+/// For benches that post-process executions (figure reconstruction, offline
+/// replanning). Tasks with run_custom are executed but yield empty traces.
+std::vector<SweepRun> run_sweep_traced(const std::vector<ScenarioTask>& tasks,
+                                       const SweepOptions& options = {});
 
 /// Worst-case / aggregate fold over sweep results (task order).
 struct SweepReduction {

@@ -151,6 +151,9 @@ class Engine {
   bool explored() const { return visited_count_ == ring_.size(); }
   Round explored_round() const { return explored_round_; }
   const std::vector<RoundTrace>& trace() const { return trace_; }
+  /// Move the recorded trace out (for one-shot consumers that outlive the
+  /// engine, e.g. run_sweep_traced); the engine's copy is left empty.
+  std::vector<RoundTrace> take_trace() { return std::move(trace_); }
   const std::vector<std::string>& violations() const { return violations_; }
   bool premature_termination() const { return premature_termination_; }
   long long fairness_interventions() const { return fairness_interventions_; }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "adversary/basic_adversaries.hpp"
+#include "adversary/composed.hpp"
 #include "adversary/proof_adversaries.hpp"
 #include "core/runner.hpp"
 
@@ -235,6 +236,61 @@ TEST(SegmentSeal, AlternatesSealEdges) {
       EXPECT_TRUE(*rt.missing == 7 || *rt.missing == 11);
     }
   }
+}
+
+TEST(ComposedAdversary, CapabilityFlagsMirrorInstalledHooks) {
+  // Regression: the flags must be derived from the hooks that are actually
+  // installed, not inherited from the conservative base defaults — a
+  // hook-less composed adversary used to report observes_intents() == true
+  // and forced IntentRecord construction on the engine hot path.
+  ComposedAdversary none;
+  EXPECT_FALSE(none.observes_intents());
+  EXPECT_FALSE(none.reorders_contenders());
+
+  ComposedAdversary activation_only(
+      [](const sim::WorldView& v) {
+        return std::vector<bool>(static_cast<std::size_t>(v.num_agents()),
+                                 true);
+      });
+  EXPECT_FALSE(activation_only.observes_intents());
+  EXPECT_FALSE(activation_only.reorders_contenders());
+
+  ComposedAdversary edge_only(
+      nullptr, [](const sim::WorldView&,
+                  const std::vector<sim::IntentRecord>&)
+                   -> std::optional<EdgeId> { return std::nullopt; });
+  EXPECT_TRUE(edge_only.observes_intents());
+  EXPECT_FALSE(edge_only.reorders_contenders());
+
+  ComposedAdversary tie_only(
+      nullptr, nullptr,
+      [](const sim::WorldView&, PortRef, std::vector<AgentId>&) {});
+  EXPECT_FALSE(tie_only.observes_intents());
+  EXPECT_TRUE(tie_only.reorders_contenders());
+}
+
+TEST(ComposedAdversary, EdgeHookStillReceivesIntentRecords) {
+  // The observes_intents() == true path: an edge hook must keep seeing the
+  // fully-populated IntentRecord vector for the agents activated that
+  // round (the engine may only skip record construction when the flag says
+  // no hook reads them).
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 8);
+  cfg.stop.max_rounds = 5;
+  cfg.stop.stop_when_explored = false;
+  int rounds_with_records = 0;
+  ComposedAdversary adv(
+      nullptr,
+      [&](const sim::WorldView&,
+          const std::vector<sim::IntentRecord>& intents)
+          -> std::optional<EdgeId> {
+        if (!intents.empty()) ++rounds_with_records;
+        for (const sim::IntentRecord& record : intents)
+          EXPECT_GE(record.agent, 0);
+        return std::nullopt;
+      });
+  core::run_exploration(cfg, &adv);
+  EXPECT_EQ(rounds_with_records, 5);
 }
 
 }  // namespace

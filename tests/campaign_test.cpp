@@ -1,0 +1,309 @@
+// Tests for the campaign subsystem: the JSON utility, declarative
+// scenario specs (serialization, fingerprints, spec->engine translation),
+// campaign grid expansion (count, seed stability under grid growth),
+// thread-count invariance of the produced rows, the JSONL result store
+// (write -> read -> resume skips everything), and the store diff.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
+#include "util/json.hpp"
+
+namespace dring::core {
+namespace {
+
+// --- util::Json ----------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndStructure) {
+  const util::Json j = util::Json::parse(
+      R"({"a": 1, "b": -2.5, "c": "x\n\"y", "d": [true, false, null], )"
+      R"("big": 9007199254740993})");
+  EXPECT_EQ(j.at("a").as_int(), 1);
+  EXPECT_DOUBLE_EQ(j.at("b").as_double(), -2.5);
+  EXPECT_EQ(j.at("c").as_string(), "x\n\"y");
+  ASSERT_EQ(j.at("d").as_array().size(), 3u);
+  EXPECT_TRUE(j.at("d").as_array()[0].as_bool());
+  EXPECT_TRUE(j.at("d").as_array()[2].is_null());
+  // Integers beyond 2^53 survive exactly (doubles would round).
+  EXPECT_EQ(j.at("big").as_int(), 9007199254740993LL);
+}
+
+TEST(Json, DumpIsCanonicalAndRoundTrips) {
+  const std::string text =
+      R"({"z": 1, "a": {"k": [1, 2, {"q": "v"}]}, "m": "s"})";
+  const util::Json j = util::Json::parse(text);
+  const std::string dump = j.dump();
+  // Keys sorted, no whitespace.
+  EXPECT_EQ(dump, R"({"a":{"k":[1,2,{"q":"v"}]},"m":"s","z":1})");
+  EXPECT_EQ(util::Json::parse(dump).dump(), dump);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(util::Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("12 34"), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("tru"), std::invalid_argument);
+}
+
+// --- ScenarioSpec --------------------------------------------------------------
+
+ScenarioSpec sample_spec() {
+  ScenarioSpec spec;
+  spec.algorithm = "KnownNNoChirality";
+  spec.n = 10;
+  spec.num_agents = 4;
+  spec.adversary.family = "targeted-random";
+  spec.adversary.target_prob = 0.7;
+  spec.adversary.activation_prob = 1.0;
+  spec.adversary.t_interval = 3;
+  spec.seed = 0xdeadbeefcafef00dULL;
+  spec.max_rounds = 5000;
+  return spec;
+}
+
+TEST(ScenarioSpec, JsonRoundTripPreservesIdentity) {
+  const ScenarioSpec spec = sample_spec();
+  const ScenarioSpec back =
+      scenario_spec_from_json(util::Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(to_json(back).dump(), to_json(spec).dump());
+  EXPECT_EQ(fingerprint(back), fingerprint(spec));
+  EXPECT_EQ(back.seed, spec.seed);  // 64-bit seeds survive via hex strings
+}
+
+TEST(ScenarioSpec, FingerprintSeparatesEveryAxis) {
+  const ScenarioSpec base = sample_spec();
+  const std::uint64_t fp = fingerprint(base);
+
+  ScenarioSpec other = base;
+  other.n = 11;
+  EXPECT_NE(fingerprint(other), fp);
+  other = base;
+  other.num_agents = 5;
+  EXPECT_NE(fingerprint(other), fp);
+  other = base;
+  other.adversary.t_interval = 1;
+  EXPECT_NE(fingerprint(other), fp);
+  other = base;
+  other.seed ^= 1;
+  EXPECT_NE(fingerprint(other), fp);
+  other = base;
+  other.algorithm = "UnconsciousExploration";
+  EXPECT_NE(fingerprint(other), fp);
+}
+
+TEST(ScenarioSpec, BuildConfigDerivesManyAgentPlacements) {
+  const ScenarioSpec spec = sample_spec();
+  const ExplorationConfig cfg = build_config(spec);
+  EXPECT_EQ(cfg.num_agents, 4);
+  ASSERT_EQ(cfg.start_nodes.size(), 4u);
+  EXPECT_EQ(cfg.start_nodes, (std::vector<NodeId>{0, 2, 5, 7}));
+  ASSERT_EQ(cfg.orientations.size(), 4u);
+  EXPECT_EQ(cfg.stop.max_rounds, 5000);
+
+  ScenarioSpec bad = spec;
+  bad.algorithm = "NoSuchAlgorithm";
+  EXPECT_THROW(build_config(bad), std::invalid_argument);
+  bad = spec;
+  bad.model = "HYPERSYNC";
+  EXPECT_THROW(build_config(bad), std::invalid_argument);
+  bad = spec;
+  bad.adversary.family = "no-such-family";
+  EXPECT_THROW(make_adversary_factory(bad.adversary, 1)(),
+               std::invalid_argument);
+}
+
+// --- expansion -----------------------------------------------------------------
+
+CampaignSpec sample_campaign() {
+  CampaignSpec campaign;
+  campaign.name = "test";
+  campaign.algorithms = {"KnownNNoChirality", "UnconsciousExploration"};
+  campaign.sizes = {6, 8};
+  campaign.agent_counts = {0, 4};
+  AdversarySpec null_adv;
+  AdversarySpec targeted;
+  targeted.family = "targeted-random";
+  targeted.target_prob = 0.6;
+  campaign.adversaries = {null_adv, targeted};
+  campaign.t_intervals = {1, 4};
+  campaign.seeds_per_cell = 2;
+  campaign.salt = 99;
+  campaign.max_rounds = 4000;
+  return campaign;
+}
+
+TEST(CampaignExpand, CartesianProductCount) {
+  const std::vector<ScenarioSpec> specs = expand(sample_campaign());
+  EXPECT_EQ(specs.size(), 2u * 2 * 2 * 2 * 2 * 2);  // axes x seeds
+  // All fingerprints distinct.
+  std::unordered_set<std::uint64_t> fps;
+  for (const ScenarioSpec& spec : specs) fps.insert(fingerprint(spec));
+  EXPECT_EQ(fps.size(), specs.size());
+}
+
+TEST(CampaignExpand, GrowingAnAxisKeepsExistingCellIdentities) {
+  const CampaignSpec small = sample_campaign();
+  CampaignSpec grown = small;
+  grown.algorithms.push_back("ETUnconscious");
+  grown.sizes.push_back(11);
+  grown.t_intervals.push_back(8);
+
+  std::unordered_set<std::uint64_t> small_fps;
+  for (const ScenarioSpec& spec : expand(small))
+    small_fps.insert(fingerprint(spec));
+  std::unordered_set<std::uint64_t> grown_fps;
+  for (const ScenarioSpec& spec : expand(grown))
+    grown_fps.insert(fingerprint(spec));
+
+  // Every original cell (same salt, same coordinates) is still present
+  // with an identical fingerprint — the resume contract across commits.
+  for (const std::uint64_t fp : small_fps)
+    EXPECT_TRUE(grown_fps.count(fp)) << "cell identity changed under growth";
+}
+
+TEST(CampaignExpand, NoTAxisKeepsPerAdversaryTInterval) {
+  // Regression: without a t_intervals axis, an adversary's own t_interval
+  // must survive expansion (it used to be clobbered to the default 1).
+  CampaignSpec campaign;
+  campaign.algorithms = {"KnownNNoChirality"};
+  campaign.sizes = {6};
+  AdversarySpec wrapped;
+  wrapped.family = "targeted-random";
+  wrapped.t_interval = 4;
+  campaign.adversaries = {wrapped};
+  const std::vector<ScenarioSpec> specs = expand(campaign);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].adversary.t_interval, 4);
+
+  // A non-empty axis overrides the per-adversary value.
+  campaign.t_intervals = {2};
+  EXPECT_EQ(expand(campaign)[0].adversary.t_interval, 2);
+}
+
+TEST(CampaignExpand, JsonRoundTrip) {
+  const CampaignSpec campaign = sample_campaign();
+  const CampaignSpec back =
+      campaign_spec_from_json(util::Json::parse(to_json(campaign).dump()));
+  EXPECT_EQ(to_json(back).dump(), to_json(campaign).dump());
+  EXPECT_EQ(expand(back).size(), expand(campaign).size());
+}
+
+// --- execution -----------------------------------------------------------------
+
+CampaignSpec tiny_campaign() {
+  CampaignSpec campaign;
+  campaign.name = "tiny";
+  campaign.algorithms = {"KnownNNoChirality", "UnconsciousExploration"};
+  campaign.sizes = {5, 6};
+  AdversarySpec targeted;
+  targeted.family = "targeted-random";
+  targeted.target_prob = 0.5;
+  campaign.adversaries = {targeted};
+  campaign.t_intervals = {1, 3};
+  campaign.seeds_per_cell = 2;
+  campaign.salt = 7;
+  campaign.max_rounds = 3000;
+  return campaign;
+}
+
+std::vector<std::string> row_lines(const std::vector<CampaignRow>& rows) {
+  std::vector<std::string> lines;
+  for (const CampaignRow& row : rows) lines.push_back(row_line(row));
+  return lines;
+}
+
+TEST(CampaignRun, RowsIdenticalForAnyThreadCount) {
+  const std::vector<ScenarioSpec> specs = expand(tiny_campaign());
+  const auto serial = row_lines(run_scenarios(specs, 1));
+  for (const int threads : {2, 4, 8})
+    EXPECT_EQ(row_lines(run_scenarios(specs, threads)), serial)
+        << threads << " threads";
+}
+
+TEST(CampaignRun, StoreRoundTripAndResume) {
+  const std::string path =
+      testing::TempDir() + "campaign_store_test.jsonl";
+  std::remove(path.c_str());
+
+  const CampaignSpec campaign = tiny_campaign();
+  CampaignOptions options;
+  options.threads = 2;
+  options.out_path = path;
+
+  const CampaignReport first = run_campaign(campaign, options);
+  EXPECT_EQ(first.total, expand(campaign).size());
+  EXPECT_EQ(first.executed, first.total);
+  EXPECT_EQ(first.skipped, 0u);
+
+  // The store parses back to exactly the executed rows.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::vector<CampaignRow> stored = read_result_store(in);
+  ASSERT_EQ(stored.size(), first.rows.size());
+  for (std::size_t i = 0; i < stored.size(); ++i)
+    EXPECT_EQ(row_line(stored[i]), row_line(first.rows[i]));
+
+  // Resume: nothing to do, file untouched.
+  std::ifstream before(path);
+  std::stringstream before_bytes;
+  before_bytes << before.rdbuf();
+
+  options.resume = true;
+  const CampaignReport second = run_campaign(campaign, options);
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.skipped, first.total);
+
+  std::ifstream after(path);
+  std::stringstream after_bytes;
+  after_bytes << after.rdbuf();
+  EXPECT_EQ(after_bytes.str(), before_bytes.str());
+
+  // Growing the grid and resuming executes only the new cells.
+  CampaignSpec grown = campaign;
+  grown.sizes.push_back(7);
+  const CampaignReport third = run_campaign(grown, options);
+  EXPECT_EQ(third.skipped, first.total);
+  EXPECT_EQ(third.executed, expand(grown).size() - first.total);
+
+  std::remove(path.c_str());
+}
+
+TEST(CampaignRun, MalformedStoreLineReportsLineNumber) {
+  std::stringstream store("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
+                          "{\"algorithm\":\"KnownNNoChirality\",\"n\":6}}\n"
+                          "this is not json\n");
+  try {
+    read_result_store(store);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CampaignDiff, DetectsAddedRemovedAndChangedRows) {
+  const std::vector<ScenarioSpec> specs = expand(tiny_campaign());
+  std::vector<CampaignRow> a = run_scenarios(
+      std::vector<ScenarioSpec>(specs.begin(), specs.begin() + 4), 2);
+  std::vector<CampaignRow> b = run_scenarios(
+      std::vector<ScenarioSpec>(specs.begin() + 1, specs.begin() + 5), 2);
+  b[0].outcome.rounds += 1;  // simulate a cross-commit behaviour change
+
+  const StoreDiff diff = diff_result_stores(a, b);
+  EXPECT_EQ(diff.only_a.size(), 1u);
+  EXPECT_EQ(diff.only_b.size(), 1u);
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_EQ(diff.changed[0].first.fingerprint, b[0].fingerprint);
+  EXPECT_FALSE(diff.identical());
+
+  EXPECT_TRUE(diff_result_stores(a, a).identical());
+}
+
+}  // namespace
+}  // namespace dring::core

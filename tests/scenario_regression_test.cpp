@@ -236,6 +236,11 @@ constexpr GoldenExpectation kGoldenExpectations[] = {
      0xfe3d3faf8f32bf0dULL},
     {"ssync-et-segment-seal", 0x4e3a93e05668c526ULL, 0x9c8ed6c22c367502ULL},
     {"ssync-et-3agents-exactn", 0x21542aaecf417f55ULL, 0x5b2a33ed7849a67cULL},
+    {"spec-k4-unconscious-targeted", 0x82362d5399ef0f90ULL,
+     0x07bb0a2eac9a040bULL},
+    {"spec-k6-et-random", 0xd4104b859f6e22f4ULL, 0x477a2de603253ec7ULL},
+    {"spec-k4-tinterval3-targeted", 0xe3d938bcf159d2f2ULL,
+     0xe1fa332a01fcfe17ULL},
 };
 
 TEST(GoldenEquivalence, EngineReproducesPreRefactorRunsBitForBit) {

@@ -1,0 +1,180 @@
+// Tests for the T-interval-connectivity adversary decorator
+// (adversary/t_interval.hpp): T = 1 is an exact pass-through (pinned
+// against the golden digests), the interval invariant holds on traces for
+// T > 1, capability flags forward to the wrapped adversary, and exploration
+// gets monotonically easier as T grows.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/t_interval.hpp"
+#include "core/runner.hpp"
+#include "sim/trace_io.hpp"
+
+namespace dring::adversary {
+namespace {
+
+using algo::AlgorithmId;
+using core::default_config;
+using core::ExplorationConfig;
+
+struct Digests {
+  std::uint64_t trace;
+  std::uint64_t result;
+};
+
+Digests run_digests(ExplorationConfig cfg, sim::Adversary* adv) {
+  cfg.engine.record_trace = true;
+  auto engine = core::make_engine(cfg, adv);
+  const sim::RunResult r = engine->run(cfg.stop);
+  return {sim::trace_digest(engine->trace()), sim::result_digest(r)};
+}
+
+TEST(TInterval, TEqualsOneIsExactPassThrough) {
+  // The golden scenario "fsync-knownN-targeted"
+  // (src/core/golden_scenarios.hpp) with its adversary wrapped at T = 1
+  // must reproduce the digest recorded for the unwrapped run bit for bit.
+  ExplorationConfig cfg = default_config(AlgorithmId::KnownNNoChirality, 12);
+  cfg.stop.max_rounds = 400;
+
+  TIntervalAdversary wrapped(
+      1, std::make_unique<TargetedRandomAdversary>(0.6, 1.0, 101));
+  const Digests d = run_digests(cfg, &wrapped);
+  // The constants pinned in tests/scenario_regression_test.cpp.
+  EXPECT_EQ(d.trace, 0x7affa0518aed7468ULL);
+  EXPECT_EQ(d.result, 0x9c60e14c241c121aULL);
+}
+
+TEST(TInterval, TEqualsOneMatchesUnwrappedAcrossModels) {
+  // Pass-through equality on further shapes: SSYNC activation choices and
+  // probing adversaries must flow through the decorator unchanged.
+  struct Case {
+    AlgorithmId id;
+    NodeId n;
+    std::uint64_t seed;
+  };
+  for (const Case c : {Case{AlgorithmId::UnconsciousExploration, 10, 11},
+                       Case{AlgorithmId::PTBoundWithChirality, 8, 22},
+                       Case{AlgorithmId::ETUnconscious, 8, 33}}) {
+    ExplorationConfig cfg = default_config(c.id, c.n);
+    cfg.stop.max_rounds = 5000;
+
+    TargetedRandomAdversary plain(0.6, 0.7, c.seed);
+    const Digests a = run_digests(cfg, &plain);
+
+    TIntervalAdversary wrapped(
+        1, std::make_unique<TargetedRandomAdversary>(0.6, 0.7, c.seed));
+    const Digests b = run_digests(cfg, &wrapped);
+
+    EXPECT_EQ(a.trace, b.trace) << "algorithm " << static_cast<int>(c.id);
+    EXPECT_EQ(a.result, b.result) << "algorithm " << static_cast<int>(c.id);
+  }
+}
+
+TEST(TInterval, TraceSatisfiesIntervalInvariant) {
+  // Characterisation on the ring: two rounds missing *different* edges must
+  // be at least T apart (otherwise some window of T rounds has no stable
+  // connected spanning subgraph).
+  for (const Round t : {2, 3, 5}) {
+    ExplorationConfig cfg =
+        default_config(AlgorithmId::UnconsciousExploration, 10);
+    cfg.engine.record_trace = true;
+    cfg.stop.max_rounds = 400;
+    cfg.stop.stop_when_explored = false;
+    TIntervalAdversary adv(
+        t, std::make_unique<TargetedRandomAdversary>(0.8, 1.0, 77));
+    auto engine = core::make_engine(cfg, &adv);
+    engine->run(cfg.stop);
+
+    Round last_round = -1;
+    EdgeId last_edge = kNoEdge;
+    int removals = 0;
+    for (const sim::RoundTrace& rt : engine->trace()) {
+      if (!rt.missing) continue;
+      ++removals;
+      if (last_edge != kNoEdge && *rt.missing != last_edge)
+        EXPECT_GE(rt.round - last_round, t)
+            << "switched " << last_edge << "->" << *rt.missing << " at round "
+            << rt.round;
+      last_edge = *rt.missing;
+      last_round = rt.round;
+    }
+    // The hostile child keeps requesting removals, so the run must both
+    // remove edges and hit the interval guard.
+    EXPECT_GT(removals, 0) << "T=" << t;
+    EXPECT_GT(adv.vetoes(), 0) << "T=" << t;
+  }
+}
+
+TEST(TInterval, CooldownScheduleIsExact) {
+  // Scripted child: edge 1 on rounds 1-2, edge 2 from round 3 on.  With
+  // T = 3 the switch is legal only once the last edge-1 round is 3 rounds
+  // in the past: expect 1, 1, none, none, 2, 2, ...
+  ExplorationConfig cfg =
+      default_config(AlgorithmId::UnconsciousExploration, 8);
+  cfg.engine.record_trace = true;
+  cfg.stop.max_rounds = 7;
+  cfg.stop.stop_when_explored = false;
+  TIntervalAdversary adv(
+      3, std::make_unique<ScriptedEdgeAdversary>(
+             [](Round r) -> std::optional<EdgeId> { return r <= 2 ? 1 : 2; }));
+  auto engine = core::make_engine(cfg, &adv);
+  engine->run(cfg.stop);
+
+  const auto& trace = engine->trace();
+  ASSERT_EQ(trace.size(), 7u);
+  EXPECT_EQ(trace[0].missing, std::optional<EdgeId>(1));
+  EXPECT_EQ(trace[1].missing, std::optional<EdgeId>(1));
+  EXPECT_FALSE(trace[2].missing.has_value());  // round 3: gap 1 < 3
+  EXPECT_FALSE(trace[3].missing.has_value());  // round 4: gap 2 < 3
+  EXPECT_EQ(trace[4].missing, std::optional<EdgeId>(2));  // round 5: gap 3
+  EXPECT_EQ(trace[5].missing, std::optional<EdgeId>(2));
+  EXPECT_EQ(adv.vetoes(), 2);
+}
+
+TEST(TInterval, ForwardsCapabilityFlags) {
+  // TargetedRandom reads intents (base default) but never reorders.
+  TIntervalAdversary a(
+      4, std::make_unique<TargetedRandomAdversary>(0.5, 1.0, 1));
+  EXPECT_TRUE(a.observes_intents());
+  EXPECT_FALSE(a.reorders_contenders());
+
+  // FixedEdge advertises that it reads neither.
+  TIntervalAdversary b(4, std::make_unique<FixedEdgeAdversary>(2));
+  EXPECT_FALSE(b.observes_intents());
+  EXPECT_FALSE(b.reorders_contenders());
+
+  // No inner adversary: benign defaults.
+  TIntervalAdversary c(4, nullptr);
+  EXPECT_FALSE(c.observes_intents());
+  EXPECT_FALSE(c.reorders_contenders());
+
+  EXPECT_THROW(TIntervalAdversary(0, nullptr), std::invalid_argument);
+}
+
+TEST(TInterval, ExplorationRoundsNonIncreasingInT) {
+  // The model axis the campaign sweeps: a larger T throttles the adversary
+  // (more vetoed removals), so exploration can only get easier.  Pinned
+  // empirically on a fixed seed set, per seed, for the doubling ladder.
+  for (const std::uint64_t seed : {5ULL, 6ULL, 7ULL, 8ULL, 9ULL}) {
+    Round previous = -1;
+    for (const Round t : {1, 2, 4, 8}) {
+      ExplorationConfig cfg =
+          default_config(AlgorithmId::UnconsciousExploration, 12);
+      cfg.stop.max_rounds = 100'000;
+      TIntervalAdversary adv(
+          t, std::make_unique<TargetedRandomAdversary>(0.8, 1.0, seed));
+      const sim::RunResult r = core::run_exploration(cfg, &adv);
+      ASSERT_TRUE(r.explored) << "seed " << seed << " T=" << t;
+      if (previous >= 0)
+        EXPECT_LE(r.explored_round, previous)
+            << "seed " << seed << " T=" << t;
+      previous = r.explored_round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dring::adversary

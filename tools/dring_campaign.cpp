@@ -1,0 +1,143 @@
+// Campaign driver: expand a declarative campaign spec, run it on the
+// worker pool, and append one JSON line per scenario to the result store.
+//
+//   dring_campaign --spec examples/campaign_smoke.json \
+//       [--out results.jsonl] [--threads N] [--resume] [--dry-run]
+//   dring_campaign --diff old.jsonl new.jsonl
+//
+// The store is canonical JSONL: bytes are identical for any --threads
+// value, re-running with --resume executes only scenarios whose
+// fingerprint is not yet stored, and --diff compares two stores row by
+// row (the cross-commit regression workflow).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dring;
+
+int run_diff(const std::vector<std::string>& paths) {
+  if (paths.size() != 2) {
+    std::cerr << "--diff needs exactly two store paths\n";
+    return 2;
+  }
+  std::vector<std::vector<core::CampaignRow>> stores;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    stores.push_back(core::read_result_store(in));
+  }
+  const core::StoreDiff diff =
+      core::diff_result_stores(stores[0], stores[1]);
+  std::cout << "only in " << paths[0] << ": " << diff.only_a.size()
+            << "\nonly in " << paths[1] << ": " << diff.only_b.size()
+            << "\nchanged outcomes: " << diff.changed.size() << "\n";
+  for (const auto& [a, b] : diff.changed) {
+    std::cout << "  " << core::to_json(a).at("spec").dump() << "\n    - "
+              << core::to_json(a).at("result").dump() << "\n    + "
+              << core::to_json(b).at("result").dump() << "\n";
+  }
+  return diff.identical() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  if (cli.has("diff")) {
+    // `--diff a.jsonl b.jsonl`: the two stores arrive as the flag value
+    // (when written `--diff=a.jsonl`) and/or positionals.
+    std::vector<std::string> paths;
+    const std::string value = cli.get("diff", "");
+    if (!value.empty() && value != "true" && value != "1")
+      paths.push_back(value);
+    for (const std::string& p : cli.positional()) paths.push_back(p);
+    return run_diff(paths);
+  }
+
+  const std::string spec_path = cli.get("spec", "");
+  if (spec_path.empty()) {
+    std::cerr << "usage: dring_campaign --spec campaign.json [--out s.jsonl]"
+                 " [--threads N] [--resume] [--dry-run]\n"
+                 "       dring_campaign --diff old.jsonl new.jsonl\n";
+    return 2;
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::cerr << "cannot open spec: " << spec_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  core::CampaignSpec campaign;
+  try {
+    campaign = core::campaign_spec_from_json(util::Json::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    std::cerr << spec_path << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  core::CampaignOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads", 0));
+  options.out_path = cli.get("out", "");
+  options.resume = cli.get_bool("resume", false);
+
+  if (cli.get_bool("dry-run", false)) {
+    const auto specs = core::expand(campaign);
+    std::cout << "campaign '" << campaign.name << "': " << specs.size()
+              << " scenarios\n";
+    for (const auto& spec : specs)
+      std::cout << core::to_json(spec).dump() << "\n";
+    return 0;
+  }
+
+  core::CampaignReport report;
+  try {
+    report = core::run_campaign(campaign, options);
+  } catch (const std::exception& e) {
+    std::cerr << "campaign failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "campaign '" << campaign.name << "': " << report.total
+            << " scenarios, " << report.executed << " executed, "
+            << report.skipped << " resumed from "
+            << (options.out_path.empty() ? "(no store)" : options.out_path)
+            << "\n";
+
+  // Console summary of the rows executed in this invocation.
+  if (!report.rows.empty()) {
+    int explored = 0, premature = 0, violations = 0;
+    Round worst_rounds = 0;
+    std::string worst_spec;
+    for (const core::CampaignRow& row : report.rows) {
+      if (row.outcome.explored) ++explored;
+      if (row.outcome.premature_termination) ++premature;
+      violations += row.outcome.violations;
+      if (row.outcome.rounds > worst_rounds) {
+        worst_rounds = row.outcome.rounds;
+        worst_spec = core::to_json(row.spec).dump();
+      }
+    }
+    util::Table t({"executed", "explored", "premature", "violations",
+                   "worst rounds"});
+    t.add_row({std::to_string(report.rows.size()), std::to_string(explored),
+               std::to_string(premature), std::to_string(violations),
+               std::to_string(worst_rounds)});
+    t.print(std::cout);
+    if (!worst_spec.empty())
+      std::cout << "worst-case scenario: " << worst_spec << "\n";
+  }
+  return 0;
+}
