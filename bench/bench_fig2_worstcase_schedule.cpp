@@ -10,12 +10,16 @@
 //                         around at exactly r3 = 3n-6.
 //
 // The bench prints the three milestone rounds for a sweep of n and checks
-// the measured exploration round against 3n-6.
+// the measured exploration round against 3n-6.  The per-n scenarios run
+// on the worker pool (--threads=N); rows are emitted in task order, so the
+// output is byte-identical for any thread count.
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "adversary/proof_adversaries.hpp"
 #include "core/runner.hpp"
+#include "core/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +29,8 @@ using namespace dring;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  core::SweepOptions pool;
+  pool.threads = static_cast<int>(cli.get_int("threads", 0));
   std::cout << "=== Figure 2: worst-case schedule for KnownNNoChirality "
                "(Theorem 3 tightness) ===\n\n";
 
@@ -32,18 +38,31 @@ int main(int argc, char** argv) {
                      "explored round (measured)", "termination round",
                      "match"});
 
-  bool all_match = true;
+  std::vector<core::ScenarioTask> tasks;
+  std::vector<NodeId> sizes;
   for (NodeId n : std::vector<NodeId>{6, 8, 10, 13, 16, 24, 32, 48, 64}) {
     if (cli.has("max-n") && n > cli.get_int("max-n", 64)) continue;
     const NodeId i = 2;
-    core::ExplorationConfig cfg =
-        core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-    cfg.start_nodes = {i, static_cast<NodeId>(i + 1)};
-    cfg.orientations = {agent::kChiralOrientation, agent::kChiralOrientation};
-    cfg.stop.max_rounds = 10 * n;
-    adversary::ScriptedEdgeAdversary adv(adversary::make_fig2_script(n, i),
-                                         "fig2");
-    const sim::RunResult r = core::run_exploration(cfg, &adv);
+    core::ScenarioTask task;
+    task.cfg = core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
+    task.cfg.start_nodes = {i, static_cast<NodeId>(i + 1)};
+    task.cfg.orientations = {agent::kChiralOrientation,
+                             agent::kChiralOrientation};
+    task.cfg.stop.max_rounds = 10 * n;
+    task.make_adversary = [n, i]() -> std::unique_ptr<sim::Adversary> {
+      return std::make_unique<adversary::ScriptedEdgeAdversary>(
+          adversary::make_fig2_script(n, i), "fig2");
+    };
+    tasks.push_back(std::move(task));
+    sizes.push_back(n);
+  }
+
+  const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
+
+  bool all_match = true;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    const NodeId n = sizes[t];
+    const sim::RunResult& r = results[t];
     const bool match = r.explored && r.explored_round == 3 * n - 6 &&
                        !r.premature_termination;
     all_match = all_match && match;

@@ -1,0 +1,513 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+namespace dring::core {
+
+namespace {
+
+std::string fmt(const char* spec, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, value);
+  return buf;
+}
+
+std::string fmt_rate(double value) { return fmt("%.4f", value); }
+std::string fmt_stat(double value) { return fmt("%.6g", value); }
+
+}  // namespace
+
+// --- loading ---------------------------------------------------------------
+
+std::vector<CampaignRow> load_result_stores(
+    const std::vector<std::string>& paths) {
+  std::vector<std::vector<CampaignRow>> stores;
+  stores.reserve(paths.size());
+  for (const std::string& path : paths)
+    stores.push_back(read_result_store_file(path));
+  StoreMerge merge = merge_result_stores(stores);
+  if (!merge.ok())
+    throw std::runtime_error(
+        "stores disagree on " + std::to_string(merge.conflicts.size()) +
+        " fingerprint(s), first " +
+        hex_u64(merge.conflicts.front().first.fingerprint) +
+        " — refusing to analyze conflicting data");
+  return std::move(merge.rows);
+}
+
+// --- axes ------------------------------------------------------------------
+
+const std::vector<std::string>& analysis_axes() {
+  static const std::vector<std::string> axes = {
+      "algorithm",  "n",          "agents",      "adversary",
+      "t_interval", "model",      "max_rounds",  "remove_prob",
+      "target_prob", "activation_prob"};
+  return axes;
+}
+
+std::string canonical_axis(const std::string& key) {
+  if (key == "k") return "agents";
+  if (key == "family") return "adversary";
+  if (key == "T" || key == "t") return "t_interval";
+  for (const std::string& axis : analysis_axes())
+    if (key == axis) return axis;
+  std::string valid;
+  for (const std::string& axis : analysis_axes())
+    valid += (valid.empty() ? "" : ", ") + axis;
+  throw std::invalid_argument("unknown axis '" + key + "' (valid: " + valid +
+                              ")");
+}
+
+bool axis_is_numeric(const std::string& axis) {
+  return axis != "algorithm" && axis != "adversary" && axis != "model";
+}
+
+std::string axis_value(const CampaignRow& row, const std::string& axis) {
+  const ScenarioSpec& s = row.spec;
+  if (axis == "algorithm") return s.algorithm;
+  if (axis == "adversary") return s.adversary.family;
+  if (axis == "model") return s.model.empty() ? "native" : s.model;
+  if (axis == "n") return std::to_string(s.n);
+  if (axis == "agents") return std::to_string(s.num_agents);
+  if (axis == "t_interval") return std::to_string(s.adversary.t_interval);
+  if (axis == "max_rounds") return std::to_string(s.max_rounds);
+  if (axis == "remove_prob") return fmt_axis(s.adversary.remove_prob);
+  if (axis == "target_prob") return fmt_axis(s.adversary.target_prob);
+  if (axis == "activation_prob")
+    return fmt_axis(s.adversary.activation_prob);
+  throw std::invalid_argument("unknown axis '" + axis + "'");
+}
+
+double axis_number(const CampaignRow& row, const std::string& axis) {
+  const ScenarioSpec& s = row.spec;
+  if (axis == "n") return static_cast<double>(s.n);
+  if (axis == "agents") return static_cast<double>(s.num_agents);
+  if (axis == "t_interval") return static_cast<double>(s.adversary.t_interval);
+  if (axis == "max_rounds") return static_cast<double>(s.max_rounds);
+  if (axis == "remove_prob") return s.adversary.remove_prob;
+  if (axis == "target_prob") return s.adversary.target_prob;
+  if (axis == "activation_prob") return s.adversary.activation_prob;
+  throw std::invalid_argument("axis '" + axis + "' is not numeric");
+}
+
+std::string fmt_axis(double value) { return fmt_stat(value); }
+
+// --- aggregation -----------------------------------------------------------
+
+Metric metric_from_string(const std::string& name) {
+  if (name == "explored_round") return Metric::ExploredRound;
+  if (name == "rounds") return Metric::Rounds;
+  if (name == "moves") return Metric::Moves;
+  throw std::invalid_argument(
+      "unknown metric '" + name +
+      "' (valid: explored_round, rounds, moves)");
+}
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::ExploredRound: return "explored_round";
+    case Metric::Rounds: return "rounds";
+    case Metric::Moves: return "moves";
+  }
+  return "?";
+}
+
+bool row_success(const CampaignRow& row) {
+  return row.outcome.explored && !row.outcome.premature_termination;
+}
+
+std::optional<double> metric_sample(const CampaignRow& row, Metric metric) {
+  switch (metric) {
+    case Metric::ExploredRound:
+      if (!row_success(row)) return std::nullopt;
+      return static_cast<double>(row.outcome.explored_round);
+    case Metric::Rounds:
+      return static_cast<double>(row.outcome.rounds);
+    case Metric::Moves:
+      return static_cast<double>(row.outcome.total_moves);
+  }
+  return std::nullopt;
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty())
+    throw std::invalid_argument("quantile of an empty sample");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+namespace {
+
+/// Numeric-aware comparison of two group keys (component-wise; numeric
+/// components compare by value, string components lexically).
+bool key_less(const std::vector<std::string>& a,
+              const std::vector<std::string>& b,
+              const std::vector<bool>& numeric) {
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    if (numeric[i]) {
+      const double x = std::strtod(a[i].c_str(), nullptr);
+      const double y = std::strtod(b[i].c_str(), nullptr);
+      if (x != y) return x < y;
+    }
+    return a[i] < b[i];
+  }
+  return a.size() < b.size();
+}
+
+Aggregate fold_group(const std::vector<const CampaignRow*>& rows,
+                     Metric metric) {
+  Aggregate agg;
+  std::vector<double> samples;
+  for (const CampaignRow* row : rows) {
+    agg.runs += 1;
+    if (row_success(*row)) agg.successes += 1;
+    if (row->outcome.premature_termination) agg.premature += 1;
+    agg.violations += row->outcome.violations;
+    if (const std::optional<double> s = metric_sample(*row, metric))
+      samples.push_back(*s);
+  }
+  agg.samples = static_cast<int>(samples.size());
+  if (samples.empty()) return agg;
+  std::sort(samples.begin(), samples.end());
+  agg.min = samples.front();
+  agg.max = samples.back();
+  double sum = 0;
+  for (const double s : samples) sum += s;
+  agg.mean = sum / static_cast<double>(samples.size());
+  agg.median = quantile(samples, 0.5);
+  agg.p95 = quantile(samples, 0.95);
+  double var = 0;
+  for (const double s : samples) var += (s - agg.mean) * (s - agg.mean);
+  agg.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+  return agg;
+}
+
+/// Group rows by their rendered key values; returns (key, member rows)
+/// pairs sorted numeric-aware.
+std::vector<std::pair<std::vector<std::string>,
+                      std::vector<const CampaignRow*>>>
+group_by(const std::vector<CampaignRow>& rows,
+         const std::vector<std::string>& axes) {
+  std::map<std::vector<std::string>, std::vector<const CampaignRow*>> groups;
+  for (const CampaignRow& row : rows) {
+    std::vector<std::string> key;
+    key.reserve(axes.size());
+    for (const std::string& axis : axes) key.push_back(axis_value(row, axis));
+    groups[std::move(key)].push_back(&row);
+  }
+  std::vector<bool> numeric;
+  numeric.reserve(axes.size());
+  for (const std::string& axis : axes) numeric.push_back(axis_is_numeric(axis));
+  std::vector<std::pair<std::vector<std::string>,
+                        std::vector<const CampaignRow*>>>
+      ordered(groups.begin(), groups.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [&numeric](const auto& a, const auto& b) {
+              return key_less(a.first, b.first, numeric);
+            });
+  return ordered;
+}
+
+std::vector<std::string> canonicalize(const std::vector<std::string>& keys) {
+  std::vector<std::string> canon;
+  canon.reserve(keys.size());
+  for (const std::string& key : keys) canon.push_back(canonical_axis(key));
+  return canon;
+}
+
+}  // namespace
+
+std::vector<GroupRow> aggregate_rows(const std::vector<CampaignRow>& rows,
+                                     const std::vector<std::string>& group_keys,
+                                     Metric metric) {
+  const std::vector<std::string> axes = canonicalize(group_keys);
+  std::vector<GroupRow> result;
+  for (auto& [key, members] : group_by(rows, axes))
+    result.push_back({std::move(key), fold_group(members, metric)});
+  return result;
+}
+
+// --- frontier --------------------------------------------------------------
+
+std::vector<FrontierGroup> detect_frontier(
+    const std::vector<CampaignRow>& rows,
+    const std::vector<std::string>& group_keys, const std::string& axis,
+    double threshold) {
+  const std::vector<std::string> axes = canonicalize(group_keys);
+  const std::string scan = canonical_axis(axis);
+  if (!axis_is_numeric(scan))
+    throw std::invalid_argument("frontier axis '" + scan +
+                                "' is not numeric");
+  for (const std::string& key : axes)
+    if (key == scan)
+      throw std::invalid_argument("frontier axis '" + scan +
+                                  "' cannot also be a group key");
+
+  std::vector<FrontierGroup> result;
+  for (auto& [key, members] : group_by(rows, axes)) {
+    FrontierGroup group;
+    group.key = std::move(key);
+
+    struct Bucket {
+      int runs = 0;
+      int successes = 0;
+    };
+    std::map<double, Bucket> buckets;
+    for (const CampaignRow* row : members) {
+      Bucket& b = buckets[axis_number(*row, scan)];
+      b.runs += 1;
+      if (row_success(*row)) b.successes += 1;
+    }
+    for (const auto& [value, bucket] : buckets)
+      group.curve.push_back(
+          {value, bucket.runs,
+           static_cast<double>(bucket.successes) / bucket.runs});
+
+    for (std::size_t i = 1; i < group.curve.size(); ++i) {
+      const FrontierPoint& lo = group.curve[i - 1];
+      const FrontierPoint& hi = group.curve[i];
+      const bool lo_ok = lo.rate >= threshold;
+      const bool hi_ok = hi.rate >= threshold;
+      if (lo_ok != hi_ok)
+        group.crossings.push_back(
+            {lo.axis, hi.axis, lo.rate, hi.rate, /*falling=*/lo_ok});
+    }
+    result.push_back(std::move(group));
+  }
+  return result;
+}
+
+// --- rendering -------------------------------------------------------------
+
+ReportFormat report_format_from_string(const std::string& name) {
+  if (name == "md" || name == "markdown") return ReportFormat::Markdown;
+  if (name == "csv") return ReportFormat::Csv;
+  if (name == "json") return ReportFormat::Json;
+  throw std::invalid_argument("unknown format '" + name +
+                              "' (valid: md, csv, json)");
+}
+
+namespace {
+
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string join_line(const std::vector<std::string>& cells,
+                      ReportFormat format) {
+  std::string line;
+  if (format == ReportFormat::Markdown) {
+    line = "|";
+    for (const std::string& cell : cells) line += " " + cell + " |";
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) line += ',';
+      line += csv_cell(cells[i]);
+    }
+  }
+  return line + "\n";
+}
+
+std::string md_separator(std::size_t columns) {
+  std::string line = "|";
+  for (std::size_t i = 0; i < columns; ++i) line += "---|";
+  return line + "\n";
+}
+
+std::string crossing_text(const FrontierCrossing& c) {
+  return fmt_axis(c.axis_before) + "->" + fmt_axis(c.axis_after) + " (" +
+         fmt_rate(c.rate_before) + "->" + fmt_rate(c.rate_after) +
+         (c.falling ? ", falling)" : ", rising)");
+}
+
+}  // namespace
+
+std::string render_aggregate_report(const std::vector<GroupRow>& groups,
+                                    const std::vector<std::string>& group_keys,
+                                    Metric metric, ReportFormat format) {
+  const std::vector<std::string> stat_columns = {
+      "runs", "ok", "rate", "samples", "min", "mean", "median",
+      "p95",  "max", "sd"};
+
+  if (format == ReportFormat::Json) {
+    util::Json::Array out;
+    for (const GroupRow& group : groups) {
+      util::Json j;
+      util::Json key;
+      for (std::size_t i = 0; i < group_keys.size(); ++i)
+        key.set(group_keys[i], group.key[i]);
+      j.set("key", key.is_null() ? util::Json(util::Json::Object{}) : key);
+      j.set("runs", static_cast<long long>(group.agg.runs));
+      j.set("ok", static_cast<long long>(group.agg.successes));
+      j.set("premature", static_cast<long long>(group.agg.premature));
+      j.set("violations", static_cast<long long>(group.agg.violations));
+      j.set("rate", group.agg.success_rate());
+      j.set("samples", static_cast<long long>(group.agg.samples));
+      if (group.agg.samples > 0) {
+        j.set("min", group.agg.min);
+        j.set("mean", group.agg.mean);
+        j.set("median", group.agg.median);
+        j.set("p95", group.agg.p95);
+        j.set("max", group.agg.max);
+        j.set("sd", group.agg.stddev);
+      }
+      out.push_back(std::move(j));
+    }
+    util::Json doc;
+    doc.set("group_by", [&] {
+      util::Json::Array keys;
+      for (const std::string& key : group_keys) keys.emplace_back(key);
+      return util::Json(std::move(keys));
+    }());
+    doc.set("metric", to_string(metric));
+    doc.set("groups", util::Json(std::move(out)));
+    return doc.dump() + "\n";
+  }
+
+  std::string out;
+  std::vector<std::string> header = group_keys;
+  header.insert(header.end(), stat_columns.begin(), stat_columns.end());
+  if (format == ReportFormat::Markdown) {
+    out += "Metric: " + to_string(metric) +
+           "; ok = explored && !premature; sd = population stddev.\n\n";
+    out += join_line(header, format);
+    out += md_separator(header.size());
+  } else {
+    out += join_line(header, format);
+  }
+  for (const GroupRow& group : groups) {
+    std::vector<std::string> cells = group.key;
+    cells.push_back(std::to_string(group.agg.runs));
+    cells.push_back(std::to_string(group.agg.successes));
+    cells.push_back(fmt_rate(group.agg.success_rate()));
+    cells.push_back(std::to_string(group.agg.samples));
+    if (group.agg.samples > 0) {
+      cells.push_back(fmt_stat(group.agg.min));
+      cells.push_back(fmt_stat(group.agg.mean));
+      cells.push_back(fmt_stat(group.agg.median));
+      cells.push_back(fmt_stat(group.agg.p95));
+      cells.push_back(fmt_stat(group.agg.max));
+      cells.push_back(fmt_stat(group.agg.stddev));
+    } else {
+      for (int i = 0; i < 6; ++i) cells.push_back("-");
+    }
+    out += join_line(cells, format);
+  }
+  return out;
+}
+
+std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
+                                   const std::vector<std::string>& group_keys,
+                                   const std::string& axis, double threshold,
+                                   ReportFormat format) {
+  if (format == ReportFormat::Json) {
+    util::Json::Array out;
+    for (const FrontierGroup& group : groups) {
+      util::Json j;
+      util::Json key;
+      for (std::size_t i = 0; i < group_keys.size(); ++i)
+        key.set(group_keys[i], group.key[i]);
+      j.set("key", key.is_null() ? util::Json(util::Json::Object{}) : key);
+      util::Json::Array curve;
+      for (const FrontierPoint& p : group.curve) {
+        util::Json point;
+        point.set("axis", p.axis);
+        point.set("runs", static_cast<long long>(p.runs));
+        point.set("rate", p.rate);
+        curve.push_back(std::move(point));
+      }
+      j.set("curve", util::Json(std::move(curve)));
+      util::Json::Array crossings;
+      for (const FrontierCrossing& c : group.crossings) {
+        util::Json crossing;
+        crossing.set("axis_before", c.axis_before);
+        crossing.set("axis_after", c.axis_after);
+        crossing.set("rate_before", c.rate_before);
+        crossing.set("rate_after", c.rate_after);
+        crossing.set("falling", c.falling);
+        crossings.push_back(std::move(crossing));
+      }
+      j.set("crossings", util::Json(std::move(crossings)));
+      out.push_back(std::move(j));
+    }
+    util::Json doc;
+    doc.set("axis", axis);
+    doc.set("threshold", threshold);
+    doc.set("group_by", [&] {
+      util::Json::Array keys;
+      for (const std::string& key : group_keys) keys.emplace_back(key);
+      return util::Json(std::move(keys));
+    }());
+    doc.set("groups", util::Json(std::move(out)));
+    return doc.dump() + "\n";
+  }
+
+  std::string out;
+  if (format == ReportFormat::Markdown) {
+    out += "Frontier: axis " + axis + ", threshold " + fmt_rate(threshold) +
+           "; rate = explored && !premature.\n\n";
+    std::vector<std::string> header = group_keys;
+    header.push_back("curve (" + axis + ":rate)");
+    header.push_back("frontier");
+    out += join_line(header, format);
+    out += md_separator(header.size());
+    for (const FrontierGroup& group : groups) {
+      std::vector<std::string> cells = group.key;
+      std::string curve;
+      for (const FrontierPoint& p : group.curve) {
+        if (!curve.empty()) curve += ' ';
+        curve += fmt_axis(p.axis) + ":" + fmt_rate(p.rate);
+      }
+      cells.push_back(curve.empty() ? "-" : curve);
+      std::string frontier;
+      for (const FrontierCrossing& c : group.crossings) {
+        if (!frontier.empty()) frontier += "; ";
+        frontier += crossing_text(c);
+      }
+      cells.push_back(frontier.empty() ? "none" : frontier);
+      out += join_line(cells, format);
+    }
+    return out;
+  }
+
+  // CSV: one row per curve point, with the crossing annotated on the
+  // point *after* the threshold was crossed (plot-ready).
+  std::vector<std::string> header = group_keys;
+  header.push_back(axis);
+  header.push_back("runs");
+  header.push_back("rate");
+  header.push_back("crossing");
+  out += join_line(header, format);
+  for (const FrontierGroup& group : groups) {
+    for (const FrontierPoint& p : group.curve) {
+      std::vector<std::string> cells = group.key;
+      cells.push_back(fmt_axis(p.axis));
+      cells.push_back(std::to_string(p.runs));
+      cells.push_back(fmt_rate(p.rate));
+      std::string crossing;
+      for (const FrontierCrossing& c : group.crossings)
+        if (c.axis_after == p.axis)
+          crossing = c.falling ? "falling" : "rising";
+      cells.push_back(crossing);
+      out += join_line(cells, format);
+    }
+  }
+  return out;
+}
+
+}  // namespace dring::core

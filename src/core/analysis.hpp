@@ -1,0 +1,186 @@
+// Campaign analytics: turn JSONL result stores back into tables,
+// frontiers and phase-transition curves.
+//
+// The paper's results are frontier statements — which (n, k, knowledge,
+// model) cells are explorable and at what round cost.  The campaign
+// subsystem (core/campaign.hpp) mass-produces per-cell rows; this module
+// is the query side:
+//
+//   * load one or more stores into a typed row set (union by fingerprint,
+//     conflicting payloads rejected);
+//   * group rows by any subset of the scenario axes and aggregate —
+//     success rate, metric distribution (min/mean/median/p95/max),
+//     per-seed dispersion (population stddev);
+//   * scan any numeric axis inside each group for the frontier cell where
+//     the success rate crosses a threshold — the generalization of
+//     core/feasibility_map's hand-rolled sweep to a query over any
+//     campaign store.
+//
+// Everything downstream of the row set is deterministic: groups are
+// sorted numeric-aware, numbers are rendered with fixed formats, so the
+// rendered reports are byte-stable — suitable for committing next to a
+// spec and diffing across commits (tools/dring_report).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace dring::core {
+
+// --- loading ---------------------------------------------------------------
+
+/// Read and union several stores (merge_result_stores semantics: identical
+/// duplicate rows collapse, conflicting payloads for one fingerprint throw
+/// std::runtime_error naming the fingerprint).  Rows come back in
+/// canonical store order.
+std::vector<CampaignRow> load_result_stores(
+    const std::vector<std::string>& paths);
+
+// --- axes ------------------------------------------------------------------
+
+/// The queryable scenario axes.  Numeric axes can be frontier-scanned:
+///
+///   algorithm        registry name                        (string)
+///   n                ring size                            (numeric)
+///   agents           team size k, 0 = theorem's count     (numeric)
+///   adversary        adversary family name                (string)
+///   t_interval       T-interval-connectivity parameter    (numeric)
+///   model            synchrony override, "native" if none (string)
+///   max_rounds       round budget, 0 = default            (numeric)
+///   remove_prob      "random" removal probability         (numeric)
+///   target_prob      "targeted-random" probability        (numeric)
+///   activation_prob  SSYNC activation probability         (numeric)
+///
+/// Aliases accepted on input: k = agents, family = adversary,
+/// T = t = t_interval.
+const std::vector<std::string>& analysis_axes();
+
+/// Resolve aliases to the canonical axis name; throws std::invalid_argument
+/// for an unknown key (the message lists the valid axes).
+std::string canonical_axis(const std::string& key);
+
+/// Whether the (canonical) axis carries numeric values.
+bool axis_is_numeric(const std::string& axis);
+
+/// The row's value on a canonical axis, as a display/grouping string.
+/// Numeric axes render via fmt_axis (doubles "%.6g", integers exact).
+std::string axis_value(const CampaignRow& row, const std::string& axis);
+
+/// The row's value on a numeric canonical axis; throws
+/// std::invalid_argument for non-numeric axes.
+double axis_number(const CampaignRow& row, const std::string& axis);
+
+/// Deterministic number rendering used for axis values ("%.6g").
+std::string fmt_axis(double value);
+
+// --- aggregation -----------------------------------------------------------
+
+/// Which per-run quantity the distribution statistics are computed over.
+/// ExploredRound samples only successful runs (the round cost of the runs
+/// that worked); Rounds and Moves sample every run.
+enum class Metric { ExploredRound, Rounds, Moves };
+
+Metric metric_from_string(const std::string& name);
+std::string to_string(Metric metric);
+
+/// A run counts as a success when it explored the ring and no agent
+/// terminated prematurely (the paper's correctness condition).
+bool row_success(const CampaignRow& row);
+
+/// The row's sample for a metric; nullopt when the row does not
+/// contribute (ExploredRound on an unsuccessful run).
+std::optional<double> metric_sample(const CampaignRow& row, Metric metric);
+
+/// Aggregate of one group of rows.
+struct Aggregate {
+  int runs = 0;
+  int successes = 0;   ///< explored && !premature
+  int premature = 0;   ///< runs with a premature termination
+  int violations = 0;  ///< total verifier findings across runs
+  /// Distribution of the selected metric over the contributing runs.
+  int samples = 0;
+  double min = 0, max = 0;
+  double mean = 0, median = 0, p95 = 0;
+  double stddev = 0;  ///< population stddev — per-seed dispersion
+
+  double success_rate() const {
+    return runs > 0 ? static_cast<double>(successes) / runs : 0.0;
+  }
+};
+
+/// One output row of a group-by query: the group's key values (parallel to
+/// the requested keys) plus its aggregate.
+struct GroupRow {
+  std::vector<std::string> key;
+  Aggregate agg;
+};
+
+/// Group rows by the given canonical axes and aggregate `metric` within
+/// each group.  Groups come back sorted by key, numeric-aware per
+/// component.  Empty `group_keys` yields one global group.
+std::vector<GroupRow> aggregate_rows(const std::vector<CampaignRow>& rows,
+                                     const std::vector<std::string>& group_keys,
+                                     Metric metric);
+
+/// Linear-interpolation quantile (q in [0,1]) of an ascending-sorted,
+/// non-empty sample vector: index q*(N-1), fractional indexes interpolate.
+double quantile(const std::vector<double>& sorted, double q);
+
+// --- frontier / phase transitions ------------------------------------------
+
+/// Success rate at one value of the scanned axis.
+struct FrontierPoint {
+  double axis = 0;
+  int runs = 0;
+  double rate = 0;
+};
+
+/// A threshold crossing between two adjacent axis values: the feasibility
+/// frontier passes between `before` and `after`.
+struct FrontierCrossing {
+  double axis_before = 0, axis_after = 0;
+  double rate_before = 0, rate_after = 0;
+  bool falling = false;  ///< rate dropped below the threshold going up-axis
+};
+
+/// One group's scan along the axis.
+struct FrontierGroup {
+  std::vector<std::string> key;          ///< values of the group keys
+  std::vector<FrontierPoint> curve;      ///< ascending axis order
+  std::vector<FrontierCrossing> crossings;
+};
+
+/// Scan `axis` (numeric) within each (group_keys)-group: the curve of
+/// success rates by axis value and every adjacent pair where the rate
+/// crosses `threshold`.  A monotone feasibility axis yields exactly one
+/// crossing — the phase transition; zero crossings mean the group is
+/// uniformly feasible or infeasible over the stored range.  The axis must
+/// not also be a group key.
+std::vector<FrontierGroup> detect_frontier(
+    const std::vector<CampaignRow>& rows,
+    const std::vector<std::string>& group_keys, const std::string& axis,
+    double threshold);
+
+// --- rendering -------------------------------------------------------------
+
+enum class ReportFormat { Markdown, Csv, Json };
+
+ReportFormat report_format_from_string(const std::string& name);
+
+/// Byte-stable rendering of a group-by report (trailing newline included).
+/// Markdown: a pipe table; CSV: header + rows; JSON: one canonical
+/// util::Json document.
+std::string render_aggregate_report(const std::vector<GroupRow>& groups,
+                                    const std::vector<std::string>& group_keys,
+                                    Metric metric, ReportFormat format);
+
+/// Byte-stable rendering of a frontier report.
+std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
+                                   const std::vector<std::string>& group_keys,
+                                   const std::string& axis, double threshold,
+                                   ReportFormat format);
+
+}  // namespace dring::core

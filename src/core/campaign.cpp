@@ -1,9 +1,12 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace dring::core {
 
@@ -41,10 +44,17 @@ util::Json to_json(const CampaignRow& row) {
   j.set("fp", hex_u64(row.fingerprint));
   j.set("result", std::move(result));
   j.set("spec", to_json(row.spec));
+  j.set("v", kStoreSchemaVersion);
   return j;
 }
 
 CampaignRow campaign_row_from_json(const util::Json& j) {
+  const long long version = j.get_int("v", 1);
+  if (version != kStoreSchemaVersion)
+    throw std::invalid_argument(
+        "store schema version " + std::to_string(version) +
+        ", this build reads version " + std::to_string(kStoreSchemaVersion) +
+        " (re-run the campaign to regenerate the store)");
   CampaignRow row;
   row.fingerprint = std::stoull(j.at("fp").as_string(), nullptr, 0);
   row.spec = scenario_spec_from_json(j.at("spec"));
@@ -82,13 +92,46 @@ std::vector<CampaignRow> read_result_store(std::istream& in) {
   return rows;
 }
 
-std::unordered_set<std::uint64_t> load_fingerprints(const std::string& path) {
-  std::unordered_set<std::uint64_t> fps;
+std::vector<CampaignRow> read_result_store_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return fps;
-  for (const CampaignRow& row : read_result_store(in))
-    fps.insert(row.fingerprint);
-  return fps;
+  if (!in) throw std::runtime_error("cannot open result store: " + path);
+  try {
+    return read_result_store(in);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+void sort_canonical(std::vector<CampaignRow>& rows) {
+  // Line order == fingerprint order (every line starts with the
+  // fixed-width fingerprint hex); comparing the integer first avoids
+  // re-serializing rows except for ties (duplicate fingerprints in a
+  // hand-concatenated store), which fall back to the full line so the
+  // order stays total.
+  std::sort(rows.begin(), rows.end(),
+            [](const CampaignRow& a, const CampaignRow& b) {
+              if (a.fingerprint != b.fingerprint)
+                return a.fingerprint < b.fingerprint;
+              return row_line(a) < row_line(b);
+            });
+}
+
+void write_result_store(const std::string& path,
+                        std::vector<CampaignRow> rows) {
+  sort_canonical(rows);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write result store: " + tmp);
+    for (const CampaignRow& row : rows) out << row_line(row) << '\n';
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failed for result store: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("cannot move " + tmp + " to " + path);
 }
 
 std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
@@ -110,37 +153,66 @@ std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
   return rows;
 }
 
+std::vector<ScenarioSpec> shard_filter(const std::vector<ScenarioSpec>& specs,
+                                       int index, int count) {
+  if (count < 1 || index < 0 || index >= count)
+    throw std::invalid_argument("bad shard " + std::to_string(index) + "/" +
+                                std::to_string(count));
+  if (count == 1) return specs;
+  std::vector<ScenarioSpec> mine;
+  for (const ScenarioSpec& spec : specs)
+    if (fingerprint(spec) % static_cast<std::uint64_t>(count) ==
+        static_cast<std::uint64_t>(index))
+      mine.push_back(spec);
+  return mine;
+}
+
 CampaignReport run_campaign(const CampaignSpec& campaign,
                             const CampaignOptions& options) {
   const std::vector<ScenarioSpec> all = expand(campaign);
+  const std::vector<ScenarioSpec> mine =
+      shard_filter(all, options.shard_index, options.shard_count);
+
+  const bool with_store = !options.out_path.empty();
+  std::vector<CampaignRow> existing;
+  if (options.resume && with_store) {
+    std::ifstream in(options.out_path);
+    if (in) existing = read_result_store(in);
+  }
 
   std::vector<ScenarioSpec> todo;
   std::size_t skipped = 0;
-  if (options.resume && !options.out_path.empty()) {
-    const std::unordered_set<std::uint64_t> done =
-        load_fingerprints(options.out_path);
-    for (const ScenarioSpec& spec : all) {
+  if (!existing.empty()) {
+    std::unordered_set<std::uint64_t> done;
+    for (const CampaignRow& row : existing) done.insert(row.fingerprint);
+    for (const ScenarioSpec& spec : mine) {
       if (done.count(fingerprint(spec)))
         ++skipped;
       else
         todo.push_back(spec);
     }
   } else {
-    todo = all;
+    todo = mine;
   }
 
   CampaignReport report;
   report.total = all.size();
+  report.sharded_out = all.size() - mine.size();
   report.skipped = skipped;
   report.executed = todo.size();
   report.rows = run_scenarios(todo, options.threads);
 
-  if (!options.out_path.empty() && !report.rows.empty()) {
-    std::ofstream out(options.out_path, std::ios::app);
-    if (!out)
-      throw std::runtime_error("cannot open result store: " +
-                               options.out_path);
-    for (const CampaignRow& row : report.rows) out << row_line(row) << '\n';
+  // A fresh run replaces the store; a resume run rewrites it with the
+  // union of existing and new rows.  Either way the file ends up in
+  // canonical order, so equal row sets mean equal bytes — the property
+  // the shard + merge workflow relies on.  When a resume executed
+  // nothing the store is left untouched.
+  if (with_store && !report.rows.empty()) {
+    std::vector<CampaignRow> out = existing;
+    out.insert(out.end(), report.rows.begin(), report.rows.end());
+    write_result_store(options.out_path, std::move(out));
+  } else if (with_store && !options.resume) {
+    write_result_store(options.out_path, {});
   }
   return report;
 }
@@ -158,13 +230,37 @@ StoreDiff diff_result_stores(const std::vector<CampaignRow>& a,
     const auto it = in_b.find(fp);
     if (it == in_b.end()) {
       diff.only_a.push_back(row);
-    } else if (!(row.outcome == it->second.outcome)) {
+    } else if (row_line(row) != row_line(it->second)) {
+      // Any payload difference counts — outcome *or* spec (a spec change
+      // under an unchanged fingerprint means the expansion semantics
+      // moved underneath the store).
       diff.changed.emplace_back(row, it->second);
     }
   }
   for (const auto& [fp, row] : in_b)
     if (!in_a.count(fp)) diff.only_b.push_back(row);
   return diff;
+}
+
+StoreMerge merge_result_stores(
+    const std::vector<std::vector<CampaignRow>>& stores) {
+  StoreMerge merge;
+  std::map<std::uint64_t, std::size_t> index;  ///< fp -> position in rows
+  for (const std::vector<CampaignRow>& store : stores) {
+    for (const CampaignRow& row : store) {
+      const auto [it, inserted] =
+          index.emplace(row.fingerprint, merge.rows.size());
+      if (inserted) {
+        merge.rows.push_back(row);
+      } else if (row_line(merge.rows[it->second]) != row_line(row)) {
+        merge.conflicts.emplace_back(merge.rows[it->second], row);
+      }
+      // identical duplicate: drop silently (merging a store with itself
+      // is the identity)
+    }
+  }
+  sort_canonical(merge.rows);
+  return merge;
 }
 
 }  // namespace dring::core

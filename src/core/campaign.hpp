@@ -4,27 +4,39 @@
 // flat scenario list and executed on the run_sweep worker pool.  Every
 // finished scenario becomes one line of JSON in the result store:
 //
-//   {"fp":"0x...","result":{...},"spec":{...}}
+//   {"fp":"0x...","result":{...},"spec":{...},"v":2}
 //
 // The dump is canonical (sorted keys, no whitespace), so stores are
 // line-diffable across commits, and each row carries the scenario's
-// fingerprint. Resume = load the fingerprints already present in the store
-// and run only the rows that are missing; because per-cell seeds are
-// position-independent (see expand()), growing a campaign's axes and
-// resuming executes exactly the new cells.  Rows are appended in task
-// order after the sweep completes, so the store bytes are identical for
-// any --threads value.
+// fingerprint plus the store schema version (kStoreSchemaVersion; rows
+// without a "v" field predate the versioning and read as version 1 —
+// readers reject anything but the current version with a clear error).
+//
+// Stores are written in *canonical order*: lines sorted as byte strings,
+// which — because every line starts with the fixed-width fingerprint —
+// equals sorting by fingerprint (`LC_ALL=C sort` reproduces it).  The
+// row set is a pure function of the scenario set, so the store bytes are
+// identical for any --threads value AND for any sharding of the grid:
+// running `--shard i/m` on m machines and merging the partial stores
+// yields byte-for-byte the single-process store.  Resume = load the
+// fingerprints already present, run only the missing rows, rewrite the
+// union; because per-cell seeds are position-independent (see expand()),
+// growing a campaign's axes and resuming executes exactly the new cells.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "core/scenario_spec.hpp"
 
 namespace dring::core {
+
+/// Version of the row schema this build reads and writes.  Bump when the
+/// row layout or the store's ordering contract changes; rows without a
+/// "v" field are version 1 (the pre-versioning append-ordered stores).
+inline constexpr long long kStoreSchemaVersion = 2;
 
 /// The per-scenario summary persisted in a row (the RunResult fields that
 /// are meaningful across heterogeneous scenarios).
@@ -53,28 +65,50 @@ struct CampaignRow {
 
 CampaignOutcome outcome_of(const sim::RunResult& r);
 util::Json to_json(const CampaignRow& row);
+/// Throws std::invalid_argument when the row's schema version ("v" member,
+/// absent = 1) is not kStoreSchemaVersion.
 CampaignRow campaign_row_from_json(const util::Json& j);
 
 /// Serialize one row as its store line (no trailing newline).
 std::string row_line(const CampaignRow& row);
 
 /// Parse a whole store (one JSON object per non-empty line; malformed
-/// lines throw std::invalid_argument with the line number).
+/// lines and schema-version mismatches throw std::invalid_argument with
+/// the line number).
 std::vector<CampaignRow> read_result_store(std::istream& in);
 
-/// The fingerprints present in a store file. Missing file = empty set.
-std::unordered_set<std::uint64_t> load_fingerprints(const std::string& path);
+/// read_result_store over a file; throws std::runtime_error when the file
+/// cannot be opened and std::invalid_argument (prefixed with the path) on
+/// malformed content.
+std::vector<CampaignRow> read_result_store_file(const std::string& path);
+
+/// Sort rows into canonical store order (ascending store line, which is
+/// ascending fingerprint).
+void sort_canonical(std::vector<CampaignRow>& rows);
+
+/// (Over)write a store file: canonical order, one line per row.  Written
+/// via a temp file + rename (with write errors checked before the rename)
+/// so a crash never leaves a half store.
+void write_result_store(const std::string& path,
+                        std::vector<CampaignRow> rows);
 
 /// Execution knobs.
 struct CampaignOptions {
   int threads = 0;        ///< run_sweep worker count (0 = hardware)
-  std::string out_path;   ///< result store to append to (empty = no store)
+  std::string out_path;   ///< result store to write (empty = no store)
   bool resume = false;    ///< skip scenarios whose fingerprint is stored
+  /// Deterministic grid partition for multi-process/multi-machine runs:
+  /// keep only cells with fingerprint % shard_count == shard_index.  The
+  /// assignment depends on cell identity, not grid position, so it is
+  /// stable under axis growth.  shard_count == 1 keeps everything.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 /// What a campaign run did.
 struct CampaignReport {
   std::size_t total = 0;     ///< scenarios in the expanded grid
+  std::size_t sharded_out = 0;  ///< assigned to other shards
   std::size_t skipped = 0;   ///< already present in the store (resume)
   std::size_t executed = 0;  ///< run in this invocation
   std::vector<CampaignRow> rows;  ///< executed rows, in task order
@@ -84,12 +118,21 @@ struct CampaignReport {
 std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
                                        int threads);
 
-/// Expand + (optionally) resume-filter + run + append to the store.
+/// The slice of `specs` assigned to shard `index` of `count` (fingerprint
+/// modulo count; relative order preserved). Throws std::invalid_argument
+/// on a bad shard geometry.
+std::vector<ScenarioSpec> shard_filter(const std::vector<ScenarioSpec>& specs,
+                                       int index, int count);
+
+/// Expand + shard-filter + (optionally) resume-filter + run + write the
+/// store.  A fresh run replaces the store file; a resume run rewrites it
+/// with the union of existing and new rows (both in canonical order).
 CampaignReport run_campaign(const CampaignSpec& campaign,
                             const CampaignOptions& options);
 
-/// Store diff (for comparing campaign outputs across commits): rows only
-/// in `a`, only in `b`, and fingerprints whose outcome changed.
+/// Store diff (for comparing campaign outputs across commits): rows
+/// present in only one store are reported separately from rows present in
+/// both whose payload (spec or outcome) differs.
 struct StoreDiff {
   std::vector<CampaignRow> only_a;
   std::vector<CampaignRow> only_b;
@@ -101,5 +144,18 @@ struct StoreDiff {
 
 StoreDiff diff_result_stores(const std::vector<CampaignRow>& a,
                              const std::vector<CampaignRow>& b);
+
+/// Lossless union of partial stores (shards of one campaign, or several
+/// campaigns sharing a store).  Rows with equal fingerprints must be
+/// byte-identical; a fingerprint carrying two different payloads is a
+/// conflict and lands in `conflicts` instead of `rows`.
+struct StoreMerge {
+  std::vector<CampaignRow> rows;  ///< canonical order
+  std::vector<std::pair<CampaignRow, CampaignRow>> conflicts;  ///< (kept, clashing)
+  bool ok() const { return conflicts.empty(); }
+};
+
+StoreMerge merge_result_stores(
+    const std::vector<std::vector<CampaignRow>>& stores);
 
 }  // namespace dring::core

@@ -13,13 +13,19 @@ Cli::Cli(int argc, const char* const* argv) {
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
+    std::string name, value;
     if (eq != std::string::npos) {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      flags_[arg] = "true";
+      name = arg;
+      value = "true";
     }
+    flags_[name] = value;
+    ordered_.emplace_back(std::move(name), std::move(value));
   }
 }
 
@@ -44,6 +50,13 @@ bool Cli::get_bool(const std::string& name, bool def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> Cli::get_all(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [flag, value] : ordered_)
+    if (flag == name) values.push_back(value);
+  return values;
 }
 
 }  // namespace dring::util

@@ -23,11 +23,16 @@ class Cli {
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
 
+  /// Every value of a repeatable flag, in command-line order
+  /// (`--store a --store b` -> {"a", "b"}; `get` returns only the last).
+  std::vector<std::string> get_all(const std::string& name) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::map<std::string, std::string>& flags() const { return flags_; }
 
  private:
   std::map<std::string, std::string> flags_;
+  std::vector<std::pair<std::string, std::string>> ordered_;  ///< all occurrences
   std::vector<std::string> positional_;
 };
 

@@ -1,0 +1,319 @@
+// Tests for the campaign analytics subsystem (core/analysis.hpp):
+// axis extraction, hand-computed aggregates and quantiles, numeric-aware
+// group ordering, frontier detection on a synthetic monotone grid,
+// multi-store loading, byte-stable report rendering — and the equivalence
+// of the generic aggregate/frontier queries with the hand-rolled
+// core/feasibility_map sweep on overlapping cells.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/analysis.hpp"
+#include "core/feasibility_map.hpp"
+
+namespace dring::core {
+namespace {
+
+/// A synthetic store row (no engine run): `explored` decides success.
+CampaignRow fake_row(const std::string& algorithm, NodeId n, Round t,
+                     std::uint64_t seed, bool explored, Round explored_round,
+                     Round rounds, long long moves) {
+  CampaignRow row;
+  row.spec.algorithm = algorithm;
+  row.spec.n = n;
+  row.spec.adversary.family = "targeted-random";
+  row.spec.adversary.t_interval = t;
+  row.spec.seed = seed;
+  row.fingerprint = fingerprint(row.spec);
+  row.outcome.explored = explored;
+  row.outcome.explored_round = explored ? explored_round : -1;
+  row.outcome.rounds = rounds;
+  row.outcome.total_moves = moves;
+  row.outcome.stop_reason = explored ? "explored" : "max_rounds";
+  return row;
+}
+
+// --- axes ----------------------------------------------------------------------
+
+TEST(AnalysisAxes, CanonicalizationAndValues) {
+  EXPECT_EQ(canonical_axis("k"), "agents");
+  EXPECT_EQ(canonical_axis("family"), "adversary");
+  EXPECT_EQ(canonical_axis("T"), "t_interval");
+  EXPECT_EQ(canonical_axis("n"), "n");
+  EXPECT_THROW(canonical_axis("bogus"), std::invalid_argument);
+
+  const CampaignRow row = fake_row("KnownNNoChirality", 10, 3, 1, true, 7, 9, 5);
+  EXPECT_EQ(axis_value(row, "algorithm"), "KnownNNoChirality");
+  EXPECT_EQ(axis_value(row, "n"), "10");
+  EXPECT_EQ(axis_value(row, "t_interval"), "3");
+  EXPECT_EQ(axis_value(row, "adversary"), "targeted-random");
+  EXPECT_EQ(axis_value(row, "model"), "native");
+  EXPECT_EQ(axis_value(row, "target_prob"), "0.5");
+  EXPECT_DOUBLE_EQ(axis_number(row, "n"), 10.0);
+  EXPECT_THROW(axis_number(row, "algorithm"), std::invalid_argument);
+  EXPECT_TRUE(axis_is_numeric("t_interval"));
+  EXPECT_FALSE(axis_is_numeric("model"));
+}
+
+// --- quantiles and aggregates --------------------------------------------------
+
+TEST(AnalysisAggregate, QuantileInterpolatesLinearly) {
+  const std::vector<double> s = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(s, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(s, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(s, 0.95), 1.0 + 0.95 * 3.0);  // 3.85
+  EXPECT_DOUBLE_EQ(quantile({7}, 0.5), 7.0);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(AnalysisAggregate, HandComputedStatistics) {
+  // Four successes with explored rounds {10, 20, 30, 40} and one failure.
+  std::vector<CampaignRow> rows;
+  rows.push_back(fake_row("A", 8, 1, 1, true, 10, 12, 20));
+  rows.push_back(fake_row("A", 8, 1, 2, true, 20, 22, 40));
+  rows.push_back(fake_row("A", 8, 1, 3, true, 30, 32, 60));
+  rows.push_back(fake_row("A", 8, 1, 4, true, 40, 42, 80));
+  rows.push_back(fake_row("A", 8, 1, 5, false, 0, 99, 7));
+
+  const std::vector<GroupRow> groups =
+      aggregate_rows(rows, {"algorithm"}, Metric::ExploredRound);
+  ASSERT_EQ(groups.size(), 1u);
+  const Aggregate& agg = groups[0].agg;
+  EXPECT_EQ(groups[0].key, std::vector<std::string>{"A"});
+  EXPECT_EQ(agg.runs, 5);
+  EXPECT_EQ(agg.successes, 4);
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 0.8);
+  // The failure contributes no explored_round sample.
+  EXPECT_EQ(agg.samples, 4);
+  EXPECT_DOUBLE_EQ(agg.min, 10.0);
+  EXPECT_DOUBLE_EQ(agg.max, 40.0);
+  EXPECT_DOUBLE_EQ(agg.mean, 25.0);
+  EXPECT_DOUBLE_EQ(agg.median, 25.0);
+  EXPECT_DOUBLE_EQ(agg.p95, 10.0 + 0.95 * 3.0 * 10.0);  // 38.5
+  // Population stddev of {10,20,30,40}: sqrt(125).
+  EXPECT_DOUBLE_EQ(agg.stddev, std::sqrt(125.0));
+
+  // Metric::Rounds samples every run, including the failure.
+  const std::vector<GroupRow> all_runs =
+      aggregate_rows(rows, {"algorithm"}, Metric::Rounds);
+  EXPECT_EQ(all_runs[0].agg.samples, 5);
+  EXPECT_DOUBLE_EQ(all_runs[0].agg.max, 99.0);
+}
+
+TEST(AnalysisAggregate, GroupsSortNumericAware) {
+  std::vector<CampaignRow> rows;
+  for (const NodeId n : {11, 6, 16, 9})
+    rows.push_back(fake_row("A", n, 1, 1, true, n, n, n));
+  const std::vector<GroupRow> groups =
+      aggregate_rows(rows, {"n"}, Metric::Rounds);
+  ASSERT_EQ(groups.size(), 4u);
+  // Lexicographic order would be 11, 16, 6, 9.
+  EXPECT_EQ(groups[0].key[0], "6");
+  EXPECT_EQ(groups[1].key[0], "9");
+  EXPECT_EQ(groups[2].key[0], "11");
+  EXPECT_EQ(groups[3].key[0], "16");
+}
+
+// --- frontier ------------------------------------------------------------------
+
+/// A monotone synthetic grid: algorithm A succeeds for n <= boundary.
+std::vector<CampaignRow> monotone_grid(const std::string& algorithm,
+                                       NodeId boundary) {
+  std::vector<CampaignRow> rows;
+  for (const NodeId n : {4, 6, 8, 10})
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+      rows.push_back(fake_row(algorithm, n, 1, seed, n <= boundary,
+                              static_cast<Round>(3 * n), 3 * n, 2 * n));
+  return rows;
+}
+
+TEST(AnalysisFrontier, FindsTheCrossingOnAMonotoneGrid) {
+  std::vector<CampaignRow> rows = monotone_grid("A", 6);
+  const std::vector<CampaignRow> more = monotone_grid("B", 8);
+  rows.insert(rows.end(), more.begin(), more.end());
+
+  const std::vector<FrontierGroup> groups =
+      detect_frontier(rows, {"algorithm"}, "n", 0.75);
+  ASSERT_EQ(groups.size(), 2u);
+
+  EXPECT_EQ(groups[0].key, std::vector<std::string>{"A"});
+  ASSERT_EQ(groups[0].curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(groups[0].curve[0].axis, 4.0);
+  EXPECT_DOUBLE_EQ(groups[0].curve[0].rate, 1.0);
+  EXPECT_DOUBLE_EQ(groups[0].curve[2].rate, 0.0);
+  ASSERT_EQ(groups[0].crossings.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups[0].crossings[0].axis_before, 6.0);
+  EXPECT_DOUBLE_EQ(groups[0].crossings[0].axis_after, 8.0);
+  EXPECT_TRUE(groups[0].crossings[0].falling);
+
+  // B's boundary sits one cell later.
+  ASSERT_EQ(groups[1].crossings.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups[1].crossings[0].axis_before, 8.0);
+  EXPECT_DOUBLE_EQ(groups[1].crossings[0].axis_after, 10.0);
+
+  // A uniformly-feasible group has no crossing.
+  const std::vector<FrontierGroup> flat =
+      detect_frontier(monotone_grid("A", 10), {"algorithm"}, "n", 0.75);
+  EXPECT_TRUE(flat[0].crossings.empty());
+
+  // Guard rails: non-numeric axis, axis repeated as group key.
+  EXPECT_THROW(detect_frontier(rows, {}, "algorithm", 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(detect_frontier(rows, {"n"}, "n", 0.5),
+               std::invalid_argument);
+}
+
+// --- multi-store loading -------------------------------------------------------
+
+TEST(AnalysisLoad, UnionsStoresAndRejectsConflicts) {
+  const std::string a_path = testing::TempDir() + "analysis_a.jsonl";
+  const std::string b_path = testing::TempDir() + "analysis_b.jsonl";
+
+  std::vector<CampaignRow> rows = monotone_grid("A", 6);
+  const std::vector<CampaignRow> front(rows.begin(), rows.begin() + 6);
+  const std::vector<CampaignRow> back(rows.begin() + 6, rows.end());
+  write_result_store(a_path, front);
+  write_result_store(b_path, back);
+
+  const std::vector<CampaignRow> loaded =
+      load_result_stores({a_path, b_path});
+  EXPECT_EQ(loaded.size(), rows.size());
+  sort_canonical(rows);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(row_line(loaded[i]), row_line(rows[i]));
+
+  // Conflicting payload for a stored fingerprint is refused.
+  std::vector<CampaignRow> clashing = front;
+  clashing[0].outcome.rounds += 1;
+  write_result_store(b_path, clashing);
+  EXPECT_THROW(load_result_stores({a_path, b_path}), std::runtime_error);
+
+  std::remove(a_path.c_str());
+  std::remove(b_path.c_str());
+}
+
+// --- rendering -----------------------------------------------------------------
+
+TEST(AnalysisRender, MarkdownAndCsvAreByteStable) {
+  std::vector<CampaignRow> rows;
+  rows.push_back(fake_row("A", 8, 1, 1, true, 10, 12, 20));
+  rows.push_back(fake_row("A", 8, 1, 2, true, 20, 22, 40));
+  rows.push_back(fake_row("A", 8, 1, 3, false, 0, 99, 7));
+
+  const std::vector<GroupRow> groups =
+      aggregate_rows(rows, {"algorithm", "n"}, Metric::ExploredRound);
+  EXPECT_EQ(
+      render_aggregate_report(groups, {"algorithm", "n"},
+                              Metric::ExploredRound, ReportFormat::Markdown),
+      "Metric: explored_round; ok = explored && !premature; "
+      "sd = population stddev.\n"
+      "\n"
+      "| algorithm | n | runs | ok | rate | samples | min | mean | median |"
+      " p95 | max | sd |\n"
+      "|---|---|---|---|---|---|---|---|---|---|---|---|\n"
+      "| A | 8 | 3 | 2 | 0.6667 | 2 | 10 | 15 | 15 | 19.5 | 20 | 5 |\n");
+  EXPECT_EQ(
+      render_aggregate_report(groups, {"algorithm", "n"},
+                              Metric::ExploredRound, ReportFormat::Csv),
+      "algorithm,n,runs,ok,rate,samples,min,mean,median,p95,max,sd\n"
+      "A,8,3,2,0.6667,2,10,15,15,19.5,20,5\n");
+
+  const std::vector<FrontierGroup> frontier =
+      detect_frontier(monotone_grid("A", 6), {"algorithm"}, "n", 0.75);
+  EXPECT_EQ(
+      render_frontier_report(frontier, {"algorithm"}, "n", 0.75,
+                             ReportFormat::Markdown),
+      "Frontier: axis n, threshold 0.7500; rate = explored && "
+      "!premature.\n"
+      "\n"
+      "| algorithm | curve (n:rate) | frontier |\n"
+      "|---|---|---|\n"
+      "| A | 4:1.0000 6:1.0000 8:0.0000 10:0.0000 | "
+      "6->8 (1.0000->0.0000, falling) |\n");
+
+  // JSON parses back and is canonical.
+  const std::string json = render_aggregate_report(
+      groups, {"algorithm", "n"}, Metric::ExploredRound, ReportFormat::Json);
+  const util::Json doc = util::Json::parse(json);
+  EXPECT_EQ(doc.at("metric").as_string(), "explored_round");
+  EXPECT_EQ(doc.at("groups").as_array().size(), 1u);
+  EXPECT_EQ(doc.dump() + "\n", json);
+}
+
+// --- equivalence with core/feasibility_map -------------------------------------
+
+/// Mirror FeasibilityMap's scenario matrix (core/feasibility_map.cpp
+/// build_tasks) as declarative specs: seed 0 runs the static ring, the
+/// rest run targeted hostile dynamics, seeds 0x9d5*s + 17n.
+std::vector<ScenarioSpec> feasibility_specs(const std::string& algorithm,
+                                            const FeasibilitySweep& sweep) {
+  std::vector<ScenarioSpec> specs;
+  for (const NodeId n : sweep.sizes) {
+    for (int seed = 0; seed < sweep.seeds_per_size; ++seed) {
+      ScenarioSpec spec;
+      spec.algorithm = algorithm;
+      spec.n = n;
+      spec.seed = 0x9d5ULL * static_cast<std::uint64_t>(seed) + 17 * n;
+      spec.max_rounds = sweep.max_rounds;
+      if (seed == 0) {
+        spec.adversary.family = "null";
+      } else {
+        spec.adversary.family = "targeted-random";
+        spec.adversary.target_prob = sweep.edge_removal_prob;
+        spec.adversary.activation_prob = sweep.activation_prob;
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+TEST(AnalysisFeasibilityEquivalence, ReproducesTheFeasibilityMapBoundary) {
+  FeasibilitySweep sweep;
+  sweep.sizes = {4, 5, 6, 8};
+  sweep.seeds_per_size = 3;
+  sweep.max_rounds = 200'000;
+  sweep.threads = 2;
+
+  const std::string name = "KnownNNoChirality";
+  const algo::AlgorithmId id = algo::info_by_name(name).id;
+
+  // The hand-rolled sweep...
+  const FeasibilityRow feas = evaluate_algorithm(id, sweep);
+  // ...and the same cells through the campaign store + analysis path.
+  const std::vector<CampaignRow> rows =
+      run_scenarios(feasibility_specs(name, sweep), 2);
+
+  const std::vector<GroupRow> overall =
+      aggregate_rows(rows, {"algorithm"}, Metric::Rounds);
+  ASSERT_EQ(overall.size(), 1u);
+  EXPECT_EQ(overall[0].agg.runs, feas.runs);
+  EXPECT_EQ(overall[0].agg.successes, feas.explored);
+  EXPECT_EQ(overall[0].agg.premature, feas.premature);
+  EXPECT_DOUBLE_EQ(overall[0].agg.max,
+                   static_cast<double>(feas.worst_rounds));
+
+  // The frontier curve over n matches per-size feasibility: each axis
+  // point's success rate equals the explored fraction of a single-size
+  // hand-rolled sweep.
+  const std::vector<FrontierGroup> frontier =
+      detect_frontier(rows, {"algorithm"}, "n", 1.0);
+  ASSERT_EQ(frontier.size(), 1u);
+  ASSERT_EQ(frontier[0].curve.size(), sweep.sizes.size());
+  for (std::size_t i = 0; i < sweep.sizes.size(); ++i) {
+    FeasibilitySweep one = sweep;
+    one.sizes = {sweep.sizes[i]};
+    const FeasibilityRow per_size = evaluate_algorithm(id, one);
+    EXPECT_DOUBLE_EQ(frontier[0].curve[i].axis,
+                     static_cast<double>(sweep.sizes[i]));
+    EXPECT_EQ(frontier[0].curve[i].runs, per_size.runs);
+    EXPECT_DOUBLE_EQ(frontier[0].curve[i].rate,
+                     static_cast<double>(per_size.explored) / per_size.runs);
+  }
+}
+
+}  // namespace
+}  // namespace dring::core

@@ -2,12 +2,15 @@
 // scenario specs (serialization, fingerprints, spec->engine translation),
 // campaign grid expansion (count, seed stability under grid growth),
 // thread-count invariance of the produced rows, the JSONL result store
-// (write -> read -> resume skips everything), and the store diff.
+// (write -> read -> resume skips everything, schema versioning, canonical
+// order), sharded execution + store merge, and the store diff.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "core/campaign.hpp"
 #include "core/scenario_spec.hpp"
@@ -242,13 +245,15 @@ TEST(CampaignRun, StoreRoundTripAndResume) {
   EXPECT_EQ(first.executed, first.total);
   EXPECT_EQ(first.skipped, 0u);
 
-  // The store parses back to exactly the executed rows.
-  std::ifstream in(path);
-  ASSERT_TRUE(in.good());
-  const std::vector<CampaignRow> stored = read_result_store(in);
+  // The store parses back to exactly the executed rows, in canonical
+  // (fingerprint) order.
+  const std::vector<CampaignRow> stored = read_result_store_file(path);
   ASSERT_EQ(stored.size(), first.rows.size());
-  for (std::size_t i = 0; i < stored.size(); ++i)
-    EXPECT_EQ(row_line(stored[i]), row_line(first.rows[i]));
+  std::vector<std::string> stored_lines = row_lines(stored);
+  EXPECT_TRUE(std::is_sorted(stored_lines.begin(), stored_lines.end()));
+  std::vector<std::string> executed_lines = row_lines(first.rows);
+  std::sort(executed_lines.begin(), executed_lines.end());
+  EXPECT_EQ(stored_lines, executed_lines);
 
   // Resume: nothing to do, file untouched.
   std::ifstream before(path);
@@ -277,7 +282,8 @@ TEST(CampaignRun, StoreRoundTripAndResume) {
 
 TEST(CampaignRun, MalformedStoreLineReportsLineNumber) {
   std::stringstream store("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
-                          "{\"algorithm\":\"KnownNNoChirality\",\"n\":6}}\n"
+                          "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
+                          "\"v\":2}\n"
                           "this is not json\n");
   try {
     read_result_store(store);
@@ -285,6 +291,147 @@ TEST(CampaignRun, MalformedStoreLineReportsLineNumber) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
+}
+
+TEST(CampaignStore, RowsCarryTheSchemaVersion) {
+  CampaignRow row;
+  row.spec = sample_spec();
+  row.fingerprint = fingerprint(row.spec);
+  EXPECT_NE(row_line(row).find("\"v\":2"), std::string::npos);
+  // And the line round-trips.
+  const CampaignRow back =
+      campaign_row_from_json(util::Json::parse(row_line(row)));
+  EXPECT_EQ(row_line(back), row_line(row));
+}
+
+TEST(CampaignStore, MismatchedSchemaVersionIsRejected) {
+  // A pre-versioning (v1) store row: no "v" member.
+  std::stringstream v1("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
+                       "{\"algorithm\":\"KnownNNoChirality\",\"n\":6}}\n");
+  try {
+    read_result_store(v1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("schema version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+
+  // A future version is rejected just the same.
+  std::stringstream v9("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
+                       "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
+                       "\"v\":9}\n");
+  EXPECT_THROW(read_result_store(v9), std::invalid_argument);
+}
+
+TEST(CampaignStore, CanonicalOrderIsTotalForDuplicateFingerprints) {
+  // Three distinct payloads forced onto one fingerprint (a
+  // hand-concatenated store): canonical order must fall back to the full
+  // line and be a real sort, whatever the input order.
+  std::vector<CampaignRow> rows;
+  for (const Round r : {30, 20, 10}) {
+    CampaignRow row;
+    row.spec = sample_spec();
+    row.fingerprint = 42;
+    row.outcome.rounds = r;
+    rows.push_back(row);
+  }
+  sort_canonical(rows);
+  std::vector<std::string> lines = row_lines(rows);
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+  std::vector<CampaignRow> again = {rows[1], rows[2], rows[0]};
+  sort_canonical(again);
+  EXPECT_EQ(row_lines(again), lines);
+}
+
+TEST(CampaignShard, PartitionsAreDisjointCoveringAndPositionIndependent) {
+  const std::vector<ScenarioSpec> all = expand(sample_campaign());
+  const int m = 3;
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t covered = 0;
+  for (int i = 0; i < m; ++i) {
+    const std::vector<ScenarioSpec> shard = shard_filter(all, i, m);
+    covered += shard.size();
+    for (const ScenarioSpec& spec : shard) {
+      EXPECT_TRUE(seen.insert(fingerprint(spec)).second)
+          << "cell on two shards";
+    }
+  }
+  EXPECT_EQ(covered, all.size());
+  EXPECT_EQ(shard_filter(all, 0, 1).size(), all.size());
+  EXPECT_THROW(shard_filter(all, 2, 2).size(), std::invalid_argument);
+  EXPECT_THROW(shard_filter(all, -1, 2).size(), std::invalid_argument);
+
+  // Shard assignment follows cell identity, not grid position: growing an
+  // axis never moves an existing cell to a different shard.
+  CampaignSpec grown = sample_campaign();
+  grown.sizes.push_back(11);
+  std::unordered_set<std::uint64_t> shard0;
+  for (const ScenarioSpec& spec : shard_filter(all, 0, m))
+    shard0.insert(fingerprint(spec));
+  for (const ScenarioSpec& spec : shard_filter(expand(grown), 0, m))
+    shard0.erase(fingerprint(spec));
+  EXPECT_TRUE(shard0.empty()) << "a cell left its shard under axis growth";
+}
+
+TEST(CampaignMerge, ShardedRunMergesToTheSingleProcessStore) {
+  const std::string single = testing::TempDir() + "merge_single.jsonl";
+  const std::string shard0 = testing::TempDir() + "merge_shard0.jsonl";
+  const std::string shard1 = testing::TempDir() + "merge_shard1.jsonl";
+
+  const CampaignSpec campaign = tiny_campaign();
+  CampaignOptions options;
+  options.threads = 2;
+  options.out_path = single;
+  run_campaign(campaign, options);
+
+  options.shard_count = 2;
+  options.shard_index = 0;
+  options.out_path = shard0;
+  const CampaignReport r0 = run_campaign(campaign, options);
+  options.shard_index = 1;
+  options.out_path = shard1;
+  const CampaignReport r1 = run_campaign(campaign, options);
+  EXPECT_EQ(r0.executed + r1.executed, expand(campaign).size());
+  EXPECT_GT(r0.executed, 0u);
+  EXPECT_GT(r1.executed, 0u);
+
+  const StoreMerge merge = merge_result_stores(
+      {read_result_store_file(shard0), read_result_store_file(shard1)});
+  ASSERT_TRUE(merge.ok());
+  EXPECT_EQ(row_lines(merge.rows), row_lines(read_result_store_file(single)));
+
+  std::remove(single.c_str());
+  std::remove(shard0.c_str());
+  std::remove(shard1.c_str());
+}
+
+TEST(CampaignMerge, IsIdempotentAndDetectsConflicts) {
+  const std::vector<ScenarioSpec> specs = expand(tiny_campaign());
+  std::vector<CampaignRow> rows = run_scenarios(
+      std::vector<ScenarioSpec>(specs.begin(), specs.begin() + 4), 2);
+  sort_canonical(rows);
+
+  // Self-merge is the identity; a subset union restores the whole.
+  const StoreMerge self = merge_result_stores({rows, rows});
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(row_lines(self.rows), row_lines(rows));
+
+  std::vector<CampaignRow> front(rows.begin(), rows.begin() + 2);
+  std::vector<CampaignRow> back(rows.begin() + 1, rows.end());
+  const StoreMerge split = merge_result_stores({front, back});
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(row_lines(split.rows), row_lines(rows));
+
+  // Same fingerprint, different payload = conflict, not a silent union.
+  std::vector<CampaignRow> clashing = rows;
+  clashing[0].outcome.rounds += 1;
+  const StoreMerge conflict = merge_result_stores({rows, clashing});
+  EXPECT_FALSE(conflict.ok());
+  ASSERT_EQ(conflict.conflicts.size(), 1u);
+  EXPECT_EQ(conflict.conflicts[0].first.fingerprint, rows[0].fingerprint);
+  // Non-conflicting rows still merge.
+  EXPECT_EQ(conflict.rows.size(), rows.size());
 }
 
 TEST(CampaignDiff, DetectsAddedRemovedAndChangedRows) {
@@ -303,6 +450,32 @@ TEST(CampaignDiff, DetectsAddedRemovedAndChangedRows) {
   EXPECT_FALSE(diff.identical());
 
   EXPECT_TRUE(diff_result_stores(a, a).identical());
+}
+
+TEST(CampaignDiff, SeparatesPresenceFromPayloadChanges) {
+  const std::vector<ScenarioSpec> specs = expand(tiny_campaign());
+  const std::vector<CampaignRow> a = run_scenarios(
+      std::vector<ScenarioSpec>(specs.begin(), specs.begin() + 3), 2);
+
+  // b: row 0 unchanged, row 1's outcome edited, row 2's *spec* edited
+  // under the same fingerprint (a hand-edited store, or expansion
+  // semantics moving underneath it).  None of these may leak into the
+  // presence buckets.
+  std::vector<CampaignRow> b = a;
+  b[1].outcome.total_moves += 7;
+  b[2].spec.max_rounds += 1;
+
+  const StoreDiff diff = diff_result_stores(a, b);
+  EXPECT_TRUE(diff.only_a.empty());
+  EXPECT_TRUE(diff.only_b.empty());
+  ASSERT_EQ(diff.changed.size(), 2u);
+
+  // And a row present in only one store is never reported as changed.
+  std::vector<CampaignRow> c(a.begin(), a.begin() + 2);
+  const StoreDiff presence = diff_result_stores(a, c);
+  EXPECT_EQ(presence.only_a.size(), 1u);
+  EXPECT_TRUE(presence.only_b.empty());
+  EXPECT_TRUE(presence.changed.empty());
 }
 
 }  // namespace

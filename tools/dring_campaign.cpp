@@ -1,14 +1,22 @@
 // Campaign driver: expand a declarative campaign spec, run it on the
-// worker pool, and append one JSON line per scenario to the result store.
+// worker pool, and persist one JSON line per scenario in the result store.
 //
 //   dring_campaign --spec examples/campaign_smoke.json \
-//       [--out results.jsonl] [--threads N] [--resume] [--dry-run]
+//       [--out results.jsonl] [--threads N] [--resume] [--dry-run] \
+//       [--shard i/m]
+//   dring_campaign --merge a.jsonl b.jsonl ... --out merged.jsonl
 //   dring_campaign --diff old.jsonl new.jsonl
 //
-// The store is canonical JSONL: bytes are identical for any --threads
-// value, re-running with --resume executes only scenarios whose
+// The store is canonical JSONL (lines sorted by fingerprint): bytes are
+// identical for any --threads value and for any shard split.  --shard i/m
+// runs only the cells whose fingerprint lands on shard i of m, so a
+// campaign can run on m processes/machines; --merge unions the partial
+// stores losslessly (conflicting payloads for one fingerprint are an
+// error).  Re-running with --resume executes only scenarios whose
 // fingerprint is not yet stored, and --diff compares two stores row by
-// row (the cross-commit regression workflow).
+// row (the cross-commit regression workflow), reporting rows present in
+// only one store separately from rows whose payload changed.
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -21,31 +29,101 @@ namespace {
 
 using namespace dring;
 
+/// Paths given as a flag value and/or positionals (`--diff a b`,
+/// `--merge=a b c`).
+std::vector<std::string> flag_paths(const util::Cli& cli,
+                                    const std::string& flag) {
+  std::vector<std::string> paths;
+  const std::string value = cli.get(flag, "");
+  if (!value.empty() && value != "true" && value != "1")
+    paths.push_back(value);
+  for (const std::string& p : cli.positional()) paths.push_back(p);
+  return paths;
+}
+
+/// Read every store, or fail with a clean diagnostic (bad path, malformed
+/// line, schema-version mismatch).
+bool read_stores(const std::vector<std::string>& paths,
+                 std::vector<std::vector<core::CampaignRow>>& stores) {
+  for (const std::string& path : paths) {
+    try {
+      stores.push_back(core::read_result_store_file(path));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 int run_diff(const std::vector<std::string>& paths) {
   if (paths.size() != 2) {
     std::cerr << "--diff needs exactly two store paths\n";
     return 2;
   }
   std::vector<std::vector<core::CampaignRow>> stores;
-  for (const std::string& path : paths) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot open " << path << "\n";
-      return 2;
-    }
-    stores.push_back(core::read_result_store(in));
-  }
+  if (!read_stores(paths, stores)) return 2;
   const core::StoreDiff diff =
       core::diff_result_stores(stores[0], stores[1]);
   std::cout << "only in " << paths[0] << ": " << diff.only_a.size()
             << "\nonly in " << paths[1] << ": " << diff.only_b.size()
-            << "\nchanged outcomes: " << diff.changed.size() << "\n";
+            << "\nchanged payloads: " << diff.changed.size() << "\n";
+  for (const core::CampaignRow& row : diff.only_a)
+    std::cout << "  < " << core::to_json(row.spec).dump() << "\n";
+  for (const core::CampaignRow& row : diff.only_b)
+    std::cout << "  > " << core::to_json(row.spec).dump() << "\n";
   for (const auto& [a, b] : diff.changed) {
-    std::cout << "  " << core::to_json(a).at("spec").dump() << "\n    - "
+    std::cout << "  " << core::to_json(a.spec).dump() << "\n    - "
               << core::to_json(a).at("result").dump() << "\n    + "
               << core::to_json(b).at("result").dump() << "\n";
+    if (core::to_json(a.spec).dump() != core::to_json(b.spec).dump())
+      std::cout << "    spec differs: " << core::to_json(b.spec).dump()
+                << "\n";
   }
   return diff.identical() ? 0 : 1;
+}
+
+int run_merge(const std::vector<std::string>& paths,
+              const std::string& out_path) {
+  if (paths.size() < 2) {
+    std::cerr << "--merge needs at least two store paths\n";
+    return 2;
+  }
+  std::vector<std::vector<core::CampaignRow>> stores;
+  if (!read_stores(paths, stores)) return 2;
+  const core::StoreMerge merge = core::merge_result_stores(stores);
+  if (!merge.ok()) {
+    std::cerr << "merge conflict: " << merge.conflicts.size()
+              << " fingerprint(s) carry different payloads\n";
+    for (const auto& [kept, clashing] : merge.conflicts)
+      std::cerr << "  " << core::hex_u64(kept.fingerprint) << "\n    - "
+                << core::to_json(kept).at("result").dump() << "\n    + "
+                << core::to_json(clashing).at("result").dump() << "\n";
+    return 1;
+  }
+  if (out_path.empty()) {
+    for (const core::CampaignRow& row : merge.rows)
+      std::cout << core::row_line(row) << "\n";
+  } else {
+    core::write_result_store(out_path, merge.rows);
+    std::cout << "merged " << paths.size() << " stores, " << merge.rows.size()
+              << " rows -> " << out_path << "\n";
+  }
+  return 0;
+}
+
+/// Parse `--shard i/m` into (index, count); (0, 1) when absent.  The
+/// whole string must be consumed — `1/2/4` or `0/2x` are errors, not
+/// silently-truncated shard geometries.
+bool parse_shard(const std::string& text, int& index, int& count) {
+  if (text.empty()) return true;
+  int i = -1, m = -1, consumed = 0;
+  if (std::sscanf(text.c_str(), "%d/%d%n", &i, &m, &consumed) != 2 ||
+      consumed != static_cast<int>(text.size()) || m < 1 || i < 0 || i >= m)
+    return false;
+  index = i;
+  count = m;
+  return true;
 }
 
 }  // namespace
@@ -53,21 +131,16 @@ int run_diff(const std::vector<std::string>& paths) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
 
-  if (cli.has("diff")) {
-    // `--diff a.jsonl b.jsonl`: the two stores arrive as the flag value
-    // (when written `--diff=a.jsonl`) and/or positionals.
-    std::vector<std::string> paths;
-    const std::string value = cli.get("diff", "");
-    if (!value.empty() && value != "true" && value != "1")
-      paths.push_back(value);
-    for (const std::string& p : cli.positional()) paths.push_back(p);
-    return run_diff(paths);
-  }
+  if (cli.has("diff")) return run_diff(flag_paths(cli, "diff"));
+  if (cli.has("merge"))
+    return run_merge(flag_paths(cli, "merge"), cli.get("out", ""));
 
   const std::string spec_path = cli.get("spec", "");
   if (spec_path.empty()) {
     std::cerr << "usage: dring_campaign --spec campaign.json [--out s.jsonl]"
-                 " [--threads N] [--resume] [--dry-run]\n"
+                 " [--threads N] [--resume] [--dry-run] [--shard i/m]\n"
+                 "       dring_campaign --merge a.jsonl b.jsonl ..."
+                 " --out merged.jsonl\n"
                  "       dring_campaign --diff old.jsonl new.jsonl\n";
     return 2;
   }
@@ -92,14 +165,35 @@ int main(int argc, char** argv) {
   options.threads = static_cast<int>(cli.get_int("threads", 0));
   options.out_path = cli.get("out", "");
   options.resume = cli.get_bool("resume", false);
+  if (!parse_shard(cli.get("shard", ""), options.shard_index,
+                   options.shard_count)) {
+    std::cerr << "bad --shard (want i/m with 0 <= i < m): "
+              << cli.get("shard", "") << "\n";
+    return 2;
+  }
 
   if (cli.get_bool("dry-run", false)) {
-    const auto specs = core::expand(campaign);
+    const auto specs = core::shard_filter(core::expand(campaign),
+                                          options.shard_index,
+                                          options.shard_count);
     std::cout << "campaign '" << campaign.name << "': " << specs.size()
-              << " scenarios\n";
+              << " scenarios";
+    if (options.shard_count > 1)
+      std::cout << " on shard " << options.shard_index << "/"
+                << options.shard_count;
+    std::cout << "\n";
     for (const auto& spec : specs)
       std::cout << core::to_json(spec).dump() << "\n";
     return 0;
+  }
+
+  // A fresh run replaces the store file; make losing prior rows an
+  // explicit choice, not a surprise.
+  if (!options.resume && !options.out_path.empty()) {
+    std::ifstream existing(options.out_path);
+    if (existing && existing.peek() != std::ifstream::traits_type::eof())
+      std::cerr << "note: replacing existing store " << options.out_path
+                << " (use --resume to keep its rows)\n";
   }
 
   core::CampaignReport report;
@@ -111,8 +205,11 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "campaign '" << campaign.name << "': " << report.total
-            << " scenarios, " << report.executed << " executed, "
-            << report.skipped << " resumed from "
+            << " scenarios, ";
+  if (options.shard_count > 1)
+    std::cout << report.sharded_out << " on other shards, ";
+  std::cout << report.executed << " executed, " << report.skipped
+            << " resumed from "
             << (options.out_path.empty() ? "(no store)" : options.out_path)
             << "\n";
 
