@@ -6,114 +6,30 @@
 // advance.  This bench quantifies the gap the paper only discusses
 // qualitatively: record the edge schedule of a live run, hand it to an
 // omniscient offline planner (dynamic programming over arc states,
-// src/ring/evolving_ring.hpp), and compare exploration times.
+// src/ring/evolving_ring.hpp), and compare exploration times.  Also
+// reports the Figure 2 worst case, where the live bound 3n-6 faces an
+// offline optimum that simply starts in the other direction.
 //
-// Also reports the Figure 2 worst case, where the live bound 3n-6 faces
-// an offline optimum that simply starts in the other direction.
-//
-// The live runs execute as a traced sweep on the worker pool
-// (--threads=N); the offline DP replans from the returned traces.
-#include <algorithm>
+// Since PR 4 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the scenario grid lives in the
+// "price_of_liveness" artifact, the offline replanning runs as its
+// enrich hook (the optimum is persisted in the campaign store, so the
+// committed examples/paper/price_of_liveness.md report derives from the
+// store alone).  Output is byte-identical to the pre-migration bench.
 #include <iostream>
-#include <memory>
-#include <vector>
 
-#include "adversary/basic_adversaries.hpp"
-#include "adversary/proof_adversaries.hpp"
-#include "core/runner.hpp"
-#include "core/sweep.hpp"
-#include "ring/evolving_ring.hpp"
-#include "sim/trace_io.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-using namespace dring;
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 4));
-  core::SweepOptions pool;
-  pool.threads = static_cast<int>(cli.get_int("threads", 0));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
 
-  std::cout << "=== Price of liveness: live exploration vs the offline "
-               "optimum on the same schedule ===\n\n";
-
-  util::Table table({"schedule", "n", "live algorithm", "live explored@",
-                     "offline 2-agent optimum", "ratio"});
-
-  // Scenario matrix: randomized hostile schedules, then the Figure 2
-  // worst case; rows are emitted in task order.
-  struct Label {
-    std::string schedule;
-    NodeId n;
-    bool fig2;
-  };
-  std::vector<core::ScenarioTask> tasks;
-  std::vector<Label> labels;
-
-  for (const NodeId n : {6, 8, 10}) {
-    for (int seed = 1; seed <= seeds; ++seed) {
-      core::ScenarioTask task;
-      task.cfg = core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-      task.cfg.stop.max_rounds = 40 * n;
-      task.make_adversary = [n, seed]() -> std::unique_ptr<sim::Adversary> {
-        return std::make_unique<adversary::TargetedRandomAdversary>(
-            0.7, 1.0, 505ULL * seed + n);
-      };
-      tasks.push_back(std::move(task));
-      labels.push_back({"targeted-random#" + std::to_string(seed), n, false});
-    }
-  }
-  for (const NodeId n : {8, 10, 12}) {
-    core::ScenarioTask task;
-    task.cfg = core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-    task.cfg.start_nodes = {2, 3};
-    task.cfg.orientations = {agent::kChiralOrientation,
-                             agent::kChiralOrientation};
-    task.cfg.stop.max_rounds = 10 * n;
-    task.make_adversary = [n]() -> std::unique_ptr<sim::Adversary> {
-      return std::make_unique<adversary::ScriptedEdgeAdversary>(
-          adversary::make_fig2_script(n, 2), "fig2");
-    };
-    tasks.push_back(std::move(task));
-    labels.push_back({"figure-2 worst case", n, true});
-  }
-
-  const std::vector<core::SweepRun> runs = core::run_sweep_traced(tasks, pool);
-
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const sim::RunResult& live = runs[i].result;
-    const Label& label = labels[i];
-    const NodeId n = label.n;
-    if (!label.fig2 && !live.explored) continue;
-
-    const Round horizon =
-        label.fig2 ? 10 * n : live.rounds + 4 * n;
-    const auto ring =
-        label.fig2
-            ? ring::EvolvingRing::from_script(
-                  n, adversary::make_fig2_script(n, 2), horizon)
-            : ring::EvolvingRing::from_script(
-                  n, sim::edge_schedule_of(runs[i].trace), horizon);
-    const Round offline = ring::offline_two_agent_exploration_time(
-        ring, tasks[i].cfg.start_nodes[0], tasks[i].cfg.start_nodes[1],
-        horizon);
-    table.add_row(
-        {label.schedule, std::to_string(n), "KnownNNoChirality",
-         std::to_string(live.explored_round), std::to_string(offline),
-         offline > 0 ? util::fmt_double(
-                           static_cast<double>(live.explored_round) / offline,
-                           2)
-                     : "-"});
-  }
-
-  table.print(std::cout);
-  std::cout
-      << "\nThe offline planner, knowing the schedule, explores in ~n/2..n "
-         "rounds; the live agents pay up to 3n-6 on the same schedule — "
-         "the gap is the information price the paper's live model "
-         "isolates.\n";
+  const core::Artifact artifact =
+      core::make_price_of_liveness_artifact({6, 8, 10}, {8, 10, 12}, seeds);
+  std::cout << core::derive_report(artifact,
+                                   core::run_artifact_rows(artifact, threads));
   return 0;
 }

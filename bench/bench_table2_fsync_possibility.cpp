@@ -5,120 +5,24 @@
 //   | 2         | Chirality, Landmark  | Explicit termination in O(n)      |
 //   | 2         | Landmark             | Explicit termination in O(n log n)|
 //
-// For every row we sweep ring sizes and adversaries (static ring, targeted
-// random removals, Obs.-1 single-agent blocking and — for Theorem 3 — the
-// exact Figure 2 worst case), and report the worst measured termination
-// round next to the paper's bound.
+// Since PR 4 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the scenario grid, the worst-termination fold and
+// the table formatting live in the "table2_fsync" artifact, whose
+// campaign store also backs the committed examples/paper/table2_fsync.md
+// report (dring_artifact).  Output is byte-identical to the pre-migration
+// bench.
 #include <algorithm>
 #include <iostream>
-#include <memory>
 #include <vector>
 
-#include "adversary/basic_adversaries.hpp"
-#include "adversary/proof_adversaries.hpp"
-#include "algo/id_encoding.hpp"
-#include "core/runner.hpp"
-#include "core/sweep.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace dring;
-
-struct RowResult {
-  std::int64_t worst_round = 0;
-  NodeId worst_n = 0;
-  int runs = 0;
-  int failures = 0;  // not explored / premature / not terminated
-};
-
-std::int64_t last_termination(const sim::RunResult& r) {
-  std::int64_t worst = 0;
-  for (const sim::AgentResult& a : r.agents)
-    worst = std::max(worst, a.termination_round);
-  return worst;
-}
-
-void account(RowResult& row, const sim::RunResult& r, NodeId n,
-             bool need_all_terminated) {
-  row.runs += 1;
-  const bool terminated =
-      need_all_terminated ? r.all_terminated : r.any_terminated();
-  if (!r.explored || r.premature_termination || !terminated ||
-      !r.violations.empty()) {
-    row.failures += 1;
-    return;
-  }
-  const std::int64_t t = last_termination(r);
-  if (t > row.worst_round) {
-    row.worst_round = t;
-    row.worst_n = n;
-  }
-}
-
-RowResult sweep(algo::AlgorithmId id, const std::vector<NodeId>& sizes,
-                int seeds, Round round_budget_per_n,
-                const core::SweepOptions& pool) {
-  // Build the whole scenario matrix, run it on the worker pool, and fold
-  // the results in task order (identical to the old serial loop).
-  std::vector<core::ScenarioTask> tasks;
-  std::vector<NodeId> task_n;
-  for (const NodeId n : sizes) {
-    for (int seed = 0; seed <= seeds; ++seed) {
-      core::ScenarioTask task;
-      task.cfg = core::default_config(id, n);
-      task.cfg.stop.max_rounds = round_budget_per_n * n + 1000;
-      task.seed = static_cast<std::uint64_t>(1000 * n + seed);
-      if (seed == 0) {
-        task.make_adversary = [] {
-          return std::make_unique<sim::NullAdversary>();
-        };
-      } else if (seed == 1) {
-        task.make_adversary = []() -> std::unique_ptr<sim::Adversary> {
-          return std::make_unique<adversary::BlockAgentAdversary>(0);
-        };
-      } else {
-        const std::uint64_t s = task.seed;
-        task.make_adversary = [s]() -> std::unique_ptr<sim::Adversary> {
-          return std::make_unique<adversary::TargetedRandomAdversary>(0.7, 1.0,
-                                                                      s);
-        };
-      }
-      tasks.push_back(std::move(task));
-      task_n.push_back(n);
-    }
-    // Theorem 3 additionally gets its exact worst-case schedule (Figure 2).
-    if (id == algo::AlgorithmId::KnownNNoChirality && n >= 6) {
-      core::ScenarioTask task;
-      task.cfg = core::default_config(id, n);
-      task.cfg.start_nodes = {2, 3};
-      task.cfg.orientations = {agent::kChiralOrientation,
-                               agent::kChiralOrientation};
-      task.cfg.stop.max_rounds = 10 * n;
-      task.make_adversary = [n]() -> std::unique_ptr<sim::Adversary> {
-        return std::make_unique<adversary::ScriptedEdgeAdversary>(
-            adversary::make_fig2_script(n, 2), "fig2");
-      };
-      tasks.push_back(std::move(task));
-      task_n.push_back(n);
-    }
-  }
-
-  const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
-  RowResult row;
-  for (std::size_t i = 0; i < results.size(); ++i)
-    account(row, results[i], task_n[i], true);
-  return row;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 6));
-  core::SweepOptions pool;
-  pool.threads = static_cast<int>(cli.get_int("threads", 0));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
   std::vector<NodeId> sizes = {5, 6, 8, 11, 16, 24, 32};
   if (cli.has("max-n")) {
     const NodeId cap = static_cast<NodeId>(cli.get_int("max-n", 32));
@@ -127,53 +31,8 @@ int main(int argc, char** argv) {
                 sizes.end());
   }
 
-  std::cout << "=== Table 2: possibility results for FSYNC ===\n"
-            << "sizes swept: ";
-  for (NodeId n : sizes) std::cout << n << " ";
-  std::cout << "| adversaries: static, obs1-block, targeted-random x" << seeds
-            << "\n\n";
-
-  util::Table table({"N. Agents", "Assumptions", "Paper bound",
-                     "Worst measured termination", "at n", "Runs",
-                     "Failures"});
-
-  {
-    const RowResult r = sweep(algo::AlgorithmId::KnownNNoChirality, sizes,
-                              seeds, 10, pool);
-    const NodeId n = r.worst_n;
-    table.add_row({"2", "Known bound N", "3N-6 (Th. 3)",
-                   util::fmt_count(r.worst_round) + "  (3n-5 = " +
-                       util::fmt_count(3 * n - 5) + " incl. detect round)",
-                   std::to_string(n), std::to_string(r.runs),
-                   std::to_string(r.failures)});
-  }
-  {
-    const RowResult r = sweep(algo::AlgorithmId::LandmarkWithChirality, sizes,
-                              seeds, 4000, pool);
-    const NodeId n = std::max<NodeId>(r.worst_n, 1);
-    table.add_row({"2", "Chirality, Landmark", "O(n) (Th. 6)",
-                   util::fmt_count(r.worst_round) + "  (= " +
-                       util::fmt_double(static_cast<double>(r.worst_round) / n,
-                                        1) +
-                       " * n)",
-                   std::to_string(n), std::to_string(r.runs),
-                   std::to_string(r.failures)});
-  }
-  {
-    const RowResult r = sweep(algo::AlgorithmId::LandmarkNoChirality, sizes,
-                              seeds, 100000, pool);
-    const NodeId n = std::max<NodeId>(r.worst_n, 1);
-    const double nlogn = static_cast<double>(n) * algo::ceil_log2(n);
-    table.add_row({"2", "Landmark (no chirality)", "O(n log n) (Th. 8)",
-                   util::fmt_count(r.worst_round) + "  (= " +
-                       util::fmt_double(r.worst_round / nlogn, 1) +
-                       " * n log n)",
-                   std::to_string(n), std::to_string(r.runs),
-                   std::to_string(r.failures)});
-  }
-
-  table.print(std::cout);
-  std::cout << "\nFailures = runs that did not explore, terminated "
-               "prematurely, or violated an invariant (expected: 0).\n";
+  const core::Artifact artifact = core::make_table2_artifact(sizes, seeds);
+  std::cout << core::derive_report(artifact,
+                                   core::run_artifact_rows(artifact, threads));
   return 0;
 }

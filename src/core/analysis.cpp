@@ -133,6 +133,18 @@ std::optional<double> metric_sample(const CampaignRow& row, Metric metric) {
   return std::nullopt;
 }
 
+WilsonInterval wilson_interval(int successes, int runs, double z) {
+  if (runs <= 0) return {0.0, 1.0};
+  const double n = static_cast<double>(runs);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
 double quantile(const std::vector<double>& sorted, double q) {
   if (sorted.empty())
     throw std::invalid_argument("quantile of an empty sample");
@@ -174,6 +186,7 @@ Aggregate fold_group(const std::vector<const CampaignRow*>& rows,
     if (const std::optional<double> s = metric_sample(*row, metric))
       samples.push_back(*s);
   }
+  agg.rate_ci = wilson_interval(agg.successes, agg.runs);
   agg.samples = static_cast<int>(samples.size());
   if (samples.empty()) return agg;
   std::sort(samples.begin(), samples.end());
@@ -233,6 +246,98 @@ std::vector<GroupRow> aggregate_rows(const std::vector<CampaignRow>& rows,
   for (auto& [key, members] : group_by(rows, axes))
     result.push_back({std::move(key), fold_group(members, metric)});
   return result;
+}
+
+// --- paired store comparison ------------------------------------------------
+
+double sign_test_p_value(int wins, int trials) {
+  if (trials <= 0) return 1.0;
+  const int k = std::min(wins, trials - wins);
+  // P[X <= k] for X ~ Binomial(trials, 1/2).  Small trial counts use the
+  // exact cumulative of C(trials, i) / 2^trials (bit-exact for the
+  // hand-checkable cases); larger ones must go through log space — the
+  // direct product has 2^-trials underflowing to 0 and the binomial
+  // coefficient overflowing to inf from ~10^3 trials, which would report
+  // any drift over a big store as p = 1.
+  if (trials <= 60) {
+    double coeff = 1.0;  // C(trials, 0)
+    double cumulative = 0.0;
+    const double scale = std::pow(0.5, trials);
+    for (int i = 0; i <= k; ++i) {
+      cumulative += coeff * scale;
+      coeff =
+          coeff * static_cast<double>(trials - i) / static_cast<double>(i + 1);
+    }
+    return std::min(1.0, 2.0 * cumulative);
+  }
+  // log C(trials, i) - trials*log 2 via lgamma, summed with the largest
+  // term (the last: terms increase up to trials/2) factored out.
+  const double log_half = std::log(0.5);
+  const double lg_n = std::lgamma(static_cast<double>(trials) + 1.0);
+  const auto log_term = [&](int i) {
+    return lg_n - std::lgamma(static_cast<double>(i) + 1.0) -
+           std::lgamma(static_cast<double>(trials - i) + 1.0) +
+           trials * log_half;
+  };
+  const double log_max = log_term(k);
+  double sum = 0.0;
+  for (int i = 0; i <= k; ++i) sum += std::exp(log_term(i) - log_max);
+  return std::min(1.0, 2.0 * std::exp(log_max) * sum);
+}
+
+PairedComparison paired_compare(const std::vector<CampaignRow>& a,
+                                const std::vector<CampaignRow>& b,
+                                Metric metric) {
+  std::map<std::uint64_t, const CampaignRow*> in_b;
+  for (const CampaignRow& row : b) in_b[row.fingerprint] = &row;
+  std::map<std::uint64_t, const CampaignRow*> in_a;
+  for (const CampaignRow& row : a) in_a[row.fingerprint] = &row;
+
+  PairedComparison cmp;
+  cmp.only_b = static_cast<int>(in_b.size());
+  std::vector<double> deltas;
+  for (const auto& [fp, row_a] : in_a) {
+    const auto it = in_b.find(fp);
+    if (it == in_b.end()) {
+      cmp.only_a += 1;
+      continue;
+    }
+    cmp.only_b -= 1;
+    cmp.common += 1;
+    const CampaignRow* row_b = it->second;
+
+    PairedRow pair;
+    pair.fingerprint = fp;
+    pair.spec = row_a->spec;
+    pair.success_a = row_success(*row_a);
+    pair.success_b = row_success(*row_b);
+    if (pair.success_a && !pair.success_b) cmp.success_flips_ab += 1;
+    if (!pair.success_a && pair.success_b) cmp.success_flips_ba += 1;
+    pair.sample_a = metric_sample(*row_a, metric);
+    pair.sample_b = metric_sample(*row_b, metric);
+    if (pair.sample_a && pair.sample_b) {
+      pair.delta = *pair.sample_b - *pair.sample_a;
+      cmp.pairs += 1;
+      if (*pair.delta < 0)
+        cmp.b_lower += 1;
+      else if (*pair.delta > 0)
+        cmp.b_higher += 1;
+      else
+        cmp.ties += 1;
+      deltas.push_back(*pair.delta);
+    }
+    cmp.rows.push_back(std::move(pair));
+  }
+
+  if (!deltas.empty()) {
+    double sum = 0;
+    for (const double d : deltas) sum += d;
+    cmp.mean_delta = sum / static_cast<double>(deltas.size());
+    std::sort(deltas.begin(), deltas.end());
+    cmp.median_delta = quantile(deltas, 0.5);
+  }
+  cmp.sign_test_p = sign_test_p_value(cmp.b_lower, cmp.b_lower + cmp.b_higher);
+  return cmp;
 }
 
 // --- frontier --------------------------------------------------------------
@@ -341,8 +446,8 @@ std::string render_aggregate_report(const std::vector<GroupRow>& groups,
                                     const std::vector<std::string>& group_keys,
                                     Metric metric, ReportFormat format) {
   const std::vector<std::string> stat_columns = {
-      "runs", "ok", "rate", "samples", "min", "mean", "median",
-      "p95",  "max", "sd"};
+      "runs", "ok", "rate", "rate_lo", "rate_hi", "samples", "min",
+      "mean", "median", "p95", "max", "sd"};
 
   if (format == ReportFormat::Json) {
     util::Json::Array out;
@@ -357,6 +462,8 @@ std::string render_aggregate_report(const std::vector<GroupRow>& groups,
       j.set("premature", static_cast<long long>(group.agg.premature));
       j.set("violations", static_cast<long long>(group.agg.violations));
       j.set("rate", group.agg.success_rate());
+      j.set("rate_lo", group.agg.rate_ci.lo);
+      j.set("rate_hi", group.agg.rate_ci.hi);
       j.set("samples", static_cast<long long>(group.agg.samples));
       if (group.agg.samples > 0) {
         j.set("min", group.agg.min);
@@ -384,7 +491,8 @@ std::string render_aggregate_report(const std::vector<GroupRow>& groups,
   header.insert(header.end(), stat_columns.begin(), stat_columns.end());
   if (format == ReportFormat::Markdown) {
     out += "Metric: " + to_string(metric) +
-           "; ok = explored && !premature; sd = population stddev.\n\n";
+           "; ok = explored && !premature; rate_lo/rate_hi = Wilson 95% "
+           "interval; sd = population stddev.\n\n";
     out += join_line(header, format);
     out += md_separator(header.size());
   } else {
@@ -395,6 +503,8 @@ std::string render_aggregate_report(const std::vector<GroupRow>& groups,
     cells.push_back(std::to_string(group.agg.runs));
     cells.push_back(std::to_string(group.agg.successes));
     cells.push_back(fmt_rate(group.agg.success_rate()));
+    cells.push_back(fmt_rate(group.agg.rate_ci.lo));
+    cells.push_back(fmt_rate(group.agg.rate_ci.hi));
     cells.push_back(std::to_string(group.agg.samples));
     if (group.agg.samples > 0) {
       cells.push_back(fmt_stat(group.agg.min));
@@ -506,6 +616,88 @@ std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
       cells.push_back(crossing);
       out += join_line(cells, format);
     }
+  }
+  return out;
+}
+
+std::string render_paired_report(const PairedComparison& cmp, Metric metric,
+                                 ReportFormat format) {
+  const auto sample_text = [](const std::optional<double>& s) {
+    return s ? fmt_stat(*s) : std::string("-");
+  };
+
+  if (format == ReportFormat::Json) {
+    util::Json doc;
+    doc.set("metric", to_string(metric));
+    doc.set("common", static_cast<long long>(cmp.common));
+    doc.set("only_a", static_cast<long long>(cmp.only_a));
+    doc.set("only_b", static_cast<long long>(cmp.only_b));
+    doc.set("success_flips_ab", static_cast<long long>(cmp.success_flips_ab));
+    doc.set("success_flips_ba", static_cast<long long>(cmp.success_flips_ba));
+    doc.set("pairs", static_cast<long long>(cmp.pairs));
+    doc.set("b_lower", static_cast<long long>(cmp.b_lower));
+    doc.set("b_higher", static_cast<long long>(cmp.b_higher));
+    doc.set("ties", static_cast<long long>(cmp.ties));
+    doc.set("mean_delta", cmp.mean_delta);
+    doc.set("median_delta", cmp.median_delta);
+    doc.set("sign_test_p", cmp.sign_test_p);
+    util::Json::Array rows;
+    for (const PairedRow& pair : cmp.rows) {
+      if (!pair.delta || *pair.delta == 0) continue;
+      util::Json j;
+      j.set("fp", hex_u64(pair.fingerprint));
+      j.set("spec", to_json(pair.spec));
+      j.set("a", *pair.sample_a);
+      j.set("b", *pair.sample_b);
+      j.set("delta", *pair.delta);
+      rows.push_back(std::move(j));
+    }
+    doc.set("changed", util::Json(std::move(rows)));
+    return doc.dump() + "\n";
+  }
+
+  std::string out;
+  if (format == ReportFormat::Markdown) {
+    out += "Paired comparison (delta = B - A), metric " + to_string(metric) +
+           "; sign-test p = exact two-sided binomial over non-tied pairs.\n\n";
+    out += join_line({"common", "only_a", "only_b", "flips A-ok", "flips B-ok",
+                      "pairs", "b_lower", "ties", "b_higher", "mean delta",
+                      "median delta", "sign-test p"},
+                     format);
+    out += md_separator(12);
+    out += join_line(
+        {std::to_string(cmp.common), std::to_string(cmp.only_a),
+         std::to_string(cmp.only_b), std::to_string(cmp.success_flips_ab),
+         std::to_string(cmp.success_flips_ba), std::to_string(cmp.pairs),
+         std::to_string(cmp.b_lower), std::to_string(cmp.ties),
+         std::to_string(cmp.b_higher), fmt_stat(cmp.mean_delta),
+         fmt_stat(cmp.median_delta), fmt_rate(cmp.sign_test_p)},
+        format);
+    bool any = false;
+    for (const PairedRow& pair : cmp.rows) {
+      if (!pair.delta || *pair.delta == 0) continue;
+      if (!any) {
+        out += "\nChanged pairs (fingerprint order):\n\n";
+        out += join_line({"fp", "spec", "a", "b", "delta"}, format);
+        out += md_separator(5);
+        any = true;
+      }
+      out += join_line({hex_u64(pair.fingerprint), to_json(pair.spec).dump(),
+                        sample_text(pair.sample_a), sample_text(pair.sample_b),
+                        fmt_stat(*pair.delta)},
+                       format);
+    }
+    return out;
+  }
+
+  // CSV: one line per common row (including ties — plot-ready).
+  out += join_line({"fp", "success_a", "success_b", "a", "b", "delta"}, format);
+  for (const PairedRow& pair : cmp.rows) {
+    out += join_line({hex_u64(pair.fingerprint),
+                      pair.success_a ? "1" : "0", pair.success_b ? "1" : "0",
+                      sample_text(pair.sample_a), sample_text(pair.sample_b),
+                      pair.delta ? fmt_stat(*pair.delta) : std::string("-")},
+                     format);
   }
   return out;
 }

@@ -94,12 +94,25 @@ bool row_success(const CampaignRow& row);
 /// contribute (ExploredRound on an unsuccessful run).
 std::optional<double> metric_sample(const CampaignRow& row, Metric metric);
 
+/// Wilson score interval on a binomial success rate — the uncertainty
+/// column of the paper-artifact tables.  Unlike the normal approximation
+/// it stays inside [0, 1] and behaves at 0/n and n/n.
+struct WilsonInterval {
+  double lo = 0;
+  double hi = 1;
+};
+
+/// Wilson interval for `successes` out of `runs` at critical value `z`
+/// (1.96 = 95%).  runs == 0 yields the vacuous [0, 1].
+WilsonInterval wilson_interval(int successes, int runs, double z = 1.96);
+
 /// Aggregate of one group of rows.
 struct Aggregate {
   int runs = 0;
   int successes = 0;   ///< explored && !premature
   int premature = 0;   ///< runs with a premature termination
   int violations = 0;  ///< total verifier findings across runs
+  WilsonInterval rate_ci;  ///< Wilson 95% interval on the success rate
   /// Distribution of the selected metric over the contributing runs.
   int samples = 0;
   double min = 0, max = 0;
@@ -128,6 +141,45 @@ std::vector<GroupRow> aggregate_rows(const std::vector<CampaignRow>& rows,
 /// Linear-interpolation quantile (q in [0,1]) of an ascending-sorted,
 /// non-empty sample vector: index q*(N-1), fractional indexes interpolate.
 double quantile(const std::vector<double>& sorted, double q);
+
+// --- paired store comparison ------------------------------------------------
+
+/// One fingerprint present in both stores of a paired comparison.
+struct PairedRow {
+  std::uint64_t fingerprint = 0;
+  ScenarioSpec spec;  ///< from store A (identical in B by construction)
+  bool success_a = false, success_b = false;
+  std::optional<double> sample_a, sample_b;  ///< metric samples per side
+  std::optional<double> delta;               ///< b - a, when both sampled
+};
+
+/// Per-fingerprint A/B comparison of two stores — the significance test
+/// for "did this commit/axis change the measured behaviour?".
+struct PairedComparison {
+  int common = 0;             ///< fingerprints present in both stores
+  int only_a = 0, only_b = 0;
+  int success_flips_ab = 0;   ///< success in A, failure in B
+  int success_flips_ba = 0;   ///< failure in A, success in B
+  int pairs = 0;              ///< rows where both sides carry a sample
+  int b_lower = 0;            ///< delta < 0 (B cheaper on a cost metric)
+  int b_higher = 0;           ///< delta > 0
+  int ties = 0;               ///< delta == 0
+  double mean_delta = 0, median_delta = 0;
+  /// Two-sided exact binomial sign test over the non-tied pairs: the
+  /// probability of a split at least this lopsided under "no drift".
+  double sign_test_p = 1.0;
+  std::vector<PairedRow> rows;  ///< common rows, fingerprint order
+};
+
+/// Exact two-sided binomial sign-test p-value for `wins` out of `trials`
+/// fair coin flips: min(1, 2 * P[X <= min(wins, trials - wins)]).
+/// trials == 0 yields 1.0.
+double sign_test_p_value(int wins, int trials);
+
+/// Join two row sets by fingerprint and compare the metric per pair.
+PairedComparison paired_compare(const std::vector<CampaignRow>& a,
+                                const std::vector<CampaignRow>& b,
+                                Metric metric);
 
 // --- frontier / phase transitions ------------------------------------------
 
@@ -182,5 +234,10 @@ std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
                                    const std::vector<std::string>& group_keys,
                                    const std::string& axis, double threshold,
                                    ReportFormat format);
+
+/// Byte-stable rendering of a paired comparison (summary plus every
+/// non-tied pair, fingerprint order).
+std::string render_paired_report(const PairedComparison& cmp, Metric metric,
+                                 ReportFormat format);
 
 }  // namespace dring::core

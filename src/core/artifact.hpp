@@ -1,0 +1,131 @@
+// Paper artifacts: the declarative layer that turns campaign stores into
+// the paper's tables and figures.
+//
+// Until PR 4 the headline results (Table 2/4 possibility, the
+// price-of-liveness figure) were produced by bespoke bench binaries with
+// hand-rolled scenario loops and formatting, while the campaign subsystem
+// (core/campaign.hpp) and analytics (core/analysis.hpp) already provided
+// exactly the needed machinery: declarative scenario specs, a canonical
+// sharded JSONL store, byte-stable derivation.  An Artifact is the glue —
+// one named unit of:
+//
+//   * a fixed scenario list (ScenarioSpecs with explicit seeds, matching
+//     the legacy bench grids cell for cell);
+//   * an optional per-run enrichment hook that computes extra metrics
+//     from the traced execution (e.g. the offline optimum a
+//     price-of-liveness row needs) and persists them in the store row;
+//   * a byte-stable renderer from store rows to the committed report.
+//
+// Execution rides run_sweep with run_campaign semantics (resume by
+// fingerprint, --shard i/m partitioning, canonical store bytes), so an
+// artifact's campaign can run across machines and merge losslessly; the
+// derivation is a pure function of the store, so committed reports under
+// examples/paper/ re-derive byte-identically in CI (dring_artifact
+// --check).  The migrated bench binaries are thin shims: build the
+// artifact, run it in-memory, print the derived report — their stdout is
+// byte-identical to the pre-migration output (pinned by
+// tests/artifact_test.cpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace dring::core {
+
+/// One cell of an artifact's scenario list: the spec plus the display
+/// identity its renderer needs (row label, table-section index).
+struct ArtifactScenario {
+  ScenarioSpec spec;
+  std::string label;  ///< renderer row label (e.g. "targeted-random#3")
+  int group = 0;      ///< renderer-defined section (e.g. table row index)
+};
+
+/// A named paper artifact.
+struct Artifact {
+  std::string name;         ///< CLI identity (e.g. "table2_fsync")
+  std::string title;        ///< one-line description for --list
+  std::string report_file;  ///< file name under the artifact directory
+  std::vector<ArtifactScenario> scenarios;
+  /// Optional post-run enrichment: extra per-run metrics computed from the
+  /// traced execution, persisted in the row ("extra" store member).  When
+  /// set, the artifact executes on run_sweep_traced.  Must be a pure
+  /// function of (scenario, run) — store bytes stay deterministic.
+  std::function<std::map<std::string, long long>(const ArtifactScenario&,
+                                                 const SweepRun&)>
+      enrich;
+  /// Derive the report from rows positionally parallel to `scenarios`.
+  std::function<std::string(const std::vector<ArtifactScenario>&,
+                            const std::vector<const CampaignRow*>&)>
+      render;
+};
+
+// --- the registry -----------------------------------------------------------
+
+/// Every paper artifact at its paper-default grid, in a stable order.
+const std::vector<Artifact>& paper_artifacts();
+
+/// Lookup by name; throws std::invalid_argument listing the valid names.
+const Artifact& artifact_by_name(const std::string& name);
+
+// --- parameterized builders (tests, bench --seeds/--max-n flags) ------------
+
+/// Table 2 (FSYNC possibility): per theorem row, sweep `sizes` under
+/// static / obs1-block / targeted-random adversaries (`seeds` randomized
+/// runs per size) plus the exact Figure 2 worst case, and report the worst
+/// measured termination round against the paper bound.
+Artifact make_table2_artifact(std::vector<NodeId> sizes, int seeds);
+
+/// Table 4 (SSYNC possibility): per theorem row, sweep `sizes` under
+/// hostile randomized dynamics and — for the 2-agent PT rows — the
+/// sliding-window move-forcing adversary, and report the worst measured
+/// move count against the paper's asymptotic claim.
+Artifact make_table4_artifact(std::vector<NodeId> sizes, int seeds);
+
+/// Price of liveness: live exploration versus the offline optimum on the
+/// same schedule (targeted-random schedules over `random_sizes`, `seeds`
+/// each, plus the Figure 2 worst case over `fig2_sizes`).  The offline
+/// optimum is computed at run time from the recorded trace (enrich hook)
+/// and persisted, so the report derives from the store alone.
+Artifact make_price_of_liveness_artifact(std::vector<NodeId> random_sizes,
+                                         std::vector<NodeId> fig2_sizes,
+                                         int seeds);
+
+// --- execution --------------------------------------------------------------
+
+/// Execution knobs (run_campaign semantics over the scenario list).
+struct ArtifactRunOptions {
+  int threads = 0;
+  std::string store_path;  ///< empty = no store
+  bool resume = false;     ///< skip fingerprints already stored
+  int shard_index = 0;
+  int shard_count = 1;
+};
+
+struct ArtifactRunReport {
+  std::size_t total = 0;
+  std::size_t sharded_out = 0;
+  std::size_t skipped = 0;
+  std::size_t executed = 0;
+  std::vector<CampaignRow> rows;  ///< executed rows, scenario order
+};
+
+/// Run (a shard of) the artifact's scenarios and maintain its store.
+ArtifactRunReport run_artifact(const Artifact& artifact,
+                               const ArtifactRunOptions& options);
+
+/// Execute every scenario in-memory (no store); rows in scenario order.
+std::vector<CampaignRow> run_artifact_rows(const Artifact& artifact,
+                                           int threads);
+
+/// Derive the committed report from store rows: every scenario fingerprint
+/// must be present (rows from other campaigns sharing the store are
+/// ignored); throws std::runtime_error naming the artifact and the number
+/// of missing rows otherwise.
+std::string derive_report(const Artifact& artifact,
+                          const std::vector<CampaignRow>& rows);
+
+}  // namespace dring::core

@@ -21,6 +21,8 @@ CampaignOutcome outcome_of(const sim::RunResult& r) {
   o.premature_termination = r.premature_termination;
   o.fairness_interventions = r.fairness_interventions;
   o.violations = static_cast<int>(r.violations.size());
+  for (const sim::AgentResult& a : r.agents)
+    o.last_termination = std::max(o.last_termination, a.termination_round);
   o.stop_reason = r.stop_reason;
   return o;
 }
@@ -38,7 +40,14 @@ util::Json to_json(const CampaignRow& row) {
   result.set("premature", row.outcome.premature_termination);
   result.set("fairness_interventions", row.outcome.fairness_interventions);
   result.set("violations", static_cast<long long>(row.outcome.violations));
+  result.set("last_termination",
+             static_cast<long long>(row.outcome.last_termination));
   result.set("stop_reason", row.outcome.stop_reason);
+  if (!row.outcome.extra.empty()) {
+    util::Json extra;
+    for (const auto& [key, value] : row.outcome.extra) extra.set(key, value);
+    result.set("extra", std::move(extra));
+  }
 
   util::Json j;
   j.set("fp", hex_u64(row.fingerprint));
@@ -69,7 +78,11 @@ CampaignRow campaign_row_from_json(const util::Json& j) {
   row.outcome.premature_termination = r.get_bool("premature", false);
   row.outcome.fairness_interventions = r.get_int("fairness_interventions", 0);
   row.outcome.violations = static_cast<int>(r.get_int("violations", 0));
+  row.outcome.last_termination = r.get_int("last_termination", -1);
   row.outcome.stop_reason = r.get_string("stop_reason", "");
+  if (r.has("extra"))
+    for (const auto& [key, value] : r.at("extra").as_object())
+      row.outcome.extra[key] = value.as_int();
   return row;
 }
 
@@ -167,53 +180,76 @@ std::vector<ScenarioSpec> shard_filter(const std::vector<ScenarioSpec>& specs,
   return mine;
 }
 
-CampaignReport run_campaign(const CampaignSpec& campaign,
-                            const CampaignOptions& options) {
-  const std::vector<ScenarioSpec> all = expand(campaign);
-  const std::vector<ScenarioSpec> mine =
-      shard_filter(all, options.shard_index, options.shard_count);
-
-  const bool with_store = !options.out_path.empty();
+StoreRunResult run_with_store(
+    const std::vector<std::uint64_t>& fingerprints,
+    const std::string& store_path, bool resume,
+    const std::function<
+        std::vector<CampaignRow>(const std::vector<std::size_t>&)>& execute) {
+  const bool with_store = !store_path.empty();
   std::vector<CampaignRow> existing;
-  if (options.resume && with_store) {
-    std::ifstream in(options.out_path);
+  if (resume && with_store) {
+    std::ifstream in(store_path);
     if (in) existing = read_result_store(in);
   }
 
-  std::vector<ScenarioSpec> todo;
-  std::size_t skipped = 0;
+  StoreRunResult result;
+  std::vector<std::size_t> todo;
   if (!existing.empty()) {
     std::unordered_set<std::uint64_t> done;
     for (const CampaignRow& row : existing) done.insert(row.fingerprint);
-    for (const ScenarioSpec& spec : mine) {
-      if (done.count(fingerprint(spec)))
-        ++skipped;
+    for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+      if (done.count(fingerprints[i]))
+        ++result.skipped;
       else
-        todo.push_back(spec);
+        todo.push_back(i);
     }
   } else {
-    todo = mine;
+    todo.resize(fingerprints.size());
+    for (std::size_t i = 0; i < fingerprints.size(); ++i) todo[i] = i;
   }
 
-  CampaignReport report;
-  report.total = all.size();
-  report.sharded_out = all.size() - mine.size();
-  report.skipped = skipped;
-  report.executed = todo.size();
-  report.rows = run_scenarios(todo, options.threads);
+  result.rows = execute(todo);
 
   // A fresh run replaces the store; a resume run rewrites it with the
   // union of existing and new rows.  Either way the file ends up in
   // canonical order, so equal row sets mean equal bytes — the property
   // the shard + merge workflow relies on.  When a resume executed
   // nothing the store is left untouched.
-  if (with_store && !report.rows.empty()) {
+  if (with_store && !result.rows.empty()) {
     std::vector<CampaignRow> out = existing;
-    out.insert(out.end(), report.rows.begin(), report.rows.end());
-    write_result_store(options.out_path, std::move(out));
-  } else if (with_store && !options.resume) {
-    write_result_store(options.out_path, {});
+    out.insert(out.end(), result.rows.begin(), result.rows.end());
+    write_result_store(store_path, std::move(out));
+  } else if (with_store && !resume) {
+    write_result_store(store_path, {});
   }
+  return result;
+}
+
+CampaignReport run_campaign(const CampaignSpec& campaign,
+                            const CampaignOptions& options) {
+  const std::vector<ScenarioSpec> all = expand(campaign);
+  const std::vector<ScenarioSpec> mine =
+      shard_filter(all, options.shard_index, options.shard_count);
+
+  std::vector<std::uint64_t> fingerprints;
+  fingerprints.reserve(mine.size());
+  for (const ScenarioSpec& spec : mine) fingerprints.push_back(fingerprint(spec));
+
+  StoreRunResult result = run_with_store(
+      fingerprints, options.out_path, options.resume,
+      [&](const std::vector<std::size_t>& todo) {
+        std::vector<ScenarioSpec> specs;
+        specs.reserve(todo.size());
+        for (const std::size_t i : todo) specs.push_back(mine[i]);
+        return run_scenarios(specs, options.threads);
+      });
+
+  CampaignReport report;
+  report.total = all.size();
+  report.sharded_out = all.size() - mine.size();
+  report.skipped = result.skipped;
+  report.executed = result.rows.size();
+  report.rows = std::move(result.rows);
   return report;
 }
 

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,7 +38,9 @@ namespace dring::core {
 /// Version of the row schema this build reads and writes.  Bump when the
 /// row layout or the store's ordering contract changes; rows without a
 /// "v" field are version 1 (the pre-versioning append-ordered stores).
-inline constexpr long long kStoreSchemaVersion = 2;
+/// v3 added the "last_termination" outcome member and the optional
+/// artifact "extra" map.
+inline constexpr long long kStoreSchemaVersion = 3;
 
 /// The per-scenario summary persisted in a row (the RunResult fields that
 /// are meaningful across heterogeneous scenarios).
@@ -50,7 +54,14 @@ struct CampaignOutcome {
   bool premature_termination = false;
   long long fairness_interventions = 0;
   int violations = 0;
+  /// Worst per-agent termination round (-1 = no agent terminated) — the
+  /// quantity Table 2's "worst measured termination" column reports.
+  Round last_termination = -1;
   std::string stop_reason;
+  /// Artifact-computed per-run metrics (core/artifact.hpp enrich hooks,
+  /// e.g. the price-of-liveness offline optimum); empty for plain
+  /// campaign runs and omitted from the store row when empty.
+  std::map<std::string, long long> extra;
 
   friend bool operator==(const CampaignOutcome&,
                          const CampaignOutcome&) = default;
@@ -129,6 +140,24 @@ std::vector<ScenarioSpec> shard_filter(const std::vector<ScenarioSpec>& specs,
 /// with the union of existing and new rows (both in canonical order).
 CampaignReport run_campaign(const CampaignSpec& campaign,
                             const CampaignOptions& options);
+
+/// The store-maintenance core shared by run_campaign and run_artifact
+/// (core/artifact.hpp): resume-filter `fingerprints` against the store,
+/// execute the missing subset via `execute` (called once with the indices
+/// into `fingerprints` to run, in order), and rewrite the store — a fresh
+/// run replaces it, a resume run rewrites the union of existing and new
+/// rows, both in canonical order.  This is the single home of that
+/// contract; the shard/merge byte-stability CI pins ride on it.
+struct StoreRunResult {
+  std::size_t skipped = 0;        ///< fingerprints already stored
+  std::vector<CampaignRow> rows;  ///< executed rows, in `execute` order
+};
+
+StoreRunResult run_with_store(
+    const std::vector<std::uint64_t>& fingerprints,
+    const std::string& store_path, bool resume,
+    const std::function<
+        std::vector<CampaignRow>(const std::vector<std::size_t>&)>& execute);
 
 /// Store diff (for comparing campaign outputs across commits): rows
 /// present in only one store are reported separately from rows present in

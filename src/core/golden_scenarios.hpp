@@ -51,7 +51,7 @@ inline GoldenRun execute(ExplorationConfig cfg, sim::Adversary* adv) {
 /// itself covered by the golden digests.
 inline GoldenRun execute_spec(const ScenarioSpec& spec) {
   const std::unique_ptr<sim::Adversary> adv =
-      make_adversary_factory(spec.adversary, spec.seed)();
+      make_adversary_factory(spec.adversary, spec.seed, spec.n)();
   return execute(build_config(spec), adv.get());
 }
 

@@ -53,11 +53,30 @@ ExplorationConfig build_config(const ScenarioSpec& spec) {
   if (!spec.model.empty()) cfg.model = model_from_string(spec.model);
   cfg.stop.max_rounds =
       spec.max_rounds > 0 ? spec.max_rounds : 2000LL * spec.n + 200'000;
+  if (!spec.start_nodes.empty()) cfg.start_nodes = spec.start_nodes;
+  if (!spec.orientations.empty()) {
+    cfg.orientations.clear();
+    for (const char c : spec.orientations) {
+      if (c == 'c')
+        cfg.orientations.push_back(agent::kChiralOrientation);
+      else if (c == 'm')
+        cfg.orientations.push_back(agent::kMirroredOrientation);
+      else
+        throw std::invalid_argument(
+            std::string("bad orientation char '") + c + "' (want 'c' or 'm')");
+    }
+  }
+  // Like the table benches: the override moves an existing landmark, it
+  // never adds one to a landmark-free algorithm.
+  if (spec.landmark >= 0 && cfg.landmark) cfg.landmark = spec.landmark;
+  if (spec.fairness_window > 0) cfg.engine.fairness_window = spec.fairness_window;
+  if (spec.stop_explored_one_terminated)
+    cfg.stop.stop_when_explored_and_one_terminated = true;
   return cfg;
 }
 
 std::function<std::unique_ptr<sim::Adversary>()> make_adversary_factory(
-    const AdversarySpec& spec, std::uint64_t seed) {
+    const AdversarySpec& spec, std::uint64_t seed, NodeId n) {
   using Ptr = std::unique_ptr<sim::Adversary>;
   std::function<Ptr()> base;
   if (spec.family == "null") {
@@ -96,6 +115,19 @@ std::function<std::unique_ptr<sim::Adversary>()> make_adversary_factory(
     base = [dwell]() -> Ptr {
       return std::make_unique<adversary::RotationActivationAdversary>(dwell);
     };
+  } else if (spec.family == "fig2") {
+    if (n < 3)
+      throw std::invalid_argument(
+          "fig2 adversary needs the scenario's ring size");
+    const NodeId anchor = static_cast<NodeId>(spec.edge);
+    base = [n, anchor]() -> Ptr {
+      return std::make_unique<adversary::ScriptedEdgeAdversary>(
+          adversary::make_fig2_script(n, anchor), "fig2");
+    };
+  } else if (spec.family == "sliding-window") {
+    base = []() -> Ptr {
+      return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
+    };
   } else {
     throw std::invalid_argument("unknown adversary family: " + spec.family);
   }
@@ -111,7 +143,8 @@ ScenarioTask to_task(const ScenarioSpec& spec) {
   ScenarioTask task;
   task.cfg = build_config(spec);
   task.seed = spec.seed;
-  task.make_adversary = make_adversary_factory(spec.adversary, spec.seed);
+  task.make_adversary =
+      make_adversary_factory(spec.adversary, spec.seed, spec.n);
   return task;
 }
 
@@ -138,6 +171,8 @@ util::Json to_json(const AdversarySpec& spec) {
     j.set("victim", static_cast<long long>(spec.victim));
   } else if (spec.family == "rotation") {
     j.set("dwell", static_cast<long long>(spec.dwell));
+  } else if (spec.family == "fig2") {
+    j.set("edge", static_cast<long long>(spec.edge));
   }
   if (spec.t_interval > 1)
     j.set("t_interval", static_cast<long long>(spec.t_interval));
@@ -169,6 +204,21 @@ util::Json to_json(const ScenarioSpec& spec) {
   if (spec.max_rounds > 0)
     j.set("max_rounds", static_cast<long long>(spec.max_rounds));
   if (!spec.model.empty()) j.set("model", spec.model);
+  // Proof-construction overrides: every field is omitted at its default,
+  // so the fingerprints of pre-existing specs are untouched.
+  if (!spec.start_nodes.empty()) {
+    util::Json::Array nodes;
+    for (const NodeId node : spec.start_nodes)
+      nodes.emplace_back(static_cast<long long>(node));
+    j.set("start_nodes", util::Json(std::move(nodes)));
+  }
+  if (!spec.orientations.empty()) j.set("orientations", spec.orientations);
+  if (spec.landmark >= 0)
+    j.set("landmark", static_cast<long long>(spec.landmark));
+  if (spec.fairness_window > 0)
+    j.set("fairness_window", static_cast<long long>(spec.fairness_window));
+  if (spec.stop_explored_one_terminated)
+    j.set("stop_explored_one_terminated", true);
   return j;
 }
 
@@ -182,6 +232,14 @@ ScenarioSpec scenario_spec_from_json(const util::Json& j) {
   if (j.has("seed")) spec.seed = parse_u64(j.at("seed"));
   spec.max_rounds = j.get_int("max_rounds", 0);
   spec.model = j.get_string("model", "");
+  if (j.has("start_nodes"))
+    for (const util::Json& node : j.at("start_nodes").as_array())
+      spec.start_nodes.push_back(static_cast<NodeId>(node.as_int()));
+  spec.orientations = j.get_string("orientations", "");
+  spec.landmark = static_cast<NodeId>(j.get_int("landmark", -1));
+  spec.fairness_window = j.get_int("fairness_window", 0);
+  spec.stop_explored_one_terminated =
+      j.get_bool("stop_explored_one_terminated", false);
   return spec;
 }
 

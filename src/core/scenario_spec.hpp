@@ -39,6 +39,9 @@ namespace dring::core {
 ///   "prevent-meeting" Obs. 2: removes an edge only to prevent a meeting
 ///   "ns-first-mover"  Th. 9: starves movers under NS
 ///   "rotation"        activates one agent at a time (`dwell` rounds each)
+///   "fig2"            the exact Figure 2 worst-case schedule anchored at
+///                     node `edge` (needs the scenario's ring size)
+///   "sliding-window"  Th. 13/15 move-forcing window (leader 0, chaser 1)
 ///
 /// Any family can additionally be wrapped in the T-interval-connectivity
 /// decorator by setting t_interval > 1 (adversary/t_interval.hpp).
@@ -47,7 +50,7 @@ struct AdversarySpec {
   double remove_prob = 0.5;      ///< "random"
   double target_prob = 0.5;      ///< "targeted-random"
   double activation_prob = 1.0;  ///< "random" / "targeted-random"
-  EdgeId edge = 0;               ///< "fixed-edge"
+  EdgeId edge = 0;               ///< "fixed-edge"; anchor node for "fig2"
   AgentId victim = 0;            ///< "block-agent"
   Round dwell = 1;               ///< "rotation"
   Round t_interval = 1;          ///< wrap in TIntervalAdversary when > 1
@@ -68,6 +71,22 @@ struct ScenarioSpec {
   /// Optional synchrony-model override ("FSYNC", "SSYNC/NS", "SSYNC/PT",
   /// "SSYNC/ET"); empty = the algorithm's native model.
   std::string model;
+  /// Explicit start nodes (empty = the theorem's default placement).
+  /// Needed by the paper-artifact scenarios lifted from the proof
+  /// constructions (Figure 2, the sliding-window dance).
+  std::vector<NodeId> start_nodes;
+  /// Per-agent orientations: one char per agent, 'c' = chiral (local left
+  /// maps to global Ccw), 'm' = mirrored.  Empty = the algorithm's default
+  /// orientation policy.
+  std::string orientations;
+  /// Landmark node override; applied only when the algorithm's default
+  /// config places a landmark.  -1 = keep the default placement.
+  NodeId landmark = -1;
+  /// Engine fairness-window override (0 = the engine default).
+  Round fairness_window = 0;
+  /// Stop as soon as the ring is explored and one agent terminated — the
+  /// partial-termination measurement mode of the table benches.
+  bool stop_explored_one_terminated = false;
 };
 
 /// A parameter grid over the scenario axes. Empty axis vectors mean "the
@@ -93,9 +112,11 @@ struct CampaignSpec {
 ExplorationConfig build_config(const ScenarioSpec& spec);
 
 /// Thread-safe factory for the spec's adversary (each call builds a fresh
-/// private instance; see ScenarioTask::make_adversary).
+/// private instance; see ScenarioTask::make_adversary).  `n` is the
+/// scenario's ring size — required by the "fig2" family, ignored by the
+/// others.
 std::function<std::unique_ptr<sim::Adversary>()> make_adversary_factory(
-    const AdversarySpec& spec, std::uint64_t seed);
+    const AdversarySpec& spec, std::uint64_t seed, NodeId n = 0);
 
 /// Full translation to a sweep task.
 ScenarioTask to_task(const ScenarioSpec& spec);

@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace dring::util {
@@ -57,6 +59,69 @@ std::vector<std::string> Cli::get_all(const std::string& name) const {
   for (const auto& [flag, value] : ordered_)
     if (flag == name) values.push_back(value);
   return values;
+}
+
+bool parse_shard(const std::string& text, int& index, int& count) {
+  if (text.empty()) return true;
+  int i = -1, m = -1, consumed = 0;
+  if (std::sscanf(text.c_str(), "%d/%d%n", &i, &m, &consumed) != 2 ||
+      consumed != static_cast<int>(text.size()) || m < 1 || i < 0 || i >= m)
+    return false;
+  index = i;
+  count = m;
+  return true;
+}
+
+FlagTable::FlagTable(std::string tool, std::string summary)
+    : tool_(std::move(tool)), summary_(std::move(summary)) {}
+
+FlagTable& FlagTable::synopsis(std::string line) {
+  synopses_.push_back(std::move(line));
+  return *this;
+}
+
+FlagTable& FlagTable::flag(std::string name, std::string value,
+                           std::string help) {
+  entries_.push_back({std::move(name), std::move(value), std::move(help)});
+  return *this;
+}
+
+FlagTable& FlagTable::note(std::string line) {
+  notes_.push_back(std::move(line));
+  return *this;
+}
+
+std::string FlagTable::help_text() const {
+  std::string out = tool_ + " — " + summary_ + "\n";
+  for (std::size_t i = 0; i < synopses_.size(); ++i)
+    out += (i == 0 ? "usage: " : "       ") + synopses_[i] + "\n";
+
+  std::size_t width = 0;
+  const auto left_column = [](const Entry& e) {
+    return "--" + e.name + (e.value.empty() ? "" : " " + e.value);
+  };
+  for (const Entry& e : entries_) width = std::max(width, left_column(e).size());
+  if (!entries_.empty()) out += "\nflags:\n";
+  for (const Entry& e : entries_) {
+    const std::string left = left_column(e);
+    out += "  " + left + std::string(width - left.size() + 2, ' ') + e.help +
+           "\n";
+  }
+  if (!notes_.empty()) out += "\n";
+  for (const std::string& line : notes_) out += line + "\n";
+  return out;
+}
+
+std::optional<std::string> FlagTable::unknown_flags(const Cli& cli) const {
+  std::string offenders;
+  for (const auto& [name, value] : cli.flags()) {
+    bool known = false;
+    for (const Entry& e : entries_) known = known || e.name == name;
+    if (!known) offenders += (offenders.empty() ? "" : ", ") + ("--" + name);
+  }
+  if (offenders.empty()) return std::nullopt;
+  return tool_ + ": unknown flag(s): " + offenders +
+         " (see " + tool_ + " --help)";
 }
 
 }  // namespace dring::util

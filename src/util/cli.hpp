@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,58 @@ class Cli {
   std::map<std::string, std::string> flags_;
   std::vector<std::pair<std::string, std::string>> ordered_;  ///< all occurrences
   std::vector<std::string> positional_;
+};
+
+/// Parse a `--shard i/m` value into (index, count); (index, count)
+/// untouched when `text` is empty.  The whole string must be consumed —
+/// `1/2/4` or `0/2x` are errors, not silently-truncated shard geometries.
+/// Returns false on any malformed or out-of-range input.
+bool parse_shard(const std::string& text, int& index, int& count);
+
+/// Declarative flag table shared by the dring_* tools: one place for the
+/// flag list, the --help text and unknown-flag rejection, so the three
+/// CLIs present one interface instead of three hand-rolled usage blocks.
+///
+///   FlagTable flags("dring_report", "aggregate tables over result stores");
+///   flags.synopsis("dring_report --store results.jsonl [--group-by ...]")
+///        .flag("store", "FILE", "result store to load (repeatable)")
+///        .flag("help", "", "print this help")
+///        .note("metrics: explored_round, rounds, moves");
+///   if (cli.get_bool("help", false)) { std::cout << flags.help_text(); ... }
+///   if (const auto err = flags.unknown_flags(cli)) { /* hard error */ }
+class FlagTable {
+ public:
+  FlagTable(std::string tool, std::string summary);
+
+  /// Add a usage line (repeatable; rendered in declaration order).
+  FlagTable& synopsis(std::string line);
+  /// Declare a flag; `value` is the placeholder shown after the name
+  /// (empty for boolean flags).
+  FlagTable& flag(std::string name, std::string value, std::string help);
+  /// Add a trailing free-form help line (metrics lists, axis lists, ...).
+  FlagTable& note(std::string line);
+
+  /// The formatted --help text (summary, synopses, aligned flag table,
+  /// notes).
+  std::string help_text() const;
+
+  /// nullopt when every parsed flag is declared; otherwise an error
+  /// message naming the unknown flags.  Tools treat this as a hard error
+  /// — a typo must not be silently ignored.
+  std::optional<std::string> unknown_flags(const Cli& cli) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value;
+    std::string help;
+  };
+
+  std::string tool_;
+  std::string summary_;
+  std::vector<std::string> synopses_;
+  std::vector<Entry> entries_;
+  std::vector<std::string> notes_;
 };
 
 }  // namespace dring::util

@@ -103,6 +103,161 @@ TEST(AnalysisAggregate, HandComputedStatistics) {
   EXPECT_DOUBLE_EQ(all_runs[0].agg.max, 99.0);
 }
 
+TEST(AnalysisAggregate, DegenerateGroupsStayWellDefined) {
+  // Empty sample set: a group whose runs all failed contributes no
+  // explored_round samples — the distribution fields stay zeroed and the
+  // renderer prints "-" cells instead of stale numbers.
+  std::vector<CampaignRow> failures;
+  failures.push_back(fake_row("A", 8, 1, 1, false, 0, 50, 5));
+  failures.push_back(fake_row("A", 8, 1, 2, false, 0, 60, 6));
+  const std::vector<GroupRow> empty =
+      aggregate_rows(failures, {"algorithm"}, Metric::ExploredRound);
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0].agg.runs, 2);
+  EXPECT_EQ(empty[0].agg.successes, 0);
+  EXPECT_EQ(empty[0].agg.samples, 0);
+  EXPECT_DOUBLE_EQ(empty[0].agg.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty[0].agg.stddev, 0.0);
+  const std::string md = render_aggregate_report(
+      empty, {"algorithm"}, Metric::ExploredRound, ReportFormat::Markdown);
+  EXPECT_NE(md.find("| - | - | - | - | - | - |"), std::string::npos) << md;
+
+  // Single sample: every order statistic is that sample, dispersion 0.
+  std::vector<CampaignRow> single;
+  single.push_back(fake_row("A", 8, 1, 1, true, 7, 9, 3));
+  const Aggregate& one =
+      aggregate_rows(single, {"algorithm"}, Metric::ExploredRound)[0].agg;
+  EXPECT_EQ(one.samples, 1);
+  EXPECT_DOUBLE_EQ(one.min, 7.0);
+  EXPECT_DOUBLE_EQ(one.max, 7.0);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_DOUBLE_EQ(one.p95, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+
+  // All-identical samples: quantiles interpolate between equal values,
+  // stddev is exactly 0 (no catastrophic cancellation).
+  std::vector<CampaignRow> identical;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    identical.push_back(fake_row("A", 8, 1, seed, true, 5, 9, 3));
+  const Aggregate& same =
+      aggregate_rows(identical, {"algorithm"}, Metric::ExploredRound)[0].agg;
+  EXPECT_EQ(same.samples, 3);
+  EXPECT_DOUBLE_EQ(same.median, 5.0);
+  EXPECT_DOUBLE_EQ(same.p95, 5.0);
+  EXPECT_DOUBLE_EQ(same.stddev, 0.0);
+}
+
+TEST(AnalysisWilson, HandComputedIntervals) {
+  // 8/10 at z = 1.96: center = (0.8 + z^2/20) / (1 + z^2/10),
+  // half = z/(1 + z^2/10) * sqrt(0.8*0.2/10 + z^2/400).
+  const WilsonInterval ci = wilson_interval(8, 10);
+  EXPECT_NEAR(ci.lo, 0.4902, 1e-4);
+  EXPECT_NEAR(ci.hi, 0.9433, 1e-4);
+
+  // Degenerate rates stay inside [0, 1] (the point of Wilson over the
+  // normal approximation).
+  const WilsonInterval none = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_NEAR(none.hi, 0.2775, 1e-4);
+  const WilsonInterval all = wilson_interval(10, 10);
+  EXPECT_NEAR(all.lo, 0.7225, 1e-4);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+
+  // Symmetry: k/n and (n-k)/n mirror around 1/2.
+  const WilsonInterval three = wilson_interval(3, 10);
+  const WilsonInterval seven = wilson_interval(7, 10);
+  EXPECT_NEAR(three.lo, 1.0 - seven.hi, 1e-12);
+  EXPECT_NEAR(three.hi, 1.0 - seven.lo, 1e-12);
+
+  // No runs: vacuous interval.
+  EXPECT_DOUBLE_EQ(wilson_interval(0, 0).lo, 0.0);
+  EXPECT_DOUBLE_EQ(wilson_interval(0, 0).hi, 1.0);
+}
+
+TEST(AnalysisSignTest, ExactBinomialPValues) {
+  EXPECT_DOUBLE_EQ(sign_test_p_value(0, 0), 1.0);
+  // 1 win in 8: 2 * (C(8,0) + C(8,1)) / 2^8 = 18/256.
+  EXPECT_DOUBLE_EQ(sign_test_p_value(1, 8), 0.0703125);
+  EXPECT_DOUBLE_EQ(sign_test_p_value(7, 8), 0.0703125);  // two-sided
+  // 0 wins in 10: 2 / 2^10.
+  EXPECT_DOUBLE_EQ(sign_test_p_value(0, 10), 0.001953125);
+  // An even split is as un-lopsided as it gets: capped at 1.
+  EXPECT_DOUBLE_EQ(sign_test_p_value(4, 8), 1.0);
+
+  // Large trial counts go through the log-space path (the direct
+  // product under/overflows past ~10^3 trials and used to collapse every
+  // big-store comparison to p = 1): the exact and log-space paths agree
+  // where both are well-conditioned, lopsided large splits stay
+  // significant, and even large splits stay capped.
+  EXPECT_NEAR(sign_test_p_value(25, 61), 0.200031369, 1e-6);
+  EXPECT_LT(sign_test_p_value(900, 2000), 1e-5);
+  EXPECT_GT(sign_test_p_value(900, 2000), 0.0);
+  EXPECT_LT(sign_test_p_value(500, 1200), 1e-8);
+  EXPECT_DOUBLE_EQ(sign_test_p_value(1000, 2000), 1.0);
+}
+
+TEST(AnalysisPaired, HandComputedComparison) {
+  // A: eight common rows (explored, rounds 10..80), plus one row only in A.
+  std::vector<CampaignRow> a;
+  for (int i = 1; i <= 8; ++i)
+    a.push_back(fake_row("A", 8, 1, static_cast<std::uint64_t>(i), true,
+                         10 * i, 10 * i, 10 * i));
+  a.push_back(fake_row("A", 99, 1, 1, true, 9, 9, 9));  // only in A
+
+  // B: the same fingerprints with hand-picked drift, plus one extra row.
+  //   deltas (B - A) on rounds: {-1, -2, -3, -4, -5, 0, +6, sample lost}
+  std::vector<CampaignRow> b;
+  for (int i = 1; i <= 8; ++i)
+    b.push_back(fake_row("A", 8, 1, static_cast<std::uint64_t>(i), true,
+                         10 * i, 10 * i, 10 * i));
+  for (int i = 0; i < 5; ++i) b[i].outcome.rounds -= i + 1;
+  b[6].outcome.rounds += 6;
+  // Row 8 flips to failure in B (explored false) — under the
+  // explored_round metric it would stop contributing, but rounds samples
+  // every run, so it still pairs; the flip is counted separately.
+  b[7].outcome.explored = false;
+  b[7].outcome.explored_round = -1;
+  b.push_back(fake_row("A", 77, 1, 1, true, 9, 9, 9));  // only in B
+
+  const PairedComparison cmp = paired_compare(a, b, Metric::Rounds);
+  EXPECT_EQ(cmp.common, 8);
+  EXPECT_EQ(cmp.only_a, 1);
+  EXPECT_EQ(cmp.only_b, 1);
+  EXPECT_EQ(cmp.success_flips_ab, 1);
+  EXPECT_EQ(cmp.success_flips_ba, 0);
+  EXPECT_EQ(cmp.pairs, 8);
+  EXPECT_EQ(cmp.b_lower, 5);
+  EXPECT_EQ(cmp.ties, 2);  // delta 0 twice: rows 6 and 8
+  EXPECT_EQ(cmp.b_higher, 1);
+  // mean of {-1,-2,-3,-4,-5,0,6,0} = -9/8; median of the sorted deltas
+  // {-5,-4,-3,-2,-1,0,0,6} = -1.5.
+  EXPECT_DOUBLE_EQ(cmp.mean_delta, -1.125);
+  EXPECT_DOUBLE_EQ(cmp.median_delta, -1.5);
+  // Sign test over the 6 non-tied pairs, 5 lower: 2*(C(6,0)+C(6,1))/2^6.
+  EXPECT_DOUBLE_EQ(cmp.sign_test_p, sign_test_p_value(5, 6));
+  EXPECT_DOUBLE_EQ(cmp.sign_test_p, 0.21875);
+
+  // Under explored_round the flipped row loses its B sample and drops out
+  // of the pairing (but stays a counted flip).
+  const PairedComparison strict = paired_compare(a, b, Metric::ExploredRound);
+  EXPECT_EQ(strict.pairs, 7);
+  EXPECT_EQ(strict.success_flips_ab, 1);
+
+  // Rendering is byte-stable and self-consistent across formats.
+  const std::string md =
+      render_paired_report(cmp, Metric::Rounds, ReportFormat::Markdown);
+  EXPECT_NE(md.find("sign-test p"), std::string::npos);
+  EXPECT_NE(md.find("| 8 | 1 | 1 | 1 | 0 | 8 | 5 | 2 | 1 | -1.125 | -1.5 |"),
+            std::string::npos)
+      << md;
+  const util::Json doc = util::Json::parse(
+      render_paired_report(cmp, Metric::Rounds, ReportFormat::Json));
+  EXPECT_EQ(doc.at("pairs").as_int(), 8);
+  EXPECT_EQ(doc.at("changed").as_array().size(), 6u);  // non-zero deltas
+  EXPECT_DOUBLE_EQ(doc.at("sign_test_p").as_double(), 0.21875);
+}
+
 TEST(AnalysisAggregate, GroupsSortNumericAware) {
   std::vector<CampaignRow> rows;
   for (const NodeId n : {11, 6, 16, 9})
@@ -209,17 +364,19 @@ TEST(AnalysisRender, MarkdownAndCsvAreByteStable) {
       render_aggregate_report(groups, {"algorithm", "n"},
                               Metric::ExploredRound, ReportFormat::Markdown),
       "Metric: explored_round; ok = explored && !premature; "
-      "sd = population stddev.\n"
+      "rate_lo/rate_hi = Wilson 95% interval; sd = population stddev.\n"
       "\n"
-      "| algorithm | n | runs | ok | rate | samples | min | mean | median |"
-      " p95 | max | sd |\n"
-      "|---|---|---|---|---|---|---|---|---|---|---|---|\n"
-      "| A | 8 | 3 | 2 | 0.6667 | 2 | 10 | 15 | 15 | 19.5 | 20 | 5 |\n");
+      "| algorithm | n | runs | ok | rate | rate_lo | rate_hi | samples |"
+      " min | mean | median | p95 | max | sd |\n"
+      "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n"
+      "| A | 8 | 3 | 2 | 0.6667 | 0.2077 | 0.9385 | 2 | 10 | 15 | 15 |"
+      " 19.5 | 20 | 5 |\n");
   EXPECT_EQ(
       render_aggregate_report(groups, {"algorithm", "n"},
                               Metric::ExploredRound, ReportFormat::Csv),
-      "algorithm,n,runs,ok,rate,samples,min,mean,median,p95,max,sd\n"
-      "A,8,3,2,0.6667,2,10,15,15,19.5,20,5\n");
+      "algorithm,n,runs,ok,rate,rate_lo,rate_hi,samples,min,mean,median,"
+      "p95,max,sd\n"
+      "A,8,3,2,0.6667,0.2077,0.9385,2,10,15,15,19.5,20,5\n");
 
   const std::vector<FrontierGroup> frontier =
       detect_frontier(monotone_grid("A", 6), {"algorithm"}, "n", 0.75);

@@ -1,0 +1,356 @@
+// Tests for the paper-artifact layer (core/artifact.hpp): the transition
+// pin (artifact-derived Table 2 is byte-identical to the pre-migration
+// bench pipeline, replicated here verbatim on a reduced grid), store
+// round-trips including the enrich extras, run_artifact's resume/shard
+// semantics, derivation guard rails, and the ScenarioSpec proof-override
+// fields the artifact grids rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "algo/id_encoding.hpp"
+#include "core/artifact.hpp"
+#include "util/table.hpp"
+
+namespace dring::core {
+namespace {
+
+// --- the legacy bench_table2 pipeline, replicated verbatim ---------------------
+//
+// This is the exact pre-migration code of bench_table2_fsync_possibility
+// (scenario loop, fold, formatting), kept here as the transition pin: the
+// declarative artifact must reproduce its output byte for byte.  If the
+// artifact grid or renderer drifts from the retired bench, this test is
+// the tripwire.
+
+struct LegacyRowResult {
+  std::int64_t worst_round = 0;
+  NodeId worst_n = 0;
+  int runs = 0;
+  int failures = 0;
+};
+
+std::int64_t legacy_last_termination(const sim::RunResult& r) {
+  std::int64_t worst = 0;
+  for (const sim::AgentResult& a : r.agents)
+    worst = std::max(worst, a.termination_round);
+  return worst;
+}
+
+void legacy_account(LegacyRowResult& row, const sim::RunResult& r, NodeId n) {
+  row.runs += 1;
+  if (!r.explored || r.premature_termination || !r.all_terminated ||
+      !r.violations.empty()) {
+    row.failures += 1;
+    return;
+  }
+  const std::int64_t t = legacy_last_termination(r);
+  if (t > row.worst_round) {
+    row.worst_round = t;
+    row.worst_n = n;
+  }
+}
+
+LegacyRowResult legacy_sweep(algo::AlgorithmId id,
+                             const std::vector<NodeId>& sizes, int seeds,
+                             Round round_budget_per_n) {
+  std::vector<ScenarioTask> tasks;
+  std::vector<NodeId> task_n;
+  for (const NodeId n : sizes) {
+    for (int seed = 0; seed <= seeds; ++seed) {
+      ScenarioTask task;
+      task.cfg = default_config(id, n);
+      task.cfg.stop.max_rounds = round_budget_per_n * n + 1000;
+      task.seed = static_cast<std::uint64_t>(1000 * n + seed);
+      if (seed == 0) {
+        task.make_adversary = [] {
+          return std::make_unique<sim::NullAdversary>();
+        };
+      } else if (seed == 1) {
+        task.make_adversary = []() -> std::unique_ptr<sim::Adversary> {
+          return std::make_unique<adversary::BlockAgentAdversary>(0);
+        };
+      } else {
+        const std::uint64_t s = task.seed;
+        task.make_adversary = [s]() -> std::unique_ptr<sim::Adversary> {
+          return std::make_unique<adversary::TargetedRandomAdversary>(0.7, 1.0,
+                                                                      s);
+        };
+      }
+      tasks.push_back(std::move(task));
+      task_n.push_back(n);
+    }
+    if (id == algo::AlgorithmId::KnownNNoChirality && n >= 6) {
+      ScenarioTask task;
+      task.cfg = default_config(id, n);
+      task.cfg.start_nodes = {2, 3};
+      task.cfg.orientations = {agent::kChiralOrientation,
+                               agent::kChiralOrientation};
+      task.cfg.stop.max_rounds = 10 * n;
+      task.make_adversary = [n]() -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<adversary::ScriptedEdgeAdversary>(
+            adversary::make_fig2_script(n, 2), "fig2");
+      };
+      tasks.push_back(std::move(task));
+      task_n.push_back(n);
+    }
+  }
+
+  SweepOptions pool;
+  pool.threads = 2;
+  const std::vector<sim::RunResult> results = run_sweep(tasks, pool);
+  LegacyRowResult row;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    legacy_account(row, results[i], task_n[i]);
+  return row;
+}
+
+std::string legacy_table2_output(const std::vector<NodeId>& sizes,
+                                 int seeds) {
+  std::ostringstream out;
+  out << "=== Table 2: possibility results for FSYNC ===\n"
+      << "sizes swept: ";
+  for (NodeId n : sizes) out << n << " ";
+  out << "| adversaries: static, obs1-block, targeted-random x" << seeds
+      << "\n\n";
+
+  util::Table table({"N. Agents", "Assumptions", "Paper bound",
+                     "Worst measured termination", "at n", "Runs",
+                     "Failures"});
+  {
+    const LegacyRowResult r =
+        legacy_sweep(algo::AlgorithmId::KnownNNoChirality, sizes, seeds, 10);
+    const NodeId n = r.worst_n;
+    table.add_row({"2", "Known bound N", "3N-6 (Th. 3)",
+                   util::fmt_count(r.worst_round) + "  (3n-5 = " +
+                       util::fmt_count(3 * n - 5) + " incl. detect round)",
+                   std::to_string(n), std::to_string(r.runs),
+                   std::to_string(r.failures)});
+  }
+  {
+    const LegacyRowResult r = legacy_sweep(
+        algo::AlgorithmId::LandmarkWithChirality, sizes, seeds, 4000);
+    const NodeId n = std::max<NodeId>(r.worst_n, 1);
+    table.add_row({"2", "Chirality, Landmark", "O(n) (Th. 6)",
+                   util::fmt_count(r.worst_round) + "  (= " +
+                       util::fmt_double(static_cast<double>(r.worst_round) / n,
+                                        1) +
+                       " * n)",
+                   std::to_string(n), std::to_string(r.runs),
+                   std::to_string(r.failures)});
+  }
+  {
+    const LegacyRowResult r = legacy_sweep(
+        algo::AlgorithmId::LandmarkNoChirality, sizes, seeds, 100000);
+    const NodeId n = std::max<NodeId>(r.worst_n, 1);
+    const double nlogn = static_cast<double>(n) * algo::ceil_log2(n);
+    table.add_row({"2", "Landmark (no chirality)", "O(n log n) (Th. 8)",
+                   util::fmt_count(r.worst_round) + "  (= " +
+                       util::fmt_double(r.worst_round / nlogn, 1) +
+                       " * n log n)",
+                   std::to_string(n), std::to_string(r.runs),
+                   std::to_string(r.failures)});
+  }
+  table.print(out);
+  out << "\nFailures = runs that did not explore, terminated "
+         "prematurely, or violated an invariant (expected: 0).\n";
+  return out.str();
+}
+
+TEST(ArtifactTransition, Table2MatchesTheLegacyBenchByteForByte) {
+  const std::vector<NodeId> sizes = {5, 6, 8};
+  const int seeds = 2;
+  const Artifact artifact = make_table2_artifact(sizes, seeds);
+  EXPECT_EQ(derive_report(artifact, run_artifact_rows(artifact, 2)),
+            legacy_table2_output(sizes, seeds));
+}
+
+// --- spec proof-override fields ------------------------------------------------
+
+TEST(ArtifactSpec, ProofOverridesRoundTripAndExtendTheFingerprint) {
+  ScenarioSpec spec;
+  spec.algorithm = "PTBoundWithChirality";
+  spec.n = 10;
+  spec.adversary.family = "sliding-window";
+  spec.start_nodes = {4, 0};
+  spec.orientations = "cc";
+  spec.landmark = 1;
+  spec.fairness_window = 65536;
+  spec.stop_explored_one_terminated = true;
+  spec.max_rounds = 600'000;
+
+  const ScenarioSpec back =
+      scenario_spec_from_json(util::Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(to_json(back).dump(), to_json(spec).dump());
+  EXPECT_EQ(back.start_nodes, spec.start_nodes);
+  EXPECT_EQ(back.orientations, "cc");
+  EXPECT_EQ(back.landmark, 1);
+  EXPECT_EQ(back.fairness_window, 65536);
+  EXPECT_TRUE(back.stop_explored_one_terminated);
+
+  // Every override separates the fingerprint.
+  const std::uint64_t fp = fingerprint(spec);
+  ScenarioSpec other = spec;
+  other.start_nodes = {3, 0};
+  EXPECT_NE(fingerprint(other), fp);
+  other = spec;
+  other.orientations = "cm";
+  EXPECT_NE(fingerprint(other), fp);
+  other = spec;
+  other.fairness_window = 0;
+  EXPECT_NE(fingerprint(other), fp);
+
+  // And a default-valued spec serializes without the new keys, so the
+  // fingerprints of every pre-PR-4 campaign cell are untouched (the
+  // committed frontier/smoke reports re-derive byte-identically).
+  ScenarioSpec plain;
+  plain.algorithm = "KnownNNoChirality";
+  plain.n = 8;
+  const std::string dump = to_json(plain).dump();
+  for (const char* key : {"start_nodes", "orientations", "landmark",
+                          "fairness_window", "stop_explored_one_terminated"})
+    EXPECT_EQ(dump.find(key), std::string::npos) << key;
+}
+
+TEST(ArtifactSpec, BuildConfigAppliesTheOverrides) {
+  ScenarioSpec spec;
+  spec.algorithm = "PTLandmarkWithChirality";
+  spec.n = 12;
+  spec.start_nodes = {5, 0};
+  spec.orientations = "cc";
+  spec.landmark = 1;
+  spec.fairness_window = 65536;
+  spec.stop_explored_one_terminated = true;
+
+  const ExplorationConfig cfg = build_config(spec);
+  EXPECT_EQ(cfg.start_nodes, (std::vector<NodeId>{5, 0}));
+  ASSERT_EQ(cfg.orientations.size(), 2u);
+  EXPECT_EQ(cfg.orientations[0], agent::kChiralOrientation);
+  EXPECT_EQ(cfg.orientations[1], agent::kChiralOrientation);
+  ASSERT_TRUE(cfg.landmark.has_value());
+  EXPECT_EQ(*cfg.landmark, 1);
+  EXPECT_EQ(cfg.engine.fairness_window, 65536);
+  EXPECT_TRUE(cfg.stop.stop_when_explored_and_one_terminated);
+
+  // The landmark override never adds a landmark to a landmark-free
+  // algorithm.
+  ScenarioSpec no_landmark;
+  no_landmark.algorithm = "KnownNNoChirality";
+  no_landmark.n = 8;
+  no_landmark.landmark = 1;
+  EXPECT_FALSE(build_config(no_landmark).landmark.has_value());
+
+  ScenarioSpec bad = spec;
+  bad.orientations = "cx";
+  EXPECT_THROW(build_config(bad), std::invalid_argument);
+}
+
+// --- registry -------------------------------------------------------------------
+
+TEST(ArtifactRegistry, NamesResolveAndScenariosAreDistinct) {
+  EXPECT_EQ(paper_artifacts().size(), 3u);
+  for (const Artifact& artifact : paper_artifacts()) {
+    EXPECT_EQ(&artifact_by_name(artifact.name), &artifact);
+    std::set<std::uint64_t> fps;
+    for (const ArtifactScenario& scenario : artifact.scenarios)
+      fps.insert(fingerprint(scenario.spec));
+    EXPECT_EQ(fps.size(), artifact.scenarios.size())
+        << artifact.name << ": duplicate scenario fingerprints";
+  }
+  EXPECT_THROW(artifact_by_name("no_such_table"), std::invalid_argument);
+}
+
+// --- execution / store ----------------------------------------------------------
+
+TEST(ArtifactRun, StoreRoundTripPreservesTheDerivedReport) {
+  const std::string path = testing::TempDir() + "artifact_store_test.jsonl";
+  std::remove(path.c_str());
+
+  // Small price-of-liveness grid: exercises the enrich hook (the offline
+  // optimum must survive the store round trip for the report to derive).
+  const Artifact artifact =
+      make_price_of_liveness_artifact({6}, {8}, /*seeds=*/2);
+  const std::string direct =
+      derive_report(artifact, run_artifact_rows(artifact, 2));
+
+  ArtifactRunOptions options;
+  options.threads = 2;
+  options.store_path = path;
+  const ArtifactRunReport report = run_artifact(artifact, options);
+  EXPECT_EQ(report.executed, artifact.scenarios.size());
+
+  const std::vector<CampaignRow> stored = read_result_store_file(path);
+  EXPECT_EQ(derive_report(artifact, stored), direct);
+
+  // The enrich extras are in the store bytes, not recomputed on read.
+  bool saw_offline = false;
+  for (const CampaignRow& row : stored)
+    saw_offline = saw_offline || row.outcome.extra.count("offline") > 0;
+  EXPECT_TRUE(saw_offline);
+
+  // Resume executes nothing.
+  options.resume = true;
+  EXPECT_EQ(run_artifact(artifact, options).executed, 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactRun, ShardsPartitionAndMergeToTheFullStore) {
+  const Artifact artifact = make_table2_artifact({5, 6}, /*seeds=*/1);
+
+  const std::string full = testing::TempDir() + "artifact_full.jsonl";
+  const std::string s0 = testing::TempDir() + "artifact_s0.jsonl";
+  const std::string s1 = testing::TempDir() + "artifact_s1.jsonl";
+
+  ArtifactRunOptions options;
+  options.threads = 2;
+  options.store_path = full;
+  run_artifact(artifact, options);
+
+  options.shard_count = 2;
+  options.shard_index = 0;
+  options.store_path = s0;
+  const ArtifactRunReport r0 = run_artifact(artifact, options);
+  options.shard_index = 1;
+  options.store_path = s1;
+  const ArtifactRunReport r1 = run_artifact(artifact, options);
+  EXPECT_EQ(r0.executed + r1.executed, artifact.scenarios.size());
+  EXPECT_EQ(r0.sharded_out, r1.executed);
+
+  const StoreMerge merge = merge_result_stores(
+      {read_result_store_file(s0), read_result_store_file(s1)});
+  ASSERT_TRUE(merge.ok());
+  const std::vector<CampaignRow> full_rows = read_result_store_file(full);
+  ASSERT_EQ(merge.rows.size(), full_rows.size());
+  for (std::size_t i = 0; i < full_rows.size(); ++i)
+    EXPECT_EQ(row_line(merge.rows[i]), row_line(full_rows[i]));
+
+  // A partial store cannot derive the report.
+  EXPECT_THROW(derive_report(artifact, read_result_store_file(s0)),
+               std::runtime_error);
+  // The merged one can, and matches the unsharded derivation.
+  EXPECT_EQ(derive_report(artifact, merge.rows),
+            derive_report(artifact, full_rows));
+
+  EXPECT_THROW(
+      [&] {
+        ArtifactRunOptions bad;
+        bad.shard_index = 2;
+        bad.shard_count = 2;
+        run_artifact(artifact, bad);
+      }(),
+      std::invalid_argument);
+
+  std::remove(full.c_str());
+  std::remove(s0.c_str());
+  std::remove(s1.c_str());
+}
+
+}  // namespace
+}  // namespace dring::core

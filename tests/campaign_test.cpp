@@ -45,6 +45,42 @@ TEST(Json, DumpIsCanonicalAndRoundTrips) {
   EXPECT_EQ(util::Json::parse(dump).dump(), dump);
 }
 
+TEST(Json, StringEscapesRoundTrip) {
+  // Control characters, every named escape, embedded quotes and
+  // backslashes, DEL and multi-byte UTF-8 — dump -> parse -> dump must be
+  // the identity (store lines survive any stop_reason / label content).
+  const std::string nasty = std::string("a\x01b\x1f") + "\b\f\n\r\t" +
+                            "\"quoted\" back\\slash /slash \x7f" +
+                            "\xce\xbb";  // U+03BB as UTF-8
+  const util::Json j(nasty);
+  const std::string dump = j.dump();
+  EXPECT_EQ(util::Json::parse(dump).as_string(), nasty);
+  EXPECT_EQ(util::Json::parse(dump).dump(), dump);
+
+  // Control characters are written as \u escapes, named escapes by name.
+  EXPECT_EQ(util::Json("\x01").dump(), "\"\\u0001\"");
+  EXPECT_EQ(util::Json("\n\"\\").dump(), "\"\\n\\\"\\\\\"");
+
+  // \u parsing: ASCII, 2-byte and 3-byte code points decode to UTF-8 and
+  // re-dump in their literal form (canonical dumps never re-escape
+  // printable text).
+  EXPECT_EQ(util::Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(util::Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(util::Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+  EXPECT_EQ(util::Json::parse("\"\\u20ac\"").dump(), "\"\xe2\x82\xac\"");
+
+  // Upper/lower hex digits are both accepted.
+  EXPECT_EQ(util::Json::parse("\"\\u00E9\"").as_string(),
+            util::Json::parse("\"\\u00e9\"").as_string());
+
+  // Malformed escapes are rejected, as are raw control characters.
+  EXPECT_THROW(util::Json::parse("\"\\u12g4\""), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("\"\\u12\""), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse("\"\\x41\""), std::invalid_argument);
+  EXPECT_THROW(util::Json::parse(std::string("\"a\x01b\"")),
+               std::invalid_argument);
+}
+
 TEST(Json, RejectsMalformedDocuments) {
   EXPECT_THROW(util::Json::parse(""), std::invalid_argument);
   EXPECT_THROW(util::Json::parse("{"), std::invalid_argument);
@@ -283,7 +319,7 @@ TEST(CampaignRun, StoreRoundTripAndResume) {
 TEST(CampaignRun, MalformedStoreLineReportsLineNumber) {
   std::stringstream store("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
                           "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
-                          "\"v\":2}\n"
+                          "\"v\":3}\n"
                           "this is not json\n");
   try {
     read_result_store(store);
@@ -297,7 +333,7 @@ TEST(CampaignStore, RowsCarryTheSchemaVersion) {
   CampaignRow row;
   row.spec = sample_spec();
   row.fingerprint = fingerprint(row.spec);
-  EXPECT_NE(row_line(row).find("\"v\":2"), std::string::npos);
+  EXPECT_NE(row_line(row).find("\"v\":3"), std::string::npos);
   // And the line round-trips.
   const CampaignRow back =
       campaign_row_from_json(util::Json::parse(row_line(row)));
@@ -317,7 +353,11 @@ TEST(CampaignStore, MismatchedSchemaVersionIsRejected) {
     EXPECT_NE(what.find("line 1"), std::string::npos) << what;
   }
 
-  // A future version is rejected just the same.
+  // Superseded and future versions are rejected just the same.
+  std::stringstream v2("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
+                       "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
+                       "\"v\":2}\n");
+  EXPECT_THROW(read_result_store(v2), std::invalid_argument);
   std::stringstream v9("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
                        "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
                        "\"v\":9}\n");

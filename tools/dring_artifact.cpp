@@ -1,0 +1,203 @@
+// Paper-artifact driver: run the campaigns behind the paper's tables and
+// figures and (re)derive the committed reports under examples/paper/.
+//
+//   dring_artifact --list
+//   dring_artifact --run NAME [--store s.jsonl] [--threads N] [--resume]
+//       [--shard i/m]
+//   dring_artifact --render NAME --store s.jsonl [--store ...] [--out FILE]
+//   dring_artifact --regen [NAME] [--threads N] [--dir examples/paper]
+//   dring_artifact --check [NAME] [--threads N] [--dir examples/paper]
+//
+// An artifact (core/artifact.hpp) is a fixed scenario list plus a
+// byte-stable derivation: --run executes (a shard of) the scenarios with
+// run_campaign store semantics (resume by fingerprint, canonical bytes,
+// shards merge losslessly via `dring_campaign --merge`); --render derives
+// the report from stores alone; --regen refreshes the committed report
+// files; --check re-derives every committed report and fails on drift —
+// the CI gate that keeps examples/paper/ honest.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/analysis.hpp"
+#include "core/artifact.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace dring;
+
+util::FlagTable flag_table() {
+  util::FlagTable flags("dring_artifact",
+                        "run paper-artifact campaigns and derive the "
+                        "committed reports");
+  flags.synopsis("dring_artifact --list")
+      .synopsis("dring_artifact --run NAME [--store s.jsonl] [--threads N]"
+                " [--resume] [--shard i/m]")
+      .synopsis("dring_artifact --render NAME --store s.jsonl [--store ...]"
+                " [--out FILE]")
+      .synopsis("dring_artifact --regen [NAME] [--threads N] [--dir DIR]")
+      .synopsis("dring_artifact --check [NAME] [--threads N] [--dir DIR]")
+      .flag("list", "", "list the registered artifacts")
+      .flag("run", "NAME", "execute the artifact's scenarios")
+      .flag("render", "NAME", "derive the report from --store rows only")
+      .flag("regen", "[NAME]", "run + rewrite committed report(s) under --dir")
+      .flag("check", "[NAME]", "run + diff against committed report(s); "
+                               "exit 1 on drift")
+      .flag("store", "FILE", "result store to write (--run) or read "
+                             "(--render, repeatable)")
+      .flag("out", "FILE", "write the rendered report here (default stdout)")
+      .flag("dir", "DIR", "committed-report directory (default "
+                          "examples/paper)")
+      .flag("threads", "N", "worker threads (0 = all hardware threads)")
+      .flag("resume", "", "skip scenarios whose fingerprint is stored")
+      .flag("shard", "i/m", "run only cells with fingerprint % m == i")
+      .flag("help", "", "print this help")
+      .note("artifacts: run `dring_artifact --list`; stores are canonical "
+            "JSONL (dring_campaign --merge/--diff work on them)");
+  return flags;
+}
+
+/// `--flag NAME` value, rejecting the bare-boolean form.
+std::string named_value(const util::Cli& cli, const std::string& flag) {
+  const std::string value = cli.get(flag, "");
+  return value == "true" ? "" : value;
+}
+
+int run_list() {
+  for (const core::Artifact& artifact : core::paper_artifacts())
+    std::cout << artifact.name << "  (" << artifact.scenarios.size()
+              << " scenarios, report " << artifact.report_file << ")\n    "
+              << artifact.title << "\n";
+  return 0;
+}
+
+int run_run(const util::Cli& cli, const std::string& name) {
+  const core::Artifact& artifact = core::artifact_by_name(name);
+  core::ArtifactRunOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads", 0));
+  options.store_path = cli.get("store", "");
+  options.resume = cli.get_bool("resume", false);
+  if (!util::parse_shard(cli.get("shard", ""), options.shard_index,
+                         options.shard_count)) {
+    std::cerr << "bad --shard (want i/m with 0 <= i < m): "
+              << cli.get("shard", "") << "\n";
+    return 2;
+  }
+
+  const core::ArtifactRunReport report = core::run_artifact(artifact, options);
+  std::cout << "artifact '" << artifact.name << "': " << report.total
+            << " scenarios, ";
+  if (options.shard_count > 1)
+    std::cout << report.sharded_out << " on other shards, ";
+  std::cout << report.executed << " executed, " << report.skipped
+            << " resumed from "
+            << (options.store_path.empty() ? "(no store)" : options.store_path)
+            << "\n";
+  return 0;
+}
+
+int run_render(const util::Cli& cli, const std::string& name) {
+  const core::Artifact& artifact = core::artifact_by_name(name);
+  std::vector<std::string> stores = cli.get_all("store");
+  for (const std::string& p : cli.positional()) stores.push_back(p);
+  if (stores.empty()) {
+    std::cerr << "--render needs at least one --store\n";
+    return 2;
+  }
+  const std::string report =
+      core::derive_report(artifact, core::load_result_stores(stores));
+  const std::string out_path = cli.get("out", "");
+  if (out_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << report;
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+/// The artifacts a --regen/--check invocation addresses: the named one, or
+/// all of them.
+std::vector<const core::Artifact*> selected(const std::string& name) {
+  std::vector<const core::Artifact*> artifacts;
+  if (name.empty()) {
+    for (const core::Artifact& artifact : core::paper_artifacts())
+      artifacts.push_back(&artifact);
+  } else {
+    artifacts.push_back(&core::artifact_by_name(name));
+  }
+  return artifacts;
+}
+
+int run_regen_or_check(const util::Cli& cli, const std::string& name,
+                       bool check) {
+  const std::string dir = cli.get("dir", "examples/paper");
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
+  int drifted = 0;
+  for (const core::Artifact* artifact : selected(name)) {
+    const std::string path = dir + "/" + artifact->report_file;
+    const std::string derived = core::derive_report(
+        *artifact, core::run_artifact_rows(*artifact, threads));
+    if (check) {
+      std::ifstream in(path);
+      std::stringstream committed;
+      committed << in.rdbuf();
+      if (!in || committed.str() != derived) {
+        std::cout << artifact->name << ": DRIFT vs " << path
+                  << (in ? "" : " (missing)")
+                  << " — regenerate with `dring_artifact --regen "
+                  << artifact->name << "`\n";
+        ++drifted;
+      } else {
+        std::cout << artifact->name << ": ok (" << path << ")\n";
+      }
+    } else {
+      std::ofstream out(path, std::ios::trunc);
+      out << derived;
+      if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+      }
+      std::cout << artifact->name << ": wrote " << path << "\n";
+    }
+  }
+  return drifted > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const util::FlagTable flags = flag_table();
+
+  if (cli.get_bool("help", false)) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  if (const auto error = flags.unknown_flags(cli)) {
+    std::cerr << *error << "\n";
+    return 2;
+  }
+
+  try {
+    if (cli.has("list")) return run_list();
+    if (cli.has("run")) return run_run(cli, named_value(cli, "run"));
+    if (cli.has("render")) return run_render(cli, named_value(cli, "render"));
+    if (cli.has("regen"))
+      return run_regen_or_check(cli, named_value(cli, "regen"), false);
+    if (cli.has("check"))
+      return run_regen_or_check(cli, named_value(cli, "check"), true);
+  } catch (const std::exception& e) {
+    std::cerr << "dring_artifact: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cerr << flags.help_text();
+  return 2;
+}

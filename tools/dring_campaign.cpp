@@ -16,6 +16,7 @@
 // fingerprint is not yet stored, and --diff compares two stores row by
 // row (the cross-commit regression workflow), reporting rows present in
 // only one store separately from rows whose payload changed.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -28,6 +29,30 @@
 namespace {
 
 using namespace dring;
+
+util::FlagTable flag_table() {
+  util::FlagTable flags("dring_campaign",
+                        "expand and run declarative scenario campaigns into "
+                        "canonical JSONL result stores");
+  flags.synopsis("dring_campaign --spec campaign.json [--out s.jsonl]"
+                 " [--threads N] [--resume] [--dry-run] [--shard i/m]")
+      .synopsis("dring_campaign --merge a.jsonl b.jsonl ... --out merged.jsonl")
+      .synopsis("dring_campaign --diff old.jsonl new.jsonl")
+      .flag("spec", "FILE", "campaign definition to expand and run")
+      .flag("out", "FILE", "result store to write")
+      .flag("threads", "N", "worker threads (0 = all hardware threads)")
+      .flag("resume", "", "run only scenarios missing from the store")
+      .flag("dry-run", "", "print the shard's scenario list, fingerprint "
+                           "range and store path; run nothing")
+      .flag("shard", "i/m", "run only cells with fingerprint % m == i")
+      .flag("merge", "FILE", "union partial stores losslessly (conflicts "
+                             "are an error)")
+      .flag("diff", "FILE", "compare two stores row by row")
+      .flag("help", "", "print this help")
+      .note("stores are canonical JSONL: bytes identical for any --threads "
+            "and any shard split (see README \"Campaign subsystem\")");
+  return flags;
+}
 
 /// Paths given as a flag value and/or positionals (`--diff a b`,
 /// `--merge=a b c`).
@@ -112,24 +137,20 @@ int run_merge(const std::vector<std::string>& paths,
   return 0;
 }
 
-/// Parse `--shard i/m` into (index, count); (0, 1) when absent.  The
-/// whole string must be consumed — `1/2/4` or `0/2x` are errors, not
-/// silently-truncated shard geometries.
-bool parse_shard(const std::string& text, int& index, int& count) {
-  if (text.empty()) return true;
-  int i = -1, m = -1, consumed = 0;
-  if (std::sscanf(text.c_str(), "%d/%d%n", &i, &m, &consumed) != 2 ||
-      consumed != static_cast<int>(text.size()) || m < 1 || i < 0 || i >= m)
-    return false;
-  index = i;
-  count = m;
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const util::FlagTable flags = flag_table();
+
+  if (cli.get_bool("help", false)) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  if (const auto error = flags.unknown_flags(cli)) {
+    std::cerr << *error << "\n";
+    return 2;
+  }
 
   if (cli.has("diff")) return run_diff(flag_paths(cli, "diff"));
   if (cli.has("merge"))
@@ -137,11 +158,7 @@ int main(int argc, char** argv) {
 
   const std::string spec_path = cli.get("spec", "");
   if (spec_path.empty()) {
-    std::cerr << "usage: dring_campaign --spec campaign.json [--out s.jsonl]"
-                 " [--threads N] [--resume] [--dry-run] [--shard i/m]\n"
-                 "       dring_campaign --merge a.jsonl b.jsonl ..."
-                 " --out merged.jsonl\n"
-                 "       dring_campaign --diff old.jsonl new.jsonl\n";
+    std::cerr << flags.help_text();
     return 2;
   }
 
@@ -165,8 +182,8 @@ int main(int argc, char** argv) {
   options.threads = static_cast<int>(cli.get_int("threads", 0));
   options.out_path = cli.get("out", "");
   options.resume = cli.get_bool("resume", false);
-  if (!parse_shard(cli.get("shard", ""), options.shard_index,
-                   options.shard_count)) {
+  if (!util::parse_shard(cli.get("shard", ""), options.shard_index,
+                         options.shard_count)) {
     std::cerr << "bad --shard (want i/m with 0 <= i < m): "
               << cli.get("shard", "") << "\n";
     return 2;
@@ -182,6 +199,25 @@ int main(int argc, char** argv) {
       std::cout << " on shard " << options.shard_index << "/"
                 << options.shard_count;
     std::cout << "\n";
+    // Enough context to sanity-check a sharded cross-machine dispatch
+    // before burning core hours: which fingerprints land here, and where
+    // the rows would go.
+    if (!specs.empty()) {
+      std::uint64_t lo = core::fingerprint(specs.front());
+      std::uint64_t hi = lo;
+      for (const auto& spec : specs) {
+        const std::uint64_t fp = core::fingerprint(spec);
+        lo = std::min(lo, fp);
+        hi = std::max(hi, fp);
+      }
+      std::cout << "  fingerprints: " << core::hex_u64(lo) << " .. "
+                << core::hex_u64(hi) << " (mod " << options.shard_count
+                << " == " << options.shard_index << ")\n";
+    }
+    std::cout << "  store: "
+              << (options.out_path.empty() ? "(none)" : options.out_path)
+              << (options.resume ? " (resume: run only missing rows)" : "")
+              << "\n";
     for (const auto& spec : specs)
       std::cout << core::to_json(spec).dump() << "\n";
     return 0;
