@@ -1,269 +1,27 @@
 // Ablation studies for the design choices DESIGN.md calls out — not paper
-// tables, but the natural "what if" questions around them:
+// tables, but the natural "what if" questions around them: bound
+// looseness (A), the unconscious guess policy (B), the sliding-window
+// size parabola (C), determinism vs randomness (D).
 //
-//  A. Bound looseness (Th. 3): KnownNNoChirality always runs 3N-6 rounds,
-//     so a loose bound N = c*n costs a linear factor — measured curve.
-//  B. Guess policy (Th. 5): UnconsciousExploration's initial guess and
-//     growth factor vs. exploration time on hostile rings.
-//  C. Window size (Th. 13): the sliding-window adversary's forced moves as
-//     a function of the initial window x — the x*(N-x) parabola, with the
-//     predicted maximum at x = n/2.
-//  D. Determinism vs randomness: the paper's deterministic unconscious
-//     protocol vs a random-walk baseline (the related-work approach [4])
-//     under identical adversaries.
-//
-// Every ablation builds its scenario matrix up front and runs it on the
-// run_sweep worker pool (--threads=N, default all hardware threads); the
-// custom-engine cells (hand-tuned guess policies, random-walk brains) ride
-// along as run_custom tasks. Results are identical for any thread count.
-#include <algorithm>
+// Since PR 5 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the scenario matrix — including the hand-built
+// engines behind run_custom (guess policies, random-walk brains) — lives
+// in the "ablations" artifact, whose campaign store also backs the
+// committed examples/paper/ablations.md report (dring_artifact).  Output
+// is byte-identical to the pre-migration bench.
 #include <iostream>
-#include <memory>
-#include <vector>
 
-#include "adversary/basic_adversaries.hpp"
-#include "adversary/proof_adversaries.hpp"
-#include "algo/random_walk.hpp"
-#include "algo/unconscious_exploration.hpp"
-#include "core/runner.hpp"
-#include "core/sweep.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace dring;
-
-/// The hand-built two-agent engine shared by ablations B and D: mirrored
-/// orientations, custom brains, FSYNC, stop when explored.
-sim::RunResult run_two_agent_custom(
-    NodeId n, Round max_rounds,
-    const std::function<std::unique_ptr<agent::Brain>(int)>& make_brain,
-    const std::function<std::unique_ptr<sim::Adversary>()>& make_adversary) {
-  sim::EngineOptions opts;
-  sim::Engine engine(n, std::nullopt, sim::Model::FSYNC, opts);
-  for (int i = 0; i < 2; ++i) {
-    engine.add_agent(static_cast<NodeId>(i * n / 2),
-                     i == 0 ? agent::kChiralOrientation
-                            : agent::kMirroredOrientation,
-                     make_brain(i));
-  }
-  const std::unique_ptr<sim::Adversary> adv = make_adversary();
-  engine.set_adversary(adv.get());
-  sim::StopPolicy stop;
-  stop.max_rounds = max_rounds;
-  stop.stop_when_explored = true;
-  stop.stop_when_all_terminated = false;
-  return engine.run(stop);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 5));
-  core::SweepOptions pool;
-  pool.threads = static_cast<int>(cli.get_int("threads", 0));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
 
-  // --- A: bound looseness ---------------------------------------------------
-  std::cout << "=== Ablation A: cost of a loose upper bound (Th. 3) ===\n\n";
-  {
-    const NodeId n = 16;
-    const std::vector<NodeId> bounds = {16, 24, 32, 48, 64};
-    std::vector<core::ScenarioTask> tasks;
-    for (const NodeId N : bounds) {
-      core::ScenarioTask task;
-      task.cfg = core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-      task.cfg.upper_bound = N;
-      task.cfg.stop.max_rounds = 10 * N;
-      task.make_adversary = [N]() -> std::unique_ptr<sim::Adversary> {
-        return std::make_unique<adversary::TargetedRandomAdversary>(0.7, 1.0,
-                                                                    5 + N);
-      };
-      tasks.push_back(std::move(task));
-    }
-    const auto results = core::run_sweep(tasks, pool);
-
-    util::Table t({"n", "N", "N/n", "termination round", "rounds / n"});
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const NodeId N = bounds[i];
-      Round term = 0;
-      for (const auto& a : results[i].agents)
-        term = std::max(term, a.termination_round);
-      t.add_row({std::to_string(n), std::to_string(N),
-                 util::fmt_double(static_cast<double>(N) / n, 2),
-                 std::to_string(term),
-                 util::fmt_double(static_cast<double>(term) / n, 2)});
-    }
-    t.print(std::cout);
-    std::cout << "Termination is always 3N-5: the algorithm pays for the "
-                 "bound, not the ring — knowledge quality is performance.\n";
-  }
-
-  // --- B: guess policy --------------------------------------------------------
-  std::cout << "\n=== Ablation B: guess policy of UnconsciousExploration "
-               "(Th. 5) ===\n\n";
-  {
-    const std::vector<std::pair<std::int64_t, std::int64_t>> policies = {
-        {2, 2}, {2, 4}, {8, 2}, {32, 2}};
-    const std::vector<NodeId> ns = {12, 24};
-
-    std::vector<core::ScenarioTask> tasks;
-    for (const auto& [g0, factor] : policies) {
-      for (const NodeId n : ns) {
-        for (int seed = 1; seed <= seeds; ++seed) {
-          core::ScenarioTask task;
-          // A perpetually-removed edge makes the reversal machinery (and
-          // hence the guess policy) the bottleneck: agents pinned on the
-          // missing edge only turn after being blocked for > G rounds.
-          task.run_custom = [g0 = g0, factor = factor, n, seed] {
-            return run_two_agent_custom(
-                n, 4000LL * n,
-                [&](int) {
-                  return std::make_unique<algo::UnconsciousExploration>(
-                      g0, factor);
-                },
-                [&]() -> std::unique_ptr<sim::Adversary> {
-                  return std::make_unique<adversary::FixedEdgeAdversary>(
-                      static_cast<EdgeId>((n / 4 + seed) % n));
-                });
-          };
-          tasks.push_back(std::move(task));
-        }
-      }
-    }
-    const auto results = core::run_sweep(tasks, pool);
-
-    util::Table t({"initial G", "growth", "n", "worst exploration round",
-                   "mean (over seeds)"});
-    std::size_t index = 0;
-    for (const auto& [g0, factor] : policies) {
-      for (const NodeId n : ns) {
-        long long worst = 0, sum = 0;
-        int count = 0;
-        for (int seed = 1; seed <= seeds; ++seed) {
-          const sim::RunResult& r = results[index++];
-          if (r.explored) {
-            worst = std::max(worst, (long long)r.explored_round);
-            sum += r.explored_round;
-            ++count;
-          }
-        }
-        t.add_row({std::to_string(g0), std::to_string(factor),
-                   std::to_string(n), util::fmt_count(worst),
-                   count ? util::fmt_double(double(sum) / count, 1) : "-"});
-      }
-    }
-    t.print(std::cout);
-    std::cout << "With a perpetually missing edge the blocked-wait before a "
-                 "reversal is proportional to the current guess: inflating "
-                 "the initial guess (or the growth factor) directly inflates "
-                 "the exploration time, which is why the paper starts at "
-                 "G = 2 and doubles.\n";
-  }
-
-  // --- C: window size parabola -------------------------------------------------
-  std::cout << "\n=== Ablation C: sliding-window forced moves vs window "
-               "size x (Th. 13) ===\n\n";
-  {
-    const NodeId n = 32;
-    const std::vector<NodeId> windows = {4, 8, 12, 16, 20, 24, 28};
-    std::vector<core::ScenarioTask> tasks;
-    for (const NodeId x : windows) {
-      core::ScenarioTask task;
-      task.cfg =
-          core::default_config(algo::AlgorithmId::PTBoundWithChirality, n);
-      task.cfg.start_nodes = {static_cast<NodeId>(x - 1), 0};
-      task.cfg.orientations = {agent::kChiralOrientation,
-                               agent::kChiralOrientation};
-      task.cfg.engine.fairness_window = 1 << 20;
-      task.cfg.stop.max_rounds = 4000LL * n * n;
-      task.cfg.stop.stop_when_explored_and_one_terminated = true;
-      task.make_adversary = [] {
-        return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
-      };
-      tasks.push_back(std::move(task));
-    }
-    const auto results = core::run_sweep(tasks, pool);
-
-    util::Table t({"x", "x*(N-x)", "forced moves", "ratio"});
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const NodeId x = windows[i];
-      const long long ref = static_cast<long long>(x) * (n - x);
-      t.add_row({std::to_string(x), util::fmt_count(ref),
-                 util::fmt_count(results[i].total_moves),
-                 util::fmt_double(static_cast<double>(results[i].total_moves) /
-                                      std::max(ref, 1LL),
-                                  2)});
-    }
-    t.print(std::cout);
-    std::cout << "Every window size forces at least 2*x*(N-x) moves (ratio "
-                 ">= 2 throughout), the Theorem 13 bound; the total measured "
-                 "cost behaves like 2x(N-x) + (N-x)^2 — the chaser re-walks "
-                 "a growing span for each of the N-x phases — so smaller "
-                 "windows force even more absolute moves in this "
-                 "realization.\n";
-  }
-
-  // --- D: deterministic vs random walk ------------------------------------------
-  std::cout << "\n=== Ablation D: deterministic protocol vs random-walk "
-               "baseline ===\n\n";
-  {
-    const std::vector<NodeId> ns = {8, 16, 32};
-    std::vector<core::ScenarioTask> tasks;
-    for (const NodeId n : ns) {
-      for (const bool deterministic : {true, false}) {
-        const Round budget = 40'000LL + 4000LL * n;
-        for (int seed = 1; seed <= seeds; ++seed) {
-          core::ScenarioTask task;
-          task.run_custom = [n, deterministic, seed, budget] {
-            return run_two_agent_custom(
-                n, budget,
-                [&](int i) -> std::unique_ptr<agent::Brain> {
-                  if (deterministic)
-                    return std::make_unique<algo::UnconsciousExploration>();
-                  return std::make_unique<algo::RandomWalk>(1000ULL * seed +
-                                                            i);
-                },
-                [&]() -> std::unique_ptr<sim::Adversary> {
-                  return std::make_unique<adversary::TargetedRandomAdversary>(
-                      0.7, 1.0, 23ULL * seed + n);
-                });
-          };
-          tasks.push_back(std::move(task));
-        }
-      }
-    }
-    const auto results = core::run_sweep(tasks, pool);
-
-    util::Table t({"n", "protocol", "explored (runs)",
-                   "worst exploration round", "mean round"});
-    std::size_t index = 0;
-    for (const NodeId n : ns) {
-      for (const bool deterministic : {true, false}) {
-        long long worst = 0, sum = 0;
-        int explored = 0;
-        for (int seed = 1; seed <= seeds; ++seed) {
-          const sim::RunResult& r = results[index++];
-          if (r.explored) {
-            ++explored;
-            worst = std::max(worst, (long long)r.explored_round);
-            sum += r.explored_round;
-          }
-        }
-        t.add_row({std::to_string(n),
-                   deterministic ? "UnconsciousExploration (Th. 5)"
-                                 : "RandomWalk baseline [4]",
-                   std::to_string(explored) + "/" + std::to_string(seeds),
-                   util::fmt_count(worst),
-                   explored ? util::fmt_double(double(sum) / explored, 1)
-                            : "-"});
-      }
-    }
-    t.print(std::cout);
-    std::cout << "The deterministic protocol explores in O(n) against the "
-                 "targeted adversary; the random walk's expected cover time "
-                 "is quadratic and degrades much faster with n.\n";
-  }
+  const core::Artifact artifact = core::make_ablations_artifact(seeds);
+  std::cout << core::derive_report(artifact,
+                                   core::run_artifact_rows(artifact, threads));
   return 0;
 }

@@ -2,121 +2,28 @@
 // protocols behave with MORE agents, and how team size affects
 // exploration time under hostile dynamics.
 //
-// The paper proves its unconscious protocols for exactly two agents; its
-// conclusion lists multi-agent questions (gathering, other team tasks) as
-// open.  This bench runs UnconsciousExploration, ETUnconscious and the
-// RandomWalk baseline with k = 1..5 agents and reports exploration
-// success/time — an empirical data point for the open questions, not a
-// claimed theorem.  (k = 1 is Corollary 1's impossible case: against the
-// targeted adversary it must time out.)
-//
-// The protocol x team-size x seed matrix runs on the run_sweep worker
-// pool (--threads=N, default all hardware threads) as run_custom tasks
-// (the brains are hand-constructed, including the non-registry RandomWalk).
+// Since PR 5 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the protocol x team-size x seed matrix — all
+// run_custom cells, since the teams mix non-registry brains — lives in
+// the "extension_many_agents" artifact, whose campaign store also backs
+// the committed examples/paper/extension_many_agents.md report
+// (dring_artifact).  Output is byte-identical to the pre-migration bench.
 #include <iostream>
-#include <memory>
-#include <vector>
 
-#include "adversary/basic_adversaries.hpp"
-#include "algo/et_unconscious.hpp"
-#include "algo/random_walk.hpp"
-#include "algo/unconscious_exploration.hpp"
-#include "core/runner.hpp"
-#include "core/sweep.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace dring;
-
-std::unique_ptr<agent::Brain> make(const std::string& kind, int i, int seed) {
-  if (kind == "unconscious")
-    return std::make_unique<algo::UnconsciousExploration>();
-  if (kind == "et") return std::make_unique<algo::ETUnconscious>();
-  return std::make_unique<algo::RandomWalk>(1000ULL * seed + i);
-}
-
-sim::RunResult run_team(const std::string& kind, NodeId n, int k, int seed,
-                        Round budget) {
-  sim::EngineOptions opts;
-  sim::Engine engine(n, std::nullopt,
-                     kind == "et" ? sim::Model::SSYNC_ET : sim::Model::FSYNC,
-                     opts);
-  for (int i = 0; i < k; ++i) {
-    engine.add_agent(static_cast<NodeId>((i * n) / k),
-                     i % 2 == 0 ? agent::kChiralOrientation
-                                : agent::kMirroredOrientation,
-                     make(kind, i, seed));
-  }
-  adversary::TargetedRandomAdversary adv(0.7, 0.8, 7ULL * seed + k);
-  engine.set_adversary(&adv);
-  sim::StopPolicy stop;
-  stop.max_rounds = budget;
-  stop.stop_when_explored = true;
-  stop.stop_when_all_terminated = false;
-  return engine.run(stop);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
   const NodeId n = static_cast<NodeId>(cli.get_int("n", 16));
   const int seeds = static_cast<int>(cli.get_int("seeds", 5));
   const Round budget = cli.get_int("budget", 200'000);
-  core::SweepOptions pool;
-  pool.threads = static_cast<int>(cli.get_int("threads", 0));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
 
-  std::cout << "=== Extension: team size vs unconscious exploration "
-               "(n = " << n << ", hostile targeted adversary) ===\n\n";
-
-  const std::vector<std::string> kinds = {"unconscious", "et", "randomwalk"};
-  std::vector<core::ScenarioTask> tasks;
-  for (const std::string& kind : kinds) {
-    for (int k = 1; k <= 5; ++k) {
-      for (int seed = 1; seed <= seeds; ++seed) {
-        core::ScenarioTask task;
-        task.run_custom = [kind, n, k, seed, budget] {
-          return run_team(kind, n, k, seed, budget);
-        };
-        tasks.push_back(std::move(task));
-      }
-    }
-  }
-  const auto results = core::run_sweep(tasks, pool);
-
-  util::Table table({"protocol", "k agents", "explored (runs)",
-                     "worst exploration round", "mean round"});
-  std::size_t index = 0;
-  for (const std::string& kind : kinds) {
-    for (int k = 1; k <= 5; ++k) {
-      long long worst = 0, sum = 0;
-      int explored = 0;
-      for (int seed = 1; seed <= seeds; ++seed) {
-        const sim::RunResult& r = results[index++];
-        if (r.explored) {
-          ++explored;
-          worst = std::max(worst, (long long)r.explored_round);
-          sum += r.explored_round;
-        }
-      }
-      table.add_row(
-          {kind, std::to_string(k),
-           std::to_string(explored) + "/" + std::to_string(seeds),
-           explored ? util::fmt_count(worst) : "-",
-           explored ? util::fmt_double(double(sum) / explored, 1) : "-"});
-    }
-  }
-
-  table.print(std::cout);
-  std::cout
-      << "\nAgainst the WORST-CASE adversary a single agent cannot explore "
-         "at all (Corollary 1; see the Obs.-1 replay in Table 1's bench) — "
-         "against this randomized adversary it merely pays 3-8x the "
-         "two-agent cost.  The deterministic protocols keep working "
-         "unmodified for k > 2 and coverage time shrinks roughly like 1/k; "
-         "the random walk stays an order of magnitude behind at every team "
-         "size.\n";
+  const core::Artifact artifact =
+      core::make_extension_many_agents_artifact(n, seeds, budget);
+  std::cout << core::derive_report(artifact,
+                                   core::run_artifact_rows(artifact, threads));
   return 0;
 }

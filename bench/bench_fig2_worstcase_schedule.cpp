@@ -1,82 +1,33 @@
 // Reproduces Figure 2 of the paper: the adversarial schedule under which
 // Algorithm KnownNNoChirality needs exactly 3n-6 rounds.
 //
-// Agents a at v_i and b at v_{i+1}, chirality, N = n:
-//   * rounds 1 .. n-3:    edge (v_i, v_{i+1}) missing — a is blocked while
-//                         b walks to v_{i-2}              (r1 = n-3)
-//   * rounds n-2 .. 3n-6: edge (v_{i-2}, v_{i-1}) missing — b is blocked;
-//                         a catches b at round r2 = 2n-5, bounces, and
-//                         reaches the last node v_{i-1} the long way
-//                         around at exactly r3 = 3n-6.
-//
-// The bench prints the three milestone rounds for a sweep of n and checks
-// the measured exploration round against 3n-6.  The per-n scenarios run
-// on the worker pool (--threads=N); rows are emitted in task order, so the
-// output is byte-identical for any thread count.
+// Since PR 5 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the scenario grid, the 3n-6 check and the table
+// formatting live in the "fig2_worstcase" artifact, whose campaign store
+// also backs the committed examples/paper/fig2_worstcase.md report
+// (dring_artifact).  Output is byte-identical to the pre-migration bench;
+// the exit status still reports whether every size matched the paper
+// bound.
 #include <iostream>
-#include <memory>
 #include <vector>
 
-#include "adversary/proof_adversaries.hpp"
-#include "core/runner.hpp"
-#include "core/sweep.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-using namespace dring;
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
-  core::SweepOptions pool;
-  pool.threads = static_cast<int>(cli.get_int("threads", 0));
-  std::cout << "=== Figure 2: worst-case schedule for KnownNNoChirality "
-               "(Theorem 3 tightness) ===\n\n";
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
 
-  util::Table table({"n", "r1 = n-3", "r2 = 2n-5", "r3 = 3n-6 (paper)",
-                     "explored round (measured)", "termination round",
-                     "match"});
-
-  std::vector<core::ScenarioTask> tasks;
   std::vector<NodeId> sizes;
   for (NodeId n : std::vector<NodeId>{6, 8, 10, 13, 16, 24, 32, 48, 64}) {
     if (cli.has("max-n") && n > cli.get_int("max-n", 64)) continue;
-    const NodeId i = 2;
-    core::ScenarioTask task;
-    task.cfg = core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-    task.cfg.start_nodes = {i, static_cast<NodeId>(i + 1)};
-    task.cfg.orientations = {agent::kChiralOrientation,
-                             agent::kChiralOrientation};
-    task.cfg.stop.max_rounds = 10 * n;
-    task.make_adversary = [n, i]() -> std::unique_ptr<sim::Adversary> {
-      return std::make_unique<adversary::ScriptedEdgeAdversary>(
-          adversary::make_fig2_script(n, i), "fig2");
-    };
-    tasks.push_back(std::move(task));
     sizes.push_back(n);
   }
 
-  const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
-
-  bool all_match = true;
-  for (std::size_t t = 0; t < results.size(); ++t) {
-    const NodeId n = sizes[t];
-    const sim::RunResult& r = results[t];
-    const bool match = r.explored && r.explored_round == 3 * n - 6 &&
-                       !r.premature_termination;
-    all_match = all_match && match;
-    Round term = 0;
-    for (const auto& a : r.agents) term = std::max(term, a.termination_round);
-    table.add_row({std::to_string(n), std::to_string(n - 3),
-                   std::to_string(2 * n - 5), std::to_string(3 * n - 6),
-                   std::to_string(r.explored_round), std::to_string(term),
-                   match ? "yes" : "NO"});
-  }
-
-  table.print(std::cout);
-  std::cout << "\nThe schedule forces exploration to take exactly 3n-6 "
-               "rounds, matching the paper's tightness claim for Theorem 3"
-            << (all_match ? "." : " — MISMATCH DETECTED!") << "\n";
-  return all_match ? 0 : 1;
+  const core::Artifact artifact = core::make_fig2_worstcase_artifact(sizes);
+  const core::ArtifactDerivation derivation =
+      core::derive(artifact, core::run_artifact_rows(artifact, threads));
+  std::cout << derivation.report;
+  return derivation.status;
 }

@@ -1,183 +1,25 @@
 // Reproduces the paper's execution figures as concrete simulated runs:
+// Figure 12 (termination from AtLandmark), Figure 15 (the PT
+// bounce/reverse run) and Figure 16 (the Theorem 13 window dance).
 //
-//   * Figure 12: both agents leave the landmark in opposite directions,
-//     bounce on the same missing edge, return to the landmark
-//     simultaneously and terminate from state AtLandmarkL.
-//   * Figure 15: the PT bounce/reverse run — the chaser's left leg grows
-//     by one node per Bounce-Reverse cycle (delta grows at each bounce).
-//   * Figure 16: the Theorem 13 phase adversary — window shifts by one
-//     node per phase while the chaser shuttles across it.
-//
-// The three executions are independent, so they run as a traced sweep on
-// the worker pool (--threads=N; default all hardware threads) and the
-// figure reconstruction walks the returned traces.
+// Since PR 5 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the three executions live in the "fig_runs"
+// artifact, which persists the per-round trace series in its campaign
+// store (TraceSeries), so the committed examples/paper/fig_runs.md report
+// derives from the store alone (dring_artifact).  Output is
+// byte-identical to the pre-migration bench.
 #include <iostream>
-#include <memory>
-#include <string>
-#include <vector>
 
-#include "adversary/basic_adversaries.hpp"
-#include "adversary/proof_adversaries.hpp"
-#include "core/runner.hpp"
-#include "core/sweep.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-using namespace dring;
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
-  core::SweepOptions pool;
-  pool.threads = static_cast<int>(cli.get_int("threads", 0));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
 
-  std::vector<core::ScenarioTask> tasks(3);
-
-  // --- Figure 12 task ---------------------------------------------------------
-  const NodeId n12 = 7;  // odd: both agents reach the antipodal edge together
-  {
-    core::ScenarioTask& task = tasks[0];
-    task.cfg = core::default_config(
-        algo::AlgorithmId::StartFromLandmarkNoChirality, n12);
-    task.cfg.orientations = {agent::kChiralOrientation,
-                             agent::kMirroredOrientation};
-    task.cfg.stop.max_rounds = 100;
-    // Remove the antipodal edge exactly while both agents press on it.
-    task.make_adversary = [n = n12]() -> std::unique_ptr<sim::Adversary> {
-      return std::make_unique<adversary::ScriptedEdgeAdversary>(
-          [n](Round r) -> std::optional<EdgeId> {
-            return (r >= (n - 1) / 2 && r <= (n - 1) / 2 + 2)
-                       ? std::optional<EdgeId>((n - 1) / 2)
-                       : std::nullopt;
-          });
-    };
-  }
-
-  // --- Figure 15 task ---------------------------------------------------------
-  const NodeId n15 = 14;
-  {
-    core::ScenarioTask& task = tasks[1];
-    task.cfg =
-        core::default_config(algo::AlgorithmId::PTBoundWithChirality, n15);
-    task.cfg.start_nodes = {static_cast<NodeId>(n15 / 2 - 1), 0};
-    task.cfg.orientations = {agent::kChiralOrientation,
-                             agent::kChiralOrientation};
-    task.cfg.engine.fairness_window = 1 << 20;
-    task.cfg.stop.max_rounds = 40'000;
-    task.cfg.stop.stop_when_explored_and_one_terminated = true;
-    task.make_adversary = [] {
-      return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
-    };
-  }
-
-  // --- Figure 16 task ---------------------------------------------------------
-  const NodeId n16 = 10;
-  {
-    core::ScenarioTask& task = tasks[2];
-    task.cfg =
-        core::default_config(algo::AlgorithmId::PTBoundWithChirality, n16);
-    task.cfg.start_nodes = {static_cast<NodeId>(n16 / 2 - 1), 0};
-    task.cfg.orientations = {agent::kChiralOrientation,
-                             agent::kChiralOrientation};
-    task.cfg.engine.fairness_window = 1 << 20;
-    task.cfg.stop.max_rounds = 60;
-    task.cfg.stop.stop_when_all_terminated = false;
-    task.cfg.stop.stop_when_explored_and_one_terminated = false;
-    task.make_adversary = [] {
-      return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
-    };
-  }
-
-  const std::vector<core::SweepRun> runs = core::run_sweep_traced(tasks, pool);
-
-  // --- Figure 12 --------------------------------------------------------------
-  std::cout << "=== Figure 12: termination from state AtLandmark ===\n\n";
-  {
-    const sim::RunResult& r = runs[0].result;
-    util::Table t({"round", "missing", "agent a (node, state)",
-                   "agent b (node, state)"});
-    for (const sim::RoundTrace& rt : runs[0].trace) {
-      t.add_row({std::to_string(rt.round),
-                 rt.missing ? std::to_string(*rt.missing) : "-",
-                 std::to_string(rt.agents[0].node) + " " +
-                     rt.agents[0].state,
-                 std::to_string(rt.agents[1].node) + " " +
-                     rt.agents[1].state});
-    }
-    t.print(std::cout);
-    std::cout << "explored=" << (r.explored ? "yes" : "NO")
-              << ", both terminated="
-              << (r.all_terminated ? "yes" : "NO")
-              << ", premature=" << (r.premature_termination ? "YES" : "no")
-              << "  (both agents bounced on edge " << (n12 - 1) / 2
-              << " and met again at the landmark)\n";
-  }
-
-  // --- Figure 15 --------------------------------------------------------------
-  std::cout << "\n=== Figure 15: delta grows at each Bounce-Reverse of the "
-               "chaser ===\n\n";
-  {
-    // Reconstruct the chaser's legs from its state changes in the trace.
-    util::Table t({"leg#", "chaser state", "leg length (moves)"});
-    std::string cur_state;
-    long long leg = 0;
-    int leg_no = 0;
-    NodeId prev_node = -1;
-    bool first = true;
-    for (const sim::RoundTrace& rt : runs[1].trace) {
-      const sim::AgentTrace& ch = rt.agents[1];
-      if (first) {
-        cur_state = ch.state;
-        prev_node = ch.node;
-        first = false;
-        continue;
-      }
-      if (ch.node != prev_node) ++leg;
-      prev_node = ch.node;
-      if (ch.state != cur_state || ch.terminated) {
-        if (leg > 0)
-          t.add_row({std::to_string(++leg_no), cur_state,
-                     std::to_string(leg)});
-        cur_state = ch.state;
-        leg = 0;
-        if (ch.terminated) break;
-      }
-    }
-    t.print(std::cout);
-    std::cout << "total moves=" << runs[1].result.total_moves
-              << ", terminated=" << runs[1].result.terminated_agents << "/2"
-              << "  (each left leg is one node longer than the previous "
-                 "right leg, so the rightSteps >= leftSteps termination "
-                 "check never fires early)\n";
-  }
-
-  // --- Figure 16 --------------------------------------------------------------
-  std::cout << "\n=== Figure 16: the Theorem 13 window dance (first phases) "
-               "===\n\n";
-  {
-    util::Table t({"round", "missing edge", "leader (node, on-port?)",
-                   "chaser (node, state)"});
-    // A window shift = one passive transport of the leader: its node
-    // changed across a round in which it was not activated.
-    long long shifts = 0;
-    NodeId prev_leader_node = static_cast<NodeId>(n16 / 2 - 1);
-    for (const sim::RoundTrace& rt : runs[2].trace) {
-      if (rt.agents[0].node != prev_leader_node && !rt.agents[0].active)
-        ++shifts;
-      prev_leader_node = rt.agents[0].node;
-      t.add_row(
-          {std::to_string(rt.round),
-           rt.missing ? std::to_string(*rt.missing) : "-",
-           std::to_string(rt.agents[0].node) +
-               (rt.agents[0].on_port ? " [port]" : ""),
-           std::to_string(rt.agents[1].node) + " " + rt.agents[1].state});
-    }
-    t.print(std::cout);
-    std::cout << "window shifts so far: " << shifts
-              << "  (the leader is passively transported one node per "
-                 "phase, exactly when the chaser is blocked at the other "
-                 "window boundary)\n";
-  }
+  const core::Artifact artifact = core::make_fig_runs_artifact();
+  std::cout << core::derive_report(artifact,
+                                   core::run_artifact_rows(artifact, threads));
   return 0;
 }

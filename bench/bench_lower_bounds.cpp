@@ -1,180 +1,28 @@
 // Reproduces the paper's lower bounds by running the adversary schedules
 // from the proofs against our (asymptotically optimal) algorithms:
+// Observation 3 (2n-3 rounds via the Figure 2 schedule), Theorem 4 (the
+// simultaneous ring family), Theorems 13/15 (the sliding-window adversary
+// forcing Theta(n^2) moves).
 //
-//   * Observation 3: exploration by two agents needs >= 2n-3 rounds in the
-//     worst case — the Figure 2 schedule forces 3n-6 >= 2n-3.
-//   * Theorem 4: partial termination with an upper bound N needs >= N-1
-//     rounds — the simultaneous-ring-family argument: on static rings of
-//     every size 3..N the termination round is identical, and coverage at
-//     round N-2 on the largest ring is still incomplete.
-//   * Theorem 13: Omega(N*n) moves in PT with chirality and bound N — the
-//     sliding-window adversary forces ~x*(N-x) moves (x = n/2).
-//   * Theorem 15: Omega(n^2) moves in PT with chirality and a landmark.
-//
-// Each section's scenarios run on the worker pool (--threads=N); rows are
-// folded in task order, so output is byte-identical for any thread count.
-#include <algorithm>
+// Since PR 5 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the scenario grids, the adversary-shift counters
+// and the formatting live in the "lower_bounds" artifact, whose campaign
+// store also backs the committed examples/paper/lower_bounds.md report
+// (dring_artifact).  Output is byte-identical to the pre-migration bench
+// (pinned against a verbatim legacy replica in tests/artifact_test.cpp).
 #include <iostream>
-#include <memory>
-#include <vector>
 
-#include "adversary/proof_adversaries.hpp"
-#include "core/runner.hpp"
-#include "core/sweep.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-using namespace dring;
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
   const NodeId max_n = static_cast<NodeId>(cli.get_int("max-n", 48));
-  core::SweepOptions pool;
-  pool.threads = static_cast<int>(cli.get_int("threads", 0));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
 
-  // --- Observation 3 ---------------------------------------------------------
-  std::cout << "=== Observation 3: time lower bound 2n-3 (FSYNC, 2 agents) "
-               "===\n\n";
-  {
-    util::Table t({"n", "lower bound 2n-3", "forced rounds (Fig. 2 schedule)",
-                   "ratio"});
-    std::vector<core::ScenarioTask> tasks;
-    std::vector<NodeId> sizes;
-    for (NodeId n : {8, 16, 32}) {
-      if (n > max_n) continue;
-      core::ScenarioTask task;
-      task.cfg =
-          core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-      task.cfg.start_nodes = {2, 3};
-      task.cfg.orientations = {agent::kChiralOrientation,
-                               agent::kChiralOrientation};
-      task.cfg.stop.max_rounds = 10 * n;
-      task.make_adversary = [n]() -> std::unique_ptr<sim::Adversary> {
-        return std::make_unique<adversary::ScriptedEdgeAdversary>(
-            adversary::make_fig2_script(n, 2));
-      };
-      tasks.push_back(std::move(task));
-      sizes.push_back(n);
-    }
-    const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const NodeId n = sizes[i];
-      const sim::RunResult& r = results[i];
-      t.add_row({std::to_string(n), std::to_string(2 * n - 3),
-                 std::to_string(r.explored_round),
-                 util::fmt_double(static_cast<double>(r.explored_round) /
-                                      (2 * n - 3),
-                                  2)});
-    }
-    t.print(std::cout);
-  }
-
-  // --- Theorem 4 --------------------------------------------------------------
-  std::cout << "\n=== Theorem 4: termination needs >= N-1 rounds "
-               "(simultaneous ring family) ===\n\n";
-  {
-    const NodeId N = std::min<NodeId>(16, max_n);
-    util::Table t({"ring size n", "termination round", "explored by then?"});
-    std::vector<core::ScenarioTask> tasks;
-    for (NodeId n = 3; n <= N; ++n) {
-      core::ScenarioTask task;
-      task.cfg =
-          core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-      task.cfg.upper_bound = N;
-      task.cfg.start_nodes = {0, 1};
-      task.cfg.orientations = {agent::kChiralOrientation,
-                               agent::kChiralOrientation};
-      task.cfg.stop.max_rounds = 10 * N;
-      tasks.push_back(std::move(task));  // no adversary = NullAdversary
-    }
-    const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
-    Round common_term = -1;
-    bool identical = true;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const NodeId n = static_cast<NodeId>(3 + i);
-      const sim::RunResult& r = results[i];
-      const Round term = r.agents[0].termination_round;
-      if (common_term < 0) common_term = term;
-      identical = identical && term == common_term;
-      t.add_row({std::to_string(n), std::to_string(term),
-                 r.explored ? "yes" : "NO (would be incorrect!)"});
-    }
-    t.print(std::cout);
-    std::cout << "\nOn a static ring all executions are indistinguishable: "
-              << (identical ? "termination rounds are identical across the "
-                              "whole family (as Theorem 4's argument needs), "
-                              "and they exceed N-1 = " +
-                                  std::to_string(N - 1) + "."
-                            : "MISMATCH — executions diverged!")
-              << "\n";
-  }
-
-  // --- Theorems 13 and 15 ------------------------------------------------------
-  std::cout << "\n=== Theorems 13/15: Omega(N*n) / Omega(n^2) moves in PT "
-               "(sliding-window adversary) ===\n\n";
-  {
-    util::Table t({"variant", "n", "x", "x*(N-x)", "forced moves", "ratio",
-                   "window shifts", "terminated"});
-    struct Case {
-      bool landmark;
-      NodeId n;
-    };
-    std::vector<core::ScenarioTask> tasks;
-    std::vector<Case> cases;
-    for (const bool landmark : {false, true}) {
-      for (NodeId n : {8, 12, 16, 24, 32, 48}) {
-        if (n > max_n) continue;
-        tasks.emplace_back();
-        cases.push_back({landmark, n});
-      }
-    }
-    // The sliding-window adversary is interrogated after the run (its
-    // shift count is a table column), which the factory path cannot
-    // express — run_custom builds the adversary in the worker and parks
-    // the count in a per-task slot.
-    std::vector<long long> shifts(tasks.size(), 0);
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const auto [landmark, n] = cases[i];
-      const NodeId x = n / 2;
-      core::ExplorationConfig cfg = core::default_config(
-          landmark ? algo::AlgorithmId::PTLandmarkWithChirality
-                   : algo::AlgorithmId::PTBoundWithChirality,
-          n);
-      if (landmark) cfg.landmark = 1;
-      cfg.start_nodes = {static_cast<NodeId>(x - 1), 0};
-      cfg.orientations = {agent::kChiralOrientation,
-                          agent::kChiralOrientation};
-      cfg.engine.fairness_window = 1 << 20;
-      cfg.stop.max_rounds = 400'000LL + 2000LL * n * n;
-      cfg.stop.stop_when_explored_and_one_terminated = true;
-      tasks[i].run_custom = [cfg, i, &shifts]() {
-        adversary::SlidingWindowAdversary adv(0, 1);
-        const sim::RunResult r = core::run_exploration(cfg, &adv);
-        shifts[i] = adv.shifts();
-        return r;
-      };
-    }
-    const std::vector<sim::RunResult> results = core::run_sweep(tasks, pool);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto [landmark, n] = cases[i];
-      const NodeId x = n / 2;
-      const sim::RunResult& r = results[i];
-      const long long ref = static_cast<long long>(x) * (n - x);
-      t.add_row({landmark ? "landmark (Th. 15)" : "bound N=n (Th. 13)",
-                 std::to_string(n), std::to_string(x),
-                 util::fmt_count(ref), util::fmt_count(r.total_moves),
-                 util::fmt_double(static_cast<double>(r.total_moves) / ref,
-                                  2),
-                 std::to_string(shifts[i]),
-                 std::to_string(r.terminated_agents) + "/2"});
-    }
-    t.print(std::cout);
-    std::cout << "\nThe forced move count scales as x*(N-x) = Theta(n^2) "
-                 "with a constant >= 1, exactly the Omega(N*n) / Omega(n^2) "
-                 "shape; only one agent ever terminates (the pinned leader "
-                 "waits forever), matching Theorem 11.\n";
-  }
+  const core::Artifact artifact = core::make_lower_bounds_artifact(max_n);
+  std::cout << core::derive_report(artifact,
+                                   core::run_artifact_rows(artifact, threads));
   return 0;
 }

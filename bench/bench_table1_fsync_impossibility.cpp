@@ -1,120 +1,27 @@
-// Reproduces Table 1 of the paper (FSYNC impossibility results):
+// Reproduces Table 1 of the paper (FSYNC impossibility results) by
+// replaying the proofs' constructions against concrete protocols:
+// Observation 1 (a blocked single agent), Observation 2 (the
+// meeting-prevention adversary), Theorems 1/2 (indistinguishability under
+// a size hypothesis).
 //
-//   | 2 agents  | no knowledge of n, no landmark | even with IDs+chirality |
-//   |           |                                | partial term. impossible|
-//   | any #     | no knowledge, anonymous agents | partial term. impossible|
-//
-// Impossibility cannot be proven by simulation; instead we replay the
-// proofs' constructions and show they defeat concrete protocols:
-//
-//  1. Observation 1: a single agent is pinned forever.
-//  2. Observation 2: the meeting-prevention adversary keeps two agents
-//     apart for the whole horizon (no meeting, no catches) while they run
-//     the unconscious protocol.
-//  3. Theorem 1/2 (indistinguishability): any terminating rule based on
-//     a size hypothesis N terminates identically on every ring of size
-//     n' > f(N); running KnownNNoChirality with hypothesis N on rings of
-//     growing size shows termination at the same round everywhere, hence
-//     premature termination on all rings larger than the coverage bound.
+// Since PR 5 this bench is a shim over the paper-artifact layer
+// (core/artifact.hpp): the expect-failure scenario rows live in the
+// "table1_fsync" artifact, whose campaign store also backs the committed
+// examples/paper/table1_fsync.md report (dring_artifact).  Output is
+// byte-identical to the pre-migration bench.
 #include <iostream>
-#include <vector>
 
-#include "adversary/basic_adversaries.hpp"
-#include "adversary/proof_adversaries.hpp"
-#include "core/runner.hpp"
+#include "core/artifact.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace dring;
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dring;
   const util::Cli cli(argc, argv);
   const Round horizon = cli.get_int("horizon", 100'000);
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
 
-  std::cout << "=== Table 1: impossibility results for FSYNC (replayed "
-               "constructions) ===\n\n";
-
-  util::Table table({"Construction", "Paper claim", "Scenario",
-                     "Horizon", "Outcome"});
-
-  // --- Observation 1 / Corollary 1: one agent cannot explore -------------
-  {
-    core::ExplorationConfig cfg =
-        core::default_config(algo::AlgorithmId::UnconsciousExploration, 10);
-    cfg.num_agents = 1;
-    cfg.start_nodes = {0};
-    cfg.orientations = {agent::kChiralOrientation};
-    cfg.stop.max_rounds = horizon;
-    cfg.stop.stop_when_explored = true;
-    cfg.stop.stop_when_all_terminated = false;
-    adversary::BlockAgentAdversary adv(0);
-    const sim::RunResult r = core::run_exploration(cfg, &adv);
-    table.add_row({"Obs. 1 block-agent", "1 agent cannot explore",
-                   "n=10, unconscious walker",
-                   util::fmt_count(r.rounds),
-                   r.explored ? "EXPLORED (unexpected!)"
-                              : "never left start (moves = " +
-                                    std::to_string(r.total_moves) + ")"});
-  }
-
-  // --- Observation 2: two agents never meet --------------------------------
-  {
-    core::ExplorationConfig cfg =
-        core::default_config(algo::AlgorithmId::UnconsciousExploration, 11);
-    cfg.start_nodes = {0, 5};
-    cfg.engine.record_trace = true;
-    cfg.stop.max_rounds = 20'000;
-    cfg.stop.stop_when_explored = false;
-    cfg.stop.stop_when_all_terminated = false;
-    adversary::PreventMeetingAdversary adv;
-    auto engine = core::make_engine(cfg, &adv);
-    engine->run(cfg.stop);
-    long long meetings = 0;
-    for (const sim::RoundTrace& rt : engine->trace()) {
-      const auto& a = rt.agents[0];
-      const auto& b = rt.agents[1];
-      if (!a.on_port && !b.on_port && a.node == b.node) ++meetings;
-    }
-    table.add_row({"Obs. 2 prevent-meeting",
-                   "adversary can prevent any meeting",
-                   "n=11, 2 agents, distinct starts", util::fmt_count(20'000),
-                   "meetings observed: " + std::to_string(meetings)});
-  }
-
-  // --- Theorems 1 and 2: no termination without knowledge ------------------
-  {
-    // An algorithm that decides to stop after some f(N) rounds behaves
-    // identically on every larger ring (static run, same views), so pick
-    // the hypothesis N = 6 and grow the true ring size.
-    std::string outcome;
-    for (NodeId n : {6, 12, 24, 48}) {
-      core::ExplorationConfig cfg =
-          core::default_config(algo::AlgorithmId::KnownNNoChirality, n);
-      cfg.upper_bound = 6;  // the (wrong, except for n=6) size hypothesis
-      cfg.start_nodes = {0, 1};
-      cfg.orientations = {agent::kChiralOrientation,
-                          agent::kChiralOrientation};
-      cfg.stop.max_rounds = 200;
-      sim::NullAdversary adv;
-      const sim::RunResult r = core::run_exploration(cfg, &adv);
-      outcome += "n=" + std::to_string(n) + ": term@" +
-                 std::to_string(r.agents[0].termination_round) +
-                 (r.premature_termination ? " PREMATURE; " : " ok; ");
-    }
-    table.add_row({"Th. 1/2 indistinguishability",
-                   "no partial termination without knowledge of n",
-                   "hypothesis N=6 on growing rings", "-", outcome});
-  }
-
-  table.print(std::cout);
-  std::cout << "\nReading: the constructions behave exactly as the proofs "
-               "require — the blocked agent never moves, the two agents "
-               "never meet, and a size-hypothesis termination rule fires at "
-               "the same round on every ring size, prematurely on all but "
-               "one.\n";
+  const core::Artifact artifact = core::make_table1_artifact(horizon);
+  std::cout << core::derive_report(artifact,
+                                   core::run_artifact_rows(artifact, threads));
   return 0;
 }

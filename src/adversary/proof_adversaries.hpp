@@ -95,6 +95,10 @@ class HeadOnPinAdversary : public sim::Adversary {
       const sim::WorldView& view,
       const std::vector<sim::IntentRecord>& intents) override;
   std::string name() const override { return "head-on-pin"; }
+  void report_metrics(
+      std::map<std::string, long long>& metrics) const override {
+    if (pinned_) metrics["pinned_edge"] = *pinned_;
+  }
 
   std::optional<EdgeId> pinned() const { return pinned_; }
 
@@ -131,6 +135,10 @@ class SlidingWindowAdversary : public sim::Adversary {
       const sim::WorldView& view,
       const std::vector<sim::IntentRecord>& intents) override;
   std::string name() const override { return "sliding-window"; }
+  void report_metrics(
+      std::map<std::string, long long>& metrics) const override {
+    metrics["shifts"] = shifts_;
+  }
 
   /// Number of window shifts (leader transports) performed so far.
   long long shifts() const { return shifts_; }

@@ -47,6 +47,10 @@ class TIntervalAdversary : public sim::Adversary {
   bool observes_intents() const override;
   bool reorders_contenders() const override;
   std::string name() const override;
+  void report_metrics(
+      std::map<std::string, long long>& metrics) const override {
+    if (inner_) inner_->report_metrics(metrics);
+  }
 
   /// Removal requests downgraded to "no removal" by the interval guard.
   long long vetoes() const { return vetoes_; }

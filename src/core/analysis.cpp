@@ -23,9 +23,8 @@ std::string fmt_stat(double value) { return fmt("%.6g", value); }
 
 // --- loading ---------------------------------------------------------------
 
-std::vector<CampaignRow> load_result_stores(
-    const std::vector<std::string>& paths) {
-  std::vector<std::vector<CampaignRow>> stores;
+ResultStore load_result_stores(const std::vector<std::string>& paths) {
+  std::vector<ResultStore> stores;
   stores.reserve(paths.size());
   for (const std::string& path : paths)
     stores.push_back(read_result_store_file(path));
@@ -36,7 +35,10 @@ std::vector<CampaignRow> load_result_stores(
         " fingerprint(s), first " +
         hex_u64(merge.conflicts.front().first.fingerprint) +
         " — refusing to analyze conflicting data");
-  return std::move(merge.rows);
+  ResultStore result;
+  result.provenance = merge.provenance;
+  result.rows = std::move(merge.rows);
+  return result;
 }
 
 // --- axes ------------------------------------------------------------------
@@ -626,9 +628,22 @@ std::string render_paired_report(const PairedComparison& cmp, Metric metric,
     return s ? fmt_stat(*s) : std::string("-");
   };
 
+  // Annotate only when the caller knew BOTH sides' provenance — one
+  // known side does not make a cross-version pairing, just an unknown
+  // one (analysis.hpp: "Empty = unknown (no annotation)").
+  const bool with_provenance =
+      !cmp.provenance_a.empty() && !cmp.provenance_b.empty();
+  const bool cross_version =
+      with_provenance && cmp.provenance_a != cmp.provenance_b;
+
   if (format == ReportFormat::Json) {
     util::Json doc;
     doc.set("metric", to_string(metric));
+    if (with_provenance) {
+      doc.set("provenance_a", cmp.provenance_a);
+      doc.set("provenance_b", cmp.provenance_b);
+      doc.set("cross_version", cross_version);
+    }
     doc.set("common", static_cast<long long>(cmp.common));
     doc.set("only_a", static_cast<long long>(cmp.only_a));
     doc.set("only_b", static_cast<long long>(cmp.only_b));
@@ -659,7 +674,13 @@ std::string render_paired_report(const PairedComparison& cmp, Metric metric,
   std::string out;
   if (format == ReportFormat::Markdown) {
     out += "Paired comparison (delta = B - A), metric " + to_string(metric) +
-           "; sign-test p = exact two-sided binomial over non-tied pairs.\n\n";
+           "; sign-test p = exact two-sided binomial over non-tied pairs.\n";
+    if (cross_version)
+      out += "CROSS-VERSION comparison: A = " + cmp.provenance_a +
+             ", B = " + cmp.provenance_b + ".\n";
+    else if (with_provenance)
+      out += "Both stores produced by " + cmp.provenance_a + ".\n";
+    out += "\n";
     out += join_line({"common", "only_a", "only_b", "flips A-ok", "flips B-ok",
                       "pairs", "b_lower", "ties", "b_higher", "mean delta",
                       "median delta", "sign-test p"},

@@ -34,10 +34,11 @@ namespace dring::core {
 
 /// Read and union several stores (merge_result_stores semantics: identical
 /// duplicate rows collapse, conflicting payloads for one fingerprint throw
-/// std::runtime_error naming the fingerprint).  Rows come back in
-/// canonical store order.
-std::vector<CampaignRow> load_result_stores(
-    const std::vector<std::string>& paths);
+/// std::runtime_error naming the fingerprint, and stores with different
+/// provenance refuse to union — load cross-version stores separately and
+/// compare them with paired_compare).  Rows come back in canonical store
+/// order under the shared provenance.
+ResultStore load_result_stores(const std::vector<std::string>& paths);
 
 // --- axes ------------------------------------------------------------------
 
@@ -168,6 +169,11 @@ struct PairedComparison {
   /// Two-sided exact binomial sign test over the non-tied pairs: the
   /// probability of a split at least this lopsided under "no drift".
   double sign_test_p = 1.0;
+  /// Store provenance of each side (describe() strings), set by the
+  /// caller when known: the rendered report annotates the pairing as
+  /// same-provenance or cross-version.  Empty = unknown; the annotation
+  /// is emitted only when both sides are known.
+  std::string provenance_a, provenance_b;
   std::vector<PairedRow> rows;  ///< common rows, fingerprint order
 };
 

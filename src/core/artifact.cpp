@@ -1,485 +1,135 @@
+// Framework half of the artifact layer: TraceSeries encoding, execution
+// on the sweep pool with store semantics, derivation guards, and the
+// registry.  The per-artifact builders (grids + renderers) live in
+// artifact_possibility.cpp, artifact_impossibility.cpp,
+// artifact_figures.cpp and artifact_studies.cpp.
 #include "core/artifact.hpp"
 
-#include <algorithm>
-#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
-#include "adversary/proof_adversaries.hpp"
-#include "algo/id_encoding.hpp"
-#include "ring/evolving_ring.hpp"
-#include "sim/trace_io.hpp"
-#include "util/table.hpp"
-
 namespace dring::core {
 
-namespace {
+// --- TraceSeries ------------------------------------------------------------
 
-std::string joined_sizes(const std::vector<NodeId>& sizes) {
+std::string TraceSeries::encode() const {
   std::string out;
-  for (const NodeId n : sizes) out += std::to_string(n) + " ";
+  for (const std::vector<std::string>& row : rows) {
+    if (!out.empty()) out += '\n';
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += '|';
+      out += row[i];
+    }
+  }
   return out;
 }
 
-// --- Table 2 ----------------------------------------------------------------
-
-/// The legacy bench's per-sweep fold: worst measured termination round
-/// across the runs that explored and fully terminated cleanly.
-struct Table2Fold {
-  std::int64_t worst_round = 0;
-  NodeId worst_n = 0;
-  int runs = 0;
-  int failures = 0;
-};
-
-void table2_account(Table2Fold& fold, const CampaignRow& row) {
-  fold.runs += 1;
-  if (!row.outcome.explored || row.outcome.premature_termination ||
-      !row.outcome.all_terminated || row.outcome.violations != 0) {
-    fold.failures += 1;
-    return;
-  }
-  if (row.outcome.last_termination > fold.worst_round) {
-    fold.worst_round = row.outcome.last_termination;
-    fold.worst_n = row.spec.n;
-  }
-}
-
-/// One theorem row of Table 2: the scenario grid parameters plus the
-/// rendered-cell texts that depend on the fold.
-struct Table2RowDef {
-  const char* algorithm;
-  Round budget_per_n;  ///< max_rounds = budget_per_n * n + 1000
-  bool with_fig2;      ///< add the exact Figure 2 worst case (n >= 6)
-};
-
-constexpr Table2RowDef kTable2Rows[] = {
-    {"KnownNNoChirality", 10, true},
-    {"LandmarkWithChirality", 4000, false},
-    {"LandmarkNoChirality", 100000, false},
-};
-
-std::vector<ArtifactScenario> table2_scenarios(
-    const std::vector<NodeId>& sizes, int seeds) {
-  std::vector<ArtifactScenario> scenarios;
-  for (int group = 0; group < 3; ++group) {
-    const Table2RowDef& def = kTable2Rows[group];
-    for (const NodeId n : sizes) {
-      for (int seed = 0; seed <= seeds; ++seed) {
-        ArtifactScenario s;
-        s.spec.algorithm = def.algorithm;
-        s.spec.n = n;
-        s.spec.max_rounds = def.budget_per_n * n + 1000;
-        s.spec.seed = static_cast<std::uint64_t>(1000 * n + seed);
-        if (seed == 0) {
-          s.spec.adversary.family = "null";
-          s.label = "static";
-        } else if (seed == 1) {
-          s.spec.adversary.family = "block-agent";
-          s.spec.adversary.victim = 0;
-          s.label = "obs1-block";
-        } else {
-          s.spec.adversary.family = "targeted-random";
-          s.spec.adversary.target_prob = 0.7;
-          s.spec.adversary.activation_prob = 1.0;
-          s.label = "targeted-random#" + std::to_string(seed);
-        }
-        s.group = group;
-        scenarios.push_back(std::move(s));
-      }
-      if (def.with_fig2 && n >= 6) {
-        ArtifactScenario s;
-        s.spec.algorithm = def.algorithm;
-        s.spec.n = n;
-        s.spec.start_nodes = {2, 3};
-        s.spec.orientations = "cc";
-        s.spec.max_rounds = 10 * n;
-        s.spec.adversary.family = "fig2";
-        s.spec.adversary.edge = 2;
-        s.label = "fig2";
-        s.group = group;
-        scenarios.push_back(std::move(s));
-      }
-    }
-  }
-  return scenarios;
-}
-
-std::string render_table2(const std::vector<NodeId>& sizes, int seeds,
-                          const std::vector<ArtifactScenario>& scenarios,
-                          const std::vector<const CampaignRow*>& rows) {
-  Table2Fold folds[3];
-  for (std::size_t i = 0; i < scenarios.size(); ++i)
-    table2_account(folds[scenarios[i].group], *rows[i]);
-
-  std::ostringstream out;
-  out << "=== Table 2: possibility results for FSYNC ===\n"
-      << "sizes swept: " << joined_sizes(sizes)
-      << "| adversaries: static, obs1-block, targeted-random x" << seeds
-      << "\n\n";
-
-  util::Table table({"N. Agents", "Assumptions", "Paper bound",
-                     "Worst measured termination", "at n", "Runs",
-                     "Failures"});
-  {
-    const Table2Fold& r = folds[0];
-    const NodeId n = r.worst_n;
-    table.add_row({"2", "Known bound N", "3N-6 (Th. 3)",
-                   util::fmt_count(r.worst_round) + "  (3n-5 = " +
-                       util::fmt_count(3 * n - 5) + " incl. detect round)",
-                   std::to_string(n), std::to_string(r.runs),
-                   std::to_string(r.failures)});
-  }
-  {
-    const Table2Fold& r = folds[1];
-    const NodeId n = std::max<NodeId>(r.worst_n, 1);
-    table.add_row({"2", "Chirality, Landmark", "O(n) (Th. 6)",
-                   util::fmt_count(r.worst_round) + "  (= " +
-                       util::fmt_double(static_cast<double>(r.worst_round) / n,
-                                        1) +
-                       " * n)",
-                   std::to_string(n), std::to_string(r.runs),
-                   std::to_string(r.failures)});
-  }
-  {
-    const Table2Fold& r = folds[2];
-    const NodeId n = std::max<NodeId>(r.worst_n, 1);
-    const double nlogn = static_cast<double>(n) * algo::ceil_log2(n);
-    table.add_row({"2", "Landmark (no chirality)", "O(n log n) (Th. 8)",
-                   util::fmt_count(r.worst_round) + "  (= " +
-                       util::fmt_double(r.worst_round / nlogn, 1) +
-                       " * n log n)",
-                   std::to_string(n), std::to_string(r.runs),
-                   std::to_string(r.failures)});
-  }
-  table.print(out);
-  out << "\nFailures = runs that did not explore, terminated "
-         "prematurely, or violated an invariant (expected: 0).\n";
-  return out.str();
-}
-
-// --- Table 4 ----------------------------------------------------------------
-
-struct Table4RowDef {
-  const char* algorithm;
-  const char* model;
-  const char* agents;
-  const char* assume;
-  const char* claim;
-  bool terminating;
-  bool sliding;
-};
-
-constexpr Table4RowDef kTable4Rows[] = {
-    {"PTBoundWithChirality", "PT", "2", "Chirality, Known bound N",
-     "O(N^2) moves (Th. 12)", true, true},
-    {"PTLandmarkWithChirality", "PT", "2", "Chirality, Landmark",
-     "O(n^2) moves (Th. 14)", true, true},
-    {"PTBoundNoChirality", "PT", "3", "Known bound N", "O(N^2) moves (Th. 16)",
-     true, false},
-    {"PTLandmarkNoChirality", "PT", "3", "Landmark", "O(n^2) moves (Th. 17)",
-     true, false},
-    {"ETUnconscious", "ET", "2", "Chirality",
-     "unconscious exploration (Th. 18)", false, false},
-    {"ETBoundNoChirality", "ET", "3", "Known n",
-     "partial termination (Th. 20)", true, false},
-};
-
-struct Table4Fold {
-  long long worst_moves = 0;
-  NodeId worst_n = 1;
-  int runs = 0;
-  int failures = 0;
-  int full_terminations = 0;
-  int partial_terminations = 0;
-};
-
-void table4_account(Table4Fold& fold, const CampaignRow& row,
-                    bool termination_required) {
-  fold.runs += 1;
-  const bool any_terminated = row.outcome.terminated_agents > 0;
-  const bool ok = row.outcome.explored &&
-                  !row.outcome.premature_termination &&
-                  row.outcome.violations == 0 &&
-                  (!termination_required || any_terminated);
-  if (!ok) {
-    fold.failures += 1;
-    return;
-  }
-  if (row.outcome.all_terminated) fold.full_terminations += 1;
-  if (any_terminated) fold.partial_terminations += 1;
-  if (row.outcome.total_moves > fold.worst_moves) {
-    fold.worst_moves = row.outcome.total_moves;
-    fold.worst_n = row.spec.n;
-  }
-}
-
-std::string quad_ratio(const Table4Fold& fold) {
-  const double nn = static_cast<double>(fold.worst_n) * fold.worst_n;
-  return util::fmt_count(fold.worst_moves) + "  (= " +
-         util::fmt_double(fold.worst_moves / nn, 2) + " * n^2)";
-}
-
-std::vector<ArtifactScenario> table4_scenarios(
-    const std::vector<NodeId>& sizes, int seeds) {
-  std::vector<ArtifactScenario> scenarios;
-  for (int group = 0; group < 6; ++group) {
-    const Table4RowDef& def = kTable4Rows[group];
-    for (const NodeId n : sizes) {
-      for (int seed = 0; seed <= seeds; ++seed) {
-        ArtifactScenario s;
-        s.spec.algorithm = def.algorithm;
-        s.spec.n = n;
-        s.spec.max_rounds = 200'000LL + 4000LL * n * n;
-        s.spec.seed = 7919ULL * static_cast<std::uint64_t>(n) +
-                      static_cast<std::uint64_t>(seed);
-        if (seed == 0) {
-          s.spec.adversary.family = "null";
-          s.label = "static";
-        } else {
-          s.spec.adversary.family = "targeted-random";
-          s.spec.adversary.target_prob = 0.6;
-          s.spec.adversary.activation_prob = 0.5 + 0.1 * (seed % 5);
-          s.label = "targeted-random#" + std::to_string(seed);
-        }
-        s.group = group;
-        scenarios.push_back(std::move(s));
-      }
-      if (def.sliding) {
-        ArtifactScenario s;
-        s.spec.algorithm = def.algorithm;
-        s.spec.n = n;
-        s.spec.start_nodes = {static_cast<NodeId>(n / 2 - 1), 0};
-        s.spec.orientations = "cc";
-        s.spec.landmark = 1;  // applied only when the algorithm has one
-        s.spec.fairness_window = 65536;
-        s.spec.max_rounds = 200'000LL + 4000LL * n * n;
-        s.spec.stop_explored_one_terminated = true;
-        s.spec.adversary.family = "sliding-window";
-        s.label = "sliding-window";
-        s.group = group;
-        scenarios.push_back(std::move(s));
-      }
-    }
-  }
-  return scenarios;
-}
-
-std::string render_table4(const std::vector<NodeId>& sizes, int seeds,
-                          const std::vector<ArtifactScenario>& scenarios,
-                          const std::vector<const CampaignRow*>& rows) {
-  Table4Fold folds[6];
-  for (std::size_t i = 0; i < scenarios.size(); ++i)
-    table4_account(folds[scenarios[i].group], *rows[i],
-                   kTable4Rows[scenarios[i].group].terminating);
-
-  std::ostringstream out;
-  out << "=== Table 4: possibility results for SSYNC models ===\n"
-      << "sizes: " << joined_sizes(sizes)
-      << "| adversaries: static, targeted-random x" << seeds
-      << ", sliding-window (2-agent rows)\n\n";
-
-  util::Table table({"Model", "N. Agents", "Assumptions", "Paper claim",
-                     "Worst moves measured", "at n", "Term.", "Runs",
-                     "Failures"});
-  for (int group = 0; group < 6; ++group) {
-    const Table4RowDef& def = kTable4Rows[group];
-    const Table4Fold& fold = folds[group];
-    std::string term;
-    if (!def.terminating) {
-      term = "none (ok)";
+TraceSeries TraceSeries::decode(const std::string& text) {
+  TraceSeries series;
+  if (text.empty()) return series;
+  std::vector<std::string> row;
+  std::string field;
+  for (const char c : text) {
+    if (c == '\n') {
+      row.push_back(field);
+      field.clear();
+      series.rows.push_back(std::move(row));
+      row.clear();
+    } else if (c == '|') {
+      row.push_back(field);
+      field.clear();
     } else {
-      term = std::to_string(fold.partial_terminations) + " partial / " +
-             std::to_string(fold.full_terminations) + " full";
-    }
-    table.add_row({def.model, def.agents, def.assume, def.claim,
-                   quad_ratio(fold), std::to_string(fold.worst_n), term,
-                   std::to_string(fold.runs), std::to_string(fold.failures)});
-  }
-  table.print(out);
-  out << "\nFailures = runs that did not explore / terminated prematurely "
-         "(expected: 0).  The sliding-window adversary realises the "
-         "quadratic lower bound, so the 2-agent PT rows measure Theta(n^2) "
-         "moves; the paper's O(N^2)/O(n^2) claims hold with small "
-         "constants.\n";
-  return out.str();
-}
-
-// --- Price of liveness ------------------------------------------------------
-
-std::vector<ArtifactScenario> price_of_liveness_scenarios(
-    const std::vector<NodeId>& random_sizes,
-    const std::vector<NodeId>& fig2_sizes, int seeds) {
-  std::vector<ArtifactScenario> scenarios;
-  for (const NodeId n : random_sizes) {
-    for (int seed = 1; seed <= seeds; ++seed) {
-      ArtifactScenario s;
-      s.spec.algorithm = "KnownNNoChirality";
-      s.spec.n = n;
-      s.spec.max_rounds = 40 * n;
-      s.spec.seed = 505ULL * static_cast<std::uint64_t>(seed) +
-                    static_cast<std::uint64_t>(n);
-      s.spec.adversary.family = "targeted-random";
-      s.spec.adversary.target_prob = 0.7;
-      s.spec.adversary.activation_prob = 1.0;
-      s.label = "targeted-random#" + std::to_string(seed);
-      s.group = 0;
-      scenarios.push_back(std::move(s));
+      field += c;
     }
   }
-  for (const NodeId n : fig2_sizes) {
-    ArtifactScenario s;
-    s.spec.algorithm = "KnownNNoChirality";
-    s.spec.n = n;
-    s.spec.start_nodes = {2, 3};
-    s.spec.orientations = "cc";
-    s.spec.max_rounds = 10 * n;
-    s.spec.adversary.family = "fig2";
-    s.spec.adversary.edge = 2;
-    s.label = "figure-2 worst case";
-    s.group = 1;
-    scenarios.push_back(std::move(s));
-  }
-  return scenarios;
-}
-
-std::map<std::string, long long> price_of_liveness_enrich(
-    const ArtifactScenario& scenario, const SweepRun& run) {
-  const bool fig2 = scenario.spec.adversary.family == "fig2";
-  if (!fig2 && !run.result.explored) return {};
-  const NodeId n = scenario.spec.n;
-  const Round horizon = fig2 ? 10 * n : run.result.rounds + 4 * n;
-  const ring::EvolvingRing ring =
-      fig2 ? ring::EvolvingRing::from_script(
-                 n, adversary::make_fig2_script(n, 2), horizon)
-           : ring::EvolvingRing::from_script(
-                 n, sim::edge_schedule_of(run.trace), horizon);
-  const ExplorationConfig cfg = build_config(scenario.spec);
-  const Round offline = ring::offline_two_agent_exploration_time(
-      ring, cfg.start_nodes[0], cfg.start_nodes[1], horizon);
-  return {{"offline", offline}};
-}
-
-std::string render_price_of_liveness(
-    const std::vector<ArtifactScenario>& scenarios,
-    const std::vector<const CampaignRow*>& rows) {
-  std::ostringstream out;
-  out << "=== Price of liveness: live exploration vs the offline "
-         "optimum on the same schedule ===\n\n";
-
-  util::Table table({"schedule", "n", "live algorithm", "live explored@",
-                     "offline 2-agent optimum", "ratio"});
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const ArtifactScenario& scenario = scenarios[i];
-    const CampaignOutcome& live = rows[i]->outcome;
-    const bool fig2 = scenario.group == 1;
-    if (!fig2 && !live.explored) continue;
-    const auto it = live.extra.find("offline");
-    const long long offline = it == live.extra.end() ? 0 : it->second;
-    table.add_row(
-        {scenario.label, std::to_string(scenario.spec.n), "KnownNNoChirality",
-         std::to_string(live.explored_round), std::to_string(offline),
-         offline > 0
-             ? util::fmt_double(
-                   static_cast<double>(live.explored_round) / offline, 2)
-             : "-"});
-  }
-  table.print(out);
-  out << "\nThe offline planner, knowing the schedule, explores in ~n/2..n "
-         "rounds; the live agents pay up to 3n-6 on the same schedule — "
-         "the gap is the information price the paper's live model "
-         "isolates.\n";
-  return out.str();
+  row.push_back(field);
+  series.rows.push_back(std::move(row));
+  return series;
 }
 
 // --- execution helpers ------------------------------------------------------
 
-/// Run the given scenario subset (traced when the artifact enriches rows).
+namespace {
+
+/// Run the given scenario subset on the pool.  Scenarios with `trace` set
+/// record their per-round trace for the enrich hook; run_custom scenarios
+/// execute their own engines.
 std::vector<CampaignRow> execute(
     const Artifact& artifact, const std::vector<const ArtifactScenario*>& mine,
     int threads) {
   std::vector<ScenarioTask> tasks;
   tasks.reserve(mine.size());
-  for (const ArtifactScenario* scenario : mine)
-    tasks.push_back(to_task(scenario->spec));
+  for (const ArtifactScenario* scenario : mine) {
+    if (scenario->run_custom) {
+      ScenarioTask task;
+      task.run_custom = scenario->run_custom;
+      tasks.push_back(std::move(task));
+    } else {
+      ScenarioTask task = to_task(scenario->spec);
+      if (scenario->trace) task.cfg.engine.record_trace = true;
+      tasks.push_back(std::move(task));
+    }
+  }
   SweepOptions options;
   options.threads = threads;
 
+  const std::vector<SweepRun> runs = run_sweep_runs(tasks, options);
   std::vector<CampaignRow> rows(mine.size());
-  const auto fill = [&](std::size_t i, const sim::RunResult& result) {
+  for (std::size_t i = 0; i < mine.size(); ++i) {
     rows[i].spec = mine[i]->spec;
     rows[i].fingerprint = fingerprint(mine[i]->spec);
-    rows[i].outcome = outcome_of(result);
-  };
-  if (artifact.enrich) {
-    const std::vector<SweepRun> runs = run_sweep_traced(tasks, options);
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      fill(i, runs[i].result);
-      rows[i].outcome.extra = artifact.enrich(*mine[i], runs[i]);
+    rows[i].outcome = outcome_of(runs[i].result);
+    if (artifact.enrich) {
+      ArtifactExtras extras = artifact.enrich(*mine[i], runs[i]);
+      rows[i].outcome.extra = std::move(extras.numbers);
+      rows[i].outcome.extra_text = std::move(extras.text);
     }
-  } else {
-    const std::vector<sim::RunResult> results = run_sweep(tasks, options);
-    for (std::size_t i = 0; i < mine.size(); ++i) fill(i, results[i]);
   }
   return rows;
 }
 
+/// Rows in scenario order for derivation; throws when any are missing.
+std::vector<const CampaignRow*> ordered_rows(
+    const Artifact& artifact, const std::vector<CampaignRow>& rows) {
+  std::unordered_map<std::uint64_t, const CampaignRow*> by_fp;
+  for (const CampaignRow& row : rows) by_fp.emplace(row.fingerprint, &row);
+
+  std::vector<const CampaignRow*> ordered;
+  ordered.reserve(artifact.scenarios.size());
+  std::size_t missing = 0;
+  for (const ArtifactScenario& scenario : artifact.scenarios) {
+    const auto it = by_fp.find(fingerprint(scenario.spec));
+    if (it == by_fp.end())
+      ++missing;
+    else
+      ordered.push_back(it->second);
+  }
+  if (missing > 0)
+    throw std::runtime_error(
+        "artifact '" + artifact.name + "': store is missing " +
+        std::to_string(missing) + " of " +
+        std::to_string(artifact.scenarios.size()) +
+        " scenario rows (run `dring_artifact --run " + artifact.name + "`)");
+  return ordered;
+}
+
 }  // namespace
-
-// --- builders ----------------------------------------------------------------
-
-Artifact make_table2_artifact(std::vector<NodeId> sizes, int seeds) {
-  Artifact artifact;
-  artifact.name = "table2_fsync";
-  artifact.title = "Table 2: FSYNC possibility results (worst termination vs "
-                   "the paper bounds)";
-  artifact.report_file = "table2_fsync.md";
-  artifact.scenarios = table2_scenarios(sizes, seeds);
-  artifact.render = [sizes, seeds](
-                        const std::vector<ArtifactScenario>& scenarios,
-                        const std::vector<const CampaignRow*>& rows) {
-    return render_table2(sizes, seeds, scenarios, rows);
-  };
-  return artifact;
-}
-
-Artifact make_table4_artifact(std::vector<NodeId> sizes, int seeds) {
-  Artifact artifact;
-  artifact.name = "table4_ssync";
-  artifact.title = "Table 4: SSYNC possibility results (worst moves vs the "
-                   "paper claims)";
-  artifact.report_file = "table4_ssync.md";
-  artifact.scenarios = table4_scenarios(sizes, seeds);
-  artifact.render = [sizes, seeds](
-                        const std::vector<ArtifactScenario>& scenarios,
-                        const std::vector<const CampaignRow*>& rows) {
-    return render_table4(sizes, seeds, scenarios, rows);
-  };
-  return artifact;
-}
-
-Artifact make_price_of_liveness_artifact(std::vector<NodeId> random_sizes,
-                                         std::vector<NodeId> fig2_sizes,
-                                         int seeds) {
-  Artifact artifact;
-  artifact.name = "price_of_liveness";
-  artifact.title = "Price of liveness: live exploration vs the offline "
-                   "optimum on the same schedule";
-  artifact.report_file = "price_of_liveness.md";
-  artifact.scenarios =
-      price_of_liveness_scenarios(random_sizes, fig2_sizes, seeds);
-  artifact.enrich = price_of_liveness_enrich;
-  artifact.render = render_price_of_liveness;
-  return artifact;
-}
 
 // --- registry ----------------------------------------------------------------
 
 const std::vector<Artifact>& paper_artifacts() {
   static const std::vector<Artifact> kAll = {
+      make_table1_artifact(100'000),
       make_table2_artifact({5, 6, 8, 11, 16, 24, 32}, 6),
+      make_table3_artifact(50'000),
       make_table4_artifact({5, 6, 8, 11, 16, 24}, 6),
+      make_fig2_worstcase_artifact({6, 8, 10, 13, 16, 24, 32, 48, 64}),
+      make_fig_runs_artifact(),
+      make_fig9_11_artifact(),
+      make_lower_bounds_artifact(48),
       make_price_of_liveness_artifact({6, 8, 10}, {8, 10, 12}, 4),
+      make_ablations_artifact(5),
+      make_extension_many_agents_artifact(16, 5, 200'000),
   };
   return kAll;
 }
@@ -547,26 +197,29 @@ std::vector<CampaignRow> run_artifact_rows(const Artifact& artifact,
 
 std::string derive_report(const Artifact& artifact,
                           const std::vector<CampaignRow>& rows) {
-  std::unordered_map<std::uint64_t, const CampaignRow*> by_fp;
-  for (const CampaignRow& row : rows) by_fp.emplace(row.fingerprint, &row);
+  return artifact.render(artifact.scenarios, ordered_rows(artifact, rows));
+}
 
-  std::vector<const CampaignRow*> ordered;
-  ordered.reserve(artifact.scenarios.size());
-  std::size_t missing = 0;
-  for (const ArtifactScenario& scenario : artifact.scenarios) {
-    const auto it = by_fp.find(fingerprint(scenario.spec));
-    if (it == by_fp.end())
-      ++missing;
-    else
-      ordered.push_back(it->second);
-  }
-  if (missing > 0)
-    throw std::runtime_error(
-        "artifact '" + artifact.name + "': store is missing " +
-        std::to_string(missing) + " of " +
-        std::to_string(artifact.scenarios.size()) +
-        " scenario rows (run `dring_artifact --run " + artifact.name + "`)");
-  return artifact.render(artifact.scenarios, ordered);
+int derive_status(const Artifact& artifact,
+                  const std::vector<CampaignRow>& rows) {
+  if (!artifact.status) return 0;
+  return artifact.status(artifact.scenarios, ordered_rows(artifact, rows));
+}
+
+ArtifactDerivation derive(const Artifact& artifact,
+                          const std::vector<CampaignRow>& rows) {
+  const std::vector<const CampaignRow*> ordered = ordered_rows(artifact, rows);
+  ArtifactDerivation derivation;
+  derivation.report = artifact.render(artifact.scenarios, ordered);
+  if (artifact.status)
+    derivation.status = artifact.status(artifact.scenarios, ordered);
+  return derivation;
+}
+
+long long stored_extra(const CampaignRow& row, const std::string& key,
+                       long long fallback) {
+  const auto it = row.outcome.extra.find(key);
+  return it == row.outcome.extra.end() ? fallback : it->second;
 }
 
 }  // namespace dring::core

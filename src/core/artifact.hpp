@@ -6,15 +6,24 @@
 // hand-rolled scenario loops and formatting, while the campaign subsystem
 // (core/campaign.hpp) and analytics (core/analysis.hpp) already provided
 // exactly the needed machinery: declarative scenario specs, a canonical
-// sharded JSONL store, byte-stable derivation.  An Artifact is the glue —
-// one named unit of:
+// sharded JSONL store, byte-stable derivation.  PR 5 finished the
+// migration: every paper table and figure — the possibility tables, the
+// impossibility tables (expect-failure rows), the figure executions
+// (per-round trace series), the lower-bound replays, the ablation and
+// extension studies, and the ID-machinery worked examples — is a named
+// artifact.  An Artifact is one unit of:
 //
 //   * a fixed scenario list (ScenarioSpecs with explicit seeds, matching
-//     the legacy bench grids cell for cell);
+//     the legacy bench grids cell for cell; scenarios the declarative
+//     config cannot express — hand-built engines, non-registry brains —
+//     carry a run_custom escape hatch plus a `variant` label that keeps
+//     the spec a faithful identity);
 //   * an optional per-run enrichment hook that computes extra metrics
-//     from the traced execution (e.g. the offline optimum a
-//     price-of-liveness row needs) and persists them in the store row;
-//   * a byte-stable renderer from store rows to the committed report.
+//     from the executed run (numeric extras like the price-of-liveness
+//     offline optimum, text extras like the per-round TraceSeries of the
+//     figure artifacts) and persists them in the store row;
+//   * a byte-stable renderer from store rows to the committed report,
+//     plus an optional status fold (the shim binaries' exit code).
 //
 // Execution rides run_sweep with run_campaign semantics (resume by
 // fingerprint, --shard i/m partitioning, canonical store bytes), so an
@@ -42,6 +51,37 @@ struct ArtifactScenario {
   ScenarioSpec spec;
   std::string label;  ///< renderer row label (e.g. "targeted-random#3")
   int group = 0;      ///< renderer-defined section (e.g. table row index)
+  /// Record the per-round trace for this scenario and hand it to the
+  /// enrich hook.  Off by default so artifacts can mix a few traced
+  /// scenarios into large untraced grids without holding every trace.
+  bool trace = false;
+  /// Escape hatch for scenarios the declarative spec cannot express
+  /// (hand-built engines, non-registry brains: the ablation guess
+  /// policies, random-walk baselines, many-agent teams).  When set, the
+  /// worker calls this instead of translating `spec` — but `spec` remains
+  /// the scenario's identity (fingerprint, store row, resume/shard), so
+  /// it must describe the custom run faithfully and uniquely (use
+  /// ScenarioSpec::variant for whatever the other fields cannot say).
+  std::function<sim::RunResult()> run_custom;
+};
+
+/// What an enrich hook may persist in the scenario's store row.
+struct ArtifactExtras {
+  std::map<std::string, long long> numbers;    ///< -> outcome.extra
+  std::map<std::string, std::string> text;     ///< -> outcome.extra_text
+};
+
+/// Per-round series persisted in a store row ("extra_text" member): one
+/// line per round, fields joined with '|'.  The figure artifacts encode
+/// whatever per-round columns their renderer needs (node, state, missing
+/// edge, ...) at enrich time; the renderer decodes from the store alone —
+/// fields must not contain '|' or newlines.
+struct TraceSeries {
+  std::vector<std::vector<std::string>> rows;
+
+  void add(std::vector<std::string> fields) { rows.push_back(std::move(fields)); }
+  std::string encode() const;
+  static TraceSeries decode(const std::string& text);
 };
 
 /// A named paper artifact.
@@ -50,17 +90,22 @@ struct Artifact {
   std::string title;        ///< one-line description for --list
   std::string report_file;  ///< file name under the artifact directory
   std::vector<ArtifactScenario> scenarios;
-  /// Optional post-run enrichment: extra per-run metrics computed from the
-  /// traced execution, persisted in the row ("extra" store member).  When
-  /// set, the artifact executes on run_sweep_traced.  Must be a pure
-  /// function of (scenario, run) — store bytes stay deterministic.
-  std::function<std::map<std::string, long long>(const ArtifactScenario&,
-                                                 const SweepRun&)>
+  /// Optional post-run enrichment: extra per-run data computed from the
+  /// executed run (the trace is non-empty only for scenarios with
+  /// `trace` set), persisted in the row's "extra"/"extra_text" store
+  /// members.  Must be a pure function of (scenario, run) — store bytes
+  /// stay deterministic.
+  std::function<ArtifactExtras(const ArtifactScenario&, const SweepRun&)>
       enrich;
   /// Derive the report from rows positionally parallel to `scenarios`.
   std::function<std::string(const std::vector<ArtifactScenario>&,
                             const std::vector<const CampaignRow*>&)>
       render;
+  /// Optional exit-status fold for the shim binaries (e.g. Figure 2's
+  /// "every size matched 3n-6" check).  Absent = always 0.
+  std::function<int(const std::vector<ArtifactScenario>&,
+                    const std::vector<const CampaignRow*>&)>
+      status;
 };
 
 // --- the registry -----------------------------------------------------------
@@ -73,17 +118,54 @@ const Artifact& artifact_by_name(const std::string& name);
 
 // --- parameterized builders (tests, bench --seeds/--max-n flags) ------------
 
+/// Table 1 (FSYNC impossibility): replay the Obs. 1 / Obs. 2 / Th. 1-2
+/// proof constructions against concrete protocols and report that each
+/// defeats them (expect-failure rows; `horizon` bounds the replays).
+Artifact make_table1_artifact(Round horizon);
+
 /// Table 2 (FSYNC possibility): per theorem row, sweep `sizes` under
 /// static / obs1-block / targeted-random adversaries (`seeds` randomized
 /// runs per size) plus the exact Figure 2 worst case, and report the worst
 /// measured termination round against the paper bound.
 Artifact make_table2_artifact(std::vector<NodeId> sizes, int seeds);
 
+/// Table 3 (SSYNC impossibility): replay the Th. 9 / Th. 10 / Th. 11 /
+/// Th. 19 constructions (expect-failure rows; `horizon` bounds them).
+Artifact make_table3_artifact(Round horizon);
+
 /// Table 4 (SSYNC possibility): per theorem row, sweep `sizes` under
 /// hostile randomized dynamics and — for the 2-agent PT rows — the
 /// sliding-window move-forcing adversary, and report the worst measured
 /// move count against the paper's asymptotic claim.
 Artifact make_table4_artifact(std::vector<NodeId> sizes, int seeds);
+
+/// Figure 2: the exact worst-case schedule on which KnownNNoChirality
+/// needs 3n-6 rounds, swept over `sizes`; status is non-zero when any
+/// size misses the bound.
+Artifact make_fig2_worstcase_artifact(std::vector<NodeId> sizes);
+
+/// Figures 12/15/16: the paper's execution figures reconstructed from
+/// recorded traces (per-round TraceSeries persisted in the store).
+Artifact make_fig_runs_artifact();
+
+/// Figures 9/10/11: the ID-assignment worked examples and the ID = 1
+/// direction schedule — pure computation, no scenarios; status is
+/// non-zero when a computed ID disagrees with the paper.
+Artifact make_fig9_11_artifact();
+
+/// Lower bounds (Obs. 3, Th. 4, Th. 13/15): the proof schedules replayed
+/// against the asymptotically optimal algorithms, sizes capped at
+/// `max_n`.
+Artifact make_lower_bounds_artifact(NodeId max_n);
+
+/// Ablations A-D (bound looseness, guess policy, window-size parabola,
+/// deterministic vs random walk); `seeds` randomized runs per cell.
+Artifact make_ablations_artifact(int seeds);
+
+/// Extension study: team size k = 1..5 for the unconscious protocols and
+/// the random-walk baseline on a ring of `n` under hostile dynamics.
+Artifact make_extension_many_agents_artifact(NodeId n, int seeds,
+                                             Round budget);
 
 /// Price of liveness: live exploration versus the offline optimum on the
 /// same schedule (targeted-random schedules over `random_sizes`, `seeds`
@@ -127,5 +209,25 @@ std::vector<CampaignRow> run_artifact_rows(const Artifact& artifact,
 /// of missing rows otherwise.
 std::string derive_report(const Artifact& artifact,
                           const std::vector<CampaignRow>& rows);
+
+/// The artifact's exit status over the same rows (0 when it has no status
+/// fold).  Same missing-row contract as derive_report.
+int derive_status(const Artifact& artifact,
+                  const std::vector<CampaignRow>& rows);
+
+/// Report + status in one pass (the shim binaries' path; the scenario
+/// fingerprints and row index are computed once for both folds).
+struct ArtifactDerivation {
+  std::string report;
+  int status = 0;
+};
+
+ArtifactDerivation derive(const Artifact& artifact,
+                          const std::vector<CampaignRow>& rows);
+
+/// Renderer helper: the row's numeric extra under `key`, or `fallback`
+/// when the enrich hook did not record it.
+long long stored_extra(const CampaignRow& row, const std::string& key,
+                       long long fallback);
 
 }  // namespace dring::core

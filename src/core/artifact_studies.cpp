@@ -1,0 +1,608 @@
+// Study artifacts: the lower-bound replays (Obs. 3, Th. 4, Th. 13/15),
+// the ablation studies A-D, and the many-agent extension study.  The
+// cells the declarative spec cannot express (hand-tuned guess policies,
+// random-walk baselines, mixed-brain teams) ride the run_custom escape
+// hatch with `variant`-labelled identity specs.  Grids and formatting are
+// cell-for-cell the retired bench pipelines (lower_bounds is additionally
+// pinned against a verbatim legacy replica in tests/artifact_test.cpp).
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "adversary/basic_adversaries.hpp"
+#include "algo/et_unconscious.hpp"
+#include "algo/random_walk.hpp"
+#include "algo/unconscious_exploration.hpp"
+#include "core/artifact.hpp"
+#include "util/table.hpp"
+
+namespace dring::core {
+
+namespace {
+
+// --- lower bounds -----------------------------------------------------------
+
+std::vector<ArtifactScenario> lower_bounds_scenarios(NodeId max_n) {
+  std::vector<ArtifactScenario> scenarios;
+
+  // Observation 3: the Figure 2 schedule forces 3n-6 >= 2n-3 rounds.
+  for (const NodeId n : {8, 16, 32}) {
+    if (n > max_n) continue;
+    ArtifactScenario s;
+    s.spec.algorithm = "KnownNNoChirality";
+    s.spec.n = n;
+    s.spec.start_nodes = {2, 3};
+    s.spec.orientations = "cc";
+    s.spec.max_rounds = 10 * n;
+    s.spec.adversary.family = "fig2";
+    s.spec.adversary.edge = 2;
+    s.label = "obs3 n=" + std::to_string(n);
+    s.group = 0;
+    scenarios.push_back(std::move(s));
+  }
+
+  // Theorem 4: the simultaneous ring family — identical termination round
+  // on static rings of every size 3..N.
+  const NodeId N = std::min<NodeId>(16, max_n);
+  for (NodeId n = 3; n <= N; ++n) {
+    ArtifactScenario s;
+    s.spec.algorithm = "KnownNNoChirality";
+    s.spec.n = n;
+    s.spec.upper_bound = N;
+    s.spec.start_nodes = {0, 1};
+    s.spec.orientations = "cc";
+    s.spec.max_rounds = 10 * N;
+    s.label = "th4 n=" + std::to_string(n);
+    s.group = 1;
+    scenarios.push_back(std::move(s));
+  }
+
+  // Theorems 13/15: the sliding-window adversary forces ~x*(N-x) moves.
+  for (const bool landmark : {false, true}) {
+    for (const NodeId n : {8, 12, 16, 24, 32, 48}) {
+      if (n > max_n) continue;
+      const NodeId x = n / 2;
+      ArtifactScenario s;
+      s.spec.algorithm =
+          landmark ? "PTLandmarkWithChirality" : "PTBoundWithChirality";
+      s.spec.n = n;
+      if (landmark) s.spec.landmark = 1;
+      s.spec.start_nodes = {static_cast<NodeId>(x - 1), 0};
+      s.spec.orientations = "cc";
+      s.spec.fairness_window = 1 << 20;
+      s.spec.max_rounds = 400'000LL + 2000LL * n * n;
+      s.spec.stop_explored_one_terminated = true;
+      s.spec.adversary.family = "sliding-window";
+      s.label = (landmark ? std::string("th15 n=") : std::string("th13 n=")) +
+                std::to_string(n);
+      s.group = 2;
+      scenarios.push_back(std::move(s));
+    }
+  }
+  return scenarios;
+}
+
+ArtifactExtras lower_bounds_enrich(const ArtifactScenario& scenario,
+                                   const SweepRun& run) {
+  ArtifactExtras extras;
+  if (scenario.group == 1) {
+    extras.numbers["term_a0"] = run.result.agents[0].termination_round;
+  } else if (scenario.group == 2) {
+    const auto it = run.result.adversary_metrics.find("shifts");
+    extras.numbers["shifts"] = it == run.result.adversary_metrics.end()
+                                   ? 0
+                                   : it->second;
+  }
+  return extras;
+}
+
+std::string render_lower_bounds(
+    NodeId max_n, const std::vector<ArtifactScenario>& scenarios,
+    const std::vector<const CampaignRow*>& rows) {
+  std::ostringstream out;
+
+  // --- Observation 3 --------------------------------------------------------
+  out << "=== Observation 3: time lower bound 2n-3 (FSYNC, 2 agents) "
+         "===\n\n";
+  {
+    util::Table t({"n", "lower bound 2n-3", "forced rounds (Fig. 2 schedule)",
+                   "ratio"});
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (scenarios[i].group != 0) continue;
+      const NodeId n = scenarios[i].spec.n;
+      const CampaignOutcome& r = rows[i]->outcome;
+      t.add_row({std::to_string(n), std::to_string(2 * n - 3),
+                 std::to_string(r.explored_round),
+                 util::fmt_double(static_cast<double>(r.explored_round) /
+                                      (2 * n - 3),
+                                  2)});
+    }
+    t.print(out);
+  }
+
+  // --- Theorem 4 ------------------------------------------------------------
+  out << "\n=== Theorem 4: termination needs >= N-1 rounds "
+         "(simultaneous ring family) ===\n\n";
+  {
+    const NodeId N = std::min<NodeId>(16, max_n);
+    util::Table t({"ring size n", "termination round", "explored by then?"});
+    Round common_term = -1;
+    bool identical = true;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (scenarios[i].group != 1) continue;
+      const CampaignOutcome& r = rows[i]->outcome;
+      const Round term = stored_extra(*rows[i], "term_a0", -1);
+      if (common_term < 0) common_term = term;
+      identical = identical && term == common_term;
+      t.add_row({std::to_string(scenarios[i].spec.n), std::to_string(term),
+                 r.explored ? "yes" : "NO (would be incorrect!)"});
+    }
+    t.print(out);
+    out << "\nOn a static ring all executions are indistinguishable: "
+        << (identical ? "termination rounds are identical across the "
+                        "whole family (as Theorem 4's argument needs), "
+                        "and they exceed N-1 = " +
+                            std::to_string(N - 1) + "."
+                      : "MISMATCH — executions diverged!")
+        << "\n";
+  }
+
+  // --- Theorems 13 and 15 ---------------------------------------------------
+  out << "\n=== Theorems 13/15: Omega(N*n) / Omega(n^2) moves in PT "
+         "(sliding-window adversary) ===\n\n";
+  {
+    util::Table t({"variant", "n", "x", "x*(N-x)", "forced moves", "ratio",
+                   "window shifts", "terminated"});
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (scenarios[i].group != 2) continue;
+      const bool landmark =
+          scenarios[i].spec.algorithm == "PTLandmarkWithChirality";
+      const NodeId n = scenarios[i].spec.n;
+      const NodeId x = n / 2;
+      const CampaignOutcome& r = rows[i]->outcome;
+      const long long ref = static_cast<long long>(x) * (n - x);
+      t.add_row({landmark ? "landmark (Th. 15)" : "bound N=n (Th. 13)",
+                 std::to_string(n), std::to_string(x),
+                 util::fmt_count(ref), util::fmt_count(r.total_moves),
+                 util::fmt_double(static_cast<double>(r.total_moves) / ref,
+                                  2),
+                 std::to_string(stored_extra(*rows[i], "shifts", 0)),
+                 std::to_string(r.terminated_agents) + "/2"});
+    }
+    t.print(out);
+    out << "\nThe forced move count scales as x*(N-x) = Theta(n^2) "
+           "with a constant >= 1, exactly the Omega(N*n) / Omega(n^2) "
+           "shape; only one agent ever terminates (the pinned leader "
+           "waits forever), matching Theorem 11.\n";
+  }
+  return out.str();
+}
+
+// --- ablations --------------------------------------------------------------
+
+/// The hand-built two-agent engine shared by ablations B and D: mirrored
+/// orientations, custom brains, FSYNC, stop when explored.
+sim::RunResult run_two_agent_custom(
+    NodeId n, Round max_rounds,
+    const std::function<std::unique_ptr<agent::Brain>(int)>& make_brain,
+    const std::function<std::unique_ptr<sim::Adversary>()>& make_adversary) {
+  sim::EngineOptions opts;
+  sim::Engine engine(n, std::nullopt, sim::Model::FSYNC, opts);
+  for (int i = 0; i < 2; ++i) {
+    engine.add_agent(static_cast<NodeId>(i * n / 2),
+                     i == 0 ? agent::kChiralOrientation
+                            : agent::kMirroredOrientation,
+                     make_brain(i));
+  }
+  const std::unique_ptr<sim::Adversary> adv = make_adversary();
+  engine.set_adversary(adv.get());
+  sim::StopPolicy stop;
+  stop.max_rounds = max_rounds;
+  stop.stop_when_explored = true;
+  stop.stop_when_all_terminated = false;
+  return engine.run(stop);
+}
+
+constexpr std::pair<std::int64_t, std::int64_t> kGuessPolicies[] = {
+    {2, 2}, {2, 4}, {8, 2}, {32, 2}};
+constexpr NodeId kGuessSizes[] = {12, 24};
+constexpr NodeId kAblationABounds[] = {16, 24, 32, 48, 64};
+constexpr NodeId kWindowSizes[] = {4, 8, 12, 16, 20, 24, 28};
+constexpr NodeId kRandomWalkSizes[] = {8, 16, 32};
+
+std::vector<ArtifactScenario> ablations_scenarios(int seeds) {
+  std::vector<ArtifactScenario> scenarios;
+
+  // A: bound looseness — KnownNNoChirality pays for the bound, not the ring.
+  for (const NodeId N : kAblationABounds) {
+    ArtifactScenario s;
+    s.spec.algorithm = "KnownNNoChirality";
+    s.spec.n = 16;
+    s.spec.upper_bound = N;
+    s.spec.max_rounds = 10 * N;
+    s.spec.seed = static_cast<std::uint64_t>(5 + N);
+    s.spec.adversary.family = "targeted-random";
+    s.spec.adversary.target_prob = 0.7;
+    s.spec.adversary.activation_prob = 1.0;
+    s.label = "ablation-A N=" + std::to_string(N);
+    s.group = 0;
+    scenarios.push_back(std::move(s));
+  }
+
+  // B: guess policy of UnconsciousExploration against a perpetually
+  // missing edge (hand-tuned guess parameters -> run_custom).
+  for (const auto& [g0, factor] : kGuessPolicies) {
+    for (const NodeId n : kGuessSizes) {
+      for (int seed = 1; seed <= seeds; ++seed) {
+        ArtifactScenario s;
+        s.spec.algorithm = "UnconsciousExploration";
+        s.spec.n = n;
+        s.spec.seed = static_cast<std::uint64_t>(seed);
+        s.spec.max_rounds = 4000LL * n;
+        s.spec.start_nodes = {0, static_cast<NodeId>(n / 2)};
+        s.spec.orientations = "cm";
+        s.spec.adversary.family = "fixed-edge";
+        s.spec.adversary.edge = static_cast<EdgeId>((n / 4 + seed) % n);
+        s.spec.variant = "ablation-B g0=" + std::to_string(g0) +
+                         " growth=" + std::to_string(factor);
+        s.label = s.spec.variant + " n=" + std::to_string(n) + "#" +
+                  std::to_string(seed);
+        s.group = 1;
+        s.run_custom = [g0 = g0, factor = factor, n, seed] {
+          return run_two_agent_custom(
+              n, 4000LL * n,
+              [&](int) {
+                return std::make_unique<algo::UnconsciousExploration>(
+                    g0, factor);
+              },
+              [&]() -> std::unique_ptr<sim::Adversary> {
+                return std::make_unique<adversary::FixedEdgeAdversary>(
+                    static_cast<EdgeId>((n / 4 + seed) % n));
+              });
+        };
+        scenarios.push_back(std::move(s));
+      }
+    }
+  }
+
+  // C: the x*(N-x) window-size parabola.
+  for (const NodeId x : kWindowSizes) {
+    const NodeId n = 32;
+    ArtifactScenario s;
+    s.spec.algorithm = "PTBoundWithChirality";
+    s.spec.n = n;
+    s.spec.start_nodes = {static_cast<NodeId>(x - 1), 0};
+    s.spec.orientations = "cc";
+    s.spec.fairness_window = 1 << 20;
+    s.spec.max_rounds = 4000LL * n * n;
+    s.spec.stop_explored_one_terminated = true;
+    s.spec.adversary.family = "sliding-window";
+    s.label = "ablation-C x=" + std::to_string(x);
+    s.group = 2;
+    scenarios.push_back(std::move(s));
+  }
+
+  // D: deterministic unconscious protocol vs the random-walk baseline
+  // (non-registry RandomWalk brains -> run_custom).
+  for (const NodeId n : kRandomWalkSizes) {
+    for (const bool deterministic : {true, false}) {
+      const Round budget = 40'000LL + 4000LL * n;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        ArtifactScenario s;
+        s.spec.algorithm =
+            deterministic ? "UnconsciousExploration" : "RandomWalk";
+        s.spec.n = n;
+        s.spec.seed = static_cast<std::uint64_t>(seed);
+        s.spec.max_rounds = budget;
+        s.spec.start_nodes = {0, static_cast<NodeId>(n / 2)};
+        s.spec.orientations = "cm";
+        s.spec.adversary.family = "targeted-random";
+        s.spec.adversary.target_prob = 0.7;
+        s.spec.adversary.activation_prob = 1.0;
+        s.spec.variant = deterministic ? "ablation-D deterministic"
+                                       : "ablation-D random-walk";
+        s.label = s.spec.variant + " n=" + std::to_string(n) + "#" +
+                  std::to_string(seed);
+        s.group = 3;
+        s.run_custom = [n, deterministic, seed, budget] {
+          return run_two_agent_custom(
+              n, budget,
+              [&](int i) -> std::unique_ptr<agent::Brain> {
+                if (deterministic)
+                  return std::make_unique<algo::UnconsciousExploration>();
+                return std::make_unique<algo::RandomWalk>(1000ULL * seed +
+                                                          i);
+              },
+              [&]() -> std::unique_ptr<sim::Adversary> {
+                return std::make_unique<adversary::TargetedRandomAdversary>(
+                    0.7, 1.0, 23ULL * seed + n);
+              });
+        };
+        scenarios.push_back(std::move(s));
+      }
+    }
+  }
+  return scenarios;
+}
+
+std::string render_ablations(int seeds,
+                             const std::vector<ArtifactScenario>& scenarios,
+                             const std::vector<const CampaignRow*>& rows) {
+  std::ostringstream out;
+  std::size_t index = 0;  // walks `scenarios`/`rows` section by section
+
+  // --- A --------------------------------------------------------------------
+  out << "=== Ablation A: cost of a loose upper bound (Th. 3) ===\n\n";
+  {
+    const NodeId n = 16;
+    util::Table t({"n", "N", "N/n", "termination round", "rounds / n"});
+    for (const NodeId N : kAblationABounds) {
+      const CampaignOutcome& r = rows[index++]->outcome;
+      const Round term = std::max<Round>(r.last_termination, 0);
+      t.add_row({std::to_string(n), std::to_string(N),
+                 util::fmt_double(static_cast<double>(N) / n, 2),
+                 std::to_string(term),
+                 util::fmt_double(static_cast<double>(term) / n, 2)});
+    }
+    t.print(out);
+    out << "Termination is always 3N-5: the algorithm pays for the "
+           "bound, not the ring — knowledge quality is performance.\n";
+  }
+
+  // --- B --------------------------------------------------------------------
+  out << "\n=== Ablation B: guess policy of UnconsciousExploration "
+         "(Th. 5) ===\n\n";
+  {
+    util::Table t({"initial G", "growth", "n", "worst exploration round",
+                   "mean (over seeds)"});
+    for (const auto& [g0, factor] : kGuessPolicies) {
+      for (const NodeId n : kGuessSizes) {
+        long long worst = 0, sum = 0;
+        int count = 0;
+        for (int seed = 1; seed <= seeds; ++seed) {
+          const CampaignOutcome& r = rows[index++]->outcome;
+          if (r.explored) {
+            worst = std::max(worst, (long long)r.explored_round);
+            sum += r.explored_round;
+            ++count;
+          }
+        }
+        t.add_row({std::to_string(g0), std::to_string(factor),
+                   std::to_string(n), util::fmt_count(worst),
+                   count ? util::fmt_double(double(sum) / count, 1) : "-"});
+      }
+    }
+    t.print(out);
+    out << "With a perpetually missing edge the blocked-wait before a "
+           "reversal is proportional to the current guess: inflating "
+           "the initial guess (or the growth factor) directly inflates "
+           "the exploration time, which is why the paper starts at "
+           "G = 2 and doubles.\n";
+  }
+
+  // --- C --------------------------------------------------------------------
+  out << "\n=== Ablation C: sliding-window forced moves vs window "
+         "size x (Th. 13) ===\n\n";
+  {
+    const NodeId n = 32;
+    util::Table t({"x", "x*(N-x)", "forced moves", "ratio"});
+    for (const NodeId x : kWindowSizes) {
+      const CampaignOutcome& r = rows[index++]->outcome;
+      const long long ref = static_cast<long long>(x) * (n - x);
+      t.add_row({std::to_string(x), util::fmt_count(ref),
+                 util::fmt_count(r.total_moves),
+                 util::fmt_double(static_cast<double>(r.total_moves) /
+                                      std::max(ref, 1LL),
+                                  2)});
+    }
+    t.print(out);
+    out << "Every window size forces at least 2*x*(N-x) moves (ratio "
+           ">= 2 throughout), the Theorem 13 bound; the total measured "
+           "cost behaves like 2x(N-x) + (N-x)^2 — the chaser re-walks "
+           "a growing span for each of the N-x phases — so smaller "
+           "windows force even more absolute moves in this "
+           "realization.\n";
+  }
+
+  // --- D --------------------------------------------------------------------
+  out << "\n=== Ablation D: deterministic protocol vs random-walk "
+         "baseline ===\n\n";
+  {
+    util::Table t({"n", "protocol", "explored (runs)",
+                   "worst exploration round", "mean round"});
+    for (const NodeId n : kRandomWalkSizes) {
+      for (const bool deterministic : {true, false}) {
+        long long worst = 0, sum = 0;
+        int explored = 0;
+        for (int seed = 1; seed <= seeds; ++seed) {
+          const CampaignOutcome& r = rows[index++]->outcome;
+          if (r.explored) {
+            ++explored;
+            worst = std::max(worst, (long long)r.explored_round);
+            sum += r.explored_round;
+          }
+        }
+        t.add_row({std::to_string(n),
+                   deterministic ? "UnconsciousExploration (Th. 5)"
+                                 : "RandomWalk baseline [4]",
+                   std::to_string(explored) + "/" + std::to_string(seeds),
+                   util::fmt_count(worst),
+                   explored ? util::fmt_double(double(sum) / explored, 1)
+                            : "-"});
+      }
+    }
+    t.print(out);
+    out << "The deterministic protocol explores in O(n) against the "
+           "targeted adversary; the random walk's expected cover time "
+           "is quadratic and degrades much faster with n.\n";
+  }
+  (void)scenarios;
+  return out.str();
+}
+
+// --- extension: many agents -------------------------------------------------
+
+std::unique_ptr<agent::Brain> make_team_brain(const std::string& kind, int i,
+                                              int seed) {
+  if (kind == "unconscious")
+    return std::make_unique<algo::UnconsciousExploration>();
+  if (kind == "et") return std::make_unique<algo::ETUnconscious>();
+  return std::make_unique<algo::RandomWalk>(1000ULL * seed + i);
+}
+
+sim::RunResult run_team(const std::string& kind, NodeId n, int k, int seed,
+                        Round budget) {
+  sim::EngineOptions opts;
+  sim::Engine engine(n, std::nullopt,
+                     kind == "et" ? sim::Model::SSYNC_ET : sim::Model::FSYNC,
+                     opts);
+  for (int i = 0; i < k; ++i) {
+    engine.add_agent(static_cast<NodeId>((i * n) / k),
+                     i % 2 == 0 ? agent::kChiralOrientation
+                                : agent::kMirroredOrientation,
+                     make_team_brain(kind, i, seed));
+  }
+  adversary::TargetedRandomAdversary adv(0.7, 0.8, 7ULL * seed + k);
+  engine.set_adversary(&adv);
+  sim::StopPolicy stop;
+  stop.max_rounds = budget;
+  stop.stop_when_explored = true;
+  stop.stop_when_all_terminated = false;
+  return engine.run(stop);
+}
+
+const std::vector<std::string>& team_kinds() {
+  static const std::vector<std::string> kKinds = {"unconscious", "et",
+                                                  "randomwalk"};
+  return kKinds;
+}
+
+std::string team_algorithm_name(const std::string& kind) {
+  if (kind == "unconscious") return "UnconsciousExploration";
+  if (kind == "et") return "ETUnconscious";
+  return "RandomWalk";
+}
+
+std::vector<ArtifactScenario> extension_scenarios(NodeId n, int seeds,
+                                                  Round budget) {
+  std::vector<ArtifactScenario> scenarios;
+  int group = 0;
+  for (const std::string& kind : team_kinds()) {
+    for (int k = 1; k <= 5; ++k) {
+      for (int seed = 1; seed <= seeds; ++seed) {
+        ArtifactScenario s;
+        s.spec.algorithm = team_algorithm_name(kind);
+        if (kind == "et") s.spec.model = "SSYNC/ET";
+        s.spec.n = n;
+        s.spec.num_agents = k;
+        s.spec.seed = static_cast<std::uint64_t>(seed);
+        s.spec.max_rounds = budget;
+        s.spec.adversary.family = "targeted-random";
+        s.spec.adversary.target_prob = 0.7;
+        s.spec.adversary.activation_prob = 0.8;
+        s.spec.variant = "extension-team " + kind;
+        s.label = kind + " k=" + std::to_string(k) + "#" +
+                  std::to_string(seed);
+        s.group = group;
+        s.run_custom = [kind, n, k, seed, budget] {
+          return run_team(kind, n, k, seed, budget);
+        };
+        scenarios.push_back(std::move(s));
+      }
+      ++group;
+    }
+  }
+  return scenarios;
+}
+
+std::string render_extension(NodeId n, int seeds,
+                             const std::vector<ArtifactScenario>& scenarios,
+                             const std::vector<const CampaignRow*>& rows) {
+  std::ostringstream out;
+  out << "=== Extension: team size vs unconscious exploration "
+         "(n = " << n << ", hostile targeted adversary) ===\n\n";
+
+  util::Table table({"protocol", "k agents", "explored (runs)",
+                     "worst exploration round", "mean round"});
+  std::size_t index = 0;
+  for (const std::string& kind : team_kinds()) {
+    for (int k = 1; k <= 5; ++k) {
+      long long worst = 0, sum = 0;
+      int explored = 0;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        const CampaignOutcome& r = rows[index++]->outcome;
+        if (r.explored) {
+          ++explored;
+          worst = std::max(worst, (long long)r.explored_round);
+          sum += r.explored_round;
+        }
+      }
+      table.add_row(
+          {kind, std::to_string(k),
+           std::to_string(explored) + "/" + std::to_string(seeds),
+           explored ? util::fmt_count(worst) : "-",
+           explored ? util::fmt_double(double(sum) / explored, 1) : "-"});
+    }
+  }
+
+  table.print(out);
+  out << "\nAgainst the WORST-CASE adversary a single agent cannot explore "
+         "at all (Corollary 1; see the Obs.-1 replay in Table 1's bench) — "
+         "against this randomized adversary it merely pays 3-8x the "
+         "two-agent cost.  The deterministic protocols keep working "
+         "unmodified for k > 2 and coverage time shrinks roughly like 1/k; "
+         "the random walk stays an order of magnitude behind at every team "
+         "size.\n";
+  (void)scenarios;
+  return out.str();
+}
+
+}  // namespace
+
+// --- builders ----------------------------------------------------------------
+
+Artifact make_lower_bounds_artifact(NodeId max_n) {
+  Artifact artifact;
+  artifact.name = "lower_bounds";
+  artifact.title = "Lower bounds: the proof schedules (Obs. 3, Th. 4, "
+                   "Th. 13/15) replayed against the optimal algorithms";
+  artifact.report_file = "lower_bounds.md";
+  artifact.scenarios = lower_bounds_scenarios(max_n);
+  artifact.enrich = lower_bounds_enrich;
+  artifact.render = [max_n](const std::vector<ArtifactScenario>& scenarios,
+                            const std::vector<const CampaignRow*>& rows) {
+    return render_lower_bounds(max_n, scenarios, rows);
+  };
+  return artifact;
+}
+
+Artifact make_ablations_artifact(int seeds) {
+  Artifact artifact;
+  artifact.name = "ablations";
+  artifact.title = "Ablations A-D: bound looseness, guess policy, window "
+                   "parabola, determinism vs randomness";
+  artifact.report_file = "ablations.md";
+  artifact.scenarios = ablations_scenarios(seeds);
+  artifact.render = [seeds](const std::vector<ArtifactScenario>& scenarios,
+                            const std::vector<const CampaignRow*>& rows) {
+    return render_ablations(seeds, scenarios, rows);
+  };
+  return artifact;
+}
+
+Artifact make_extension_many_agents_artifact(NodeId n, int seeds,
+                                             Round budget) {
+  Artifact artifact;
+  artifact.name = "extension_many_agents";
+  artifact.title = "Extension study: team size k = 1..5 under hostile "
+                   "dynamics (beyond the paper)";
+  artifact.report_file = "extension_many_agents.md";
+  artifact.scenarios = extension_scenarios(n, seeds, budget);
+  artifact.render = [n, seeds](const std::vector<ArtifactScenario>& scenarios,
+                               const std::vector<const CampaignRow*>& rows) {
+    return render_extension(n, seeds, scenarios, rows);
+  };
+  return artifact;
+}
+
+}  // namespace dring::core

@@ -8,7 +8,49 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/version.hpp"
+
 namespace dring::core {
+
+// --- provenance ----------------------------------------------------------------
+
+StoreProvenance current_provenance() {
+  StoreProvenance provenance;
+  provenance.engine = engine_version();
+  provenance.build = build_flags_hash();
+  provenance.schema = kStoreSchemaVersion;
+  return provenance;
+}
+
+util::Json to_json(const StoreProvenance& provenance) {
+  util::Json inner;
+  inner.set("engine", provenance.engine);
+  inner.set("build", provenance.build);
+  inner.set("schema", provenance.schema);
+  util::Json j;
+  // The wrapper key "dring" doubles as the header marker AND keeps the
+  // header line first under a plain byte sort ("dring" < "fp").
+  j.set("dring", std::move(inner));
+  return j;
+}
+
+StoreProvenance provenance_from_json(const util::Json& j) {
+  const util::Json& inner = j.at("dring");
+  StoreProvenance provenance;
+  provenance.engine = inner.get_string("engine", "");
+  provenance.build = inner.get_string("build", "");
+  provenance.schema = inner.get_int("schema", 0);
+  return provenance;
+}
+
+std::string provenance_line(const StoreProvenance& provenance) {
+  return to_json(provenance).dump();
+}
+
+std::string describe(const StoreProvenance& provenance) {
+  return provenance.engine + " (build " + provenance.build + ", schema v" +
+         std::to_string(provenance.schema) + ")";
+}
 
 CampaignOutcome outcome_of(const sim::RunResult& r) {
   CampaignOutcome o;
@@ -48,6 +90,12 @@ util::Json to_json(const CampaignRow& row) {
     for (const auto& [key, value] : row.outcome.extra) extra.set(key, value);
     result.set("extra", std::move(extra));
   }
+  if (!row.outcome.extra_text.empty()) {
+    util::Json extra_text;
+    for (const auto& [key, value] : row.outcome.extra_text)
+      extra_text.set(key, value);
+    result.set("extra_text", std::move(extra_text));
+  }
 
   util::Json j;
   j.set("fp", hex_u64(row.fingerprint));
@@ -61,9 +109,10 @@ CampaignRow campaign_row_from_json(const util::Json& j) {
   const long long version = j.get_int("v", 1);
   if (version != kStoreSchemaVersion)
     throw std::invalid_argument(
-        "store schema version " + std::to_string(version) +
+        "row schema version " + std::to_string(version) +
         ", this build reads version " + std::to_string(kStoreSchemaVersion) +
-        " (re-run the campaign to regenerate the store)");
+        " (re-run the campaign/artifact with this build to regenerate the "
+        "store)");
   CampaignRow row;
   row.fingerprint = std::stoull(j.at("fp").as_string(), nullptr, 0);
   row.spec = scenario_spec_from_json(j.at("spec"));
@@ -83,29 +132,69 @@ CampaignRow campaign_row_from_json(const util::Json& j) {
   if (r.has("extra"))
     for (const auto& [key, value] : r.at("extra").as_object())
       row.outcome.extra[key] = value.as_int();
+  if (r.has("extra_text"))
+    for (const auto& [key, value] : r.at("extra_text").as_object())
+      row.outcome.extra_text[key] = value.as_string();
   return row;
 }
 
 std::string row_line(const CampaignRow& row) { return to_json(row).dump(); }
 
-std::vector<CampaignRow> read_result_store(std::istream& in) {
-  std::vector<CampaignRow> rows;
+ResultStore read_result_store(std::istream& in) {
+  ResultStore store;
+  store.provenance = current_provenance();  // empty streams read as fresh
+  bool saw_header = false;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
     try {
-      rows.push_back(campaign_row_from_json(util::Json::parse(line)));
+      const util::Json j = util::Json::parse(line);
+      if (j.has("dring")) {
+        // The provenance header.  Exactly one, and it must come first —
+        // a header in the middle means two stores were concatenated by
+        // hand instead of merged.
+        if (saw_header)
+          throw std::invalid_argument(
+              "second provenance header (stores must be combined with "
+              "--merge, not concatenated)");
+        if (!store.rows.empty())
+          throw std::invalid_argument(
+              "provenance header after rows (corrupt store)");
+        store.provenance = provenance_from_json(j);
+        if (store.provenance.schema != kStoreSchemaVersion)
+          throw std::invalid_argument(
+              "store provenance says schema v" +
+              std::to_string(store.provenance.schema) +
+              ", this build reads v" + std::to_string(kStoreSchemaVersion) +
+              " (re-run the campaign/artifact with this build to "
+              "regenerate the store)");
+        saw_header = true;
+        continue;
+      }
+      if (!saw_header) {
+        // Rows before any header: a pre-v4 store.  Name the version the
+        // rows claim so the fix is obvious.
+        const long long version = j.get_int("v", 1);
+        throw std::invalid_argument(
+            "store schema version " + std::to_string(version) +
+            " (no provenance header), this build reads version " +
+            std::to_string(kStoreSchemaVersion) +
+            " stores, which begin with a {\"dring\":...} provenance line "
+            "(re-run the campaign/artifact with this build to regenerate "
+            "the store)");
+      }
+      store.rows.push_back(campaign_row_from_json(j));
     } catch (const std::exception& e) {
       throw std::invalid_argument("result store line " +
                                   std::to_string(line_no) + ": " + e.what());
     }
   }
-  return rows;
+  return store;
 }
 
-std::vector<CampaignRow> read_result_store_file(const std::string& path) {
+ResultStore read_result_store_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open result store: " + path);
   try {
@@ -129,14 +218,14 @@ void sort_canonical(std::vector<CampaignRow>& rows) {
             });
 }
 
-void write_result_store(const std::string& path,
-                        std::vector<CampaignRow> rows) {
-  sort_canonical(rows);
+void write_result_store(const std::string& path, ResultStore store) {
+  sort_canonical(store.rows);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) throw std::runtime_error("cannot write result store: " + tmp);
-    for (const CampaignRow& row : rows) out << row_line(row) << '\n';
+    out << provenance_line(store.provenance) << '\n';
+    for (const CampaignRow& row : store.rows) out << row_line(row) << '\n';
     out.flush();
     if (!out) {
       std::remove(tmp.c_str());
@@ -145,6 +234,14 @@ void write_result_store(const std::string& path,
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     throw std::runtime_error("cannot move " + tmp + " to " + path);
+}
+
+void write_result_store(const std::string& path,
+                        std::vector<CampaignRow> rows) {
+  ResultStore store;
+  store.provenance = current_provenance();
+  store.rows = std::move(rows);
+  write_result_store(path, std::move(store));
 }
 
 std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
@@ -189,7 +286,17 @@ StoreRunResult run_with_store(
   std::vector<CampaignRow> existing;
   if (resume && with_store) {
     std::ifstream in(store_path);
-    if (in) existing = read_result_store(in);
+    if (in) {
+      ResultStore prior = read_result_store(in);
+      if (!(prior.provenance == current_provenance()))
+        throw std::runtime_error(
+            "refusing to resume " + store_path + ": it was written by " +
+            describe(prior.provenance) + ", this build is " +
+            describe(current_provenance()) +
+            " — resuming would blend rows from two engines; start a fresh "
+            "store (or compare the two with `dring_report --compare`)");
+      existing = std::move(prior.rows);
+    }
   }
 
   StoreRunResult result;
@@ -220,7 +327,7 @@ StoreRunResult run_with_store(
     out.insert(out.end(), result.rows.begin(), result.rows.end());
     write_result_store(store_path, std::move(out));
   } else if (with_store && !resume) {
-    write_result_store(store_path, {});
+    write_result_store(store_path, std::vector<CampaignRow>{});
   }
   return result;
 }
@@ -278,9 +385,28 @@ StoreDiff diff_result_stores(const std::vector<CampaignRow>& a,
   return diff;
 }
 
+StoreMerge merge_result_stores(std::vector<ResultStore> stores) {
+  std::vector<std::vector<CampaignRow>> row_sets;
+  row_sets.reserve(stores.size());
+  for (ResultStore& store : stores) {
+    if (!(store.provenance == stores.front().provenance))
+      throw std::runtime_error(
+          "refusing to merge stores with different provenance: " +
+          describe(stores.front().provenance) + " vs " +
+          describe(store.provenance) +
+          " — cross-version rows must not blend into one store (compare "
+          "them with `dring_report --compare` instead)");
+    row_sets.push_back(std::move(store.rows));
+  }
+  StoreMerge merge = merge_result_stores(row_sets);
+  if (!stores.empty()) merge.provenance = stores.front().provenance;
+  return merge;
+}
+
 StoreMerge merge_result_stores(
     const std::vector<std::vector<CampaignRow>>& stores) {
   StoreMerge merge;
+  merge.provenance = current_provenance();
   std::map<std::uint64_t, std::size_t> index;  ///< fp -> position in rows
   for (const std::vector<CampaignRow>& store : stores) {
     for (const CampaignRow& row : store) {

@@ -1,27 +1,35 @@
 // Campaign execution and the JSONL result store.
 //
 // A campaign is a CampaignSpec (core/scenario_spec.hpp) expanded into a
-// flat scenario list and executed on the run_sweep worker pool.  Every
-// finished scenario becomes one line of JSON in the result store:
+// flat scenario list and executed on the run_sweep worker pool.  A store
+// begins with one provenance line naming the engine that produced it,
+// followed by one line of JSON per finished scenario:
 //
-//   {"fp":"0x...","result":{...},"spec":{...},"v":2}
+//   {"dring":{"build":"0x...","engine":"dring-1.5.0","schema":4}}
+//   {"fp":"0x...","result":{...},"spec":{...},"v":4}
 //
 // The dump is canonical (sorted keys, no whitespace), so stores are
 // line-diffable across commits, and each row carries the scenario's
 // fingerprint plus the store schema version (kStoreSchemaVersion; rows
 // without a "v" field predate the versioning and read as version 1 —
 // readers reject anything but the current version with a clear error).
+// The provenance header (schema v4) records the engine semantic version
+// and build-flags hash (core/version.hpp): --resume and --merge refuse to
+// blend rows produced by different engines, and paired comparisons
+// (dring_report --compare) annotate cross-provenance pairs.
 //
 // Stores are written in *canonical order*: lines sorted as byte strings,
-// which — because every line starts with the fixed-width fingerprint —
-// equals sorting by fingerprint (`LC_ALL=C sort` reproduces it).  The
-// row set is a pure function of the scenario set, so the store bytes are
-// identical for any --threads value AND for any sharding of the grid:
-// running `--shard i/m` on m machines and merging the partial stores
-// yields byte-for-byte the single-process store.  Resume = load the
-// fingerprints already present, run only the missing rows, rewrite the
-// union; because per-cell seeds are position-independent (see expand()),
-// growing a campaign's axes and resuming executes exactly the new cells.
+// which — because the header's first key "dring" sorts before the rows'
+// "fp" and every row line starts with the fixed-width fingerprint —
+// equals header first, then rows by fingerprint (`LC_ALL=C sort`
+// reproduces a store byte for byte).  The row set is a pure function of
+// the scenario set, so the store bytes are identical for any --threads
+// value AND for any sharding of the grid: running `--shard i/m` on m
+// machines and merging the partial stores yields byte-for-byte the
+// single-process store.  Resume = load the fingerprints already present,
+// run only the missing rows, rewrite the union; because per-cell seeds
+// are position-independent (see expand()), growing a campaign's axes and
+// resuming executes exactly the new cells.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +47,37 @@ namespace dring::core {
 /// row layout or the store's ordering contract changes; rows without a
 /// "v" field are version 1 (the pre-versioning append-ordered stores).
 /// v3 added the "last_termination" outcome member and the optional
-/// artifact "extra" map.
-inline constexpr long long kStoreSchemaVersion = 3;
+/// artifact "extra" map.  v4 added the store-level provenance header line
+/// and the optional "extra_text" outcome member (trace-derived series the
+/// figure artifacts persist).
+inline constexpr long long kStoreSchemaVersion = 4;
+
+/// The provenance block written as the first line of every v4 store:
+/// which engine produced the rows.  Two stores with equal provenance were
+/// produced by semantically identical builds and may be blended freely
+/// (resume, merge); anything else is a cross-version situation the caller
+/// must opt into explicitly (fresh run, or a --compare that annotates).
+struct StoreProvenance {
+  std::string engine;  ///< core::engine_version()
+  std::string build;   ///< core::build_flags_hash()
+  long long schema = kStoreSchemaVersion;
+
+  friend bool operator==(const StoreProvenance&,
+                         const StoreProvenance&) = default;
+};
+
+/// The provenance of this build.
+StoreProvenance current_provenance();
+
+util::Json to_json(const StoreProvenance& provenance);
+StoreProvenance provenance_from_json(const util::Json& j);
+
+/// The header line of a store with this provenance (no trailing newline).
+std::string provenance_line(const StoreProvenance& provenance);
+
+/// Human-readable one-liner for error messages and report annotations,
+/// e.g. "dring-1.5.0 (build 0x1234..., schema v4)".
+std::string describe(const StoreProvenance& provenance);
 
 /// The per-scenario summary persisted in a row (the RunResult fields that
 /// are meaningful across heterogeneous scenarios).
@@ -62,6 +99,10 @@ struct CampaignOutcome {
   /// e.g. the price-of-liveness offline optimum); empty for plain
   /// campaign runs and omitted from the store row when empty.
   std::map<std::string, long long> extra;
+  /// Artifact-computed per-run text extras — the trace-derived series the
+  /// figure artifacts persist (core/artifact.hpp, TraceSeries).  Empty for
+  /// plain campaign runs and omitted from the store row when empty.
+  std::map<std::string, std::string> extra_text;
 
   friend bool operator==(const CampaignOutcome&,
                          const CampaignOutcome&) = default;
@@ -83,23 +124,35 @@ CampaignRow campaign_row_from_json(const util::Json& j);
 /// Serialize one row as its store line (no trailing newline).
 std::string row_line(const CampaignRow& row);
 
-/// Parse a whole store (one JSON object per non-empty line; malformed
-/// lines and schema-version mismatches throw std::invalid_argument with
-/// the line number).
-std::vector<CampaignRow> read_result_store(std::istream& in);
+/// A parsed store: its provenance header plus the rows.
+struct ResultStore {
+  StoreProvenance provenance;
+  std::vector<CampaignRow> rows;
+};
+
+/// Parse a whole store: the provenance header line followed by one JSON
+/// row per non-empty line.  Malformed lines and schema mismatches throw
+/// std::invalid_argument with the line number; a store whose rows predate
+/// v4 (per-row "v" < 4, no header) is rejected with an error naming the
+/// found version and how to regenerate.  An empty stream reads as an
+/// empty store with this build's provenance.
+ResultStore read_result_store(std::istream& in);
 
 /// read_result_store over a file; throws std::runtime_error when the file
 /// cannot be opened and std::invalid_argument (prefixed with the path) on
 /// malformed content.
-std::vector<CampaignRow> read_result_store_file(const std::string& path);
+ResultStore read_result_store_file(const std::string& path);
 
 /// Sort rows into canonical store order (ascending store line, which is
 /// ascending fingerprint).
 void sort_canonical(std::vector<CampaignRow>& rows);
 
-/// (Over)write a store file: canonical order, one line per row.  Written
-/// via a temp file + rename (with write errors checked before the rename)
-/// so a crash never leaves a half store.
+/// (Over)write a store file: the provenance header, then the rows in
+/// canonical order.  Written via a temp file + rename (with write errors
+/// checked before the rename) so a crash never leaves a half store.
+void write_result_store(const std::string& path, ResultStore store);
+
+/// Convenience: write rows under this build's provenance.
 void write_result_store(const std::string& path,
                         std::vector<CampaignRow> rows);
 
@@ -146,7 +199,10 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
 /// execute the missing subset via `execute` (called once with the indices
 /// into `fingerprints` to run, in order), and rewrite the store — a fresh
 /// run replaces it, a resume run rewrites the union of existing and new
-/// rows, both in canonical order.  This is the single home of that
+/// rows, both in canonical order.  Resuming a store whose provenance is
+/// not this build's throws std::runtime_error (blending rows from two
+/// engines would poison every downstream comparison); start a fresh store
+/// or keep the old engine's binary.  This is the single home of that
 /// contract; the shard/merge byte-stability CI pins ride on it.
 struct StoreRunResult {
   std::size_t skipped = 0;        ///< fingerprints already stored
@@ -179,11 +235,20 @@ StoreDiff diff_result_stores(const std::vector<CampaignRow>& a,
 /// byte-identical; a fingerprint carrying two different payloads is a
 /// conflict and lands in `conflicts` instead of `rows`.
 struct StoreMerge {
+  StoreProvenance provenance;     ///< the shared input provenance
   std::vector<CampaignRow> rows;  ///< canonical order
   std::vector<std::pair<CampaignRow, CampaignRow>> conflicts;  ///< (kept, clashing)
   bool ok() const { return conflicts.empty(); }
 };
 
+/// Merge full stores (consumed).  All inputs must carry the same
+/// provenance — a mix throws std::runtime_error naming both
+/// (cross-version rows must never silently blend into one store; use
+/// `dring_report --compare` to compare across versions instead).
+StoreMerge merge_result_stores(std::vector<ResultStore> stores);
+
+/// Row-level merge under a single (implicit) provenance — the in-process
+/// path used by tests and run_with_store.
 StoreMerge merge_result_stores(
     const std::vector<std::vector<CampaignRow>>& stores);
 

@@ -87,7 +87,9 @@ std::unique_ptr<sim::Engine> make_engine(const ExplorationConfig& cfg,
 
 sim::RunResult run_exploration(const ExplorationConfig& cfg,
                                sim::Adversary* adversary) {
-  return make_engine(cfg, adversary)->run(cfg.stop);
+  sim::RunResult result = make_engine(cfg, adversary)->run(cfg.stop);
+  if (adversary) adversary->report_metrics(result.adversary_metrics);
+  return result;
 }
 
 }  // namespace dring::core

@@ -69,7 +69,24 @@ ExplorationConfig build_config(const ScenarioSpec& spec) {
   // Like the table benches: the override moves an existing landmark, it
   // never adds one to a landmark-free algorithm.
   if (spec.landmark >= 0 && cfg.landmark) cfg.landmark = spec.landmark;
+  // Knowledge overrides follow the same rule: they replace knowledge the
+  // theorem already grants, never grant new knowledge.
+  if (spec.upper_bound > 0 && cfg.upper_bound) cfg.upper_bound = spec.upper_bound;
+  if (spec.exact_n > 0 && cfg.exact_n) cfg.exact_n = spec.exact_n;
   if (spec.fairness_window > 0) cfg.engine.fairness_window = spec.fairness_window;
+  if (spec.et_budget > 0) cfg.engine.et_budget = spec.et_budget;
+  if (spec.stop_mode == "explored") {
+    cfg.stop.stop_when_explored = true;
+    cfg.stop.stop_when_all_terminated = false;
+    cfg.stop.stop_when_explored_and_one_terminated = false;
+  } else if (spec.stop_mode == "horizon") {
+    cfg.stop.stop_when_explored = false;
+    cfg.stop.stop_when_all_terminated = false;
+    cfg.stop.stop_when_explored_and_one_terminated = false;
+  } else if (!spec.stop_mode.empty()) {
+    throw std::invalid_argument("bad stop_mode '" + spec.stop_mode +
+                                "' (want \"\", \"explored\" or \"horizon\")");
+  }
   if (spec.stop_explored_one_terminated)
     cfg.stop.stop_when_explored_and_one_terminated = true;
   return cfg;
@@ -128,6 +145,26 @@ std::function<std::unique_ptr<sim::Adversary>()> make_adversary_factory(
     base = []() -> Ptr {
       return std::make_unique<adversary::SlidingWindowAdversary>(0, 1);
     };
+  } else if (spec.family == "head-on-pin") {
+    base = []() -> Ptr {
+      return std::make_unique<adversary::HeadOnPinAdversary>(0, 1);
+    };
+  } else if (spec.family == "segment-seal") {
+    const EdgeId ea = spec.edge, eb = spec.edge_b;
+    base = [ea, eb]() -> Ptr {
+      return std::make_unique<adversary::SegmentSealAdversary>(ea, eb);
+    };
+  } else if (spec.family == "edge-window") {
+    const EdgeId e = spec.edge;
+    const Round lo = spec.window_lo, hi = spec.window_hi;
+    base = [e, lo, hi]() -> Ptr {
+      return std::make_unique<adversary::ScriptedEdgeAdversary>(
+          [e, lo, hi](Round r) -> std::optional<EdgeId> {
+            return (r >= lo && r <= hi) ? std::optional<EdgeId>(e)
+                                        : std::nullopt;
+          },
+          "edge-window");
+    };
   } else {
     throw std::invalid_argument("unknown adversary family: " + spec.family);
   }
@@ -173,6 +210,13 @@ util::Json to_json(const AdversarySpec& spec) {
     j.set("dwell", static_cast<long long>(spec.dwell));
   } else if (spec.family == "fig2") {
     j.set("edge", static_cast<long long>(spec.edge));
+  } else if (spec.family == "segment-seal") {
+    j.set("edge", static_cast<long long>(spec.edge));
+    j.set("edge_b", static_cast<long long>(spec.edge_b));
+  } else if (spec.family == "edge-window") {
+    j.set("edge", static_cast<long long>(spec.edge));
+    j.set("window_lo", static_cast<long long>(spec.window_lo));
+    j.set("window_hi", static_cast<long long>(spec.window_hi));
   }
   if (spec.t_interval > 1)
     j.set("t_interval", static_cast<long long>(spec.t_interval));
@@ -187,8 +231,11 @@ AdversarySpec adversary_spec_from_json(const util::Json& j) {
   spec.activation_prob =
       j.get_double("activation_prob", spec.activation_prob);
   spec.edge = static_cast<EdgeId>(j.get_int("edge", spec.edge));
+  spec.edge_b = static_cast<EdgeId>(j.get_int("edge_b", spec.edge_b));
   spec.victim = static_cast<AgentId>(j.get_int("victim", spec.victim));
   spec.dwell = j.get_int("dwell", spec.dwell);
+  spec.window_lo = j.get_int("window_lo", spec.window_lo);
+  spec.window_hi = j.get_int("window_hi", spec.window_hi);
   spec.t_interval = j.get_int("t_interval", spec.t_interval);
   return spec;
 }
@@ -219,6 +266,13 @@ util::Json to_json(const ScenarioSpec& spec) {
     j.set("fairness_window", static_cast<long long>(spec.fairness_window));
   if (spec.stop_explored_one_terminated)
     j.set("stop_explored_one_terminated", true);
+  if (spec.upper_bound > 0)
+    j.set("upper_bound", static_cast<long long>(spec.upper_bound));
+  if (spec.exact_n > 0) j.set("exact_n", static_cast<long long>(spec.exact_n));
+  if (spec.et_budget > 0)
+    j.set("et_budget", static_cast<long long>(spec.et_budget));
+  if (!spec.stop_mode.empty()) j.set("stop_mode", spec.stop_mode);
+  if (!spec.variant.empty()) j.set("variant", spec.variant);
   return j;
 }
 
@@ -240,6 +294,11 @@ ScenarioSpec scenario_spec_from_json(const util::Json& j) {
   spec.fairness_window = j.get_int("fairness_window", 0);
   spec.stop_explored_one_terminated =
       j.get_bool("stop_explored_one_terminated", false);
+  spec.upper_bound = j.get_int("upper_bound", 0);
+  spec.exact_n = j.get_int("exact_n", 0);
+  spec.et_budget = j.get_int("et_budget", 0);
+  spec.stop_mode = j.get_string("stop_mode", "");
+  spec.variant = j.get_string("variant", "");
   return spec;
 }
 

@@ -42,6 +42,11 @@ namespace dring::core {
 ///   "fig2"            the exact Figure 2 worst-case schedule anchored at
 ///                     node `edge` (needs the scenario's ring size)
 ///   "sliding-window"  Th. 13/15 move-forcing window (leader 0, chaser 1)
+///   "head-on-pin"     Th. 10: pin agents 0 and 1 on one edge forever
+///   "segment-seal"    Th. 19: seal the segment between `edge` and `edge_b`
+///   "edge-window"     remove `edge` during rounds [window_lo, window_hi]
+///                     (the scripted single-interval schedules of the
+///                     figure artifacts)
 ///
 /// Any family can additionally be wrapped in the T-interval-connectivity
 /// decorator by setting t_interval > 1 (adversary/t_interval.hpp).
@@ -50,9 +55,13 @@ struct AdversarySpec {
   double remove_prob = 0.5;      ///< "random"
   double target_prob = 0.5;      ///< "targeted-random"
   double activation_prob = 1.0;  ///< "random" / "targeted-random"
-  EdgeId edge = 0;               ///< "fixed-edge"; anchor node for "fig2"
+  EdgeId edge = 0;               ///< "fixed-edge"/"segment-seal"/"edge-window";
+                                 ///< anchor node for "fig2"
+  EdgeId edge_b = 0;             ///< "segment-seal": the second seal edge
   AgentId victim = 0;            ///< "block-agent"
   Round dwell = 1;               ///< "rotation"
+  Round window_lo = 0;           ///< "edge-window": first removal round
+  Round window_hi = 0;           ///< "edge-window": last removal round
   Round t_interval = 1;          ///< wrap in TIntervalAdversary when > 1
 };
 
@@ -87,6 +96,28 @@ struct ScenarioSpec {
   /// Stop as soon as the ring is explored and one agent terminated — the
   /// partial-termination measurement mode of the table benches.
   bool stop_explored_one_terminated = false;
+  /// Knowledge overrides: replace the theorem's default bound N = n /
+  /// exact-n knowledge with a looser (or wrong) value.  Applied only when
+  /// the algorithm carries that kind of knowledge — they never add
+  /// knowledge the theorem does not assume.  0 = keep the default.  The
+  /// impossibility artifacts (Th. 1/2, Th. 19) and the bound-looseness
+  /// ablation are built on these.
+  Round upper_bound = 0;
+  Round exact_n = 0;
+  /// ET-budget engine override (0 = the engine default).
+  Round et_budget = 0;
+  /// Stop-policy override: "" = the algorithm's default policy,
+  /// "explored" = stop as soon as every node is visited (coverage
+  /// measurement), "horizon" = never stop early — run the full
+  /// max_rounds horizon (the expect-failure mode of the impossibility
+  /// artifacts).
+  std::string stop_mode;
+  /// Free-form variant label for scenarios whose behaviour is not fully
+  /// captured by the other fields (hand-built engines behind
+  /// ArtifactScenario::run_custom: ablation guess policies, random-walk
+  /// baselines, many-agent teams).  Participates in the fingerprint only;
+  /// build_config ignores it.
+  std::string variant;
 };
 
 /// A parameter grid over the scenario axes. Empty axis vectors mean "the

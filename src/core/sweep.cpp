@@ -59,46 +59,44 @@ void parallel_for(std::size_t count, int threads, const Fn& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+/// One task, executed in a worker: private adversary, adversary metrics
+/// collected after the run, trace moved out when the task recorded one.
+/// Tasks with run_custom yield no trace and no metrics (the custom runner
+/// owns its engine and adversary outright).
+SweepRun execute_task(const ScenarioTask& task) {
+  SweepRun run;
+  if (task.run_custom) {
+    run.result = task.run_custom();
+    return run;
+  }
+  std::unique_ptr<sim::Adversary> adv;
+  sim::NullAdversary null_adv;
+  if (task.make_adversary) adv = task.make_adversary();
+  sim::Adversary* adversary = adv ? adv.get() : &null_adv;
+  auto engine = make_engine(task.cfg, adversary);
+  run.result = engine->run(task.cfg.stop);
+  adversary->report_metrics(run.result.adversary_metrics);
+  if (task.cfg.engine.record_trace) run.trace = engine->take_trace();
+  return run;
+}
+
 }  // namespace
 
 std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
                                       const SweepOptions& options) {
-  std::vector<sim::RunResult> results(tasks.size());
-  if (tasks.empty()) return results;
-
-  parallel_for(tasks.size(), resolve_threads(options), [&](std::size_t i) {
-    const ScenarioTask& task = tasks[i];
-    if (task.run_custom) {
-      results[i] = task.run_custom();
-      return;
-    }
-    std::unique_ptr<sim::Adversary> adv;
-    sim::NullAdversary null_adv;
-    if (task.make_adversary) adv = task.make_adversary();
-    results[i] = run_exploration(task.cfg, adv ? adv.get() : &null_adv);
-  });
+  std::vector<SweepRun> runs = run_sweep_runs(tasks, options);
+  std::vector<sim::RunResult> results(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    results[i] = std::move(runs[i].result);
   return results;
 }
 
-std::vector<SweepRun> run_sweep_traced(const std::vector<ScenarioTask>& tasks,
-                                       const SweepOptions& options) {
+std::vector<SweepRun> run_sweep_runs(const std::vector<ScenarioTask>& tasks,
+                                     const SweepOptions& options) {
   std::vector<SweepRun> runs(tasks.size());
   if (tasks.empty()) return runs;
-
   parallel_for(tasks.size(), resolve_threads(options), [&](std::size_t i) {
-    const ScenarioTask& task = tasks[i];
-    if (task.run_custom) {
-      runs[i].result = task.run_custom();
-      return;
-    }
-    std::unique_ptr<sim::Adversary> adv;
-    sim::NullAdversary null_adv;
-    if (task.make_adversary) adv = task.make_adversary();
-    ExplorationConfig cfg = task.cfg;
-    cfg.engine.record_trace = true;
-    auto engine = make_engine(cfg, adv ? adv.get() : &null_adv);
-    runs[i].result = engine->run(cfg.stop);
-    runs[i].trace = engine->take_trace();
+    runs[i] = execute_task(tasks[i]);
   });
   return runs;
 }

@@ -66,12 +66,17 @@ struct SweepRun {
   std::vector<sim::RoundTrace> trace;
 };
 
-/// Like run_sweep, but each task's engine records its trace and the trace
-/// is returned alongside the result (cfg.engine.record_trace is forced on).
-/// For benches that post-process executions (figure reconstruction, offline
-/// replanning). Tasks with run_custom are executed but yield empty traces.
-std::vector<SweepRun> run_sweep_traced(const std::vector<ScenarioTask>& tasks,
-                                       const SweepOptions& options = {});
+/// Like run_sweep, but returns SweepRuns: the trace rides along for every
+/// task whose cfg.engine.record_trace is set, so a sweep can mix a few
+/// traced scenarios into thousands of untraced ones without holding every
+/// trace in memory (the artifact enrich path; figure reconstruction,
+/// offline replanning).  Tasks with run_custom yield empty traces.
+/// Results always carry the adversary metrics (Adversary::report_metrics),
+/// like run_sweep.  (This subsumes the PR 2 run_sweep_traced, whose
+/// force-every-trace behavior no caller needed once the artifact layer
+/// marked traced scenarios individually.)
+std::vector<SweepRun> run_sweep_runs(const std::vector<ScenarioTask>& tasks,
+                                     const SweepOptions& options = {});
 
 /// Worst-case / aggregate fold over sweep results (task order).
 struct SweepReduction {

@@ -1,0 +1,43 @@
+// Engine identity for store-level provenance.
+//
+// Every campaign/artifact result store records which engine produced it
+// (core/campaign.hpp, StoreProvenance): the engine's semantic version and
+// a hash of the build configuration.  Paired cross-version comparisons
+// (`dring_report --compare`) annotate mixes of the two, and the store
+// maintenance paths (--resume, --merge) refuse to silently blend rows
+// produced by different engines.
+//
+// Versioning contract:
+//   * bump kEngineVersionMinor whenever run semantics change (engine step
+//     order, algorithm behaviour, adversary semantics, seed derivation) —
+//     i.e. whenever the golden digests (tools/record_golden) or any
+//     committed store rows would be regenerated deliberately;
+//   * bump kEngineVersionMajor for store-schema or spec-identity breaks
+//     (kStoreSchemaVersion bumps, fingerprint changes);
+//   * the patch component is free for releases without observable effect
+//     on stores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dring::core {
+
+inline constexpr int kEngineVersionMajor = 1;
+inline constexpr int kEngineVersionMinor = 5;
+inline constexpr int kEngineVersionPatch = 0;
+
+/// The engine's semantic version as recorded in store provenance, e.g.
+/// "dring-1.5.0".
+std::string engine_version();
+
+/// FNV-1a fingerprint of the build configuration (compiler identity,
+/// language level, optimization/assert settings) — distinguishes stores
+/// produced by semantically-equal sources built differently.
+std::uint64_t build_flags_fingerprint();
+
+/// build_flags_fingerprint rendered in the canonical "0x%016x" form used
+/// throughout the JSON layer.
+std::string build_flags_hash();
+
+}  // namespace dring::core

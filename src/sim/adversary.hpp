@@ -13,6 +13,7 @@
 // the engine does not depend on them.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -105,6 +106,17 @@ class Adversary {
   /// Conservatively true; adversaries that keep the default tie-break
   /// should return false.
   virtual bool reorders_contenders() const { return true; }
+
+  /// Adversary-side measurements of the finished run (e.g. the
+  /// sliding-window shift count of Theorems 13/15, the pinned edge of the
+  /// Theorem 10 construction).  Called by the runner after the run;
+  /// implementations insert named counters into `metrics` (absent keys
+  /// mean "not measured").  Surfaced as RunResult::adversary_metrics so
+  /// sweep- and artifact-level consumers need no access to the adversary
+  /// instance itself.  Decorators forward to their inner adversary.
+  virtual void report_metrics(std::map<std::string, long long>& metrics) const {
+    (void)metrics;
+  }
 
   virtual std::string name() const = 0;
 };

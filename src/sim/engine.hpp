@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -107,6 +108,10 @@ struct RunResult {
   std::vector<AgentResult> agents;
   std::vector<std::string> violations;  ///< verifier findings (empty = ok)
   std::string stop_reason;
+  /// Adversary-side counters (Adversary::report_metrics), filled by the
+  /// runner/sweep layer after the run — e.g. {"shifts": ...} for the
+  /// sliding-window adversary.  Not part of the golden result digest.
+  std::map<std::string, long long> adversary_metrics;
 
   bool any_terminated() const { return terminated_agents > 0; }
   bool ok() const { return violations.empty() && !premature_termination; }
@@ -152,7 +157,7 @@ class Engine {
   Round explored_round() const { return explored_round_; }
   const std::vector<RoundTrace>& trace() const { return trace_; }
   /// Move the recorded trace out (for one-shot consumers that outlive the
-  /// engine, e.g. run_sweep_traced); the engine's copy is left empty.
+  /// engine, e.g. run_sweep_runs); the engine's copy is left empty.
   std::vector<RoundTrace> take_trace() { return std::move(trace_); }
   const std::vector<std::string>& violations() const { return violations_; }
   bool premature_termination() const { return premature_termination_; }

@@ -333,8 +333,9 @@ TEST(AnalysisLoad, UnionsStoresAndRejectsConflicts) {
   write_result_store(a_path, front);
   write_result_store(b_path, back);
 
-  const std::vector<CampaignRow> loaded =
-      load_result_stores({a_path, b_path});
+  const ResultStore store = load_result_stores({a_path, b_path});
+  const std::vector<CampaignRow>& loaded = store.rows;
+  EXPECT_EQ(store.provenance, current_provenance());
   EXPECT_EQ(loaded.size(), rows.size());
   sort_canonical(rows);
   for (std::size_t i = 0; i < rows.size(); ++i)

@@ -171,6 +171,166 @@ TEST(ArtifactTransition, Table2MatchesTheLegacyBenchByteForByte) {
             legacy_table2_output(sizes, seeds));
 }
 
+// --- the legacy bench_lower_bounds pipeline, replicated verbatim ---------------
+//
+// PR 5's transition pin: the exact pre-migration code of
+// bench_lower_bounds (scenario loops, run_custom shift counting,
+// formatting), kept here verbatim on a reduced grid.  The declarative
+// "lower_bounds" artifact must reproduce its output byte for byte.
+
+std::string legacy_lower_bounds_output(NodeId max_n) {
+  std::ostringstream out;
+  SweepOptions pool;
+  pool.threads = 2;
+
+  // --- Observation 3 ---------------------------------------------------------
+  out << "=== Observation 3: time lower bound 2n-3 (FSYNC, 2 agents) "
+         "===\n\n";
+  {
+    util::Table t({"n", "lower bound 2n-3", "forced rounds (Fig. 2 schedule)",
+                   "ratio"});
+    std::vector<ScenarioTask> tasks;
+    std::vector<NodeId> sizes;
+    for (NodeId n : {8, 16, 32}) {
+      if (n > max_n) continue;
+      ScenarioTask task;
+      task.cfg =
+          default_config(algo::AlgorithmId::KnownNNoChirality, n);
+      task.cfg.start_nodes = {2, 3};
+      task.cfg.orientations = {agent::kChiralOrientation,
+                               agent::kChiralOrientation};
+      task.cfg.stop.max_rounds = 10 * n;
+      task.make_adversary = [n]() -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<adversary::ScriptedEdgeAdversary>(
+            adversary::make_fig2_script(n, 2));
+      };
+      tasks.push_back(std::move(task));
+      sizes.push_back(n);
+    }
+    const std::vector<sim::RunResult> results = run_sweep(tasks, pool);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const NodeId n = sizes[i];
+      const sim::RunResult& r = results[i];
+      t.add_row({std::to_string(n), std::to_string(2 * n - 3),
+                 std::to_string(r.explored_round),
+                 util::fmt_double(static_cast<double>(r.explored_round) /
+                                      (2 * n - 3),
+                                  2)});
+    }
+    t.print(out);
+  }
+
+  // --- Theorem 4 --------------------------------------------------------------
+  out << "\n=== Theorem 4: termination needs >= N-1 rounds "
+         "(simultaneous ring family) ===\n\n";
+  {
+    const NodeId N = std::min<NodeId>(16, max_n);
+    util::Table t({"ring size n", "termination round", "explored by then?"});
+    std::vector<ScenarioTask> tasks;
+    for (NodeId n = 3; n <= N; ++n) {
+      ScenarioTask task;
+      task.cfg =
+          default_config(algo::AlgorithmId::KnownNNoChirality, n);
+      task.cfg.upper_bound = N;
+      task.cfg.start_nodes = {0, 1};
+      task.cfg.orientations = {agent::kChiralOrientation,
+                               agent::kChiralOrientation};
+      task.cfg.stop.max_rounds = 10 * N;
+      tasks.push_back(std::move(task));  // no adversary = NullAdversary
+    }
+    const std::vector<sim::RunResult> results = run_sweep(tasks, pool);
+    Round common_term = -1;
+    bool identical = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const NodeId n = static_cast<NodeId>(3 + i);
+      const sim::RunResult& r = results[i];
+      const Round term = r.agents[0].termination_round;
+      if (common_term < 0) common_term = term;
+      identical = identical && term == common_term;
+      t.add_row({std::to_string(n), std::to_string(term),
+                 r.explored ? "yes" : "NO (would be incorrect!)"});
+    }
+    t.print(out);
+    out << "\nOn a static ring all executions are indistinguishable: "
+        << (identical ? "termination rounds are identical across the "
+                        "whole family (as Theorem 4's argument needs), "
+                        "and they exceed N-1 = " +
+                            std::to_string(N - 1) + "."
+                      : "MISMATCH — executions diverged!")
+        << "\n";
+  }
+
+  // --- Theorems 13 and 15 ------------------------------------------------------
+  out << "\n=== Theorems 13/15: Omega(N*n) / Omega(n^2) moves in PT "
+         "(sliding-window adversary) ===\n\n";
+  {
+    util::Table t({"variant", "n", "x", "x*(N-x)", "forced moves", "ratio",
+                   "window shifts", "terminated"});
+    struct Case {
+      bool landmark;
+      NodeId n;
+    };
+    std::vector<ScenarioTask> tasks;
+    std::vector<Case> cases;
+    for (const bool landmark : {false, true}) {
+      for (NodeId n : {8, 12, 16, 24, 32, 48}) {
+        if (n > max_n) continue;
+        tasks.emplace_back();
+        cases.push_back({landmark, n});
+      }
+    }
+    std::vector<long long> shifts(tasks.size(), 0);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const auto [landmark, n] = cases[i];
+      const NodeId x = n / 2;
+      ExplorationConfig cfg = default_config(
+          landmark ? algo::AlgorithmId::PTLandmarkWithChirality
+                   : algo::AlgorithmId::PTBoundWithChirality,
+          n);
+      if (landmark) cfg.landmark = 1;
+      cfg.start_nodes = {static_cast<NodeId>(x - 1), 0};
+      cfg.orientations = {agent::kChiralOrientation,
+                          agent::kChiralOrientation};
+      cfg.engine.fairness_window = 1 << 20;
+      cfg.stop.max_rounds = 400'000LL + 2000LL * n * n;
+      cfg.stop.stop_when_explored_and_one_terminated = true;
+      tasks[i].run_custom = [cfg, i, &shifts]() {
+        adversary::SlidingWindowAdversary adv(0, 1);
+        const sim::RunResult r = run_exploration(cfg, &adv);
+        shifts[i] = adv.shifts();
+        return r;
+      };
+    }
+    const std::vector<sim::RunResult> results = run_sweep(tasks, pool);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto [landmark, n] = cases[i];
+      const NodeId x = n / 2;
+      const sim::RunResult& r = results[i];
+      const long long ref = static_cast<long long>(x) * (n - x);
+      t.add_row({landmark ? "landmark (Th. 15)" : "bound N=n (Th. 13)",
+                 std::to_string(n), std::to_string(x),
+                 util::fmt_count(ref), util::fmt_count(r.total_moves),
+                 util::fmt_double(static_cast<double>(r.total_moves) / ref,
+                                  2),
+                 std::to_string(shifts[i]),
+                 std::to_string(r.terminated_agents) + "/2"});
+    }
+    t.print(out);
+    out << "\nThe forced move count scales as x*(N-x) = Theta(n^2) "
+           "with a constant >= 1, exactly the Omega(N*n) / Omega(n^2) "
+           "shape; only one agent ever terminates (the pinned leader "
+           "waits forever), matching Theorem 11.\n";
+  }
+  return out.str();
+}
+
+TEST(ArtifactTransition, LowerBoundsMatchesTheLegacyBenchByteForByte) {
+  const NodeId max_n = 16;
+  const Artifact artifact = make_lower_bounds_artifact(max_n);
+  EXPECT_EQ(derive_report(artifact, run_artifact_rows(artifact, 2)),
+            legacy_lower_bounds_output(max_n));
+}
+
 // --- spec proof-override fields ------------------------------------------------
 
 TEST(ArtifactSpec, ProofOverridesRoundTripAndExtendTheFingerprint) {
@@ -254,9 +414,17 @@ TEST(ArtifactSpec, BuildConfigAppliesTheOverrides) {
 // --- registry -------------------------------------------------------------------
 
 TEST(ArtifactRegistry, NamesResolveAndScenariosAreDistinct) {
-  EXPECT_EQ(paper_artifacts().size(), 3u);
+  // PR 5 finished the bench migration: every paper table and figure is a
+  // registered artifact.
+  EXPECT_EQ(paper_artifacts().size(), 11u);
+  std::set<std::string> names, reports;
   for (const Artifact& artifact : paper_artifacts()) {
     EXPECT_EQ(&artifact_by_name(artifact.name), &artifact);
+    EXPECT_TRUE(names.insert(artifact.name).second)
+        << artifact.name << ": duplicate artifact name";
+    EXPECT_TRUE(reports.insert(artifact.report_file).second)
+        << artifact.name << ": duplicate report file";
+    EXPECT_TRUE(artifact.render) << artifact.name << ": no renderer";
     std::set<std::uint64_t> fps;
     for (const ArtifactScenario& scenario : artifact.scenarios)
       fps.insert(fingerprint(scenario.spec));
@@ -285,7 +453,7 @@ TEST(ArtifactRun, StoreRoundTripPreservesTheDerivedReport) {
   const ArtifactRunReport report = run_artifact(artifact, options);
   EXPECT_EQ(report.executed, artifact.scenarios.size());
 
-  const std::vector<CampaignRow> stored = read_result_store_file(path);
+  const std::vector<CampaignRow> stored = read_result_store_file(path).rows;
   EXPECT_EQ(derive_report(artifact, stored), direct);
 
   // The enrich extras are in the store bytes, not recomputed on read.
@@ -324,15 +492,16 @@ TEST(ArtifactRun, ShardsPartitionAndMergeToTheFullStore) {
   EXPECT_EQ(r0.sharded_out, r1.executed);
 
   const StoreMerge merge = merge_result_stores(
-      {read_result_store_file(s0), read_result_store_file(s1)});
+      std::vector<ResultStore>{read_result_store_file(s0),
+                               read_result_store_file(s1)});
   ASSERT_TRUE(merge.ok());
-  const std::vector<CampaignRow> full_rows = read_result_store_file(full);
+  const std::vector<CampaignRow> full_rows = read_result_store_file(full).rows;
   ASSERT_EQ(merge.rows.size(), full_rows.size());
   for (std::size_t i = 0; i < full_rows.size(); ++i)
     EXPECT_EQ(row_line(merge.rows[i]), row_line(full_rows[i]));
 
   // A partial store cannot derive the report.
-  EXPECT_THROW(derive_report(artifact, read_result_store_file(s0)),
+  EXPECT_THROW(derive_report(artifact, read_result_store_file(s0).rows),
                std::runtime_error);
   // The merged one can, and matches the unsharded derivation.
   EXPECT_EQ(derive_report(artifact, merge.rows),
@@ -350,6 +519,63 @@ TEST(ArtifactRun, ShardsPartitionAndMergeToTheFullStore) {
   std::remove(full.c_str());
   std::remove(s0.c_str());
   std::remove(s1.c_str());
+}
+
+// --- PR 5 capabilities ----------------------------------------------------------
+
+TEST(TraceSeries, EncodeDecodeRoundTrips) {
+  TraceSeries series;
+  series.add({"1", "-", "3 InitL", "4 InitL"});
+  series.add({"2", "3", "", "x y z"});
+  const TraceSeries back = TraceSeries::decode(series.encode());
+  EXPECT_EQ(back.rows, series.rows);
+  EXPECT_TRUE(TraceSeries::decode("").rows.empty());
+  // Single field, no separators.
+  EXPECT_EQ(TraceSeries::decode("a").rows,
+            (std::vector<std::vector<std::string>>{{"a"}}));
+}
+
+TEST(ArtifactRun, FigRunsSeriesSurviveTheStoreRoundTrip) {
+  const std::string path = testing::TempDir() + "fig_runs_store_test.jsonl";
+  std::remove(path.c_str());
+
+  const Artifact artifact = make_fig_runs_artifact();
+  const std::string direct =
+      derive_report(artifact, run_artifact_rows(artifact, 2));
+
+  ArtifactRunOptions options;
+  options.threads = 2;
+  options.store_path = path;
+  run_artifact(artifact, options);
+
+  // The per-round series derive from store bytes, not recomputation.
+  const std::vector<CampaignRow> stored = read_result_store_file(path).rows;
+  bool saw_series = false;
+  for (const CampaignRow& row : stored)
+    saw_series = saw_series || row.outcome.extra_text.count("series") > 0;
+  EXPECT_TRUE(saw_series);
+  EXPECT_EQ(derive_report(artifact, stored), direct);
+
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactStatus, Fig9_11AndFig2ReportSuccess) {
+  // The pure-computation artifact: zero scenarios, derivation works on an
+  // empty row set, and the status fold asserts the paper's numbers.
+  const Artifact fig9 = make_fig9_11_artifact();
+  EXPECT_TRUE(fig9.scenarios.empty());
+  const std::vector<CampaignRow> no_rows;
+  EXPECT_FALSE(derive_report(fig9, no_rows).empty());
+  EXPECT_EQ(derive_status(fig9, no_rows), 0);
+
+  // Figure 2 on a real (small) grid matches 3n-6, so the shim exit is 0;
+  // artifacts without a status fold report 0.
+  const Artifact fig2 = make_fig2_worstcase_artifact({6, 8});
+  const std::vector<CampaignRow> rows = run_artifact_rows(fig2, 2);
+  EXPECT_EQ(derive_status(fig2, rows), 0);
+  EXPECT_EQ(derive_status(make_table2_artifact({5}, 1),
+                          run_artifact_rows(make_table2_artifact({5}, 1), 2)),
+            0);
 }
 
 }  // namespace

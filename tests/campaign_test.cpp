@@ -283,7 +283,9 @@ TEST(CampaignRun, StoreRoundTripAndResume) {
 
   // The store parses back to exactly the executed rows, in canonical
   // (fingerprint) order.
-  const std::vector<CampaignRow> stored = read_result_store_file(path);
+  const ResultStore parsed = read_result_store_file(path);
+  EXPECT_EQ(parsed.provenance, current_provenance());
+  const std::vector<CampaignRow>& stored = parsed.rows;
   ASSERT_EQ(stored.size(), first.rows.size());
   std::vector<std::string> stored_lines = row_lines(stored);
   EXPECT_TRUE(std::is_sorted(stored_lines.begin(), stored_lines.end()));
@@ -317,9 +319,7 @@ TEST(CampaignRun, StoreRoundTripAndResume) {
 }
 
 TEST(CampaignRun, MalformedStoreLineReportsLineNumber) {
-  std::stringstream store("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
-                          "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
-                          "\"v\":3}\n"
+  std::stringstream store(provenance_line(current_provenance()) + "\n" +
                           "this is not json\n");
   try {
     read_result_store(store);
@@ -333,7 +333,7 @@ TEST(CampaignStore, RowsCarryTheSchemaVersion) {
   CampaignRow row;
   row.spec = sample_spec();
   row.fingerprint = fingerprint(row.spec);
-  EXPECT_NE(row_line(row).find("\"v\":3"), std::string::npos);
+  EXPECT_NE(row_line(row).find("\"v\":4"), std::string::npos);
   // And the line round-trips.
   const CampaignRow back =
       campaign_row_from_json(util::Json::parse(row_line(row)));
@@ -362,6 +362,19 @@ TEST(CampaignStore, MismatchedSchemaVersionIsRejected) {
                        "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
                        "\"v\":9}\n");
   EXPECT_THROW(read_result_store(v9), std::invalid_argument);
+
+  // A v4 row under a header whose provenance claims an older schema: the
+  // header itself is rejected.
+  std::stringstream old_header(
+      "{\"dring\":{\"build\":\"0x0\",\"engine\":\"dring-1.4.0\","
+      "\"schema\":3}}\n");
+  try {
+    read_result_store(old_header);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("schema v3"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(CampaignStore, CanonicalOrderIsTotalForDuplicateFingerprints) {
@@ -437,9 +450,12 @@ TEST(CampaignMerge, ShardedRunMergesToTheSingleProcessStore) {
   EXPECT_GT(r1.executed, 0u);
 
   const StoreMerge merge = merge_result_stores(
-      {read_result_store_file(shard0), read_result_store_file(shard1)});
+      std::vector<ResultStore>{read_result_store_file(shard0),
+                               read_result_store_file(shard1)});
   ASSERT_TRUE(merge.ok());
-  EXPECT_EQ(row_lines(merge.rows), row_lines(read_result_store_file(single)));
+  EXPECT_EQ(merge.provenance, current_provenance());
+  EXPECT_EQ(row_lines(merge.rows),
+            row_lines(read_result_store_file(single).rows));
 
   std::remove(single.c_str());
   std::remove(shard0.c_str());

@@ -1,0 +1,234 @@
+// Tests for store-level provenance (schema v4): the header line's
+// round trip and canonical placement, rejection of pre-v4 stores with
+// actionable messages, resume/merge refusal on cross-provenance inputs,
+// load_result_stores provenance threading, and the --compare report's
+// cross-version annotation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/analysis.hpp"
+#include "core/campaign.hpp"
+#include "core/version.hpp"
+
+namespace dring::core {
+namespace {
+
+CampaignRow test_row(NodeId n) {
+  CampaignRow row;
+  row.spec.algorithm = "KnownNNoChirality";
+  row.spec.n = n;
+  row.spec.seed = 7;
+  row.fingerprint = fingerprint(row.spec);
+  row.outcome.explored = true;
+  row.outcome.explored_round = 2 * n;
+  row.outcome.rounds = 3 * n;
+  return row;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A store file with `engine` in place of this build's engine version.
+void write_doctored_store(const std::string& path, const std::string& engine,
+                          const std::vector<CampaignRow>& rows) {
+  ResultStore store;
+  store.provenance = current_provenance();
+  store.provenance.engine = engine;
+  store.rows = rows;
+  write_result_store(path, std::move(store));
+}
+
+TEST(Provenance, CurrentProvenanceNamesThisBuild) {
+  const StoreProvenance provenance = current_provenance();
+  EXPECT_EQ(provenance.engine, engine_version());
+  EXPECT_EQ(provenance.build, build_flags_hash());
+  EXPECT_EQ(provenance.schema, kStoreSchemaVersion);
+  // The semantic version renders as dring-MAJOR.MINOR.PATCH.
+  EXPECT_EQ(provenance.engine.rfind("dring-", 0), 0u) << provenance.engine;
+  // describe() is the error-message/annotation form.
+  const std::string text = describe(provenance);
+  EXPECT_NE(text.find(engine_version()), std::string::npos);
+  EXPECT_NE(text.find("schema v4"), std::string::npos);
+}
+
+TEST(Provenance, HeaderRoundTripsAndSortsFirst) {
+  const StoreProvenance provenance = current_provenance();
+  const std::string line = provenance_line(provenance);
+  EXPECT_EQ(provenance_from_json(util::Json::parse(line)), provenance);
+  // The header's first key "dring" sorts before every row line's "fp", so
+  // `LC_ALL=C sort` keeps a written store byte-identical.
+  EXPECT_LT(line, row_line(test_row(8)));
+}
+
+TEST(Provenance, WrittenStoreRoundTripsWithHeaderFirst) {
+  const std::string path = testing::TempDir() + "prov_roundtrip.jsonl";
+  write_result_store(path, std::vector<CampaignRow>{test_row(8), test_row(6)});
+
+  const std::string bytes = file_bytes(path);
+  EXPECT_EQ(bytes.rfind(provenance_line(current_provenance()) + "\n", 0), 0u)
+      << "store does not start with this build's provenance line";
+
+  const ResultStore store = read_result_store_file(path);
+  EXPECT_EQ(store.provenance, current_provenance());
+  EXPECT_EQ(store.rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Provenance, PreV4StoresAreRejectedWithActionableErrors) {
+  // v3 rows (the PR 4 format): no header, per-row "v":3.
+  std::stringstream v3("{\"fp\":\"0x1\",\"result\":{},\"spec\":"
+                       "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
+                       "\"v\":3}\n");
+  try {
+    read_result_store(v3);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("store schema version 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("provenance"), std::string::npos) << what;
+    EXPECT_NE(what.find("re-run"), std::string::npos) << what;
+  }
+
+  // A second header (hand-concatenated stores) is rejected too.
+  const std::string header = provenance_line(current_provenance());
+  std::stringstream doubled(header + "\n" + header + "\n");
+  try {
+    read_result_store(doubled);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--merge"), std::string::npos)
+        << e.what();
+  }
+
+  // Empty streams read as a fresh store under this build's provenance.
+  std::stringstream empty("");
+  const ResultStore store = read_result_store(empty);
+  EXPECT_EQ(store.provenance, current_provenance());
+  EXPECT_TRUE(store.rows.empty());
+}
+
+TEST(Provenance, ResumeRefusesAStoreFromAnotherEngine) {
+  const std::string path = testing::TempDir() + "prov_resume.jsonl";
+  write_doctored_store(path, "dring-0.9.0", {test_row(8)});
+
+  try {
+    run_with_store({fingerprint(test_row(8).spec)}, path, /*resume=*/true,
+                   [](const std::vector<std::size_t>&) {
+                     return std::vector<CampaignRow>{};
+                   });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("refusing to resume"), std::string::npos) << what;
+    EXPECT_NE(what.find("dring-0.9.0"), std::string::npos) << what;
+    EXPECT_NE(what.find(engine_version()), std::string::npos) << what;
+  }
+
+  // A fresh (non-resume) run replaces the foreign store without complaint.
+  const StoreRunResult fresh = run_with_store(
+      {fingerprint(test_row(8).spec)}, path, /*resume=*/false,
+      [](const std::vector<std::size_t>& todo) {
+        EXPECT_EQ(todo.size(), 1u);
+        return std::vector<CampaignRow>{test_row(8)};
+      });
+  EXPECT_EQ(fresh.rows.size(), 1u);
+  EXPECT_EQ(read_result_store_file(path).provenance, current_provenance());
+  std::remove(path.c_str());
+}
+
+TEST(Provenance, MergeAndLoadRefuseCrossProvenanceStores) {
+  const std::string ours = testing::TempDir() + "prov_ours.jsonl";
+  const std::string theirs = testing::TempDir() + "prov_theirs.jsonl";
+  write_result_store(ours, std::vector<CampaignRow>{test_row(8)});
+  write_doctored_store(theirs, "dring-0.9.0", {test_row(6)});
+
+  try {
+    merge_result_stores(std::vector<ResultStore>{
+        read_result_store_file(ours), read_result_store_file(theirs)});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("refusing to merge"), std::string::npos) << what;
+    EXPECT_NE(what.find("dring-0.9.0"), std::string::npos) << what;
+    EXPECT_NE(what.find("--compare"), std::string::npos) << what;
+  }
+
+  // load_result_stores is a merge, so it refuses the same way...
+  EXPECT_THROW(load_result_stores({ours, theirs}), std::runtime_error);
+  // ...and threads the shared provenance through when inputs agree.
+  EXPECT_EQ(load_result_stores({ours, ours}).provenance,
+            current_provenance());
+
+  std::remove(ours.c_str());
+  std::remove(theirs.c_str());
+}
+
+TEST(Provenance, PairedReportAnnotatesCrossVersionPairs) {
+  std::vector<CampaignRow> a = {test_row(8)};
+  std::vector<CampaignRow> b = a;
+  b[0].outcome.rounds += 5;
+
+  PairedComparison cmp = paired_compare(a, b, Metric::Rounds);
+  // No provenance set: no annotation line (hand-built comparisons).
+  const std::string bare =
+      render_paired_report(cmp, Metric::Rounds, ReportFormat::Markdown);
+  EXPECT_EQ(bare.find("provenance"), std::string::npos);
+  EXPECT_EQ(bare.find("CROSS-VERSION"), std::string::npos);
+
+  // One known side is NOT a cross-version pairing, just an unknown one:
+  // still no annotation.
+  cmp.provenance_a = describe(current_provenance());
+  cmp.provenance_b.clear();
+  const std::string one_sided =
+      render_paired_report(cmp, Metric::Rounds, ReportFormat::Markdown);
+  EXPECT_EQ(one_sided.find("CROSS-VERSION"), std::string::npos);
+  EXPECT_EQ(one_sided.find("Both stores produced by"), std::string::npos);
+
+  // Same provenance on both sides: a one-line confirmation.
+  cmp.provenance_a = describe(current_provenance());
+  cmp.provenance_b = cmp.provenance_a;
+  const std::string same =
+      render_paired_report(cmp, Metric::Rounds, ReportFormat::Markdown);
+  EXPECT_NE(same.find("Both stores produced by"), std::string::npos);
+  EXPECT_EQ(same.find("CROSS-VERSION"), std::string::npos);
+
+  // Different provenance: the cross-version warning names both sides.
+  StoreProvenance other = current_provenance();
+  other.engine = "dring-0.9.0";
+  cmp.provenance_b = describe(other);
+  const std::string cross =
+      render_paired_report(cmp, Metric::Rounds, ReportFormat::Markdown);
+  EXPECT_NE(cross.find("CROSS-VERSION comparison"), std::string::npos);
+  EXPECT_NE(cross.find("dring-0.9.0"), std::string::npos);
+  EXPECT_NE(cross.find(engine_version()), std::string::npos);
+
+  // The JSON format carries the same information as fields.
+  const std::string json =
+      render_paired_report(cmp, Metric::Rounds, ReportFormat::Json);
+  EXPECT_NE(json.find("\"cross_version\":true"), std::string::npos);
+  EXPECT_NE(json.find("provenance_a"), std::string::npos);
+}
+
+TEST(Provenance, ExtraTextRoundTripsThroughTheRowLine) {
+  CampaignRow row = test_row(8);
+  row.outcome.extra_text["series"] = "1|-|a\n2|3|b";
+  row.outcome.extra["shifts"] = 4;
+  const CampaignRow back =
+      campaign_row_from_json(util::Json::parse(row_line(row)));
+  EXPECT_EQ(back.outcome.extra_text, row.outcome.extra_text);
+  EXPECT_EQ(back.outcome.extra, row.outcome.extra);
+  EXPECT_EQ(row_line(back), row_line(row));
+
+  // Omitted entirely when empty (pre-PR-5 row bytes for plain runs).
+  EXPECT_EQ(row_line(test_row(8)).find("extra_text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dring::core

@@ -35,6 +35,15 @@ if [[ ! -x "$BIN" ]]; then
   cmake -B "$BUILD_DIR" -S "$ROOT"
   cmake --build "$BUILD_DIR" -j --target bench_engine_perf
 fi
+# Fail loudly rather than fold an empty run into BENCH_engine.json: the
+# binary can still be missing after the build attempt (e.g. the build dir
+# was configured with -DDRING_BUILD_BENCHES=OFF, or the build failed in a
+# way the caller ignored).
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN is missing or not executable after the build attempt" >&2
+  echo "       (configure with -DDRING_BUILD_BENCHES=ON and re-run)" >&2
+  exit 1
+fi
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -44,7 +53,7 @@ trap 'rm -f "$RAW"' EXIT
   --benchmark_format=json > "$RAW"
 
 RAW="$RAW" OUT="$ROOT/BENCH_engine.json" REBASELINE="$REBASELINE" python3 - <<'EOF'
-import json, os
+import json, os, sys
 
 raw = json.load(open(os.environ["RAW"]))
 out_path = os.environ["OUT"]
@@ -57,6 +66,16 @@ current = {
     }
     for b in raw["benchmarks"]
 }
+
+# A partial snapshot is worse than no snapshot: if the filter matched
+# nothing (renamed benches, wrong binary), abort before touching the file.
+expected = ("RoundsPerSecondRaw", "ManyAgentsSnapshot")
+for fragment in expected:
+    if not any(fragment in name for name in current):
+        sys.exit(
+            f"error: no '{fragment}' benchmarks in the run — refusing to "
+            f"write a partial {out_path} (got: {sorted(current) or 'nothing'})"
+        )
 
 existing = {}
 if os.path.exists(out_path):

@@ -6,10 +6,37 @@
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/proof_adversaries.hpp"
 #include "core/runner.hpp"
+#include "util/cli.hpp"
 
 using namespace dring;
 
-int main() {
+namespace {
+
+util::FlagTable flag_table() {
+  util::FlagTable flags(
+      "debug_lmknc",
+      "scan the Table 2 LandmarkNoChirality sweep for failing scenarios");
+  flags.synopsis("debug_lmknc")
+      .flag("help", "", "print this help")
+      .note("scratch tool: prints one FAIL line per scenario that did not "
+            "explore/terminate cleanly (silent when all pass)");
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const util::FlagTable flags = flag_table();
+  if (cli.get_bool("help", false)) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  if (const auto error = flags.unknown_flags(cli)) {
+    std::cerr << *error << "\n";
+    return 2;
+  }
+
   for (NodeId n : {5, 6, 8, 11, 16, 24, 32}) {
     for (int seed = 0; seed <= 4; ++seed) {
       core::ExplorationConfig cfg =

@@ -8,8 +8,39 @@
 
 using namespace dring;
 
+namespace {
+
+util::FlagTable flag_table() {
+  util::FlagTable flags(
+      "debug_sweep_case",
+      "replay one property-sweep scenario (randomized placements from the "
+      "seed) with a full trace");
+  flags.synopsis("debug_sweep_case [--n N] [--seed S] [--rounds R]"
+                 " [--show R]")
+      .flag("n", "N", "ring size (default 7)")
+      .flag("seed", "S", "property-sweep seed: derives placements, "
+                         "orientations and the fixed edge (default 52)")
+      .flag("rounds", "R", "round cap (default 120)")
+      .flag("show", "R", "print trace rounds up to R (default 120)")
+      .flag("help", "", "print this help")
+      .note("scratch tool for tests/property_sweep_test.cpp failures");
+  return flags;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv);
+  const util::FlagTable flags = flag_table();
+  if (cli.get_bool("help", false)) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  if (const auto error = flags.unknown_flags(cli)) {
+    std::cerr << *error << "\n";
+    return 2;
+  }
+
   const NodeId n = static_cast<NodeId>(cli.get_int("n", 7));
   const std::uint64_t seed = cli.get_int("seed", 52);
   const Round rounds = cli.get_int("rounds", 120);

@@ -9,8 +9,38 @@
 
 using namespace dring;
 
+namespace {
+
+util::FlagTable flag_table() {
+  util::FlagTable flags("debug_trace",
+                        "print a full per-round trace of one scenario");
+  flags.synopsis("debug_trace [--algo NAME] [--n N] [--seed S] [--rounds R]")
+      .flag("algo", "NAME", "algorithm registry name (default "
+                            "LandmarkNoChirality)")
+      .flag("n", "N", "ring size (default 5)")
+      .flag("seed", "S", "0 = static, 1 = block-agent, else targeted-random "
+                         "(default 1)")
+      .flag("rounds", "R", "round cap (default 60)")
+      .flag("help", "", "print this help")
+      .note("scratch tool: trace lines are `r<round> miss=<edge> | "
+            "a<id>@<node>[/port] <state>`");
+  return flags;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv);
+  const util::FlagTable flags = flag_table();
+  if (cli.get_bool("help", false)) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  if (const auto error = flags.unknown_flags(cli)) {
+    std::cerr << *error << "\n";
+    return 2;
+  }
+
   const NodeId n = static_cast<NodeId>(cli.get_int("n", 5));
   const int seed = static_cast<int>(cli.get_int("seed", 1));
   const Round max_rounds = cli.get_int("rounds", 60);

@@ -22,6 +22,7 @@
 #include "core/analysis.hpp"
 #include "core/artifact.hpp"
 #include "util/cli.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -31,14 +32,17 @@ util::FlagTable flag_table() {
   util::FlagTable flags("dring_artifact",
                         "run paper-artifact campaigns and derive the "
                         "committed reports");
-  flags.synopsis("dring_artifact --list")
+  flags.synopsis("dring_artifact --list | --names")
       .synopsis("dring_artifact --run NAME [--store s.jsonl] [--threads N]"
                 " [--resume] [--shard i/m]")
       .synopsis("dring_artifact --render NAME --store s.jsonl [--store ...]"
                 " [--out FILE]")
       .synopsis("dring_artifact --regen [NAME] [--threads N] [--dir DIR]")
       .synopsis("dring_artifact --check [NAME] [--threads N] [--dir DIR]")
-      .flag("list", "", "list the registered artifacts")
+      .flag("list", "", "print the full artifact registry (name, scenario "
+                        "count, committed report, description)")
+      .flag("names", "", "print one `name report_file` pair per registered "
+                         "artifact (script-friendly; CI's registry check)")
       .flag("run", "NAME", "execute the artifact's scenarios")
       .flag("render", "NAME", "derive the report from --store rows only")
       .flag("regen", "[NAME]", "run + rewrite committed report(s) under --dir")
@@ -64,11 +68,22 @@ std::string named_value(const util::Cli& cli, const std::string& flag) {
   return value == "true" ? "" : value;
 }
 
-int run_list() {
+int run_list(const std::string& dir) {
+  util::Table table({"artifact", "scenarios", "committed report",
+                     "description"});
   for (const core::Artifact& artifact : core::paper_artifacts())
-    std::cout << artifact.name << "  (" << artifact.scenarios.size()
-              << " scenarios, report " << artifact.report_file << ")\n    "
-              << artifact.title << "\n";
+    table.add_row({artifact.name, std::to_string(artifact.scenarios.size()),
+                   dir + "/" + artifact.report_file, artifact.title});
+  table.print(std::cout);
+  std::cout << "\nstores: `--run NAME --store FILE` writes a canonical "
+               "campaign store (schema v4, provenance-stamped); reports "
+               "derive from stores alone (`--render`).\n";
+  return 0;
+}
+
+int run_names() {
+  for (const core::Artifact& artifact : core::paper_artifacts())
+    std::cout << artifact.name << " " << artifact.report_file << "\n";
   return 0;
 }
 
@@ -106,7 +121,7 @@ int run_render(const util::Cli& cli, const std::string& name) {
     return 2;
   }
   const std::string report =
-      core::derive_report(artifact, core::load_result_stores(stores));
+      core::derive_report(artifact, core::load_result_stores(stores).rows);
   const std::string out_path = cli.get("out", "");
   if (out_path.empty()) {
     std::cout << report;
@@ -186,7 +201,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (cli.has("list")) return run_list();
+    if (cli.has("list")) return run_list(cli.get("dir", "examples/paper"));
+    if (cli.has("names")) return run_names();
     if (cli.has("run")) return run_run(cli, named_value(cli, "run"));
     if (cli.has("render")) return run_render(cli, named_value(cli, "render"));
     if (cli.has("regen"))

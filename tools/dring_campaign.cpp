@@ -69,7 +69,7 @@ std::vector<std::string> flag_paths(const util::Cli& cli,
 /// Read every store, or fail with a clean diagnostic (bad path, malformed
 /// line, schema-version mismatch).
 bool read_stores(const std::vector<std::string>& paths,
-                 std::vector<std::vector<core::CampaignRow>>& stores) {
+                 std::vector<core::ResultStore>& stores) {
   for (const std::string& path : paths) {
     try {
       stores.push_back(core::read_result_store_file(path));
@@ -86,10 +86,15 @@ int run_diff(const std::vector<std::string>& paths) {
     std::cerr << "--diff needs exactly two store paths\n";
     return 2;
   }
-  std::vector<std::vector<core::CampaignRow>> stores;
+  std::vector<core::ResultStore> stores;
   if (!read_stores(paths, stores)) return 2;
+  // Unlike --merge, --diff welcomes cross-provenance inputs — comparing
+  // the stores of two engine versions is its job — but says so up front.
+  if (!(stores[0].provenance == stores[1].provenance))
+    std::cout << "provenance differs: " << describe(stores[0].provenance)
+              << " vs " << describe(stores[1].provenance) << "\n";
   const core::StoreDiff diff =
-      core::diff_result_stores(stores[0], stores[1]);
+      core::diff_result_stores(stores[0].rows, stores[1].rows);
   std::cout << "only in " << paths[0] << ": " << diff.only_a.size()
             << "\nonly in " << paths[1] << ": " << diff.only_b.size()
             << "\nchanged payloads: " << diff.changed.size() << "\n";
@@ -114,9 +119,15 @@ int run_merge(const std::vector<std::string>& paths,
     std::cerr << "--merge needs at least two store paths\n";
     return 2;
   }
-  std::vector<std::vector<core::CampaignRow>> stores;
+  std::vector<core::ResultStore> stores;
   if (!read_stores(paths, stores)) return 2;
-  const core::StoreMerge merge = core::merge_result_stores(stores);
+  core::StoreMerge merge;
+  try {
+    merge = core::merge_result_stores(stores);
+  } catch (const std::exception& e) {
+    std::cerr << "merge failed: " << e.what() << "\n";
+    return 1;
+  }
   if (!merge.ok()) {
     std::cerr << "merge conflict: " << merge.conflicts.size()
               << " fingerprint(s) carry different payloads\n";
@@ -127,11 +138,16 @@ int run_merge(const std::vector<std::string>& paths,
     return 1;
   }
   if (out_path.empty()) {
+    std::cout << core::provenance_line(merge.provenance) << "\n";
     for (const core::CampaignRow& row : merge.rows)
       std::cout << core::row_line(row) << "\n";
   } else {
-    core::write_result_store(out_path, merge.rows);
-    std::cout << "merged " << paths.size() << " stores, " << merge.rows.size()
+    core::ResultStore out;
+    out.provenance = merge.provenance;
+    out.rows = merge.rows;
+    const std::size_t row_count = out.rows.size();
+    core::write_result_store(out_path, std::move(out));
+    std::cout << "merged " << paths.size() << " stores, " << row_count
               << " rows -> " << out_path << "\n";
   }
   return 0;

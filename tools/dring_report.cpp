@@ -95,8 +95,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const std::vector<core::CampaignRow> rows =
-        core::load_result_stores(stores);
+    const core::ResultStore store = core::load_result_stores(stores);
+    const std::vector<core::CampaignRow>& rows = store.rows;
     const core::ReportFormat format =
         core::report_format_from_string(cli.get("format", "md"));
 
@@ -106,12 +106,17 @@ int main(int argc, char** argv) {
 
     std::string report;
     if (cli.has("compare")) {
-      const std::vector<core::CampaignRow> other =
+      const core::ResultStore other =
           core::load_result_stores(cli.get_all("compare"));
       const core::Metric metric =
           core::metric_from_string(cli.get("metric", "rounds"));
-      report = core::render_paired_report(
-          core::paired_compare(rows, other, metric), metric, format);
+      core::PairedComparison cmp =
+          core::paired_compare(rows, other.rows, metric);
+      // Cross-version pairing is the provenance feature's whole point:
+      // the report says which engines produced each side.
+      cmp.provenance_a = core::describe(store.provenance);
+      cmp.provenance_b = core::describe(other.provenance);
+      report = core::render_paired_report(cmp, metric, format);
     } else if (cli.has("frontier")) {
       const std::string axis = core::canonical_axis(cli.get("frontier", ""));
       const double threshold = cli.get_double("threshold", 0.5);
