@@ -8,6 +8,11 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "core/version.hpp"
 
 namespace dring::core {
@@ -140,17 +145,43 @@ CampaignRow campaign_row_from_json(const util::Json& j) {
 
 std::string row_line(const CampaignRow& row) { return to_json(row).dump(); }
 
-ResultStore read_result_store(std::istream& in) {
+namespace {
+
+/// The head of a line, for parse diagnostics — enough to recognize the row
+/// (the fixed-width fingerprint sits in the first bytes) without dumping a
+/// whole 500-byte row into the error.
+std::string line_snippet(const std::string& line) {
+  constexpr std::size_t kMax = 72;
+  if (line.size() <= kMax) return "\"" + line + "\"";
+  return "\"" + line.substr(0, kMax) + "\"...";
+}
+
+}  // namespace
+
+ResultStore read_result_store(std::istream& in, StoreReadRecovery* recovery) {
+  // Slurp the lines up front: the torn-tail tolerance below needs to know
+  // whether a malformed line is the LAST content of the stream (a benign
+  // interrupted write) or mid-file (corruption, always fatal).
+  std::vector<std::string> lines;
+  {
+    std::string text;
+    while (std::getline(in, text)) lines.push_back(std::move(text));
+  }
+  std::size_t last_content = 0;  // 1-based line number of the last non-empty line
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (!lines[i].empty()) last_content = i + 1;
+
   ResultStore store;
   store.provenance = current_provenance();  // empty streams read as fresh
   bool saw_header = false;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const std::size_t line_no = idx + 1;
+    const std::string& line = lines[idx];
     if (line.empty()) continue;
+    bool parsed = false;
     try {
       const util::Json j = util::Json::parse(line);
+      parsed = true;
       if (j.has("dring")) {
         // The provenance header.  Exactly one, and it must come first —
         // a header in the middle means two stores were concatenated by
@@ -187,18 +218,33 @@ ResultStore read_result_store(std::istream& in) {
       }
       store.rows.push_back(campaign_row_from_json(j));
     } catch (const std::exception& e) {
+      // An unparseable LAST line after a valid header is the signature of
+      // an interrupted write (truncated copy, full disk, injected `trunc`
+      // fault): in lenient mode drop that one row — its cell simply
+      // re-runs on resume — instead of condemning the whole store.
+      // Anything malformed earlier — or a line that parses but carries a
+      // semantic problem (wrong schema, stray header) — is real
+      // corruption and always throws.
+      if (!parsed && recovery && saw_header && line_no == last_content) {
+        recovery->dropped_partial = true;
+        recovery->line_no = line_no;
+        recovery->snippet = line_snippet(line);
+        break;
+      }
       throw std::invalid_argument("result store line " +
-                                  std::to_string(line_no) + ": " + e.what());
+                                  std::to_string(line_no) + " " +
+                                  line_snippet(line) + ": " + e.what());
     }
   }
   return store;
 }
 
-ResultStore read_result_store_file(const std::string& path) {
+ResultStore read_result_store_file(const std::string& path,
+                                   StoreReadRecovery* recovery) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open result store: " + path);
   try {
-    return read_result_store(in);
+    return read_result_store(in, recovery);
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument(path + ": " + e.what());
   }
@@ -218,9 +264,43 @@ void sort_canonical(std::vector<CampaignRow>& rows) {
             });
 }
 
+namespace {
+
+/// fsync a path (file or directory).  Durability half of the crash-safe
+/// write: the rename is atomic on its own, but without the fsync a power
+/// loss can surface the new name with missing bytes.  Best-effort on
+/// filesystems that reject fsync on directories.
+void sync_path(const std::string& path, bool directory) {
+#ifdef __unix__
+  const int fd =
+      ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+}  // namespace
+
 void write_result_store(const std::string& path, ResultStore store) {
   sort_canonical(store.rows);
+  // Unique per process: two writers racing on one path (a speculative
+  // re-dispatch of the same idempotent shard) each stage their own tmp
+  // file, and whichever renames last wins with complete bytes.
+#ifdef __unix__
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
   const std::string tmp = path + ".tmp";
+#endif
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) throw std::runtime_error("cannot write result store: " + tmp);
@@ -232,8 +312,12 @@ void write_result_store(const std::string& path, ResultStore store) {
       throw std::runtime_error("write failed for result store: " + tmp);
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+  sync_path(tmp, /*directory=*/false);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     throw std::runtime_error("cannot move " + tmp + " to " + path);
+  }
+  sync_path(parent_dir(path), /*directory=*/true);
 }
 
 void write_result_store(const std::string& path,
@@ -244,14 +328,16 @@ void write_result_store(const std::string& path,
   write_result_store(path, std::move(store));
 }
 
-std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
-                                       int threads) {
+std::vector<CampaignRow> run_scenarios(
+    const std::vector<ScenarioSpec>& specs, int threads,
+    const std::function<void(std::size_t, std::size_t)>& on_task_done) {
   std::vector<ScenarioTask> tasks;
   tasks.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) tasks.push_back(to_task(spec));
 
   SweepOptions options;
   options.threads = threads;
+  options.on_task_done = on_task_done;
   const std::vector<sim::RunResult> results = run_sweep(tasks, options);
 
   std::vector<CampaignRow> rows(specs.size());
@@ -284,10 +370,16 @@ StoreRunResult run_with_store(
         std::vector<CampaignRow>(const std::vector<std::size_t>&)>& execute) {
   const bool with_store = !store_path.empty();
   std::vector<CampaignRow> existing;
+  bool had_store_file = false;
+  StoreReadRecovery recovery;
   if (resume && with_store) {
     std::ifstream in(store_path);
     if (in) {
-      ResultStore prior = read_result_store(in);
+      had_store_file = true;
+      // Lenient about a torn trailing row: that cell is simply missing
+      // from `existing`, so it re-runs below and the rewrite replaces the
+      // fragment with a whole row.
+      ResultStore prior = read_result_store(in, &recovery);
       if (!(prior.provenance == current_provenance()))
         throw std::runtime_error(
             "refusing to resume " + store_path + ": it was written by " +
@@ -300,6 +392,7 @@ StoreRunResult run_with_store(
   }
 
   StoreRunResult result;
+  result.recovery = recovery;
   std::vector<std::size_t> todo;
   if (!existing.empty()) {
     std::unordered_set<std::uint64_t> done;
@@ -321,13 +414,18 @@ StoreRunResult run_with_store(
   // union of existing and new rows.  Either way the file ends up in
   // canonical order, so equal row sets mean equal bytes — the property
   // the shard + merge workflow relies on.  When a resume executed
-  // nothing the store is left untouched.
+  // nothing against an existing file the store is left untouched; a
+  // resume against a *missing* file always materializes the store (header
+  // only for a zero-cell shard), so supervisors can treat "worker exited
+  // 0 but no store" as a failure instead of a mystery.  A dropped torn
+  // row also forces the rewrite even when its cell was the only work.
   if (with_store && !result.rows.empty()) {
     std::vector<CampaignRow> out = existing;
     out.insert(out.end(), result.rows.begin(), result.rows.end());
     write_result_store(store_path, std::move(out));
-  } else if (with_store && !resume) {
-    write_result_store(store_path, std::vector<CampaignRow>{});
+  } else if (with_store &&
+             (!resume || !had_store_file || recovery.dropped_partial)) {
+    write_result_store(store_path, std::move(existing));
   }
   return result;
 }
@@ -342,13 +440,26 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
   fingerprints.reserve(mine.size());
   for (const ScenarioSpec& spec : mine) fingerprints.push_back(fingerprint(spec));
 
+  // The heartbeat: rewrite the progress file after every completed cell
+  // (and once up front, so a supervisor sees life before the first cell
+  // lands).  The write is tiny and atomic enough for its one consumer —
+  // dring_orchestrate only looks at the mtime and the "done total" pair.
+  const auto beat = [&](std::size_t done, std::size_t total) {
+    if (!options.progress_path.empty()) {
+      std::ofstream out(options.progress_path, std::ios::trunc);
+      out << done << ' ' << total << '\n';
+    }
+    if (options.on_progress) options.on_progress(done, total);
+  };
+
   StoreRunResult result = run_with_store(
       fingerprints, options.out_path, options.resume,
       [&](const std::vector<std::size_t>& todo) {
         std::vector<ScenarioSpec> specs;
         specs.reserve(todo.size());
         for (const std::size_t i : todo) specs.push_back(mine[i]);
-        return run_scenarios(specs, options.threads);
+        if (!specs.empty()) beat(0, specs.size());
+        return run_scenarios(specs, options.threads, beat);
       });
 
   CampaignReport report;
@@ -357,6 +468,7 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
   report.skipped = result.skipped;
   report.executed = result.rows.size();
   report.rows = std::move(result.rows);
+  report.recovery = result.recovery;
   return report;
 }
 

@@ -130,26 +130,51 @@ struct ResultStore {
   std::vector<CampaignRow> rows;
 };
 
+/// What a lenient store read recovered from.  A worker killed mid-write
+/// can leave a store whose LAST line is torn (the crash-safe tmp+rename
+/// write makes this impossible for our own writers, but truncated copies —
+/// partial scp, full disk, an injected `trunc` fault — still happen).  A
+/// torn trailing row is benign: its cell simply re-runs on resume.  Torn
+/// or malformed content anywhere *else* is corruption and always throws.
+struct StoreReadRecovery {
+  bool dropped_partial = false;  ///< a torn trailing row was discarded
+  std::size_t line_no = 0;       ///< its 1-based line number
+  std::string snippet;           ///< its first bytes, for the diagnostic
+};
+
 /// Parse a whole store: the provenance header line followed by one JSON
 /// row per non-empty line.  Malformed lines and schema mismatches throw
-/// std::invalid_argument with the line number; a store whose rows predate
-/// v4 (per-row "v" < 4, no header) is rejected with an error naming the
-/// found version and how to regenerate.  An empty stream reads as an
-/// empty store with this build's provenance.
-ResultStore read_result_store(std::istream& in);
+/// std::invalid_argument naming the line number and a snippet of the
+/// offending line; a store whose rows predate v4 (per-row "v" < 4, no
+/// header) is rejected with an error naming the found version and how to
+/// regenerate.  An empty stream reads as an empty store with this build's
+/// provenance.
+///
+/// When `recovery` is non-null the read is *lenient about the tail*: a
+/// malformed LAST line (after a valid header) is treated as a torn row
+/// from an interrupted write — it is dropped, described in `recovery`,
+/// and the rest of the store loads normally.  Resume uses this mode so a
+/// truncated store means "re-run that cell", not "abort the campaign".
+ResultStore read_result_store(std::istream& in,
+                              StoreReadRecovery* recovery = nullptr);
 
 /// read_result_store over a file; throws std::runtime_error when the file
 /// cannot be opened and std::invalid_argument (prefixed with the path) on
 /// malformed content.
-ResultStore read_result_store_file(const std::string& path);
+ResultStore read_result_store_file(const std::string& path,
+                                   StoreReadRecovery* recovery = nullptr);
 
 /// Sort rows into canonical store order (ascending store line, which is
 /// ascending fingerprint).
 void sort_canonical(std::vector<CampaignRow>& rows);
 
 /// (Over)write a store file: the provenance header, then the rows in
-/// canonical order.  Written via a temp file + rename (with write errors
-/// checked before the rename) so a crash never leaves a half store.
+/// canonical order.  Crash-safe: the bytes go to a uniquely-named `.tmp`
+/// sibling (suffixed with the pid, so two processes racing on one path —
+/// e.g. a speculative re-dispatch of the same shard — never clobber each
+/// other's half-written file), are fsync'd, and atomically rename(2)d
+/// into place; a killed writer can never leave a torn store, only a stray
+/// tmp file.
 void write_result_store(const std::string& path, ResultStore store);
 
 /// Convenience: write rows under this build's provenance.
@@ -167,6 +192,15 @@ struct CampaignOptions {
   /// stable under axis growth.  shard_count == 1 keeps everything.
   int shard_index = 0;
   int shard_count = 1;
+  /// When non-empty, a heartbeat file rewritten as "done total\n" before
+  /// the sweep starts and after every completed scenario.  Supervisors
+  /// (dring_orchestrate) watch its mtime for liveness: a worker that
+  /// stops updating it is hung and gets killed + rescheduled.
+  std::string progress_path;
+  /// Optional per-completion hook, called with (done, total) after the
+  /// progress file update.  The fault-injection harness in dring_campaign
+  /// rides here; serialized, on a worker thread.
+  std::function<void(std::size_t, std::size_t)> on_progress;
 };
 
 /// What a campaign run did.
@@ -176,11 +210,15 @@ struct CampaignReport {
   std::size_t skipped = 0;   ///< already present in the store (resume)
   std::size_t executed = 0;  ///< run in this invocation
   std::vector<CampaignRow> rows;  ///< executed rows, in task order
+  /// Torn-trailing-row recovery from the resume read (see StoreRunResult).
+  StoreReadRecovery recovery;
 };
 
 /// Run the given scenarios on the pool; rows come back in spec order.
-std::vector<CampaignRow> run_scenarios(const std::vector<ScenarioSpec>& specs,
-                                       int threads);
+/// `on_task_done` is forwarded to SweepOptions (heartbeats, fault hooks).
+std::vector<CampaignRow> run_scenarios(
+    const std::vector<ScenarioSpec>& specs, int threads,
+    const std::function<void(std::size_t, std::size_t)>& on_task_done = {});
 
 /// The slice of `specs` assigned to shard `index` of `count` (fingerprint
 /// modulo count; relative order preserved). Throws std::invalid_argument
@@ -207,6 +245,9 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
 struct StoreRunResult {
   std::size_t skipped = 0;        ///< fingerprints already stored
   std::vector<CampaignRow> rows;  ///< executed rows, in `execute` order
+  /// Set when resume dropped a torn trailing row from the prior store
+  /// (the cell re-ran and the rewrite replaced it with a whole row).
+  StoreReadRecovery recovery;
 };
 
 StoreRunResult run_with_store(

@@ -1,0 +1,540 @@
+#include "core/orchestrate.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/campaign.hpp"
+#include "core/sweep.hpp"
+#include "util/rng.hpp"
+#include "util/subprocess.hpp"
+
+namespace dring::core {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+// --- backoff -----------------------------------------------------------------
+
+long long BackoffPolicy::delay_ms(int shard, int attempt) const {
+  if (attempt <= 1) return 0;
+  // base * 2^(attempt-2), saturating at cap_ms (the shift below cannot
+  // overflow: 2^62 ms is ~146 million years, capped long before).
+  long long raw = base_ms;
+  for (int i = 2; i < attempt && raw < cap_ms; ++i) raw *= 2;
+  raw = std::min(raw, cap_ms);
+  if (jitter <= 0.0 || raw <= 0) return raw;
+  // Deterministic jitter stream: one draw per (seed, shard, attempt).
+  util::Rng rng(task_seed(task_seed(seed, static_cast<std::size_t>(shard)),
+                          static_cast<std::size_t>(attempt)));
+  const double u = rng.uniform01();
+  const double scaled = static_cast<double>(raw) * (1.0 - jitter * u);
+  return std::max<long long>(0, static_cast<long long>(scaled));
+}
+
+// --- fault injection ---------------------------------------------------------
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::Trunc: return "trunc";
+  }
+  return "?";
+}
+
+FaultPlan parse_fault_plan(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (spec.empty()) return plan;
+  bool seen_crash = false, seen_hang = false, seen_trunc = false;
+  std::stringstream parts(spec);
+  std::string part;
+  while (std::getline(parts, part, ',')) {
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("fault spec '" + part +
+                                  "': want kind:probability");
+    const std::string kind = part.substr(0, colon);
+    double p = 0.0;
+    try {
+      std::size_t used = 0;
+      p = std::stod(part.substr(colon + 1), &used);
+      if (used != part.size() - colon - 1) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec '" + part +
+                                  "': bad probability");
+    }
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument("fault spec '" + part +
+                                  "': probability outside [0,1]");
+    bool* seen = nullptr;
+    double* slot = nullptr;
+    if (kind == "crash") { seen = &seen_crash; slot = &plan.crash; }
+    else if (kind == "hang") { seen = &seen_hang; slot = &plan.hang; }
+    else if (kind == "trunc") { seen = &seen_trunc; slot = &plan.trunc; }
+    else
+      throw std::invalid_argument("fault spec '" + part +
+                                  "': unknown kind (want crash|hang|trunc)");
+    if (*seen)
+      throw std::invalid_argument("fault spec: duplicate kind '" + kind + "'");
+    *seen = true;
+    *slot = p;
+  }
+  if (plan.crash + plan.hang + plan.trunc > 1.0 + 1e-12)
+    throw std::invalid_argument("fault spec: probabilities sum above 1");
+  return plan;
+}
+
+FaultKind fault_draw(const FaultPlan& plan, std::uint64_t key, int attempt) {
+  if (!plan.any()) return FaultKind::None;
+  // One uniform draw per (seed, shard, attempt) — both sides of the
+  // env-var hook (and any test predicting convergence) compute the same
+  // schedule from the same three numbers.
+  util::Rng rng(task_seed(task_seed(plan.seed, key),
+                          static_cast<std::size_t>(attempt)));
+  const double u = rng.uniform01();
+  if (u < plan.crash) return FaultKind::Crash;
+  if (u < plan.crash + plan.hang) return FaultKind::Hang;
+  if (u < plan.crash + plan.hang + plan.trunc) return FaultKind::Trunc;
+  return FaultKind::None;
+}
+
+// --- orchestration -----------------------------------------------------------
+
+std::string shard_store_path(const OrchestrateOptions& options, int index) {
+  return options.work_dir + "/shard_" + std::to_string(index) + "of" +
+         std::to_string(options.shards) + ".jsonl";
+}
+
+namespace {
+
+/// One live worker subprocess.
+struct RunningAttempt {
+  int shard = 0;
+  int attempt_no = 0;
+  bool speculative = false;
+  util::Subprocess proc;
+  Clock::time_point started;
+};
+
+/// Supervisor-side shard bookkeeping.
+struct ShardSlot {
+  int attempts = 0;   ///< attempts launched (includes speculative)
+  int failures = 0;   ///< failed attempts (the cap counts these)
+  bool completed = false;
+  bool speculated = false;
+  Clock::time_point ready_at;  ///< backoff gate for the next launch
+  std::string last_error;
+  double duration_s = -1.0;  ///< wall time of the winning attempt
+};
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Age of the progress-file heartbeat in seconds; +inf when the file does
+/// not exist (the worker has not reached its first cell yet — the launch
+/// grace period covers that window).
+double heartbeat_age_s(const std::string& progress_path) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(progress_path, ec);
+  if (ec) return std::numeric_limits<double>::infinity();
+  const auto now = fs::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+std::string campaign_name_of(const std::string& spec_path) {
+  std::ifstream in(spec_path);
+  if (!in)
+    throw std::runtime_error("cannot open campaign spec: " + spec_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return util::Json::parse(buffer.str()).get_string("name", "");
+  } catch (const std::exception& e) {
+    throw std::runtime_error(spec_path + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+util::Json manifest_json(const OrchestrateOptions& options,
+                         const OrchestrationResult& result,
+                         const std::string& campaign_name) {
+  util::Json completed{util::Json::Array{}};
+  util::Json missing{util::Json::Array{}};
+  util::Json attempts;
+  util::Json stores;
+  for (const ShardOutcome& shard : result.shards) {
+    const std::string key = std::to_string(shard.shard);
+    if (shard.completed) {
+      completed.as_array().push_back(shard.shard);
+      stores.set(key, shard.store_path);
+    } else {
+      missing.as_array().push_back(shard.shard);
+    }
+    attempts.set(key, static_cast<long long>(shard.attempts));
+  }
+  util::Json j;
+  j.set("campaign", campaign_name);
+  j.set("spec", options.spec_path);
+  j.set("shards", static_cast<long long>(options.shards));
+  j.set("completed", std::move(completed));
+  j.set("missing", std::move(missing));
+  j.set("attempts", std::move(attempts));
+  j.set("stores", std::move(stores));
+  if (!result.merged_path.empty()) {
+    j.set("merged", result.merged_path);
+    j.set("merged_rows", static_cast<long long>(result.merged_rows));
+  }
+  // The exact command that fills the holes, so "how do I finish this run"
+  // is answered by the manifest itself.
+  if (!result.missing.empty())
+    j.set("resume_hint",
+          "re-run dring_orchestrate with the same flags plus --resume");
+  return j;
+}
+
+OrchestrationResult run_orchestration(const OrchestrateOptions& options,
+                                      std::ostream* log) {
+  if (options.shards < 1 || options.workers < 1 || options.max_attempts < 1)
+    throw std::invalid_argument(
+        "orchestrate: shards, workers and max-attempts must all be >= 1");
+  const std::string campaign_name = campaign_name_of(options.spec_path);
+  // Validate the injection spec up front — a typo must fail the dispatch,
+  // not be discovered worker by worker.
+  (void)parse_fault_plan(options.inject, options.inject_seed);
+
+  std::string binary = options.campaign_binary;
+  if (binary.empty()) {
+    const std::string dir = util::executable_dir();
+    binary = dir.empty() ? "dring_campaign" : dir + "/dring_campaign";
+  }
+  if (!fs::exists(binary))
+    throw std::runtime_error("worker binary not found: " + binary +
+                             " (build dring_campaign, or pass "
+                             "--campaign-bin)");
+
+  fs::create_directories(options.work_dir);
+
+  const auto say = [&](const std::string& line) {
+    if (log) *log << "[orchestrate] " << line << "\n";
+  };
+
+  std::vector<ShardSlot> slots(static_cast<std::size_t>(options.shards));
+  const Clock::time_point t0 = Clock::now();
+  for (ShardSlot& slot : slots) slot.ready_at = t0;
+
+  // Fresh run: wipe every shard's prior artifacts (store, heartbeat,
+  // attempt logs, stray tmp files) so --resume inside the workers starts
+  // from nothing.  --resume keeps them and fills the holes.
+  if (!options.resume) {
+    for (int i = 0; i < options.shards; ++i) {
+      const std::string prefix =
+          fs::path(shard_store_path(options, i)).filename().string();
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(options.work_dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(prefix, 0) == 0) fs::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  std::vector<RunningAttempt> running;
+  std::vector<double> durations;  ///< completed-attempt wall times
+
+  const auto launch = [&](int shard, bool speculative) {
+    ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
+    const int attempt_no = ++slot.attempts;
+    const std::string store = shard_store_path(options, shard);
+    util::SpawnSpec spec;
+    spec.argv = {binary,
+                 "--spec", options.spec_path,
+                 "--out", store,
+                 "--resume",
+                 "--threads", std::to_string(options.threads_per_worker),
+                 "--progress", store + ".progress"};
+    if (options.shards > 1) {
+      spec.argv.push_back("--shard");
+      spec.argv.push_back(std::to_string(shard) + "/" +
+                          std::to_string(options.shards));
+    }
+    if (!options.inject.empty()) {
+      spec.env = {{kFaultInjectEnv, options.inject},
+                  {kFaultSeedEnv, std::to_string(options.inject_seed)},
+                  {kFaultAttemptEnv, std::to_string(attempt_no)}};
+    }
+    spec.output_path = store + ".attempt" + std::to_string(attempt_no) + ".log";
+    RunningAttempt attempt;
+    attempt.shard = shard;
+    attempt.attempt_no = attempt_no;
+    attempt.speculative = speculative;
+    attempt.proc = util::Subprocess::spawn(spec);
+    attempt.started = Clock::now();
+    say("shard " + std::to_string(shard) + "/" +
+        std::to_string(options.shards) + " attempt " +
+        std::to_string(attempt_no) +
+        (speculative ? " (speculative)" : "") + " -> pid " +
+        std::to_string(attempt.proc.pid()));
+    running.push_back(std::move(attempt));
+  };
+
+  const auto handle_failure = [&](int shard, const std::string& why) {
+    ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
+    if (slot.completed) return;  // a sibling already won; nothing failed
+    ++slot.failures;
+    slot.last_error = why;
+    if (slot.failures >= options.max_attempts) {
+      say("shard " + std::to_string(shard) + " attempt failed (" + why +
+          "); retry cap " + std::to_string(options.max_attempts) +
+          " reached, giving up");
+      return;
+    }
+    const long long delay =
+        options.backoff.delay_ms(shard, slot.failures + 1);
+    slot.ready_at = Clock::now() + std::chrono::milliseconds(delay);
+    say("shard " + std::to_string(shard) + " attempt failed (" + why +
+        "); retry " + std::to_string(slot.failures + 1) + "/" +
+        std::to_string(options.max_attempts) + " in " +
+        std::to_string(delay) + "ms");
+  };
+
+  const auto handle_success = [&](const RunningAttempt& attempt,
+                                  double elapsed_s) {
+    ShardSlot& slot = slots[static_cast<std::size_t>(attempt.shard)];
+    if (slot.completed) return;  // duplicate finisher: same bytes, ignore
+    // Exit 0 is the worker's claim; the store is the proof.  Verify it
+    // parses (lenient about a torn tail a racing sibling could not have
+    // produced — our writes are atomic — but an external copy could).
+    const std::string store = shard_store_path(options, attempt.shard);
+    StoreReadRecovery recovery;
+    try {
+      (void)read_result_store_file(store, &recovery);
+    } catch (const std::exception& e) {
+      // Unreadable mid-file: poisoned; delete so the retry starts clean.
+      std::error_code ec;
+      fs::remove(store, ec);
+      handle_failure(attempt.shard,
+                     std::string("store verification failed: ") + e.what());
+      return;
+    }
+    if (recovery.dropped_partial) {
+      handle_failure(attempt.shard,
+                     "store has a torn trailing row (line " +
+                         std::to_string(recovery.line_no) +
+                         "); resume will re-run that cell");
+      return;
+    }
+    slot.completed = true;
+    slot.duration_s = elapsed_s;
+    durations.push_back(elapsed_s);
+    say("shard " + std::to_string(attempt.shard) + " completed in " +
+        std::to_string(elapsed_s) + "s (attempt " +
+        std::to_string(attempt.attempt_no) + ")");
+    // First finisher wins: reap any sibling attempt of the same shard.
+    for (RunningAttempt& other : running)
+      if (other.shard == attempt.shard &&
+          other.attempt_no != attempt.attempt_no)
+        other.proc.kill_hard();
+  };
+
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+
+    // Reap finished workers and police the live ones.
+    for (std::size_t i = 0; i < running.size();) {
+      RunningAttempt& attempt = running[i];
+      ShardSlot& slot = slots[static_cast<std::size_t>(attempt.shard)];
+      const double elapsed = seconds_between(attempt.started, now);
+      if (!attempt.proc.running()) {
+        const int code = attempt.proc.exit_code();
+        if (slot.completed) {
+          // sibling won earlier (or we killed it); drop silently
+        } else if (code == 0) {
+          handle_success(attempt, elapsed);
+        } else {
+          handle_failure(attempt.shard,
+                         (attempt.proc.signaled() ? "killed, code "
+                                                  : "exit ") +
+                             std::to_string(code));
+        }
+        running.erase(running.begin() + static_cast<long>(i));
+        continue;
+      }
+      if (!slot.completed && options.timeout_s > 0 &&
+          elapsed > options.timeout_s) {
+        attempt.proc.kill_hard();
+        attempt.proc.exit_code_blocking();
+        handle_failure(attempt.shard,
+                       "timeout after " + std::to_string(options.timeout_s) +
+                           "s, killed");
+        running.erase(running.begin() + static_cast<long>(i));
+        continue;
+      }
+      if (!slot.completed && options.stale_s > 0 &&
+          elapsed > options.stale_s) {
+        const std::string progress =
+            shard_store_path(options, attempt.shard) + ".progress";
+        // Freshness = the younger of "launched" and "last heartbeat": a
+        // worker gets stale_s of grace from launch, then must keep the
+        // heartbeat moving.
+        if (heartbeat_age_s(progress) > options.stale_s) {
+          attempt.proc.kill_hard();
+          attempt.proc.exit_code_blocking();
+          handle_failure(attempt.shard,
+                         "heartbeat stale for > " +
+                             std::to_string(options.stale_s) + "s, killed");
+          running.erase(running.begin() + static_cast<long>(i));
+          continue;
+        }
+      }
+      ++i;
+    }
+
+    // Launch work: retries/first attempts whose backoff has elapsed, onto
+    // free slots, lowest shard first.
+    const auto running_count_of = [&](int shard) {
+      int n = 0;
+      for (const RunningAttempt& a : running)
+        if (a.shard == shard) ++n;
+      return n;
+    };
+    for (int shard = 0; shard < options.shards &&
+                        running.size() <
+                            static_cast<std::size_t>(options.workers);
+         ++shard) {
+      ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
+      if (slot.completed || slot.failures >= options.max_attempts) continue;
+      if (running_count_of(shard) > 0) continue;
+      if (slot.ready_at > now) continue;
+      launch(shard, /*speculative=*/false);
+    }
+
+    // Straggler speculation: with a quorum of shards done and idle
+    // capacity, duplicate the laggards (idempotent + atomic writes make
+    // the race safe; first finisher wins).
+    if (options.straggler_factor > 0 && !durations.empty()) {
+      std::size_t done = 0;
+      for (const ShardSlot& slot : slots)
+        if (slot.completed) ++done;
+      if (static_cast<double>(done) >=
+          options.straggler_quorum * options.shards) {
+        std::vector<double> sorted = durations;
+        std::nth_element(sorted.begin(),
+                         sorted.begin() + static_cast<long>(sorted.size() / 2),
+                         sorted.end());
+        const double median = sorted[sorted.size() / 2];
+        const double limit =
+            std::max(options.straggler_factor * median, 1e-3);
+        for (int shard = 0; shard < options.shards &&
+                            running.size() <
+                                static_cast<std::size_t>(options.workers);
+             ++shard) {
+          ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
+          if (slot.completed || slot.speculated) continue;
+          if (running_count_of(shard) != 1) continue;
+          for (const RunningAttempt& a : running) {
+            if (a.shard != shard) continue;
+            if (seconds_between(a.started, now) > limit) {
+              slot.speculated = true;
+              say("shard " + std::to_string(shard) + " is a straggler (> " +
+                  std::to_string(limit) + "s); speculating");
+              launch(shard, /*speculative=*/true);
+            }
+            break;
+          }
+        }
+      }
+    }
+
+    // Done when nothing runs and nothing may launch again.
+    if (running.empty()) {
+      bool open = false;
+      for (const ShardSlot& slot : slots)
+        if (!slot.completed && slot.failures < options.max_attempts)
+          open = true;
+      if (!open) break;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_s));
+  }
+
+  // Fold the outcome: merge what completed, name what did not.
+  OrchestrationResult result;
+  for (int shard = 0; shard < options.shards; ++shard) {
+    const ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
+    ShardOutcome outcome;
+    outcome.shard = shard;
+    outcome.attempts = slot.attempts;
+    outcome.failures = slot.failures;
+    outcome.completed = slot.completed;
+    outcome.speculated = slot.speculated;
+    outcome.store_path = shard_store_path(options, shard);
+    outcome.last_error = slot.last_error;
+    result.shards.push_back(std::move(outcome));
+    if (!slot.completed) result.missing.push_back(shard);
+  }
+
+  const bool any_completed =
+      result.missing.size() < static_cast<std::size_t>(options.shards);
+  if (!options.out_path.empty() && any_completed) {
+    std::vector<ResultStore> stores;
+    for (const ShardOutcome& shard : result.shards)
+      if (shard.completed)
+        stores.push_back(read_result_store_file(shard.store_path));
+    StoreMerge merge = merge_result_stores(std::move(stores));
+    if (!merge.ok()) {
+      // Cannot happen for shards of one campaign (disjoint fingerprints);
+      // reaching it means the work dir mixed two different campaigns.
+      say("merge conflict: " + std::to_string(merge.conflicts.size()) +
+          " fingerprints with divergent payloads (is " + options.work_dir +
+          " shared between campaigns?)");
+      result.exit_code = kExitError;
+    } else {
+      ResultStore out;
+      out.provenance = merge.provenance;
+      out.rows = std::move(merge.rows);
+      result.merged_rows = out.rows.size();
+      write_result_store(options.out_path, std::move(out));
+      result.merged_path = options.out_path;
+      say("merged " + std::to_string(options.shards - result.missing.size()) +
+          "/" + std::to_string(options.shards) + " shards, " +
+          std::to_string(result.merged_rows) + " rows -> " +
+          options.out_path);
+    }
+  }
+
+  if (result.exit_code == kExitOk && !result.missing.empty())
+    result.exit_code = kExitMissingShards;
+
+  // The manifest always lands next to the merged store (or in the work
+  // dir when no merge target was given): the machine-readable record of
+  // which shards made it and how hard they had to try.
+  result.manifest_path = options.out_path.empty()
+                             ? options.work_dir + "/manifest.json"
+                             : options.out_path + ".manifest.json";
+  {
+    std::ofstream out(result.manifest_path, std::ios::trunc);
+    out << manifest_json(options, result, campaign_name).dump() << "\n";
+  }
+  if (!result.missing.empty()) {
+    std::string holes;
+    for (const int shard : result.missing)
+      holes += (holes.empty() ? "" : ",") + std::to_string(shard);
+    say("INCOMPLETE: shards {" + holes + "} exhausted " +
+        std::to_string(options.max_attempts) +
+        " attempts; manifest at " + result.manifest_path +
+        "; re-run with --resume to fill the holes");
+  }
+  return result;
+}
+
+}  // namespace dring::core

@@ -1,0 +1,193 @@
+// Fault-tolerant campaign orchestration: supervise a fleet of
+// `dring_campaign` shard workers.
+//
+// The substrate (core/campaign.hpp) already makes distribution safe:
+// `--shard i/m` partitions any grid by fingerprint, shards are idempotent
+// under `--resume`, stores are canonical bytes for any split, and `--merge`
+// is a lossless conflict-checked union.  This layer adds the part the paper
+// spends its pages on — making progress while an adversary keeps knocking
+// pieces out.  run_orchestration() expands a campaign into m shard work
+// units, dispatches them onto a bounded pool of subprocess workers, and
+// supervises:
+//
+//   * liveness via a per-shard progress file the worker rewrites after
+//     every completed cell — a stale mtime means the worker hung and gets
+//     SIGKILLed and rescheduled;
+//   * a hard per-attempt timeout as the backstop above the heartbeat;
+//   * retry with exponential backoff + deterministic jitter and a
+//     max-attempt cap per shard;
+//   * straggler detection with speculative re-dispatch onto a free slot
+//     (safe: shards are idempotent and store writes are atomic, so two
+//     workers racing on one shard both produce the same bytes);
+//   * graceful degradation: when a shard exhausts its attempts, every
+//     completed shard still merges into the output store, a machine-
+//     readable manifest names exactly the holes, and the exit code is
+//     kExitMissingShards — a follow-up --resume run completes the holes.
+//
+// Worker membership follows the dynomite seed-list idiom
+// (dyn_ring_init/dyn_gos_run): the orchestrator owns a fixed roster of
+// worker slots seeded up front, learns each member's health from its
+// heartbeat rather than from a registration protocol, and routes work
+// around dead members instead of waiting for them.
+//
+// Determinism: the fault-injection harness (FaultPlan) draws per
+// (seed, shard, attempt), and retries increment the attempt — so a run
+// with a fixed seed produces the same fault schedule everywhere, and CI
+// can assert byte-identical convergence with the single-process store.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace dring::core {
+
+/// dring_orchestrate exit codes.  Distinct so a driving script can tell
+/// "all shards merged" from "holes remain, manifest written, re-run with
+/// --resume" without parsing output.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;          ///< hard failure (merge conflict, spawn)
+inline constexpr int kExitUsage = 2;          ///< bad flags / spec
+inline constexpr int kExitMissingShards = 3;  ///< partial result + manifest
+
+// --- retry/backoff -----------------------------------------------------------
+
+/// Exponential backoff with deterministic multiplicative jitter.  The
+/// delay before retry attempt `a` (a >= 2) is
+///
+///   raw(a)   = min(cap_ms, base_ms * 2^(a-2))
+///   delay(a) = raw(a) * (1 - jitter * u),   u = uniform01(seed, shard, a)
+///
+/// i.e. jittered downward into [(1-jitter)*raw, raw] so a fleet of failed
+/// shards never stampedes back in lockstep, while a fixed seed keeps the
+/// whole schedule reproducible.
+struct BackoffPolicy {
+  long long base_ms = 500;
+  long long cap_ms = 10000;
+  double jitter = 0.5;     ///< fraction of the raw delay the jitter may shave
+  std::uint64_t seed = 0;  ///< jitter stream seed
+
+  /// Delay in ms before launching `attempt` (1-based; attempt 1 launches
+  /// immediately, so delay_ms(shard, 1) == 0).
+  long long delay_ms(int shard, int attempt) const;
+};
+
+// --- fault injection ---------------------------------------------------------
+
+/// What an injected fault does to a worker attempt.
+enum class FaultKind {
+  None,   ///< attempt runs clean
+  Crash,  ///< _exit mid-sweep before the store write (no durable progress)
+  Hang,   ///< stop mid-sweep without exiting (heartbeat goes stale)
+  Trunc,  ///< write the store, then tear its last row and exit non-zero
+};
+const char* to_string(FaultKind kind);
+
+/// A deterministic fault schedule: per-kind probabilities plus the seed.
+/// The draw is a pure function of (seed, shard, attempt), so orchestrator
+/// and worker — and a test predicting convergence — all agree on which
+/// attempts fault without any communication.
+struct FaultPlan {
+  double crash = 0.0;
+  double hang = 0.0;
+  double trunc = 0.0;
+  std::uint64_t seed = 0;
+
+  bool any() const { return crash + hang + trunc > 0.0; }
+};
+
+/// Parse an `--inject` spec: comma-separated `kind:probability` pairs,
+/// e.g. "crash:0.4,hang:0.2,trunc:0.2" (kinds optional, each at most
+/// once; probabilities in [0,1] with sum <= 1).  Throws
+/// std::invalid_argument on anything else.
+FaultPlan parse_fault_plan(const std::string& spec, std::uint64_t seed);
+
+/// The fault this plan injects into `attempt` (1-based) of shard `key`.
+FaultKind fault_draw(const FaultPlan& plan, std::uint64_t key, int attempt);
+
+/// Env-var hook between orchestrator and worker: dring_campaign reads
+/// these at startup (parse_fault_plan on kFaultInjectEnv, seed from
+/// kFaultSeedEnv, attempt from kFaultAttemptEnv, shard key from its own
+/// --shard flag) and self-sabotages accordingly.  Setting them by hand
+/// reproduces any injected failure outside the orchestrator.
+inline constexpr const char* kFaultInjectEnv = "DRING_FAULT_INJECT";
+inline constexpr const char* kFaultSeedEnv = "DRING_FAULT_SEED";
+inline constexpr const char* kFaultAttemptEnv = "DRING_FAULT_ATTEMPT";
+
+/// Worker exit codes for injected faults (distinct from real campaign
+/// failures so supervisor logs stay readable).
+inline constexpr int kFaultExitCrash = 70;
+inline constexpr int kFaultExitTrunc = 71;
+
+// --- orchestration -----------------------------------------------------------
+
+struct OrchestrateOptions {
+  std::string spec_path;      ///< campaign definition (JSON)
+  int shards = 1;             ///< grid partitions (--shard i/shards)
+  int workers = 2;            ///< max concurrent worker subprocesses
+  int threads_per_worker = 1; ///< --threads forwarded to each worker
+  std::string work_dir;       ///< shard stores, progress files, worker logs
+  std::string out_path;       ///< merged store (empty = skip the merge)
+  bool resume = false;        ///< keep existing shard stores (fill holes);
+                              ///< false wipes them for a fresh run
+  int max_attempts = 3;       ///< per-shard failure cap
+  double timeout_s = 0;       ///< hard per-attempt timeout (0 = none)
+  double stale_s = 30;        ///< heartbeat staleness before a kill (0 = off);
+                              ///< must exceed the slowest single cell
+  double poll_s = 0.05;       ///< supervisor poll interval
+  BackoffPolicy backoff;
+  /// Straggler speculation: once `straggler_quorum` of the shards have
+  /// completed, a shard running longer than `straggler_factor` x the
+  /// median completed duration gets a duplicate attempt on a free slot;
+  /// first finisher wins.  0 disables.
+  double straggler_factor = 0;
+  double straggler_quorum = 0.5;
+  /// Fault injection forwarded to workers (empty = none).
+  std::string inject;
+  std::uint64_t inject_seed = 0;
+  /// Worker binary; empty = "dring_campaign" next to this executable.
+  std::string campaign_binary;
+};
+
+/// Where shard `index`'s store lives under `options.work_dir`.
+std::string shard_store_path(const OrchestrateOptions& options, int index);
+
+/// What happened to one shard.
+struct ShardOutcome {
+  int shard = 0;
+  int attempts = 0;       ///< attempts launched (includes speculative)
+  int failures = 0;       ///< failed attempts (what the cap counts)
+  bool completed = false;
+  bool speculated = false;  ///< a speculative duplicate was dispatched
+  std::string store_path;
+  std::string last_error;   ///< why the last attempt failed (empty if none)
+};
+
+struct OrchestrationResult {
+  std::vector<ShardOutcome> shards;
+  std::vector<int> missing;     ///< shards exhausted without completing
+  std::string merged_path;      ///< written when >= 1 shard completed
+  std::size_t merged_rows = 0;
+  std::string manifest_path;    ///< always written next to the merged store
+  int exit_code = kExitOk;      ///< kExitOk / kExitMissingShards / kExitError
+};
+
+/// The machine-readable run manifest (written as canonical JSON): campaign
+/// name, shard geometry, completed/missing shard lists, per-shard attempt
+/// counts and store paths.  A follow-up `dring_orchestrate --resume` run
+/// completes exactly the missing shards.
+util::Json manifest_json(const OrchestrateOptions& options,
+                         const OrchestrationResult& result,
+                         const std::string& campaign_name);
+
+/// Supervise the fleet to completion (or exhaustion).  Narrates dispatch /
+/// retry / kill decisions to `log` when non-null.  Throws
+/// std::runtime_error on unrecoverable setup errors (unreadable spec,
+/// unspawnable worker binary); worker failures are handled, not thrown.
+OrchestrationResult run_orchestration(const OrchestrateOptions& options,
+                                      std::ostream* log = nullptr);
+
+}  // namespace dring::core

@@ -95,8 +95,14 @@ std::vector<SweepRun> run_sweep_runs(const std::vector<ScenarioTask>& tasks,
                                      const SweepOptions& options) {
   std::vector<SweepRun> runs(tasks.size());
   if (tasks.empty()) return runs;
+  std::mutex done_mutex;
+  std::size_t done = 0;
   parallel_for(tasks.size(), resolve_threads(options), [&](std::size_t i) {
     runs[i] = execute_task(tasks[i]);
+    if (options.on_task_done) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      options.on_task_done(++done, tasks.size());
+    }
   });
   return runs;
 }

@@ -46,6 +46,13 @@ struct SweepOptions {
   /// Worker threads. 0 = std::thread::hardware_concurrency() (at least 1);
   /// 1 = run inline on the calling thread (no pool).
   int threads = 0;
+  /// Completion hook, called after each finished task with (tasks done so
+  /// far, total tasks).  Serialized (never invoked concurrently), but runs
+  /// on whichever worker thread finished — keep it cheap; it sits on the
+  /// sweep's critical path.  Campaign heartbeats (the progress file
+  /// dring_orchestrate watches for liveness) and the fault-injection
+  /// harness ride here.
+  std::function<void(std::size_t done, std::size_t total)> on_task_done;
 };
 
 /// Number of workers `options` resolves to on this machine.

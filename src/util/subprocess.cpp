@@ -1,0 +1,127 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#ifdef _WIN32
+#error "util/subprocess is POSIX-only (the dring toolchain targets Linux)"
+#endif
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace dring::util {
+
+Subprocess::Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  pid_ = other.pid_;
+  exit_code_ = other.exit_code_;
+  signaled_ = other.signaled_;
+  started_ = other.started_;
+  reaped_ = other.reaped_;
+  other.pid_ = -1;
+  other.started_ = false;
+  other.reaped_ = false;
+  return *this;
+}
+
+Subprocess Subprocess::spawn(const SpawnSpec& spec) {
+  if (spec.argv.empty())
+    throw std::runtime_error("subprocess: empty argv");
+
+  // Build the argv vector before forking — no allocation between fork and
+  // exec (the child may run with async-signal-safety constraints).
+  std::vector<char*> argv;
+  argv.reserve(spec.argv.size() + 1);
+  for (const std::string& a : spec.argv)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("subprocess: fork failed: ") +
+                             std::strerror(errno));
+  if (pid == 0) {
+    // Child.  Failures here cannot throw — report through the exit code.
+    for (const auto& [key, value] : spec.env)
+      ::setenv(key.c_str(), value.c_str(), /*overwrite=*/1);
+    if (!spec.output_path.empty()) {
+      const int fd = ::open(spec.output_path.c_str(),
+                            O_CREAT | O_WRONLY | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);  // exec failed (binary missing / not executable)
+  }
+
+  Subprocess child;
+  child.pid_ = pid;
+  child.started_ = true;
+  return child;
+}
+
+namespace {
+
+/// Fold a waitpid status into the shell convention.
+int fold_status(int status, bool& signaled) {
+  if (WIFEXITED(status)) {
+    signaled = false;
+    return WEXITSTATUS(status);
+  }
+  if (WIFSIGNALED(status)) {
+    signaled = true;
+    return 128 + WTERMSIG(status);
+  }
+  signaled = false;
+  return -1;
+}
+
+}  // namespace
+
+bool Subprocess::running() {
+  if (!started_ || reaped_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+  if (r == 0) return true;  // still running
+  // r == pid: exited now; r < 0 (ECHILD): someone else reaped it — treat
+  // as finished with an unknown status rather than spinning forever.
+  reaped_ = true;
+  exit_code_ = (r > 0) ? fold_status(status, signaled_) : -1;
+  return false;
+}
+
+int Subprocess::exit_code_blocking() {
+  if (!started_ || reaped_) return exit_code_;
+  int status = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+  reaped_ = true;
+  exit_code_ = (r > 0) ? fold_status(status, signaled_) : -1;
+  return exit_code_;
+}
+
+void Subprocess::kill_hard() {
+  if (!started_ || reaped_) return;
+  ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
+std::string executable_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+}  // namespace dring::util

@@ -1,0 +1,86 @@
+// Minimal POSIX subprocess control for worker supervision.
+//
+// The campaign orchestrator (core/orchestrate.hpp) dispatches shards to a
+// pool of `dring_campaign` subprocesses and must be able to (a) launch a
+// child with extra environment variables and its output captured to a log
+// file, (b) poll it without blocking so one supervisor thread can watch a
+// whole fleet, and (c) kill a hung child outright.  std::system gives none
+// of that, so this is a small fork/exec wrapper.  Linux/POSIX only — the
+// same platform the rest of the toolchain targets.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dring::util {
+
+/// What to launch.
+struct SpawnSpec {
+  /// argv[0] is the executable (resolved via PATH when it contains no '/').
+  std::vector<std::string> argv;
+  /// Extra environment variables set in the child (on top of the parent's
+  /// environment, overriding on collision).
+  std::vector<std::pair<std::string, std::string>> env;
+  /// When non-empty, the child's stdout AND stderr are appended to this
+  /// file (created if missing) — the per-attempt worker log.  Empty =
+  /// inherit the parent's streams.
+  std::string output_path;
+};
+
+/// A running (or finished) child process.  Movable, not copyable; the
+/// destructor does NOT kill or reap a still-running child — supervisors
+/// own that decision explicitly via kill_hard()/wait().
+class Subprocess {
+ public:
+  Subprocess() = default;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Fork + exec.  Throws std::runtime_error when the fork fails; an exec
+  /// failure inside the child surfaces as exit code 127.
+  static Subprocess spawn(const SpawnSpec& spec);
+
+  /// True while the child has not been reaped.  Non-blocking (WNOHANG);
+  /// reaps and records the exit code as a side effect when the child has
+  /// exited.
+  bool running();
+
+  /// Block until the child exits; returns exit_code().
+  int exit_code_blocking();
+
+  /// The child's exit code once !running(): WEXITSTATUS for a normal
+  /// exit, 128 + signal for a signal death (the shell convention), -1
+  /// while still running or never started.
+  int exit_code() const { return exit_code_; }
+
+  /// True when the child was reaped and died from a signal (e.g. our own
+  /// kill_hard, or an injected crash via abort).
+  bool signaled() const { return signaled_; }
+
+  /// SIGKILL the child (no-op when already finished).  The caller still
+  /// observes the death through running()/exit_code_blocking().
+  void kill_hard();
+
+  /// The child pid, or -1 when never spawned / already reaped.
+  long pid() const { return pid_; }
+
+  bool started() const { return started_; }
+
+ private:
+  long pid_ = -1;
+  int exit_code_ = -1;
+  bool signaled_ = false;
+  bool started_ = false;
+  bool reaped_ = false;
+};
+
+/// Directory of the currently running executable (via /proc/self/exe),
+/// without a trailing slash; empty when it cannot be resolved.  Used to
+/// find sibling tools: dring_tests and dring_orchestrate locate
+/// dring_campaign next to themselves in the build tree.
+std::string executable_dir();
+
+}  // namespace dring::util

@@ -3,11 +3,13 @@
 // campaign grid expansion (count, seed stability under grid growth),
 // thread-count invariance of the produced rows, the JSONL result store
 // (write -> read -> resume skips everything, schema versioning, canonical
-// order), sharded execution + store merge, and the store diff.
+// order), sharded execution + store merge, the store diff, and the
+// crash-safety story (atomic writes, torn-tail recovery, diagnostics).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -506,6 +508,135 @@ TEST(CampaignDiff, DetectsAddedRemovedAndChangedRows) {
   EXPECT_FALSE(diff.identical());
 
   EXPECT_TRUE(diff_result_stores(a, a).identical());
+}
+
+// --- crash-safe writes and torn-store recovery ---------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+/// Simulate an interrupted write: drop the final `bytes` bytes of `path`.
+void chop_tail(const std::string& path, std::size_t bytes) {
+  std::string content = slurp(path);
+  ASSERT_GT(content.size(), bytes);
+  content.resize(content.size() - bytes);
+  std::ofstream(path, std::ios::trunc) << content;
+}
+
+TEST(CampaignStore, TornTrailingRowStrictThrowsLenientRecovers) {
+  const std::string path = testing::TempDir() + "torn_store.jsonl";
+  std::remove(path.c_str());
+  CampaignOptions options;
+  options.threads = 2;
+  options.out_path = path;
+  run_campaign(tiny_campaign(), options);
+  const std::size_t rows = read_result_store_file(path).rows.size();
+  chop_tail(path, 10);
+
+  // Strict read: fatal, and the diagnostic names the file, the line and
+  // quotes the head of the fragment so the operator can see what tore.
+  const std::size_t last_line = rows + 1;  // line 1 is the header
+  try {
+    read_result_store_file(path);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line " + std::to_string(last_line)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find('"'), std::string::npos) << what;
+  }
+
+  // Lenient read: exactly the torn row is dropped, and the recovery
+  // record says which line so resume can report what it is re-running.
+  StoreReadRecovery recovery;
+  const ResultStore lenient = read_result_store_file(path, &recovery);
+  EXPECT_TRUE(recovery.dropped_partial);
+  EXPECT_EQ(recovery.line_no, last_line);
+  EXPECT_FALSE(recovery.snippet.empty());
+  EXPECT_EQ(lenient.rows.size(), rows - 1);
+  EXPECT_EQ(lenient.provenance, current_provenance());
+}
+
+TEST(CampaignStore, LenientReadStillRejectsMidFileCorruption) {
+  CampaignRow row;
+  row.spec = sample_spec();
+  row.fingerprint = fingerprint(row.spec);
+  // Garbage BETWEEN valid lines is corruption, not an interrupted write —
+  // leniency must not paper over it.
+  std::stringstream store(provenance_line(current_provenance()) + "\n" +
+                          "garbage mid-file\n" + row_line(row) + "\n");
+  StoreReadRecovery recovery;
+  EXPECT_THROW(read_result_store(store, &recovery), std::invalid_argument);
+  EXPECT_FALSE(recovery.dropped_partial);
+}
+
+TEST(CampaignStore, LenientReadStillRejectsSemanticallyBadLastLine) {
+  CampaignRow row;
+  row.spec = sample_spec();
+  row.fingerprint = fingerprint(row.spec);
+  // The last line PARSES but carries a future schema version: that is a
+  // real mismatch, not a torn write, and stays fatal in lenient mode.
+  std::stringstream store(provenance_line(current_provenance()) + "\n" +
+                          row_line(row) + "\n" +
+                          "{\"fp\":\"0x1\",\"result\":{},\"spec\":"
+                          "{\"algorithm\":\"KnownNNoChirality\",\"n\":6},"
+                          "\"v\":9}\n");
+  StoreReadRecovery recovery;
+  EXPECT_THROW(read_result_store(store, &recovery), std::invalid_argument);
+  EXPECT_FALSE(recovery.dropped_partial);
+}
+
+TEST(CampaignStore, ResumeRepairsATornStore) {
+  const std::string path = testing::TempDir() + "torn_resume.jsonl";
+  std::remove(path.c_str());
+  const CampaignSpec campaign = tiny_campaign();
+  CampaignOptions options;
+  options.threads = 2;
+  options.out_path = path;
+  const CampaignReport first = run_campaign(campaign, options);
+  const std::string pristine = slurp(path);
+  chop_tail(path, 10);
+
+  // Resume treats the torn row's cell as missing: it re-runs exactly that
+  // one cell and the atomic rewrite restores the original bytes.
+  options.resume = true;
+  const CampaignReport repaired = run_campaign(campaign, options);
+  EXPECT_EQ(repaired.executed, 1u);
+  EXPECT_EQ(repaired.skipped, first.total - 1);
+  EXPECT_EQ(slurp(path), pristine);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignStore, WritesAreAtomicWithNoTmpSiblings) {
+  namespace fs = std::filesystem;
+  const std::string dir = testing::TempDir() + "atomic_write_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/store.jsonl";
+
+  const std::vector<ScenarioSpec> specs = expand(tiny_campaign());
+  std::vector<CampaignRow> rows = run_scenarios(
+      std::vector<ScenarioSpec>(specs.begin(), specs.begin() + 2), 2);
+  sort_canonical(rows);
+  write_result_store(path, rows);
+
+  // The .tmp sibling the crash-safe write stages through must be gone,
+  // and the store must be the only file left.
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().string(), path);
+    EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos);
+  }
+  EXPECT_EQ(entries, 1u);
+  EXPECT_EQ(read_result_store_file(path).rows.size(), 2u);
+  fs::remove_all(dir);
 }
 
 TEST(CampaignDiff, SeparatesPresenceFromPayloadChanges) {

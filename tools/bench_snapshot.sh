@@ -16,19 +16,35 @@
 # the fresh run to the new baseline (do this when intentionally moving the
 # reference point, e.g. after a hardware change).
 #
+# --check turns the snapshot into a CI perf gate: measure, compare against
+# the committed "current" entries in BENCH_engine.json, and exit 1 if any
+# benchmark's time regressed by more than the tolerance (default 10%,
+# override with --tolerance FRAC). Check mode never rewrites the file, so
+# the committed trajectory only moves when a developer runs the snapshot
+# deliberately.
+#
 # Usage: tools/bench_snapshot.sh [--build-dir DIR] [--rebaseline]
+#                                [--check] [--tolerance FRAC]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
 REBASELINE=0
+CHECK=0
+TOLERANCE=0.10
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --rebaseline) REBASELINE=1; shift ;;
+    --check) CHECK=1; shift ;;
+    --tolerance) TOLERANCE="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+if [[ "$CHECK" == 1 && "$REBASELINE" == 1 ]]; then
+  echo "error: --check and --rebaseline are mutually exclusive" >&2
+  exit 2
+fi
 
 BIN="$BUILD_DIR/bench_engine_perf"
 if [[ ! -x "$BIN" ]]; then
@@ -51,6 +67,54 @@ trap 'rm -f "$RAW"' EXIT
   --benchmark_filter='RoundsPerSecondRaw|ManyAgentsSnapshot' \
   --benchmark_min_time=0.5 \
   --benchmark_format=json > "$RAW"
+
+if [[ "$CHECK" == 1 ]]; then
+  RAW="$RAW" OUT="$ROOT/BENCH_engine.json" TOLERANCE="$TOLERANCE" python3 - <<'EOF'
+import json, os, sys
+
+raw = json.load(open(os.environ["RAW"]))
+out_path = os.environ["OUT"]
+tolerance = float(os.environ["TOLERANCE"])
+
+if not os.path.exists(out_path):
+    sys.exit(f"error: --check needs a committed {out_path} to compare against")
+committed = json.load(open(out_path)).get("current", {})
+
+fresh = {
+    b["name"]: b["real_time"]
+    for b in raw["benchmarks"]
+    if "real_time" in b
+}
+
+shared = sorted(set(fresh) & set(committed))
+if not shared:
+    sys.exit(
+        "error: no benchmark names in common between the run and "
+        f"{out_path} (run: {sorted(fresh) or 'nothing'})"
+    )
+
+regressed = []
+print(f"perf gate: tolerance {tolerance:.0%} vs committed {out_path}")
+for name in shared:
+    recorded = committed[name]["real_time_ns"]
+    measured = fresh[name]
+    ratio = measured / recorded if recorded > 0 else float("inf")
+    verdict = "OK" if ratio <= 1.0 + tolerance else "REGRESSED"
+    print(f"  {name}: {measured:.0f}ns vs {recorded:.0f}ns recorded "
+          f"({ratio:.2f}x) {verdict}")
+    if verdict != "OK":
+        regressed.append(name)
+
+if regressed:
+    sys.exit(
+        f"error: {len(regressed)} benchmark(s) regressed more than "
+        f"{tolerance:.0%}: {', '.join(regressed)} — fix the hot path, or "
+        "re-run tools/bench_snapshot.sh to move the trajectory deliberately"
+    )
+print("perf gate passed")
+EOF
+  exit 0
+fi
 
 RAW="$RAW" OUT="$ROOT/BENCH_engine.json" REBASELINE="$REBASELINE" python3 - <<'EOF'
 import json, os, sys

@@ -17,12 +17,21 @@
 // row (the cross-commit regression workflow), reporting rows present in
 // only one store separately from rows whose payload changed.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 #include "core/campaign.hpp"
+#include "core/orchestrate.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -45,12 +54,19 @@ util::FlagTable flag_table() {
       .flag("dry-run", "", "print the shard's scenario list, fingerprint "
                            "range and store path; run nothing")
       .flag("shard", "i/m", "run only cells with fingerprint % m == i")
+      .flag("progress", "FILE", "heartbeat file rewritten as \"done total\" "
+                                "after every cell (liveness for "
+                                "dring_orchestrate)")
       .flag("merge", "FILE", "union partial stores losslessly (conflicts "
                              "are an error)")
       .flag("diff", "FILE", "compare two stores row by row")
       .flag("help", "", "print this help")
       .note("stores are canonical JSONL: bytes identical for any --threads "
-            "and any shard split (see README \"Campaign subsystem\")");
+            "and any shard split (see README \"Campaign subsystem\")")
+      .note("env " + std::string(dring::core::kFaultInjectEnv) +
+            "=crash:p,hang:p,trunc:p (+ _SEED, _ATTEMPT) arms the "
+            "deterministic fault-injection harness (CI / orchestrator "
+            "testing only)");
   return flags;
 }
 
@@ -204,6 +220,50 @@ int main(int argc, char** argv) {
               << cli.get("shard", "") << "\n";
     return 2;
   }
+  options.progress_path = cli.get("progress", "");
+
+  // Deterministic fault-injection harness (orchestrator/CI testing): the
+  // DRING_FAULT_* env vars arm a crash / hang / torn-store fault for this
+  // attempt, drawn purely from (seed, shard, attempt) — see
+  // core/orchestrate.hpp.  Crash and hang fire mid-sweep (after half the
+  // cells) so the failure happens while work is in flight; trunc fires
+  // after the store write, simulating output torn in transit.
+  core::FaultKind fault = core::FaultKind::None;
+  int fault_attempt = 1;
+  if (const char* inject = std::getenv(core::kFaultInjectEnv);
+      inject && *inject) {
+    std::uint64_t fault_seed = 0;
+    if (const char* s = std::getenv(core::kFaultSeedEnv))
+      fault_seed = std::strtoull(s, nullptr, 0);
+    if (const char* a = std::getenv(core::kFaultAttemptEnv))
+      fault_attempt = std::atoi(a);
+    core::FaultPlan plan;
+    try {
+      plan = core::parse_fault_plan(inject, fault_seed);
+    } catch (const std::exception& e) {
+      std::cerr << "bad " << core::kFaultInjectEnv << ": " << e.what() << "\n";
+      return 2;
+    }
+    fault = core::fault_draw(
+        plan, static_cast<std::uint64_t>(options.shard_index), fault_attempt);
+    if (fault != core::FaultKind::None)
+      std::cerr << "fault injection armed: " << core::to_string(fault)
+                << " (shard " << options.shard_index << ", attempt "
+                << fault_attempt << ")\n";
+    if (fault == core::FaultKind::Crash || fault == core::FaultKind::Hang) {
+      const bool hang = fault == core::FaultKind::Hang;
+      options.on_progress = [hang](std::size_t done, std::size_t total) {
+        if (done < std::max<std::size_t>(1, total / 2)) return;
+        if (hang) {
+          // Stop making progress without exiting: the heartbeat goes
+          // stale and the supervisor must notice and kill us.
+          std::this_thread::sleep_for(std::chrono::hours(1));
+          std::_Exit(core::kFaultExitCrash);
+        }
+        std::_Exit(core::kFaultExitCrash);  // no store write, no cleanup
+      };
+    }
+  }
 
   if (cli.get_bool("dry-run", false)) {
     const auto specs = core::shard_filter(core::expand(campaign),
@@ -254,6 +314,45 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "campaign failed: " << e.what() << "\n";
     return 1;
+  }
+
+  if (report.recovery.dropped_partial)
+    std::cerr << "note: " << options.out_path << " line "
+              << report.recovery.line_no
+              << " was a torn trailing row (interrupted write): "
+              << report.recovery.snippet
+              << " — dropped it and re-ran that cell\n";
+
+  // Injected torn output: tear the freshly-written store mid-row and die
+  // non-zero, as if the process had been killed while its bytes were in
+  // transit.  The next attempt's --resume must recover (drop the torn
+  // row, re-run exactly that cell).
+  if (fault == core::FaultKind::Trunc && !options.out_path.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const auto size = fs::file_size(options.out_path, ec);
+    // Find the last line's length so the cut always lands inside it, and
+    // only tear actual rows — never the provenance header (a headerless
+    // store is unrecoverable corruption, not a torn tail).
+    std::size_t last_len = 0, lines = 0;
+    {
+      std::ifstream in(options.out_path);
+      std::string line;
+      while (std::getline(in, line)) {
+        last_len = line.size();
+        ++lines;
+      }
+    }
+    if (!ec && lines >= 2 && last_len > 2) {
+      const std::uint64_t cut =
+          2 + static_cast<std::uint64_t>(
+                  13 * options.shard_index + 7 * fault_attempt) %
+                  std::min<std::uint64_t>(last_len - 1, 39);
+      fs::resize_file(options.out_path, size - cut, ec);
+      std::cerr << "fault injection: tore " << cut << " bytes off "
+                << options.out_path << "\n";
+    }
+    std::_Exit(core::kFaultExitTrunc);
   }
 
   std::cout << "campaign '" << campaign.name << "': " << report.total
