@@ -13,6 +13,7 @@
 #include <unistd.h>
 #endif
 
+#include "core/telemetry.hpp"
 #include "core/version.hpp"
 
 namespace dring::core {
@@ -376,10 +377,17 @@ StoreRunResult run_with_store(
     std::ifstream in(store_path);
     if (in) {
       had_store_file = true;
+      const long long read_t0 =
+          telemetry().enabled() ? telemetry_now_us() : 0;
       // Lenient about a torn trailing row: that cell is simply missing
       // from `existing`, so it re-runs below and the rewrite replaces the
       // fragment with a whole row.
       ResultStore prior = read_result_store(in, &recovery);
+      if (telemetry().enabled())
+        telemetry()
+            .metrics()
+            .histogram("campaign.store_read_us", telemetry_time_bounds())
+            .observe(telemetry_now_us() - read_t0);
       if (!(prior.provenance == current_provenance()))
         throw std::runtime_error(
             "refusing to resume " + store_path + ": it was written by " +
@@ -419,14 +427,23 @@ StoreRunResult run_with_store(
   // only for a zero-cell shard), so supervisors can treat "worker exited
   // 0 but no store" as a failure instead of a mystery.  A dropped torn
   // row also forces the rewrite even when its cell was the only work.
+  const long long write_t0 = telemetry().enabled() ? telemetry_now_us() : 0;
+  bool wrote = false;
   if (with_store && !result.rows.empty()) {
     std::vector<CampaignRow> out = existing;
     out.insert(out.end(), result.rows.begin(), result.rows.end());
     write_result_store(store_path, std::move(out));
+    wrote = true;
   } else if (with_store &&
              (!resume || !had_store_file || recovery.dropped_partial)) {
     write_result_store(store_path, std::move(existing));
+    wrote = true;
   }
+  if (wrote && telemetry().enabled())
+    telemetry()
+        .metrics()
+        .histogram("campaign.store_write_us", telemetry_time_bounds())
+        .observe(telemetry_now_us() - write_t0);
   return result;
 }
 
@@ -452,6 +469,13 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
     if (options.on_progress) options.on_progress(done, total);
   };
 
+  const bool telem = telemetry().enabled();
+  Telemetry::Span run_span =
+      telemetry().span("campaign.run",
+                       {{"cells", std::to_string(mine.size())},
+                        {"shard", std::to_string(options.shard_index)}});
+  const long long run_t0 = telem ? telemetry_now_us() : 0;
+
   StoreRunResult result = run_with_store(
       fingerprints, options.out_path, options.resume,
       [&](const std::vector<std::size_t>& todo) {
@@ -461,6 +485,18 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
         if (!specs.empty()) beat(0, specs.size());
         return run_scenarios(specs, options.threads, beat);
       });
+
+  if (telem) {
+    util::MetricsRegistry& m = telemetry().metrics();
+    m.counter("campaign.cells_executed").add(
+        static_cast<long long>(result.rows.size()));
+    m.counter("campaign.resume_hits").add(
+        static_cast<long long>(result.skipped));
+    const long long run_us = std::max(1LL, telemetry_now_us() - run_t0);
+    m.gauge("campaign.cells_per_sec")
+        .set(static_cast<double>(result.rows.size()) * 1e6 /
+             static_cast<double>(run_us));
+  }
 
   CampaignReport report;
   report.total = all.size();

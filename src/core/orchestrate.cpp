@@ -13,6 +13,7 @@
 
 #include "core/campaign.hpp"
 #include "core/sweep.hpp"
+#include "core/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/subprocess.hpp"
 
@@ -210,9 +211,10 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
     throw std::invalid_argument(
         "orchestrate: shards, workers and max-attempts must all be >= 1");
   const std::string campaign_name = campaign_name_of(options.spec_path);
-  // Validate the injection spec up front — a typo must fail the dispatch,
+  // Parse the injection spec up front — a typo must fail the dispatch,
   // not be discovered worker by worker.
-  (void)parse_fault_plan(options.inject, options.inject_seed);
+  const FaultPlan fault_plan =
+      parse_fault_plan(options.inject, options.inject_seed);
 
   std::string binary = options.campaign_binary;
   if (binary.empty()) {
@@ -226,8 +228,24 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
 
   fs::create_directories(options.work_dir);
 
+  // Log stamps use the telemetry clock, so the supervisor narrative lines
+  // up with the event timestamps in the sidecar.
   const auto say = [&](const std::string& line) {
-    if (log) *log << "[orchestrate] " << line << "\n";
+    if (!log) return;
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "+%.3fs",
+                  static_cast<double>(telemetry_now_us()) / 1e6);
+    *log << "[orchestrate " << stamp << "] " << line << "\n";
+  };
+
+  // Supervisor-side event shorthand: every label is a deterministic
+  // function of the fault schedule (no wall times), so the per-shard
+  // event sequence — and with it the rendered timeline — is reproducible.
+  const auto note = [&](const std::string& name, int shard,
+                        std::map<std::string, std::string> labels = {}) {
+    if (!telemetry().enabled()) return;
+    labels["shard"] = std::to_string(shard);
+    telemetry().event("orchestrate." + name, std::move(labels));
   };
 
   std::vector<ShardSlot> slots(static_cast<std::size_t>(options.shards));
@@ -273,6 +291,7 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
                   {kFaultSeedEnv, std::to_string(options.inject_seed)},
                   {kFaultAttemptEnv, std::to_string(attempt_no)}};
     }
+    if (options.telemetry) spec.argv.push_back("--telemetry");
     spec.output_path = store + ".attempt" + std::to_string(attempt_no) + ".log";
     RunningAttempt attempt;
     attempt.shard = shard;
@@ -280,6 +299,19 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
     attempt.speculative = speculative;
     attempt.proc = util::Subprocess::spawn(spec);
     attempt.started = Clock::now();
+    {
+      // The dispatch event predicts the worker's fault draw — supervisor
+      // and worker compute the same schedule from (seed, shard, attempt).
+      std::map<std::string, std::string> labels = {
+          {"attempt", std::to_string(attempt_no)}};
+      if (speculative) labels["speculative"] = "1";
+      if (fault_plan.any())
+        labels["fault"] = to_string(fault_draw(
+            fault_plan, static_cast<std::uint64_t>(shard), attempt_no));
+      note("dispatch", shard, std::move(labels));
+      if (telemetry().enabled())
+        telemetry().metrics().counter("orchestrate.dispatches").add(1);
+    }
     say("shard " + std::to_string(shard) + "/" +
         std::to_string(options.shards) + " attempt " +
         std::to_string(attempt_no) +
@@ -293,7 +325,11 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
     if (slot.completed) return;  // a sibling already won; nothing failed
     ++slot.failures;
     slot.last_error = why;
+    if (telemetry().enabled())
+      telemetry().metrics().counter("orchestrate.failures").add(1);
     if (slot.failures >= options.max_attempts) {
+      note("give_up", shard,
+           {{"failures", std::to_string(slot.failures)}, {"why", why}});
       say("shard " + std::to_string(shard) + " attempt failed (" + why +
           "); retry cap " + std::to_string(options.max_attempts) +
           " reached, giving up");
@@ -302,6 +338,11 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
     const long long delay =
         options.backoff.delay_ms(shard, slot.failures + 1);
     slot.ready_at = Clock::now() + std::chrono::milliseconds(delay);
+    note("retry", shard, {{"delay_ms", std::to_string(delay)},
+                          {"next_attempt", std::to_string(slot.failures + 1)},
+                          {"why", why}});
+    if (telemetry().enabled())
+      telemetry().metrics().counter("orchestrate.retries").add(1);
     say("shard " + std::to_string(shard) + " attempt failed (" + why +
         "); retry " + std::to_string(slot.failures + 1) + "/" +
         std::to_string(options.max_attempts) + " in " +
@@ -337,6 +378,13 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
     slot.completed = true;
     slot.duration_s = elapsed_s;
     durations.push_back(elapsed_s);
+    note("shard_complete", attempt.shard,
+         {{"attempt", std::to_string(attempt.attempt_no)}});
+    if (telemetry().enabled())
+      telemetry()
+          .metrics()
+          .histogram("orchestrate.attempt_us", telemetry_time_bounds())
+          .observe(static_cast<long long>(elapsed_s * 1e6));
     say("shard " + std::to_string(attempt.shard) + " completed in " +
         std::to_string(elapsed_s) + "s (attempt " +
         std::to_string(attempt.attempt_no) + ")");
@@ -357,6 +405,10 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
       const double elapsed = seconds_between(attempt.started, now);
       if (!attempt.proc.running()) {
         const int code = attempt.proc.exit_code();
+        if (!slot.completed)
+          note("worker_exit", attempt.shard,
+               {{"attempt", std::to_string(attempt.attempt_no)},
+                {"code", std::to_string(code)}});
         if (slot.completed) {
           // sibling won earlier (or we killed it); drop silently
         } else if (code == 0) {
@@ -374,6 +426,11 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
           elapsed > options.timeout_s) {
         attempt.proc.kill_hard();
         attempt.proc.exit_code_blocking();
+        note("kill", attempt.shard,
+             {{"attempt", std::to_string(attempt.attempt_no)},
+              {"reason", "timeout"}});
+        if (telemetry().enabled())
+          telemetry().metrics().counter("orchestrate.kills").add(1);
         handle_failure(attempt.shard,
                        "timeout after " + std::to_string(options.timeout_s) +
                            "s, killed");
@@ -390,6 +447,11 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
         if (heartbeat_age_s(progress) > options.stale_s) {
           attempt.proc.kill_hard();
           attempt.proc.exit_code_blocking();
+          note("kill", attempt.shard,
+               {{"attempt", std::to_string(attempt.attempt_no)},
+                {"reason", "stale_heartbeat"}});
+          if (telemetry().enabled())
+            telemetry().metrics().counter("orchestrate.kills").add(1);
           handle_failure(attempt.shard,
                          "heartbeat stale for > " +
                              std::to_string(options.stale_s) + "s, killed");
@@ -446,6 +508,11 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
             if (a.shard != shard) continue;
             if (seconds_between(a.started, now) > limit) {
               slot.speculated = true;
+              note("speculate", shard,
+                   {{"against_attempt", std::to_string(a.attempt_no)}});
+              if (telemetry().enabled())
+                telemetry().metrics().counter("orchestrate.speculations")
+                    .add(1);
               say("shard " + std::to_string(shard) + " is a straggler (> " +
                   std::to_string(limit) + "s); speculating");
               launch(shard, /*speculative=*/true);
@@ -505,6 +572,11 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
       result.merged_rows = out.rows.size();
       write_result_store(options.out_path, std::move(out));
       result.merged_path = options.out_path;
+      telemetry().event(
+          "orchestrate.merge",
+          {{"rows", std::to_string(result.merged_rows)},
+           {"shards_merged",
+            std::to_string(options.shards - result.missing.size())}});
       say("merged " + std::to_string(options.shards - result.missing.size()) +
           "/" + std::to_string(options.shards) + " shards, " +
           std::to_string(result.merged_rows) + " rows -> " +

@@ -150,6 +150,11 @@ struct OrchestrateOptions {
   std::uint64_t inject_seed = 0;
   /// Worker binary; empty = "dring_campaign" next to this executable.
   std::string campaign_binary;
+  /// Forward --telemetry to every worker, so each shard attempt writes
+  /// its own `<store>.events.jsonl` / `<store>.metrics.json` sidecars.
+  /// The supervisor's own events go to the global core::telemetry()
+  /// whenever the caller enabled it — this flag only controls workers.
+  bool telemetry = false;
 };
 
 /// Where shard `index`'s store lives under `options.work_dir`.

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "core/telemetry.hpp"
+
 namespace dring::core {
 
 int resolve_threads(const SweepOptions& options) {
@@ -77,6 +79,17 @@ SweepRun execute_task(const ScenarioTask& task) {
   run.result = engine->run(task.cfg.stop);
   adversary->report_metrics(run.result.adversary_metrics);
   if (task.cfg.engine.record_trace) run.trace = engine->take_trace();
+  if (telemetry().enabled()) {
+    // Fold the engine's plain counters into the global registry once per
+    // run — the engine itself never touches telemetry, so its hot paths
+    // stay inside the CI perf gate.
+    const sim::Engine::PerfCounters& pc = engine->perf_counters();
+    util::MetricsRegistry& m = telemetry().metrics();
+    m.counter("engine.rounds").add(run.result.rounds);
+    m.counter("engine.snapshots").add(pc.snapshots);
+    m.counter("engine.probe_calls").add(pc.probe_calls);
+    m.counter("engine.probe_hits").add(pc.probe_hits);
+  }
   return run;
 }
 
@@ -97,13 +110,45 @@ std::vector<SweepRun> run_sweep_runs(const std::vector<ScenarioTask>& tasks,
   if (tasks.empty()) return runs;
   std::mutex done_mutex;
   std::size_t done = 0;
-  parallel_for(tasks.size(), resolve_threads(options), [&](std::size_t i) {
+  const int threads = resolve_threads(options);
+  const bool telem = telemetry().enabled();
+  const long long pool_t0 = telem ? telemetry_now_us() : 0;
+  std::atomic<long long> busy_us{0};
+  parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    long long task_t0 = 0;
+    if (telem) {
+      task_t0 = telemetry_now_us();
+      // Queue wait: how long the task sat in the pool's implicit queue
+      // before a worker picked it up.
+      telemetry()
+          .metrics()
+          .histogram("sweep.queue_wait_us", telemetry_time_bounds())
+          .observe(task_t0 - pool_t0);
+    }
     runs[i] = execute_task(tasks[i]);
+    if (telem) {
+      const long long task_us = telemetry_now_us() - task_t0;
+      util::MetricsRegistry& m = telemetry().metrics();
+      m.histogram("sweep.task_us", telemetry_time_bounds()).observe(task_us);
+      m.counter("sweep.tasks").add(1);
+      busy_us.fetch_add(task_us, std::memory_order_relaxed);
+    }
     if (options.on_task_done) {
       std::lock_guard<std::mutex> lock(done_mutex);
       options.on_task_done(++done, tasks.size());
     }
   });
+  if (telem) {
+    // Busy time over worker-seconds available: 1.0 = every worker ran
+    // tasks the whole time.
+    const long long wall_us =
+        std::max(1LL, telemetry_now_us() - pool_t0);
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), tasks.size()));
+    telemetry().metrics().gauge("sweep.utilization").set(
+        static_cast<double>(busy_us.load()) /
+        (static_cast<double>(wall_us) * std::max(1, workers)));
+  }
   return runs;
 }
 

@@ -1,0 +1,374 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dring::core {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= g_log_level.load(std::memory_order_relaxed);
+}
+
+LogLevel log_level_from_cli(const util::Cli& cli) {
+  if (cli.get_bool("quiet", false)) return LogLevel::kQuiet;
+  if (cli.get_bool("verbose", false)) return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+util::FlagTable& add_log_flags(util::FlagTable& flags) {
+  return flags.flag("quiet", "", "errors only on stderr")
+      .flag("verbose", "", "per-decision debug logging on stderr");
+}
+
+long long telemetry_now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               start)
+      .count();
+}
+
+const std::vector<long long>& telemetry_time_bounds() {
+  static const std::vector<long long> bounds =
+      util::Histogram::exponential_bounds(64, 25);
+  return bounds;
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (!log_enabled(level)) return;
+  const double t_s = static_cast<double>(telemetry_now_us()) / 1e6;
+  std::fprintf(stderr, "[+%8.3fs] %s\n", t_s, message.c_str());
+}
+
+// --- events ------------------------------------------------------------------
+
+util::Json to_json(const TelemetryEvent& event) {
+  util::Json labels{util::Json::Object{}};
+  for (const auto& [key, value] : event.labels) labels.set(key, value);
+  util::Json j;
+  j.set("kind", event.kind);
+  j.set("labels", std::move(labels));
+  j.set("name", event.name);
+  j.set("seq", event.seq);
+  j.set("t_us", event.t_us);
+  return j;
+}
+
+TelemetryEvent telemetry_event_from_json(const util::Json& j) {
+  TelemetryEvent event;
+  event.seq = j.at("seq").as_int();
+  event.t_us = j.at("t_us").as_int();
+  event.name = j.at("name").as_string();
+  event.kind = j.at("kind").as_string();
+  if (j.has("labels"))
+    for (const auto& [key, value] : j.at("labels").as_object())
+      event.labels[key] = value.as_string();
+  return event;
+}
+
+// --- Telemetry ---------------------------------------------------------------
+
+bool Telemetry::enabled() const {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void Telemetry::enable(const std::string& base) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  base_ = base;
+  events_.close();
+  events_.clear();
+  events_.open(base + ".events.jsonl", std::ios::trunc);
+  if (!events_)
+    throw std::runtime_error("telemetry: cannot open " + base +
+                             ".events.jsonl");
+  seq_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Telemetry::shutdown() {
+  if (!enabled()) return;
+  write_metrics();
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  events_.flush();
+  events_.close();
+  metrics_.clear();
+  base_.clear();
+}
+
+void Telemetry::emit(const std::string& kind, const std::string& name,
+                     const std::map<std::string, std::string>& labels) {
+  TelemetryEvent event;
+  event.t_us = telemetry_now_us();
+  event.name = name;
+  event.kind = kind;
+  event.labels = labels;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!events_.is_open()) return;
+  event.seq = seq_++;
+  events_ << to_json(event).dump() << '\n';
+  // Events survive a later crash/kill of this process: the orchestrator's
+  // post-mortem is exactly when the log matters most.
+  events_.flush();
+}
+
+void Telemetry::event(const std::string& name,
+                      std::map<std::string, std::string> labels) {
+  if (!enabled()) return;
+  emit("point", name, labels);
+}
+
+Telemetry::Span::Span(Telemetry& telemetry, std::string name,
+                      std::map<std::string, std::string> labels)
+    : telemetry_(telemetry.enabled() ? &telemetry : nullptr),
+      name_(std::move(name)),
+      labels_(std::move(labels)) {
+  if (!telemetry_) return;
+  t0_us_ = telemetry_now_us();
+  telemetry_->emit("begin", name_, labels_);
+}
+
+Telemetry::Span::~Span() {
+  if (!telemetry_) return;
+  auto labels = labels_;
+  labels["duration_us"] = std::to_string(telemetry_now_us() - t0_us_);
+  telemetry_->emit("end", name_, labels);
+}
+
+Telemetry::Span Telemetry::span(const std::string& name,
+                                std::map<std::string, std::string> labels) {
+  return Span(*this, name, std::move(labels));
+}
+
+void Telemetry::write_metrics() {
+  if (!enabled()) return;
+  const std::string body = metrics_.snapshot_json().dump();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream out(base_ + ".metrics.json", std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("telemetry: cannot open " + base_ +
+                             ".metrics.json");
+  out << body << '\n';
+}
+
+std::string Telemetry::events_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return base_.empty() ? std::string() : base_ + ".events.jsonl";
+}
+
+std::string Telemetry::metrics_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return base_.empty() ? std::string() : base_ + ".metrics.json";
+}
+
+Telemetry& telemetry() {
+  static Telemetry instance;
+  return instance;
+}
+
+// --- rendering ---------------------------------------------------------------
+
+std::vector<TelemetryEvent> read_events_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open event log: " + path);
+  std::vector<TelemetryEvent> events;
+  std::string line;
+  long long line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      events.push_back(telemetry_event_from_json(util::Json::parse(line)));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(path + ":" + std::to_string(line_no) +
+                                  ": bad event line: " + e.what());
+    }
+  }
+  return events;
+}
+
+namespace {
+
+/// "2" < "10" when both labels are numeric; lexicographic otherwise.
+bool shard_key_less(const std::string& a, const std::string& b) {
+  const bool a_num = !a.empty() && a.find_first_not_of("0123456789") ==
+                                       std::string::npos;
+  const bool b_num = !b.empty() && b.find_first_not_of("0123456789") ==
+                                       std::string::npos;
+  if (a_num && b_num) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  }
+  if (a_num != b_num) return a_num;  // numeric shards before named ones
+  return a < b;
+}
+
+std::string format_event_line(const TelemetryEvent& event, bool with_times,
+                              const std::string& skip_label) {
+  std::string line = "- ";
+  if (with_times) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "[+%.3fs] ",
+                  static_cast<double>(event.t_us) / 1e6);
+    line += stamp;
+  }
+  if (event.kind != "point") line += "[" + event.kind + "] ";
+  line += event.name;
+  for (const auto& [key, value] : event.labels) {
+    if (key == skip_label) continue;
+    // Span durations are wall-clock and vary run to run; keep the default
+    // rendering byte-stable for a fixed fault schedule.
+    if (!with_times && key == "duration_us") continue;
+    line += " " + key + "=" + value;
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string render_timeline(const std::vector<TelemetryEvent>& events,
+                            bool with_times) {
+  // Group by shard label; emission order (seq) within each group is a pure
+  // function of the fault schedule, even though the cross-shard
+  // interleaving is not.
+  std::vector<const TelemetryEvent*> run_events;
+  std::map<std::string, std::vector<const TelemetryEvent*>, decltype(
+                                                                &shard_key_less)>
+      by_shard(&shard_key_less);
+  for (const auto& event : events) {
+    const auto it = event.labels.find("shard");
+    if (it == event.labels.end())
+      run_events.push_back(&event);
+    else
+      by_shard[it->second].push_back(&event);
+  }
+  const auto by_seq = [](const TelemetryEvent* a, const TelemetryEvent* b) {
+    return a->seq < b->seq;
+  };
+  std::sort(run_events.begin(), run_events.end(), by_seq);
+
+  std::string out = "# timeline\n";
+  if (!run_events.empty()) {
+    out += "\n## run\n\n";
+    for (const auto* event : run_events)
+      out += format_event_line(*event, with_times, "") + "\n";
+  }
+  for (auto& [shard, shard_events] : by_shard) {
+    std::sort(shard_events.begin(), shard_events.end(), by_seq);
+    out += "\n## shard " + shard + "\n\n";
+    for (const auto* event : shard_events)
+      out += format_event_line(*event, with_times, "shard") + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_metrics_summary(const util::Json& metrics) {
+  std::string out = "# metrics\n";
+
+  const util::Json empty{util::Json::Object{}};
+  const util::Json& counters =
+      metrics.has("counters") ? metrics.at("counters") : empty;
+  const util::Json& gauges =
+      metrics.has("gauges") ? metrics.at("gauges") : empty;
+  const util::Json& histograms =
+      metrics.has("histograms") ? metrics.at("histograms") : empty;
+
+  if (!counters.as_object().empty()) {
+    out += "\n## counters\n\n| counter | value |\n|---|---|\n";
+    for (const auto& [name, value] : counters.as_object())
+      out += "| " + name + " | " + std::to_string(value.as_int()) + " |\n";
+  }
+  if (!gauges.as_object().empty()) {
+    out += "\n## gauges\n\n| gauge | value |\n|---|---|\n";
+    for (const auto& [name, value] : gauges.as_object())
+      out += "| " + name + " | " + format_double(value.as_double()) + " |\n";
+  }
+  if (!histograms.as_object().empty()) {
+    out += "\n## histograms\n\n| histogram | count | sum | mean |\n"
+           "|---|---|---|---|\n";
+    for (const auto& [name, h] : histograms.as_object()) {
+      const long long count = h.get_int("count", 0);
+      const long long sum = h.get_int("sum", 0);
+      const std::string mean =
+          count > 0 ? format_double(static_cast<double>(sum) /
+                                    static_cast<double>(count))
+                    : "-";
+      out += "| " + name + " | " + std::to_string(count) + " | " +
+             std::to_string(sum) + " | " + mean + " |\n";
+    }
+  }
+
+  // Derived rates, when their inputs were instrumented.
+  std::string derived;
+  const long long probe_calls = counters.get_int("engine.probe_calls", 0);
+  const long long probe_hits = counters.get_int("engine.probe_hits", 0);
+  if (probe_calls > 0)
+    derived += "| engine probe-memo hit rate | " +
+               format_double(100.0 * static_cast<double>(probe_hits) /
+                             static_cast<double>(probe_calls)) +
+               "% |\n";
+  const long long resume_hits = counters.get_int("campaign.resume_hits", 0);
+  const long long cells = counters.get_int("campaign.cells_executed", 0);
+  if (resume_hits + cells > 0)
+    derived += "| campaign resume-cache hit rate | " +
+               format_double(100.0 * static_cast<double>(resume_hits) /
+                             static_cast<double>(resume_hits + cells)) +
+               "% |\n";
+  if (!derived.empty())
+    out += "\n## derived\n\n| quantity | value |\n|---|---|\n" + derived;
+  return out;
+}
+
+std::string render_bench_trend(const util::Json& bench) {
+  const util::Json empty{util::Json::Object{}};
+  const util::Json& baseline =
+      bench.has("baseline") ? bench.at("baseline") : empty;
+  const util::Json& current = bench.has("current") ? bench.at("current") : empty;
+  const util::Json& speedup =
+      bench.has("speedup_vs_baseline") ? bench.at("speedup_vs_baseline") : empty;
+
+  std::string out =
+      "# engine perf trend\n\n"
+      "| benchmark | baseline ns | current ns | speedup |\n"
+      "|---|---|---|---|\n";
+  for (const auto& [name, cur] : current.as_object()) {
+    const double cur_ns = cur.get_double("real_time_ns", 0.0);
+    std::string base_ns = "-";
+    if (baseline.has(name))
+      base_ns = format_double(baseline.at(name).get_double("real_time_ns", 0.0));
+    std::string speed = "-";
+    if (speedup.has(name))
+      speed = format_double(speedup.at(name).as_double()) + "x";
+    out += "| " + name + " | " + base_ns + " | " + format_double(cur_ns) +
+           " | " + speed + " |\n";
+  }
+  return out;
+}
+
+}  // namespace dring::core

@@ -108,6 +108,7 @@ void Engine::mark_visited(NodeId v) {
 }
 
 agent::Snapshot Engine::make_snapshot(AgentId a) const {
+  ++perf_counters_.snapshots;
   const AgentBody& self = bodies_[a];
   const NodeOccupancy& occ = occupancy_[static_cast<std::size_t>(self.node)];
   agent::Snapshot snap;
@@ -145,8 +146,11 @@ void Engine::try_acquire(const PortRef& port, AgentId a) {
 agent::Intent Engine::probe_intent(AgentId a) const {
   const AgentBody& body = bodies_[a];
   if (body.terminated) return agent::Intent::stay();
+  ++perf_counters_.probe_calls;
   ProbeEntry& entry = probe_cache_[static_cast<std::size_t>(a)];
-  if (entry.version != state_version_) {
+  if (entry.version == state_version_) {
+    ++perf_counters_.probe_hits;
+  } else {
     auto clone = brains_[a]->clone();
     entry.intent = clone->on_activate(make_snapshot(a), body.outcome);
     entry.version = state_version_;

@@ -174,6 +174,18 @@ class Engine {
   /// agent repeatedly within one decision pay for one clone.
   agent::Intent probe_intent(AgentId a) const;
 
+  /// Plain tallies of snapshot/probe-memo activity.  Deliberately not
+  /// atomics and not gated on telemetry: a bare increment is cheaper than
+  /// the branch that would skip it, which keeps the hot paths inside the
+  /// CI perf gate.  The sweep layer folds these into the global telemetry
+  /// registry once per run.
+  struct PerfCounters {
+    long long snapshots = 0;    ///< make_snapshot calls
+    long long probe_calls = 0;  ///< probe_intent calls
+    long long probe_hits = 0;   ///< probe calls served from the memo
+  };
+  const PerfCounters& perf_counters() const { return perf_counters_; }
+
  private:
   friend class WorldView;
 
@@ -239,6 +251,7 @@ class Engine {
     agent::Intent intent;
   };
   mutable std::vector<ProbeEntry> probe_cache_;
+  mutable PerfCounters perf_counters_;  ///< bumped inside const hot paths
 
   // --- per-round scratch, reused across rounds ------------------------------
   // Sized once (per agent count); steady-state rounds allocate nothing.

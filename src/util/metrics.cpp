@@ -1,0 +1,137 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dring::util {
+
+Histogram::Histogram(std::vector<long long> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument(
+          "histogram: bounds must be strictly increasing (bound " +
+          std::to_string(bounds_[i]) + " after " +
+          std::to_string(bounds_[i - 1]) + ")");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::size_t Histogram::bucket_index(long long value) const {
+  // First bound >= value (buckets are upper-inclusive, Prometheus "le"
+  // style); everything above the last bound lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(long long value) {
+  const std::size_t bucket = bucket_index(value);
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_[bucket] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+std::vector<long long> Histogram::exponential_bounds(long long start,
+                                                     int count) {
+  if (start < 1 || count < 1)
+    throw std::invalid_argument("histogram: exponential_bounds needs "
+                                "start >= 1 and count >= 1");
+  std::vector<long long> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  long long bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    if (bound > (1LL << 61)) break;  // saturate before doubling overflows
+    bound *= 2;
+  }
+  return bounds;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  return snap;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) || histograms_.count(name))
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with another type");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || histograms_.count(name))
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with another type");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<long long>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || gauges_.count(name))
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with another type");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+Json MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Empty sections still render as {} so the snapshot shape is constant.
+  Json counters{Json::Object{}};
+  for (const auto& [name, counter] : counters_)
+    counters.set(name, counter->value());
+  Json gauges{Json::Object{}};
+  for (const auto& [name, gauge] : gauges_) gauges.set(name, gauge->value());
+  Json histograms{Json::Object{}};
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    Json::Array buckets;
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      Json bucket;
+      bucket.set("count", snap.counts[i]);
+      // The overflow bucket's bound is the string "inf": keeping the value
+      // integral elsewhere means no float formatting anywhere in the
+      // histogram section.
+      if (i < snap.bounds.size())
+        bucket.set("le", snap.bounds[i]);
+      else
+        bucket.set("le", "inf");
+      buckets.push_back(std::move(bucket));
+    }
+    Json h;
+    h.set("buckets", Json(std::move(buckets)));
+    h.set("count", snap.count);
+    h.set("sum", snap.sum);
+    histograms.set(name, std::move(h));
+  }
+  Json j;
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace dring::util

@@ -1,0 +1,127 @@
+// Dependency-free runtime metrics: counters, gauges and fixed-bucket
+// histograms behind one registry.
+//
+// The telemetry layer (core/telemetry.hpp) snapshots the registry into a
+// sidecar JSON file next to a result store.  Two design rules keep those
+// snapshots diffable and machine-checkable:
+//
+//   * bucket layouts are fixed at creation (explicit integral upper
+//     bounds, no adaptive resizing), so two runs that observed the same
+//     values produce byte-identical histogram sections;
+//   * everything countable is integral (counters, histogram bounds,
+//     counts and sums), so no floating-point formatting or summation
+//     order can wobble the bytes.  Gauges are the one double-valued
+//     exception — they hold genuinely continuous readings (utilization,
+//     cells/sec) that vary run to run anyway.
+//
+// Metrics are process-global by design (see core::telemetry()): the
+// instrumented layers — engine, sweep pool, campaign store, orchestrator —
+// sit several call frames apart, and threading a registry through every
+// signature would tax exactly the hot paths telemetry must not slow down.
+// All mutation is thread-safe; counters are lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace dring::util {
+
+/// Monotonically increasing integral count (events, cells, retries).
+class Counter {
+ public:
+  void add(long long n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Last-write-wins continuous reading (utilization, cells/sec).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over integral values (typically microseconds).
+/// Bucket i counts observations with value <= bounds[i] (and greater than
+/// bounds[i-1]); one implicit overflow bucket catches everything above the
+/// last bound.  Bounds are strictly increasing and immutable, so the
+/// snapshot layout is a pure function of the declaration.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument when `bounds` is empty or not strictly
+  /// increasing.
+  explicit Histogram(std::vector<long long> bounds);
+
+  void observe(long long value);
+
+  /// Index of the bucket `value` lands in (bounds.size() = overflow).
+  /// Pure bucket-boundary math, exposed for tests.
+  std::size_t bucket_index(long long value) const;
+
+  /// Doubling ladder {start, 2*start, 4*start, ...} of length `count` —
+  /// the default time-bucket shape (microsecond scales span decades).
+  /// Throws std::invalid_argument when start < 1 or count < 1.
+  static std::vector<long long> exponential_bounds(long long start,
+                                                   int count);
+
+  struct Snapshot {
+    std::vector<long long> bounds;  ///< upper bounds, as declared
+    std::vector<long long> counts;  ///< bounds.size() + 1 (last = overflow)
+    long long count = 0;            ///< total observations
+    long long sum = 0;              ///< sum of observed values
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<long long> bounds_;
+  std::vector<long long> counts_;
+  long long count_ = 0;
+  long long sum_ = 0;
+};
+
+/// Name -> metric registry.  Get-or-create: the first caller of a name
+/// fixes its type (and, for histograms, its bucket layout); a name reused
+/// with a different type throws.  References stay valid for the registry's
+/// lifetime (metrics are never removed, only cleared wholesale by tests).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first creation; later callers get the existing
+  /// histogram (layout is fixed by the first declaration).
+  Histogram& histogram(const std::string& name,
+                       const std::vector<long long>& bounds);
+
+  /// Canonical snapshot of everything:
+  ///   {"counters":{name:value},
+  ///    "gauges":{name:value},
+  ///    "histograms":{name:{"buckets":[{"count":..,"le":..},...,
+  ///                        {"count":..,"le":"inf"}],"count":..,"sum":..}}}
+  /// Keys sort (util::Json objects are maps), so equal metric states dump
+  /// to equal bytes.
+  Json snapshot_json() const;
+
+  /// Drop every metric (tests isolate themselves with this).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dring::util

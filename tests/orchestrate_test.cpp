@@ -20,6 +20,7 @@
 #include "core/campaign.hpp"
 #include "core/orchestrate.hpp"
 #include "core/scenario_spec.hpp"
+#include "core/telemetry.hpp"
 #include "util/json.hpp"
 #include "util/subprocess.hpp"
 
@@ -515,6 +516,148 @@ TEST(Orchestrate, ManifestJsonNamesHolesAndStores) {
   EXPECT_EQ(j.at("stores").at("0").as_string(), "/w/shard_0of2.jsonl");
   EXPECT_NE(j.at("resume_hint").as_string().find("--resume"),
             std::string::npos);
+}
+
+// --- fault-exit stderr capture -------------------------------------------------
+
+TEST(Subprocess, CapturesStderrOnFaultExitCodes) {
+  // The orchestrator reads worker attempt logs post-mortem; stderr from a
+  // worker dying with the fault codes must land in output_path.
+  for (const int code : {kFaultExitCrash, kFaultExitTrunc}) {
+    const std::string out = testing::TempDir() + "fault_stderr_" +
+                            std::to_string(code) + ".log";
+    std::remove(out.c_str());
+    util::SpawnSpec spec;
+    spec.argv = {"/bin/sh", "-c",
+                 "echo diagnostic-before-death >&2; exit " +
+                     std::to_string(code)};
+    spec.output_path = out;
+    util::Subprocess child = util::Subprocess::spawn(spec);
+    EXPECT_EQ(child.exit_code_blocking(), code);
+    EXPECT_FALSE(child.signaled());
+    EXPECT_NE(file_bytes(out).find("diagnostic-before-death"),
+              std::string::npos)
+        << "exit " << code;
+  }
+}
+
+TEST(Subprocess, CapturesWorkerStderrOnInjectedCrashAndTrunc) {
+  if (campaign_binary().empty()) GTEST_SKIP() << "dring_campaign not built";
+  FleetFixture fx("fault_stderr");
+
+  const auto run_with_fault = [&](const std::string& inject,
+                                  const std::string& tag) {
+    const std::string store = fx.dir + "/" + tag + ".jsonl";
+    const std::string log = store + ".log";
+    util::SpawnSpec spec;
+    spec.argv = {campaign_binary(), "--spec", fx.spec_path,
+                 "--out", store, "--resume"};
+    spec.env = {{kFaultInjectEnv, inject}, {kFaultSeedEnv, "0"},
+                {kFaultAttemptEnv, "1"}};
+    spec.output_path = log;
+    util::Subprocess child = util::Subprocess::spawn(spec);
+    const int code = child.exit_code_blocking();
+    return std::make_pair(code, file_bytes(log));
+  };
+
+  // crash:1.0 -> mid-sweep _Exit(70); the armed-fault note reached the log.
+  const auto [crash_code, crash_log] = run_with_fault("crash:1.0", "crash");
+  EXPECT_EQ(crash_code, kFaultExitCrash);
+  EXPECT_NE(crash_log.find("fault injection armed: crash"),
+            std::string::npos);
+
+  // trunc:1.0 -> store torn after the write, _Exit(71), tear note logged.
+  const auto [trunc_code, trunc_log] = run_with_fault("trunc:1.0", "trunc");
+  EXPECT_EQ(trunc_code, kFaultExitTrunc);
+  EXPECT_NE(trunc_log.find("fault injection armed: trunc"),
+            std::string::npos);
+  EXPECT_NE(trunc_log.find("tore"), std::string::npos);
+}
+
+// --- telemetry end-to-end ------------------------------------------------------
+
+TEST(Orchestrate, TelemetryTimelineIsDeterministicUnderFaults) {
+  if (campaign_binary().empty()) GTEST_SKIP() << "dring_campaign not built";
+  // A crash/trunc-only schedule (no hangs: kill timing is wall-clock, and
+  // no speculation) makes the full per-shard event sequence a pure
+  // function of the plan — the property this test pins.
+  const int kShards = 3, kMaxAttempts = 6;
+  const std::string kInject = "crash:0.4,trunc:0.3";
+  std::uint64_t seed = 0;
+  FaultPlan plan;
+  bool found = false;
+  for (std::uint64_t candidate = 0; candidate < 500 && !found; ++candidate) {
+    plan = parse_fault_plan(kInject, candidate);
+    bool converges = true;
+    int faults = 0;
+    for (int shard = 0; shard < kShards; ++shard) {
+      const int clean = first_clean_attempt(plan, shard, kMaxAttempts);
+      if (clean < 0) {
+        converges = false;
+        break;
+      }
+      faults += clean - 1;
+    }
+    if (converges && faults >= 2) {
+      seed = candidate;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no converging fault seed in the search range";
+
+  const auto run_once = [&](const std::string& name) {
+    FleetFixture fx(name);
+    OrchestrateOptions options = fx.base_options(kShards, kShards);
+    options.max_attempts = kMaxAttempts;
+    options.inject = kInject;
+    options.inject_seed = seed;
+    options.telemetry = true;  // workers write their own sidecars
+    telemetry().enable(options.out_path);
+    const OrchestrationResult result = run_orchestration(options);
+    telemetry().shutdown();
+    EXPECT_EQ(result.exit_code, kExitOk);
+    // Telemetry on: merged bytes still match the fault-free reference.
+    EXPECT_EQ(file_bytes(options.out_path), file_bytes(fx.ref_path));
+    // Worker sidecars landed next to the shard stores.
+    EXPECT_TRUE(fs::exists(shard_store_path(options, 0) + ".events.jsonl"));
+    EXPECT_TRUE(fs::exists(shard_store_path(options, 0) + ".metrics.json"));
+    return render_timeline(
+        read_events_file(options.out_path + ".events.jsonl"));
+  };
+
+  const std::string timeline = run_once("telemetry_a");
+
+  // The rendered timeline narrates the predicted schedule: every faulty
+  // attempt dispatches with its fault named, exits non-zero, retries, and
+  // the clean attempt completes the shard.
+  for (int shard = 0; shard < kShards; ++shard) {
+    const int clean = first_clean_attempt(plan, shard, kMaxAttempts);
+    EXPECT_NE(timeline.find("## shard " + std::to_string(shard)),
+              std::string::npos);
+    for (int attempt = 1; attempt < clean; ++attempt) {
+      const FaultKind kind =
+          fault_draw(plan, static_cast<std::uint64_t>(shard), attempt);
+      EXPECT_NE(timeline.find("orchestrate.dispatch attempt=" +
+                              std::to_string(attempt) + " fault=" +
+                              to_string(kind)),
+                std::string::npos)
+          << "shard " << shard << " attempt " << attempt;
+      const int code =
+          kind == FaultKind::Trunc ? kFaultExitTrunc : kFaultExitCrash;
+      EXPECT_NE(timeline.find("attempt=" + std::to_string(attempt) +
+                              " code=" + std::to_string(code)),
+                std::string::npos)
+          << "shard " << shard << " attempt " << attempt;
+    }
+    EXPECT_NE(timeline.find("orchestrate.shard_complete attempt=" +
+                            std::to_string(clean)),
+              std::string::npos)
+        << "shard " << shard;
+  }
+  EXPECT_NE(timeline.find("orchestrate.merge rows=16"), std::string::npos);
+
+  // Determinism: a second full run renders byte-identically.
+  EXPECT_EQ(run_once("telemetry_b"), timeline);
 }
 
 }  // namespace

@@ -21,7 +21,9 @@
 # benchmark's time regressed by more than the tolerance (default 10%,
 # override with --tolerance FRAC). Check mode never rewrites the file, so
 # the committed trajectory only moves when a developer runs the snapshot
-# deliberately.
+# deliberately. Every benchmark's signed % delta is printed either way;
+# on failure the per-benchmark deltas are also written as JSON to
+# $BUILD_DIR/bench_delta.json so CI logs and tooling get the same numbers.
 #
 # Usage: tools/bench_snapshot.sh [--build-dir DIR] [--rebaseline]
 #                                [--check] [--tolerance FRAC]
@@ -69,11 +71,13 @@ trap 'rm -f "$RAW"' EXIT
   --benchmark_format=json > "$RAW"
 
 if [[ "$CHECK" == 1 ]]; then
-  RAW="$RAW" OUT="$ROOT/BENCH_engine.json" TOLERANCE="$TOLERANCE" python3 - <<'EOF'
+  RAW="$RAW" OUT="$ROOT/BENCH_engine.json" TOLERANCE="$TOLERANCE" \
+    DELTA="$BUILD_DIR/bench_delta.json" python3 - <<'EOF'
 import json, os, sys
 
 raw = json.load(open(os.environ["RAW"]))
 out_path = os.environ["OUT"]
+delta_path = os.environ["DELTA"]
 tolerance = float(os.environ["TOLERANCE"])
 
 if not os.path.exists(out_path):
@@ -93,19 +97,36 @@ if not shared:
         f"{out_path} (run: {sorted(fresh) or 'nothing'})"
     )
 
+deltas = {}
 regressed = []
 print(f"perf gate: tolerance {tolerance:.0%} vs committed {out_path}")
 for name in shared:
     recorded = committed[name]["real_time_ns"]
     measured = fresh[name]
     ratio = measured / recorded if recorded > 0 else float("inf")
+    delta_pct = (ratio - 1.0) * 100.0
     verdict = "OK" if ratio <= 1.0 + tolerance else "REGRESSED"
     print(f"  {name}: {measured:.0f}ns vs {recorded:.0f}ns recorded "
-          f"({ratio:.2f}x) {verdict}")
+          f"({delta_pct:+.1f}%) {verdict}")
+    deltas[name] = {
+        "recorded_ns": round(recorded, 2),
+        "measured_ns": round(measured, 2),
+        "delta_pct": round(delta_pct, 2),
+        "regressed": verdict != "OK",
+    }
     if verdict != "OK":
         regressed.append(name)
 
 if regressed:
+    doc = {
+        "tolerance_pct": round(tolerance * 100.0, 2),
+        "regressed": regressed,
+        "benchmarks": deltas,
+    }
+    with open(delta_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {delta_path}")
     sys.exit(
         f"error: {len(regressed)} benchmark(s) regressed more than "
         f"{tolerance:.0%}: {', '.join(regressed)} — fix the hot path, or "

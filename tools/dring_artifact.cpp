@@ -21,6 +21,7 @@
 
 #include "core/analysis.hpp"
 #include "core/artifact.hpp"
+#include "core/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -55,8 +56,9 @@ util::FlagTable flag_table() {
                           "examples/paper)")
       .flag("threads", "N", "worker threads (0 = all hardware threads)")
       .flag("resume", "", "skip scenarios whose fingerprint is stored")
-      .flag("shard", "i/m", "run only cells with fingerprint % m == i")
-      .flag("help", "", "print this help")
+      .flag("shard", "i/m", "run only cells with fingerprint % m == i");
+  core::add_log_flags(flags);
+  flags.flag("help", "", "print this help")
       .note("artifacts: run `dring_artifact --list`; stores are canonical "
             "JSONL (dring_campaign --merge/--diff work on them)");
   return flags;
@@ -199,6 +201,7 @@ int main(int argc, char** argv) {
     std::cerr << *error << "\n";
     return 2;
   }
+  core::set_log_level(core::log_level_from_cli(cli));
 
   try {
     if (cli.has("list")) return run_list(cli.get("dir", "examples/paper"));

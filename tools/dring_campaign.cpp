@@ -32,6 +32,7 @@
 
 #include "core/campaign.hpp"
 #include "core/orchestrate.hpp"
+#include "core/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -60,9 +61,14 @@ util::FlagTable flag_table() {
       .flag("merge", "FILE", "union partial stores losslessly (conflicts "
                              "are an error)")
       .flag("diff", "FILE", "compare two stores row by row")
-      .flag("help", "", "print this help")
+      .flag("telemetry", "", "write metrics + event-log sidecars next to "
+                             "the store (<out>.metrics.json, "
+                             "<out>.events.jsonl); store bytes unchanged");
+  core::add_log_flags(flags);
+  flags.flag("help", "", "print this help")
       .note("stores are canonical JSONL: bytes identical for any --threads "
-            "and any shard split (see README \"Campaign subsystem\")")
+            "and any shard split, and for --telemetry on or off (see "
+            "README \"Campaign subsystem\")")
       .note("env " + std::string(dring::core::kFaultInjectEnv) +
             "=crash:p,hang:p,trunc:p (+ _SEED, _ATTEMPT) arms the "
             "deterministic fault-injection harness (CI / orchestrator "
@@ -183,6 +189,7 @@ int main(int argc, char** argv) {
     std::cerr << *error << "\n";
     return 2;
   }
+  core::set_log_level(core::log_level_from_cli(cli));
 
   if (cli.has("diff")) return run_diff(flag_paths(cli, "diff"));
   if (cli.has("merge"))
@@ -222,6 +229,20 @@ int main(int argc, char** argv) {
   }
   options.progress_path = cli.get("progress", "");
 
+  if (cli.get_bool("telemetry", false)) {
+    if (options.out_path.empty()) {
+      std::cerr << "--telemetry needs --out (sidecars live next to the "
+                   "store)\n";
+      return 2;
+    }
+    try {
+      core::telemetry().enable(options.out_path);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
+
   // Deterministic fault-injection harness (orchestrator/CI testing): the
   // DRING_FAULT_* env vars arm a crash / hang / torn-store fault for this
   // attempt, drawn purely from (seed, shard, attempt) — see
@@ -247,9 +268,11 @@ int main(int argc, char** argv) {
     fault = core::fault_draw(
         plan, static_cast<std::uint64_t>(options.shard_index), fault_attempt);
     if (fault != core::FaultKind::None)
-      std::cerr << "fault injection armed: " << core::to_string(fault)
-                << " (shard " << options.shard_index << ", attempt "
-                << fault_attempt << ")\n";
+      core::log_line(core::LogLevel::kInfo,
+                     "fault injection armed: " +
+                         std::string(core::to_string(fault)) + " (shard " +
+                         std::to_string(options.shard_index) + ", attempt " +
+                         std::to_string(fault_attempt) + ")");
     if (fault == core::FaultKind::Crash || fault == core::FaultKind::Hang) {
       const bool hang = fault == core::FaultKind::Hang;
       options.on_progress = [hang](std::size_t done, std::size_t total) {
@@ -304,8 +327,9 @@ int main(int argc, char** argv) {
   if (!options.resume && !options.out_path.empty()) {
     std::ifstream existing(options.out_path);
     if (existing && existing.peek() != std::ifstream::traits_type::eof())
-      std::cerr << "note: replacing existing store " << options.out_path
-                << " (use --resume to keep its rows)\n";
+      core::log_line(core::LogLevel::kInfo,
+                     "note: replacing existing store " + options.out_path +
+                         " (use --resume to keep its rows)");
   }
 
   core::CampaignReport report;
@@ -317,11 +341,12 @@ int main(int argc, char** argv) {
   }
 
   if (report.recovery.dropped_partial)
-    std::cerr << "note: " << options.out_path << " line "
-              << report.recovery.line_no
-              << " was a torn trailing row (interrupted write): "
-              << report.recovery.snippet
-              << " — dropped it and re-ran that cell\n";
+    core::log_line(core::LogLevel::kInfo,
+                   "note: " + options.out_path + " line " +
+                       std::to_string(report.recovery.line_no) +
+                       " was a torn trailing row (interrupted write): " +
+                       report.recovery.snippet +
+                       " — dropped it and re-ran that cell");
 
   // Injected torn output: tear the freshly-written store mid-row and die
   // non-zero, as if the process had been killed while its bytes were in
@@ -349,8 +374,9 @@ int main(int argc, char** argv) {
                   13 * options.shard_index + 7 * fault_attempt) %
                   std::min<std::uint64_t>(last_len - 1, 39);
       fs::resize_file(options.out_path, size - cut, ec);
-      std::cerr << "fault injection: tore " << cut << " bytes off "
-                << options.out_path << "\n";
+      core::log_line(core::LogLevel::kInfo,
+                     "fault injection: tore " + std::to_string(cut) +
+                         " bytes off " + options.out_path);
     }
     std::_Exit(core::kFaultExitTrunc);
   }
@@ -386,6 +412,12 @@ int main(int argc, char** argv) {
     t.print(std::cout);
     if (!worst_spec.empty())
       std::cout << "worst-case scenario: " << worst_spec << "\n";
+  }
+  if (core::telemetry().enabled()) {
+    core::log_line(core::LogLevel::kDebug,
+                   "telemetry sidecars: " + core::telemetry().events_path() +
+                       ", " + core::telemetry().metrics_path());
+    core::telemetry().shutdown();  // flush events, write <out>.metrics.json
   }
   return 0;
 }

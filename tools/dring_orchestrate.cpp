@@ -21,6 +21,7 @@
 #include <iostream>
 
 #include "core/orchestrate.hpp"
+#include "core/telemetry.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -58,9 +59,23 @@ util::FlagTable flag_table() {
       .flag("campaign-bin", "PATH", "worker binary (default: dring_campaign "
                                     "next to this executable)")
       .flag("poll-s", "S", "supervisor poll interval (default 0.05)")
-      .flag("help", "", "print this help")
-      .note("exit codes: 0 complete, 1 hard error, 2 usage, 3 missing "
-            "shards (partial merge + manifest; re-run with --resume)")
+      .flag("telemetry", "", "write supervisor metrics + attempt event-log "
+                             "sidecars next to --out (and forward "
+                             "--telemetry to every worker); merged store "
+                             "bytes unchanged");
+  core::add_log_flags(flags);
+  flags.flag("help", "", "print this help")
+      .note("exit codes:")
+      .note("  0  every shard completed; merged store + manifest written")
+      .note("  1  hard error (bad spec, merge conflict, missing worker "
+            "binary)")
+      .note("  2  usage error (unknown flag, bad geometry, bad --inject)")
+      .note("  3  some shards exhausted --max-attempts; completed shards "
+            "are merged anyway, <out>.manifest.json names the holes, "
+            "re-running with --resume fills exactly them")
+      .note("worker exits it supervises: 0 ok, 70 injected crash/hang "
+            "(killed), 71 injected torn store; any non-zero exit or a "
+            "stale heartbeat triggers retry with backoff")
       .note("shards are idempotent and store writes atomic, so retries, "
             "speculation and resume never corrupt or duplicate rows");
   return flags;
@@ -80,6 +95,7 @@ int main(int argc, char** argv) {
     std::cerr << *error << "\n";
     return core::kExitUsage;
   }
+  core::set_log_level(core::log_level_from_cli(cli));
 
   core::OrchestrateOptions options;
   options.spec_path = cli.get("spec", "");
@@ -104,6 +120,7 @@ int main(int argc, char** argv) {
   options.inject_seed =
       static_cast<std::uint64_t>(cli.get_int("inject-seed", 0));
   options.campaign_binary = cli.get("campaign-bin", "");
+  options.telemetry = cli.get_bool("telemetry", false);
 
   if (options.spec_path.empty() || options.work_dir.empty()) {
     std::cerr << flags.help_text();
@@ -124,13 +141,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (options.telemetry) {
+    // Supervisor sidecars land next to the merged store (or in the work
+    // dir when no merge target was given).
+    const std::string base = options.out_path.empty()
+                                 ? options.work_dir + "/orchestrate"
+                                 : options.out_path;
+    try {
+      core::telemetry().enable(base);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return core::kExitError;
+    }
+  }
+
   core::OrchestrationResult result;
   try {
-    result = core::run_orchestration(options, &std::cerr);
+    result = core::run_orchestration(
+        options, core::log_enabled(core::LogLevel::kInfo) ? &std::cerr
+                                                          : nullptr);
   } catch (const std::exception& e) {
     std::cerr << "orchestration failed: " << e.what() << "\n";
     return core::kExitError;
   }
+  core::telemetry().shutdown();  // no-op unless --telemetry
 
   std::size_t completed = 0;
   int attempts = 0;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "core/telemetry.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -49,8 +50,9 @@ util::FlagTable flag_table() {
       .flag("threshold", "P", "frontier success-rate threshold (default 0.5)")
       .flag("compare", "FILE", "paired comparison: B-side store "
                                "(repeatable), joined per fingerprint")
-      .flag("format", "F", "md (default), csv or json")
-      .flag("help", "", "print this help")
+      .flag("format", "F", "md (default), csv or json");
+  core::add_log_flags(flags);
+  flags.flag("help", "", "print this help")
       .note("axes: algorithm n agents adversary t_interval model max_rounds "
             "remove_prob target_prob activation_prob (aliases: k, family, "
             "T)");
@@ -86,6 +88,7 @@ int main(int argc, char** argv) {
     std::cerr << *error << "\n";
     return 2;
   }
+  core::set_log_level(core::log_level_from_cli(cli));
 
   std::vector<std::string> stores = cli.get_all("store");
   for (const std::string& p : cli.positional()) stores.push_back(p);
