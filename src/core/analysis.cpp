@@ -415,8 +415,16 @@ std::string csv_cell(const std::string& cell) {
   return quoted;
 }
 
-std::string join_line(const std::vector<std::string>& cells,
-                      ReportFormat format) {
+std::string crossing_text(const FrontierCrossing& c) {
+  return fmt_axis(c.axis_before) + "->" + fmt_axis(c.axis_after) + " (" +
+         fmt_rate(c.rate_before) + "->" + fmt_rate(c.rate_after) +
+         (c.falling ? ", falling)" : ", rising)");
+}
+
+}  // namespace
+
+std::string render_cells(const std::vector<std::string>& cells,
+                         ReportFormat format) {
   std::string line;
   if (format == ReportFormat::Markdown) {
     line = "|";
@@ -430,19 +438,11 @@ std::string join_line(const std::vector<std::string>& cells,
   return line + "\n";
 }
 
-std::string md_separator(std::size_t columns) {
+std::string md_separator_row(std::size_t columns) {
   std::string line = "|";
   for (std::size_t i = 0; i < columns; ++i) line += "---|";
   return line + "\n";
 }
-
-std::string crossing_text(const FrontierCrossing& c) {
-  return fmt_axis(c.axis_before) + "->" + fmt_axis(c.axis_after) + " (" +
-         fmt_rate(c.rate_before) + "->" + fmt_rate(c.rate_after) +
-         (c.falling ? ", falling)" : ", rising)");
-}
-
-}  // namespace
 
 std::string render_aggregate_report(const std::vector<GroupRow>& groups,
                                     const std::vector<std::string>& group_keys,
@@ -495,10 +495,10 @@ std::string render_aggregate_report(const std::vector<GroupRow>& groups,
     out += "Metric: " + to_string(metric) +
            "; ok = explored && !premature; rate_lo/rate_hi = Wilson 95% "
            "interval; sd = population stddev.\n\n";
-    out += join_line(header, format);
-    out += md_separator(header.size());
+    out += render_cells(header, format);
+    out += md_separator_row(header.size());
   } else {
-    out += join_line(header, format);
+    out += render_cells(header, format);
   }
   for (const GroupRow& group : groups) {
     std::vector<std::string> cells = group.key;
@@ -518,7 +518,7 @@ std::string render_aggregate_report(const std::vector<GroupRow>& groups,
     } else {
       for (int i = 0; i < 6; ++i) cells.push_back("-");
     }
-    out += join_line(cells, format);
+    out += render_cells(cells, format);
   }
   return out;
 }
@@ -576,8 +576,8 @@ std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
     std::vector<std::string> header = group_keys;
     header.push_back("curve (" + axis + ":rate)");
     header.push_back("frontier");
-    out += join_line(header, format);
-    out += md_separator(header.size());
+    out += render_cells(header, format);
+    out += md_separator_row(header.size());
     for (const FrontierGroup& group : groups) {
       std::vector<std::string> cells = group.key;
       std::string curve;
@@ -592,7 +592,7 @@ std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
         frontier += crossing_text(c);
       }
       cells.push_back(frontier.empty() ? "none" : frontier);
-      out += join_line(cells, format);
+      out += render_cells(cells, format);
     }
     return out;
   }
@@ -604,7 +604,7 @@ std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
   header.push_back("runs");
   header.push_back("rate");
   header.push_back("crossing");
-  out += join_line(header, format);
+  out += render_cells(header, format);
   for (const FrontierGroup& group : groups) {
     for (const FrontierPoint& p : group.curve) {
       std::vector<std::string> cells = group.key;
@@ -616,7 +616,7 @@ std::string render_frontier_report(const std::vector<FrontierGroup>& groups,
         if (c.axis_after == p.axis)
           crossing = c.falling ? "falling" : "rising";
       cells.push_back(crossing);
-      out += join_line(cells, format);
+      out += render_cells(cells, format);
     }
   }
   return out;
@@ -681,12 +681,12 @@ std::string render_paired_report(const PairedComparison& cmp, Metric metric,
     else if (with_provenance)
       out += "Both stores produced by " + cmp.provenance_a + ".\n";
     out += "\n";
-    out += join_line({"common", "only_a", "only_b", "flips A-ok", "flips B-ok",
+    out += render_cells({"common", "only_a", "only_b", "flips A-ok", "flips B-ok",
                       "pairs", "b_lower", "ties", "b_higher", "mean delta",
                       "median delta", "sign-test p"},
                      format);
-    out += md_separator(12);
-    out += join_line(
+    out += md_separator_row(12);
+    out += render_cells(
         {std::to_string(cmp.common), std::to_string(cmp.only_a),
          std::to_string(cmp.only_b), std::to_string(cmp.success_flips_ab),
          std::to_string(cmp.success_flips_ba), std::to_string(cmp.pairs),
@@ -699,11 +699,11 @@ std::string render_paired_report(const PairedComparison& cmp, Metric metric,
       if (!pair.delta || *pair.delta == 0) continue;
       if (!any) {
         out += "\nChanged pairs (fingerprint order):\n\n";
-        out += join_line({"fp", "spec", "a", "b", "delta"}, format);
-        out += md_separator(5);
+        out += render_cells({"fp", "spec", "a", "b", "delta"}, format);
+        out += md_separator_row(5);
         any = true;
       }
-      out += join_line({hex_u64(pair.fingerprint), to_json(pair.spec).dump(),
+      out += render_cells({hex_u64(pair.fingerprint), to_json(pair.spec).dump(),
                         sample_text(pair.sample_a), sample_text(pair.sample_b),
                         fmt_stat(*pair.delta)},
                        format);
@@ -712,9 +712,9 @@ std::string render_paired_report(const PairedComparison& cmp, Metric metric,
   }
 
   // CSV: one line per common row (including ties — plot-ready).
-  out += join_line({"fp", "success_a", "success_b", "a", "b", "delta"}, format);
+  out += render_cells({"fp", "success_a", "success_b", "a", "b", "delta"}, format);
   for (const PairedRow& pair : cmp.rows) {
-    out += join_line({hex_u64(pair.fingerprint),
+    out += render_cells({hex_u64(pair.fingerprint),
                       pair.success_a ? "1" : "0", pair.success_b ? "1" : "0",
                       sample_text(pair.sample_a), sample_text(pair.sample_b),
                       pair.delta ? fmt_stat(*pair.delta) : std::string("-")},

@@ -228,6 +228,16 @@ enum class ReportFormat { Markdown, Csv, Json };
 
 ReportFormat report_format_from_string(const std::string& name);
 
+/// One rendered table line (trailing newline included): a markdown pipe
+/// row or a CSV record with RFC-4180 quoting.  The single table renderer
+/// shared by every tabular surface (dring_report, dring_metrics,
+/// dring_dashboard) — Json callers build documents instead.
+std::string render_cells(const std::vector<std::string>& cells,
+                         ReportFormat format);
+
+/// The markdown header/body separator row for `columns` columns.
+std::string md_separator_row(std::size_t columns);
+
 /// Byte-stable rendering of a group-by report (trailing newline included).
 /// Markdown: a pipe table; CSV: header + rows; JSON: one canonical
 /// util::Json document.

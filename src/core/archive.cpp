@@ -1,0 +1,761 @@
+#include "core/archive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace dring::core {
+
+namespace {
+
+std::string fmt(const char* spec, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, value);
+  return buf;
+}
+
+// Fixed-format string forms for the record's non-integral numbers: the
+// canonical dump must not depend on how a double prints under %.17g.
+std::string fmt_rate4(double v) { return fmt("%.4f", v); }
+std::string fmt_ns(double v) { return fmt("%.2f", v); }
+std::string fmt_ips(double v) { return fmt("%.1f", v); }
+
+/// Read a numeric field that may be serialized as a fixed-format string.
+double num_field(const util::Json& j) {
+  if (j.is_string()) {
+    const std::string& s = j.as_string();
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size())
+      throw std::invalid_argument("archive: bad numeric string '" + s + "'");
+    return v;
+  }
+  return j.as_double();
+}
+
+util::Json mark_json(const ArchivePerfMark& mark) {
+  util::Json j;
+  j.set("real_time_ns", fmt_ns(mark.real_time_ns));
+  j.set("items_per_second", fmt_ips(mark.items_per_second));
+  return j;
+}
+
+ArchivePerfMark mark_from_json(const util::Json& j) {
+  ArchivePerfMark mark;
+  mark.real_time_ns = num_field(j.at("real_time_ns"));
+  if (j.has("items_per_second"))
+    mark.items_per_second = num_field(j.at("items_per_second"));
+  return mark;
+}
+
+util::Json marks_json(const std::map<std::string, ArchivePerfMark>& marks) {
+  util::Json out{util::Json::Object{}};
+  for (const auto& [name, mark] : marks) out.set(name, mark_json(mark));
+  return out;
+}
+
+std::map<std::string, ArchivePerfMark> marks_from_json(const util::Json& j) {
+  std::map<std::string, ArchivePerfMark> marks;
+  for (const auto& [name, mark] : j.as_object())
+    marks[name] = mark_from_json(mark);
+  return marks;
+}
+
+util::Json cell_json(const ArchiveCellGroup& cell) {
+  util::Json j;
+  j.set("key", cell.key);
+  j.set("runs", static_cast<long long>(cell.runs));
+  j.set("ok", static_cast<long long>(cell.successes));
+  j.set("rate_lo", fmt_rate4(cell.rate_lo));
+  j.set("rate_hi", fmt_rate4(cell.rate_hi));
+  if (cell.mean_rounds >= 0) j.set("mean_rounds", fmt_ns(cell.mean_rounds));
+  return j;
+}
+
+ArchiveCellGroup cell_from_json(const util::Json& j) {
+  ArchiveCellGroup cell;
+  cell.key = j.at("key").as_string();
+  cell.runs = static_cast<int>(j.at("runs").as_int());
+  cell.successes = static_cast<int>(j.at("ok").as_int());
+  cell.rate_lo = num_field(j.at("rate_lo"));
+  cell.rate_hi = num_field(j.at("rate_hi"));
+  cell.mean_rounds = j.has("mean_rounds") ? num_field(j.at("mean_rounds")) : -1;
+  return cell;
+}
+
+util::Json era_json(const ArchiveBenchEra& era) {
+  util::Json j;
+  j.set("engine", era.engine);
+  j.set("date", era.date);
+  j.set("marks", marks_json(era.marks));
+  return j;
+}
+
+ArchiveBenchEra era_from_json(const util::Json& j) {
+  ArchiveBenchEra era;
+  era.engine = j.get_string("engine", "");
+  era.date = j.get_string("date", "");
+  if (j.has("marks")) era.marks = marks_from_json(j.at("marks"));
+  return era;
+}
+
+}  // namespace
+
+// --- record (de)serialization ----------------------------------------------
+
+util::Json to_json(const ArchiveRecord& record) {
+  util::Json j;
+  j.set("archive", kArchiveSchemaVersion);
+  j.set("engine", record.engine);
+  j.set("build", record.build);
+  j.set("schema", record.schema);
+  j.set("date", record.date);
+  if (!record.note.empty()) j.set("note", record.note);
+  if (record.tests >= 0) j.set("tests", record.tests);
+  if (!record.reports.empty()) {
+    util::Json reports{util::Json::Object{}};
+    for (const auto& [name, digest] : record.reports)
+      reports.set(name, digest);
+    j.set("reports", std::move(reports));
+  }
+  if (!record.cells.empty()) {
+    util::Json::Array cells;
+    for (const ArchiveCellGroup& cell : record.cells)
+      cells.push_back(cell_json(cell));
+    j.set("cells", util::Json(std::move(cells)));
+  }
+  if (!record.perf.empty()) j.set("perf", marks_json(record.perf));
+  if (!record.bench_history.empty()) {
+    util::Json::Array eras;
+    for (const ArchiveBenchEra& era : record.bench_history)
+      eras.push_back(era_json(era));
+    j.set("bench_history", util::Json(std::move(eras)));
+  }
+  return j;
+}
+
+ArchiveRecord archive_record_from_json(const util::Json& j) {
+  const long long version = j.get_int("archive", -1);
+  if (version != kArchiveSchemaVersion)
+    throw std::invalid_argument(
+        "archive: record schema " + std::to_string(version) +
+        " is not the supported " + std::to_string(kArchiveSchemaVersion));
+  ArchiveRecord record;
+  record.engine = j.at("engine").as_string();
+  record.build = j.at("build").as_string();
+  record.schema = j.get_int("schema", 0);
+  record.date = j.at("date").as_string();
+  record.note = j.get_string("note", "");
+  record.tests = j.get_int("tests", -1);
+  if (j.has("reports"))
+    for (const auto& [name, digest] : j.at("reports").as_object())
+      record.reports[name] = digest.as_string();
+  if (j.has("cells"))
+    for (const util::Json& cell : j.at("cells").as_array())
+      record.cells.push_back(cell_from_json(cell));
+  if (j.has("perf")) record.perf = marks_from_json(j.at("perf"));
+  if (j.has("bench_history"))
+    for (const util::Json& era : j.at("bench_history").as_array())
+      record.bench_history.push_back(era_from_json(era));
+  return record;
+}
+
+std::string archive_entry_bytes(const ArchiveRecord& record) {
+  return to_json(record).dump() + "\n";
+}
+
+// --- building record pieces -------------------------------------------------
+
+std::string content_digest(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return hex_u64(h);
+}
+
+std::vector<ArchiveCellGroup> archive_cells(
+    const std::vector<CampaignRow>& rows,
+    const std::vector<std::string>& group_keys) {
+  std::vector<ArchiveCellGroup> cells;
+  for (const GroupRow& group :
+       aggregate_rows(rows, group_keys, Metric::ExploredRound)) {
+    ArchiveCellGroup cell;
+    for (std::size_t i = 0; i < group_keys.size(); ++i) {
+      if (i) cell.key += ' ';
+      cell.key += group_keys[i] + "=" + group.key[i];
+    }
+    cell.runs = group.agg.runs;
+    cell.successes = group.agg.successes;
+    cell.rate_lo = group.agg.rate_ci.lo;
+    cell.rate_hi = group.agg.rate_ci.hi;
+    cell.mean_rounds = group.agg.samples > 0 ? group.agg.mean : -1;
+    cells.push_back(std::move(cell));
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const ArchiveCellGroup& a, const ArchiveCellGroup& b) {
+              return a.key < b.key;
+            });
+  return cells;
+}
+
+util::Json archive_cells_json(const std::vector<ArchiveCellGroup>& cells,
+                              const std::vector<std::string>& group_keys) {
+  util::Json::Array out;
+  for (const ArchiveCellGroup& cell : cells) out.push_back(cell_json(cell));
+  util::Json::Array keys;
+  for (const std::string& key : group_keys) keys.emplace_back(key);
+  util::Json doc;
+  doc.set("cells", util::Json(std::move(out)));
+  doc.set("group_by", util::Json(std::move(keys)));
+  return doc;
+}
+
+std::vector<ArchiveCellGroup> archive_cells_from_json(const util::Json& j) {
+  std::vector<ArchiveCellGroup> cells;
+  if (!j.has("cells"))
+    throw std::invalid_argument("archive: document has no \"cells\" member");
+  for (const util::Json& cell : j.at("cells").as_array())
+    cells.push_back(cell_from_json(cell));
+  return cells;
+}
+
+std::map<std::string, ArchivePerfMark> perf_marks_from_bench(
+    const util::Json& bench, const std::string& section) {
+  if (!bench.has(section))
+    throw std::invalid_argument("bench document has no \"" + section +
+                                "\" section");
+  return marks_from_json(bench.at(section));
+}
+
+std::vector<ArchiveBenchEra> bench_history_from_bench(const util::Json& bench) {
+  std::vector<ArchiveBenchEra> history;
+  if (!bench.has("history")) return history;
+  for (const util::Json& era : bench.at("history").as_array())
+    history.push_back(era_from_json(era));
+  return history;
+}
+
+util::Json archive_perf_json(
+    const std::map<std::string, ArchivePerfMark>& perf,
+    const std::vector<ArchiveBenchEra>& history) {
+  util::Json doc;
+  doc.set("perf", marks_json(perf));
+  util::Json::Array eras;
+  for (const ArchiveBenchEra& era : history) eras.push_back(era_json(era));
+  doc.set("bench_history", util::Json(std::move(eras)));
+  return doc;
+}
+
+// --- the archive directory ---------------------------------------------------
+
+std::string archive_entry_filename(const ArchiveRecord& record) {
+  return record.engine + ".json";
+}
+
+namespace {
+
+/// Split "dring-1.2.0" into {1, 2, 0}; empty when the name does not parse.
+std::vector<long long> version_components(const std::string& name) {
+  const std::string prefix = "dring-";
+  if (name.rfind(prefix, 0) != 0) return {};
+  std::vector<long long> parts;
+  std::string digits;
+  for (std::size_t i = prefix.size(); i <= name.size(); ++i) {
+    const char c = i < name.size() ? name[i] : '.';
+    if (c >= '0' && c <= '9') {
+      digits += c;
+    } else if (c == '.') {
+      if (digits.empty()) return {};
+      parts.push_back(std::stoll(digits));
+      digits.clear();
+    } else {
+      return {};
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+bool engine_version_less(const std::string& a, const std::string& b) {
+  const std::vector<long long> va = version_components(a);
+  const std::vector<long long> vb = version_components(b);
+  if (!va.empty() && !vb.empty()) {
+    if (va != vb) return va < vb;
+    return a < b;
+  }
+  if (va.empty() != vb.empty()) return !va.empty();  // parsed sorts first
+  return a < b;
+}
+
+std::vector<ArchiveRecord> read_archive_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<ArchiveRecord> records;
+  if (!fs::exists(dir)) return records;
+  if (!fs::is_directory(dir))
+    throw std::runtime_error("archive: " + dir + " is not a directory");
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      paths.push_back(entry.path().string());
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("archive: cannot open " + path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      records.push_back(archive_record_from_json(util::Json::parse(text)));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(path + ": " + e.what());
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const ArchiveRecord& a, const ArchiveRecord& b) {
+              if (a.engine != b.engine)
+                return engine_version_less(a.engine, b.engine);
+              if (a.date != b.date) return a.date < b.date;
+              return a.build < b.build;
+            });
+  return records;
+}
+
+std::string append_archive_record(const std::string& dir,
+                                  const ArchiveRecord& record, bool force) {
+  namespace fs = std::filesystem;
+  if (record.engine.empty())
+    throw std::runtime_error("archive: record has no engine version");
+  fs::create_directories(dir);
+  const std::string path =
+      (fs::path(dir) / archive_entry_filename(record)).string();
+  if (!force && fs::exists(path))
+    throw std::runtime_error(
+        "archive: " + path + " already exists — the archive is append-only; "
+        "pass --force to rewrite an archived version deliberately");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("archive: cannot write " + path);
+  out << archive_entry_bytes(record);
+  if (!out) throw std::runtime_error("archive: write to " + path + " failed");
+  return path;
+}
+
+// --- the dashboard ------------------------------------------------------------
+
+std::vector<ArchiveDrift> detect_drift(
+    const std::vector<ArchiveRecord>& records) {
+  std::vector<ArchiveDrift> drift;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const ArchiveRecord& from = records[i - 1];
+    const ArchiveRecord& to = records[i];
+    for (const auto& [name, digest] : to.reports) {
+      const auto it = from.reports.find(name);
+      if (it == from.reports.end() || it->second == digest) continue;
+      drift.push_back({name, from.engine, to.engine, it->second, digest});
+    }
+  }
+  return drift;
+}
+
+std::string sparkline(const std::vector<double>& values, double lo,
+                      double hi) {
+  static const char* kGlyphs[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  double min = lo, max = hi;
+  if (!(lo < hi)) {
+    min = std::numeric_limits<double>::infinity();
+    max = -min;
+    for (const double v : values)
+      if (!std::isnan(v)) {
+        min = std::min(min, v);
+        max = std::max(max, v);
+      }
+  }
+  std::string out;
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      out += "·";  // · missing
+      continue;
+    }
+    int level = 3;  // all-equal series render mid-scale
+    if (max > min) {
+      const double unit = (std::min(std::max(v, min), max) - min) / (max - min);
+      level = static_cast<int>(std::lround(unit * 7.0));
+    }
+    out += kGlyphs[level];
+  }
+  return out;
+}
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Regression tolerance on cost-like series (perf ns, mean rounds):
+/// mirrors the bench_snapshot.sh --check default.
+constexpr double kCostTolerance = 0.10;
+
+/// One trend-table row: a named series with one optional value per
+/// version (NaN = not recorded at that version).
+struct TrendRow {
+  std::string name;
+  std::vector<double> values;
+};
+
+enum class DeltaKind {
+  PercentCostly,  ///< signed %, REGRESSED when > +tolerance (perf, rounds)
+  RatePoints,     ///< signed percentage points, REGRESSED on any drop
+  Count,          ///< signed absolute (tests)
+};
+
+/// The last step of a series: delta between the newest value and the
+/// newest earlier value (series absent from middle versions still get a
+/// delta).  "-" when fewer than two values exist.
+std::string delta_text(const std::vector<double>& values, DeltaKind kind) {
+  int last = -1, prev = -1;
+  for (int i = static_cast<int>(values.size()) - 1; i >= 0; --i) {
+    if (std::isnan(values[i])) continue;
+    if (last < 0) {
+      last = i;
+    } else {
+      prev = i;
+      break;
+    }
+  }
+  if (prev < 0) return "-";
+  const double a = values[prev], b = values[last];
+  switch (kind) {
+    case DeltaKind::PercentCostly: {
+      if (a <= 0) return "-";
+      const double pct = (b / a - 1.0) * 100.0;
+      std::string text = fmt("%+.1f%%", pct);
+      if (pct > kCostTolerance * 100.0) text += " REGRESSED";
+      return text;
+    }
+    case DeltaKind::RatePoints: {
+      const double pp = (b - a) * 100.0;
+      std::string text = fmt("%+.2fpp", pp);
+      if (b < a - 1e-12) text += " REGRESSED";
+      return text;
+    }
+    case DeltaKind::Count: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+lld",
+                    static_cast<long long>(b - a));
+      return buf;
+    }
+  }
+  return "-";
+}
+
+std::string fmt_value(double v, const char* spec) {
+  if (std::isnan(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+/// Render one trend table (markdown): series rows x version columns,
+/// last-step delta, sparkline.  `lo < hi` fixes an absolute sparkline
+/// scale (rates); otherwise each row normalizes to itself.
+std::string render_trend_table(
+    const std::string& first_column, const std::vector<std::string>& versions,
+    const std::vector<TrendRow>& rows, const char* value_spec, DeltaKind kind,
+    double lo, double hi,
+    const std::vector<std::vector<std::string>>* cell_text = nullptr) {
+  std::vector<std::string> header = {first_column};
+  header.insert(header.end(), versions.begin(), versions.end());
+  header.push_back("Δ last");
+  header.push_back("trend");
+  std::string out = render_cells(header, ReportFormat::Markdown);
+  out += md_separator_row(header.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const TrendRow& row = rows[r];
+    std::vector<std::string> cells = {row.name};
+    for (std::size_t i = 0; i < row.values.size(); ++i) {
+      if (cell_text)
+        cells.push_back((*cell_text)[r][i]);
+      else
+        cells.push_back(fmt_value(row.values[i], value_spec));
+    }
+    cells.push_back(delta_text(row.values, kind));
+    cells.push_back(sparkline(row.values, lo, hi));
+    out += render_cells(cells, ReportFormat::Markdown);
+  }
+  return out;
+}
+
+/// Collect the union of keys of a per-record map extractor, sorted.
+template <typename Extract>
+std::vector<std::string> union_keys(const std::vector<ArchiveRecord>& records,
+                                    Extract extract) {
+  std::vector<std::string> keys;
+  for (const ArchiveRecord& record : records)
+    for (const auto& [key, value] : extract(record)) {
+      (void)value;
+      if (std::find(keys.begin(), keys.end(), key) == keys.end())
+        keys.push_back(key);
+    }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+const ArchiveCellGroup* find_cell(const ArchiveRecord& record,
+                                  const std::string& key) {
+  for (const ArchiveCellGroup& cell : record.cells)
+    if (cell.key == key) return &cell;
+  return nullptr;
+}
+
+}  // namespace
+
+std::string render_dashboard(std::vector<ArchiveRecord> records,
+                             ReportFormat format) {
+  std::sort(records.begin(), records.end(),
+            [](const ArchiveRecord& a, const ArchiveRecord& b) {
+              if (a.engine != b.engine)
+                return engine_version_less(a.engine, b.engine);
+              if (a.date != b.date) return a.date < b.date;
+              return a.build < b.build;
+            });
+  const std::vector<ArchiveDrift> drift = detect_drift(records);
+
+  std::vector<std::string> versions;
+  for (const ArchiveRecord& record : records)
+    versions.push_back(record.engine);
+
+  // Series keys, as unions over every record so a quantity that appears
+  // or disappears mid-archive still gets a (gappy) row.
+  const std::vector<std::string> bench_names = union_keys(
+      records, [](const ArchiveRecord& r) -> const auto& { return r.perf; });
+  std::vector<std::string> cell_keys;
+  for (const ArchiveRecord& record : records)
+    for (const ArchiveCellGroup& cell : record.cells)
+      if (std::find(cell_keys.begin(), cell_keys.end(), cell.key) ==
+          cell_keys.end())
+        cell_keys.push_back(cell.key);
+  std::sort(cell_keys.begin(), cell_keys.end());
+
+  if (format == ReportFormat::Json) {
+    util::Json doc;
+    doc.set("archive", kArchiveSchemaVersion);
+    util::Json::Array recs;
+    for (const ArchiveRecord& record : records)
+      recs.push_back(to_json(record));
+    doc.set("records", util::Json(std::move(recs)));
+    util::Json::Array drifted;
+    for (const ArchiveDrift& d : drift) {
+      util::Json j;
+      j.set("report", d.report);
+      j.set("from", d.from_engine);
+      j.set("to", d.to_engine);
+      j.set("digest_before", d.digest_before);
+      j.set("digest_after", d.digest_after);
+      drifted.push_back(std::move(j));
+    }
+    doc.set("drift", util::Json(std::move(drifted)));
+    return doc.dump() + "\n";
+  }
+
+  if (format == ReportFormat::Csv) {
+    // Flat plot-ready form: one (section, series, version, value) row per
+    // recorded quantity.
+    std::string out =
+        render_cells({"section", "series", "version", "value"},
+                     ReportFormat::Csv);
+    for (const ArchiveRecord& record : records) {
+      for (const auto& [name, mark] : record.perf)
+        out += render_cells({"perf_ns", name, record.engine,
+                             fmt_value(mark.real_time_ns, "%.2f")},
+                            ReportFormat::Csv);
+      for (const ArchiveCellGroup& cell : record.cells) {
+        out += render_cells({"rate", cell.key, record.engine,
+                             fmt_value(cell.rate(), "%.4f")},
+                            ReportFormat::Csv);
+        if (cell.mean_rounds >= 0)
+          out += render_cells({"rounds", cell.key, record.engine,
+                               fmt_value(cell.mean_rounds, "%.2f")},
+                              ReportFormat::Csv);
+      }
+      if (record.tests >= 0)
+        out += render_cells({"tests", "tier-1", record.engine,
+                             std::to_string(record.tests)},
+                            ReportFormat::Csv);
+    }
+    return out;
+  }
+
+  // --- markdown: the committed page ----------------------------------------
+  std::string out = "# dring trend dashboard\n\n";
+  out +=
+      "Derived from the cross-version archive (`examples/archive/`) by\n"
+      "`dring_dashboard --render`; regenerate after appending a release\n"
+      "record.  Do not edit by hand — CI re-derives this page byte for\n"
+      "byte (`dring_dashboard --check`) and fails on undocumented drift.\n\n";
+  out += "Versions archived: " + std::to_string(records.size());
+  if (!records.empty())
+    out += " (" + records.front().engine + " .. " + records.back().engine +
+           ")";
+  out += "\n\n## versions\n\n";
+  {
+    std::vector<std::string> header = {"version", "date",  "build",
+                                       "schema",  "tests", "cells",
+                                       "reports", "note"};
+    out += render_cells(header, ReportFormat::Markdown);
+    out += md_separator_row(header.size());
+    for (const ArchiveRecord& record : records) {
+      out += render_cells(
+          {record.engine, record.date, record.build,
+           "v" + std::to_string(record.schema),
+           record.tests >= 0 ? std::to_string(record.tests) : "-",
+           std::to_string(record.cells.size()),
+           std::to_string(record.reports.size()),
+           record.note.empty() ? "-" : record.note},
+          ReportFormat::Markdown);
+    }
+  }
+
+  out += "\n## engine perf trend\n\n";
+  out +=
+      "`real_time_ns` per benchmark; Δ last = newest vs previous "
+      "recorded version (negative = faster); REGRESSED = more than 10% "
+      "slower (the CI perf-gate tolerance).\n\n";
+  {
+    std::vector<TrendRow> rows;
+    for (const std::string& name : bench_names) {
+      TrendRow row{name, {}};
+      for (const ArchiveRecord& record : records) {
+        const auto it = record.perf.find(name);
+        row.values.push_back(it == record.perf.end() ? kNaN
+                                                     : it->second.real_time_ns);
+      }
+      rows.push_back(std::move(row));
+    }
+    out += render_trend_table("benchmark", versions, rows, "%.2f",
+                              DeltaKind::PercentCostly, 0, 0);
+  }
+
+  out += "\n## success-rate trend\n\n";
+  out +=
+      "Success rate [Wilson 95% CI] per campaign cell group; Δ last in "
+      "percentage points; REGRESSED = any drop.  Sparklines use the "
+      "absolute [0, 1] scale.\n\n";
+  {
+    std::vector<TrendRow> rows;
+    std::vector<std::vector<std::string>> texts;
+    for (const std::string& key : cell_keys) {
+      TrendRow row{key, {}};
+      std::vector<std::string> text;
+      for (const ArchiveRecord& record : records) {
+        const ArchiveCellGroup* cell = find_cell(record, key);
+        row.values.push_back(cell ? cell->rate() : kNaN);
+        text.push_back(cell ? fmt_value(cell->rate(), "%.4f") + " [" +
+                                  fmt_value(cell->rate_lo, "%.4f") + "," +
+                                  fmt_value(cell->rate_hi, "%.4f") + "]"
+                            : "-");
+      }
+      rows.push_back(std::move(row));
+      texts.push_back(std::move(text));
+    }
+    out += render_trend_table("cell", versions, rows, "%.4f",
+                              DeltaKind::RatePoints, 0, 1, &texts);
+  }
+
+  out += "\n## rounds-to-explored trend\n\n";
+  out +=
+      "Mean `explored_round` over successful runs; Δ last = newest vs "
+      "previous (negative = explored sooner); REGRESSED = more than 10% "
+      "more rounds.\n\n";
+  {
+    std::vector<TrendRow> rows;
+    for (const std::string& key : cell_keys) {
+      TrendRow row{key, {}};
+      bool any = false;
+      for (const ArchiveRecord& record : records) {
+        const ArchiveCellGroup* cell = find_cell(record, key);
+        const double v =
+            cell && cell->mean_rounds >= 0 ? cell->mean_rounds : kNaN;
+        any = any || !std::isnan(v);
+        row.values.push_back(v);
+      }
+      if (any) rows.push_back(std::move(row));
+    }
+    out += render_trend_table("cell", versions, rows, "%.2f",
+                              DeltaKind::PercentCostly, 0, 0);
+  }
+
+  out += "\n## tier-1 tests trend\n\n";
+  {
+    std::vector<TrendRow> rows;
+    TrendRow row{"tests", {}};
+    for (const ArchiveRecord& record : records)
+      row.values.push_back(record.tests >= 0
+                               ? static_cast<double>(record.tests)
+                               : kNaN);
+    rows.push_back(std::move(row));
+    out += render_trend_table("suite", versions, rows, "%.0f",
+                              DeltaKind::Count, 0, 0);
+  }
+
+  out += "\n## bench rebaseline history\n\n";
+  {
+    const std::vector<ArchiveBenchEra>* history = nullptr;
+    for (const ArchiveRecord& record : records)
+      if (!record.bench_history.empty()) history = &record.bench_history;
+    if (!history) {
+      out += "No rebaselines recorded: every mark above is measured "
+             "against the original seed-engine baseline.\n";
+    } else {
+      out += "Trajectories retired by `bench_snapshot.sh --rebaseline` "
+             "(oldest first):\n\n";
+      for (const ArchiveBenchEra& era : *history)
+        out += "- " + (era.engine.empty() ? "(unknown engine)" : era.engine) +
+               ", " + (era.date.empty() ? "(unknown date)" : era.date) +
+               ": " + std::to_string(era.marks.size()) +
+               " mark(s) retired\n";
+    }
+  }
+
+  out += "\n## artifact drift\n\n";
+  out +=
+      "Aggregate digests of the committed `examples/paper/` reports.  A "
+      "digest change between consecutive archived versions means that "
+      "artifact's numbers moved — deliberate rebaselines must be named in "
+      "the release note.\n\n";
+  if (drift.empty()) {
+    out += "No drift: no tracked report changed its digest between "
+           "consecutive archived versions.\n";
+  } else {
+    std::vector<std::string> header = {"report", "from", "to",
+                                       "digest before", "digest after"};
+    out += render_cells(header, ReportFormat::Markdown);
+    out += md_separator_row(header.size());
+    for (const ArchiveDrift& d : drift)
+      out += render_cells({d.report, d.from_engine, d.to_engine,
+                           d.digest_before, d.digest_after},
+                          ReportFormat::Markdown);
+  }
+  // Reports appearing for the first time are new coverage, not drift —
+  // listed so the drift section accounts for every digest.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    std::vector<std::string> fresh;
+    for (const auto& [name, digest] : records[i].reports) {
+      (void)digest;
+      if (records[i - 1].reports.count(name) == 0) fresh.push_back(name);
+    }
+    if (fresh.empty()) continue;
+    out += "\nNew at " + records[i].engine + " (" +
+           std::to_string(fresh.size()) + "): ";
+    for (std::size_t f = 0; f < fresh.size(); ++f)
+      out += (f ? ", " : "") + fresh[f];
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dring::core

@@ -1,0 +1,217 @@
+// Cross-version archive: one provenance-stamped record per release, and
+// the trend dashboard derived from the whole archive.
+//
+// The repo's quality/perf surface is already deterministic per run —
+// committed paper reports (core/artifact.hpp), campaign aggregates with
+// Wilson intervals (core/analysis.hpp), perf marks (BENCH_engine.json),
+// telemetry sidecars (core/telemetry.hpp).  What none of those give is a
+// durable record *across versions*: a success rate that sagged two
+// releases ago, a benchmark that crept 8% per release, an artifact whose
+// digest silently moved.  This module is that record:
+//
+//   * ArchiveRecord — a compact snapshot of one release's observable
+//     state: engine/build/schema identity (core/version.hpp), per-artifact
+//     aggregate digests of the committed examples/paper/ reports,
+//     success-rate + rounds-to-explored aggregates per campaign cell
+//     group, perf marks, tier-1 test count, bench rebaseline history.
+//     All non-integral numbers are serialized as fixed-format strings so
+//     the canonical dump is byte-stable and human-readable.
+//   * an append-only archive directory (examples/archive/) of one
+//     canonical-JSON file per record, keyed by engine version; appending
+//     an already-archived version is refused unless forced.
+//   * render_dashboard — the whole archive as one byte-stable page
+//     (examples/DASHBOARD.md / .json): per-version trend tables with
+//     signed deltas and REGRESSED flags, sparkline cell rows, and a
+//     drift section naming every artifact whose digest changed between
+//     consecutive versions.  `dring_report --compare` answers "did these
+//     two stores drift?"; the dashboard answers it for every tracked
+//     quantity over every archived version at once.
+//
+// The dashboard is a pure function of the archive directory — CI
+// re-derives the committed page byte-for-byte (dring_dashboard --check),
+// so undocumented drift between the archive and the page fails the build.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "util/json.hpp"
+
+namespace dring::core {
+
+/// Version of the archive record layout; bump on breaking shape changes.
+inline constexpr long long kArchiveSchemaVersion = 1;
+
+/// One engine microbench mark (the BENCH_engine.json per-bench shape).
+struct ArchivePerfMark {
+  double real_time_ns = 0;
+  double items_per_second = 0;
+
+  friend bool operator==(const ArchivePerfMark&,
+                         const ArchivePerfMark&) = default;
+};
+
+/// One campaign cell group's aggregate: the success-rate and
+/// rounds-to-explored summary the trend tables track per version.
+struct ArchiveCellGroup {
+  /// "axis=value" pairs joined by single spaces, e.g.
+  /// "algorithm=KnownNNoChirality n=6" — self-describing, so records
+  /// collected with different --group-by keys never silently collide.
+  std::string key;
+  int runs = 0;
+  int successes = 0;
+  double rate_lo = 0;  ///< Wilson 95% lower bound
+  double rate_hi = 1;  ///< Wilson 95% upper bound
+  /// Mean explored_round over the successful runs; -1 = no successes.
+  double mean_rounds = -1;
+
+  double rate() const {
+    return runs > 0 ? static_cast<double>(successes) / runs : 0.0;
+  }
+
+  friend bool operator==(const ArchiveCellGroup&,
+                         const ArchiveCellGroup&) = default;
+};
+
+/// One bench rebaseline era (BENCH_engine.json "history" entries): the
+/// trajectory that was current when a --rebaseline replaced it.
+struct ArchiveBenchEra {
+  std::string engine;  ///< engine version at the rebaseline
+  std::string date;    ///< YYYY-MM-DD
+  std::map<std::string, ArchivePerfMark> marks;
+
+  friend bool operator==(const ArchiveBenchEra&,
+                         const ArchiveBenchEra&) = default;
+};
+
+/// One release's observable state, as archived.
+struct ArchiveRecord {
+  std::string engine;  ///< core::engine_version(), e.g. "dring-1.5.0"
+  std::string build;   ///< core::build_flags_hash()
+  long long schema = 0;  ///< kStoreSchemaVersion at release time
+  std::string date;      ///< YYYY-MM-DD, caller-supplied (determinism)
+  std::string note;      ///< free-form release note; "" = omitted
+  long long tests = -1;  ///< tier-1 test count; -1 = unknown, omitted
+  /// Committed examples/paper/ report digests: name -> content_digest.
+  std::map<std::string, std::string> reports;
+  /// Campaign cell-group aggregates, sorted by key.
+  std::vector<ArchiveCellGroup> cells;
+  /// Engine perf marks (BENCH_engine.json section).
+  std::map<std::string, ArchivePerfMark> perf;
+  /// Bench rebaseline history carried from BENCH_engine.json, oldest
+  /// first, so the dashboard can render it from the archive alone.
+  std::vector<ArchiveBenchEra> bench_history;
+
+  friend bool operator==(const ArchiveRecord&, const ArchiveRecord&) = default;
+};
+
+// --- record (de)serialization ----------------------------------------------
+
+/// Canonical JSON for a record.  Non-integral numbers are emitted as
+/// fixed-format strings (rates "%.4f", rounds/ns "%.2f", items/s "%.1f"),
+/// so dumps are byte-stable and diff-readable; empty/default members are
+/// omitted.  archive_record_from_json accepts both the string forms and
+/// plain numbers.
+util::Json to_json(const ArchiveRecord& record);
+ArchiveRecord archive_record_from_json(const util::Json& j);
+
+/// The canonical file content of one archive entry (dump + newline).
+std::string archive_entry_bytes(const ArchiveRecord& record);
+
+// --- building record pieces -------------------------------------------------
+
+/// FNV-1a digest of a report's bytes in the repo's canonical "0x%016x"
+/// form — the aggregate fingerprint the drift section compares.
+std::string content_digest(const std::string& bytes);
+
+/// Fold campaign rows into per-cell-group aggregates: group by the given
+/// canonical axes (analysis_axes), success counts + Wilson 95% interval,
+/// mean explored_round over successes.  Groups come back sorted by key.
+std::vector<ArchiveCellGroup> archive_cells(
+    const std::vector<CampaignRow>& rows,
+    const std::vector<std::string>& group_keys);
+
+/// Fragment emitted by `dring_report --emit-archive`: {"cells":[...]}
+/// plus the group_by keys for provenance.  archive_cells_from_json reads
+/// the fragment (or a whole record) back.
+util::Json archive_cells_json(const std::vector<ArchiveCellGroup>& cells,
+                              const std::vector<std::string>& group_keys);
+std::vector<ArchiveCellGroup> archive_cells_from_json(const util::Json& j);
+
+/// Perf marks from a BENCH_engine.json document section ("current" or
+/// "baseline"); throws std::invalid_argument when the section is absent.
+std::map<std::string, ArchivePerfMark> perf_marks_from_bench(
+    const util::Json& bench, const std::string& section);
+
+/// Rebaseline history from a BENCH_engine.json document ("history"
+/// member, absent = empty).
+std::vector<ArchiveBenchEra> bench_history_from_bench(const util::Json& bench);
+
+/// Fragment emitted by `dring_metrics --bench --emit-archive`:
+/// {"perf":{...},"bench_history":[...]}.
+util::Json archive_perf_json(
+    const std::map<std::string, ArchivePerfMark>& perf,
+    const std::vector<ArchiveBenchEra>& history);
+
+// --- the archive directory ---------------------------------------------------
+
+/// Filename of a record inside the archive directory: "<engine>.json".
+std::string archive_entry_filename(const ArchiveRecord& record);
+
+/// Engine-version ordering: "dring-1.2.0" < "dring-1.10.0" (numeric
+/// component-wise); non-conforming names sort lexicographically after
+/// conforming ones.
+bool engine_version_less(const std::string& a, const std::string& b);
+
+/// Load every *.json entry of the archive directory, sorted oldest
+/// version first (engine_version_less, ties by date then build).  Throws
+/// std::runtime_error when the directory cannot be read and
+/// std::invalid_argument (naming the file) on malformed entries.  An
+/// absent directory reads as an empty archive.
+std::vector<ArchiveRecord> read_archive_dir(const std::string& dir);
+
+/// Append a record to the archive directory (created if absent).  A
+/// record for an already-archived engine version is refused with
+/// std::runtime_error unless `force` — the archive is append-only;
+/// rewriting history is a deliberate act.  Returns the path written.
+std::string append_archive_record(const std::string& dir,
+                                  const ArchiveRecord& record, bool force);
+
+// --- the dashboard ------------------------------------------------------------
+
+/// Artifact drift between two consecutive archived versions: the digest
+/// of a committed report changed.
+struct ArchiveDrift {
+  std::string report;       ///< report name
+  std::string from_engine;  ///< older version
+  std::string to_engine;    ///< newer version
+  std::string digest_before;
+  std::string digest_after;
+};
+
+/// Every consecutive-version digest change, oldest pair first, report
+/// name order within a pair.
+std::vector<ArchiveDrift> detect_drift(
+    const std::vector<ArchiveRecord>& records);
+
+/// Unicode block sparkline of a value series, one glyph per element.
+/// NaN renders as "·" (missing).  With `lo < hi` the scale is absolute
+/// over [lo, hi]; otherwise each call normalizes to its own min..max
+/// (all-equal series render mid-scale).
+std::string sparkline(const std::vector<double>& values, double lo = 0,
+                      double hi = 0);
+
+/// Render the whole archive as the trend dashboard.  Markdown is the
+/// committed page: version inventory, perf / success-rate /
+/// rounds-to-explored trend tables (one column per version, signed
+/// last-step deltas, REGRESSED flags, sparkline rows), bench rebaseline
+/// history, and the artifact drift section.  Json is the canonical
+/// machine document (records + computed drift); Csv is one flat
+/// plot-ready table (section,series,version,value).  Byte-stable for a
+/// given archive; records may be passed in any order.
+std::string render_dashboard(std::vector<ArchiveRecord> records,
+                             ReportFormat format);
+
+}  // namespace dring::core

@@ -219,6 +219,21 @@ bool shard_key_less(const std::string& a, const std::string& b) {
   return a < b;
 }
 
+/// The event's labels as "k=v k=v", minus `skip_label` and — unless
+/// `with_times` — the wall-clock span durations, so the default rendering
+/// stays byte-stable for a fixed fault schedule.
+std::string event_labels_text(const TelemetryEvent& event, bool with_times,
+                              const std::string& skip_label) {
+  std::string text;
+  for (const auto& [key, value] : event.labels) {
+    if (key == skip_label) continue;
+    if (!with_times && key == "duration_us") continue;
+    if (!text.empty()) text += ' ';
+    text += key + "=" + value;
+  }
+  return text;
+}
+
 std::string format_event_line(const TelemetryEvent& event, bool with_times,
                               const std::string& skip_label) {
   std::string line = "- ";
@@ -230,20 +245,15 @@ std::string format_event_line(const TelemetryEvent& event, bool with_times,
   }
   if (event.kind != "point") line += "[" + event.kind + "] ";
   line += event.name;
-  for (const auto& [key, value] : event.labels) {
-    if (key == skip_label) continue;
-    // Span durations are wall-clock and vary run to run; keep the default
-    // rendering byte-stable for a fixed fault schedule.
-    if (!with_times && key == "duration_us") continue;
-    line += " " + key + "=" + value;
-  }
+  const std::string labels = event_labels_text(event, with_times, skip_label);
+  if (!labels.empty()) line += " " + labels;
   return line;
 }
 
 }  // namespace
 
 std::string render_timeline(const std::vector<TelemetryEvent>& events,
-                            bool with_times) {
+                            bool with_times, ReportFormat format) {
   // Group by shard label; emission order (seq) within each group is a pure
   // function of the fault schedule, even though the cross-shard
   // interleaving is not.
@@ -262,6 +272,30 @@ std::string render_timeline(const std::vector<TelemetryEvent>& events,
     return a->seq < b->seq;
   };
   std::sort(run_events.begin(), run_events.end(), by_seq);
+
+  if (format == ReportFormat::Csv) {
+    // One flat table, same grouping and ordering as the markdown
+    // sections; the shard-less leading section keys as "run".
+    std::vector<std::string> header = {"shard", "kind", "name", "labels"};
+    if (with_times) header.insert(header.begin() + 1, "t_us");
+    std::string out = render_cells(header, format);
+    const auto emit = [&](const std::string& shard,
+                          const TelemetryEvent& event,
+                          const std::string& skip_label) {
+      std::vector<std::string> cells = {shard};
+      if (with_times) cells.push_back(std::to_string(event.t_us));
+      cells.push_back(event.kind);
+      cells.push_back(event.name);
+      cells.push_back(event_labels_text(event, with_times, skip_label));
+      out += render_cells(cells, format);
+    };
+    for (const auto* event : run_events) emit("run", *event, "");
+    for (auto& [shard, shard_events] : by_shard) {
+      std::sort(shard_events.begin(), shard_events.end(), by_seq);
+      for (const auto* event : shard_events) emit(shard, *event, "shard");
+    }
+    return out;
+  }
 
   std::string out = "# timeline\n";
   if (!run_events.empty()) {
@@ -288,9 +322,8 @@ std::string format_double(double v) {
 
 }  // namespace
 
-std::string render_metrics_summary(const util::Json& metrics) {
-  std::string out = "# metrics\n";
-
+std::string render_metrics_summary(const util::Json& metrics,
+                                   ReportFormat format) {
   const util::Json empty{util::Json::Object{}};
   const util::Json& counters =
       metrics.has("counters") ? metrics.at("counters") : empty;
@@ -299,6 +332,54 @@ std::string render_metrics_summary(const util::Json& metrics) {
   const util::Json& histograms =
       metrics.has("histograms") ? metrics.at("histograms") : empty;
 
+  // Derived rates, shared by both formats, when their inputs were
+  // instrumented.
+  std::vector<std::pair<std::string, std::string>> derived_rows;
+  {
+    const long long probe_calls = counters.get_int("engine.probe_calls", 0);
+    const long long probe_hits = counters.get_int("engine.probe_hits", 0);
+    if (probe_calls > 0)
+      derived_rows.emplace_back(
+          "engine probe-memo hit rate",
+          format_double(100.0 * static_cast<double>(probe_hits) /
+                        static_cast<double>(probe_calls)) +
+              "%");
+    const long long resume_hits = counters.get_int("campaign.resume_hits", 0);
+    const long long cells = counters.get_int("campaign.cells_executed", 0);
+    if (resume_hits + cells > 0)
+      derived_rows.emplace_back(
+          "campaign resume-cache hit rate",
+          format_double(100.0 * static_cast<double>(resume_hits) /
+                        static_cast<double>(resume_hits + cells)) +
+              "%");
+  }
+
+  if (format == ReportFormat::Csv) {
+    std::string out =
+        render_cells({"kind", "name", "value", "count", "sum"}, format);
+    for (const auto& [name, value] : counters.as_object())
+      out += render_cells(
+          {"counter", name, std::to_string(value.as_int()), "-", "-"}, format);
+    for (const auto& [name, value] : gauges.as_object())
+      out += render_cells(
+          {"gauge", name, format_double(value.as_double()), "-", "-"}, format);
+    for (const auto& [name, h] : histograms.as_object()) {
+      const long long count = h.get_int("count", 0);
+      const long long sum = h.get_int("sum", 0);
+      const std::string mean =
+          count > 0 ? format_double(static_cast<double>(sum) /
+                                    static_cast<double>(count))
+                    : "-";
+      out += render_cells({"histogram", name, mean, std::to_string(count),
+                           std::to_string(sum)},
+                          format);
+    }
+    for (const auto& [name, value] : derived_rows)
+      out += render_cells({"derived", name, value, "-", "-"}, format);
+    return out;
+  }
+
+  std::string out = "# metrics\n";
   if (!counters.as_object().empty()) {
     out += "\n## counters\n\n| counter | value |\n|---|---|\n";
     for (const auto& [name, value] : counters.as_object())
@@ -324,34 +405,52 @@ std::string render_metrics_summary(const util::Json& metrics) {
     }
   }
 
-  // Derived rates, when their inputs were instrumented.
-  std::string derived;
-  const long long probe_calls = counters.get_int("engine.probe_calls", 0);
-  const long long probe_hits = counters.get_int("engine.probe_hits", 0);
-  if (probe_calls > 0)
-    derived += "| engine probe-memo hit rate | " +
-               format_double(100.0 * static_cast<double>(probe_hits) /
-                             static_cast<double>(probe_calls)) +
-               "% |\n";
-  const long long resume_hits = counters.get_int("campaign.resume_hits", 0);
-  const long long cells = counters.get_int("campaign.cells_executed", 0);
-  if (resume_hits + cells > 0)
-    derived += "| campaign resume-cache hit rate | " +
-               format_double(100.0 * static_cast<double>(resume_hits) /
-                             static_cast<double>(resume_hits + cells)) +
-               "% |\n";
-  if (!derived.empty())
-    out += "\n## derived\n\n| quantity | value |\n|---|---|\n" + derived;
+  if (!derived_rows.empty()) {
+    out += "\n## derived\n\n| quantity | value |\n|---|---|\n";
+    for (const auto& [name, value] : derived_rows)
+      out += "| " + name + " | " + value + " |\n";
+  }
   return out;
 }
 
-std::string render_bench_trend(const util::Json& bench) {
+std::string render_bench_trend(const util::Json& bench, ReportFormat format) {
   const util::Json empty{util::Json::Object{}};
   const util::Json& baseline =
       bench.has("baseline") ? bench.at("baseline") : empty;
   const util::Json& current = bench.has("current") ? bench.at("current") : empty;
   const util::Json& speedup =
       bench.has("speedup_vs_baseline") ? bench.at("speedup_vs_baseline") : empty;
+  const util::Json::Array no_history;
+  const util::Json::Array& history =
+      bench.has("history") ? bench.at("history").as_array() : no_history;
+
+  if (format == ReportFormat::Csv) {
+    // One flat table: current/baseline eras first, then every retired
+    // rebaseline era (history entries, oldest first).
+    std::string out = render_cells({"benchmark", "era", "real_time_ns",
+                                    "items_per_second", "speedup"},
+                                   format);
+    const auto emit_marks = [&](const util::Json& marks,
+                                const std::string& era, bool with_speedup) {
+      for (const auto& [name, mark] : marks.as_object()) {
+        std::string speed = "-";
+        if (with_speedup && speedup.has(name))
+          speed = format_double(speedup.at(name).as_double());
+        out += render_cells(
+            {name, era, format_double(mark.get_double("real_time_ns", 0.0)),
+             format_double(mark.get_double("items_per_second", 0.0)), speed},
+            format);
+      }
+    };
+    emit_marks(baseline, "baseline", false);
+    emit_marks(current, "current", true);
+    for (const util::Json& era : history) {
+      const std::string label = "history:" + era.get_string("engine", "?") +
+                                "@" + era.get_string("date", "?");
+      if (era.has("marks")) emit_marks(era.at("marks"), label, false);
+    }
+    return out;
+  }
 
   std::string out =
       "# engine perf trend\n\n"
@@ -367,6 +466,23 @@ std::string render_bench_trend(const util::Json& bench) {
       speed = format_double(speedup.at(name).as_double()) + "x";
     out += "| " + name + " | " + base_ns + " | " + format_double(cur_ns) +
            " | " + speed + " |\n";
+  }
+  if (!history.empty()) {
+    // Rebaseline eras: the trajectories --rebaseline retired, so the
+    // perf record survives a moving reference point.
+    out += "\n## rebaseline history\n\n"
+           "| era | benchmark | real_time_ns | items_per_second |\n"
+           "|---|---|---|---|\n";
+    for (const util::Json& era : history) {
+      const std::string label = era.get_string("engine", "?") + " (" +
+                                era.get_string("date", "?") + ")";
+      if (!era.has("marks")) continue;
+      for (const auto& [name, mark] : era.at("marks").as_object())
+        out += "| " + label + " | " + name + " | " +
+               format_double(mark.get_double("real_time_ns", 0.0)) + " | " +
+               format_double(mark.get_double("items_per_second", 0.0)) +
+               " |\n";
+    }
   }
   return out;
 }

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
@@ -160,22 +161,33 @@ Telemetry& telemetry();
 std::vector<TelemetryEvent> read_events_file(const std::string& path);
 
 /// Render the per-shard attempt timeline of an orchestrator event stream
-/// ("orchestrate.*" events) as markdown.  Events group by their "shard"
-/// label (shard-less events land in a leading "run" section) and keep
+/// ("orchestrate.*" events).  Events group by their "shard" label
+/// (shard-less events land in a leading "run" section/series) and keep
 /// emission order within the group.  Timestamps and durations are omitted
 /// unless `with_times` — without them the output is byte-stable for a
-/// fixed fault schedule, so CI can pin it.
+/// fixed fault schedule, so CI can pin it.  Markdown renders grouped
+/// sections; Csv renders one flat (shard, kind, name, labels) table
+/// through the shared render_cells renderer.  (Json callers re-emit the
+/// parsed events instead.)
 std::string render_timeline(const std::vector<TelemetryEvent>& events,
-                            bool with_times = false);
+                            bool with_times = false,
+                            ReportFormat format = ReportFormat::Markdown);
 
-/// Render a metrics snapshot (the `<base>.metrics.json` document) as a
-/// markdown summary: counters, gauges, histograms, and derived rates
-/// (probe-memo hit rate, mean task time) when their inputs are present.
-std::string render_metrics_summary(const util::Json& metrics);
+/// Render a metrics snapshot (the `<base>.metrics.json` document):
+/// counters, gauges, histograms, and derived rates (probe-memo hit rate,
+/// resume-cache hit rate) when their inputs are present.  Markdown is the
+/// sectioned summary; Csv is one flat (kind, name, value, count, sum)
+/// table.
+std::string render_metrics_summary(const util::Json& metrics,
+                                   ReportFormat format =
+                                       ReportFormat::Markdown);
 
 /// Render the BENCH_engine.json perf trajectory (baseline vs current vs
-/// speedup) as a markdown trend table — the first data spine of the
-/// ROADMAP trend-dashboard item.
-std::string render_bench_trend(const util::Json& bench);
+/// speedup, plus the rebaseline `history` eras when present) — the data
+/// spine of the trend dashboard (core/archive.hpp).  Markdown is the
+/// trend table (+ a history section); Csv is one flat
+/// (benchmark, era, real_time_ns, items_per_second, speedup) table.
+std::string render_bench_trend(const util::Json& bench,
+                               ReportFormat format = ReportFormat::Markdown);
 
 }  // namespace dring::core

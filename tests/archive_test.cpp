@@ -1,0 +1,342 @@
+// Tests for the cross-version archive (core/archive.hpp): record JSON
+// round-trips (with string/number leniency), canonical entry bytes, the
+// append-only archive directory (duplicate-version refusal, --force,
+// version-ordered reads), cell-group folding from campaign rows, perf /
+// history extraction from a bench document, sparklines, drift detection,
+// and the dashboard renderer's byte-stability and input-order invariance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/archive.hpp"
+#include "core/campaign.hpp"
+#include "util/json.hpp"
+
+namespace dring::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A synthetic store row (no engine run): `explored` decides success.
+CampaignRow fake_row(const std::string& algorithm, NodeId n,
+                     std::uint64_t seed, bool explored, Round explored_round) {
+  CampaignRow row;
+  row.spec.algorithm = algorithm;
+  row.spec.n = n;
+  row.spec.adversary.family = "targeted-random";
+  row.spec.adversary.t_interval = 2;
+  row.spec.seed = seed;
+  row.fingerprint = fingerprint(row.spec);
+  row.outcome.explored = explored;
+  row.outcome.explored_round = explored ? explored_round : -1;
+  row.outcome.rounds = explored ? explored_round : 99;
+  row.outcome.stop_reason = explored ? "explored" : "max_rounds";
+  return row;
+}
+
+ArchiveRecord sample_record(const std::string& engine,
+                            const std::string& date) {
+  ArchiveRecord record;
+  record.engine = engine;
+  record.build = "0x00000000deadbeef";
+  record.schema = 4;
+  record.date = date;
+  record.note = "sample";
+  record.tests = 758;
+  record.reports["table1"] = "0x0000000000000001";
+  record.reports["fig2"] = "0x0000000000000002";
+  ArchiveCellGroup cell;
+  cell.key = "algorithm=A n=6";
+  cell.runs = 40;
+  cell.successes = 36;
+  cell.rate_lo = 0.7654;
+  cell.rate_hi = 0.9612;
+  cell.mean_rounds = 17.25;
+  record.cells.push_back(cell);
+  record.perf["BM_Raw/64"] = {12345.67, 891011.1};
+  ArchiveBenchEra era;
+  era.engine = "dring-1.0.0";
+  era.date = "2026-01-01";
+  era.marks["BM_Raw/64"] = {23456.78, 456789.0};
+  record.bench_history.push_back(era);
+  return record;
+}
+
+/// A scratch directory unique to the calling test, recreated empty.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "archive_test_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// --- record (de)serialization -----------------------------------------------
+
+TEST(ArchiveRecordJson, RoundTripsEveryField) {
+  const ArchiveRecord record = sample_record("dring-1.5.0", "2026-08-08");
+  const ArchiveRecord back = archive_record_from_json(to_json(record));
+  EXPECT_EQ(back, record);
+}
+
+TEST(ArchiveRecordJson, CanonicalBytesAreStableUnderReserialization) {
+  const ArchiveRecord record = sample_record("dring-1.5.0", "2026-08-08");
+  const std::string bytes = archive_entry_bytes(record);
+  // Parse -> struct -> dump must reproduce the bytes exactly: the archive
+  // file format is canonical, not merely equivalent.
+  const ArchiveRecord back =
+      archive_record_from_json(util::Json::parse(bytes));
+  EXPECT_EQ(archive_entry_bytes(back), bytes);
+  // Non-integral numbers are serialized as fixed-format strings so the
+  // dump never depends on double formatting.
+  EXPECT_NE(bytes.find("\"rate_lo\":\"0.7654\""), std::string::npos) << bytes;
+  EXPECT_NE(bytes.find("\"real_time_ns\":\"12345.67\""), std::string::npos);
+}
+
+TEST(ArchiveRecordJson, AcceptsPlainNumbersWhereStringsAreCanonical) {
+  // Hand-written or third-party records may use plain JSON numbers.
+  const util::Json j = util::Json::parse(
+      R"({"archive":1,"engine":"dring-1.4.0","build":"0x01","schema":4,)"
+      R"("date":"2026-07-01","cells":[{"key":"algorithm=A","runs":10,)"
+      R"("ok":5,"rate_lo":0.25,"rate_hi":0.75,"mean_rounds":12.5}],)"
+      R"("perf":{"BM_X":{"real_time_ns":100.5,"items_per_second":7}}})");
+  const ArchiveRecord record = archive_record_from_json(j);
+  ASSERT_EQ(record.cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(record.cells[0].rate_lo, 0.25);
+  EXPECT_DOUBLE_EQ(record.cells[0].mean_rounds, 12.5);
+  EXPECT_DOUBLE_EQ(record.perf.at("BM_X").real_time_ns, 100.5);
+}
+
+TEST(ArchiveRecordJson, RejectsUnknownSchemaAndBadNumericStrings) {
+  util::Json wrong = to_json(sample_record("dring-1.5.0", "2026-08-08"));
+  wrong.set("archive", kArchiveSchemaVersion + 1);
+  EXPECT_THROW(archive_record_from_json(wrong), std::invalid_argument);
+  const util::Json bad = util::Json::parse(
+      R"({"archive":1,"engine":"e","build":"b","schema":4,"date":"d",)"
+      R"("perf":{"BM_X":{"real_time_ns":"12x"}}})");
+  EXPECT_THROW(archive_record_from_json(bad), std::invalid_argument);
+}
+
+// --- building record pieces --------------------------------------------------
+
+TEST(ArchiveCells, FoldsRowsIntoSortedSelfDescribingGroups) {
+  std::vector<CampaignRow> rows;
+  // Cell A/6: 3 successes of 4, explored rounds {10, 20, 30}.
+  rows.push_back(fake_row("A", 6, 1, true, 10));
+  rows.push_back(fake_row("A", 6, 2, true, 20));
+  rows.push_back(fake_row("A", 6, 3, true, 30));
+  rows.push_back(fake_row("A", 6, 4, false, 0));
+  // Cell B/6: all failures — no mean_rounds.
+  rows.push_back(fake_row("B", 6, 1, false, 0));
+  rows.push_back(fake_row("B", 6, 2, false, 0));
+
+  const std::vector<ArchiveCellGroup> cells =
+      archive_cells(rows, {"algorithm", "n"});
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].key, "algorithm=A n=6");
+  EXPECT_EQ(cells[0].runs, 4);
+  EXPECT_EQ(cells[0].successes, 3);
+  EXPECT_DOUBLE_EQ(cells[0].rate(), 0.75);
+  EXPECT_DOUBLE_EQ(cells[0].mean_rounds, 20.0);
+  EXPECT_GT(cells[0].rate_lo, 0.0);
+  EXPECT_LT(cells[0].rate_lo, 0.75);
+  EXPECT_GT(cells[0].rate_hi, 0.75);
+  EXPECT_EQ(cells[1].key, "algorithm=B n=6");
+  EXPECT_EQ(cells[1].successes, 0);
+  EXPECT_DOUBLE_EQ(cells[1].mean_rounds, -1.0);
+
+  // The fragment shape dring_report --emit-archive writes reads back.
+  // Rates are canonical at 4 decimals, so the invariant is that a second
+  // serialization round is a fixed point, not bit-exact doubles.
+  const util::Json fragment = archive_cells_json(cells, {"algorithm", "n"});
+  const std::vector<ArchiveCellGroup> back = archive_cells_from_json(fragment);
+  EXPECT_EQ(back[0].runs, cells[0].runs);
+  EXPECT_EQ(back[0].successes, cells[0].successes);
+  EXPECT_NEAR(back[0].rate_lo, cells[0].rate_lo, 5e-5);
+  EXPECT_EQ(archive_cells_json(back, {"algorithm", "n"}).dump(),
+            fragment.dump());
+}
+
+TEST(ArchiveBench, ExtractsSectionsAndHistory) {
+  const util::Json bench = util::Json::parse(
+      R"({"baseline":{"BM_X":{"real_time_ns":200.0,"items_per_second":5.0}},)"
+      R"("current":{"BM_X":{"real_time_ns":100.0,"items_per_second":10.0}},)"
+      R"("history":[{"engine":"dring-1.2.0","date":"2026-03-01",)"
+      R"("marks":{"BM_X":{"real_time_ns":150.0,"items_per_second":7.5}}}]})");
+  EXPECT_DOUBLE_EQ(perf_marks_from_bench(bench, "current")
+                       .at("BM_X").real_time_ns, 100.0);
+  EXPECT_DOUBLE_EQ(perf_marks_from_bench(bench, "baseline")
+                       .at("BM_X").real_time_ns, 200.0);
+  EXPECT_THROW(perf_marks_from_bench(bench, "nope"), std::invalid_argument);
+  const std::vector<ArchiveBenchEra> history =
+      bench_history_from_bench(bench);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].engine, "dring-1.2.0");
+  EXPECT_DOUBLE_EQ(history[0].marks.at("BM_X").real_time_ns, 150.0);
+  // The --emit-archive perf fragment feeds back through the same readers.
+  const util::Json fragment =
+      archive_perf_json(perf_marks_from_bench(bench, "current"), history);
+  EXPECT_DOUBLE_EQ(perf_marks_from_bench(fragment, "perf")
+                       .at("BM_X").real_time_ns, 100.0);
+  EXPECT_EQ(bench_history_from_bench(fragment).size(), 0u)
+      << "fragment history lives under bench_history, not history";
+}
+
+TEST(ArchiveDigest, FnvDigestMatchesKnownVectorAndSeparates) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(content_digest(""), "0xcbf29ce484222325");
+  EXPECT_NE(content_digest("a"), content_digest("b"));
+}
+
+// --- the archive directory ---------------------------------------------------
+
+TEST(ArchiveDir, VersionOrderingIsNumericComponentWise) {
+  EXPECT_TRUE(engine_version_less("dring-1.2.0", "dring-1.10.0"));
+  EXPECT_FALSE(engine_version_less("dring-1.10.0", "dring-1.2.0"));
+  EXPECT_TRUE(engine_version_less("dring-1.9.9", "dring-2.0.0"));
+  EXPECT_FALSE(engine_version_less("dring-1.5.0", "dring-1.5.0"));
+  // Parsed versions sort before non-conforming names.
+  EXPECT_TRUE(engine_version_less("dring-1.0.0", "prototype"));
+  EXPECT_FALSE(engine_version_less("prototype", "dring-1.0.0"));
+}
+
+TEST(ArchiveDir, AbsentDirectoryReadsEmpty) {
+  EXPECT_TRUE(read_archive_dir(scratch_dir("absent")).empty());
+}
+
+TEST(ArchiveDir, AppendRefusesDuplicateVersionUnlessForced) {
+  const std::string dir = scratch_dir("append");
+  const ArchiveRecord v1 = sample_record("dring-1.4.0", "2026-06-01");
+  const std::string path = append_archive_record(dir, v1, false);
+  EXPECT_TRUE(fs::exists(path));
+
+  // Same version again: refused, file untouched.
+  ArchiveRecord dup = v1;
+  dup.note = "overwrite attempt";
+  EXPECT_THROW(append_archive_record(dir, dup, false), std::runtime_error);
+  {
+    std::vector<ArchiveRecord> records = read_archive_dir(dir);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].note, "sample");
+  }
+
+  // --force rewrites deliberately.
+  append_archive_record(dir, dup, true);
+  EXPECT_EQ(read_archive_dir(dir).at(0).note, "overwrite attempt");
+
+  // A second version appends alongside; reads come back version-ordered
+  // even though "dring-1.10.0" sorts before "dring-1.4.0" as a filename.
+  append_archive_record(dir, sample_record("dring-1.10.0", "2026-07-01"),
+                        false);
+  const std::vector<ArchiveRecord> records = read_archive_dir(dir);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].engine, "dring-1.4.0");
+  EXPECT_EQ(records[1].engine, "dring-1.10.0");
+}
+
+TEST(ArchiveDir, MalformedEntryNamesTheFile) {
+  const std::string dir = scratch_dir("malformed");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/broken.json") << "{\"archive\":999}\n";
+  try {
+    read_archive_dir(dir);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.json"), std::string::npos);
+  }
+}
+
+// --- the dashboard -----------------------------------------------------------
+
+TEST(ArchiveSparkline, ScalesAndMarksMissing) {
+  EXPECT_EQ(sparkline({0, 1}), "▁█");
+  EXPECT_EQ(sparkline({5, 5, 5}), "▄▄▄");  // all-equal: mid-scale
+  const double nan = std::nan("");
+  EXPECT_EQ(sparkline({0, nan, 1}), "▁·█");
+  // Absolute scale: 0.5 sits mid-scale even though it is the series max.
+  EXPECT_EQ(sparkline({0.5}, 0, 1), "▅");
+}
+
+TEST(ArchiveDrift, DetectsDigestChangesBetweenConsecutiveVersions) {
+  ArchiveRecord v1 = sample_record("dring-1.4.0", "2026-06-01");
+  ArchiveRecord v2 = sample_record("dring-1.5.0", "2026-08-08");
+  v2.reports["table1"] = "0x00000000000000ff";  // perturbed
+  v2.reports["fresh"] = "0x0000000000000003";   // new report: not drift
+  const std::vector<ArchiveDrift> drift = detect_drift({v1, v2});
+  ASSERT_EQ(drift.size(), 1u);
+  EXPECT_EQ(drift[0].report, "table1");
+  EXPECT_EQ(drift[0].from_engine, "dring-1.4.0");
+  EXPECT_EQ(drift[0].to_engine, "dring-1.5.0");
+  EXPECT_EQ(drift[0].digest_before, "0x0000000000000001");
+  EXPECT_EQ(drift[0].digest_after, "0x00000000000000ff");
+  EXPECT_TRUE(detect_drift({v1}).empty());
+}
+
+TEST(ArchiveDashboard, ByteStableAndInputOrderInvariant) {
+  ArchiveRecord v1 = sample_record("dring-1.4.0", "2026-06-01");
+  ArchiveRecord v2 = sample_record("dring-1.5.0", "2026-08-08");
+  v2.perf["BM_Raw/64"] = {11111.11, 991011.1};
+  v2.reports["table1"] = "0x00000000000000ff";
+
+  const std::string page = render_dashboard({v1, v2},
+                                            ReportFormat::Markdown);
+  // Two derivations, the second from permuted input order: identical.
+  EXPECT_EQ(render_dashboard({v2, v1}, ReportFormat::Markdown), page);
+  EXPECT_EQ(render_dashboard({v2, v1}, ReportFormat::Json),
+            render_dashboard({v1, v2}, ReportFormat::Json));
+
+  // The page carries each section and the perturbed digest as drift.
+  EXPECT_NE(page.find("## versions"), std::string::npos);
+  EXPECT_NE(page.find("## engine perf trend"), std::string::npos);
+  EXPECT_NE(page.find("## success-rate trend"), std::string::npos);
+  EXPECT_NE(page.find("## rounds-to-explored trend"), std::string::npos);
+  EXPECT_NE(page.find("## artifact drift"), std::string::npos);
+  EXPECT_NE(page.find("| table1 | dring-1.4.0 | dring-1.5.0 |"),
+            std::string::npos)
+      << page;
+  // Perf moved 12345.67 -> 11111.11 ns: a negative (improving) delta.
+  EXPECT_NE(page.find("-10.0%"), std::string::npos) << page;
+}
+
+TEST(ArchiveDashboard, FlagsCostRegressionsPastTolerance) {
+  ArchiveRecord v1 = sample_record("dring-1.4.0", "2026-06-01");
+  ArchiveRecord v2 = sample_record("dring-1.5.0", "2026-08-08");
+  v2.perf["BM_Raw/64"] = {12345.67 * 1.25, 891011.1};  // +25% slower
+  v2.cells[0].successes = 30;                          // rate 0.9 -> 0.75
+  const std::string page = render_dashboard({v1, v2},
+                                            ReportFormat::Markdown);
+  EXPECT_NE(page.find("+25.0% REGRESSED"), std::string::npos) << page;
+  EXPECT_NE(page.find("-15.00pp REGRESSED"), std::string::npos) << page;
+}
+
+TEST(ArchiveDashboard, CsvIsOneFlatPlotReadyTable) {
+  const std::string csv = render_dashboard(
+      {sample_record("dring-1.5.0", "2026-08-08")}, ReportFormat::Csv);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "section,series,version,value");
+  EXPECT_NE(csv.find("perf_ns,BM_Raw/64,dring-1.5.0,12345.67"),
+            std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("rate,algorithm=A n=6,dring-1.5.0,0.9000"),
+            std::string::npos);
+  EXPECT_NE(csv.find("rounds,algorithm=A n=6,dring-1.5.0,17.25"),
+            std::string::npos);
+  EXPECT_NE(csv.find("tests,tier-1,dring-1.5.0,758"), std::string::npos);
+}
+
+TEST(ArchiveDashboard, JsonCarriesRecordsAndDrift) {
+  ArchiveRecord v1 = sample_record("dring-1.4.0", "2026-06-01");
+  ArchiveRecord v2 = sample_record("dring-1.5.0", "2026-08-08");
+  v2.reports["table1"] = "0x00000000000000ff";
+  const util::Json doc = util::Json::parse(
+      render_dashboard({v1, v2}, ReportFormat::Json));
+  EXPECT_EQ(doc.get_int("archive", -1), kArchiveSchemaVersion);
+  ASSERT_EQ(doc.at("records").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("records").as_array()[0].at("engine").as_string(),
+            "dring-1.4.0");
+  ASSERT_EQ(doc.at("drift").as_array().size(), 1u);
+  EXPECT_EQ(doc.at("drift").as_array()[0].at("report").as_string(),
+            "table1");
+}
+
+}  // namespace
+}  // namespace dring::core

@@ -307,6 +307,68 @@ TEST(RenderBenchTrend, TabulatesBaselineCurrentSpeedup) {
   EXPECT_NE(md.find("| BM_X/64 | 100 | 25 | 4x |"), std::string::npos);
 }
 
+// --- csv renderer parity -----------------------------------------------------
+
+TEST(RenderTimeline, CsvIsOneFlatTableWithSameOrdering) {
+  const std::string csv =
+      render_timeline(fixture_events(), /*with_times=*/false,
+                      ReportFormat::Csv);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "shard,kind,name,labels");
+  // Same grouping as the markdown sections: the shard-less merge event
+  // leads as "run", shards follow numerically, seq order within.
+  EXPECT_LT(csv.find("run,point,orchestrate.merge,rows=8"),
+            csv.find("0,point,orchestrate.dispatch,attempt=1"));
+  EXPECT_LT(csv.find("0,point,orchestrate.retry,delay_ms=50 next_attempt=2"),
+            csv.find("1,point,orchestrate.dispatch,attempt=1"));
+  // No timestamps without --times: byte-stable like the markdown form.
+  EXPECT_EQ(csv.find("t_us"), std::string::npos);
+  EXPECT_EQ(csv, render_timeline(fixture_events(), false,
+                                 ReportFormat::Csv));
+}
+
+TEST(RenderMetricsSummary, CsvCarriesEveryKindIncludingDerived) {
+  util::MetricsRegistry registry;
+  registry.counter("engine.probe_calls").add(8);
+  registry.counter("engine.probe_hits").add(6);
+  const std::string csv =
+      render_metrics_summary(registry.snapshot_json(), ReportFormat::Csv);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "kind,name,value,count,sum");
+  EXPECT_NE(csv.find("counter,engine.probe_calls,8,-,-"),
+            std::string::npos);
+  // The derived rate needs quoting in csv (its name embeds spaces but no
+  // comma, so it stays bare under RFC-4180).
+  EXPECT_NE(csv.find("derived,engine probe-memo hit rate,75%,-,-"),
+            std::string::npos)
+      << csv;
+}
+
+TEST(RenderBenchTrend, HistoryErasRenderInBothFormats) {
+  const util::Json bench = util::Json::parse(
+      R"({"baseline":{"BM_X/64":{"real_time_ns":100.0}},)"
+      R"("current":{"BM_X/64":{"real_time_ns":25.0}},)"
+      R"("speedup_vs_baseline":{"BM_X/64":4.0},)"
+      R"("history":[{"engine":"dring-1.2.0","date":"2026-03-01",)"
+      R"("marks":{"BM_X/64":{"real_time_ns":50.0,)"
+      R"("items_per_second":2.0}}}]})");
+  const std::string md = render_bench_trend(bench);
+  EXPECT_NE(md.find("## rebaseline history"), std::string::npos);
+  EXPECT_NE(md.find("| dring-1.2.0 (2026-03-01) | BM_X/64 | 50 | 2 |"),
+            std::string::npos)
+      << md;
+  const std::string csv = render_bench_trend(bench, ReportFormat::Csv);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "benchmark,era,real_time_ns,items_per_second,speedup");
+  EXPECT_NE(csv.find("BM_X/64,baseline,100,0,-"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("BM_X/64,current,25,0,4"), std::string::npos);
+  EXPECT_NE(csv.find("BM_X/64,history:dring-1.2.0@2026-03-01,50,2,-"),
+            std::string::npos);
+  // Without a history member the md page keeps its original shape.
+  const util::Json no_history = util::Json::parse(
+      R"({"current":{"BM_X/64":{"real_time_ns":25.0}}})");
+  EXPECT_EQ(render_bench_trend(no_history).find("rebaseline history"),
+            std::string::npos);
+}
+
 // --- log levels --------------------------------------------------------------
 
 TEST(LogLevels, CliMappingAndPrecedence) {

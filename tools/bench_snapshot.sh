@@ -7,14 +7,19 @@
 #   {
 #     "baseline":  { "<bench>": {"real_time_ns", "items_per_second"}, ... },
 #     "current":   { ... same shape, freshly measured ... },
-#     "speedup_vs_baseline": { "<bench>": <baseline_time / current_time> }
+#     "speedup_vs_baseline": { "<bench>": <baseline_time / current_time> },
+#     "history":   [ {"engine", "date", "marks": { ... }}, ... ]
 #   }
 #
 # "baseline" is sticky: it is carried over from the existing file so the
 # trajectory is always measured against the recorded reference (the
 # pre-overhaul seed engine, captured in PR 1). Pass --rebaseline to promote
 # the fresh run to the new baseline (do this when intentionally moving the
-# reference point, e.g. after a hardware change).
+# reference point, e.g. after a hardware change). Rebaselines no longer
+# discard the prior trajectory: the retired "current" marks are appended to
+# the "history" array (stamped with the engine version from
+# src/core/version.hpp and today's UTC date), which dring_metrics --bench
+# and the trend dashboard (dring_dashboard) render as rebaseline eras.
 #
 # --check turns the snapshot into a CI perf gate: measure, compare against
 # the committed "current" entries in BENCH_engine.json, and exit 1 if any
@@ -137,7 +142,13 @@ EOF
   exit 0
 fi
 
-RAW="$RAW" OUT="$ROOT/BENCH_engine.json" REBASELINE="$REBASELINE" python3 - <<'EOF'
+# Engine version for history stamps, straight from the source of truth.
+ENGINE="dring-$(awk '/constexpr int kEngineVersion(Major|Minor|Patch) =/ {
+  gsub(/;/, ""); v[++n] = $NF } END { print v[1] "." v[2] "." v[3] }' \
+  "$ROOT/src/core/version.hpp")"
+
+RAW="$RAW" OUT="$ROOT/BENCH_engine.json" REBASELINE="$REBASELINE" \
+  ENGINE="$ENGINE" TODAY="$(date -u +%F)" python3 - <<'EOF'
 import json, os, sys
 
 raw = json.load(open(os.environ["RAW"]))
@@ -168,6 +179,15 @@ if os.path.exists(out_path):
         existing = json.load(f)
 
 baseline = existing.get("baseline")
+history = existing.get("history", [])
+if rebaseline and existing.get("current"):
+    # Keep the trajectory: the marks being retired become a history era
+    # instead of vanishing.
+    history = history + [{
+        "engine": os.environ["ENGINE"],
+        "date": os.environ["TODAY"],
+        "marks": existing["current"],
+    }]
 if rebaseline or not baseline:
     baseline = current
 
@@ -179,9 +199,11 @@ speedup = {
 
 doc = {
     "comment": "Engine perf trajectory; regenerate with tools/bench_snapshot.sh. "
-               "baseline = pre-overhaul seed engine unless --rebaseline was used.",
+               "baseline = pre-overhaul seed engine unless --rebaseline was used; "
+               "history = trajectories retired by past rebaselines.",
     "baseline": baseline,
     "current": current,
+    "history": history,
     "speedup_vs_baseline": speedup,
 }
 with open(out_path, "w") as f:

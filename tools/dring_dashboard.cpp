@@ -1,0 +1,349 @@
+// Cross-version archive maintenance + the committed trend dashboard
+// (core/archive.hpp).
+//
+//   # append one release record to the archive (append-only; keyed by
+//   # engine version, duplicate versions refused unless --force)
+//   dring_dashboard --collect --date 2026-08-08 [--archive DIR]
+//       [--store results.jsonl ...] [--group-by algorithm,n]
+//       [--cells cells.json ...]            # dring_report --emit-archive
+//       [--bench BENCH_engine.json [--bench-section current|baseline]]
+//       [--perf perf.json ...]              # dring_metrics --emit-archive
+//       [--reports examples/paper] [--tests N] [--note TEXT]
+//       [--engine NAME --build HASH --schema N]   # backfill overrides
+//       [--force]
+//
+//   # render the whole archive as the trend dashboard
+//   dring_dashboard --render [--archive DIR] [--format md|csv|json]
+//       [--out FILE]
+//
+//   # maintain / gate the committed page (examples/DASHBOARD.md + .json)
+//   dring_dashboard --regen [--archive DIR] [--page FILE] [--json-page FILE]
+//   dring_dashboard --check [--archive DIR] [--page FILE] [--json-page FILE]
+//
+// --check re-derives the committed dashboard byte for byte from the
+// archive directory alone and exits 1 on any drift — the CI gate that
+// keeps the page in lockstep with the archive.  The default paths assume
+// the repo root as the working directory.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/archive.hpp"
+#include "core/campaign.hpp"
+#include "core/telemetry.hpp"
+#include "core/version.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace dring;
+
+constexpr const char* kDefaultArchive = "examples/archive";
+constexpr const char* kDefaultPage = "examples/DASHBOARD.md";
+constexpr const char* kDefaultJsonPage = "examples/DASHBOARD.json";
+
+util::FlagTable flag_table() {
+  util::FlagTable flags("dring_dashboard",
+                        "cross-version archive + committed trend dashboard: "
+                        "append release records, render the trajectory, gate "
+                        "the committed page");
+  flags.synopsis("dring_dashboard --collect --date YYYY-MM-DD"
+                 " [--archive DIR] [--store FILE ...] [--group-by AXES]"
+                 " [--cells FILE ...] [--bench FILE [--bench-section S]]"
+                 " [--perf FILE ...] [--reports DIR] [--tests N]"
+                 " [--note TEXT] [--force]")
+      .synopsis("dring_dashboard --render [--archive DIR]"
+                " [--format md|csv|json] [--out FILE]")
+      .synopsis("dring_dashboard --regen|--check [--archive DIR]"
+                " [--page FILE] [--json-page FILE]")
+      .flag("collect", "", "append one release record to the archive")
+      .flag("render", "", "render the archive as a dashboard to stdout/--out")
+      .flag("regen", "", "rewrite the committed md + json dashboard pages")
+      .flag("check", "", "re-derive the committed pages and fail on drift")
+      .flag("archive", "DIR", "archive directory (default examples/archive)")
+      .flag("date", "D", "record date, YYYY-MM-DD (collect; explicit so "
+                         "records are deterministic)")
+      .flag("store", "FILE", "result store to fold into cell groups "
+                             "(repeatable; unioned by fingerprint)")
+      .flag("group-by", "AXES", "cell-group axes for --store (default "
+                                "algorithm,n)")
+      .flag("cells", "FILE", "cell-group fragment from dring_report "
+                             "--emit-archive (repeatable)")
+      .flag("bench", "FILE", "BENCH_engine.json to take perf marks + "
+                             "rebaseline history from")
+      .flag("bench-section", "S", "bench section to record: current "
+                                  "(default) or baseline (backfills)")
+      .flag("perf", "FILE", "perf fragment from dring_metrics "
+                            "--emit-archive (repeatable)")
+      .flag("reports", "DIR", "digest every *.md report in DIR (the "
+                              "committed examples/paper)")
+      .flag("tests", "N", "tier-1 test count to record")
+      .flag("note", "TEXT", "release note (name deliberate rebaselines "
+                            "here)")
+      .flag("engine", "NAME", "record engine version (default: this build; "
+                              "backfilling historical entries)")
+      .flag("build", "HASH", "record build-flags hash (default: this build)")
+      .flag("schema", "N", "record store-schema version (default: this "
+                           "build's)")
+      .flag("force", "", "allow rewriting an already-archived version")
+      .flag("format", "F", "--render output: md (default), csv or json")
+      .flag("out", "FILE", "--render target (default stdout)")
+      .flag("page", "FILE", "committed markdown page (default "
+                            "examples/DASHBOARD.md)")
+      .flag("json-page", "FILE", "committed json page (default "
+                                 "examples/DASHBOARD.json)");
+  core::add_log_flags(flags);
+  flags.flag("help", "", "print this help")
+      .note("the dashboard is a pure function of the archive directory — "
+            "CI re-derives the committed pages byte for byte (--check)");
+  return flags;
+}
+
+util::Json read_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return util::Json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write to " + path + " failed");
+}
+
+bool valid_date(const std::string& date) {
+  if (date.size() != 10 || date[4] != '-' || date[7] != '-') return false;
+  for (std::size_t i = 0; i < date.size(); ++i) {
+    if (i == 4 || i == 7) continue;
+    if (date[i] < '0' || date[i] > '9') return false;
+  }
+  return true;
+}
+
+std::vector<std::string> split_keys(const std::string& list) {
+  std::vector<std::string> keys;
+  std::string current;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!current.empty()) keys.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) keys.push_back(current);
+  return keys;
+}
+
+/// Merge cell groups from several sources; the same key appearing twice
+/// with different aggregates is a collection error (two sources measured
+/// the same cell differently), not something to silently average.
+void merge_cells(std::vector<core::ArchiveCellGroup>& into,
+                 const std::vector<core::ArchiveCellGroup>& from) {
+  for (const core::ArchiveCellGroup& cell : from) {
+    bool found = false;
+    for (const core::ArchiveCellGroup& have : into) {
+      if (have.key != cell.key) continue;
+      found = true;
+      if (!(have == cell))
+        throw std::runtime_error(
+            "collect: cell group '" + cell.key +
+            "' appears twice with different aggregates — sources overlap");
+    }
+    if (!found) into.push_back(cell);
+  }
+}
+
+int run_collect(const util::Cli& cli) {
+  const std::string archive_dir = cli.get("archive", kDefaultArchive);
+  const std::string date = cli.get("date", "");
+  if (!valid_date(date)) {
+    std::cerr << "dring_dashboard: --collect needs --date YYYY-MM-DD (the "
+                 "record must be deterministic, so the date is explicit)\n";
+    return 2;
+  }
+
+  core::ArchiveRecord record;
+  record.engine = cli.get("engine", core::engine_version());
+  record.build = cli.get("build", core::build_flags_hash());
+  record.schema = cli.get_int("schema", core::kStoreSchemaVersion);
+  record.date = date;
+  record.note = cli.get("note", "");
+  record.tests = cli.get_int("tests", -1);
+
+  // Cell groups: folded from stores and/or pre-folded fragments.
+  std::vector<std::string> group_keys;
+  for (const std::string& key :
+       split_keys(cli.get("group-by", "algorithm,n")))
+    group_keys.push_back(core::canonical_axis(key));
+  if (!cli.get_all("store").empty()) {
+    const core::ResultStore store =
+        core::load_result_stores(cli.get_all("store"));
+    merge_cells(record.cells, core::archive_cells(store.rows, group_keys));
+  }
+  for (const std::string& path : cli.get_all("cells"))
+    merge_cells(record.cells,
+                core::archive_cells_from_json(read_json_file(path)));
+  std::sort(record.cells.begin(), record.cells.end(),
+            [](const core::ArchiveCellGroup& a,
+               const core::ArchiveCellGroup& b) { return a.key < b.key; });
+
+  // Perf marks: straight from a bench snapshot and/or fragments.
+  if (cli.has("bench")) {
+    const util::Json bench = read_json_file(cli.get("bench", ""));
+    record.perf =
+        core::perf_marks_from_bench(bench, cli.get("bench-section",
+                                                   "current"));
+    record.bench_history = core::bench_history_from_bench(bench);
+  }
+  for (const std::string& path : cli.get_all("perf")) {
+    const util::Json fragment = read_json_file(path);
+    for (const auto& [name, mark] :
+         core::perf_marks_from_bench(fragment, "perf")) {
+      const auto it = record.perf.find(name);
+      if (it != record.perf.end() && !(it->second == mark))
+        throw std::runtime_error("collect: perf mark '" + name +
+                                 "' appears twice with different values");
+      record.perf[name] = mark;
+    }
+    if (record.bench_history.empty())
+      record.bench_history = core::bench_history_from_bench(fragment);
+  }
+
+  // Committed report digests.
+  if (cli.has("reports")) {
+    namespace fs = std::filesystem;
+    const std::string dir = cli.get("reports", "");
+    if (!fs::is_directory(dir))
+      throw std::runtime_error("collect: --reports " + dir +
+                               " is not a directory");
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".md")
+        continue;
+      record.reports[entry.path().stem().string()] =
+          core::content_digest(read_text_file(entry.path().string()));
+    }
+  }
+
+  const std::string path = core::append_archive_record(
+      archive_dir, record, cli.get_bool("force", false));
+  core::log_line(core::LogLevel::kInfo,
+                 "archived " + record.engine + " -> " + path + " (" +
+                     std::to_string(record.cells.size()) + " cell groups, " +
+                     std::to_string(record.perf.size()) + " perf marks, " +
+                     std::to_string(record.reports.size()) +
+                     " report digests)");
+  return 0;
+}
+
+int run_render(const util::Cli& cli) {
+  const std::vector<core::ArchiveRecord> records =
+      core::read_archive_dir(cli.get("archive", kDefaultArchive));
+  const std::string rendered = core::render_dashboard(
+      records, core::report_format_from_string(cli.get("format", "md")));
+  if (cli.has("out")) {
+    write_text_file(cli.get("out", ""), rendered);
+    core::log_line(core::LogLevel::kInfo, "wrote " + cli.get("out", ""));
+  } else {
+    std::cout << rendered;
+  }
+  return 0;
+}
+
+int run_regen_or_check(const util::Cli& cli, bool check) {
+  const std::vector<core::ArchiveRecord> records =
+      core::read_archive_dir(cli.get("archive", kDefaultArchive));
+  const std::string page = cli.get("page", kDefaultPage);
+  const std::string json_page = cli.get("json-page", kDefaultJsonPage);
+  const std::string md =
+      core::render_dashboard(records, core::ReportFormat::Markdown);
+  const std::string json =
+      core::render_dashboard(records, core::ReportFormat::Json);
+  if (!check) {
+    write_text_file(page, md);
+    write_text_file(json_page, json);
+    core::log_line(core::LogLevel::kInfo,
+                   "wrote " + page + " and " + json_page);
+    return 0;
+  }
+  int drifted = 0;
+  for (const auto& [path, expected] :
+       {std::pair{page, md}, std::pair{json_page, json}}) {
+    std::string committed;
+    try {
+      committed = read_text_file(path);
+    } catch (const std::exception& e) {
+      std::cerr << "dring_dashboard: --check: " << e.what() << "\n";
+      ++drifted;
+      continue;
+    }
+    if (committed != expected) {
+      std::cerr << "dring_dashboard: " << path
+                << " does not match the archive-derived page — run "
+                   "dring_dashboard --regen and commit, or revert the "
+                   "undocumented archive change\n";
+      ++drifted;
+    }
+  }
+  if (drifted == 0)
+    core::log_line(core::LogLevel::kInfo,
+                   "dashboard check passed: " + page + " and " + json_page +
+                       " re-derive byte-identically from " +
+                       cli.get("archive", kDefaultArchive));
+  return drifted == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const util::FlagTable flags = flag_table();
+  if (cli.get_bool("help", false)) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  if (const auto error = flags.unknown_flags(cli)) {
+    std::cerr << *error << "\n";
+    return 2;
+  }
+  core::set_log_level(core::log_level_from_cli(cli));
+
+  const int selected = (cli.has("collect") ? 1 : 0) +
+                       (cli.has("render") ? 1 : 0) +
+                       (cli.has("regen") ? 1 : 0) + (cli.has("check") ? 1 : 0);
+  if (selected != 1) {
+    std::cerr << "dring_dashboard: pass exactly one of --collect, --render, "
+                 "--regen, --check\n"
+              << flags.help_text();
+    return 2;
+  }
+
+  try {
+    if (cli.has("collect")) return run_collect(cli);
+    if (cli.has("render")) return run_render(cli);
+    return run_regen_or_check(cli, cli.has("check"));
+  } catch (const std::exception& e) {
+    std::cerr << "dring_dashboard: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -3,8 +3,8 @@
 //
 //   dring_metrics --events run.jsonl.events.jsonl [--times]
 //   dring_metrics --metrics run.jsonl.metrics.json
-//   dring_metrics --bench BENCH_engine.json
-//   any of the above with --format md|json
+//   dring_metrics --bench BENCH_engine.json [--emit-archive FILE]
+//   any of the above with --format md|csv|json
 //
 // `--events` renders the orchestrator attempt timeline grouped by shard:
 // every dispatch, worker exit, kill, retry (with its backoff delay),
@@ -13,16 +13,20 @@
 // rendering is byte-stable — CI pins the timeline of the fault-injected
 // gate run.  `--metrics` summarizes a metrics snapshot (counters, gauges,
 // histogram means, derived rates such as the probe-memo hit rate).
-// `--bench` folds the committed BENCH_engine.json into a trend table —
-// the first data spine for the ROADMAP trend-dashboard item.  --format
-// json re-emits the parsed document canonically (sorted keys) instead of
-// markdown, for downstream tooling.
+// `--bench` folds the committed BENCH_engine.json into a trend table
+// (including the rebaseline `history` eras) — the perf data spine of the
+// trend dashboard.  --format json re-emits the parsed document
+// canonically (sorted keys); --format csv renders one flat plot-ready
+// table through the shared render_cells renderer.  With --bench,
+// --emit-archive FILE writes the marks + rebaseline history as an
+// archive fragment `dring_dashboard --collect --perf FILE` consumes.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/archive.hpp"
 #include "core/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -36,9 +40,11 @@ util::FlagTable flag_table() {
                         "render telemetry sidecars: per-shard attempt "
                         "timelines, metrics summaries, perf trends");
   flags.synopsis("dring_metrics --events FILE.events.jsonl [--times]"
-                 " [--format md|json]")
-      .synopsis("dring_metrics --metrics FILE.metrics.json [--format md|json]")
-      .synopsis("dring_metrics --bench BENCH_engine.json [--format md|json]")
+                 " [--format md|csv|json]")
+      .synopsis("dring_metrics --metrics FILE.metrics.json"
+                " [--format md|csv|json]")
+      .synopsis("dring_metrics --bench BENCH_engine.json"
+                " [--format md|csv|json] [--emit-archive FILE]")
       .flag("events", "FILE", "event log to render as a per-shard timeline")
       .flag("times", "", "include wall-clock stamps and span durations "
                          "(timing varies run to run; off by default so the "
@@ -46,7 +52,11 @@ util::FlagTable flag_table() {
       .flag("metrics", "FILE", "metrics snapshot to summarize")
       .flag("bench", "FILE", "perf snapshot (BENCH_engine.json) to render "
                              "as a trend table")
-      .flag("format", "F", "md (default) or json");
+      .flag("emit-archive", "FILE", "with --bench: also write the marks + "
+                                    "rebaseline history as an archive "
+                                    "fragment for dring_dashboard --collect "
+                                    "--perf")
+      .flag("format", "F", "md (default), csv or json");
   core::add_log_flags(flags);
   flags.flag("help", "", "print this help")
       .note("sidecars: dring_campaign/dring_orchestrate --telemetry write "
@@ -77,9 +87,11 @@ int main(int argc, char** argv) {
   }
   core::set_log_level(core::log_level_from_cli(cli));
 
-  const std::string format = cli.get("format", "md");
-  if (format != "md" && format != "json") {
-    std::cerr << "dring_metrics: unknown --format '" << format << "'\n";
+  core::ReportFormat format;
+  try {
+    format = core::report_format_from_string(cli.get("format", "md"));
+  } catch (const std::exception& e) {
+    std::cerr << "dring_metrics: " << e.what() << "\n";
     return 2;
   }
   const int selected = (cli.has("events") ? 1 : 0) +
@@ -91,6 +103,10 @@ int main(int argc, char** argv) {
               << flags.help_text();
     return 2;
   }
+  if (cli.has("emit-archive") && !cli.has("bench")) {
+    std::cerr << "dring_metrics: --emit-archive needs --bench\n";
+    return 2;
+  }
 
   try {
     if (cli.has("events")) {
@@ -98,27 +114,40 @@ int main(int argc, char** argv) {
           core::read_events_file(cli.get("events", ""));
       core::log_line(core::LogLevel::kDebug,
                      "loaded " + std::to_string(events.size()) + " events");
-      if (format == "json") {
+      if (format == core::ReportFormat::Json) {
         util::Json::Array out;
         for (const auto& event : events)
           out.push_back(core::to_json(event));
         std::cout << util::Json(std::move(out)).dump() << "\n";
       } else {
         std::cout << core::render_timeline(events,
-                                           cli.get_bool("times", false));
+                                           cli.get_bool("times", false),
+                                           format);
       }
     } else if (cli.has("metrics")) {
       const util::Json metrics = read_json_file(cli.get("metrics", ""));
-      if (format == "json")
+      if (format == core::ReportFormat::Json)
         std::cout << metrics.dump() << "\n";
       else
-        std::cout << core::render_metrics_summary(metrics);
+        std::cout << core::render_metrics_summary(metrics, format);
     } else {
       const util::Json bench = read_json_file(cli.get("bench", ""));
-      if (format == "json")
+      if (cli.has("emit-archive")) {
+        const std::string path = cli.get("emit-archive", "");
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot write " + path);
+        out << core::archive_perf_json(
+                   core::perf_marks_from_bench(bench, "current"),
+                   core::bench_history_from_bench(bench))
+                   .dump()
+            << "\n";
+        core::log_line(core::LogLevel::kInfo,
+                       "wrote archive perf fragment " + path);
+      }
+      if (format == core::ReportFormat::Json)
         std::cout << bench.dump() << "\n";
       else
-        std::cout << core::render_bench_trend(bench);
+        std::cout << core::render_bench_trend(bench, format);
     }
   } catch (const std::exception& e) {
     std::cerr << "dring_metrics: " << e.what() << "\n";

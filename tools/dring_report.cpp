@@ -18,11 +18,13 @@
 // significance-test workflow for cross-commit or cross-axis drift.
 // Output is deterministic and byte-stable for a given row set, so reports
 // can be committed next to their campaign spec and diffed across commits.
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "core/archive.hpp"
 #include "core/telemetry.hpp"
 #include "util/cli.hpp"
 
@@ -50,6 +52,10 @@ util::FlagTable flag_table() {
       .flag("threshold", "P", "frontier success-rate threshold (default 0.5)")
       .flag("compare", "FILE", "paired comparison: B-side store "
                                "(repeatable), joined per fingerprint")
+      .flag("emit-archive", "FILE", "aggregate mode only: also write the "
+                                    "per-cell-group aggregates as an archive "
+                                    "fragment for dring_dashboard --collect "
+                                    "--cells")
       .flag("format", "F", "md (default), csv or json");
   core::add_log_flags(flags);
   flags.flag("help", "", "print this help")
@@ -107,6 +113,13 @@ int main(int argc, char** argv) {
     for (const std::string& key : split_keys(cli.get("group-by", "algorithm")))
       group_keys.push_back(core::canonical_axis(key));
 
+    if (cli.has("emit-archive") &&
+        (cli.has("compare") || cli.has("frontier"))) {
+      std::cerr << "dring_report: --emit-archive only applies to the "
+                   "aggregate (group-by) mode\n";
+      return 2;
+    }
+
     std::string report;
     if (cli.has("compare")) {
       const core::ResultStore other =
@@ -132,6 +145,19 @@ int main(int argc, char** argv) {
       report = core::render_aggregate_report(
           core::aggregate_rows(rows, group_keys, metric), group_keys, metric,
           format);
+      if (cli.has("emit-archive")) {
+        // The archive tracks success rates + rounds-to-explored per cell
+        // group regardless of the report's display metric.
+        const std::string path = cli.get("emit-archive", "");
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot write " + path);
+        out << core::archive_cells_json(
+                   core::archive_cells(rows, group_keys), group_keys)
+                   .dump()
+            << "\n";
+        core::log_line(core::LogLevel::kInfo,
+                       "wrote archive cells fragment " + path);
+      }
     }
     std::cout << report;
   } catch (const std::exception& e) {
