@@ -82,6 +82,38 @@ class BounceWalker final : public agent::Brain {
   Dir dir_;
 };
 
+void BM_BatchRoundsPerSecond(benchmark::State& state) {
+  // Batched per-scenario round cost: `width` copies of the
+  // BM_RoundsPerSecondRaw/64 scenario stepped in lockstep on one core.
+  // items/sec counts lane-rounds, so it compares directly against the
+  // scalar mark's rounds/sec: the batch's amortized dispatch should put
+  // per-scenario throughput well above the scalar engine on small rings.
+  const int width = static_cast<int>(state.range(0));
+  const NodeId n = 64;
+  core::ExplorationConfig cfg =
+      core::default_config(algo::AlgorithmId::UnconsciousExploration, n);
+  cfg.engine.verify = false;
+  // Disable every stop condition so lanes never retire: steady state.
+  cfg.stop.stop_when_explored = false;
+  cfg.stop.stop_when_all_terminated = false;
+  cfg.stop.max_rounds = std::int64_t{1} << 62;
+  sim::BatchEngine batch(width);
+  for (int i = 0; i < width; ++i) {
+    const bool admitted = batch.admit(
+        core::make_lane_config(cfg, nullptr), static_cast<std::size_t>(i));
+    if (!admitted) state.SkipWithError("admit failed");
+  }
+  const auto no_retire = [](std::size_t, sim::RunResult&&,
+                            const sim::LanePerf&) {};
+  std::int64_t lane_rounds = 0;
+  for (auto _ : state) {
+    batch.step_round(no_retire);
+    lane_rounds += width;
+  }
+  state.SetItemsProcessed(lane_rounds);
+}
+BENCHMARK(BM_BatchRoundsPerSecond)->Arg(8)->Arg(32)->Arg(64);
+
 void BM_ManyAgentsSnapshot(benchmark::State& state) {
   // Large teams: k walkers on a ring of k nodes (occupancy ~1, constant
   // collisions). Dominated by per-round Look/snapshot construction.

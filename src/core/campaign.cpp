@@ -331,7 +331,8 @@ void write_result_store(const std::string& path,
 
 std::vector<CampaignRow> run_scenarios(
     const std::vector<ScenarioSpec>& specs, int threads,
-    const std::function<void(std::size_t, std::size_t)>& on_task_done) {
+    const std::function<void(std::size_t, std::size_t)>& on_task_done,
+    int batch_width) {
   std::vector<ScenarioTask> tasks;
   tasks.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) tasks.push_back(to_task(spec));
@@ -339,6 +340,7 @@ std::vector<CampaignRow> run_scenarios(
   SweepOptions options;
   options.threads = threads;
   options.on_task_done = on_task_done;
+  options.batch_width = batch_width;
   const std::vector<sim::RunResult> results = run_sweep(tasks, options);
 
   std::vector<CampaignRow> rows(specs.size());
@@ -483,7 +485,8 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
         specs.reserve(todo.size());
         for (const std::size_t i : todo) specs.push_back(mine[i]);
         if (!specs.empty()) beat(0, specs.size());
-        return run_scenarios(specs, options.threads, beat);
+        return run_scenarios(specs, options.threads, beat,
+                             options.batch_width);
       });
 
   if (telem) {

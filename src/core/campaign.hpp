@@ -201,6 +201,11 @@ struct CampaignOptions {
   /// progress file update.  The fault-injection harness in dring_campaign
   /// rides here; serialized, on a worker thread.
   std::function<void(std::size_t, std::size_t)> on_progress;
+  /// Batched lockstep lanes per worker thread (SweepOptions::batch_width):
+  /// 0 = scalar engine path.  An execution knob only — store bytes are
+  /// identical for every width (CI-gated), and it is deliberately not a
+  /// ScenarioSpec field, so fingerprints and provenance never see it.
+  int batch_width = 0;
 };
 
 /// What a campaign run did.
@@ -215,10 +220,13 @@ struct CampaignReport {
 };
 
 /// Run the given scenarios on the pool; rows come back in spec order.
-/// `on_task_done` is forwarded to SweepOptions (heartbeats, fault hooks).
+/// `on_task_done` is forwarded to SweepOptions (heartbeats, fault hooks);
+/// `batch_width` > 0 routes eligible tasks through the batched engine
+/// (identical rows either way).
 std::vector<CampaignRow> run_scenarios(
     const std::vector<ScenarioSpec>& specs, int threads,
-    const std::function<void(std::size_t, std::size_t)>& on_task_done = {});
+    const std::function<void(std::size_t, std::size_t)>& on_task_done = {},
+    int batch_width = 0);
 
 /// The slice of `specs` assigned to shard `index` of `count` (fingerprint
 /// modulo count; relative order preserved). Throws std::invalid_argument

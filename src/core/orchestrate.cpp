@@ -281,6 +281,10 @@ OrchestrationResult run_orchestration(const OrchestrateOptions& options,
                  "--resume",
                  "--threads", std::to_string(options.threads_per_worker),
                  "--progress", store + ".progress"};
+    if (options.batch_width > 0) {
+      spec.argv.push_back("--batch");
+      spec.argv.push_back(std::to_string(options.batch_width));
+    }
     if (options.shards > 1) {
       spec.argv.push_back("--shard");
       spec.argv.push_back(std::to_string(shard) + "/" +

@@ -129,6 +129,7 @@ struct OrchestrateOptions {
   int shards = 1;             ///< grid partitions (--shard i/shards)
   int workers = 2;            ///< max concurrent worker subprocesses
   int threads_per_worker = 1; ///< --threads forwarded to each worker
+  int batch_width = 0;        ///< --batch forwarded to each worker (0 = off)
   std::string work_dir;       ///< shard stores, progress files, worker logs
   std::string out_path;       ///< merged store (empty = skip the merge)
   bool resume = false;        ///< keep existing shard stores (fill holes);

@@ -50,8 +50,8 @@ ExplorationConfig default_config(algo::AlgorithmId id, NodeId n,
   return cfg;
 }
 
-std::unique_ptr<sim::Engine> make_engine(const ExplorationConfig& cfg,
-                                         sim::Adversary* adversary) {
+sim::BatchLaneConfig make_lane_config(const ExplorationConfig& cfg,
+                                      std::unique_ptr<sim::Adversary> adversary) {
   const algo::AlgorithmInfo& meta = algo::info(cfg.algorithm);
   const int agents = cfg.num_agents > 0 ? cfg.num_agents : meta.num_agents;
 
@@ -68,19 +68,36 @@ std::unique_ptr<sim::Engine> make_engine(const ExplorationConfig& cfg,
   if (cfg.upper_bound) knowledge.upper_bound = *cfg.upper_bound;
   if (cfg.exact_n) knowledge.exact_n = *cfg.exact_n;
 
-  auto engine =
-      std::make_unique<sim::Engine>(cfg.n, cfg.landmark, cfg.model, cfg.engine);
+  sim::BatchLaneConfig lane;
+  lane.n = cfg.n;
+  lane.landmark = cfg.landmark;
+  lane.model = cfg.model;
+  lane.options = cfg.engine;
+  lane.stop = cfg.stop;
+  lane.agents.reserve(static_cast<std::size_t>(agents));
   for (int i = 0; i < agents; ++i) {
-    const NodeId start =
+    sim::BatchLaneConfig::Agent a;
+    a.start =
         cfg.start_nodes.empty()
             ? static_cast<NodeId>((static_cast<long long>(i) * cfg.n) / agents)
             : cfg.start_nodes[static_cast<std::size_t>(i)];
-    const agent::Orientation orientation =
+    a.orientation =
         cfg.orientations.empty() ? agent::kChiralOrientation
                                  : cfg.orientations[static_cast<std::size_t>(i)];
-    engine->add_agent(start, orientation,
-                      algo::make_brain(cfg.algorithm, knowledge));
+    a.brain = algo::make_brain(cfg.algorithm, knowledge);
+    lane.agents.push_back(std::move(a));
   }
+  lane.adversary = std::move(adversary);
+  return lane;
+}
+
+std::unique_ptr<sim::Engine> make_engine(const ExplorationConfig& cfg,
+                                         sim::Adversary* adversary) {
+  sim::BatchLaneConfig lane = make_lane_config(cfg, nullptr);
+  auto engine = std::make_unique<sim::Engine>(lane.n, lane.landmark, lane.model,
+                                              lane.options);
+  for (sim::BatchLaneConfig::Agent& a : lane.agents)
+    engine->add_agent(a.start, a.orientation, std::move(a.brain));
   engine->set_adversary(adversary);
   return engine;
 }

@@ -15,11 +15,13 @@
 // correctness condition of the paper).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "agent/orientation.hpp"
 #include "algo/registry.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/models.hpp"
 
@@ -54,6 +56,14 @@ ExplorationConfig default_config(algo::AlgorithmId id, NodeId n);
 /// many-agent extension axis used by the campaign subsystem.
 ExplorationConfig default_config(algo::AlgorithmId id, NodeId n,
                                  int num_agents);
+
+/// Resolve a config into a batch lane: the same validation, placement,
+/// orientation and knowledge resolution as make_engine — the single source
+/// of truth both execution paths share, which the batch/scalar bit-identity
+/// pin depends on. The adversary is owned by the lane (nullptr =
+/// NullAdversary semantics).
+sim::BatchLaneConfig make_lane_config(
+    const ExplorationConfig& cfg, std::unique_ptr<sim::Adversary> adversary);
 
 /// Build the engine for a config (adds agents, installs the adversary).
 /// Exposed for tests that need to drive the engine round by round.

@@ -93,6 +93,124 @@ SweepRun execute_task(const ScenarioTask& task) {
   return run;
 }
 
+/// Batch eligibility: declarative config, no custom runner, no trace to
+/// collect. (Whether a lane then takes the SoA fast path or an embedded
+/// scalar engine is BatchEngine's decision; results are identical either
+/// way.)
+bool batch_eligible(const ScenarioTask& task) {
+  return !task.run_custom && !task.cfg.engine.record_trace;
+}
+
+/// The batched run_sweep_runs path (SweepOptions::batch_width > 0): every
+/// worker owns a BatchEngine and pulls tasks from the shared counter into
+/// free lanes, stepping all its lanes in lockstep and backfilling as lanes
+/// retire. Ineligible tasks run scalar, inline on the worker. Tasks are
+/// pure functions of their ScenarioTask and results land positionally, so
+/// output is bit-identical for any (batch_width, threads) combination.
+std::vector<SweepRun> run_sweep_runs_batched(
+    const std::vector<ScenarioTask>& tasks, const SweepOptions& options) {
+  std::vector<SweepRun> runs(tasks.size());
+  if (tasks.empty()) return runs;
+  const int width = options.batch_width;
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_threads(options)), tasks.size()));
+  const bool telem = telemetry().enabled();
+
+  std::mutex done_mutex;
+  std::size_t done = 0;
+  const auto finish = [&](std::size_t i, SweepRun&& run) {
+    runs[i] = std::move(run);
+    if (options.on_task_done) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      options.on_task_done(++done, tasks.size());
+    }
+  };
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<long long> batch_rounds{0};
+  std::atomic<long long> lane_rounds{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    try {
+      sim::BatchEngine batch(width);
+      const auto on_retire = [&](std::size_t tag, sim::RunResult&& result,
+                                 const sim::LanePerf& perf) {
+        if (telem) {
+          util::MetricsRegistry& m = telemetry().metrics();
+          m.counter("sweep.tasks").add(1);
+          m.counter("engine.rounds").add(perf.rounds);
+          m.counter("engine.snapshots").add(perf.snapshots);
+          m.counter("engine.probe_calls").add(perf.probe_calls);
+          m.counter("engine.probe_hits").add(perf.probe_hits);
+          m.histogram("sweep.batch.retire_rounds", telemetry_round_bounds())
+              .observe(perf.rounds);
+        }
+        SweepRun run;
+        run.result = std::move(result);
+        finish(tag, std::move(run));
+      };
+      bool drained = false;
+      for (;;) {
+        // Backfill free lanes from the shared queue.
+        while (!drained && batch.active_lanes() < batch.width()) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= tasks.size()) {
+            drained = true;
+            break;
+          }
+          const ScenarioTask& task = tasks[i];
+          if (!batch_eligible(task)) {
+            if (telem) {
+              telemetry().metrics().counter("sweep.batch.scalar_tasks").add(1);
+              telemetry().metrics().counter("sweep.tasks").add(1);
+            }
+            finish(i, execute_task(task));
+            continue;
+          }
+          std::unique_ptr<sim::Adversary> adv;
+          if (task.make_adversary) adv = task.make_adversary();
+          batch.admit(make_lane_config(task.cfg, std::move(adv)), i);
+        }
+        if (batch.active_lanes() == 0) {
+          if (drained) break;
+          continue;  // nothing admitted this pass (all tasks were scalar)
+        }
+        batch.step_round(on_retire);
+      }
+      const sim::BatchStats& st = batch.stats();
+      batch_rounds.fetch_add(st.batch_rounds, std::memory_order_relaxed);
+      lane_rounds.fetch_add(st.lane_rounds, std::memory_order_relaxed);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (telem) {
+    const long long br = batch_rounds.load();
+    if (br > 0) {
+      // Lane-rounds executed over lane-rounds available: 1.0 = every
+      // step_round advanced a full batch.
+      telemetry().metrics().gauge("sweep.batch.lane_utilization").set(
+          static_cast<double>(lane_rounds.load()) /
+          (static_cast<double>(br) * width));
+    }
+  }
+  return runs;
+}
+
 }  // namespace
 
 std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
@@ -106,6 +224,7 @@ std::vector<sim::RunResult> run_sweep(const std::vector<ScenarioTask>& tasks,
 
 std::vector<SweepRun> run_sweep_runs(const std::vector<ScenarioTask>& tasks,
                                      const SweepOptions& options) {
+  if (options.batch_width > 0) return run_sweep_runs_batched(tasks, options);
   std::vector<SweepRun> runs(tasks.size());
   if (tasks.empty()) return runs;
   std::mutex done_mutex;

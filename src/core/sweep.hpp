@@ -53,6 +53,16 @@ struct SweepOptions {
   /// dring_orchestrate watches for liveness) and the fault-injection
   /// harness ride here.
   std::function<void(std::size_t done, std::size_t total)> on_task_done;
+  /// Batched lockstep execution: when > 0, each worker thread owns a
+  /// sim::BatchEngine with this many lanes and pulls tasks into free lanes,
+  /// stepping all of them per round and backfilling as lanes retire.
+  /// Batch-eligible tasks are the declarative ones (no run_custom, no
+  /// trace recording); everything else runs through the scalar engine
+  /// inline on the worker. 0 = scalar path for every task (the default;
+  /// behavior unchanged). Results are bit-identical for every width —
+  /// pinned by tests/batch_engine_test.cpp and the CI campaign store
+  /// byte-equality gate.
+  int batch_width = 0;
 };
 
 /// Number of workers `options` resolves to on this machine.

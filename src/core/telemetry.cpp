@@ -50,6 +50,12 @@ const std::vector<long long>& telemetry_time_bounds() {
   return bounds;
 }
 
+const std::vector<long long>& telemetry_round_bounds() {
+  static const std::vector<long long> bounds =
+      util::Histogram::exponential_bounds(1, 24);
+  return bounds;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (!log_enabled(level)) return;
   const double t_s = static_cast<double>(telemetry_now_us()) / 1e6;
@@ -352,6 +358,22 @@ std::string render_metrics_summary(const util::Json& metrics,
           format_double(100.0 * static_cast<double>(resume_hits) /
                         static_cast<double>(resume_hits + cells)) +
               "%");
+    if (gauges.has("sweep.batch.lane_utilization"))
+      derived_rows.emplace_back(
+          "sweep batch lane utilization",
+          format_double(
+              100.0 * gauges.at("sweep.batch.lane_utilization").as_double()) +
+              "%");
+    if (histograms.has("sweep.batch.retire_rounds")) {
+      const util::Json& h = histograms.at("sweep.batch.retire_rounds");
+      const long long count = h.get_int("count", 0);
+      if (count > 0)
+        derived_rows.emplace_back(
+            "sweep batch mean lane lifetime",
+            format_double(static_cast<double>(h.get_int("sum", 0)) /
+                          static_cast<double>(count)) +
+                " rounds");
+    }
   }
 
   if (format == ReportFormat::Csv) {

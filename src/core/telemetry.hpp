@@ -74,6 +74,11 @@ long long telemetry_now_us();
 /// layers (and different runs) line up bucket for bucket.
 const std::vector<long long>& telemetry_time_bounds();
 
+/// The shared round-count ladder: 1 doubling through ~8M rounds (the
+/// default StopPolicy max), for histograms over simulated rounds rather
+/// than wall time (e.g. batch lane lifetimes).
+const std::vector<long long>& telemetry_round_bounds();
+
 // --- event log + metrics sink ------------------------------------------------
 
 /// One parsed event-log line.

@@ -25,7 +25,7 @@ namespace dring::core {
 
 inline constexpr int kEngineVersionMajor = 1;
 inline constexpr int kEngineVersionMinor = 5;
-inline constexpr int kEngineVersionPatch = 0;
+inline constexpr int kEngineVersionPatch = 1;
 
 /// The engine's semantic version as recorded in store provenance, e.g.
 /// "dring-1.5.0".

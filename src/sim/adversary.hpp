@@ -107,6 +107,14 @@ class Adversary {
   /// should return false.
   virtual bool reorders_contenders() const { return true; }
 
+  /// Whether this adversary is behaviourally the NullAdversary: never
+  /// removes an edge, never restricts activation, never reorders. The
+  /// BatchEngine uses this capability flag to route FSYNC+null lanes onto
+  /// its SoA fast path (which elides the adversary entirely); decorators
+  /// must NOT forward — a T-interval wrapper around null still changes
+  /// edge availability. Conservatively false.
+  virtual bool is_null() const { return false; }
+
   /// Adversary-side measurements of the finished run (e.g. the
   /// sliding-window shift count of Theorems 13/15, the pinned edge of the
   /// Theorem 10 construction).  Called by the runner after the run;
@@ -126,6 +134,7 @@ class NullAdversary : public Adversary {
  public:
   bool observes_intents() const override { return false; }
   bool reorders_contenders() const override { return false; }
+  bool is_null() const override { return true; }
   std::string name() const override { return "null"; }
 };
 

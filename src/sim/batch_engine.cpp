@@ -1,0 +1,389 @@
+#include "sim/batch_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dring::sim {
+
+namespace {
+
+// Packed agent::Feedback bits for fast lanes. Only these four fields can
+// ever be set under FSYNC+null (no blocking, no passive transport), and a
+// zero byte decodes to a default-constructed Feedback.
+constexpr std::uint8_t kFbAttempted = 1u << 0;
+constexpr std::uint8_t kFbDirRight = 1u << 1;
+constexpr std::uint8_t kFbAcquired = 1u << 2;
+constexpr std::uint8_t kFbMoved = 1u << 3;
+
+constexpr std::uint8_t kIntentNone = 0;  ///< Stay / StepOff (no-op off-port)
+constexpr std::uint8_t kIntentMove = 1;
+constexpr std::uint8_t kIntentTerminate = 2;
+constexpr std::uint8_t kIntentKindMask = 3;
+constexpr std::uint8_t kIntentDirRight = 1u << 2;  ///< local Dir == Right
+
+}  // namespace
+
+BatchEngine::BatchEngine(int width) : width_(width) {
+  if (width < 1) throw std::invalid_argument("BatchEngine width must be >= 1");
+  kind_.assign(static_cast<std::size_t>(width), LaneKind::Empty);
+  fast_.resize(static_cast<std::size_t>(width));
+  fallback_.resize(static_cast<std::size_t>(width));
+}
+
+void BatchEngine::relayout(int k_cap, NodeId n_cap) {
+  const std::size_t w = static_cast<std::size_t>(width_);
+  const std::size_t ka = w * static_cast<std::size_t>(k_cap);
+  const std::size_t na = w * static_cast<std::size_t>(n_cap);
+
+  std::vector<NodeId> node(ka, kNoNode);
+  std::vector<std::uint8_t> left_ccw(ka, 0), terminated(ka, 0), feedback(ka, 0);
+  std::vector<Round> term_round(ka, -1);
+  std::vector<long long> moves(ka, 0);
+  std::vector<std::unique_ptr<agent::Brain>> brain(ka);
+  std::vector<std::int32_t> in_node(na, 0);
+  util::BitVec visited(na);
+
+  for (int s = 0; s < width_; ++s) {
+    if (kind_[static_cast<std::size_t>(s)] != LaneKind::Fast) continue;
+    const FastLane& lane = fast_[static_cast<std::size_t>(s)];
+    const std::size_t src_a = static_cast<std::size_t>(s) * k_cap_;
+    const std::size_t dst_a = static_cast<std::size_t>(s) * k_cap;
+    for (int j = 0; j < lane.k; ++j) {
+      node[dst_a + j] = a_node_[src_a + j];
+      left_ccw[dst_a + j] = a_left_ccw_[src_a + j];
+      terminated[dst_a + j] = a_terminated_[src_a + j];
+      feedback[dst_a + j] = a_feedback_[src_a + j];
+      term_round[dst_a + j] = a_term_round_[src_a + j];
+      moves[dst_a + j] = a_moves_[src_a + j];
+      brain[dst_a + j] = std::move(a_brain_[src_a + j]);
+    }
+    const std::size_t src_n = static_cast<std::size_t>(s) * n_cap_;
+    const std::size_t dst_n = static_cast<std::size_t>(s) * n_cap;
+    for (NodeId v = 0; v < lane.n; ++v) {
+      in_node[dst_n + v] = occ_in_node_[src_n + v];
+      if (visited_.test(src_n + v)) visited.set(dst_n + v);
+    }
+  }
+
+  a_node_ = std::move(node);
+  a_left_ccw_ = std::move(left_ccw);
+  a_terminated_ = std::move(terminated);
+  a_feedback_ = std::move(feedback);
+  a_term_round_ = std::move(term_round);
+  a_moves_ = std::move(moves);
+  a_brain_ = std::move(brain);
+  occ_in_node_ = std::move(in_node);
+  visited_ = std::move(visited);
+  // Claims carry no information across rounds (every round resets the
+  // slots it touched, and relayout happens between rounds) — no copy needed.
+  port_claim_.assign(w * 2 * static_cast<std::size_t>(n_cap), 0);
+  intent_.assign(static_cast<std::size_t>(k_cap), 0);
+  claimed_.reserve(static_cast<std::size_t>(k_cap));
+  k_cap_ = k_cap;
+  n_cap_ = n_cap;
+}
+
+void BatchEngine::admit_fast(int slot, BatchLaneConfig config,
+                             std::size_t tag) {
+  // Same validation the scalar path performs in the DynamicRing ctor.
+  if (config.n < 3) throw std::invalid_argument("DynamicRing requires n >= 3");
+  if (config.landmark &&
+      (*config.landmark < 0 || *config.landmark >= config.n))
+    throw std::invalid_argument("landmark out of range");
+
+  const int k = static_cast<int>(config.agents.size());
+  if (k > k_cap_ || config.n > n_cap_)
+    relayout(std::max(k, k_cap_), std::max(config.n, n_cap_));
+
+  FastLane& lane = fast_[static_cast<std::size_t>(slot)];
+  lane.tag = tag;
+  lane.n = config.n;
+  lane.landmark = config.landmark.value_or(kNoNode);
+  lane.k = k;
+  lane.live = k;
+  lane.round = 0;
+  lane.visited_count = 0;
+  lane.explored_round = -1;
+  lane.premature = false;
+  lane.reason = "max_rounds";
+  lane.stop = config.stop;
+  lane.snapshots = 0;
+  lane.adversary = std::move(config.adversary);
+
+  const std::size_t abase = static_cast<std::size_t>(slot) * k_cap_;
+  const std::size_t nbase = static_cast<std::size_t>(slot) * n_cap_;
+  for (NodeId v = 0; v < n_cap_; ++v) occ_in_node_[nbase + v] = 0;
+  visited_.reset_range(nbase, nbase + static_cast<std::size_t>(n_cap_));
+
+  for (int j = 0; j < k; ++j) {
+    const BatchLaneConfig::Agent& a = config.agents[static_cast<std::size_t>(j)];
+    assert(a.start >= 0 && a.start < config.n);
+    a_node_[abase + j] = a.start;
+    a_left_ccw_[abase + j] = a.orientation.left == GlobalDir::Ccw ? 1 : 0;
+    a_terminated_[abase + j] = 0;
+    a_feedback_[abase + j] = 0;
+    a_term_round_[abase + j] = -1;
+    a_moves_[abase + j] = 0;
+    a_brain_[abase + j] = std::move(config.agents[static_cast<std::size_t>(j)].brain);
+    occ_in_node_[nbase + a.start] += 1;
+    // Engine::add_agent marks each start visited at round 0.
+    if (visited_.test_and_set(nbase + a.start)) {
+      if (++lane.visited_count == lane.n) lane.explored_round = 0;
+    }
+  }
+}
+
+bool BatchEngine::admit(BatchLaneConfig config, std::size_t tag) {
+  int slot = -1;
+  for (int s = 0; s < width_; ++s) {
+    if (kind_[static_cast<std::size_t>(s)] == LaneKind::Empty) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) return false;
+
+  const bool fast = config.model == Model::FSYNC &&
+                    (!config.adversary || config.adversary->is_null()) &&
+                    !config.options.record_trace;
+  if (fast) {
+    admit_fast(slot, std::move(config), tag);
+    kind_[static_cast<std::size_t>(slot)] = LaneKind::Fast;
+    ++stats_.fast_lanes;
+  } else {
+    FallbackLane& lane = fallback_[static_cast<std::size_t>(slot)];
+    lane.tag = tag;
+    lane.stop = config.stop;
+    lane.reason = "max_rounds";
+    lane.adversary = std::move(config.adversary);
+    lane.engine = std::make_unique<Engine>(config.n, config.landmark,
+                                           config.model, config.options);
+    lane.engine->use_scratch(&scratch_);
+    for (BatchLaneConfig::Agent& a : config.agents)
+      lane.engine->add_agent(a.start, a.orientation, std::move(a.brain));
+    lane.engine->set_adversary(lane.adversary.get());
+    kind_[static_cast<std::size_t>(slot)] = LaneKind::Fallback;
+    ++stats_.fallback_lanes;
+  }
+  ++stats_.admitted;
+  ++active_lanes_;
+  return true;
+}
+
+void BatchEngine::run_fast_round(int slot, FastLane& lane) {
+  ++lane.round;
+  ++stats_.lane_rounds;
+  const std::size_t abase = static_cast<std::size_t>(slot) * k_cap_;
+  const std::size_t nbase = static_cast<std::size_t>(slot) * n_cap_;
+  const int k = lane.k;
+
+  // --- Pass A: Look & Compute against the pre-round state -------------------
+  // The scalar engine counts one snapshot per active agent; under FSYNC
+  // "active" is exactly the live set.
+  lane.snapshots += lane.live;
+  bool any_terminate = false;
+  for (int j = 0; j < k; ++j) {
+    if (a_terminated_[abase + j]) {
+      intent_[static_cast<std::size_t>(j)] = kIntentNone;
+      continue;
+    }
+    const NodeId node = a_node_[abase + j];
+    agent::Snapshot snap;
+    snap.is_landmark = node == lane.landmark;
+    snap.others_in_node = occ_in_node_[nbase + node] - 1;
+    agent::Feedback fb;
+    const std::uint8_t f = a_feedback_[abase + j];
+    fb.attempted_move = (f & kFbAttempted) != 0;
+    fb.attempted_dir = (f & kFbDirRight) != 0 ? Dir::Right : Dir::Left;
+    fb.port_acquired = (f & kFbAcquired) != 0;
+    fb.moved = (f & kFbMoved) != 0;
+    a_feedback_[abase + j] = 0;
+    const agent::Intent intent = a_brain_[abase + j]->on_activate(snap, fb);
+    switch (intent.kind) {
+      case agent::Intent::Kind::Move:
+        intent_[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+            kIntentMove | (intent.dir == Dir::Right ? kIntentDirRight : 0));
+        break;
+      case agent::Intent::Kind::Terminate:
+        intent_[static_cast<std::size_t>(j)] = kIntentTerminate;
+        any_terminate = true;
+        break;
+      default:
+        intent_[static_cast<std::size_t>(j)] = kIntentNone;
+        break;
+    }
+  }
+
+  // --- Pass B1: terminations, before any movement (scalar phase 3a) ---------
+  // The premature-termination oracle compares against the *pre-movement*
+  // visited count, so this pass cannot fuse with the movement pass.
+  if (any_terminate) {
+    for (int j = 0; j < k; ++j) {
+      if (intent_[static_cast<std::size_t>(j)] != kIntentTerminate) continue;
+      a_terminated_[abase + j] = 1;
+      a_term_round_[abase + j] = lane.round;
+      --lane.live;
+      if (lane.visited_count != lane.n) lane.premature = true;
+    }
+  }
+
+  // --- Pass B2: port mutex + movement, fused ---------------------------------
+  // First arrival per port wins (the null adversary never reorders), and
+  // arrival order is id order under FSYNC. A claim keys on the claimant's
+  // own pre-move node and claims are never released within a round, so
+  // moving winners inline cannot change any later agent's claim.
+  const std::size_t pbase = static_cast<std::size_t>(slot) * 2 * n_cap_;
+  claimed_.clear();
+  for (int j = 0; j < k; ++j) {
+    const std::uint8_t intent = intent_[static_cast<std::size_t>(j)];
+    if ((intent & kIntentKindMask) != kIntentMove) continue;
+    const bool dir_right = (intent & kIntentDirRight) != 0;
+    const bool ccw = dir_right ? a_left_ccw_[abase + j] == 0
+                               : a_left_ccw_[abase + j] != 0;
+    a_feedback_[abase + j] = kFbAttempted | (dir_right ? kFbDirRight : 0);
+    const NodeId node = a_node_[abase + j];
+    const std::size_t port =
+        pbase + static_cast<std::size_t>(node) * 2 + (ccw ? 0 : 1);
+    if (port_claim_[port] != 0) continue;  // lost to an earlier agent
+    port_claim_[port] = 1;
+    claimed_.push_back(port);
+    a_feedback_[abase + j] |= kFbAcquired | kFbMoved;
+    const NodeId to = ccw ? (node + 1 == lane.n ? 0 : node + 1)
+                          : (node == 0 ? lane.n - 1 : node - 1);
+    occ_in_node_[nbase + node] -= 1;
+    occ_in_node_[nbase + to] += 1;
+    a_node_[abase + j] = to;
+    a_moves_[abase + j] += 1;
+    if (visited_.test_and_set(nbase + static_cast<std::size_t>(to))) {
+      if (++lane.visited_count == lane.n) lane.explored_round = lane.round;
+    }
+  }
+  // Release this round's claims so the arena is all-zero between rounds.
+  for (const std::size_t port : claimed_) port_claim_[port] = 0;
+}
+
+bool BatchEngine::advance_fast(int slot, FastLane& lane) {
+  // Mirrors Engine::advance_run check for check.
+  if (lane.round >= lane.stop.max_rounds) {
+    lane.reason = "max_rounds";
+    return false;
+  }
+  if (lane.live == 0) {
+    lane.reason = "all_terminated";
+    return false;
+  }
+  run_fast_round(slot, lane);
+  const int term = lane.k - lane.live;
+  if (lane.stop.stop_when_all_terminated && term == lane.k) {
+    lane.reason = "all_terminated";
+    return false;
+  }
+  const bool explored = lane.visited_count == lane.n;
+  if (lane.stop.stop_when_explored && explored) {
+    lane.reason = "explored";
+    return false;
+  }
+  if (lane.stop.stop_when_explored_and_one_terminated && explored &&
+      term > 0) {
+    lane.reason = "explored_and_one_terminated";
+    return false;
+  }
+  return true;
+}
+
+void BatchEngine::retire_fast(int slot, const RetireFn& on_retire) {
+  FastLane& lane = fast_[static_cast<std::size_t>(slot)];
+  const std::size_t abase = static_cast<std::size_t>(slot) * k_cap_;
+
+  RunResult result;
+  result.explored = lane.visited_count == lane.n;
+  result.explored_round = lane.explored_round;
+  result.rounds = lane.round;
+  result.premature_termination = lane.premature;
+  result.fairness_interventions = 0;  // impossible under FSYNC + null
+  result.stop_reason = lane.reason;
+  result.agents.reserve(static_cast<std::size_t>(lane.k));
+  for (int j = 0; j < lane.k; ++j) {
+    AgentResult ar;
+    ar.id = j;
+    ar.terminated = a_terminated_[abase + j] != 0;
+    ar.termination_round = a_term_round_[abase + j];
+    ar.moves = a_moves_[abase + j];
+    ar.passive_moves = 0;  // no PT under FSYNC
+    ar.final_node = a_node_[abase + j];
+    ar.final_state = a_brain_[abase + j]->state_name();
+    result.active_moves += ar.moves;
+    if (ar.terminated) result.terminated_agents += 1;
+    result.agents.push_back(std::move(ar));
+  }
+  result.total_moves = result.active_moves;
+  result.all_terminated = result.terminated_agents == lane.k;
+  if (lane.adversary) lane.adversary->report_metrics(result.adversary_metrics);
+
+  LanePerf perf;
+  perf.rounds = lane.round;
+  perf.snapshots = lane.snapshots;
+
+  const std::size_t tag = lane.tag;
+  for (int j = 0; j < lane.k; ++j) a_brain_[abase + j].reset();
+  lane.adversary.reset();
+  kind_[static_cast<std::size_t>(slot)] = LaneKind::Empty;
+  --active_lanes_;
+  ++stats_.retired;
+  on_retire(tag, std::move(result), perf);
+}
+
+void BatchEngine::retire_fallback(int slot, RunResult&& result,
+                                  const RetireFn& on_retire) {
+  FallbackLane& lane = fallback_[static_cast<std::size_t>(slot)];
+  if (lane.adversary) lane.adversary->report_metrics(result.adversary_metrics);
+  const Engine::PerfCounters& pc = lane.engine->perf_counters();
+  LanePerf perf;
+  perf.rounds = result.rounds;
+  perf.snapshots = pc.snapshots;
+  perf.probe_calls = pc.probe_calls;
+  perf.probe_hits = pc.probe_hits;
+  const std::size_t tag = lane.tag;
+  lane.engine.reset();
+  lane.adversary.reset();
+  kind_[static_cast<std::size_t>(slot)] = LaneKind::Empty;
+  --active_lanes_;
+  ++stats_.retired;
+  on_retire(tag, std::move(result), perf);
+}
+
+int BatchEngine::step_round(const RetireFn& on_retire) {
+  int retired = 0;
+  ++stats_.batch_rounds;
+  for (int s = 0; s < width_; ++s) {
+    switch (kind_[static_cast<std::size_t>(s)]) {
+      case LaneKind::Empty:
+        break;
+      case LaneKind::Fast: {
+        FastLane& lane = fast_[static_cast<std::size_t>(s)];
+        if (!advance_fast(s, lane)) {
+          retire_fast(s, on_retire);
+          ++retired;
+        }
+        break;
+      }
+      case LaneKind::Fallback: {
+        FallbackLane& lane = fallback_[static_cast<std::size_t>(s)];
+        const Round before = lane.engine->round();
+        const bool more = lane.engine->advance_run(lane.stop, lane.reason);
+        stats_.lane_rounds += lane.engine->round() - before;
+        if (!more) {
+          retire_fallback(s, lane.engine->collect_result(lane.reason),
+                          on_retire);
+          ++retired;
+        }
+        break;
+      }
+    }
+  }
+  return retired;
+}
+
+}  // namespace dring::sim

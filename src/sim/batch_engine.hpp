@@ -1,0 +1,201 @@
+// Batched lockstep execution of many independent small-ring scenarios.
+//
+// A BatchEngine owns `width` lanes. Each lane holds one scenario; every
+// step_round() advances all occupied lanes by exactly one round, so the
+// per-round dispatch cost (virtual calls, branch-predictor resets, cache
+// refills) is amortized across lanes. Lanes whose stop policy triggers
+// retire through a callback and free their slot for backfill from the
+// caller's pending queue.
+//
+// Two lane kinds, chosen per scenario at admit():
+//
+//  * Fast lanes — FSYNC model, null adversary, no trace recording. Under
+//    those assumptions the scalar engine has an invariant: no agent ever
+//    holds a port across a round boundary (every acquired port's edge is
+//    present, so the winner traverses and releases within the round, and
+//    losers never reach a port). Hence at Look time on_port is always
+//    false, both port counts are 0, others_in_node is the node occupancy
+//    minus one, no agent is ever blocked or passively transported, there
+//    are no fairness/ET interventions and no verifier findings. The fast
+//    lane stores exactly the surviving state in structure-of-arrays form
+//    (agent nodes/chirality/feedback bytes, per-node occupancy counters,
+//    a flat util::BitVec visited arena, byte-wide port-claim slots reset
+//    at the end of every round) and fuses the six scalar phases into
+//    id-ordered passes:
+//      pass A  Look/Compute against the pre-round state (reads only),
+//      pass B1 terminations (pre-movement, like scalar phase 3a),
+//      pass B2 port mutex by first-arrival claim + inline movement
+//              (claims key on the claimant's own pre-move node and claims
+//              are never released within a round, so fusing acquisition
+//              with movement cannot change any later claim).
+//    Results are bit-identical to the scalar engine; the equivalence is
+//    pinned by tests/batch_engine_test.cpp across the whole registry and
+//    by the CI store byte-equality gate.
+//
+//  * Fallback lanes — everything else (SSYNC variants, real adversaries,
+//    trace recording). Each holds a private scalar Engine driven one
+//    round at a time via Engine::advance_run, so equivalence is
+//    structural, and all lanes share one Engine::StepScratch so B lanes
+//    do not hold B copies of per-round storage.
+//
+// The batch layer is an execution detail: it is reached only through
+// core::run_sweep (SweepOptions::batch_width) and changes no canonical
+// artifact bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/brain.hpp"
+#include "agent/orientation.hpp"
+#include "sim/engine.hpp"
+#include "sim/models.hpp"
+#include "util/bitstring.hpp"
+
+namespace dring::sim {
+
+/// Everything needed to lay one scenario into a lane: the resolved form of
+/// core::ExplorationConfig (agents constructed, adversary owned).
+/// core::make_lane_config builds one, sharing the exact placement /
+/// orientation / knowledge resolution with core::make_engine.
+struct BatchLaneConfig {
+  NodeId n = 8;
+  std::optional<NodeId> landmark;
+  Model model = Model::FSYNC;
+  EngineOptions options;
+  StopPolicy stop;
+  struct Agent {
+    NodeId start = 0;
+    agent::Orientation orientation;
+    std::unique_ptr<agent::Brain> brain;
+  };
+  std::vector<Agent> agents;
+  /// Owned by the lane; nullptr means NullAdversary semantics.
+  std::unique_ptr<Adversary> adversary;
+};
+
+/// Per-lane engine counters surfaced at retirement: the batch analogue of
+/// Engine::PerfCounters plus the round count, so the sweep layer folds the
+/// same telemetry either path.
+struct LanePerf {
+  Round rounds = 0;
+  long long snapshots = 0;
+  long long probe_calls = 0;
+  long long probe_hits = 0;
+};
+
+/// Aggregate batch counters (monotonic over the engine's lifetime).
+struct BatchStats {
+  long long admitted = 0;
+  long long fast_lanes = 0;      ///< admissions onto the SoA fast path
+  long long fallback_lanes = 0;  ///< admissions onto embedded scalar engines
+  long long retired = 0;
+  long long batch_rounds = 0;    ///< step_round() calls
+  long long lane_rounds = 0;     ///< lane-rounds actually executed
+};
+
+class BatchEngine {
+ public:
+  using RetireFn = std::function<void(std::size_t tag, RunResult&& result,
+                                      const LanePerf& perf)>;
+
+  explicit BatchEngine(int width);
+
+  // Non-copyable: lanes hold engines/brains with internal pointers.
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  int width() const { return width_; }
+  int active_lanes() const { return active_lanes_; }
+  const BatchStats& stats() const { return stats_; }
+
+  /// Lay a scenario into a free lane, tagged with an opaque caller id
+  /// (handed back at retirement). Returns false when every lane is
+  /// occupied — step_round() until one retires.
+  bool admit(BatchLaneConfig config, std::size_t tag);
+
+  /// Advance every occupied lane by one round, in lane-slot order. Lanes
+  /// whose stop policy triggers retire through `on_retire` (with a
+  /// RunResult bit-identical to Engine::run on the same scenario) and
+  /// free their slot. Returns the number of lanes retired.
+  int step_round(const RetireFn& on_retire);
+
+ private:
+  enum class LaneKind : std::uint8_t { Empty, Fast, Fallback };
+
+  struct FastLane {
+    std::size_t tag = 0;
+    NodeId n = 0;
+    NodeId landmark = kNoNode;  ///< kNoNode = no landmark
+    int k = 0;
+    int live = 0;
+    Round round = 0;
+    NodeId visited_count = 0;
+    Round explored_round = -1;
+    bool premature = false;
+    const char* reason = "max_rounds";
+    StopPolicy stop;
+    long long snapshots = 0;
+    std::unique_ptr<Adversary> adversary;  ///< null-equivalent; metrics only
+  };
+
+  struct FallbackLane {
+    std::size_t tag = 0;
+    StopPolicy stop;
+    std::string reason = "max_rounds";
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<Adversary> adversary;
+  };
+
+  void admit_fast(int slot, BatchLaneConfig config, std::size_t tag);
+  void relayout(int k_cap, NodeId n_cap);
+  /// One fast-lane round; returns false when the stop policy triggered
+  /// (lane.reason set).
+  bool advance_fast(int slot, FastLane& lane);
+  void run_fast_round(int slot, FastLane& lane);
+  void retire_fast(int slot, const RetireFn& on_retire);
+  void retire_fallback(int slot, RunResult&& result, const RetireFn& on_retire);
+
+  int width_;
+  int active_lanes_ = 0;
+  BatchStats stats_;
+  std::vector<LaneKind> kind_;
+  std::vector<FastLane> fast_;
+  std::vector<FallbackLane> fallback_;
+
+  /// Shared per-round scratch for all fallback lanes.
+  StepScratch scratch_;
+
+  // --- fast-lane SoA arenas -------------------------------------------------
+  // Strided by capacity (k_cap_ agents, n_cap_ nodes per lane); admitting a
+  // larger scenario relays existing lanes out into wider arenas. Growth is
+  // rare (sweeps batch like-sized scenarios) and happens between rounds.
+  int k_cap_ = 0;
+  NodeId n_cap_ = 0;
+  // per-agent, stride k_cap_
+  std::vector<NodeId> a_node_;
+  std::vector<std::uint8_t> a_left_ccw_;    ///< orientation.left == Ccw
+  std::vector<std::uint8_t> a_terminated_;
+  std::vector<std::uint8_t> a_feedback_;    ///< packed Feedback bits
+  std::vector<Round> a_term_round_;
+  std::vector<long long> a_moves_;
+  std::vector<std::unique_ptr<agent::Brain>> a_brain_;
+  // per-node, stride n_cap_ (port claims: 2 * n_cap_)
+  std::vector<std::int32_t> occ_in_node_;
+  /// Port mutex: 1 while claimed within the current lane-round.  Claims are
+  /// reset (via claimed_) before the round ends, so the arena is all-zero
+  /// between rounds — relayout and admit never need to touch it.
+  std::vector<std::uint8_t> port_claim_;
+  util::BitVec visited_;                    ///< n_cap_ bits per lane
+  // --- per-round scratch, stride-less (one lane at a time) ------------------
+  /// Packed intent per agent: kIntentNone/Move/Terminate in the low bits,
+  /// kIntentDirRight OR'd in for local-Right moves.  Size k_cap_.
+  std::vector<std::uint8_t> intent_;
+  std::vector<std::size_t> claimed_;        ///< port slots claimed this round
+};
+
+}  // namespace dring::sim

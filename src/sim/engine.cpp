@@ -86,8 +86,6 @@ AgentId Engine::add_agent(NodeId start, agent::Orientation orientation,
   brains_.push_back(std::move(brain));
   occupancy_[static_cast<std::size_t>(start)].in_node += 1;
   probe_cache_.emplace_back();
-  intent_slot_.push_back(-1);
-  active_.push_back(0);
   ++live_agents_;
   mark_visited(start);
   bump_version();
@@ -159,10 +157,11 @@ agent::Intent Engine::probe_intent(AgentId a) const {
 }
 
 void Engine::decide_activation() {
+  std::vector<char>& active = scratch_->active;
   if (model_ == Model::FSYNC) {
     // FSYNC: everyone live is active; no adversary choice, no WorldView.
     for (const AgentBody& b : bodies_)
-      active_[static_cast<std::size_t>(b.id)] = b.terminated ? 0 : 1;
+      active[static_cast<std::size_t>(b.id)] = b.terminated ? 0 : 1;
     return;
   }
 
@@ -170,20 +169,20 @@ void Engine::decide_activation() {
   const std::vector<bool> selected = adversary_->select_active(view);
   const std::size_t k = bodies_.size();
   for (std::size_t i = 0; i < k; ++i)
-    active_[i] = i < selected.size() && selected[i] ? 1 : 0;
+    active[i] = i < selected.size() && selected[i] ? 1 : 0;
 
   // Terminated agents never activate.
   for (const AgentBody& b : bodies_)
-    if (b.terminated) active_[static_cast<std::size_t>(b.id)] = 0;
+    if (b.terminated) active[static_cast<std::size_t>(b.id)] = 0;
 
   // A round activates a non-empty subset of the (live) agents.
-  const bool none =
-      std::none_of(active_.begin(), active_.end(), [](char x) { return x; });
+  const bool none = std::none_of(active.begin(), active.begin() + k,
+                                 [](char x) { return x; });
   if (none) {
     bool any_live = false;
     for (const AgentBody& b : bodies_) {
       if (!b.terminated) {
-        active_[static_cast<std::size_t>(b.id)] = 1;
+        active[static_cast<std::size_t>(b.id)] = 1;
         any_live = true;
       }
     }
@@ -193,10 +192,10 @@ void Engine::decide_activation() {
 
   // Activation fairness: no live agent sleeps longer than the window.
   for (AgentBody& b : bodies_) {
-    if (b.terminated || active_[static_cast<std::size_t>(b.id)]) continue;
+    if (b.terminated || active[static_cast<std::size_t>(b.id)]) continue;
     const Round idle = round_ - 1 - b.last_active_round;
     if (idle >= options_.fairness_window) {
-      active_[static_cast<std::size_t>(b.id)] = 1;
+      active[static_cast<std::size_t>(b.id)] = 1;
       ++fairness_interventions_;
     }
   }
@@ -204,6 +203,9 @@ void Engine::decide_activation() {
 
 bool Engine::step() {
   if (live_agents_ == 0) return false;
+
+  scratch_->ensure(bodies_.size());
+  StepScratch& s = *scratch_;
 
   ++round_;
   ring_.restore_edges();
@@ -215,16 +217,16 @@ bool Engine::step() {
   // ET simultaneity enforcement: force-activate agents whose budget of
   // "edge present while I slept" rounds is exhausted, and remember their
   // edges so the adversary's removal can be vetoed below.
-  et_protected_.clear();
+  s.et_protected.clear();
   if (model_ == Model::SSYNC_ET) {
     for (AgentBody& b : bodies_) {
       if (b.terminated || !b.on_port) continue;
       if (b.et_missed_present >= options_.et_budget) {
-        if (!active_[static_cast<std::size_t>(b.id)]) {
-          active_[static_cast<std::size_t>(b.id)] = 1;
+        if (!s.active[static_cast<std::size_t>(b.id)]) {
+          s.active[static_cast<std::size_t>(b.id)] = 1;
           ++fairness_interventions_;
         }
-        et_protected_.push_back(ring_.edge_from(b.node, b.port_side));
+        s.et_protected.push_back(ring_.edge_from(b.node, b.port_side));
         b.et_missed_present = 0;
       }
     }
@@ -233,25 +235,25 @@ bool Engine::step() {
   // --- Phase 2: Look & Compute ---------------------------------------------
   // The agent-id -> intent slot map only feeds the trace recorder.
   const bool track_slots = options_.record_trace;
-  computed_.clear();
+  s.computed.clear();
   for (AgentBody& b : bodies_) {
-    if (track_slots) intent_slot_[static_cast<std::size_t>(b.id)] = -1;
-    if (!active_[static_cast<std::size_t>(b.id)]) continue;
+    if (track_slots) s.intent_slot[static_cast<std::size_t>(b.id)] = -1;
+    if (!s.active[static_cast<std::size_t>(b.id)]) continue;
     const agent::Snapshot snap = make_snapshot(b.id);
     const agent::Feedback fb = b.outcome;
     b.outcome = {};
     const agent::Intent intent = brains_[b.id]->on_activate(snap, fb);
     if (track_slots)
-      intent_slot_[static_cast<std::size_t>(b.id)] =
-          static_cast<std::int32_t>(computed_.size());
-    computed_.push_back({b.id, intent});
+      s.intent_slot[static_cast<std::size_t>(b.id)] =
+          static_cast<std::int32_t>(s.computed.size());
+    s.computed.push_back({b.id, intent});
     b.last_active_round = round_;
   }
   bump_version();  // brains and outcomes changed
 
   // --- Phase 3: terminations, releases, then port acquisition ---------------
   // 3a. terminations and explicit port releases.
-  for (const Computed& cmp : computed_) {
+  for (const StepScratch::Computed& cmp : s.computed) {
     AgentBody& b = bodies_[cmp.agent];
     switch (cmp.intent.kind) {
       case agent::Intent::Kind::Terminate:
@@ -289,8 +291,8 @@ bool Engine::step() {
   // ((port, arrival) key, agent) pairs sort into exactly the (node, side)-
   // ordered, arrival-stable buckets the old std::map grouping produced —
   // without any per-round node allocation.
-  contenders_.clear();
-  for (const Computed& cmp : computed_) {
+  s.contenders.clear();
+  for (const StepScratch::Computed& cmp : s.computed) {
     AgentBody& b = bodies_[cmp.agent];
     if (b.terminated || cmp.intent.kind != agent::Intent::Kind::Move) continue;
     const GlobalDir gd = b.orientation.to_global(cmp.intent.dir);
@@ -305,28 +307,29 @@ bool Engine::step() {
         (gd == GlobalDir::Ccw ? 0u : 1u);
     // 24-bit arrival budget: > 2^24 movers in one round would bleed into
     // the port bits and corrupt bucketing.
-    assert(contenders_.size() < (1u << 24));
-    contenders_.emplace_back((port_key << 24) | contenders_.size(), cmp.agent);
+    assert(s.contenders.size() < (1u << 24));
+    s.contenders.emplace_back((port_key << 24) | s.contenders.size(),
+                              cmp.agent);
   }
   if (adversary_->reorders_contenders()) {
-    std::sort(contenders_.begin(), contenders_.end());
-    for (std::size_t i = 0; i < contenders_.size();) {
-      const std::uint64_t port_key = contenders_[i].first >> 24;
+    std::sort(s.contenders.begin(), s.contenders.end());
+    for (std::size_t i = 0; i < s.contenders.size();) {
+      const std::uint64_t port_key = s.contenders[i].first >> 24;
       const PortRef port{static_cast<NodeId>(port_key >> 1),
                          (port_key & 1) == 0 ? GlobalDir::Ccw : GlobalDir::Cw};
-      bucket_.clear();
+      s.bucket.clear();
       for (;
-           i < contenders_.size() && (contenders_[i].first >> 24) == port_key;
+           i < s.contenders.size() && (s.contenders[i].first >> 24) == port_key;
            ++i)
-        bucket_.push_back(contenders_[i].second);
+        s.bucket.push_back(s.contenders[i].second);
       bump_version();  // outcomes / previous bucket's acquisitions
-      adversary_->order_port_contenders(view, port, bucket_);
-      for (AgentId a : bucket_) try_acquire(port, a);
+      adversary_->order_port_contenders(view, port, s.bucket);
+      for (AgentId a : s.bucket) try_acquire(port, a);
     }
   } else {
     // Default tie-break: first arrival per port wins, so mutex resolves
     // directly in arrival order — no grouping, no sort, no callbacks.
-    for (const auto& [key, a] : contenders_) {
+    for (const auto& [key, a] : s.contenders) {
       const std::uint64_t port_key = key >> 24;
       const PortRef port{static_cast<NodeId>(port_key >> 1),
                          (port_key & 1) == 0 ? GlobalDir::Ccw : GlobalDir::Cw};
@@ -336,9 +339,9 @@ bool Engine::step() {
   bump_version();  // acquisition outcomes are now observable
 
   // --- Phase 4: adversarial edge removal ------------------------------------
-  records_.clear();
+  s.records.clear();
   if (adversary_->observes_intents()) {
-    for (const Computed& cmp : computed_) {
+    for (const StepScratch::Computed& cmp : s.computed) {
       const AgentBody& b = bodies_[cmp.agent];
       IntentRecord rec;
       rec.agent = cmp.agent;
@@ -349,14 +352,14 @@ bool Engine::step() {
         rec.target_edge = ring_.edge_from(b.node, gd);
         rec.port_acquired = b.outcome.port_acquired;
       }
-      records_.push_back(rec);
+      s.records.push_back(rec);
     }
   }
   std::optional<EdgeId> missing =
-      adversary_->choose_missing_edge(view, records_);
+      adversary_->choose_missing_edge(view, s.records);
   if (missing &&
-      std::find(et_protected_.begin(), et_protected_.end(), *missing) !=
-          et_protected_.end()) {
+      std::find(s.et_protected.begin(), s.et_protected.end(), *missing) !=
+          s.et_protected.end()) {
     // ET veto: the forced agent must act in a round where its edge is
     // present; the adversary has exhausted its right to remove it.
     missing.reset();
@@ -370,31 +373,31 @@ bool Engine::step() {
   }
 
   // --- Phase 5: movement -----------------------------------------------------
-  moves_.clear();
+  s.moves.clear();
   for (AgentBody& b : bodies_) {
     if (!b.on_port || b.terminated) continue;
     const EdgeId e = ring_.edge_from(b.node, b.port_side);
-    const bool was_active = active_[static_cast<std::size_t>(b.id)];
+    const bool was_active = s.active[static_cast<std::size_t>(b.id)];
     if (was_active) {
       // Only agents whose Compute ended positioned on the port traverse.
       if (b.outcome.attempted_move && b.outcome.port_acquired &&
           ring_.edge_present(e)) {
-        moves_.push_back(
+        s.moves.push_back(
             {b.id, ring_.neighbour(b.node, b.port_side), false, b.port_side});
       }
     } else {
       // Sleeping on a port.
       if (ring_.edge_present(e)) {
         if (model_ == Model::SSYNC_PT) {
-          moves_.push_back({b.id, ring_.neighbour(b.node, b.port_side), true,
-                            b.port_side});
+          s.moves.push_back({b.id, ring_.neighbour(b.node, b.port_side), true,
+                             b.port_side});
         } else if (model_ == Model::SSYNC_ET) {
           b.et_missed_present += 1;
         }
       }
     }
   }
-  for (const PendingMove& mv : moves_) {
+  for (const StepScratch::PendingMove& mv : s.moves) {
     AgentBody& b = bodies_[mv.agent];
     ring_.release_port({b.node, b.port_side}, b.id);
     b.on_port = false;
@@ -449,11 +452,12 @@ bool Engine::step() {
       at.node = b.node;
       at.on_port = b.on_port;
       at.port_side = b.port_side;
-      at.active = active_[static_cast<std::size_t>(b.id)] != 0;
+      at.active = s.active[static_cast<std::size_t>(b.id)] != 0;
       at.terminated = b.terminated;
       at.state = brains_[b.id]->state_name();
-      const std::int32_t slot = intent_slot_[static_cast<std::size_t>(b.id)];
-      if (slot >= 0) at.intent = computed_[static_cast<std::size_t>(slot)].intent;
+      const std::int32_t slot = s.intent_slot[static_cast<std::size_t>(b.id)];
+      if (slot >= 0)
+        at.intent = s.computed[static_cast<std::size_t>(slot)].intent;
       rt.agents.push_back(std::move(at));
     }
     trace_.push_back(std::move(rt));
@@ -462,38 +466,41 @@ bool Engine::step() {
   return true;
 }
 
-RunResult Engine::run(const StopPolicy& stop) {
-  RunResult result;
-  std::string reason = "max_rounds";
-  while (round_ < stop.max_rounds) {
-    const bool progressed = step();
-    if (!progressed) {
-      reason = "all_terminated";
-      break;
-    }
-    const int term = num_agents() - live_agents_;
-    if (stop.stop_when_all_terminated &&
-        term == static_cast<int>(bodies_.size())) {
-      reason = "all_terminated";
-      break;
-    }
-    if (stop.stop_when_explored && explored()) {
-      reason = "explored";
-      break;
-    }
-    if (stop.stop_when_explored_and_one_terminated && explored() && term > 0) {
-      reason = "explored_and_one_terminated";
-      break;
-    }
+bool Engine::advance_run(const StopPolicy& stop, std::string& reason) {
+  if (round_ >= stop.max_rounds) {
+    reason = "max_rounds";
+    return false;
   }
+  if (!step()) {
+    reason = "all_terminated";
+    return false;
+  }
+  const int term = num_agents() - live_agents_;
+  if (stop.stop_when_all_terminated &&
+      term == static_cast<int>(bodies_.size())) {
+    reason = "all_terminated";
+    return false;
+  }
+  if (stop.stop_when_explored && explored()) {
+    reason = "explored";
+    return false;
+  }
+  if (stop.stop_when_explored_and_one_terminated && explored() && term > 0) {
+    reason = "explored_and_one_terminated";
+    return false;
+  }
+  return true;
+}
 
+RunResult Engine::collect_result(std::string reason) const {
+  RunResult result;
   result.explored = explored();
   result.explored_round = explored_round_;
   result.rounds = round_;
   result.premature_termination = premature_termination_;
   result.fairness_interventions = fairness_interventions_;
   result.violations = violations_;
-  result.stop_reason = reason;
+  result.stop_reason = std::move(reason);
   for (const AgentBody& b : bodies_) {
     AgentResult ar;
     ar.id = b.id;
@@ -503,15 +510,22 @@ RunResult Engine::run(const StopPolicy& stop) {
     ar.passive_moves = b.passive_moves;
     ar.final_node = b.node;
     ar.final_state = brains_[b.id]->state_name();
-    result.agents.push_back(std::move(ar));
     result.active_moves += b.moves;
     result.passive_moves += b.passive_moves;
     if (b.terminated) result.terminated_agents += 1;
+    result.agents.push_back(std::move(ar));
   }
   result.total_moves = result.active_moves + result.passive_moves;
   result.all_terminated =
       result.terminated_agents == static_cast<int>(bodies_.size());
   return result;
+}
+
+RunResult Engine::run(const StopPolicy& stop) {
+  std::string reason = "max_rounds";
+  while (advance_run(stop, reason)) {
+  }
+  return collect_result(std::move(reason));
 }
 
 }  // namespace dring::sim

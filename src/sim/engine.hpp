@@ -117,6 +117,47 @@ struct RunResult {
   bool ok() const { return violations.empty() && !premature_termination; }
 };
 
+/// Per-round scratch buffers used by Engine::step().  Extracted from the
+/// engine so many lockstep engines (BatchEngine fallback lanes) can share
+/// one scratch: nothing in here carries information across rounds — every
+/// vector is either cleared before the phase that fills it or rewritten
+/// for all agents at the start of the round — so interleaving rounds of
+/// different engines through the same scratch is safe, and B lanes stop
+/// paying for B copies of per-round storage.
+struct StepScratch {
+  struct Computed {
+    AgentId agent;
+    agent::Intent intent;
+  };
+  struct PendingMove {
+    AgentId agent;
+    NodeId to;
+    bool passive;
+    GlobalDir dir;
+  };
+
+  std::vector<char> active;              ///< activation set of this round
+  std::vector<Computed> computed;        ///< intents, in activation order
+  std::vector<std::int32_t> intent_slot;  ///< agent id -> computed index
+  std::vector<IntentRecord> records;     ///< presented to the edge adversary
+  std::vector<PendingMove> moves;        ///< resolved traversals
+  std::vector<EdgeId> et_protected;      ///< ET-vetoed edges this round
+  /// Port contenders as ((port, arrival seq) sort key, agent) pairs; sorted
+  /// to reproduce the (node, side)-ordered, arrival-stable grouping the
+  /// previous std::map implementation produced.
+  std::vector<std::pair<std::uint64_t, AgentId>> contenders;
+  std::vector<AgentId> bucket;           ///< contenders of one port
+
+  /// Size the per-agent vectors for an engine with `k` agents. Grow-only,
+  /// so a scratch shared across lanes fits the widest lane.
+  void ensure(std::size_t k) {
+    if (active.size() < k) {
+      active.resize(k, 0);
+      intent_slot.resize(k, -1);
+    }
+  }
+};
+
 /// The simulation engine.
 class Engine {
  public:
@@ -144,6 +185,24 @@ class Engine {
 
   /// Run until the stop policy triggers; returns the summary.
   RunResult run(const StopPolicy& stop);
+
+  /// One iteration of run(): apply the stop policy, stepping at most one
+  /// round. Returns false when the run is over, with `reason` set to the
+  /// stop reason run() would report. run(stop) == while (advance_run(...))
+  /// {} + collect_result(reason); BatchEngine drives fallback lanes
+  /// through this so a lane-per-round interleave is literally the scalar
+  /// run loop.
+  bool advance_run(const StopPolicy& stop, std::string& reason);
+
+  /// Assemble the RunResult run() returns, given the stop reason.
+  RunResult collect_result(std::string reason) const;
+
+  /// Redirect per-round scratch to an external buffer (nullptr restores
+  /// the engine's own). The engines sharing a scratch must be stepped from
+  /// one thread; contents do not survive across rounds.
+  void use_scratch(StepScratch* scratch) {
+    scratch_ = scratch != nullptr ? scratch : &own_scratch_;
+  }
 
   // --- inspection -----------------------------------------------------------
   const ring::DynamicRing& ring() const { return ring_; }
@@ -255,29 +314,11 @@ class Engine {
 
   // --- per-round scratch, reused across rounds ------------------------------
   // Sized once (per agent count); steady-state rounds allocate nothing.
+  // Owned by default; use_scratch() lets BatchEngine share one scratch
+  // across its fallback lanes.
 
-  struct Computed {
-    AgentId agent;
-    agent::Intent intent;
-  };
-  struct PendingMove {
-    AgentId agent;
-    NodeId to;
-    bool passive;
-    GlobalDir dir;
-  };
-
-  std::vector<char> active_;             ///< activation set of this round
-  std::vector<Computed> computed_;       ///< intents, in activation order
-  std::vector<std::int32_t> intent_slot_;  ///< agent id -> computed_ index
-  std::vector<IntentRecord> records_;    ///< presented to the edge adversary
-  std::vector<PendingMove> moves_;       ///< resolved traversals
-  std::vector<EdgeId> et_protected_;     ///< ET-vetoed edges this round
-  /// Port contenders as ((port, arrival seq) sort key, agent) pairs; sorted
-  /// to reproduce the (node, side)-ordered, arrival-stable grouping the
-  /// previous std::map implementation produced.
-  std::vector<std::pair<std::uint64_t, AgentId>> contenders_;
-  std::vector<AgentId> bucket_;          ///< contenders of one port
+  StepScratch own_scratch_;
+  StepScratch* scratch_ = &own_scratch_;
 };
 
 }  // namespace dring::sim

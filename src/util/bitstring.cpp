@@ -1,6 +1,7 @@
 #include "util/bitstring.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace dring::util {
@@ -56,6 +57,38 @@ std::string dup(const std::string& s, std::size_t k) {
   out.reserve(s.size() * k);
   for (char c : s) out.append(k, c);
   return out;
+}
+
+void BitVec::resize(std::size_t bits) {
+  words_.resize((bits + 63) / 64, 0);
+  // When shrinking, zero the tail of the last word so a later re-grow
+  // exposes clear bits only.
+  if (bits < bits_ && bits % 64 != 0)
+    words_[bits >> 6] &= (std::uint64_t{1} << (bits & 63)) - 1;
+  bits_ = bits;
+}
+
+void BitVec::reset_range(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  const std::size_t first = begin >> 6;
+  const std::size_t last = (end - 1) >> 6;
+  const std::uint64_t head = ~std::uint64_t{0} << (begin & 63);
+  const std::uint64_t tail =
+      (end & 63) == 0 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << (end & 63)) - 1;
+  if (first == last) {
+    words_[first] &= ~(head & tail);
+    return;
+  }
+  words_[first] &= ~head;
+  for (std::size_t w = first + 1; w < last; ++w) words_[w] = 0;
+  words_[last] &= ~tail;
+}
+
+std::size_t BitVec::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
 }
 
 }  // namespace dring::util

@@ -10,8 +10,47 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dring::util {
+
+/// Word-packed bitset with an explicit test-and-set, used by the batched
+/// engine as a flat visited-node arena across lanes (std::vector<bool>
+/// cannot be cheaply range-cleared or shared at word granularity).
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t bits) { resize(bits); }
+
+  /// Grow or shrink to `bits`; newly exposed bits are zero.
+  void resize(std::size_t bits);
+  std::size_t size() const { return bits_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  /// Set bit `i`; returns true iff it was previously clear.
+  bool test_and_set(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const bool fresh = (w & mask) == 0;
+    w |= mask;
+    return fresh;
+  }
+
+  /// Clear bits [begin, end).
+  void reset_range(std::size_t begin, std::size_t end);
+  /// Number of set bits.
+  std::size_t count() const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
 
 /// Minimal binary representation of `v` (MSB first). b(0) == "0".
 std::string to_binary(std::uint64_t v);

@@ -1,0 +1,382 @@
+// Tests for the batched lockstep engine (sim/batch_engine.hpp) and its
+// sweep integration (SweepOptions::batch_width).
+//
+// The load-bearing claim is bit-identity: for every registry algorithm and
+// every adversary family, routing a scenario through the batch path must
+// produce a RunResult indistinguishable from Engine::run — same digest,
+// same canonical store bytes. The grid below pins that across the whole
+// registry x family matrix, and the sweep tests pin determinism for any
+// (batch_width, threads) combination, ragged widths, and lane backfill.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "core/scenario_spec.hpp"
+#include "core/sweep.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/trace_io.hpp"
+
+namespace dring::core {
+namespace {
+
+std::vector<std::uint64_t> digests(const std::vector<sim::RunResult>& rs) {
+  std::vector<std::uint64_t> ds;
+  ds.reserve(rs.size());
+  for (const sim::RunResult& r : rs) ds.push_back(sim::result_digest(r));
+  return ds;
+}
+
+/// Every adversary family the spec layer can express, with parameters that
+/// keep hostile runs short on small rings.
+std::vector<AdversarySpec> all_families() {
+  std::vector<AdversarySpec> families;
+  AdversarySpec a;
+
+  a.family = "null";
+  families.push_back(a);
+
+  a = {};
+  a.family = "random";
+  a.remove_prob = 0.4;
+  a.activation_prob = 0.8;
+  families.push_back(a);
+
+  a = {};
+  a.family = "targeted-random";
+  a.target_prob = 0.5;
+  families.push_back(a);
+
+  a = {};
+  a.family = "fixed-edge";
+  a.edge = 2;
+  families.push_back(a);
+
+  a = {};
+  a.family = "block-agent";
+  a.victim = 0;
+  families.push_back(a);
+
+  a = {};
+  a.family = "prevent-meeting";
+  families.push_back(a);
+
+  a = {};
+  a.family = "ns-first-mover";
+  families.push_back(a);
+
+  a = {};
+  a.family = "rotation";
+  a.dwell = 2;
+  families.push_back(a);
+
+  a = {};
+  a.family = "fig2";
+  a.edge = 1;
+  families.push_back(a);
+
+  a = {};
+  a.family = "sliding-window";
+  families.push_back(a);
+
+  a = {};
+  a.family = "head-on-pin";
+  families.push_back(a);
+
+  a = {};
+  a.family = "segment-seal";
+  a.edge = 1;
+  a.edge_b = 4;
+  families.push_back(a);
+
+  a = {};
+  a.family = "edge-window";
+  a.edge = 3;
+  a.window_lo = 2;
+  a.window_hi = 40;
+  families.push_back(a);
+
+  // T-interval decoration on top of a base family (the decorator must
+  // never be mistaken for a null adversary).
+  a = {};
+  a.family = "random";
+  a.remove_prob = 0.5;
+  a.t_interval = 3;
+  families.push_back(a);
+
+  a = {};
+  a.family = "null";
+  a.t_interval = 2;
+  families.push_back(a);
+
+  return families;
+}
+
+/// Registry x family grid as executable tasks. Small rings and a tight
+/// round budget keep the full matrix cheap; every task still exercises the
+/// complete retire path (stop policy, premature oracle, per-agent rows).
+std::vector<ScenarioTask> registry_grid() {
+  std::vector<ScenarioTask> tasks;
+  std::size_t index = 0;
+  for (const algo::AlgorithmInfo& info : algo::all_algorithms()) {
+    for (const AdversarySpec& adversary : all_families()) {
+      ScenarioSpec spec;
+      spec.algorithm = info.name;
+      spec.n = 6;
+      spec.adversary = adversary;
+      spec.seed = task_seed(/*salt=*/2026, index++);
+      spec.max_rounds = 3000;
+      tasks.push_back(to_task(spec));
+    }
+  }
+  return tasks;
+}
+
+TEST(BatchVsScalar, BitIdenticalAcrossRegistryAndFamilies) {
+  const std::vector<ScenarioTask> tasks = registry_grid();
+  ASSERT_GT(tasks.size(), 100u);  // the grid really is registry x families
+
+  SweepOptions scalar;
+  scalar.threads = 1;
+  const std::vector<std::uint64_t> golden = digests(run_sweep(tasks, scalar));
+
+  for (const int width : {1, 4, 32}) {
+    SweepOptions batched;
+    batched.threads = 1;
+    batched.batch_width = width;
+    EXPECT_EQ(digests(run_sweep(tasks, batched)), golden)
+        << "batch_width=" << width;
+  }
+}
+
+TEST(BatchVsScalar, EveryResultFieldMatchesOnFastPath) {
+  // Digest equality is the broad net; this pins the full struct on a
+  // null-adversary scenario that takes the SoA fast path.
+  ScenarioSpec spec;
+  spec.algorithm = "KnownNNoChirality";
+  spec.n = 9;
+  spec.seed = 7;
+  const ScenarioTask task = to_task(spec);
+
+  SweepOptions scalar;
+  scalar.threads = 1;
+  SweepOptions batched = scalar;
+  batched.batch_width = 8;
+  const sim::RunResult a = run_sweep({task}, scalar).at(0);
+  const sim::RunResult b = run_sweep({task}, batched).at(0);
+
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.explored, b.explored);
+  EXPECT_EQ(a.explored_round, b.explored_round);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_EQ(a.premature_termination, b.premature_termination);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.active_moves, b.active_moves);
+  EXPECT_EQ(a.passive_moves, b.passive_moves);
+  EXPECT_EQ(a.terminated_agents, b.terminated_agents);
+  EXPECT_EQ(a.all_terminated, b.all_terminated);
+  EXPECT_EQ(a.fairness_interventions, b.fairness_interventions);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  ASSERT_EQ(a.agents.size(), b.agents.size());
+  for (std::size_t i = 0; i < a.agents.size(); ++i) {
+    EXPECT_EQ(a.agents[i].final_node, b.agents[i].final_node);
+    EXPECT_EQ(a.agents[i].terminated, b.agents[i].terminated);
+    EXPECT_EQ(a.agents[i].termination_round, b.agents[i].termination_round);
+    EXPECT_EQ(a.agents[i].moves, b.agents[i].moves);
+    EXPECT_EQ(a.agents[i].final_state, b.agents[i].final_state);
+  }
+  EXPECT_EQ(sim::result_digest(a), sim::result_digest(b));
+}
+
+TEST(RunSweepBatch, DeterministicForAnyWidthAndThreadCount) {
+  std::vector<ScenarioTask> tasks;
+  std::size_t index = 0;
+  for (const char* algorithm :
+       {"KnownNNoChirality", "UnconsciousExploration", "ETBoundNoChirality"}) {
+    for (const NodeId n : {5, 8, 11}) {
+      ScenarioSpec spec;
+      spec.algorithm = algorithm;
+      spec.n = n;
+      spec.seed = task_seed(/*salt=*/11, index++);
+      spec.max_rounds = 5000;
+      tasks.push_back(to_task(spec));
+    }
+  }
+
+  SweepOptions reference;
+  reference.threads = 1;
+  const std::vector<std::uint64_t> golden =
+      digests(run_sweep(tasks, reference));
+
+  for (const int width : {0, 1, 4, 32}) {
+    for (const int threads : {1, 4}) {
+      SweepOptions options;
+      options.threads = threads;
+      options.batch_width = width;
+      EXPECT_EQ(digests(run_sweep(tasks, options)), golden)
+          << "width=" << width << " threads=" << threads;
+    }
+  }
+}
+
+TEST(RunSweepBatch, RaggedWidths) {
+  // Task counts that do not divide the width, and widths larger than the
+  // task list: lanes go idle and drain without disturbing the results.
+  std::vector<ScenarioTask> tasks;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ScenarioSpec spec;
+    spec.algorithm = "KnownNNoChirality";
+    spec.n = static_cast<NodeId>(5 + i);
+    spec.seed = i;
+    tasks.push_back(to_task(spec));
+  }
+
+  SweepOptions scalar;
+  scalar.threads = 1;
+  const std::vector<std::uint64_t> golden = digests(run_sweep(tasks, scalar));
+
+  for (const int width : {2, 3, 64}) {
+    SweepOptions options;
+    options.threads = 1;
+    options.batch_width = width;
+    EXPECT_EQ(digests(run_sweep(tasks, options)), golden)
+        << "width=" << width;
+  }
+}
+
+TEST(RunSweepBatch, TracedTasksTakeTheScalarPathWithTraceIntact) {
+  ScenarioSpec spec;
+  spec.algorithm = "KnownNNoChirality";
+  spec.n = 7;
+  spec.seed = 3;
+  ScenarioTask traced = to_task(spec);
+  traced.cfg.engine.record_trace = true;
+  ScenarioTask untraced = to_task(spec);
+
+  SweepOptions scalar;
+  scalar.threads = 1;
+  SweepOptions batched = scalar;
+  batched.batch_width = 4;
+
+  const std::vector<SweepRun> a = run_sweep_runs({traced, untraced}, scalar);
+  const std::vector<SweepRun> b = run_sweep_runs({traced, untraced}, batched);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_FALSE(b[0].trace.empty());
+  EXPECT_EQ(a[0].trace.size(), b[0].trace.size());
+  EXPECT_TRUE(b[1].trace.empty());
+  EXPECT_EQ(sim::result_digest(a[0].result), sim::result_digest(b[0].result));
+  EXPECT_EQ(sim::result_digest(a[1].result), sim::result_digest(b[1].result));
+}
+
+// --- direct BatchEngine surface ---------------------------------------------
+
+sim::BatchLaneConfig lane_config(const std::string& algorithm, NodeId n,
+                                 Round max_rounds = 0) {
+  ScenarioSpec spec;
+  spec.algorithm = algorithm;
+  spec.n = n;
+  if (max_rounds > 0) spec.max_rounds = max_rounds;
+  return make_lane_config(build_config(spec), nullptr);
+}
+
+TEST(BatchEngine, AdmitRefusesWhenFullAndBackfillsRetiredLanes) {
+  sim::BatchEngine batch(2);
+  EXPECT_TRUE(batch.admit(lane_config("KnownNNoChirality", 5), 0));
+  // A capped unconscious lane retires early ("max_rounds"); the known-n
+  // lane terminates on its own much later.
+  EXPECT_TRUE(batch.admit(lane_config("UnconsciousExploration", 5, 10), 1));
+  EXPECT_FALSE(batch.admit(lane_config("KnownNNoChirality", 5), 2));
+  EXPECT_EQ(batch.active_lanes(), 2);
+
+  std::vector<std::size_t> retired;
+  const auto on_retire = [&](std::size_t tag, sim::RunResult&& result,
+                             const sim::LanePerf& perf) {
+    retired.push_back(tag);
+    EXPECT_GT(perf.rounds, 0);
+    EXPECT_FALSE(result.stop_reason.empty());
+  };
+
+  // Drain until the capped lane frees its slot, then backfill it.
+  while (batch.active_lanes() == 2) batch.step_round(on_retire);
+  ASSERT_EQ(retired, std::vector<std::size_t>{1});
+  EXPECT_TRUE(batch.admit(lane_config("KnownNNoChirality", 5), 2));
+  EXPECT_EQ(batch.active_lanes(), 2);
+
+  while (batch.active_lanes() > 0) batch.step_round(on_retire);
+  EXPECT_EQ(retired, (std::vector<std::size_t>{1, 0, 2}));
+
+  const sim::BatchStats& stats = batch.stats();
+  EXPECT_EQ(stats.admitted, 3);
+  EXPECT_EQ(stats.fast_lanes, 3);
+  EXPECT_EQ(stats.fallback_lanes, 0);
+  EXPECT_EQ(stats.retired, 3);
+  EXPECT_GT(stats.batch_rounds, 0);
+  EXPECT_GT(stats.lane_rounds, stats.batch_rounds);
+}
+
+TEST(BatchEngine, MixedRingSizesShareOneBatch) {
+  // Ragged geometry inside one batch: admitting a larger ring relays the
+  // arenas out; results still match the scalar engine lane by lane.
+  sim::BatchEngine batch(3);
+  const NodeId sizes[] = {5, 12, 8};
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(batch.admit(lane_config("KnownNNoChirality", sizes[i]), i));
+
+  std::vector<std::uint64_t> got(3, 0);
+  const auto on_retire = [&](std::size_t tag, sim::RunResult&& result,
+                             const sim::LanePerf&) {
+    got[tag] = sim::result_digest(result);
+  };
+  while (batch.active_lanes() > 0) batch.step_round(on_retire);
+
+  SweepOptions scalar;
+  scalar.threads = 1;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ScenarioSpec spec;
+    spec.algorithm = "KnownNNoChirality";
+    spec.n = sizes[i];
+    const sim::RunResult r = run_sweep({to_task(spec)}, scalar).at(0);
+    EXPECT_EQ(got[i], sim::result_digest(r)) << "lane " << i;
+  }
+}
+
+TEST(BatchEngine, IneligibleScenariosLandOnFallbackLanes) {
+  // A real adversary disqualifies the SoA fast path; the lane embeds a
+  // scalar engine instead and still retires the bit-identical result.
+  ScenarioSpec spec;
+  spec.algorithm = "KnownNNoChirality";
+  spec.n = 7;
+  spec.adversary.family = "targeted-random";
+  spec.seed = 5;
+  const ScenarioTask task = to_task(spec);
+
+  sim::BatchEngine batch(2);
+  sim::BatchLaneConfig lane =
+      make_lane_config(task.cfg, task.make_adversary());
+  ASSERT_TRUE(batch.admit(std::move(lane), 0));
+  EXPECT_EQ(batch.stats().fallback_lanes, 1);
+  EXPECT_EQ(batch.stats().fast_lanes, 0);
+
+  std::uint64_t got = 0;
+  const auto on_retire = [&](std::size_t, sim::RunResult&& result,
+                             const sim::LanePerf& perf) {
+    got = sim::result_digest(result);
+    EXPECT_GT(perf.snapshots, 0);
+  };
+  while (batch.active_lanes() > 0) batch.step_round(on_retire);
+
+  SweepOptions scalar;
+  scalar.threads = 1;
+  EXPECT_EQ(got, sim::result_digest(run_sweep({task}, scalar).at(0)));
+}
+
+TEST(BatchEngine, RejectsNonPositiveWidth) {
+  EXPECT_THROW(sim::BatchEngine(0), std::invalid_argument);
+  EXPECT_THROW(sim::BatchEngine(-3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dring::core

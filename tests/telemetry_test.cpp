@@ -298,6 +298,44 @@ TEST(RenderMetricsSummary, IncludesDerivedRates) {
             std::string::npos);
 }
 
+TEST(RenderMetricsSummary, BatchRowsRenderWhenInstrumented) {
+  util::MetricsRegistry registry;
+  registry.gauge("sweep.batch.lane_utilization").set(0.875);
+  util::Histogram& lifetimes =
+      registry.histogram("sweep.batch.retire_rounds", telemetry_round_bounds());
+  lifetimes.observe(10);
+  lifetimes.observe(30);
+  registry.counter("sweep.batch.scalar_tasks").add(2);
+  const std::string md = render_metrics_summary(registry.snapshot_json());
+  EXPECT_NE(md.find("| sweep batch lane utilization | 87.5% |"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("| sweep batch mean lane lifetime | 20 rounds |"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("| sweep.batch.scalar_tasks | 2 |"), std::string::npos);
+  // Byte-stable: same metric state renders to the same bytes.
+  EXPECT_EQ(md, render_metrics_summary(registry.snapshot_json()));
+}
+
+TEST(RenderMetricsSummary, BatchRowsAbsentWithoutBatchMetrics) {
+  util::MetricsRegistry registry;
+  registry.counter("sweep.tasks").add(4);
+  const std::string md = render_metrics_summary(registry.snapshot_json());
+  EXPECT_EQ(md.find("sweep batch lane utilization"), std::string::npos);
+  EXPECT_EQ(md.find("sweep batch mean lane lifetime"), std::string::npos);
+}
+
+TEST(TelemetryRoundBounds, DoublingLadderFromOne) {
+  const std::vector<long long>& bounds = telemetry_round_bounds();
+  ASSERT_EQ(bounds.size(), 24u);
+  EXPECT_EQ(bounds.front(), 1);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_EQ(bounds[i], 2 * bounds[i - 1]);
+  // Same object every call: histogram layouts stay consistent.
+  EXPECT_EQ(&bounds, &telemetry_round_bounds());
+}
+
 TEST(RenderBenchTrend, TabulatesBaselineCurrentSpeedup) {
   const util::Json bench = util::Json::parse(
       R"({"baseline":{"BM_X/64":{"real_time_ns":100.0}},)"

@@ -139,6 +139,49 @@ TEST(Bitstring, DupMatchesPaperExample) {
   EXPECT_EQ(dup("1", 1), "1");
 }
 
+TEST(BitVec, SetTestResetAcrossWordBoundaries) {
+  util::BitVec v(130);  // spans three 64-bit words
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  for (const std::size_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(v.test(i));
+    v.set(i);
+    EXPECT_TRUE(v.test(i));
+  }
+  EXPECT_EQ(v.count(), 6u);
+  v.reset(64);
+  EXPECT_FALSE(v.test(64));
+  EXPECT_EQ(v.count(), 5u);
+}
+
+TEST(BitVec, TestAndSetReportsFreshnessOnce) {
+  util::BitVec v(70);
+  EXPECT_TRUE(v.test_and_set(69));
+  EXPECT_FALSE(v.test_and_set(69));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(BitVec, ResetRangeClearsExactlyTheHalfOpenInterval) {
+  util::BitVec v(200);
+  for (std::size_t i = 0; i < 200; ++i) v.set(i);
+  v.reset_range(10, 140);  // head bits, full middle words, tail bits
+  for (std::size_t i = 0; i < 200; ++i)
+    EXPECT_EQ(v.test(i), i < 10 || i >= 140) << "bit " << i;
+  EXPECT_EQ(v.count(), 70u);
+  v.reset_range(50, 50);  // empty interval is a no-op
+  EXPECT_EQ(v.count(), 70u);
+}
+
+TEST(BitVec, ResizeZeroesNewlyExposedBits) {
+  util::BitVec v(10);
+  for (std::size_t i = 0; i < 10; ++i) v.set(i);
+  v.resize(5);   // shrink: the dropped bits must not survive a regrow
+  v.resize(80);
+  EXPECT_EQ(v.count(), 5u);
+  for (std::size_t i = 5; i < 80; ++i) EXPECT_FALSE(v.test(i));
+}
+
 TEST(Bitstring, DistinctKTriplesGiveDistinctIds) {
   // "Two IDs are equal if and only if their ki's are equal."
   std::set<std::uint64_t> ids;

@@ -71,7 +71,7 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 "$BIN" \
-  --benchmark_filter='RoundsPerSecondRaw|ManyAgentsSnapshot' \
+  --benchmark_filter='RoundsPerSecondRaw|ManyAgentsSnapshot|BatchRoundsPerSecond' \
   --benchmark_min_time=0.5 \
   --benchmark_format=json > "$RAW"
 
@@ -165,7 +165,7 @@ current = {
 
 # A partial snapshot is worse than no snapshot: if the filter matched
 # nothing (renamed benches, wrong binary), abort before touching the file.
-expected = ("RoundsPerSecondRaw", "ManyAgentsSnapshot")
+expected = ("RoundsPerSecondRaw", "ManyAgentsSnapshot", "BatchRoundsPerSecond")
 for fragment in expected:
     if not any(fragment in name for name in current):
         sys.exit(

@@ -51,6 +51,9 @@ util::FlagTable flag_table() {
       .flag("spec", "FILE", "campaign definition to expand and run")
       .flag("out", "FILE", "result store to write")
       .flag("threads", "N", "worker threads (0 = all hardware threads)")
+      .flag("batch", "W", "batched lockstep lanes per worker thread "
+                          "(0 = scalar engine; store bytes are identical "
+                          "either way)")
       .flag("resume", "", "run only scenarios missing from the store")
       .flag("dry-run", "", "print the shard's scenario list, fingerprint "
                            "range and store path; run nothing")
@@ -219,6 +222,7 @@ int main(int argc, char** argv) {
 
   core::CampaignOptions options;
   options.threads = static_cast<int>(cli.get_int("threads", 0));
+  options.batch_width = static_cast<int>(cli.get_int("batch", 0));
   options.out_path = cli.get("out", "");
   options.resume = cli.get_bool("resume", false);
   if (!util::parse_shard(cli.get("shard", ""), options.shard_index,

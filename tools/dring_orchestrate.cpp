@@ -38,6 +38,8 @@ util::FlagTable flag_table() {
       .flag("shards", "M", "grid partitions (one worker unit each)")
       .flag("workers", "W", "max concurrent worker subprocesses")
       .flag("threads", "N", "worker threads per subprocess (default 1)")
+      .flag("batch", "W", "batched lockstep lanes per worker thread, "
+                          "forwarded to workers (0 = scalar engine)")
       .flag("work-dir", "DIR", "shard stores, heartbeats and worker logs")
       .flag("out", "FILE", "merged result store")
       .flag("resume", "", "keep existing shard stores and fill the holes")
@@ -102,6 +104,7 @@ int main(int argc, char** argv) {
   options.shards = static_cast<int>(cli.get_int("shards", 1));
   options.workers = static_cast<int>(cli.get_int("workers", 2));
   options.threads_per_worker = static_cast<int>(cli.get_int("threads", 1));
+  options.batch_width = static_cast<int>(cli.get_int("batch", 0));
   options.work_dir = cli.get("work-dir", "");
   options.out_path = cli.get("out", "");
   options.resume = cli.get_bool("resume", false);
