@@ -4,9 +4,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "adversary/basic_adversaries.hpp"
+#include "core/analysis.hpp"
+#include "core/campaign.hpp"
+#include "core/query.hpp"
 #include "core/runner.hpp"
 
 namespace {
@@ -134,6 +140,110 @@ void BM_ManyAgentsSnapshot(benchmark::State& state) {
   state.SetItemsProcessed(rounds * k);  // agent activations per second
 }
 BENCHMARK(BM_ManyAgentsSnapshot)->Arg(64)->Arg(256);
+
+// Synthetic campaign rows for the query-service benches: a plausible
+// algorithm × n × seed grid with deterministic outcomes, no simulation.
+std::vector<core::CampaignRow> synthetic_rows(int count) {
+  static const char* kAlgos[] = {"KnownNNoChirality", "UnconsciousExploration",
+                                 "ETUnconscious"};
+  std::vector<core::CampaignRow> rows;
+  rows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    core::CampaignRow row;
+    row.spec.algorithm = kAlgos[i % 3];
+    row.spec.n = static_cast<NodeId>(8 + 2 * ((i / 3) % 8));
+    row.spec.seed = static_cast<std::uint64_t>(i);
+    row.fingerprint = core::fingerprint(row.spec);
+    row.outcome.explored = true;
+    row.outcome.explored_round = 2 + i % 17;
+    row.outcome.rounds = row.outcome.explored_round;
+    row.outcome.total_moves = 3 * row.outcome.explored_round;
+    row.outcome.all_terminated = true;
+    row.outcome.terminated_agents = 3;
+    row.outcome.stop_reason = "explored";
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void BM_QueryCacheLookup(benchmark::State& state) {
+  // O(1) point lookups on a warm fingerprint-indexed cache. items/sec is
+  // lookups/sec; every probe hits (the fingerprints come from the rows).
+  const int count = static_cast<int>(state.range(0));
+  const core::ResultCache cache(
+      core::ResultStore{core::current_provenance(), synthetic_rows(count)});
+  std::vector<std::uint64_t> fps;
+  fps.reserve(cache.size());
+  for (const core::CampaignRow& row : cache.rows())
+    fps.push_back(row.fingerprint);
+  std::int64_t lookups = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::CampaignRow* row = cache.find(fps[i]);
+    benchmark::DoNotOptimize(row);
+    if (++i == fps.size()) i = 0;
+    ++lookups;
+  }
+  state.SetItemsProcessed(lookups);
+}
+BENCHMARK(BM_QueryCacheLookup)->Arg(2048)->Arg(16384);
+
+void BM_StreamingFold(benchmark::State& state) {
+  // Cell-by-cell streaming fold: one full pass over the rows per
+  // iteration, items/sec is rows folded per second.
+  const int count = static_cast<int>(state.range(0));
+  const std::vector<core::CampaignRow> rows = synthetic_rows(count);
+  const core::Metric metric = core::metric_from_string("explored_round");
+  std::int64_t folded = 0;
+  for (auto _ : state) {
+    core::StreamingAggregator agg({"algorithm", "n"}, metric);
+    for (const core::CampaignRow& row : rows) agg.add(row);
+    benchmark::DoNotOptimize(agg.rows_folded());
+    folded += count;
+  }
+  state.SetItemsProcessed(folded);
+}
+BENCHMARK(BM_StreamingFold)->Arg(2048)->Arg(16384);
+
+void BM_QueryAggregateWarm(benchmark::State& state) {
+  // The query service's serving path: group-by aggregate over the warm
+  // in-memory cache. Compare against BM_QueryAggregateCold — the ratio is
+  // what `dring_serve` buys over re-running `dring_report` per query.
+  const int count = static_cast<int>(state.range(0));
+  const core::ResultCache cache(
+      core::ResultStore{core::current_provenance(), synthetic_rows(count)});
+  const core::Metric metric = core::metric_from_string("explored_round");
+  std::int64_t rows = 0;
+  for (auto _ : state) {
+    const auto groups = cache.aggregate({"algorithm", "n"}, metric);
+    benchmark::DoNotOptimize(groups.data());
+    rows += count;
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_QueryAggregateWarm)->Arg(4096);
+
+void BM_QueryAggregateCold(benchmark::State& state) {
+  // The cold path the cache replaces: read the store file, parse every
+  // JSONL row, then aggregate — what each dring_report invocation pays.
+  const int count = static_cast<int>(state.range(0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dring_bench_query_store.jsonl")
+          .string();
+  core::write_result_store(path, synthetic_rows(count));
+  const core::Metric metric = core::metric_from_string("explored_round");
+  std::int64_t rows = 0;
+  for (auto _ : state) {
+    const core::ResultStore store = core::load_result_stores({path});
+    const auto groups =
+        core::aggregate_rows(store.rows, {"algorithm", "n"}, metric);
+    benchmark::DoNotOptimize(groups.data());
+    rows += count;
+  }
+  state.SetItemsProcessed(rows);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_QueryAggregateCold)->Arg(4096);
 
 }  // namespace
 

@@ -157,13 +157,9 @@ double quantile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-namespace {
-
-/// Numeric-aware comparison of two group keys (component-wise; numeric
-/// components compare by value, string components lexically).
-bool key_less(const std::vector<std::string>& a,
-              const std::vector<std::string>& b,
-              const std::vector<bool>& numeric) {
+bool group_key_less(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b,
+                    const std::vector<bool>& numeric) {
   for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
     if (a[i] == b[i]) continue;
     if (numeric[i]) {
@@ -176,8 +172,8 @@ bool key_less(const std::vector<std::string>& a,
   return a.size() < b.size();
 }
 
-Aggregate fold_group(const std::vector<const CampaignRow*>& rows,
-                     Metric metric) {
+Aggregate fold_rows(const std::vector<const CampaignRow*>& rows,
+                    Metric metric) {
   Aggregate agg;
   std::vector<double> samples;
   for (const CampaignRow* row : rows) {
@@ -205,6 +201,8 @@ Aggregate fold_group(const std::vector<const CampaignRow*>& rows,
   return agg;
 }
 
+namespace {
+
 /// Group rows by their rendered key values; returns (key, member rows)
 /// pairs sorted numeric-aware.
 std::vector<std::pair<std::vector<std::string>,
@@ -226,7 +224,7 @@ group_by(const std::vector<CampaignRow>& rows,
       ordered(groups.begin(), groups.end());
   std::sort(ordered.begin(), ordered.end(),
             [&numeric](const auto& a, const auto& b) {
-              return key_less(a.first, b.first, numeric);
+              return group_key_less(a.first, b.first, numeric);
             });
   return ordered;
 }
@@ -246,7 +244,7 @@ std::vector<GroupRow> aggregate_rows(const std::vector<CampaignRow>& rows,
   const std::vector<std::string> axes = canonicalize(group_keys);
   std::vector<GroupRow> result;
   for (auto& [key, members] : group_by(rows, axes))
-    result.push_back({std::move(key), fold_group(members, metric)});
+    result.push_back({std::move(key), fold_rows(members, metric)});
   return result;
 }
 

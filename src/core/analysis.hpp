@@ -143,6 +143,20 @@ std::vector<GroupRow> aggregate_rows(const std::vector<CampaignRow>& rows,
 /// non-empty sample vector: index q*(N-1), fractional indexes interpolate.
 double quantile(const std::vector<double>& sorted, double q);
 
+/// The exact fold behind aggregate_rows, over one group's member rows.
+/// Exposed so alternative row sources (the query cache) reproduce
+/// aggregate report bytes without routing through a row-vector copy.
+Aggregate fold_rows(const std::vector<const CampaignRow*>& rows,
+                    Metric metric);
+
+/// Numeric-aware comparison of two group keys (component-wise; numeric
+/// components compare by value, string components lexically) — the group
+/// ordering of aggregate_rows, exposed for the same reason as fold_rows.
+/// `numeric[i]` says whether component i is a numeric axis.
+bool group_key_less(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b,
+                    const std::vector<bool>& numeric);
+
 // --- paired store comparison ------------------------------------------------
 
 /// One fingerprint present in both stores of a paired comparison.

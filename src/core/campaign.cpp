@@ -13,6 +13,7 @@
 #include <unistd.h>
 #endif
 
+#include "core/query.hpp"
 #include "core/telemetry.hpp"
 #include "core/version.hpp"
 
@@ -333,6 +334,16 @@ std::vector<CampaignRow> run_scenarios(
     const std::vector<ScenarioSpec>& specs, int threads,
     const std::function<void(std::size_t, std::size_t)>& on_task_done,
     int batch_width) {
+  return run_scenarios_streaming(specs, threads, /*on_row=*/{},
+                                 /*keep_rows=*/true, on_task_done,
+                                 batch_width);
+}
+
+std::vector<CampaignRow> run_scenarios_streaming(
+    const std::vector<ScenarioSpec>& specs, int threads,
+    const std::function<void(const CampaignRow&)>& on_row, bool keep_rows,
+    const std::function<void(std::size_t, std::size_t)>& on_task_done,
+    int batch_width) {
   std::vector<ScenarioTask> tasks;
   tasks.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) tasks.push_back(to_task(spec));
@@ -341,8 +352,26 @@ std::vector<CampaignRow> run_scenarios(
   options.threads = threads;
   options.on_task_done = on_task_done;
   options.batch_width = batch_width;
-  const std::vector<sim::RunResult> results = run_sweep(tasks, options);
 
+  if (on_row || !keep_rows) {
+    // Streaming: build each row at task completion, hand it to the hook,
+    // and let the sweep discard the underlying RunResult immediately —
+    // peak memory is O(workers), not O(cells).
+    std::vector<CampaignRow> rows(keep_rows ? specs.size() : 0);
+    options.discard_results = true;
+    options.on_task_result = [&](std::size_t i, const SweepRun& run) {
+      CampaignRow row;
+      row.spec = specs[i];
+      row.fingerprint = fingerprint(specs[i]);
+      row.outcome = outcome_of(run.result);
+      if (on_row) on_row(row);
+      if (keep_rows) rows[i] = std::move(row);
+    };
+    run_sweep_runs(tasks, options);
+    return rows;
+  }
+
+  const std::vector<sim::RunResult> results = run_sweep(tasks, options);
   std::vector<CampaignRow> rows(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     rows[i].spec = specs[i];
@@ -418,6 +447,7 @@ StoreRunResult run_with_store(
     for (std::size_t i = 0; i < fingerprints.size(); ++i) todo[i] = i;
   }
 
+  result.executed = todo.size();
   result.rows = execute(todo);
 
   // A fresh run replaces the store; a resume run rewrites it with the
@@ -478,6 +508,14 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
                         {"shard", std::to_string(options.shard_index)}});
   const long long run_t0 = telem ? telemetry_now_us() : 0;
 
+  // Streaming: fold rows into the caller's aggregator as they complete.
+  // With no store to write, the rows themselves are discarded right after
+  // the fold — the run's memory stays O(workers) however large the grid.
+  const bool keep_rows = !options.stream || !options.out_path.empty();
+  std::function<void(const CampaignRow&)> on_row;
+  if (options.stream)
+    on_row = [&](const CampaignRow& row) { options.stream->add(row); };
+
   StoreRunResult result = run_with_store(
       fingerprints, options.out_path, options.resume,
       [&](const std::vector<std::size_t>& todo) {
@@ -485,19 +523,19 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
         specs.reserve(todo.size());
         for (const std::size_t i : todo) specs.push_back(mine[i]);
         if (!specs.empty()) beat(0, specs.size());
-        return run_scenarios(specs, options.threads, beat,
-                             options.batch_width);
+        return run_scenarios_streaming(specs, options.threads, on_row,
+                                       keep_rows, beat, options.batch_width);
       });
 
   if (telem) {
     util::MetricsRegistry& m = telemetry().metrics();
     m.counter("campaign.cells_executed").add(
-        static_cast<long long>(result.rows.size()));
+        static_cast<long long>(result.executed));
     m.counter("campaign.resume_hits").add(
         static_cast<long long>(result.skipped));
     const long long run_us = std::max(1LL, telemetry_now_us() - run_t0);
     m.gauge("campaign.cells_per_sec")
-        .set(static_cast<double>(result.rows.size()) * 1e6 /
+        .set(static_cast<double>(result.executed) * 1e6 /
              static_cast<double>(run_us));
   }
 
@@ -505,7 +543,7 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
   report.total = all.size();
   report.sharded_out = all.size() - mine.size();
   report.skipped = result.skipped;
-  report.executed = result.rows.size();
+  report.executed = result.executed;
   report.rows = std::move(result.rows);
   report.recovery = result.recovery;
   return report;

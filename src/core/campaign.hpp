@@ -43,6 +43,8 @@
 
 namespace dring::core {
 
+class StreamingAggregator;  // core/query.hpp
+
 /// Version of the row schema this build reads and writes.  Bump when the
 /// row layout or the store's ordering contract changes; rows without a
 /// "v" field are version 1 (the pre-versioning append-ordered stores).
@@ -206,6 +208,17 @@ struct CampaignOptions {
   /// identical for every width (CI-gated), and it is deliberately not a
   /// ScenarioSpec field, so fingerprints and provenance never see it.
   int batch_width = 0;
+  /// Opt-in streaming aggregation (--stream-aggregate): every *executed*
+  /// row is folded into this aggregator at task-completion time
+  /// (serialized; rows skipped by resume are already in the store and are
+  /// not folded — aggregate those through the query cache).  When
+  /// out_path is empty the rows are also discarded right after the fold:
+  /// CampaignReport.rows comes back empty while `executed` still counts
+  /// the work — the Monte-Carlo-scale mode where a campaign never
+  /// materializes its row vector.  With a store configured the rows are
+  /// kept (the store write needs them) and the fold is a free rider.
+  /// Owned by the caller; must outlive run_campaign.
+  StreamingAggregator* stream = nullptr;
 };
 
 /// What a campaign run did.
@@ -225,6 +238,18 @@ struct CampaignReport {
 /// (identical rows either way).
 std::vector<CampaignRow> run_scenarios(
     const std::vector<ScenarioSpec>& specs, int threads,
+    const std::function<void(std::size_t, std::size_t)>& on_task_done = {},
+    int batch_width = 0);
+
+/// run_scenarios with a per-row streaming hook: `on_row` sees each
+/// finished row in completion order (serialized, on a worker thread —
+/// keep it cheap, it sits on the sweep's critical path).  With
+/// `keep_rows` false the returned vector is empty and no row outlives
+/// its hook call; with it true the rows come back in spec order exactly
+/// like run_scenarios.
+std::vector<CampaignRow> run_scenarios_streaming(
+    const std::vector<ScenarioSpec>& specs, int threads,
+    const std::function<void(const CampaignRow&)>& on_row, bool keep_rows,
     const std::function<void(std::size_t, std::size_t)>& on_task_done = {},
     int batch_width = 0);
 
@@ -252,6 +277,10 @@ CampaignReport run_campaign(const CampaignSpec& campaign,
 /// contract; the shard/merge byte-stability CI pins ride on it.
 struct StoreRunResult {
   std::size_t skipped = 0;        ///< fingerprints already stored
+  /// Cells the execute callback was asked to run.  Usually rows.size(),
+  /// but stays correct when the callback streams rows away instead of
+  /// materializing them (CampaignOptions::stream with no store).
+  std::size_t executed = 0;
   std::vector<CampaignRow> rows;  ///< executed rows, in `execute` order
   /// Set when resume dropped a torn trailing row from the prior store
   /// (the cell re-ran and the rewrite replaced it with a whole row).

@@ -119,10 +119,14 @@ std::vector<SweepRun> run_sweep_runs_batched(
   std::mutex done_mutex;
   std::size_t done = 0;
   const auto finish = [&](std::size_t i, SweepRun&& run) {
-    runs[i] = std::move(run);
-    if (options.on_task_done) {
+    if (options.on_task_result || options.on_task_done ||
+        options.discard_results) {
       std::lock_guard<std::mutex> lock(done_mutex);
-      options.on_task_done(++done, tasks.size());
+      if (options.on_task_result) options.on_task_result(i, run);
+      runs[i] = options.discard_results ? SweepRun{} : std::move(run);
+      if (options.on_task_done) options.on_task_done(++done, tasks.size());
+    } else {
+      runs[i] = std::move(run);
     }
   };
 
@@ -244,7 +248,7 @@ std::vector<SweepRun> run_sweep_runs(const std::vector<ScenarioTask>& tasks,
           .histogram("sweep.queue_wait_us", telemetry_time_bounds())
           .observe(task_t0 - pool_t0);
     }
-    runs[i] = execute_task(tasks[i]);
+    SweepRun run = execute_task(tasks[i]);
     if (telem) {
       const long long task_us = telemetry_now_us() - task_t0;
       util::MetricsRegistry& m = telemetry().metrics();
@@ -252,9 +256,14 @@ std::vector<SweepRun> run_sweep_runs(const std::vector<ScenarioTask>& tasks,
       m.counter("sweep.tasks").add(1);
       busy_us.fetch_add(task_us, std::memory_order_relaxed);
     }
-    if (options.on_task_done) {
+    if (options.on_task_result || options.on_task_done ||
+        options.discard_results) {
       std::lock_guard<std::mutex> lock(done_mutex);
-      options.on_task_done(++done, tasks.size());
+      if (options.on_task_result) options.on_task_result(i, run);
+      runs[i] = options.discard_results ? SweepRun{} : std::move(run);
+      if (options.on_task_done) options.on_task_done(++done, tasks.size());
+    } else {
+      runs[i] = std::move(run);
     }
   });
   if (telem) {

@@ -53,6 +53,18 @@ struct SweepOptions {
   /// dring_orchestrate watches for liveness) and the fault-injection
   /// harness ride here.
   std::function<void(std::size_t done, std::size_t total)> on_task_done;
+  /// Per-result hook, called with (task index, finished run) as each task
+  /// completes — in completion order, serialized under the same lock as
+  /// on_task_done (and before it for the same task).  The streaming-
+  /// aggregation path (core/query.hpp StreamingAggregator) rides here:
+  /// fold the run, let it go.
+  std::function<void(std::size_t index, const struct SweepRun& run)>
+      on_task_result;
+  /// Drop each run after the hooks instead of keeping it in the returned
+  /// vector (entries come back default-constructed).  The Monte-Carlo-
+  /// scale switch: a sweep that only wants the streamed fold never
+  /// materializes its result vector.
+  bool discard_results = false;
   /// Batched lockstep execution: when > 0, each worker thread owns a
   /// sim::BatchEngine with this many lanes and pulls tasks into free lanes,
   /// stepping all of them per round and backfilling as lanes retire.

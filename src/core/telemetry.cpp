@@ -374,6 +374,24 @@ std::string render_metrics_summary(const util::Json& metrics,
                           static_cast<double>(count)) +
                 " rounds");
     }
+    const long long query_hits = counters.get_int("query.cache.hits", 0);
+    const long long query_misses = counters.get_int("query.cache.misses", 0);
+    if (query_hits + query_misses > 0)
+      derived_rows.emplace_back(
+          "query cache hit rate",
+          format_double(100.0 * static_cast<double>(query_hits) /
+                        static_cast<double>(query_hits + query_misses)) +
+              "%");
+    if (histograms.has("query.latency_us")) {
+      const util::Json& h = histograms.at("query.latency_us");
+      const long long count = h.get_int("count", 0);
+      if (count > 0)
+        derived_rows.emplace_back(
+            "query mean latency",
+            format_double(static_cast<double>(h.get_int("sum", 0)) /
+                          static_cast<double>(count)) +
+                " us");
+    }
   }
 
   if (format == ReportFormat::Csv) {

@@ -318,6 +318,31 @@ TEST(RenderMetricsSummary, BatchRowsRenderWhenInstrumented) {
   EXPECT_EQ(md, render_metrics_summary(registry.snapshot_json()));
 }
 
+TEST(RenderMetricsSummary, QueryRowsRenderWhenInstrumented) {
+  util::MetricsRegistry registry;
+  registry.counter("query.cache.hits").add(9);
+  registry.counter("query.cache.misses").add(3);
+  util::Histogram& latency =
+      registry.histogram("query.latency_us", telemetry_time_bounds());
+  latency.observe(10);
+  latency.observe(30);
+  const std::string md = render_metrics_summary(registry.snapshot_json());
+  EXPECT_NE(md.find("| query cache hit rate | 75% |"), std::string::npos)
+      << md;
+  EXPECT_NE(md.find("| query mean latency | 20 us |"), std::string::npos)
+      << md;
+  // Byte-stable: same metric state renders to the same bytes.
+  EXPECT_EQ(md, render_metrics_summary(registry.snapshot_json()));
+}
+
+TEST(RenderMetricsSummary, QueryRowsAbsentWithoutQueryMetrics) {
+  util::MetricsRegistry registry;
+  registry.counter("sweep.tasks").add(4);
+  const std::string md = render_metrics_summary(registry.snapshot_json());
+  EXPECT_EQ(md.find("query cache hit rate"), std::string::npos);
+  EXPECT_EQ(md.find("query mean latency"), std::string::npos);
+}
+
 TEST(RenderMetricsSummary, BatchRowsAbsentWithoutBatchMetrics) {
   util::MetricsRegistry registry;
   registry.counter("sweep.tasks").add(4);

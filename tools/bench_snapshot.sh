@@ -30,6 +30,11 @@
 # on failure the per-benchmark deltas are also written as JSON to
 # $BUILD_DIR/bench_delta.json so CI logs and tooling get the same numbers.
 #
+# Noise handling: each benchmark runs 3 repetitions; the snapshot records
+# the median, the gate compares the min, and a failed compare re-measures
+# only the regressed benchmarks (up to 2 retries, time-separated) before
+# failing for real. See the inline comments at each step.
+#
 # Usage: tools/bench_snapshot.sh [--build-dir DIR] [--rebaseline]
 #                                [--check] [--tolerance FRAC]
 set -euo pipefail
@@ -68,39 +73,65 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
+# Three repetitions per benchmark: the snapshot records the MEDIAN (a
+# representative value with headroom) while --check compares the MIN (the
+# least noise-inflated estimate). On shared/frequency-scaled hardware a
+# single run can swing 30% either way; the median-vs-min asymmetry keeps
+# the gate quiet through clock phases while a real regression still lifts
+# the min past the tolerance.
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 "$BIN" \
-  --benchmark_filter='RoundsPerSecondRaw|ManyAgentsSnapshot|BatchRoundsPerSecond' \
+  --benchmark_filter='RoundsPerSecondRaw|ManyAgentsSnapshot|BatchRoundsPerSecond|QueryCacheLookup|StreamingFold|QueryAggregate' \
   --benchmark_min_time=0.5 \
+  --benchmark_repetitions=3 \
   --benchmark_format=json > "$RAW"
 
 if [[ "$CHECK" == 1 ]]; then
-  RAW="$RAW" OUT="$ROOT/BENCH_engine.json" TOLERANCE="$TOLERANCE" \
-    DELTA="$BUILD_DIR/bench_delta.json" python3 - <<'EOF'
+  # Compare the min across every raw file gathered so far against the
+  # committed medians.  On a sustained-slow machine phase a whole run can
+  # measure 30-50% high, so a failed compare retries JUST the regressed
+  # benchmarks after a pause and min-merges the new samples in — two
+  # time-separated slow phases in a row is what it takes to fail the gate
+  # spuriously.  Python exit code 3 = regression (retryable); anything
+  # else is a configuration error and aborts immediately.
+  RAWS="$RAW"
+  ATTEMPT=0
+  MAX_RETRIES=2
+  while :; do
+    set +e
+    RAWS="$RAWS" OUT="$ROOT/BENCH_engine.json" TOLERANCE="$TOLERANCE" \
+      DELTA="$BUILD_DIR/bench_delta.json" python3 - <<'EOF'
 import json, os, sys
 
-raw = json.load(open(os.environ["RAW"]))
 out_path = os.environ["OUT"]
 delta_path = os.environ["DELTA"]
 tolerance = float(os.environ["TOLERANCE"])
 
 if not os.path.exists(out_path):
-    sys.exit(f"error: --check needs a committed {out_path} to compare against")
+    print(f"error: --check needs a committed {out_path} to compare against",
+          file=sys.stderr)
+    sys.exit(1)
 committed = json.load(open(out_path)).get("current", {})
 
-fresh = {
-    b["name"]: b["real_time"]
-    for b in raw["benchmarks"]
-    if "real_time" in b
-}
+# Min over every repetition in every raw file: noise only ever adds
+# time, so the smallest observation is the best estimate of the true
+# cost for gating purposes.
+fresh = {}
+for path in os.environ["RAWS"].split(":"):
+    raw = json.load(open(path))
+    for b in raw["benchmarks"]:
+        if (b.get("run_type", "iteration") != "iteration"
+                or "real_time" not in b):
+            continue
+        fresh[b["name"]] = min(fresh.get(b["name"], float("inf")),
+                               b["real_time"])
 
 shared = sorted(set(fresh) & set(committed))
 if not shared:
-    sys.exit(
-        "error: no benchmark names in common between the run and "
-        f"{out_path} (run: {sorted(fresh) or 'nothing'})"
-    )
+    print("error: no benchmark names in common between the run and "
+          f"{out_path} (run: {sorted(fresh) or 'nothing'})", file=sys.stderr)
+    sys.exit(1)
 
 deltas = {}
 regressed = []
@@ -132,14 +163,33 @@ if regressed:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {delta_path}")
-    sys.exit(
-        f"error: {len(regressed)} benchmark(s) regressed more than "
-        f"{tolerance:.0%}: {', '.join(regressed)} — fix the hot path, or "
-        "re-run tools/bench_snapshot.sh to move the trajectory deliberately"
-    )
+    print(f"error: {len(regressed)} benchmark(s) regressed more than "
+          f"{tolerance:.0%}: {', '.join(regressed)} — fix the hot path, or "
+          "re-run tools/bench_snapshot.sh to move the trajectory "
+          "deliberately", file=sys.stderr)
+    sys.exit(3)
 print("perf gate passed")
 EOF
-  exit 0
+    RC=$?
+    set -e
+    [[ "$RC" == 0 ]] && exit 0
+    [[ "$RC" != 3 ]] && exit "$RC"
+    ATTEMPT=$((ATTEMPT + 1))
+    [[ "$ATTEMPT" -gt "$MAX_RETRIES" ]] && exit 1
+    REGRESSED="$(python3 -c 'import json, sys
+print("|".join(json.load(open(sys.argv[1]))["regressed"]))' \
+      "$BUILD_DIR/bench_delta.json")"
+    echo "retry $ATTEMPT/$MAX_RETRIES: re-measuring regressed benchmark(s)" \
+         "after a pause: $REGRESSED" >&2
+    sleep 10
+    EXTRA="$BUILD_DIR/bench_retry_$ATTEMPT.json"
+    "$BIN" \
+      --benchmark_filter="^(${REGRESSED})\$" \
+      --benchmark_min_time=0.5 \
+      --benchmark_repetitions=3 \
+      --benchmark_format=json > "$EXTRA"
+    RAWS="$RAWS:$EXTRA"
+  done
 fi
 
 # Engine version for history stamps, straight from the source of truth.
@@ -155,17 +205,34 @@ raw = json.load(open(os.environ["RAW"]))
 out_path = os.environ["OUT"]
 rebaseline = os.environ["REBASELINE"] == "1"
 
-current = {
-    b["name"]: {
-        "real_time_ns": round(b["real_time"], 2),
-        "items_per_second": round(b.get("items_per_second", 0.0), 1),
+# Median over the repetitions: the recorded trajectory should be a
+# representative run, not a lucky fast one (--check compares its min
+# against these numbers, so a fast-phase record would make the gate cry
+# wolf on every ordinary re-measure).
+samples = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration" or "real_time" not in b:
+        continue
+    samples.setdefault(b["name"], []).append(
+        (b["real_time"], b.get("items_per_second", 0.0))
+    )
+
+def median_sample(pairs):
+    pairs = sorted(pairs)
+    return pairs[len(pairs) // 2]
+
+current = {}
+for name, pairs in samples.items():
+    real_time, items = median_sample(pairs)
+    current[name] = {
+        "real_time_ns": round(real_time, 2),
+        "items_per_second": round(items, 1),
     }
-    for b in raw["benchmarks"]
-}
 
 # A partial snapshot is worse than no snapshot: if the filter matched
 # nothing (renamed benches, wrong binary), abort before touching the file.
-expected = ("RoundsPerSecondRaw", "ManyAgentsSnapshot", "BatchRoundsPerSecond")
+expected = ("RoundsPerSecondRaw", "ManyAgentsSnapshot", "BatchRoundsPerSecond",
+            "QueryCacheLookup", "StreamingFold", "QueryAggregate")
 for fragment in expected:
     if not any(fragment in name for name in current):
         sys.exit(

@@ -32,9 +32,12 @@
 
 #include "core/campaign.hpp"
 #include "core/orchestrate.hpp"
+#include "core/query.hpp"
 #include "core/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+#include <optional>
 
 namespace {
 
@@ -66,7 +69,15 @@ util::FlagTable flag_table() {
       .flag("diff", "FILE", "compare two stores row by row")
       .flag("telemetry", "", "write metrics + event-log sidecars next to "
                              "the store (<out>.metrics.json, "
-                             "<out>.events.jsonl); store bytes unchanged");
+                             "<out>.events.jsonl); store bytes unchanged")
+      .flag("stream-aggregate", "AXES", "fold an aggregate over the given "
+                                        "comma-separated group axes at "
+                                        "task-completion time and print it "
+                                        "after the run; without --out the "
+                                        "rows are never materialized "
+                                        "(Monte-Carlo-scale mode)")
+      .flag("metric", "NAME", "metric for --stream-aggregate: "
+                              "explored_round (default), rounds, moves");
   core::add_log_flags(flags);
   flags.flag("help", "", "print this help")
       .note("stores are canonical JSONL: bytes identical for any --threads "
@@ -232,6 +243,35 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.progress_path = cli.get("progress", "");
+
+  // Streaming aggregation: fold rows cell-group by cell-group as tasks
+  // complete.  Without --out the rows are discarded right after the fold,
+  // so the run's memory stays O(workers) however large the grid.
+  std::optional<core::StreamingAggregator> stream;
+  if (cli.has("stream-aggregate")) {
+    const std::string axes_arg = cli.get("stream-aggregate", "");
+    std::vector<std::string> axes;
+    if (axes_arg != "true" && axes_arg != "1") {
+      std::string current;
+      for (const char c : axes_arg + ",") {
+        if (c == ',') {
+          if (!current.empty()) axes.push_back(current);
+          current.clear();
+        } else {
+          current += c;
+        }
+      }
+    }
+    try {
+      stream.emplace(axes,
+                     core::metric_from_string(
+                         cli.get("metric", "explored_round")));
+    } catch (const std::exception& e) {
+      std::cerr << "bad --stream-aggregate: " << e.what() << "\n";
+      return 2;
+    }
+    options.stream = &*stream;
+  }
 
   if (cli.get_bool("telemetry", false)) {
     if (options.out_path.empty()) {
@@ -416,6 +456,9 @@ int main(int argc, char** argv) {
     t.print(std::cout);
     if (!worst_spec.empty())
       std::cout << "worst-case scenario: " << worst_spec << "\n";
+  }
+  if (stream) {
+    std::cout << "\n" << stream->render(core::ReportFormat::Markdown);
   }
   if (core::telemetry().enabled()) {
     core::log_line(core::LogLevel::kDebug,

@@ -20,11 +20,13 @@
 // can be committed next to their campaign spec and diffed across commits.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/analysis.hpp"
 #include "core/archive.hpp"
+#include "core/query.hpp"
 #include "core/telemetry.hpp"
 #include "util/cli.hpp"
 
@@ -56,7 +58,11 @@ util::FlagTable flag_table() {
                                     "per-cell-group aggregates as an archive "
                                     "fragment for dring_dashboard --collect "
                                     "--cells")
-      .flag("format", "F", "md (default), csv or json");
+      .flag("format", "F", "md (default), csv or json")
+      .flag("via-cache", "", "route aggregate/frontier through the "
+                             "in-memory query cache (core/query.hpp) "
+                             "instead of the batch path — byte-identical "
+                             "output, CI-gated");
   core::add_log_flags(flags);
   flags.flag("help", "", "print this help")
       .note("axes: algorithm n agents adversary t_interval model max_rounds "
@@ -119,6 +125,16 @@ int main(int argc, char** argv) {
                    "aggregate (group-by) mode\n";
       return 2;
     }
+    const bool via_cache = cli.get_bool("via-cache", false);
+    if (via_cache && cli.has("compare")) {
+      std::cerr << "dring_report: --via-cache applies to the aggregate and "
+                   "frontier modes\n";
+      return 2;
+    }
+    // The cache indexes the same loaded rows; reports derived from it are
+    // byte-identical to the batch path below (pinned by tests + CI).
+    std::optional<core::ResultCache> cache;
+    if (via_cache) cache.emplace(store);
 
     std::string report;
     if (cli.has("compare")) {
@@ -137,14 +153,16 @@ int main(int argc, char** argv) {
       const std::string axis = core::canonical_axis(cli.get("frontier", ""));
       const double threshold = cli.get_double("threshold", 0.5);
       report = core::render_frontier_report(
-          core::detect_frontier(rows, group_keys, axis, threshold),
+          cache ? cache->frontier(group_keys, axis, threshold)
+                : core::detect_frontier(rows, group_keys, axis, threshold),
           group_keys, axis, threshold, format);
     } else {
       const core::Metric metric =
           core::metric_from_string(cli.get("metric", "explored_round"));
       report = core::render_aggregate_report(
-          core::aggregate_rows(rows, group_keys, metric), group_keys, metric,
-          format);
+          cache ? cache->aggregate(group_keys, metric)
+                : core::aggregate_rows(rows, group_keys, metric),
+          group_keys, metric, format);
       if (cli.has("emit-archive")) {
         // The archive tracks success rates + rounds-to-explored per cell
         // group regardless of the report's display metric.

@@ -1,0 +1,250 @@
+// Campaign query service: load result stores ONCE into the in-memory
+// fingerprint-indexed cache (core/query.hpp) and answer aggregate /
+// frontier / compare / point / cells / stats queries over a
+// line-delimited JSON protocol — one request object per line in, one
+// response object per line out.
+//
+//   dring_serve --store results.jsonl [--store more.jsonl ...] --oneshot
+//   dring_serve --store results.jsonl --socket /tmp/dring.sock
+//
+// --oneshot serves stdin/stdout and exits at EOF — the tests/CI mode and
+// the right tool for shell pipelines:
+//
+//   echo '{"op":"aggregate","group_by":"algorithm,n"}' \
+//     | dring_serve --oneshot --raw --store results.jsonl
+//
+// --socket PATH listens on a local AF_UNIX stream socket and serves
+// connections sequentially until killed — the daemon mode: the JSONL
+// parse cost is paid once at startup, every query after that runs
+// against indexed memory.  Responses are deterministic for a fixed
+// store set + request; per-query latency and cache hit/miss go to the
+// telemetry sidecars (--telemetry), never into the response.  A query
+// touching missing cells (op "cells") answers with what exists plus a
+// machine-readable manifest whose shard list plugs straight into
+// `dring_orchestrate --resume` — simulation is cache-fill.
+//
+// Serving never writes the store: CI gates that store bytes are
+// untouched after a serve session.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "core/query.hpp"
+#include "core/telemetry.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace dring;
+
+util::FlagTable flag_table() {
+  util::FlagTable flags("dring_serve",
+                        "in-memory campaign query service over result "
+                        "stores (load once, answer many)");
+  flags.synopsis("dring_serve --store results.jsonl [--store more.jsonl ...]"
+                 " --oneshot [--raw]")
+      .synopsis("dring_serve --store results.jsonl --socket PATH")
+      .flag("store", "FILE", "result store to load (repeatable; unioned by "
+                             "fingerprint)")
+      .flag("oneshot", "", "serve line-delimited JSON requests from stdin "
+                           "to stdout, exit at EOF (tests/CI)")
+      .flag("raw", "", "oneshot only: print each response's rendered "
+                       "\"report\" (or manifest) bytes instead of the JSON "
+                       "envelope — diffable against dring_report output; "
+                       "error responses go to stderr and fail the exit "
+                       "code")
+      .flag("socket", "PATH", "listen on a local AF_UNIX stream socket and "
+                              "serve until killed")
+      .flag("telemetry", "BASE", "write metrics + event-log sidecars "
+                                 "(BASE.metrics.json, BASE.events.jsonl): "
+                                 "query.cache.{hits,misses}, "
+                                 "query.latency_us, per-query spans");
+  core::add_log_flags(flags);
+  flags.flag("help", "", "print this help")
+      .note("ops: aggregate, frontier, compare, point, cells, stats — one "
+            "JSON object per line, {\"op\":...}; see core/query.hpp for "
+            "the full request/response shapes")
+      .note("a cells query returns a missing-cell manifest compatible "
+            "with dring_orchestrate resume semantics: the fill path for "
+            "cache misses is a supervised campaign run");
+  return flags;
+}
+
+/// Serve one request line; returns false when the response was an error.
+bool serve_line(const core::ResultCache& cache, const std::string& line,
+                std::ostream& out, bool raw) {
+  const util::Json response = core::handle_query_line(cache, line);
+  const bool ok = response.get_bool("ok", false);
+  if (!raw) {
+    out << response.dump() << "\n";
+    return ok;
+  }
+  if (!ok) {
+    std::cerr << "dring_serve: " << response.get_string("error", "error")
+              << "\n";
+    return false;
+  }
+  // Raw mode: the rendered report bytes (or the manifest document), so
+  // shell pipelines can diff serve output against dring_report directly.
+  if (response.has("report"))
+    out << response.at("report").as_string();
+  else if (response.has("manifest"))
+    out << response.at("manifest").dump() << "\n";
+  else
+    out << response.dump() << "\n";
+  return true;
+}
+
+int serve_stdin(const core::ResultCache& cache, bool raw) {
+  bool all_ok = true;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!serve_line(cache, line, std::cout, raw)) all_ok = false;
+    std::cout.flush();
+  }
+  // Non-raw mode always exits 0 (errors are well-formed responses, the
+  // protocol's point); raw mode is the CI diff path, where a failed
+  // query must fail the pipeline.
+  return raw && !all_ok ? 1 : 0;
+}
+
+#ifdef __unix__
+int serve_socket(const core::ResultCache& cache, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "dring_serve: cannot create socket\n";
+    return 1;
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "dring_serve: socket path too long: " << path << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 8) < 0) {
+    std::cerr << "dring_serve: cannot bind/listen on " << path << "\n";
+    ::close(listener);
+    return 1;
+  }
+  core::log_line(core::LogLevel::kInfo,
+                 "serving " + std::to_string(cache.size()) + " rows on " +
+                     path);
+
+  // Sequential accept loop: one connection at a time, one response line
+  // per request line.  The cache is read-only, so this could go
+  // multi-threaded without locking — sequential keeps the daemon's
+  // telemetry event order deterministic.
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t newline;
+      while ((newline = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        if (line.empty()) continue;
+        const std::string response =
+            core::handle_query_line(cache, line).dump() + "\n";
+        std::size_t sent = 0;
+        while (sent < response.size()) {
+          const ssize_t w = ::write(conn, response.data() + sent,
+                                    response.size() - sent);
+          if (w <= 0) break;
+          sent += static_cast<std::size_t>(w);
+        }
+      }
+    }
+    ::close(conn);
+  }
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const util::FlagTable flags = flag_table();
+
+  if (cli.get_bool("help", false)) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  if (const auto error = flags.unknown_flags(cli)) {
+    std::cerr << *error << "\n";
+    return 2;
+  }
+  core::set_log_level(core::log_level_from_cli(cli));
+
+  std::vector<std::string> stores = cli.get_all("store");
+  for (const std::string& p : cli.positional()) stores.push_back(p);
+  if (stores.empty()) {
+    std::cerr << flags.help_text();
+    return 2;
+  }
+  const bool oneshot = cli.get_bool("oneshot", false);
+  const bool raw = cli.get_bool("raw", false);
+  const std::string socket_path = cli.get("socket", "");
+  if (!oneshot && socket_path.empty()) {
+    std::cerr << "dring_serve: pick a transport: --oneshot (stdin/stdout) "
+                 "or --socket PATH\n";
+    return 2;
+  }
+  if (raw && !oneshot) {
+    std::cerr << "dring_serve: --raw only applies to --oneshot\n";
+    return 2;
+  }
+
+  if (cli.has("telemetry")) {
+    try {
+      core::telemetry().enable(cli.get("telemetry", ""));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  int rc = 0;
+  try {
+    // The whole point: parse the JSONL once, here, then serve every
+    // query from indexed memory.
+    const core::ResultCache cache = core::ResultCache::load(stores);
+    core::log_line(core::LogLevel::kInfo,
+                   "loaded " + std::to_string(cache.size()) + " rows from " +
+                       std::to_string(stores.size()) + " store(s), " +
+                       core::describe(cache.provenance()));
+    if (oneshot) {
+      rc = serve_stdin(cache, raw);
+    } else {
+#ifdef __unix__
+      rc = serve_socket(cache, socket_path);
+#else
+      std::cerr << "dring_serve: --socket needs a unix platform; use "
+                   "--oneshot\n";
+      rc = 2;
+#endif
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dring_serve: " << e.what() << "\n";
+    rc = 1;
+  }
+  if (core::telemetry().enabled()) core::telemetry().shutdown();
+  return rc;
+}
